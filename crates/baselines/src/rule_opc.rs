@@ -1,0 +1,188 @@
+//! Rule-based OPC: uniform bias plus rule-based SRAFs.
+//!
+//! The oldest OPC recipe: grow every feature by a fixed bias to
+//! pre-compensate the resist pull-back, and scatter assist bars next to
+//! isolated edges. "Simple and fast, but only suitable for less
+//! aggressive designs" (§1 of the paper) — exactly the behaviour this
+//! baseline should exhibit in the comparison tables.
+
+use crate::OpcBaseline;
+use mosaic_core::{OpcProblem, SrafRules};
+use mosaic_numerics::Grid;
+
+/// Rule-based OPC configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleOpc {
+    /// Uniform bias in pixels (Chebyshev dilation radius).
+    pub bias_px: usize,
+    /// SRAF rules; `None` disables assist features.
+    pub sraf: Option<SrafRules>,
+}
+
+impl Default for RuleOpc {
+    fn default() -> Self {
+        RuleOpc {
+            bias_px: 2,
+            sraf: Some(SrafRules::contest()),
+        }
+    }
+}
+
+/// Morphological dilation with a `(2r+1)²` square structuring element.
+///
+/// Exposed for reuse by other baselines and tests.
+pub fn dilate(grid: &Grid<f64>, radius: usize) -> Grid<f64> {
+    if radius == 0 {
+        return grid.clone();
+    }
+    let (w, h) = grid.dims();
+    let r = radius as i64;
+    // Two-pass separable dilation: horizontal then vertical.
+    let horiz = Grid::from_fn(w, h, |x, y| {
+        let x = x as i64;
+        for dx in -r..=r {
+            let xx = x + dx;
+            if xx >= 0 && (xx as usize) < w && grid[(xx as usize, y)] > 0.5 {
+                return 1.0;
+            }
+        }
+        0.0
+    });
+    Grid::from_fn(w, h, |x, y| {
+        let y = y as i64;
+        for dy in -r..=r {
+            let yy = y + dy;
+            if yy >= 0 && (yy as usize) < h && horiz[(x, yy as usize)] > 0.5 {
+                return 1.0;
+            }
+        }
+        0.0
+    })
+}
+
+impl OpcBaseline for RuleOpc {
+    fn name(&self) -> &'static str {
+        "rule-based"
+    }
+
+    fn generate(&self, problem: &OpcProblem) -> Grid<f64> {
+        let biased = dilate(problem.target(), self.bias_px);
+        match &self.sraf {
+            None => biased,
+            Some(rules) => {
+                // Rasterize the assist bars separately so the bias does
+                // not fatten them above the printing threshold.
+                let pixel = problem.pixel_nm().round() as i64;
+                let mut bar_layout = problem.layout().clone();
+                let target_shapes = bar_layout.shapes().len();
+                for bar in rules.generate(problem.layout()) {
+                    bar_layout.push(mosaic_geometry::Polygon::from_rect(bar));
+                }
+                if bar_layout.shapes().len() == target_shapes {
+                    return biased;
+                }
+                let mut bars_only = mosaic_geometry::Layout::new(
+                    bar_layout.width(),
+                    bar_layout.height(),
+                );
+                for shape in &bar_layout.shapes()[target_shapes..] {
+                    bars_only.push(shape.clone());
+                }
+                let (gw, gh) = problem.grid_dims();
+                let bars = bars_only.rasterize(pixel).embed_centered(gw, gh);
+                biased.zip_map(&bars, |&a, &b| if a > 0.5 || b > 0.5 { 1.0 } else { 0.0 })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_geometry::{Layout, Polygon, Rect};
+    use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+
+    fn problem(clip: i64, grid: usize) -> OpcProblem {
+        let mut layout = Layout::new(clip, clip);
+        layout.push(Polygon::from_rect(Rect::new(
+            clip / 2 - 35,
+            clip / 4,
+            clip / 2 + 35,
+            3 * clip / 4,
+        )));
+        let optics = OpticsConfig::builder()
+            .grid(grid, grid)
+            .pixel_nm(4.0)
+            .kernel_count(4)
+            .build()
+            .unwrap();
+        OpcProblem::from_layout(
+            &layout,
+            &optics,
+            ResistModel::paper(),
+            ProcessCondition::nominal_only(),
+            40,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dilation_grows_by_radius() {
+        let mut g = Grid::<f64>::zeros(16, 16);
+        g[(8, 8)] = 1.0;
+        let d = dilate(&g, 2);
+        assert_eq!(d[(6, 6)], 1.0);
+        assert_eq!(d[(10, 10)], 1.0);
+        assert_eq!(d[(5, 8)], 0.0);
+        let lit: usize = d.iter().filter(|&&v| v > 0.5).count();
+        assert_eq!(lit, 25);
+    }
+
+    #[test]
+    fn dilation_radius_zero_is_identity() {
+        let g = Grid::from_fn(8, 8, |x, y| ((x * y) % 3 == 0) as i32 as f64);
+        assert_eq!(dilate(&g, 0), g);
+    }
+
+    #[test]
+    fn dilation_clamps_at_borders() {
+        let mut g = Grid::<f64>::zeros(8, 8);
+        g[(0, 0)] = 1.0;
+        let d = dilate(&g, 3);
+        assert_eq!(d[(3, 3)], 1.0);
+        assert_eq!(d[(4, 0)], 0.0);
+    }
+
+    #[test]
+    fn mask_is_biased_target() {
+        let p = problem(256, 96);
+        let mask = RuleOpc {
+            bias_px: 2,
+            sraf: None,
+        }
+        .generate(&p);
+        // Every target pixel lit; boundary ring added.
+        for (m, t) in mask.iter().zip(p.target().iter()) {
+            if *t > 0.5 {
+                assert_eq!(*m, 1.0);
+            }
+        }
+        assert!(mask.sum() > p.target().sum());
+    }
+
+    #[test]
+    fn srafs_add_detached_bars_on_isolated_lines() {
+        // A 1024 clip line is long enough for contest SRAF rules.
+        let p = problem(1024, 256);
+        let with = RuleOpc::default().generate(&p);
+        let without = RuleOpc {
+            bias_px: 2,
+            sraf: None,
+        }
+        .generate(&p);
+        assert!(
+            with.sum() > without.sum(),
+            "SRAF bars should add mask area"
+        );
+    }
+}

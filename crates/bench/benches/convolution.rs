@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the convolution hot loop, including the
+//! Eq. (21) kernel pre-combination speedup (B0 in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use mosaic_numerics::{Convolver, Grid, KernelSpectrum};
+use mosaic_optics::{KernelSet, OpticsConfig, ProcessCondition};
+
+const N: usize = 256;
+
+fn setup() -> (Convolver, KernelSet, Grid<f64>) {
+    let config = OpticsConfig::contest_32nm(N, 4.0);
+    let bank = KernelSet::build(&config, ProcessCondition::NOMINAL);
+    let conv = Convolver::new(N, N);
+    let mask = Grid::from_fn(N, N, |x, y| {
+        if (96..160).contains(&x) && (64..192).contains(&y) {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    (conv, bank, mask)
+}
+
+/// The full SOCS aerial image: 24 convolutions reusing one mask spectrum.
+fn bench_socs_intensity(c: &mut Criterion) {
+    let (conv, bank, mask) = setup();
+    let mut group = c.benchmark_group("convolution");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("socs_intensity_24k_256", |b| {
+        b.iter(|| {
+            let spectrum = conv.forward_real(&mask);
+            bank.aerial_image_from_spectrum(&conv, &spectrum)
+        })
+    });
+    group.finish();
+}
+
+/// Eq. (21): one convolution against the pre-combined kernel vs the
+/// per-kernel sum of 24 convolutions of the same linear field.
+fn bench_eq21_speedup(c: &mut Criterion) {
+    let (conv, bank, mask) = setup();
+    let combined = bank.combined();
+    let mut group = c.benchmark_group("eq21");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("combined_1_convolution", |b| {
+        b.iter(|| {
+            let spectrum = conv.forward_real(&mask);
+            conv.convolve_spectrum(&spectrum, &combined)
+        })
+    });
+    group.bench_function("per_kernel_24_convolutions", |b| {
+        b.iter(|| {
+            let spectrum = conv.forward_real(&mask);
+            let mut acc = Grid::<f64>::zeros(N, N);
+            for k in bank.kernels() {
+                let field = conv.convolve_spectrum(&spectrum, &k.spectrum);
+                for (a, f) in acc.iter_mut().zip(field.iter()) {
+                    *a += k.weight * f.re;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Kernel spectrum precomputation amortization: building a spectrum vs
+/// reusing it.
+fn bench_spectrum_reuse(c: &mut Criterion) {
+    let (conv, bank, mask) = setup();
+    let spec: KernelSpectrum = bank.combined();
+    let mut group = c.benchmark_group("spectrum_reuse");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("reused_spectrum_convolve", |b| {
+        b.iter(|| conv.convolve_real(&mask, &spec))
+    });
+    group.bench_function("rebuild_combined_then_convolve", |b| {
+        b.iter(|| {
+            let fresh = bank.combined();
+            conv.convolve_real(&mask, &fresh)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_socs_intensity,
+    bench_eq21_speedup,
+    bench_spectrum_reuse
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the FFT substrate (B0 in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use mosaic_numerics::{Complex, Fft, Fft2d, FftDirection, Grid};
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [256usize, 1024, 4096] {
+        let fft = Fft::new(n);
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                fft.process(&mut buf, FftDirection::Forward);
+                buf
+            })
+        });
+    }
+    // Bluestein path (non-power-of-two length).
+    let n = 1000usize;
+    let fft = Fft::new(n);
+    let data: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
+    group.bench_function("bluestein_1000", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            fft.process(&mut buf, FftDirection::Forward);
+            buf
+        })
+    });
+    group.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_2d");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    for n in [128usize, 256, 512] {
+        let plan = Fft2d::new(n, n);
+        let grid = Grid::from_fn(n, n, |x, y| {
+            Complex::new((x as f64 * 0.1).sin(), (y as f64 * 0.1).cos())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = grid.clone();
+                plan.process(&mut g, FftDirection::Forward);
+                g
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_2d);
+criterion_main!(benches);

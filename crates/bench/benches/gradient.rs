@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of one full objective evaluation (value +
+//! gradient) in each mode — the ILT inner-loop cost (B0 in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use mosaic_core::{
+    objective::Objective, GradientMode, MaskState, OpcProblem, OptimizationConfig, TargetTerm,
+};
+use mosaic_geometry::{Layout, Polygon, Rect};
+use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+
+fn problem() -> OpcProblem {
+    let mut layout = Layout::new(512, 512);
+    layout.push(Polygon::from_rect(Rect::new(160, 120, 230, 400)));
+    layout.push(Polygon::from_rect(Rect::new(300, 120, 370, 400)));
+    let optics = OpticsConfig::builder()
+        .grid(128, 128)
+        .pixel_nm(4.0)
+        .kernel_count(24)
+        .build()
+        .expect("valid optics");
+    OpcProblem::from_layout(
+        &layout,
+        &optics,
+        ResistModel::paper(),
+        vec![
+            ProcessCondition::NOMINAL,
+            ProcessCondition::new(25.0, 0.98),
+            ProcessCondition::new(-25.0, 1.02),
+        ],
+        40,
+    )
+    .expect("problem assembles")
+}
+
+fn bench_gradient_step(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("gradient_step_128_24k_3cond");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for (name, term, mode) in [
+        ("fast_combined", TargetTerm::ImageDifference, GradientMode::Combined),
+        ("fast_per_kernel", TargetTerm::ImageDifference, GradientMode::PerKernel),
+        ("exact_combined", TargetTerm::EdgePlacement, GradientMode::Combined),
+    ] {
+        let mut cfg = OptimizationConfig::default();
+        cfg.target_term = term;
+        cfg.gradient_mode = mode;
+        let objective = Objective::new(&p, &cfg);
+        let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
+        group.bench_function(name, |b| b.iter(|| objective.evaluate(&state)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradient_step);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation **A1** (§3.5 / Eq. (21)): per-kernel exact adjoint vs the
+//! combined-kernel gradient. Reports quality and runtime for both modes,
+//! quantifying what the paper's speedup costs in accuracy.
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin ablation_kernel [quick|table|full]
+//! ```
+
+use mosaic_bench::{contest_config, contest_evaluator, contest_problem, format_table, Scale};
+use mosaic_core::{GradientMode, Mosaic, MosaicMode};
+use mosaic_geometry::benchmarks::BenchmarkId;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let header = vec![
+        "clip".to_string(),
+        "gradient".to_string(),
+        "#EPE".to_string(),
+        "PVB(nm2)".to_string(),
+        "Score".to_string(),
+        "runtime(s)".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for bench in [BenchmarkId::B2, BenchmarkId::B4] {
+        for (mode, name) in [
+            (GradientMode::Combined, "combined (Eq. 21)"),
+            (GradientMode::PerKernel, "per-kernel"),
+        ] {
+            eprintln!("A1: {bench} with {name}...");
+            let mut config = contest_config(scale);
+            config.opt.gradient_mode = mode;
+            let mosaic = Mosaic::new(&bench.layout(), config).expect("contest setup");
+            let start = Instant::now();
+            let result = mosaic.run(MosaicMode::Fast);
+            let runtime = start.elapsed().as_secs_f64();
+            let problem = contest_problem(bench, scale);
+            let evaluator = contest_evaluator(bench, scale);
+            let report = evaluator.evaluate_mask(problem.simulator(), &result.binary_mask, runtime);
+            rows.push(vec![
+                bench.name().to_string(),
+                name.to_string(),
+                report.epe_violations.to_string(),
+                format!("{:.0}", report.pvband_nm2),
+                format!("{:.0}", report.score.total()),
+                format!("{runtime:.1}"),
+            ]);
+        }
+    }
+    println!("\nAblation A1: combined-kernel (Eq. 21) vs per-kernel gradient, MOSAIC_fast");
+    println!("{}", format_table(&header, &rows));
+}

@@ -1,0 +1,52 @@
+//! Ablation **A5** (extension; the paper's ref. 12): fixed-step
+//! descent + jump vs backtracking line search, at equal iteration count.
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin ablation_linesearch [quick|table|full]
+//! ```
+
+use mosaic_bench::{contest_config, contest_evaluator, contest_problem, format_table, Scale};
+use mosaic_core::{Mosaic, MosaicMode};
+use mosaic_geometry::benchmarks::BenchmarkId;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let header = vec![
+        "clip".to_string(),
+        "stepping".to_string(),
+        "#EPE".to_string(),
+        "PVB(nm2)".to_string(),
+        "Score".to_string(),
+        "runtime(s)".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for bench in [BenchmarkId::B1, BenchmarkId::B4] {
+        for (line_search, jump, name) in [
+            (false, true, "fixed + jump (paper)"),
+            (true, false, "line search (ref. 12)"),
+        ] {
+            eprintln!("A5: {bench} with {name}...");
+            let mut config = contest_config(scale);
+            config.opt.line_search = line_search;
+            config.opt.jump_enabled = jump;
+            let mosaic = Mosaic::new(&bench.layout(), config).expect("contest setup");
+            let start = Instant::now();
+            let result = mosaic.run(MosaicMode::Fast);
+            let runtime = start.elapsed().as_secs_f64();
+            let problem = contest_problem(bench, scale);
+            let evaluator = contest_evaluator(bench, scale);
+            let report = evaluator.evaluate_mask(problem.simulator(), &result.binary_mask, runtime);
+            rows.push(vec![
+                bench.name().to_string(),
+                name.to_string(),
+                report.epe_violations.to_string(),
+                format!("{:.0}", report.pvband_nm2),
+                format!("{:.0}", report.score.total()),
+                format!("{runtime:.1}"),
+            ]);
+        }
+    }
+    println!("\nAblation A5: stepping rule (MOSAIC_fast, equal iteration budget)");
+    println!("{}", format_table(&header, &rows));
+}

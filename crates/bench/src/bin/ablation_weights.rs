@@ -1,0 +1,42 @@
+//! Ablation **A4** (Eq. (7)): the α/β trade-off between the design
+//! target and the process window. Sweeping β with α fixed traces the
+//! EPE-vs-PVB frontier the co-optimization navigates; β = 0 recovers the
+//! process-window-blind ILT baseline.
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin ablation_weights [quick|table|full]
+//! ```
+
+use mosaic_bench::{contest_config, contest_evaluator, contest_problem, format_table, Scale};
+use mosaic_core::{Mosaic, MosaicMode};
+use mosaic_geometry::benchmarks::BenchmarkId;
+
+fn main() {
+    let scale = Scale::from_args();
+    let bench = BenchmarkId::B4;
+    let header = vec![
+        "beta".to_string(),
+        "#EPE".to_string(),
+        "PVB(nm2)".to_string(),
+        "Score".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for beta in [0.0, 1.0, 4.0, 16.0, 64.0] {
+        eprintln!("A4: {bench} with beta = {beta} (alpha = 5000)...");
+        let mut config = contest_config(scale);
+        config.opt.beta = beta;
+        let mosaic = Mosaic::new(&bench.layout(), config).expect("contest setup");
+        let result = mosaic.run(MosaicMode::Fast);
+        let problem = contest_problem(bench, scale);
+        let evaluator = contest_evaluator(bench, scale);
+        let report = evaluator.evaluate_mask(problem.simulator(), &result.binary_mask, 0.0);
+        rows.push(vec![
+            format!("{beta}"),
+            report.epe_violations.to_string(),
+            format!("{:.0}", report.pvband_nm2),
+            format!("{:.0}", report.score.total()),
+        ]);
+    }
+    println!("\nAblation A4: process-window weight beta (MOSAIC_fast, {bench}, alpha = 5000)");
+    println!("{}", format_table(&header, &rows));
+}

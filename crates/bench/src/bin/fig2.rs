@@ -1,0 +1,24 @@
+//! Reproduces **Fig. 2**: the sigmoid resist response with θ_Z = 50 and
+//! th_r = 0.5, printed as a two-column series (intensity, Z).
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin fig2
+//! ```
+
+use mosaic_optics::ResistModel;
+
+fn main() {
+    let resist = ResistModel::paper();
+    println!("# Fig. 2: sigmoid resist model, theta_Z = {}, th_r = {}",
+        resist.steepness, resist.threshold);
+    println!("{:>10}  {:>12}", "intensity", "Z=sig(I)");
+    for k in 0..=50 {
+        let i = k as f64 / 50.0;
+        println!("{i:>10.2}  {:>12.6}", resist.sigmoid(i));
+    }
+    // The figure's qualitative checkpoints.
+    assert!((resist.sigmoid(resist.threshold) - 0.5).abs() < 1e-12);
+    assert!(resist.sigmoid(0.3) < 0.01);
+    assert!(resist.sigmoid(0.7) > 0.99);
+    eprintln!("checkpoints ok: sig(th_r)=0.5, hard 0/1 beyond +-0.2 intensity");
+}

@@ -1,0 +1,49 @@
+//! Reproduces **Fig. 5**: for clips B4 and B6, dumps PGM images of the
+//! target, the MOSAIC_exact OPC mask, the nominal printed image and the
+//! PV band.
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin fig5 [quick|table|full]
+//! ```
+//!
+//! Images land in `results/fig5/<clip>_<panel>.pgm`.
+
+use mosaic_bench::{contest_config, contest_problem, Scale};
+use mosaic_core::{Mosaic, MosaicMode};
+use mosaic_eval::{pgm, PvBand};
+use mosaic_geometry::benchmarks::BenchmarkId;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_dir = std::path::Path::new("results/fig5");
+    std::fs::create_dir_all(out_dir).expect("create results/fig5");
+    for bench in [BenchmarkId::B4, BenchmarkId::B6] {
+        eprintln!("fig5: optimizing {bench} with MOSAIC_exact...");
+        let layout = bench.layout();
+        let config = contest_config(scale);
+        let mosaic = Mosaic::new(&layout, config).expect("contest setup");
+        let result = mosaic.run(MosaicMode::Exact);
+        let problem = contest_problem(bench, scale);
+        let sim = problem.simulator();
+        let prints = sim.printed_all_conditions(&result.binary_mask);
+        let pvband = PvBand::measure(&prints, scale.pixel_nm);
+
+        let panels: [(&str, &mosaic_numerics::Grid<f64>); 4] = [
+            ("target", problem.target()),
+            ("mask", &result.binary_mask),
+            ("nominal", &prints[0]),
+            ("pvband", pvband.band()),
+        ];
+        for (name, grid) in panels {
+            let clip = problem.crop_to_clip(grid);
+            let path = out_dir.join(format!("{}_{name}.pgm", bench.name()));
+            pgm::write_file(&clip, &path).expect("write PGM");
+            println!("wrote {} ({}x{})", path.display(), clip.width(), clip.height());
+        }
+        println!(
+            "{bench}: pvband {:.0} nm2, mask area {:.0} px",
+            pvband.area_nm2(),
+            result.binary_mask.sum()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Mask-complexity study: what ILT costs at the mask shop.
+//!
+//! The paper's introduction cites e-beam write-time concerns for ILT
+//! masks (ref. 6): pixel-based optimization produces dense decoration
+//! that fractures into many more VSB shots than rule-based masks. This
+//! study fractures each method's mask on B1 and B4 and reports shot
+//! counts, polygon counts and MRC violations.
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin mask_complexity [quick|table|full]
+//! ```
+
+use mosaic_bench::{contest_problem, format_table, synthesize, Method, Scale};
+use mosaic_eval::{mrc, MrcRules};
+use mosaic_geometry::benchmarks::BenchmarkId;
+use mosaic_geometry::{contour, fracture};
+
+fn main() {
+    let scale = Scale::from_args();
+    let header = vec![
+        "clip".to_string(),
+        "method".to_string(),
+        "polygons".to_string(),
+        "shots".to_string(),
+        "mask px".to_string(),
+        "mrc violations".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for bench in [BenchmarkId::B1, BenchmarkId::B4] {
+        let problem = contest_problem(bench, scale);
+        // Reference row: the target itself.
+        let target_layout = bench.layout();
+        rows.push(vec![
+            bench.name().to_string(),
+            "target (no OPC)".to_string(),
+            target_layout.shapes().len().to_string(),
+            fracture::shot_count(&target_layout).to_string(),
+            format!("{:.0}", problem.target().sum()),
+            "0".to_string(),
+        ]);
+        for method in [Method::ThirdPlace, Method::FirstPlace, Method::MosaicExact] {
+            eprintln!("complexity: {} on {bench}...", method.label());
+            let (mask, _rt) = synthesize(method, bench, scale);
+            let clip_mask = problem.crop_to_clip(&mask);
+            let traced = contour::grid_to_layout(&clip_mask, scale.pixel_nm.round() as i64);
+            let report = mrc::check(&mask, MrcRules::contest(scale.pixel_nm));
+            rows.push(vec![
+                bench.name().to_string(),
+                method.label().to_string(),
+                traced.shapes().len().to_string(),
+                fracture::shot_count(&traced).to_string(),
+                format!("{:.0}", mask.sum()),
+                report.total().to_string(),
+            ]);
+        }
+    }
+    println!("\nMask-complexity study: VSB shot counts and MRC of synthesized masks");
+    println!("{}", format_table(&header, &rows));
+    println!("(pixel-based ILT pays a shot-count premium over rule-based OPC — the");
+    println!(" write-time concern the paper's introduction cites for ILT masks)");
+}

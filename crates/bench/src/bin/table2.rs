@@ -1,0 +1,114 @@
+//! Reproduces **Table 2** (and the runtime data of Table 3): #EPE
+//! violations, PV-band area and contest score for the three
+//! contest-winner stand-ins and both MOSAIC modes on B1–B10.
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin table2 [quick|table|full] [B1,B4,...]
+//! ```
+
+use mosaic_bench::{format_table, run_method, Method, RunResult, Scale};
+use mosaic_geometry::benchmarks::BenchmarkId;
+
+fn main() {
+    let scale = Scale::from_args();
+    let benches: Vec<BenchmarkId> = match std::env::args().nth(2) {
+        None => BenchmarkId::all().to_vec(),
+        Some(list) => BenchmarkId::all()
+            .into_iter()
+            .filter(|b| list.split(',').any(|n| n.eq_ignore_ascii_case(b.name())))
+            .collect(),
+    };
+    eprintln!(
+        "# Table 2 reproduction — scale {}px @ {}nm, clips: {}",
+        scale.grid,
+        scale.pixel_nm,
+        benches
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for &bench in &benches {
+        for method in Method::all() {
+            eprintln!("running {} on {bench}...", method.label());
+            let r = run_method(method, bench, scale);
+            eprintln!(
+                "  {}: epe {}, pvb {:.0} nm2, shape {}, rt {:.1}s, score {:.0}",
+                method.label(),
+                r.report.epe_violations,
+                r.report.pvband_nm2,
+                r.report.shape_violations,
+                r.runtime_s,
+                r.report.score.total()
+            );
+            results.push(r);
+        }
+    }
+
+    // Table 2: per clip, per method: #EPE, PVB, Score.
+    let mut header = vec!["testcase".to_string(), "area".to_string()];
+    for m in Method::all() {
+        header.push(format!("{} #EPE", m.label()));
+        header.push(format!("{} PVB", m.label()));
+        header.push(format!("{} Score", m.label()));
+    }
+    let mut rows = Vec::new();
+    let mut score_sums = vec![0.0f64; Method::all().len()];
+    for &bench in &benches {
+        let mut row = vec![
+            bench.name().to_string(),
+            format!("{}", bench.layout().pattern_area()),
+        ];
+        for (mi, m) in Method::all().into_iter().enumerate() {
+            let r = results
+                .iter()
+                .find(|r| r.bench == bench && r.method == m)
+                .expect("result present");
+            row.push(format!("{}", r.report.epe_violations));
+            row.push(format!("{:.0}", r.report.pvband_nm2));
+            row.push(format!("{:.0}", r.report.score.total()));
+            score_sums[mi] += r.report.score.total();
+        }
+        rows.push(row);
+    }
+    // Ratio row (paper normalizes total score to the best method).
+    let best = score_sums.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut ratio = vec!["ratio".to_string(), String::new()];
+    for sum in &score_sums {
+        ratio.push(String::new());
+        ratio.push(String::new());
+        ratio.push(format!("{:.3}", sum / best.max(1e-9)));
+    }
+    rows.push(ratio);
+    println!("\nTable 2: comparison with the contest-winner stand-ins");
+    println!("{}", format_table(&header, &rows));
+
+    // Table 3: runtimes.
+    let mut header3 = vec!["testcase".to_string()];
+    for m in Method::all() {
+        header3.push(m.label().to_string());
+    }
+    let mut rows3 = Vec::new();
+    let mut rt_sums = vec![0.0f64; Method::all().len()];
+    for &bench in &benches {
+        let mut row = vec![bench.name().to_string()];
+        for (mi, m) in Method::all().into_iter().enumerate() {
+            let r = results
+                .iter()
+                .find(|r| r.bench == bench && r.method == m)
+                .expect("result present");
+            row.push(format!("{:.1}", r.runtime_s));
+            rt_sums[mi] += r.runtime_s;
+        }
+        rows3.push(row);
+    }
+    let mut avg = vec!["average".to_string()];
+    for sum in &rt_sums {
+        avg.push(format!("{:.1}", sum / benches.len().max(1) as f64));
+    }
+    rows3.push(avg);
+    println!("\nTable 3: runtime comparison (seconds)");
+    println!("{}", format_table(&header3, &rows3));
+}

@@ -1,0 +1,51 @@
+//! Reproduces **Table 3**: mask-synthesis runtime for the five methods on
+//! B1–B10.
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench --bin table3 [quick|table|full] [B1,B4,...]
+//! ```
+//!
+//! (`table2` also prints this data, since it measures runtimes anyway;
+//! this binary reruns the synthesis without the scoring pass for an
+//! isolated runtime measurement.)
+
+use mosaic_bench::{format_table, synthesize, Method, Scale};
+use mosaic_geometry::benchmarks::BenchmarkId;
+
+fn main() {
+    let scale = Scale::from_args();
+    let benches: Vec<BenchmarkId> = match std::env::args().nth(2) {
+        None => BenchmarkId::all().to_vec(),
+        Some(list) => BenchmarkId::all()
+            .into_iter()
+            .filter(|b| list.split(',').any(|n| n.eq_ignore_ascii_case(b.name())))
+            .collect(),
+    };
+    eprintln!(
+        "# Table 3 reproduction — scale {}px @ {}nm",
+        scale.grid, scale.pixel_nm
+    );
+    let mut header = vec!["testcase".to_string()];
+    for m in Method::all() {
+        header.push(m.label().to_string());
+    }
+    let mut rows = Vec::new();
+    let mut sums = vec![0.0f64; Method::all().len()];
+    for &bench in &benches {
+        let mut row = vec![bench.name().to_string()];
+        for (mi, method) in Method::all().into_iter().enumerate() {
+            eprintln!("timing {} on {bench}...", method.label());
+            let (_mask, runtime) = synthesize(method, bench, scale);
+            row.push(format!("{runtime:.1}"));
+            sums[mi] += runtime;
+        }
+        rows.push(row);
+    }
+    let mut avg = vec!["average".to_string()];
+    for s in &sums {
+        avg.push(format!("{:.1}", s / benches.len().max(1) as f64));
+    }
+    rows.push(avg);
+    println!("\nTable 3: runtime comparison (seconds)");
+    println!("{}", format_table(&header, &rows));
+}

@@ -1,0 +1,73 @@
+//! Error type for MOSAIC problem construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from assembling or running an OPC problem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The clip does not fit on the simulation grid.
+    ClipTooLarge {
+        /// Clip size in pixels.
+        clip_px: (usize, usize),
+        /// Simulation grid size in pixels.
+        grid_px: (usize, usize),
+    },
+    /// The optics configuration was rejected.
+    Optics(mosaic_optics::OpticsError),
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ClipTooLarge { clip_px, grid_px } => write!(
+                f,
+                "clip ({}x{} px) does not fit on the simulation grid ({}x{} px)",
+                clip_px.0, clip_px.1, grid_px.0, grid_px.1
+            ),
+            CoreError::Optics(e) => write!(f, "optics: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Optics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mosaic_optics::OpticsError> for CoreError {
+    fn from(e: mosaic_optics::OpticsError) -> Self {
+        CoreError::Optics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::ClipTooLarge {
+            clip_px: (1024, 1024),
+            grid_px: (512, 512),
+        };
+        assert!(e.to_string().contains("does not fit"));
+        assert!(CoreError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid configuration"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,243 @@
+//! High-level MOSAIC driver: layout in, optimized mask out.
+
+use crate::error::CoreError;
+use crate::objective::TargetTerm;
+use crate::optimizer::{optimize, OptimizationConfig, OptimizationResult};
+use crate::problem::OpcProblem;
+use crate::sraf::SrafRules;
+use mosaic_geometry::Layout;
+use mosaic_numerics::Grid;
+use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+
+/// Which MOSAIC variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosaicMode {
+    /// `F_fast = α·F_id + β·F_pvb` (Eq. (20)) — efficient gradients.
+    Fast,
+    /// `F_exact = α·F_epe + β·F_pvb` (Eq. (19)) — direct EPE
+    /// minimization; best quality, more sample-dependent cost.
+    Exact,
+}
+
+/// Everything needed to set up a MOSAIC run.
+#[derive(Debug, Clone)]
+pub struct MosaicConfig {
+    /// Projection optics and simulation grid.
+    pub optics: OpticsConfig,
+    /// Resist model (Eq. (3)–(4)).
+    pub resist: ResistModel,
+    /// Process conditions; index 0 must be nominal.
+    pub conditions: Vec<ProcessCondition>,
+    /// EPE sample spacing along edges, nm (40 in the contest).
+    pub epe_spacing_nm: i64,
+    /// Optimizer knobs (Alg. 1 + objective weights).
+    pub opt: OptimizationConfig,
+    /// SRAF rules for the initial mask; `None` seeds from the bare
+    /// target.
+    pub sraf: Option<SrafRules>,
+}
+
+impl MosaicConfig {
+    /// The paper's full setup: contest optics at the given grid/pixel,
+    /// 24 kernels, the ±25 nm / ±2 % process window, 40 nm EPE samples
+    /// and contest SRAF rules.
+    ///
+    /// `contest(1024, 1.0)` is the full-resolution configuration;
+    /// `contest(512, 2.0)` covers the same physical window four times
+    /// faster per FFT axis.
+    ///
+    /// The descent budget is resolution-aware: one max-normalized step
+    /// moves `P` by at most `step_size`, so covering the same *physical*
+    /// mask correction at a finer pixel pitch needs proportionally more
+    /// step × iterations (calibrated on B9: fixed budget leaves the EPE
+    /// objective half-converged at 2 nm pixels).
+    pub fn contest(grid: usize, pixel_nm: f64) -> Self {
+        let mut opt = OptimizationConfig::default();
+        // step 3 / 20 iterations at the 4 nm calibration pitch, scaling
+        // the combined budget ~linearly with resolution.
+        let fine = (4.0 / pixel_nm).max(1.0);
+        opt.step_size = 3.0 * fine.powf(0.75);
+        opt.max_iterations = (20.0 * fine.powf(0.6)).round() as usize;
+        MosaicConfig {
+            optics: OpticsConfig::contest_32nm(grid, pixel_nm),
+            resist: ResistModel::paper(),
+            conditions: ProcessCondition::contest_window(),
+            epe_spacing_nm: 40,
+            opt,
+            sraf: Some(SrafRules::contest()),
+        }
+    }
+
+    /// A reduced preset for tests, examples and docs: 8 kernels, a
+    /// 3-condition window, 8 iterations. Same physics, ~10× cheaper.
+    pub fn fast_preset(grid: usize, pixel_nm: f64) -> Self {
+        let optics = OpticsConfig::builder()
+            .grid(grid, grid)
+            .pixel_nm(pixel_nm)
+            .kernel_count(8)
+            .build()
+            .expect("preset optics are valid");
+        let mut opt = OptimizationConfig::default();
+        opt.max_iterations = 8;
+        MosaicConfig {
+            optics,
+            resist: ResistModel::paper(),
+            conditions: vec![
+                ProcessCondition::NOMINAL,
+                ProcessCondition::new(25.0, 0.98),
+                ProcessCondition::new(-25.0, 1.02),
+            ],
+            epe_spacing_nm: 40,
+            opt,
+            sraf: Some(SrafRules::contest()),
+        }
+    }
+}
+
+/// A MOSAIC run bound to one layout: holds the assembled problem and the
+/// SRAF-seeded initial mask.
+#[derive(Debug)]
+pub struct Mosaic {
+    problem: OpcProblem,
+    opt: OptimizationConfig,
+    initial_mask: Grid<f64>,
+}
+
+impl Mosaic {
+    /// Assembles the problem and the initial mask for `layout`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from problem assembly (clip too large,
+    /// invalid optics/configuration).
+    pub fn new(layout: &Layout, config: MosaicConfig) -> Result<Self, CoreError> {
+        config
+            .opt
+            .validate()
+            .map_err(CoreError::InvalidConfig)?;
+        let problem = OpcProblem::from_layout(
+            layout,
+            &config.optics,
+            config.resist,
+            config.conditions.clone(),
+            config.epe_spacing_nm,
+        )?;
+        let initial_layout = match &config.sraf {
+            Some(rules) => rules.apply(layout),
+            None => layout.clone(),
+        };
+        let pixel = config.optics.pixel_nm.round() as i64;
+        let clip_mask = initial_layout.rasterize(pixel);
+        let initial_mask = clip_mask.embed_centered(config.optics.grid_width, config.optics.grid_height);
+        Ok(Mosaic {
+            problem,
+            opt: config.opt,
+            initial_mask,
+        })
+    }
+
+    /// The assembled problem (simulator, target, samples).
+    pub fn problem(&self) -> &OpcProblem {
+        &self.problem
+    }
+
+    /// The SRAF-seeded initial mask on the simulation grid.
+    pub fn initial_mask(&self) -> &Grid<f64> {
+        &self.initial_mask
+    }
+
+    /// The optimizer configuration in effect.
+    pub fn optimization_config(&self) -> &OptimizationConfig {
+        &self.opt
+    }
+
+    /// Runs the selected MOSAIC variant.
+    pub fn run(&self, mode: MosaicMode) -> OptimizationResult {
+        let mut cfg = self.opt.clone();
+        cfg.target_term = match mode {
+            MosaicMode::Fast => TargetTerm::ImageDifference,
+            MosaicMode::Exact => TargetTerm::EdgePlacement,
+        };
+        optimize(&self.problem, &cfg, &self.initial_mask)
+    }
+
+    /// Runs MOSAIC_fast (Eq. (20)).
+    pub fn run_fast(&self) -> OptimizationResult {
+        self.run(MosaicMode::Fast)
+    }
+
+    /// Runs MOSAIC_exact (Eq. (19)).
+    pub fn run_exact(&self) -> OptimizationResult {
+        self.run(MosaicMode::Exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_geometry::{Polygon, Rect};
+
+    fn layout() -> Layout {
+        let mut l = Layout::new(512, 512);
+        l.push(Polygon::from_rect(Rect::new(200, 120, 310, 390)));
+        l
+    }
+
+    fn mosaic() -> Mosaic {
+        Mosaic::new(&layout(), MosaicConfig::fast_preset(128, 4.0)).unwrap()
+    }
+
+    #[test]
+    fn initial_mask_includes_srafs() {
+        let m = mosaic();
+        let bare = m.problem().target();
+        // SRAF bars add lit pixels beyond the bare target.
+        let lit_initial: usize = m.initial_mask().iter().filter(|&&v| v > 0.5).count();
+        let lit_target: usize = bare.iter().filter(|&&v| v > 0.5).count();
+        assert!(
+            lit_initial > lit_target,
+            "initial {lit_initial} vs target {lit_target}"
+        );
+    }
+
+    #[test]
+    fn sraf_none_seeds_from_bare_target() {
+        let mut config = MosaicConfig::fast_preset(128, 4.0);
+        config.sraf = None;
+        let m = Mosaic::new(&layout(), config).unwrap();
+        assert_eq!(m.initial_mask(), m.problem().target());
+    }
+
+    #[test]
+    fn fast_and_exact_both_improve_objective() {
+        let m = mosaic();
+        for mode in [MosaicMode::Fast, MosaicMode::Exact] {
+            let r = m.run(mode);
+            let first = r.history.first().unwrap().report.total;
+            assert!(
+                r.best_report().total <= first,
+                "{mode:?}: {first} -> {}",
+                r.best_report().total
+            );
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let m = mosaic();
+        let a = m.run_fast();
+        let b = m.run_fast();
+        assert_eq!(a.binary_mask, b.binary_mask);
+        assert_eq!(a.best_iteration, b.best_iteration);
+    }
+
+    #[test]
+    fn invalid_opt_config_is_rejected() {
+        let mut config = MosaicConfig::fast_preset(128, 4.0);
+        config.opt.gamma = 0.0;
+        assert!(matches!(
+            Mosaic::new(&layout(), config),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,489 @@
+//! Objective terms and closed-form gradients (§3.2–§3.5).
+//!
+//! All three terms share one structure: a scalar field `G = ∂F/∂I` on the
+//! image plane, pushed back through the imaging system by the adjoint of
+//! the convolution. For the SOCS model `I = dose·Σ_k w_k |M ⊗ h_k|²`,
+//!
+//! ```text
+//! ∂F/∂M = 2·dose · Σ_k w_k · Re[ (G ⊙ (M ⊗ h_k)) ★ h_k ]
+//! ```
+//!
+//! where `★` is cross-correlation with the conjugated kernel (the
+//! `H*(−x)` terms of Eq. (14)/(17)). Two gradient modes are provided:
+//!
+//! * [`GradientMode::PerKernel`] — the exact adjoint, one correlation per
+//!   kernel per condition;
+//! * [`GradientMode::Combined`] — the paper's Eq. (21) speedup: kernels
+//!   are pre-combined into `H = Σ_k w_k h_k`, collapsing the sum to a
+//!   single convolution and a single correlation per condition (this is
+//!   the form actually written in Eq. (14) and Eq. (17)).
+//!
+//! The terms:
+//!
+//! * **F_id** (Eq. (16)) — image difference `Σ |Z_nom − Z_t|^γ`, γ = 4 by
+//!   default; `∂F/∂Z = γ·|Z−Z_t|^{γ−1}·sign(Z−Z_t)`.
+//! * **F_epe** (Eq. (9)–(14)) — for every EPE site, `Dsum` accumulates
+//!   the squared image error along the edge normal over a `±th_epe`
+//!   window; since `D ∈ {0,1}` on near-binary images, `Dsum` counts
+//!   displaced pixels and so *is* the |EPE| in pixels. A sigmoid with
+//!   steepness `θ_epe` turns `Dsum ≥ th_epe` into a differentiable
+//!   violation indicator, and the objective is the smoothed violation
+//!   count.
+//! * **F_pvb** (Eq. (18)) — `Σ_corners Σ (Z_c − Z_t)²`, pulling every
+//!   corner's printed edge toward the target to shrink the PV band.
+
+use crate::mask::MaskState;
+use crate::optimizer::OptimizationConfig;
+use crate::problem::OpcProblem;
+use mosaic_geometry::Orientation;
+use mosaic_numerics::{Complex, Convolver, Grid, KernelSpectrum};
+use mosaic_optics::KernelSet;
+
+/// How the gradient folds the kernel bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GradientMode {
+    /// Exact adjoint: one correlation per kernel (h× the convolutions).
+    PerKernel,
+    /// Eq. (21): kernels pre-combined into `H = Σ w_k h_k` — the paper's
+    /// formulation and default.
+    #[default]
+    Combined,
+}
+
+/// Which design-target term the objective uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TargetTerm {
+    /// Image difference `F_id` (Eq. (16)) — MOSAIC_fast.
+    #[default]
+    ImageDifference,
+    /// Direct EPE-violation minimization `F_epe` (Eq. (12)) —
+    /// MOSAIC_exact.
+    EdgePlacement,
+}
+
+/// Scalar breakdown of one objective evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ObjectiveReport {
+    /// `α·target + β·pvb`.
+    pub total: f64,
+    /// Weighted design-target term (`α·F_epe` or `α·F_id`).
+    pub target: f64,
+    /// Weighted process-window term `β·F_pvb`.
+    pub pvb: f64,
+}
+
+/// One evaluation: the report plus the gradient w.r.t. the unconstrained
+/// variables `P`.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Objective values.
+    pub report: ObjectiveReport,
+    /// `∂F/∂P` on the simulation grid.
+    pub gradient: Grid<f64>,
+}
+
+/// A reusable objective evaluator bound to one problem and configuration.
+///
+/// Construction precomputes the combined kernel spectrum of every
+/// condition (Eq. (21)), so repeated evaluations only pay FFTs.
+#[derive(Debug)]
+pub struct Objective<'a> {
+    problem: &'a OpcProblem,
+    config: &'a OptimizationConfig,
+    combined: Vec<KernelSpectrum>,
+    epe_threshold_px: usize,
+}
+
+impl<'a> Objective<'a> {
+    /// Binds an evaluator to a problem and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails
+    /// [`OptimizationConfig::validate`](crate::optimizer::OptimizationConfig::validate).
+    pub fn new(problem: &'a OpcProblem, config: &'a OptimizationConfig) -> Self {
+        config.validate().expect("invalid optimization configuration");
+        let sim = problem.simulator();
+        let combined = (0..sim.condition_count())
+            .map(|i| sim.bank(i).combined())
+            .collect();
+        let epe_threshold_px =
+            ((config.epe_threshold_nm / problem.pixel_nm()).round() as usize).max(1);
+        Objective {
+            problem,
+            config,
+            combined,
+            epe_threshold_px,
+        }
+    }
+
+    /// The EPE window half-width in pixels.
+    pub fn epe_threshold_px(&self) -> usize {
+        self.epe_threshold_px
+    }
+
+    /// Evaluates `F` and `∂F/∂P` at the current mask state.
+    pub fn evaluate(&self, state: &MaskState) -> Evaluation {
+        self.evaluate_parameterized(&state.mask(), &state.mask_derivative())
+    }
+
+    /// Evaluates `F` and its gradient for an arbitrary mask
+    /// parameterization: `mask` is the transmission field `M(P)` (values
+    /// may be negative for phase-shifting masks) and `dmask_dp` the
+    /// pixel-wise transform derivative `dM/dP` used for the final chain
+    /// rule. [`evaluate`](Self::evaluate) is the binary-mask
+    /// specialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids' shape differs from the problem grid.
+    pub fn evaluate_parameterized(
+        &self,
+        mask: &Grid<f64>,
+        dmask_dp: &Grid<f64>,
+    ) -> Evaluation {
+        let sim = self.problem.simulator();
+        let conv = sim.convolver();
+        let cfg = self.config;
+        let target = self.problem.target();
+        let pixel_area = self.problem.pixel_nm() * self.problem.pixel_nm();
+
+        assert_eq!(mask.dims(), self.problem.grid_dims(), "mask shape mismatch");
+        assert_eq!(dmask_dp.dims(), mask.dims(), "derivative shape mismatch");
+        let mask_spectrum = sim.mask_spectrum(mask);
+        let (gw, gh) = self.problem.grid_dims();
+        let mut grad_mask = Grid::<f64>::zeros(gw, gh);
+        let mut report = ObjectiveReport::default();
+
+        for c in 0..sim.condition_count() {
+            // Which terms does this condition carry? Skip the forward
+            // simulation entirely when none apply (e.g. corners when
+            // β = 0 — the process-window-blind configuration).
+            let target_active = c == 0;
+            let pvb_active = (c > 0 || cfg.pvb_include_nominal) && cfg.beta > 0.0;
+            if !target_active && !pvb_active {
+                continue;
+            }
+            let bank = sim.bank(c);
+            let per_kernel = cfg.gradient_mode == GradientMode::PerKernel;
+            let (intensity, fields) = if per_kernel {
+                bank.aerial_image_with_fields(conv, &mask_spectrum)
+            } else {
+                (
+                    bank.aerial_image_from_spectrum(conv, &mask_spectrum),
+                    Vec::new(),
+                )
+            };
+            let z = sim.resist().develop(&intensity);
+            // dZ/dI at every pixel.
+            let dz = intensity.map(|&i| sim.resist().sigmoid_derivative(i));
+
+            // Accumulate ∂F/∂I for every term active at this condition.
+            let mut g = Grid::<f64>::zeros(gw, gh);
+
+            if target_active {
+                let (value, df_dz) = match cfg.target_term {
+                    TargetTerm::ImageDifference => self.image_difference(&z, target, pixel_area),
+                    TargetTerm::EdgePlacement => self.epe_violations(&z, target),
+                };
+                report.target = cfg.alpha * value;
+                for ((gv, dv), zv) in g.iter_mut().zip(df_dz.iter()).zip(dz.iter()) {
+                    *gv += cfg.alpha * dv * zv;
+                }
+            }
+            if pvb_active {
+                // F_pvb contribution of this corner: Σ (Z_c − Z_t)².
+                let mut value = 0.0;
+                for ((gv, (zv, tv)), dv) in g
+                    .iter_mut()
+                    .zip(z.iter().zip(target.iter()))
+                    .zip(dz.iter())
+                {
+                    let diff = zv - tv;
+                    value += diff * diff;
+                    *gv += cfg.beta * pixel_area * 2.0 * diff * dv;
+                }
+                report.pvb += cfg.beta * value * pixel_area;
+            }
+
+            let dose = bank.condition().dose;
+            match cfg.gradient_mode {
+                GradientMode::Combined => {
+                    self.backpropagate_combined(
+                        conv,
+                        &mask_spectrum,
+                        &self.combined[c],
+                        &g,
+                        2.0 * dose,
+                        &mut grad_mask,
+                    );
+                }
+                GradientMode::PerKernel => {
+                    self.backpropagate_per_kernel(conv, bank, &fields, &g, 2.0 * dose, &mut grad_mask);
+                }
+            }
+        }
+        report.total = report.target + report.pvb;
+
+        // Chain through the parameterization: ∂F/∂P = ∂F/∂M ⊙ dM/dP.
+        let gradient = grad_mask.zip_map(dmask_dp, |a, b| a * b);
+        Evaluation { report, gradient }
+    }
+
+    /// `F_id = Σ |Z − Z_t|^γ · px²` and `∂F_id/∂Z`.
+    fn image_difference(
+        &self,
+        z: &Grid<f64>,
+        target: &Grid<f64>,
+        pixel_area: f64,
+    ) -> (f64, Grid<f64>) {
+        let gamma = self.config.gamma;
+        let mut value = 0.0;
+        let df = z.zip_map(target, |&zv, &tv| {
+            let diff = zv - tv;
+            value += diff.abs().powf(gamma);
+            pixel_area * gamma * diff.abs().powf(gamma - 1.0) * diff.signum()
+        });
+        (value * pixel_area, df)
+    }
+
+    /// `F_epe = Σ_sites sig(Dsum − th_epe)` and `∂F_epe/∂Z`.
+    ///
+    /// The derivative field is assembled by scattering each site's
+    /// `θ_epe·s·(1−s)` back over its window and multiplying by
+    /// `∂D/∂Z = 2(Z − Z_t)` (Eq. (14)).
+    fn epe_violations(&self, z: &Grid<f64>, target: &Grid<f64>) -> (f64, Grid<f64>) {
+        let (gw, gh) = z.dims();
+        let th = self.epe_threshold_px as i64;
+        let theta = self.config.epe_steepness;
+        let mut value = 0.0;
+        let mut weight = Grid::<f64>::zeros(gw, gh);
+        for sample in self.problem.samples() {
+            let mut dsum = 0.0;
+            let window = |k: i64| -> Option<(usize, usize)> {
+                let (x, y) = match sample.orientation {
+                    Orientation::Horizontal => (sample.x as i64, sample.y as i64 + k),
+                    Orientation::Vertical => (sample.x as i64 + k, sample.y as i64),
+                };
+                (x >= 0 && y >= 0 && (x as usize) < gw && (y as usize) < gh)
+                    .then_some((x as usize, y as usize))
+            };
+            for k in -th..=th {
+                if let Some((x, y)) = window(k) {
+                    let d = z[(x, y)] - target[(x, y)];
+                    dsum += d * d;
+                }
+            }
+            let s = 1.0 / (1.0 + (-theta * (dsum - th as f64)).exp());
+            value += s;
+            let w = theta * s * (1.0 - s);
+            for k in -th..=th {
+                if let Some((x, y)) = window(k) {
+                    weight[(x, y)] += w;
+                }
+            }
+        }
+        let df = weight.zip_map(&z.zip_map(target, |&a, &b| a - b), |&w, &d| w * 2.0 * d);
+        (value, df)
+    }
+
+    /// `∂F/∂M += scale · Re[(G ⊙ (M ⊗ H)) ★ H]` with the combined kernel.
+    fn backpropagate_combined(
+        &self,
+        conv: &Convolver,
+        mask_spectrum: &Grid<Complex>,
+        combined: &KernelSpectrum,
+        g: &Grid<f64>,
+        scale: f64,
+        grad_mask: &mut Grid<f64>,
+    ) {
+        let field = conv.convolve_spectrum(mask_spectrum, combined);
+        let weighted = field.zip_map(g, |&e, &gv| e.scale(gv));
+        let corr = conv.correlate(&weighted, combined);
+        for (acc, c) in grad_mask.iter_mut().zip(corr.iter()) {
+            *acc += scale * c.re;
+        }
+    }
+
+    /// `∂F/∂M += scale · Σ_k w_k Re[(G ⊙ E_k) ★ h_k]` with the exact
+    /// per-kernel adjoint.
+    fn backpropagate_per_kernel(
+        &self,
+        conv: &Convolver,
+        bank: &KernelSet,
+        fields: &[Grid<Complex>],
+        g: &Grid<f64>,
+        scale: f64,
+        grad_mask: &mut Grid<f64>,
+    ) {
+        for (kernel, field) in bank.kernels().iter().zip(fields) {
+            let weighted = field.zip_map(g, |&e, &gv| e.scale(gv));
+            let corr = conv.correlate(&weighted, &kernel.spectrum);
+            let s = scale * kernel.weight;
+            for (acc, c) in grad_mask.iter_mut().zip(corr.iter()) {
+                *acc += s * c.re;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizationConfig;
+    use mosaic_geometry::{Layout, Polygon, Rect};
+    use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+
+    fn problem(conditions: Vec<ProcessCondition>) -> OpcProblem {
+        let mut layout = Layout::new(256, 256);
+        layout.push(Polygon::from_rect(Rect::new(64, 48, 160, 208)));
+        let optics = OpticsConfig::builder()
+            .grid(96, 96)
+            .pixel_nm(4.0)
+            .kernel_count(4)
+            .build()
+            .unwrap();
+        OpcProblem::from_layout(&layout, &optics, ResistModel::paper(), conditions, 40).unwrap()
+    }
+
+    fn config(term: TargetTerm, mode: GradientMode) -> OptimizationConfig {
+        let mut c = OptimizationConfig::default();
+        c.target_term = term;
+        c.gradient_mode = mode;
+        c
+    }
+
+    /// Finite-difference check of the full analytic gradient at a handful
+    /// of pixels.
+    fn check_gradient(term: TargetTerm, mode: GradientMode, conditions: Vec<ProcessCondition>) {
+        let p = problem(conditions);
+        let cfg = config(term, mode);
+        let obj = Objective::new(&p, &cfg);
+        let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
+        let eval = obj.evaluate(&state);
+        // Probe pixels near the pattern edge where gradients are live.
+        let probes = [(40usize, 48usize), (48, 30), (56, 48), (30, 40), (48, 64)];
+        for &(x, y) in &probes {
+            let eps = 1e-4;
+            let mut plus = state.clone();
+            let mut delta = Grid::<f64>::zeros(96, 96);
+            delta[(x, y)] = -1.0; // step() subtracts
+            plus.step(&delta, eps);
+            let f_plus = obj.evaluate(&plus).report.total;
+            let mut minus = state.clone();
+            delta[(x, y)] = 1.0;
+            minus.step(&delta, eps);
+            let f_minus = obj.evaluate(&minus).report.total;
+            let fd = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = eval.gradient[(x, y)];
+            let tol = 1e-4 * (1.0 + analytic.abs().max(fd.abs()));
+            assert!(
+                (fd - analytic).abs() < tol,
+                "{term:?}/{mode:?} at ({x},{y}): fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_difference_gradient_matches_finite_difference() {
+        check_gradient(
+            TargetTerm::ImageDifference,
+            GradientMode::PerKernel,
+            ProcessCondition::nominal_only(),
+        );
+    }
+
+    #[test]
+    fn epe_gradient_matches_finite_difference() {
+        check_gradient(
+            TargetTerm::EdgePlacement,
+            GradientMode::PerKernel,
+            ProcessCondition::nominal_only(),
+        );
+    }
+
+    #[test]
+    fn pvb_gradient_matches_finite_difference() {
+        check_gradient(
+            TargetTerm::ImageDifference,
+            GradientMode::PerKernel,
+            vec![
+                ProcessCondition::NOMINAL,
+                ProcessCondition::new(25.0, 0.98),
+                ProcessCondition::new(-25.0, 1.02),
+            ],
+        );
+    }
+
+    #[test]
+    fn combined_mode_is_self_consistent() {
+        // The combined-kernel gradient is the exact gradient of the
+        // *approximated* system I ≈ |M ⊗ H|²; here we only require that
+        // it points downhill for the true objective.
+        let p = problem(ProcessCondition::nominal_only());
+        let cfg = config(TargetTerm::ImageDifference, GradientMode::Combined);
+        let obj = Objective::new(&p, &cfg);
+        let mut state = MaskState::from_mask(p.target(), cfg.mask_steepness);
+        let e0 = obj.evaluate(&state);
+        let max = e0.gradient.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(max > 0.0, "gradient identically zero");
+        let normalized = e0.gradient.map(|&g| g / max);
+        state.step(&normalized, 0.5);
+        let e1 = obj.evaluate(&state);
+        assert!(
+            e1.report.total < e0.report.total,
+            "combined-mode step did not descend: {} -> {}",
+            e0.report.total,
+            e1.report.total
+        );
+    }
+
+    #[test]
+    fn perfect_print_would_zero_the_target_term() {
+        // If Z equals the target exactly, F_id is 0; with a real optical
+        // system it cannot be, so the term must be positive.
+        let p = problem(ProcessCondition::nominal_only());
+        let cfg = config(TargetTerm::ImageDifference, GradientMode::Combined);
+        let obj = Objective::new(&p, &cfg);
+        let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
+        let eval = obj.evaluate(&state);
+        assert!(eval.report.target > 0.0);
+        assert_eq!(eval.report.pvb, 0.0, "no corners -> no PVB term");
+    }
+
+    #[test]
+    fn pvb_term_counts_corners_only_by_default() {
+        let p = problem(vec![
+            ProcessCondition::NOMINAL,
+            ProcessCondition::new(25.0, 0.98),
+        ]);
+        let cfg = config(TargetTerm::ImageDifference, GradientMode::Combined);
+        let obj = Objective::new(&p, &cfg);
+        let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
+        let eval = obj.evaluate(&state);
+        assert!(eval.report.pvb > 0.0);
+        let sum = eval.report.target + eval.report.pvb;
+        assert!((eval.report.total - sum).abs() <= 1e-12 * sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn epe_term_counts_between_zero_and_sample_count() {
+        let p = problem(ProcessCondition::nominal_only());
+        let cfg = config(TargetTerm::EdgePlacement, GradientMode::Combined);
+        let obj = Objective::new(&p, &cfg);
+        let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
+        let eval = obj.evaluate(&state);
+        let smoothed_count = eval.report.target / cfg.alpha;
+        assert!(smoothed_count >= 0.0);
+        assert!(smoothed_count <= p.samples().len() as f64);
+    }
+
+    #[test]
+    fn epe_threshold_converts_nm_to_pixels() {
+        let p = problem(ProcessCondition::nominal_only());
+        let mut cfg = config(TargetTerm::EdgePlacement, GradientMode::Combined);
+        cfg.epe_threshold_nm = 16.0;
+        let obj = Objective::new(&p, &cfg);
+        assert_eq!(obj.epe_threshold_px(), 4); // 16 nm / 4 nm px
+    }
+}

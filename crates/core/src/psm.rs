@@ -1,0 +1,362 @@
+//! Phase-shifting mask (PSM) inverse lithography.
+//!
+//! The paper's reference 10 (Ma & Arce, "Generalized inverse
+//! lithography methods for phase-shifting mask design") extends
+//! pixel-based ILT from binary masks to strong PSMs whose pixels
+//! transmit with a 0° or 180° phase: `M(x) ∈ {−1, 0, +1}`. Destructive
+//! interference between opposite-phase regions steepens image slopes
+//! beyond anything a binary mask can do.
+//!
+//! Everything downstream of the mask is unchanged — the coherent fields
+//! `M ⊗ h_k` and the intensity `Σ w_k |M ⊗ h_k|²` are well-defined for
+//! negative transmission — so this module only swaps the
+//! parameterization:
+//!
+//! ```text
+//! M = 2·sig(P) − 1 ∈ (−1, 1),    dM/dP = 2·θ_M·sig·(1 − sig)
+//! ```
+//!
+//! and quantizes the result to three levels with thresholds at ±½.
+//! The shared objective machinery ([`Objective::evaluate_parameterized`])
+//! supplies values and gradients.
+
+use crate::objective::Objective;
+use crate::optimizer::{IterationRecord, OptimizationConfig};
+use crate::problem::OpcProblem;
+use mosaic_numerics::{stats, Grid};
+
+/// Unconstrained variables for a three-level PSM.
+///
+/// ```
+/// use mosaic_numerics::Grid;
+/// use mosaic_core::psm::PsmState;
+///
+/// // Seed from a binary target: the seed maps {0, 1} to transmissions
+/// // {-0.46, +0.46}, leaving every pixel short of a committed phase so
+/// // optimization can push it either way.
+/// let target = Grid::from_fn(4, 4, |x, _| (x >= 2) as i32 as f64);
+/// let state = PsmState::from_mask(&target, 4.0);
+/// let m = state.mask();
+/// assert!(m[(3, 0)] > 0.4 && m[(0, 0)] < -0.4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PsmState {
+    p: Grid<f64>,
+    theta_m: f64,
+}
+
+impl PsmState {
+    /// Seeds from a (binary) mask: `P = (2·M₀ − 1) · ¼`, placing bright
+    /// pixels at `M ≈ +0.46` and dark pixels at `M ≈ −0.46` for
+    /// `θ_M = 4` — live gradients everywhere, no pixel committed to a
+    /// phase yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta_m` is not positive.
+    pub fn from_mask(initial: &Grid<f64>, theta_m: f64) -> Self {
+        assert!(theta_m > 0.0, "mask steepness must be positive");
+        PsmState {
+            p: initial.map(|&m| (2.0 * m - 1.0) * 0.25),
+            theta_m,
+        }
+    }
+
+    /// The continuous transmission field `M = 2·sig(P) − 1 ∈ (−1, 1)`.
+    pub fn mask(&self) -> Grid<f64> {
+        let t = self.theta_m;
+        self.p.map(|&p| 2.0 / (1.0 + (-t * p).exp()) - 1.0)
+    }
+
+    /// The transform derivative `dM/dP = 2·θ_M·sig·(1 − sig)`.
+    pub fn mask_derivative(&self) -> Grid<f64> {
+        let t = self.theta_m;
+        self.p.map(|&p| {
+            let s = 1.0 / (1.0 + (-t * p).exp());
+            2.0 * t * s * (1.0 - s)
+        })
+    }
+
+    /// Gradient-descent update `P ← P − step·g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape differs.
+    pub fn step(&mut self, gradient: &Grid<f64>, step_size: f64) {
+        assert_eq!(self.p.dims(), gradient.dims(), "gradient shape mismatch");
+        for (p, g) in self.p.iter_mut().zip(gradient.iter()) {
+            *p -= step_size * g;
+        }
+    }
+
+    /// Quantizes to the three physical levels: `+1` above `M = 0.5`,
+    /// `−1` below `−0.5`, `0` between.
+    pub fn quantized(&self) -> Grid<f64> {
+        self.mask().map(|&m| {
+            if m > 0.5 {
+                1.0
+            } else if m < -0.5 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// The raw variables (for best-iterate bookkeeping).
+    pub fn variables(&self) -> &Grid<f64> {
+        &self.p
+    }
+
+    /// Replaces the variables (restoring a best iterate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs.
+    pub fn restore(&mut self, variables: Grid<f64>) {
+        assert_eq!(self.p.dims(), variables.dims(), "variable shape mismatch");
+        self.p = variables;
+    }
+}
+
+/// Result of a PSM optimization run.
+#[derive(Debug, Clone)]
+pub struct PsmResult {
+    /// Continuous transmission field of the best iterate.
+    pub mask: Grid<f64>,
+    /// Three-level quantized mask (`−1`, `0`, `+1`).
+    pub quantized_mask: Grid<f64>,
+    /// Per-iteration telemetry.
+    pub history: Vec<IterationRecord>,
+    /// Index of the best iterate.
+    pub best_iteration: usize,
+}
+
+/// Runs Alg. 1 with the PSM parameterization.
+///
+/// Identical loop structure to [`crate::optimizer::optimize`] (fixed
+/// normalized steps, jump technique, best-iterate tracking) — only the
+/// mask transform differs.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration or mismatched initial-mask shape.
+pub fn optimize_psm(
+    problem: &OpcProblem,
+    config: &OptimizationConfig,
+    initial_mask: &Grid<f64>,
+) -> PsmResult {
+    config.validate().expect("invalid optimization configuration");
+    assert_eq!(
+        initial_mask.dims(),
+        problem.grid_dims(),
+        "initial mask shape mismatch"
+    );
+    let objective = Objective::new(problem, config);
+    let mut state = PsmState::from_mask(initial_mask, config.mask_steepness);
+    let mut history = Vec::with_capacity(config.max_iterations);
+    let mut best_value = f64::INFINITY;
+    let mut best_vars = state.variables().clone();
+    let mut best_iteration = 0;
+    let mut stagnant = 0usize;
+    let mut prev_value = f64::INFINITY;
+
+    for iteration in 0..config.max_iterations {
+        let eval = objective.evaluate_parameterized(&state.mask(), &state.mask_derivative());
+        let value = eval.report.total;
+        if value < best_value {
+            best_value = value;
+            best_vars = state.variables().clone();
+            best_iteration = iteration;
+        }
+        let rms = stats::grid_rms(&eval.gradient);
+        if prev_value.is_finite() {
+            let improvement = (prev_value - value) / prev_value.abs().max(1e-12);
+            if improvement < 1e-4 {
+                stagnant += 1;
+            } else {
+                stagnant = 0;
+            }
+        }
+        prev_value = value;
+        let jump = config.jump_enabled && stagnant >= config.jump_patience;
+        if jump {
+            stagnant = 0;
+        }
+        let step = if jump {
+            config.step_size * config.jump_factor
+        } else {
+            config.step_size
+        };
+        history.push(IterationRecord {
+            iteration,
+            report: eval.report,
+            gradient_rms: rms,
+            step,
+            jumped: jump,
+        });
+        if rms < config.gradient_tolerance {
+            break;
+        }
+        let direction = if config.normalize_gradient {
+            let max = stats::max_abs(eval.gradient.as_slice());
+            if max > 0.0 {
+                eval.gradient.map(|&g| g / max)
+            } else {
+                eval.gradient
+            }
+        } else {
+            eval.gradient
+        };
+        state.step(&direction, step);
+    }
+    state.restore(best_vars);
+    PsmResult {
+        mask: state.mask(),
+        quantized_mask: state.quantized(),
+        history,
+        best_iteration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::MaskState;
+    use mosaic_geometry::{Layout, Polygon, Rect};
+    use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+
+    fn problem() -> OpcProblem {
+        let mut layout = Layout::new(256, 256);
+        layout.push(Polygon::from_rect(Rect::new(64, 48, 160, 208)));
+        let optics = OpticsConfig::builder()
+            .grid(96, 96)
+            .pixel_nm(4.0)
+            .kernel_count(4)
+            .build()
+            .unwrap();
+        OpcProblem::from_layout(
+            &layout,
+            &optics,
+            ResistModel::paper(),
+            ProcessCondition::nominal_only(),
+            40,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transmission_stays_in_open_interval() {
+        let p = problem();
+        let state = PsmState::from_mask(p.target(), 4.0);
+        for &m in state.mask().iter() {
+            assert!(m > -1.0 && m < 1.0);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let p = problem();
+        let mut state = PsmState::from_mask(p.target(), 4.0);
+        let d = state.mask_derivative();
+        let m0 = state.mask();
+        let eps = 1e-6;
+        state.step(&Grid::filled(96, 96, -1.0), eps);
+        let m1 = state.mask();
+        for ((a, b), dv) in m1.iter().zip(m0.iter()).zip(d.iter()) {
+            let fd = (a - b) / eps;
+            assert!((fd - dv).abs() < 1e-5, "fd {fd} vs {dv}");
+        }
+    }
+
+    #[test]
+    fn quantization_is_three_level() {
+        let p = problem();
+        let cfg = OptimizationConfig {
+            max_iterations: 4,
+            ..OptimizationConfig::default()
+        };
+        let result = optimize_psm(&p, &cfg, p.target());
+        for &v in result.quantized_mask.iter() {
+            assert!(v == -1.0 || v == 0.0 || v == 1.0, "level {v}");
+        }
+    }
+
+    #[test]
+    fn psm_objective_descends() {
+        let p = problem();
+        let cfg = OptimizationConfig {
+            max_iterations: 8,
+            ..OptimizationConfig::default()
+        };
+        let result = optimize_psm(&p, &cfg, p.target());
+        let first = result.history.first().unwrap().report.total;
+        let best = result.history[result.best_iteration].report.total;
+        assert!(best < first, "{first} -> {best}");
+    }
+
+    #[test]
+    fn psm_gradient_matches_finite_difference_through_objective() {
+        let p = problem();
+        let mut cfg = OptimizationConfig::default();
+        // The combined mode (Eq. 21) is an approximation; only the
+        // per-kernel adjoint is the exact gradient an FD check can match.
+        cfg.gradient_mode = crate::objective::GradientMode::PerKernel;
+        let objective = Objective::new(&p, &cfg);
+        let state = PsmState::from_mask(p.target(), cfg.mask_steepness);
+        let eval = objective.evaluate_parameterized(&state.mask(), &state.mask_derivative());
+        for &(x, y) in &[(40usize, 48usize), (48, 30), (30, 40)] {
+            // The objective is O(10^6) (α-weighted), so FFT round-off in
+            // f is ~1e-9 relative ≈ 1e-3 absolute; a larger eps keeps the
+            // central difference above that noise floor.
+            let eps = 1e-3;
+            let mut plus = state.clone();
+            let mut delta = Grid::<f64>::zeros(96, 96);
+            delta[(x, y)] = -1.0;
+            plus.step(&delta, eps);
+            let f_plus = objective
+                .evaluate_parameterized(&plus.mask(), &plus.mask_derivative())
+                .report
+                .total;
+            let mut minus = state.clone();
+            delta[(x, y)] = 1.0;
+            minus.step(&delta, eps);
+            let f_minus = objective
+                .evaluate_parameterized(&minus.mask(), &minus.mask_derivative())
+                .report
+                .total;
+            let fd = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = eval.gradient[(x, y)];
+            let tol = 0.02 * fd.abs().max(analytic.abs()) + 1e-3;
+            assert!(
+                (fd - analytic).abs() < tol,
+                "at ({x},{y}): fd {fd} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_is_phase_neutral() {
+        // No pixel of the fresh seed is quantized to ±1 yet.
+        let p = problem();
+        let state = PsmState::from_mask(p.target(), 4.0);
+        for &v in state.quantized().iter() {
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    /// PSM and binary ILT share the objective; from identical continuous
+    /// masks they must report identical objective values.
+    #[test]
+    fn psm_and_binary_objectives_agree_on_shared_masks() {
+        let p = problem();
+        let cfg = OptimizationConfig::default();
+        let objective = Objective::new(&p, &cfg);
+        let binary_state = MaskState::from_mask(p.target(), cfg.mask_steepness);
+        let from_state = objective.evaluate(&binary_state);
+        let explicit = objective
+            .evaluate_parameterized(&binary_state.mask(), &binary_state.mask_derivative());
+        assert_eq!(from_state.report.total, explicit.report.total);
+        assert_eq!(from_state.gradient, explicit.gradient);
+    }
+}

@@ -1,0 +1,220 @@
+//! Rule-based sub-resolution assist feature (SRAF) insertion.
+//!
+//! Line 2 of Alg. 1 seeds the optimization with "Z_t with rule-based
+//! SRAF": thin scattering bars placed parallel to pattern edges. The bars
+//! are too narrow to print but steepen the image slope at the main
+//! feature edges, giving gradient descent a better basin than the bare
+//! target.
+//!
+//! The rule here is the classic one: for every sufficiently long edge
+//! with clear space beyond it, drop one assist bar at a fixed distance,
+//! trimmed at the ends and skipped entirely when it cannot keep clearance
+//! from other geometry (including previously placed SRAFs).
+
+use mosaic_geometry::{Layout, Orientation, Rect};
+
+/// SRAF placement rules, in nm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrafRules {
+    /// Bar width — must stay sub-resolution (the default 30 nm is well
+    /// under the ~87 nm Rayleigh resolution of the contest optics).
+    pub width_nm: i64,
+    /// Edge-to-bar spacing.
+    pub distance_nm: i64,
+    /// Minimum main-feature edge length that receives a bar.
+    pub min_edge_nm: i64,
+    /// How much each bar end is pulled back from the edge ends.
+    pub end_margin_nm: i64,
+    /// Minimum clearance between a bar and any other geometry.
+    pub clearance_nm: i64,
+}
+
+impl SrafRules {
+    /// Conservative defaults for the 193 nm / NA 1.35 contest optics.
+    pub fn contest() -> Self {
+        SrafRules {
+            width_nm: 30,
+            distance_nm: 100,
+            min_edge_nm: 120,
+            end_margin_nm: 10,
+            clearance_nm: 40,
+        }
+    }
+
+    /// Proposes assist bars for every qualifying edge of `layout`.
+    ///
+    /// Bars are returned in deterministic edge order; each is guaranteed
+    /// to lie inside the clip and keep [`clearance_nm`](Self::clearance_nm)
+    /// from every target shape and every earlier bar (bounding-box test —
+    /// exact for the rectilinear benchmark geometry used here).
+    pub fn generate(&self, layout: &Layout) -> Vec<Rect> {
+        let mut srafs: Vec<Rect> = Vec::new();
+        let shape_boxes: Vec<Rect> = layout
+            .shapes()
+            .iter()
+            .map(|p| p.bounding_box())
+            .collect();
+        for (shape_idx, edge) in layout.edge_segments() {
+            if edge.length() < self.min_edge_nm {
+                continue;
+            }
+            let polygon = &layout.shapes()[shape_idx];
+            let (nx, ny) = polygon.outward_normal(edge);
+            let (ax0, ax1) = match edge.orientation() {
+                Orientation::Horizontal => (
+                    edge.start.x.min(edge.end.x) + self.end_margin_nm,
+                    edge.start.x.max(edge.end.x) - self.end_margin_nm,
+                ),
+                Orientation::Vertical => (
+                    edge.start.y.min(edge.end.y) + self.end_margin_nm,
+                    edge.start.y.max(edge.end.y) - self.end_margin_nm,
+                ),
+            };
+            if ax1 - ax0 < self.min_edge_nm / 2 {
+                continue;
+            }
+            let bar = match edge.orientation() {
+                Orientation::Horizontal => {
+                    let edge_y = edge.start.y;
+                    let y0 = if ny < 0 {
+                        edge_y - self.distance_nm - self.width_nm
+                    } else {
+                        edge_y + self.distance_nm
+                    };
+                    Rect::new(ax0, y0, ax1, y0 + self.width_nm)
+                }
+                Orientation::Vertical => {
+                    let edge_x = edge.start.x;
+                    let x0 = if nx < 0 {
+                        edge_x - self.distance_nm - self.width_nm
+                    } else {
+                        edge_x + self.distance_nm
+                    };
+                    Rect::new(x0, ax0, x0 + self.width_nm, ax1)
+                }
+            };
+            if !layout.extent().contains_rect(&bar) {
+                continue;
+            }
+            let inflated = bar.inflate(self.clearance_nm);
+            let clear = shape_boxes.iter().all(|b| !b.overlaps(&inflated))
+                && srafs.iter().all(|s| !s.overlaps(&inflated));
+            if clear {
+                srafs.push(bar);
+            }
+        }
+        srafs
+    }
+
+    /// Returns `layout` plus its assist bars — the "Z_t with rule-based
+    /// SRAF" initial *mask* of Alg. 1 (the bars are mask-only; the
+    /// optimization target stays the original layout).
+    pub fn apply(&self, layout: &Layout) -> Layout {
+        let mut out = layout.clone();
+        for bar in self.generate(layout) {
+            out.push(mosaic_geometry::Polygon::from_rect(bar));
+        }
+        out
+    }
+}
+
+impl Default for SrafRules {
+    fn default() -> Self {
+        SrafRules::contest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_geometry::Polygon;
+
+    fn iso_line() -> Layout {
+        let mut l = Layout::new(1024, 1024);
+        l.push(Polygon::from_rect(Rect::new(477, 240, 547, 784)));
+        l
+    }
+
+    #[test]
+    fn isolated_line_gets_flanking_bars() {
+        let rules = SrafRules::contest();
+        let srafs = rules.generate(&iso_line());
+        // The two long vertical edges each qualify; short horizontal ends
+        // (70 nm) do not.
+        assert_eq!(srafs.len(), 2, "got {srafs:?}");
+        let left = srafs.iter().find(|r| r.x1 <= 477).expect("left bar");
+        let right = srafs.iter().find(|r| r.x0 >= 547).expect("right bar");
+        assert_eq!(left.width(), 30);
+        assert_eq!(477 - left.x1, 100);
+        assert_eq!(right.x0 - 547, 100);
+    }
+
+    #[test]
+    fn bars_keep_clearance_from_all_shapes() {
+        let mut l = iso_line();
+        // A second line 150 nm to the right: the facing bars would sit
+        // 100 nm out with 30 nm width, leaving 20 nm < 40 nm clearance,
+        // so the facing sides must be skipped.
+        l.push(Polygon::from_rect(Rect::new(697, 240, 767, 784)));
+        let rules = SrafRules::contest();
+        let srafs = rules.generate(&l);
+        for bar in &srafs {
+            let inflated = bar.inflate(rules.clearance_nm - 1);
+            for shape in l.shapes() {
+                assert!(
+                    !shape.bounding_box().overlaps(&inflated),
+                    "bar {bar} too close to {}",
+                    shape.bounding_box()
+                );
+            }
+        }
+        // Outer sides still get bars.
+        assert!(srafs.iter().any(|r| r.x1 < 477));
+        assert!(srafs.iter().any(|r| r.x0 > 767));
+        // Facing sides do not.
+        assert!(!srafs.iter().any(|r| r.x0 > 547 && r.x1 < 697));
+    }
+
+    #[test]
+    fn short_edges_get_no_bars() {
+        let mut l = Layout::new(1024, 1024);
+        l.push(Polygon::from_rect(Rect::new(480, 480, 560, 560)));
+        // 80 nm edges < min_edge_nm = 120.
+        assert!(SrafRules::contest().generate(&l).is_empty());
+    }
+
+    #[test]
+    fn bars_near_clip_border_are_dropped() {
+        let mut l = Layout::new(1024, 1024);
+        // Line hugging the left border: the left bar would leave the clip.
+        l.push(Polygon::from_rect(Rect::new(60, 240, 130, 784)));
+        let srafs = SrafRules::contest().generate(&l);
+        assert!(srafs.iter().all(|r| r.x0 >= 0));
+        assert!(srafs.iter().any(|r| r.x0 > 130), "right bar expected");
+    }
+
+    #[test]
+    fn apply_adds_bars_to_mask_layout() {
+        let l = iso_line();
+        let with = SrafRules::contest().apply(&l);
+        assert_eq!(with.shapes().len(), 1 + 2);
+        // Original target untouched.
+        assert_eq!(l.shapes().len(), 1);
+    }
+
+    #[test]
+    fn bars_are_sub_resolution_wide() {
+        let rules = SrafRules::contest();
+        for bar in rules.generate(&iso_line()) {
+            let min_side = bar.width().min(bar.height());
+            assert_eq!(min_side, rules.width_nm);
+            assert!(min_side < 87); // below Rayleigh resolution
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let rules = SrafRules::contest();
+        assert_eq!(rules.generate(&iso_line()), rules.generate(&iso_line()));
+    }
+}

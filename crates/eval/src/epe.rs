@@ -1,0 +1,209 @@
+//! Geometric edge-placement-error measurement.
+//!
+//! At each sample site the printed contour is probed along the edge
+//! normal. The EPE is the signed displacement of the printed edge from
+//! the target edge: positive when the print bulges outward, negative when
+//! it pulls in. A site violates when `|EPE| > th_epe` — or when no
+//! printed edge is found within the search range at all (feature missing
+//! or merged).
+
+use mosaic_geometry::{EpeSample, Orientation};
+use mosaic_numerics::Grid;
+
+/// The measured EPE at one sample site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpeMeasurement {
+    /// Pixel just inside the target at the site.
+    pub interior: (usize, usize),
+    /// Outward normal of the target edge.
+    pub normal: (i64, i64),
+    /// Orientation of the edge the site sits on.
+    pub orientation: Orientation,
+    /// Signed edge displacement in nm (positive = printed edge outside
+    /// the target edge). `None` when no printed edge was found within the
+    /// search range.
+    pub epe_nm: Option<f64>,
+}
+
+impl EpeMeasurement {
+    /// Whether this site violates the given threshold.
+    pub fn is_violation(&self, threshold_nm: f64) -> bool {
+        match self.epe_nm {
+            Some(e) => e.abs() > threshold_nm,
+            None => true,
+        }
+    }
+}
+
+/// Measures the EPE of a binary print at one site.
+///
+/// `interior` is the pixel just inside the target at the site; `normal`
+/// the outward unit step. The probe walks up to `search_px` pixels each
+/// way.
+///
+/// The convention: if the pixel chain starting at `interior` and walking
+/// inward is lit and the chain outward is dark, the printed edge
+/// coincides with the target edge (EPE 0). Each extra lit pixel outward
+/// adds +1 px; each dark pixel inward adds −1 px.
+pub fn probe_edge(
+    print: &Grid<f64>,
+    interior: (i64, i64),
+    normal: (i64, i64),
+    search_px: usize,
+    pixel_nm: f64,
+) -> Option<f64> {
+    let (w, h) = print.dims();
+    let lit = |x: i64, y: i64| -> Option<bool> {
+        (x >= 0 && y >= 0 && (x as usize) < w && (y as usize) < h)
+            .then(|| print[(x as usize, y as usize)] > 0.5)
+    };
+    let (ix, iy) = interior;
+    let inside_lit = lit(ix, iy)?;
+    if inside_lit {
+        // Walk outward while still printed: EPE = number of lit pixels
+        // beyond the target edge.
+        for k in 1..=search_px as i64 {
+            match lit(ix + k * normal.0, iy + k * normal.1) {
+                Some(true) => continue,
+                // Edge found between k-1 and k steps out.
+                Some(false) | None => return Some((k - 1) as f64 * pixel_nm),
+            }
+        }
+        None // printed region extends beyond the search range (merged)
+    } else {
+        // Printed edge has pulled inside: walk inward to find it.
+        for k in 1..=search_px as i64 {
+            match lit(ix - k * normal.0, iy - k * normal.1) {
+                Some(false) => continue,
+                Some(true) => return Some(-(k as f64) * pixel_nm),
+                None => return None,
+            }
+        }
+        None // feature entirely missing near the site
+    }
+}
+
+/// Measures every site of a sample set against a binary print.
+///
+/// `offset_px` maps clip pixels to simulation-grid pixels (the centered
+/// embedding offset); `search_px` bounds the probe walk.
+pub fn measure_samples(
+    print: &Grid<f64>,
+    samples: &[EpeSample],
+    pixel_nm: f64,
+    offset_px: (usize, usize),
+    search_px: usize,
+) -> Vec<EpeMeasurement> {
+    samples
+        .iter()
+        .map(|s| {
+            let (cx, cy) = s.interior_pixel(pixel_nm);
+            let interior = (cx + offset_px.0 as i64, cy + offset_px.1 as i64);
+            let epe_nm = probe_edge(print, interior, s.normal, search_px, pixel_nm);
+            EpeMeasurement {
+                interior: (interior.0.max(0) as usize, interior.1.max(0) as usize),
+                normal: s.normal,
+                orientation: s.orientation,
+                epe_nm,
+            }
+        })
+        .collect()
+}
+
+/// Counts violations in a measurement list.
+pub fn count_violations(measurements: &[EpeMeasurement], threshold_nm: f64) -> usize {
+    measurements
+        .iter()
+        .filter(|m| m.is_violation(threshold_nm))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 32x32 print with a lit rectangle [8,24) x [8,24).
+    fn square_print(x0: usize, x1: usize, y0: usize, y1: usize) -> Grid<f64> {
+        Grid::from_fn(32, 32, |x, y| {
+            if x >= x0 && x < x1 && y >= y0 && y < y1 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn aligned_edge_has_zero_epe() {
+        let print = square_print(8, 24, 8, 24);
+        // Left edge at x = 8: interior pixel (8, 16), normal (-1, 0).
+        let epe = probe_edge(&print, (8, 16), (-1, 0), 10, 1.0);
+        assert_eq!(epe, Some(0.0));
+    }
+
+    #[test]
+    fn outward_bulge_is_positive() {
+        // Print extends 3 px further left than the target edge at x = 8.
+        let print = square_print(5, 24, 8, 24);
+        let epe = probe_edge(&print, (8, 16), (-1, 0), 10, 1.0);
+        assert_eq!(epe, Some(3.0));
+    }
+
+    #[test]
+    fn inward_pullback_is_negative() {
+        // Print starts 4 px inside the target edge.
+        let print = square_print(12, 24, 8, 24);
+        let epe = probe_edge(&print, (8, 16), (-1, 0), 10, 1.0);
+        assert_eq!(epe, Some(-4.0));
+    }
+
+    #[test]
+    fn missing_feature_returns_none() {
+        let print = Grid::<f64>::zeros(32, 32);
+        let epe = probe_edge(&print, (8, 16), (-1, 0), 10, 1.0);
+        assert_eq!(epe, None);
+        let m = EpeMeasurement {
+            interior: (8, 16),
+            normal: (-1, 0),
+            orientation: Orientation::Vertical,
+            epe_nm: epe,
+        };
+        assert!(m.is_violation(15.0));
+    }
+
+    #[test]
+    fn pixel_pitch_scales_epe() {
+        let print = square_print(5, 24, 8, 24);
+        let epe = probe_edge(&print, (8, 16), (-1, 0), 10, 4.0);
+        assert_eq!(epe, Some(12.0));
+    }
+
+    #[test]
+    fn violation_threshold_is_strict() {
+        let m = |e: f64| EpeMeasurement {
+            interior: (0, 0),
+            normal: (1, 0),
+            orientation: Orientation::Vertical,
+            epe_nm: Some(e),
+        };
+        assert!(!m(15.0).is_violation(15.0));
+        assert!(m(15.1).is_violation(15.0));
+        assert!(m(-16.0).is_violation(15.0));
+        assert_eq!(count_violations(&[m(0.0), m(20.0), m(-20.0)], 15.0), 2);
+    }
+
+    #[test]
+    fn probes_work_on_all_four_sides() {
+        // Print shifted +2 in x and -1 in y versus a [8,24)² target.
+        let print = square_print(10, 26, 7, 23);
+        // Left edge (x=8, normal -1,0): print edge at 10 -> EPE -2.
+        assert_eq!(probe_edge(&print, (8, 16), (-1, 0), 10, 1.0), Some(-2.0));
+        // Right edge (x=24 boundary, interior 23, normal +1,0): print
+        // extends to 25 -> +2.
+        assert_eq!(probe_edge(&print, (23, 16), (1, 0), 10, 1.0), Some(2.0));
+        // Top edge (y=8, interior 8, normal 0,-1): print starts at 7 -> +1.
+        assert_eq!(probe_edge(&print, (16, 8), (0, -1), 10, 1.0), Some(1.0));
+        // Bottom edge (interior 23, normal 0,1): print ends at 22 -> -1.
+        assert_eq!(probe_edge(&print, (16, 23), (0, 1), 10, 1.0), Some(-1.0));
+    }
+}

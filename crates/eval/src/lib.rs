@@ -1,0 +1,74 @@
+//! ICCAD 2013 contest metrics for MOSAIC results.
+//!
+//! The paper evaluates masks with the contest scoring function (Eq. (22)):
+//!
+//! ```text
+//! Score = Runtime + 4·PVBand + 5000·#EPE + 10000·ShapeViolation
+//! ```
+//!
+//! This crate measures each component on *binary printed images* — the
+//! hard-threshold output of the resist model — independently of the
+//! optimizer's smooth surrogates:
+//!
+//! * [`epe`] — geometric edge-placement error probed along edge normals
+//!   at the 40 nm sample sites; violations where |EPE| > 15 nm.
+//! * [`pvband`] — process-variability band: pixels printed under some
+//!   but not all process conditions (Fig. 4).
+//! * [`shape`] — shape violations: holes in the printed contour, missing
+//!   target patterns and spurious printing (e.g. SRAFs that print).
+//! * [`mrc`] — mask rule checking (min width/space/area) for the
+//!   manufacturability of ILT output masks.
+//! * [`score`] — the weighted contest score.
+//! * [`evaluator`] — [`Evaluator`], a one-stop harness that maps a
+//!   layout onto the simulation grid and produces a [`ContestReport`].
+//! * [`pgm`] — grayscale image dumps for figure reproduction.
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_geometry::prelude::*;
+//! use mosaic_numerics::Grid;
+//! use mosaic_eval::Evaluator;
+//!
+//! let mut layout = Layout::new(256, 256);
+//! layout.push(Polygon::from_rect(Rect::new(64, 48, 160, 208)));
+//! let eval = Evaluator::new(&layout, (128, 128), 4.0, 40, 15.0);
+//! // A "perfect" print identical to the target has zero EPE violations.
+//! let print = eval.target().clone();
+//! let report = eval.evaluate(&[print], 0.0);
+//! assert_eq!(report.epe_violations, 0);
+//! assert_eq!(report.pvband_nm2, 0.0);
+//! assert_eq!(report.shape_violations, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epe;
+pub mod evaluator;
+pub mod mrc;
+pub mod pgm;
+pub mod pvband;
+pub mod report;
+pub mod score;
+pub mod shape;
+
+pub use epe::EpeMeasurement;
+pub use evaluator::{ContestReport, Evaluator};
+pub use mrc::{MrcReport, MrcRules};
+pub use pvband::PvBand;
+pub use report::{render_report, EpeHistogram};
+pub use score::{Score, ScoreWeights};
+pub use shape::ShapeCheck;
+
+/// The types almost every user of this crate needs.
+pub mod prelude {
+    pub use crate::epe::EpeMeasurement;
+    pub use crate::evaluator::{ContestReport, Evaluator};
+    pub use crate::mrc::{self, MrcReport, MrcRules};
+    pub use crate::pgm;
+    pub use crate::pvband::PvBand;
+    pub use crate::report::{render_report, EpeHistogram};
+    pub use crate::score::{Score, ScoreWeights};
+    pub use crate::shape::ShapeCheck;
+}

@@ -1,0 +1,241 @@
+//! Mask rule checking (MRC).
+//!
+//! ILT's pixelated masks are only useful if a mask writer can produce
+//! them; foundries enforce minimum width, spacing and area rules on mask
+//! shapes. This module measures those rules directly on the binary mask
+//! grid — the standard manufacturability gate applied to ILT output
+//! (e-beam write-time concerns around ILT masks are exactly why the
+//! paper's introduction cites mask-writability work).
+//!
+//! Definitions on the pixel grid:
+//!
+//! * **width violation** — a lit pixel whose maximal horizontal *and*
+//!   vertical lit runs are both shorter than `min_width_px` (a feature
+//!   narrow in both directions; a long thin bar is fine if it is long).
+//! * **spacing violation** — a dark pixel on a horizontal or vertical
+//!   dark run shorter than `min_space_px` that is bounded by lit pixels
+//!   on both ends (a too-small gap).
+//! * **area violation** — a 4-connected lit component smaller than
+//!   `min_area_px` pixels.
+
+use crate::shape::label_components;
+use mosaic_numerics::Grid;
+
+/// MRC rule set, in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrcRules {
+    /// Minimum feature width.
+    pub min_width_px: usize,
+    /// Minimum gap between features.
+    pub min_space_px: usize,
+    /// Minimum component area.
+    pub min_area_px: usize,
+}
+
+impl MrcRules {
+    /// A typical mask-shop rule set for the contest scale: 20 nm width /
+    /// 20 nm space / 1000 nm² area, expressed at `pixel_nm` pitch.
+    pub fn contest(pixel_nm: f64) -> Self {
+        let px = |nm: f64| ((nm / pixel_nm).round() as usize).max(1);
+        MrcRules {
+            min_width_px: px(20.0),
+            min_space_px: px(20.0),
+            min_area_px: ((1000.0 / (pixel_nm * pixel_nm)).round() as usize).max(1),
+        }
+    }
+}
+
+/// MRC measurement result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MrcReport {
+    /// Lit pixels violating the width rule.
+    pub width_violations: usize,
+    /// Dark pixels violating the spacing rule.
+    pub space_violations: usize,
+    /// Components violating the area rule.
+    pub area_violations: usize,
+}
+
+impl MrcReport {
+    /// `true` when the mask passes every rule.
+    pub fn is_clean(&self) -> bool {
+        self.width_violations == 0 && self.space_violations == 0 && self.area_violations == 0
+    }
+
+    /// Total violation count.
+    pub fn total(&self) -> usize {
+        self.width_violations + self.space_violations + self.area_violations
+    }
+}
+
+/// For every pixel, the length of the maximal run of same-valued pixels
+/// through it along one axis.
+fn run_lengths(grid: &Grid<f64>, horizontal: bool, of_lit: bool) -> Grid<u32> {
+    let (w, h) = grid.dims();
+    let mut out = Grid::<u32>::filled(w, h, 0);
+    let (outer, inner) = if horizontal { (h, w) } else { (w, h) };
+    for o in 0..outer {
+        let mut i = 0;
+        while i < inner {
+            let at = |k: usize| if horizontal { (k, o) } else { (o, k) };
+            let val = grid[at(i)] > 0.5;
+            let mut j = i;
+            while j < inner && (grid[at(j)] > 0.5) == val {
+                j += 1;
+            }
+            if val == of_lit {
+                for k in i..j {
+                    out[at(k)] = (j - i) as u32;
+                }
+            }
+            i = j;
+        }
+    }
+    out
+}
+
+/// Runs the MRC on a binary mask.
+pub fn check(mask: &Grid<f64>, rules: MrcRules) -> MrcReport {
+    let (w, h) = mask.dims();
+    let lit_h = run_lengths(mask, true, true);
+    let lit_v = run_lengths(mask, false, true);
+    let mut width_violations = 0;
+    for y in 0..h {
+        for x in 0..w {
+            if mask[(x, y)] > 0.5
+                && (lit_h[(x, y)] as usize) < rules.min_width_px
+                && (lit_v[(x, y)] as usize) < rules.min_width_px
+            {
+                width_violations += 1;
+            }
+        }
+    }
+
+    // Spacing: dark runs shorter than the rule, bounded by lit pixels at
+    // both ends (runs touching the grid border are open space, not gaps).
+    let mut space_violations = 0;
+    for (horizontal, limit) in [(true, w), (false, h)] {
+        let outer = if horizontal { h } else { w };
+        for o in 0..outer {
+            let at = |k: usize| if horizontal { (k, o) } else { (o, k) };
+            let mut i = 0;
+            while i < limit {
+                if mask[at(i)] > 0.5 {
+                    i += 1;
+                    continue;
+                }
+                let start = i;
+                while i < limit && mask[at(i)] <= 0.5 {
+                    i += 1;
+                }
+                let bounded = start > 0 && i < limit;
+                if bounded && i - start < rules.min_space_px {
+                    space_violations += i - start;
+                }
+            }
+        }
+    }
+
+    // Area: components smaller than the rule.
+    let (labels, count) = label_components(mask, |v| v > 0.5);
+    let mut areas = vec![0usize; count];
+    for l in labels.iter() {
+        if *l != u32::MAX {
+            areas[*l as usize] += 1;
+        }
+    }
+    let area_violations = areas.iter().filter(|&&a| a < rules.min_area_px).count();
+
+    MrcReport {
+        width_violations,
+        space_violations,
+        area_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_from(rows: &[&str]) -> Grid<f64> {
+        let h = rows.len();
+        let w = rows[0].len();
+        Grid::from_fn(w, h, |x, y| (rows[y].as_bytes()[x] == b'#') as i32 as f64)
+    }
+
+    const RULES: MrcRules = MrcRules {
+        min_width_px: 3,
+        min_space_px: 2,
+        min_area_px: 4,
+    };
+
+    #[test]
+    fn clean_mask_passes() {
+        let g = grid_from(&["......", ".####.", ".####.", ".####.", "......"]);
+        let r = check(&g, RULES);
+        assert!(r.is_clean(), "{r:?}");
+    }
+
+    #[test]
+    fn thin_bar_is_fine_if_long() {
+        // 1-wide but 5-long: horizontal run satisfies the width rule.
+        let g = grid_from(&["......", ".#####", "......"]);
+        let r = check(&g, RULES);
+        assert_eq!(r.width_violations, 0);
+    }
+
+    #[test]
+    fn small_blob_violates_width_and_area() {
+        let g = grid_from(&["....", ".##.", ".##.", "...."]);
+        let r = check(&g, RULES);
+        assert_eq!(r.width_violations, 4); // all four pixels are 2x2 runs
+        assert_eq!(r.area_violations, 0); // area 4 >= 4
+        let strict = MrcRules {
+            min_area_px: 5,
+            ..RULES
+        };
+        assert_eq!(check(&g, strict).area_violations, 1);
+    }
+
+    #[test]
+    fn narrow_gap_violates_spacing() {
+        // Two bars separated by a 1-wide gap.
+        let g = grid_from(&["###.###", "###.###", "###.###"]);
+        let r = check(&g, RULES);
+        assert_eq!(r.space_violations, 3, "one per row");
+    }
+
+    #[test]
+    fn border_gaps_are_not_violations() {
+        // Dark run touching the border is open space.
+        let g = grid_from(&[".###...", ".###..."]);
+        let r = check(&g, RULES);
+        assert_eq!(r.space_violations, 0);
+    }
+
+    #[test]
+    fn adequate_gap_passes() {
+        let g = grid_from(&["###..###", "###..###"]);
+        assert_eq!(check(&g, RULES).space_violations, 0);
+    }
+
+    #[test]
+    fn contest_rules_scale_with_pixel_pitch() {
+        let fine = MrcRules::contest(1.0);
+        let coarse = MrcRules::contest(4.0);
+        assert_eq!(fine.min_width_px, 20);
+        assert_eq!(coarse.min_width_px, 5);
+        assert!(fine.min_area_px > coarse.min_area_px);
+    }
+
+    #[test]
+    fn report_totals() {
+        let g = grid_from(&["#.#", "...", "#.#"]);
+        let r = check(&g, RULES);
+        assert!(!r.is_clean());
+        assert_eq!(
+            r.total(),
+            r.width_violations + r.space_violations + r.area_violations
+        );
+    }
+}

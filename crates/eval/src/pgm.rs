@@ -1,0 +1,145 @@
+//! Grayscale PGM image dumps for figure reproduction (Fig. 5).
+//!
+//! Binary PGM (P5) is the simplest portable grayscale format; every image
+//! viewer and conversion tool reads it. Grids are scaled so the value
+//! range maps to 0–255.
+
+use mosaic_numerics::Grid;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Encodes a grid as binary PGM, mapping `[lo, hi]` to 0–255.
+///
+/// Values outside the range are clamped; a degenerate range renders
+/// mid-gray.
+pub fn encode(grid: &Grid<f64>, lo: f64, hi: f64) -> Vec<u8> {
+    let (w, h) = grid.dims();
+    let mut out = Vec::with_capacity(32 + w * h);
+    out.extend_from_slice(format!("P5\n{w} {h}\n255\n").as_bytes());
+    let span = hi - lo;
+    for v in grid.iter() {
+        let byte = if span.abs() < f64::EPSILON {
+            128u8
+        } else {
+            (((v - lo) / span).clamp(0.0, 1.0) * 255.0).round() as u8
+        };
+        out.push(byte);
+    }
+    out
+}
+
+/// Encodes with the grid's own min/max as the range.
+pub fn encode_autoscale(grid: &Grid<f64>) -> Vec<u8> {
+    encode(grid, grid.min(), grid.max())
+}
+
+/// Writes a grid to a PGM file, autoscaled.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_file(grid: &Grid<f64>, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode_autoscale(grid))
+}
+
+/// Decodes a binary PGM produced by [`encode`] back into a grid with
+/// values in `[0, 1]` — used in tests and round-trip checks.
+///
+/// # Errors
+///
+/// Returns an error string for malformed headers or truncated data.
+pub fn decode(bytes: &[u8]) -> Result<Grid<f64>, String> {
+    let header_end = bytes
+        .windows(1)
+        .enumerate()
+        .scan(0, |newlines, (i, w)| {
+            if w[0] == b'\n' {
+                *newlines += 1;
+            }
+            Some((*newlines, i))
+        })
+        .find(|(n, _)| *n == 3)
+        .map(|(_, i)| i + 1)
+        .ok_or("missing PGM header")?;
+    let header = std::str::from_utf8(&bytes[..header_end]).map_err(|e| e.to_string())?;
+    let mut lines = header.lines();
+    if lines.next() != Some("P5") {
+        return Err("not a P5 PGM".into());
+    }
+    let dims = lines.next().ok_or("missing dimensions")?;
+    let mut parts = dims.split_whitespace();
+    let w: usize = parts
+        .next()
+        .ok_or("missing width")?
+        .parse()
+        .map_err(|_| "bad width")?;
+    let h: usize = parts
+        .next()
+        .ok_or("missing height")?
+        .parse()
+        .map_err(|_| "bad height")?;
+    let data = &bytes[header_end..];
+    if data.len() < w * h {
+        return Err(format!("truncated data: {} < {}", data.len(), w * h));
+    }
+    Ok(Grid::from_fn(w, h, |x, y| data[y * w + x] as f64 / 255.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_produces_valid_header() {
+        let g = Grid::from_fn(4, 2, |x, y| (x + y) as f64);
+        let bytes = encode(&g, 0.0, 4.0);
+        assert!(bytes.starts_with(b"P5\n4 2\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n4 2\n255\n".len() + 8);
+    }
+
+    #[test]
+    fn round_trip_binary_grid() {
+        let g = Grid::from_fn(8, 8, |x, y| if (x + y) % 2 == 0 { 1.0 } else { 0.0 });
+        let decoded = decode(&encode(&g, 0.0, 1.0)).unwrap();
+        for (a, b) in decoded.iter().zip(g.iter()) {
+            assert!((a - b).abs() < 1.0 / 255.0);
+        }
+    }
+
+    #[test]
+    fn values_clamped_to_range() {
+        let g = Grid::from_vec(3, 1, vec![-1.0, 0.5, 2.0]).unwrap();
+        let bytes = encode(&g, 0.0, 1.0);
+        let data = &bytes[bytes.len() - 3..];
+        assert_eq!(data[0], 0);
+        assert_eq!(data[1], 128);
+        assert_eq!(data[2], 255);
+    }
+
+    #[test]
+    fn degenerate_range_is_mid_gray() {
+        let g = Grid::filled(2, 1, 7.0);
+        let bytes = encode_autoscale(&g);
+        assert_eq!(&bytes[bytes.len() - 2..], &[128, 128]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(b"P6\n2 2\n255\n....").is_err());
+        assert!(decode(b"P5\n9 9\n255\nxx").is_err());
+        assert!(decode(b"").is_err());
+    }
+
+    #[test]
+    fn write_file_creates_readable_pgm() {
+        let dir = std::env::temp_dir().join("mosaic_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.pgm");
+        let g = Grid::from_fn(5, 3, |x, _| x as f64);
+        write_file(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.dims(), (5, 3));
+    }
+}

@@ -1,0 +1,118 @@
+//! The ICCAD 2013 contest scoring function (Eq. (22)).
+
+use std::fmt;
+
+/// Score weights; defaults are the contest values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreWeights {
+    /// Weight on runtime in seconds (1 in the contest).
+    pub runtime: f64,
+    /// Weight on PV-band area in nm² (4).
+    pub pvband: f64,
+    /// Weight per EPE violation (5000).
+    pub epe: f64,
+    /// Weight per shape violation (10000).
+    pub shape: f64,
+}
+
+impl Default for ScoreWeights {
+    fn default() -> Self {
+        ScoreWeights {
+            runtime: 1.0,
+            pvband: 4.0,
+            epe: 5000.0,
+            shape: 10000.0,
+        }
+    }
+}
+
+/// A fully itemized score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Runtime in seconds.
+    pub runtime_s: f64,
+    /// PV-band area in nm².
+    pub pvband_nm2: f64,
+    /// Number of EPE violations.
+    pub epe_violations: usize,
+    /// Number of shape violations.
+    pub shape_violations: usize,
+    /// Weights used.
+    pub weights: ScoreWeights,
+}
+
+impl Score {
+    /// Builds a score with the contest weights.
+    pub fn contest(
+        runtime_s: f64,
+        pvband_nm2: f64,
+        epe_violations: usize,
+        shape_violations: usize,
+    ) -> Self {
+        Score {
+            runtime_s,
+            pvband_nm2,
+            epe_violations,
+            shape_violations,
+            weights: ScoreWeights::default(),
+        }
+    }
+
+    /// The weighted total (lower is better).
+    pub fn total(&self) -> f64 {
+        self.weights.runtime * self.runtime_s
+            + self.weights.pvband * self.pvband_nm2
+            + self.weights.epe * self.epe_violations as f64
+            + self.weights.shape * self.shape_violations as f64
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "score {:.0} (rt {:.1}s, pvb {:.0} nm², epe {}, shape {})",
+            self.total(),
+            self.runtime_s,
+            self.pvband_nm2,
+            self.epe_violations,
+            self.shape_violations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contest_weights_match_eq_22() {
+        let s = Score::contest(100.0, 1000.0, 2, 1);
+        assert_eq!(s.total(), 100.0 + 4.0 * 1000.0 + 5000.0 * 2.0 + 10000.0);
+    }
+
+    #[test]
+    fn zero_everything_scores_zero() {
+        assert_eq!(Score::contest(0.0, 0.0, 0, 0).total(), 0.0);
+    }
+
+    #[test]
+    fn custom_weights_apply() {
+        let mut s = Score::contest(10.0, 10.0, 1, 0);
+        s.weights = ScoreWeights {
+            runtime: 0.0,
+            pvband: 1.0,
+            epe: 1.0,
+            shape: 1.0,
+        };
+        assert_eq!(s.total(), 11.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Score::contest(12.0, 345.0, 6, 0);
+        let text = s.to_string();
+        assert!(text.contains("epe 6"));
+        assert!(text.contains("345"));
+    }
+}

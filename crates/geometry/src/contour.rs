@@ -1,0 +1,327 @@
+//! Contour extraction: binary pixel grids → rectilinear polygons.
+//!
+//! ILT produces *pixelated* masks, but mask writers consume *geometry*.
+//! This module traces the boundaries of a binary grid into closed
+//! Manhattan polygons (outer boundaries and hole boundaries), with
+//! collinear runs merged — the bridge from the optimizer's pixel domain
+//! back to layout data (`Layout`/GLP export).
+//!
+//! The tracer walks the directed boundary-edge graph of the lit region:
+//! each pixel side between a lit and a dark pixel becomes a unit edge,
+//! oriented so the lit region lies to the left of travel. Every vertex
+//! of this graph has matching in/out degree, and the only ambiguous
+//! vertices (two incoming, two outgoing — checkerboard corners) are
+//! resolved with a consistent "turn left first" rule, which keeps
+//! diagonal-touching regions separate.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use mosaic_numerics::Grid;
+use std::collections::HashMap;
+
+/// One traced boundary loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contour {
+    /// The boundary as a rectilinear polygon (vertices in grid
+    /// coordinates, i.e. pixel corners; multiply by the pixel pitch for
+    /// nm).
+    pub polygon: Polygon,
+    /// `true` when this loop encloses lit area (an outer boundary);
+    /// `false` for a hole boundary.
+    pub is_outer: bool,
+}
+
+/// Direction of travel along a boundary edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Dir {
+    Right,
+    Down,
+    Left,
+    Up,
+}
+
+impl Dir {
+    fn step(self, p: Point) -> Point {
+        match self {
+            Dir::Right => Point::new(p.x + 1, p.y),
+            Dir::Down => Point::new(p.x, p.y + 1),
+            Dir::Left => Point::new(p.x - 1, p.y),
+            Dir::Up => Point::new(p.x, p.y - 1),
+        }
+    }
+}
+
+/// Traces every boundary loop of the lit (`> 0.5`) region.
+///
+/// Vertices are pixel corners: the pixel `(x, y)` occupies the unit
+/// square with corners `(x, y)` and `(x+1, y+1)`. Outer loops are
+/// returned counterclockwise in screen coordinates (lit on the left of
+/// travel), holes clockwise; [`Contour::is_outer`] reports which via the
+/// signed area.
+pub fn trace_contours(grid: &Grid<f64>) -> Vec<Contour> {
+    let (w, h) = grid.dims();
+    let lit = |x: i64, y: i64| -> bool {
+        x >= 0 && y >= 0 && (x as usize) < w && (y as usize) < h && grid[(x as usize, y as usize)] > 0.5
+    };
+    // Directed boundary edges keyed by start vertex. Orientation: lit
+    // region on the LEFT of travel.
+    let mut edges: HashMap<Point, Vec<Dir>> = HashMap::new();
+    let mut push = |p: Point, d: Dir| edges.entry(p).or_default().push(d);
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            if !lit(x, y) {
+                continue;
+            }
+            if !lit(x, y - 1) {
+                // Top side: travel right, lit below (left of a
+                // rightward... in screen coords with y down, "left of
+                // travel" for rightward motion is the -y side). We want
+                // lit on a consistent side; choose: lit region to the
+                // RIGHT of travel in screen coordinates. Top side of a
+                // lit pixel: lit is below, so travel rightward keeps lit
+                // on the right (+y). Start (x, y) -> (x+1, y).
+                push(Point::new(x, y), Dir::Right);
+            }
+            if !lit(x, y + 1) {
+                // Bottom side: lit above; travel leftward keeps lit on
+                // the right (-y side of leftward travel). (x+1,y+1) -> (x,y+1).
+                push(Point::new(x + 1, y + 1), Dir::Left);
+            }
+            if !lit(x - 1, y) {
+                // Left side: lit to the +x side; travel upward keeps lit
+                // on the right. (x, y+1) -> (x, y).
+                push(Point::new(x, y + 1), Dir::Up);
+            }
+            if !lit(x + 1, y) {
+                // Right side: lit to the -x side; travel downward keeps
+                // lit on the right. (x+1, y) -> (x+1, y+1).
+                push(Point::new(x + 1, y), Dir::Down);
+            }
+        }
+    }
+
+    // Preferred continuation order after arriving with direction `d`:
+    // turn toward the lit side first (right turn), then straight, then
+    // away. This separates regions touching only at a corner.
+    fn preference(d: Dir) -> [Dir; 3] {
+        match d {
+            Dir::Right => [Dir::Down, Dir::Right, Dir::Up],
+            Dir::Down => [Dir::Left, Dir::Down, Dir::Right],
+            Dir::Left => [Dir::Up, Dir::Left, Dir::Down],
+            Dir::Up => [Dir::Right, Dir::Up, Dir::Left],
+        }
+    }
+
+    let mut contours = Vec::new();
+    // Deterministic start order: scan vertices row-major.
+    let mut starts: Vec<Point> = edges.keys().copied().collect();
+    starts.sort();
+    for start in starts {
+        loop {
+            let Some(first_dir) = edges.get_mut(&start).and_then(Vec::pop) else {
+                break;
+            };
+            // Walk until we return to the start vertex.
+            let mut path = vec![start];
+            let mut pos = first_dir.step(start);
+            let mut dir = first_dir;
+            while pos != start {
+                path.push(pos);
+                let outgoing = edges.get_mut(&pos).expect("boundary graph is Eulerian");
+                let next = preference(dir)
+                    .into_iter()
+                    .find(|d| outgoing.contains(d))
+                    .expect("boundary graph has a continuation");
+                outgoing.retain(|d| *d != next);
+                dir = next;
+                pos = next.step(pos);
+            }
+            contours.push(close_loop(path));
+        }
+    }
+    contours
+}
+
+/// Merges collinear runs and wraps the loop into a polygon + orientation.
+fn close_loop(path: Vec<Point>) -> Contour {
+    debug_assert!(path.len() >= 4);
+    // Merge collinear vertices (including across the wrap point).
+    let n = path.len();
+    let mut vertices = Vec::new();
+    for i in 0..n {
+        let prev = path[(i + n - 1) % n];
+        let cur = path[i];
+        let next = path[(i + 1) % n];
+        let collinear = (prev.x == cur.x && cur.x == next.x) || (prev.y == cur.y && cur.y == next.y);
+        if !collinear {
+            vertices.push(cur);
+        }
+    }
+    // Signed area decides orientation. With lit kept on the right of
+    // travel in screen coordinates (y down), outer loops come out with
+    // positive shoelace sum.
+    let mut twice_area = 0i64;
+    for i in 0..vertices.len() {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % vertices.len()];
+        twice_area += a.x * b.y - b.x * a.y;
+    }
+    Contour {
+        polygon: Polygon::new(vertices).expect("traced loop is rectilinear"),
+        is_outer: twice_area > 0,
+    }
+}
+
+/// Converts the lit region into a layout of outer polygons, in pixel
+/// coordinates scaled by `pixel_nm` (holes are dropped; see
+/// [`trace_contours`] to keep them).
+///
+/// # Panics
+///
+/// Panics if `pixel_nm` is not positive.
+pub fn grid_to_layout(grid: &Grid<f64>, pixel_nm: i64) -> crate::layout::Layout {
+    assert!(pixel_nm > 0, "pixel pitch must be positive");
+    let (w, h) = grid.dims();
+    let mut layout = crate::layout::Layout::new(w as i64 * pixel_nm, h as i64 * pixel_nm);
+    for contour in trace_contours(grid) {
+        if contour.is_outer {
+            let scaled: Vec<Point> = contour
+                .polygon
+                .vertices()
+                .iter()
+                .map(|p| Point::new(p.x * pixel_nm, p.y * pixel_nm))
+                .collect();
+            layout.push(Polygon::new(scaled).expect("scaling preserves rectilinearity"));
+        }
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use crate::rect::Rect;
+
+    fn grid_from(rows: &[&str]) -> Grid<f64> {
+        let h = rows.len();
+        let w = rows[0].len();
+        Grid::from_fn(w, h, |x, y| (rows[y].as_bytes()[x] == b'#') as i32 as f64)
+    }
+
+    #[test]
+    fn single_rectangle_traces_to_four_vertices() {
+        let g = grid_from(&["....", ".##.", ".##.", "...."]);
+        let contours = trace_contours(&g);
+        assert_eq!(contours.len(), 1);
+        let c = &contours[0];
+        assert!(c.is_outer);
+        assert_eq!(c.polygon.vertices().len(), 4);
+        assert_eq!(c.polygon.bounding_box(), Rect::new(1, 1, 3, 3));
+        assert_eq!(c.polygon.area(), 4);
+    }
+
+    #[test]
+    fn l_shape_traces_to_six_vertices() {
+        let g = grid_from(&["....", ".#..", ".#..", ".##.", "...."]);
+        let contours = trace_contours(&g);
+        assert_eq!(contours.len(), 1);
+        assert_eq!(contours[0].polygon.vertices().len(), 6);
+        assert_eq!(contours[0].polygon.area(), 4);
+    }
+
+    #[test]
+    fn donut_yields_outer_and_hole() {
+        let g = grid_from(&["#####", "#...#", "#.#.#", "#...#", "#####"]);
+        let mut contours = trace_contours(&g);
+        contours.sort_by_key(|c| c.polygon.area());
+        assert_eq!(contours.len(), 3);
+        // Inner lit pixel: outer loop of area 1.
+        assert!(contours[0].is_outer);
+        assert_eq!(contours[0].polygon.area(), 1);
+        // The ring's hole: area 9, not outer.
+        assert!(!contours[1].is_outer);
+        assert_eq!(contours[1].polygon.area(), 9);
+        // The ring's outside: area 25.
+        assert!(contours[2].is_outer);
+        assert_eq!(contours[2].polygon.area(), 25);
+    }
+
+    #[test]
+    fn separate_components_trace_separately() {
+        let g = grid_from(&["##..##", "##..##"]);
+        let contours = trace_contours(&g);
+        assert_eq!(contours.len(), 2);
+        assert!(contours.iter().all(|c| c.is_outer && c.polygon.area() == 4));
+    }
+
+    #[test]
+    fn diagonal_touch_stays_two_loops() {
+        let g = grid_from(&["#.", ".#"]);
+        let contours = trace_contours(&g);
+        assert_eq!(contours.len(), 2, "corner-touching pixels must not merge");
+        for c in &contours {
+            assert_eq!(c.polygon.area(), 1);
+            assert!(c.is_outer);
+        }
+    }
+
+    #[test]
+    fn empty_grid_has_no_contours() {
+        assert!(trace_contours(&Grid::<f64>::zeros(4, 4)).is_empty());
+    }
+
+    #[test]
+    fn full_grid_traces_to_its_border() {
+        let g = Grid::filled(3, 2, 1.0);
+        let contours = trace_contours(&g);
+        assert_eq!(contours.len(), 1);
+        assert_eq!(contours[0].polygon.area(), 6);
+    }
+
+    #[test]
+    fn raster_round_trip_recovers_rectangles() {
+        // layout -> raster -> contours -> layout -> raster again.
+        let mut layout = Layout::new(64, 64);
+        layout.push(Polygon::from_rect(Rect::new(8, 8, 24, 40)));
+        layout.push(Polygon::from_rect(Rect::new(40, 16, 56, 32)));
+        let raster = layout.rasterize(1);
+        let back = grid_to_layout(&raster, 1);
+        assert_eq!(back.shapes().len(), 2);
+        assert_eq!(back.rasterize(1), raster);
+        assert_eq!(back.pattern_area(), layout.pattern_area());
+    }
+
+    #[test]
+    fn contour_areas_sum_to_pixel_count_for_solid_shapes() {
+        let g = grid_from(&[
+            "........",
+            ".######.",
+            ".#....#.",
+            ".#....#.",
+            ".######.",
+            "........",
+        ]);
+        let contours = trace_contours(&g);
+        let outer: i64 = contours
+            .iter()
+            .filter(|c| c.is_outer)
+            .map(|c| c.polygon.area())
+            .sum();
+        let holes: i64 = contours
+            .iter()
+            .filter(|c| !c.is_outer)
+            .map(|c| c.polygon.area())
+            .sum();
+        let lit = g.iter().filter(|&&v| v > 0.5).count() as i64;
+        assert_eq!(outer - holes, lit);
+    }
+
+    #[test]
+    fn grid_to_layout_scales_by_pixel_pitch() {
+        let g = grid_from(&["##", "##"]);
+        let layout = grid_to_layout(&g, 4);
+        assert_eq!(layout.width(), 8);
+        assert_eq!(layout.pattern_area(), 64);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for geometry operations and clip parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from polygon construction, layout assembly and clip parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// A polygon violated the rectilinear invariants.
+    InvalidPolygon(String),
+    /// A shape does not fit inside the clip extent.
+    ShapeOutOfBounds {
+        /// Offending shape's bounding box, as a display string.
+        shape: String,
+        /// Clip extent `(width, height)` in nm.
+        clip: (i64, i64),
+    },
+    /// Clip text could not be parsed.
+    ParseClip {
+        /// 1-based line number of the error.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A zero or negative dimension was supplied.
+    InvalidDimension(String),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::InvalidPolygon(msg) => write!(f, "invalid polygon: {msg}"),
+            GeometryError::ShapeOutOfBounds { shape, clip } => write!(
+                f,
+                "shape {shape} does not fit in clip {}x{} nm",
+                clip.0, clip.1
+            ),
+            GeometryError::ParseClip { line, message } => {
+                write!(f, "clip parse error at line {line}: {message}")
+            }
+            GeometryError::InvalidDimension(msg) => write!(f, "invalid dimension: {msg}"),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GeometryError::ParseClip {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "clip parse error at line 3: bad token");
+        assert!(GeometryError::InvalidPolygon("x".into())
+            .to_string()
+            .contains("invalid polygon"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

@@ -1,0 +1,236 @@
+//! Plain-text clip persistence.
+//!
+//! A minimal, line-oriented format in the spirit of the ICCAD 2013 contest
+//! release (which shipped clips as polygon vertex lists):
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! CLIP 1024 1024
+//! RECT 480 240 550 784
+//! POLY 100 100 200 100 200 150 150 150 150 300 100 300
+//! ```
+//!
+//! * `CLIP w h` — clip extent in nm; must come first.
+//! * `RECT x0 y0 x1 y1` — a rectangle.
+//! * `POLY x1 y1 x2 y2 …` — a rectilinear polygon vertex ring.
+
+use crate::error::GeometryError;
+use crate::layout::Layout;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+
+/// Serializes a layout to clip text.
+///
+/// Rectangular shapes (4 vertices) are written as `RECT` lines, everything
+/// else as `POLY` lines, so the output round-trips through
+/// [`parse_clip`].
+pub fn write_clip(layout: &Layout) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("CLIP {} {}\n", layout.width(), layout.height()));
+    for shape in layout.shapes() {
+        let verts = shape.vertices();
+        if verts.len() == 4 {
+            let bbox = shape.bounding_box();
+            if shape.area() == bbox.area() {
+                out.push_str(&format!(
+                    "RECT {} {} {} {}\n",
+                    bbox.x0, bbox.y0, bbox.x1, bbox.y1
+                ));
+                continue;
+            }
+        }
+        out.push_str("POLY");
+        for v in verts {
+            out.push_str(&format!(" {} {}", v.x, v.y));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses clip text produced by [`write_clip`] (or written by hand).
+///
+/// # Errors
+///
+/// Returns [`GeometryError::ParseClip`] with a 1-based line number for any
+/// malformed line, a missing/duplicate `CLIP` header, out-of-bounds
+/// shapes, or invalid polygons.
+pub fn parse_clip(text: &str) -> Result<Layout, GeometryError> {
+    let mut layout: Option<Layout> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        let nums: Result<Vec<i64>, _> = tokens.map(str::parse::<i64>).collect();
+        let nums = nums.map_err(|e| GeometryError::ParseClip {
+            line: line_no,
+            message: format!("bad integer: {e}"),
+        })?;
+        match keyword {
+            "CLIP" => {
+                if layout.is_some() {
+                    return Err(GeometryError::ParseClip {
+                        line: line_no,
+                        message: "duplicate CLIP header".into(),
+                    });
+                }
+                let [w, h] = nums[..] else {
+                    return Err(GeometryError::ParseClip {
+                        line: line_no,
+                        message: format!("CLIP needs 2 integers, got {}", nums.len()),
+                    });
+                };
+                if w <= 0 || h <= 0 {
+                    return Err(GeometryError::ParseClip {
+                        line: line_no,
+                        message: format!("clip extent must be positive, got {w}x{h}"),
+                    });
+                }
+                layout = Some(Layout::new(w, h));
+            }
+            "RECT" => {
+                let layout = layout.as_mut().ok_or(GeometryError::ParseClip {
+                    line: line_no,
+                    message: "RECT before CLIP header".into(),
+                })?;
+                let [x0, y0, x1, y1] = nums[..] else {
+                    return Err(GeometryError::ParseClip {
+                        line: line_no,
+                        message: format!("RECT needs 4 integers, got {}", nums.len()),
+                    });
+                };
+                let rect = Rect::new(x0, y0, x1, y1);
+                if rect.is_empty() {
+                    return Err(GeometryError::ParseClip {
+                        line: line_no,
+                        message: format!("empty rectangle {rect}"),
+                    });
+                }
+                layout.try_push(Polygon::from_rect(rect))?;
+            }
+            "POLY" => {
+                let layout = layout.as_mut().ok_or(GeometryError::ParseClip {
+                    line: line_no,
+                    message: "POLY before CLIP header".into(),
+                })?;
+                if nums.len() % 2 != 0 {
+                    return Err(GeometryError::ParseClip {
+                        line: line_no,
+                        message: "POLY needs an even number of coordinates".into(),
+                    });
+                }
+                let verts: Vec<Point> = nums
+                    .chunks_exact(2)
+                    .map(|c| Point::new(c[0], c[1]))
+                    .collect();
+                layout.try_push(Polygon::new(verts)?)?;
+            }
+            other => {
+                return Err(GeometryError::ParseClip {
+                    line: line_no,
+                    message: format!("unknown keyword '{other}'"),
+                });
+            }
+        }
+    }
+    layout.ok_or(GeometryError::ParseClip {
+        line: 0,
+        message: "missing CLIP header".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_layout() -> Layout {
+        let mut l = Layout::new(1024, 1024);
+        l.push(Polygon::from_rect(Rect::new(480, 240, 550, 784)));
+        l.push(
+            Polygon::new(vec![
+                Point::new(100, 100),
+                Point::new(200, 100),
+                Point::new(200, 150),
+                Point::new(150, 150),
+                Point::new(150, 300),
+                Point::new(100, 300),
+            ])
+            .unwrap(),
+        );
+        l
+    }
+
+    #[test]
+    fn round_trip() {
+        let l = sample_layout();
+        let text = write_clip(&l);
+        let parsed = parse_clip(&text).unwrap();
+        assert_eq!(parsed, l);
+    }
+
+    #[test]
+    fn rects_written_compactly() {
+        let text = write_clip(&sample_layout());
+        assert!(text.contains("RECT 480 240 550 784"));
+        assert!(text.contains("POLY 100 100 200 100"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# header comment\nCLIP 100 100 # trailing\n\nRECT 0 0 10 10\n";
+        let l = parse_clip(text).unwrap();
+        assert_eq!(l.shapes().len(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = parse_clip("RECT 0 0 10 10\n").unwrap_err();
+        assert!(err.to_string().contains("RECT before CLIP"));
+        let err = parse_clip("# nothing\n").unwrap_err();
+        assert!(err.to_string().contains("missing CLIP"));
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        let err = parse_clip("CLIP 10 10\nCLIP 10 10\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate CLIP"));
+    }
+
+    #[test]
+    fn bad_tokens_report_line_numbers() {
+        let err = parse_clip("CLIP 100 100\nRECT 0 0 ten 10\n").unwrap_err();
+        match err {
+            GeometryError::ParseClip { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        assert!(parse_clip("CLIP 100\n").is_err());
+        assert!(parse_clip("CLIP 100 100\nRECT 1 2 3\n").is_err());
+        assert!(parse_clip("CLIP 100 100\nPOLY 1 2 3\n").is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_shape_rejected() {
+        let err = parse_clip("CLIP 100 100\nRECT 50 50 150 80\n").unwrap_err();
+        assert!(matches!(err, GeometryError::ShapeOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn unknown_keyword_rejected() {
+        let err = parse_clip("CLIP 10 10\nBLOB 1 2\n").unwrap_err();
+        assert!(err.to_string().contains("unknown keyword"));
+    }
+
+    #[test]
+    fn empty_rect_rejected() {
+        assert!(parse_clip("CLIP 10 10\nRECT 5 5 5 9\n").is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Integer-nanometer points and axis orientations.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in layout space, in integer nanometers.
+///
+/// `x` grows rightward, `y` grows downward (matching grid row order).
+///
+/// ```
+/// use mosaic_geometry::Point;
+///
+/// let p = Point::new(3, 4) + Point::new(1, -1);
+/// assert_eq!(p, Point::new(4, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate in nm.
+    pub x: i64,
+    /// Vertical coordinate in nm.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point from nm coordinates.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to another point.
+    #[inline]
+    pub fn manhattan_distance(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// Axis orientation of a Manhattan edge.
+///
+/// The paper's EPE formulation partitions measurement sites into samples on
+/// horizontal edges (`HS`) and vertical edges (`VS`) — the orientation
+/// decides the direction along which edge displacement is measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Edge parallel to the x axis; displacement is measured vertically.
+    Horizontal,
+    /// Edge parallel to the y axis; displacement is measured horizontally.
+    Vertical,
+}
+
+impl Orientation {
+    /// The other orientation.
+    #[inline]
+    pub fn perpendicular(self) -> Orientation {
+        match self {
+            Orientation::Horizontal => Orientation::Vertical,
+            Orientation::Vertical => Orientation::Horizontal,
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Orientation::Horizontal => write!(f, "horizontal"),
+            Orientation::Vertical => write!(f, "vertical"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point::new(1, 2);
+        let b = Point::new(3, -4);
+        assert_eq!(a + b, Point::new(4, -2));
+        assert_eq!(b - a, Point::new(2, -6));
+    }
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, -4);
+        assert_eq!(a.manhattan_distance(b), 7);
+        assert_eq!(b.manhattan_distance(a), 7);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (5, 6).into();
+        assert_eq!(p, Point::new(5, 6));
+    }
+
+    #[test]
+    fn perpendicular_is_involution() {
+        assert_eq!(
+            Orientation::Horizontal.perpendicular(),
+            Orientation::Vertical
+        );
+        assert_eq!(
+            Orientation::Horizontal.perpendicular().perpendicular(),
+            Orientation::Horizontal
+        );
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Point::new(1, -2).to_string(), "(1, -2)");
+        assert_eq!(Orientation::Vertical.to_string(), "vertical");
+    }
+}

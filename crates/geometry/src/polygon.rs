@@ -1,0 +1,357 @@
+//! Rectilinear (Manhattan) polygons.
+
+use crate::error::GeometryError;
+use crate::point::{Orientation, Point};
+use crate::rect::Rect;
+use std::fmt;
+
+/// A directed axis-parallel edge of a polygon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Edge start, in nm.
+    pub start: Point,
+    /// Edge end, in nm.
+    pub end: Point,
+}
+
+impl Segment {
+    /// Creates a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not axis-parallel or has zero length.
+    pub fn new(start: Point, end: Point) -> Self {
+        assert!(
+            (start.x == end.x) ^ (start.y == end.y),
+            "segment must be axis-parallel and non-degenerate: {start} -> {end}"
+        );
+        Segment { start, end }
+    }
+
+    /// Whether the edge runs horizontally or vertically.
+    #[inline]
+    pub fn orientation(&self) -> Orientation {
+        if self.start.y == self.end.y {
+            Orientation::Horizontal
+        } else {
+            Orientation::Vertical
+        }
+    }
+
+    /// Edge length in nm.
+    #[inline]
+    pub fn length(&self) -> i64 {
+        self.start.manhattan_distance(self.end)
+    }
+
+    /// Midpoint with f64 precision (edge lengths may be odd).
+    pub fn midpoint_f(&self) -> (f64, f64) {
+        (
+            (self.start.x + self.end.x) as f64 / 2.0,
+            (self.start.y + self.end.y) as f64 / 2.0,
+        )
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.start, self.end)
+    }
+}
+
+/// A simple rectilinear polygon given by its vertex ring.
+///
+/// Vertices are listed in order (either winding); the closing edge from the
+/// last vertex back to the first is implicit. All edges must be
+/// axis-parallel, which [`Polygon::new`] validates.
+///
+/// ```
+/// use mosaic_geometry::{Point, Polygon, Rect};
+///
+/// // An L-shape.
+/// let poly = Polygon::new(vec![
+///     Point::new(0, 0),
+///     Point::new(20, 0),
+///     Point::new(20, 10),
+///     Point::new(10, 10),
+///     Point::new(10, 30),
+///     Point::new(0, 30),
+/// ]).unwrap();
+/// assert_eq!(poly.area(), 20 * 10 + 10 * 20);
+/// assert!(poly.contains_f(5.0, 25.0));
+/// assert!(!poly.contains_f(15.0, 25.0));
+/// assert_eq!(poly.bounding_box(), Rect::new(0, 0, 20, 30));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its vertex ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::InvalidPolygon`] when fewer than four
+    /// vertices are given, when any edge (including the implicit closing
+    /// edge) is not axis-parallel, or when an edge has zero length.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, GeometryError> {
+        if vertices.len() < 4 {
+            return Err(GeometryError::InvalidPolygon(format!(
+                "need at least 4 vertices, got {}",
+                vertices.len()
+            )));
+        }
+        for i in 0..vertices.len() {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % vertices.len()];
+            let axis_parallel = (a.x == b.x) ^ (a.y == b.y);
+            if !axis_parallel {
+                return Err(GeometryError::InvalidPolygon(format!(
+                    "edge {a} -> {b} is not axis-parallel or has zero length"
+                )));
+            }
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// A rectangle as a 4-vertex polygon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is empty.
+    pub fn from_rect(rect: Rect) -> Self {
+        assert!(!rect.is_empty(), "cannot build a polygon from {rect}");
+        Polygon {
+            vertices: vec![
+                Point::new(rect.x0, rect.y0),
+                Point::new(rect.x1, rect.y0),
+                Point::new(rect.x1, rect.y1),
+                Point::new(rect.x0, rect.y1),
+            ],
+        }
+    }
+
+    /// The vertex ring.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Iterates over every edge, including the closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Smallest axis-aligned rectangle containing the polygon.
+    pub fn bounding_box(&self) -> Rect {
+        let mut x0 = i64::MAX;
+        let mut y0 = i64::MAX;
+        let mut x1 = i64::MIN;
+        let mut y1 = i64::MIN;
+        for v in &self.vertices {
+            x0 = x0.min(v.x);
+            y0 = y0.min(v.y);
+            x1 = x1.max(v.x);
+            y1 = y1.max(v.y);
+        }
+        Rect::new(x0, y0, x1, y1)
+    }
+
+    /// Absolute enclosed area in nm² (shoelace formula).
+    pub fn area(&self) -> i64 {
+        let n = self.vertices.len();
+        let mut twice: i64 = 0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            twice += a.x * b.y - b.x * a.y;
+        }
+        twice.abs() / 2
+    }
+
+    /// Point-in-polygon test at real coordinates (even-odd rule).
+    ///
+    /// Designed for probing at pixel centers and half-integer offsets,
+    /// where the query can never sit exactly on a lattice edge — so the
+    /// usual ray-casting degeneracies don't arise.
+    pub fn contains_f(&self, x: f64, y: f64) -> bool {
+        // Cast a ray in +x; count crossings of vertical edges.
+        let mut inside = false;
+        for seg in self.edges() {
+            if seg.orientation() == Orientation::Vertical {
+                let ex = seg.start.x as f64;
+                let (ylo, yhi) = if seg.start.y < seg.end.y {
+                    (seg.start.y as f64, seg.end.y as f64)
+                } else {
+                    (seg.end.y as f64, seg.start.y as f64)
+                };
+                if y >= ylo && y < yhi && ex > x {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// Translates every vertex by `(dx, dy)` nm.
+    pub fn translate(&self, dx: i64, dy: i64) -> Polygon {
+        Polygon {
+            vertices: self
+                .vertices
+                .iter()
+                .map(|p| Point::new(p.x + dx, p.y + dy))
+                .collect(),
+        }
+    }
+
+    /// The outward normal of an edge, as a unit step `(nx, ny)`.
+    ///
+    /// Determined by probing just inside/outside the edge midpoint, so it
+    /// is correct for either vertex winding.
+    pub fn outward_normal(&self, edge: Segment) -> (i64, i64) {
+        let (mx, my) = edge.midpoint_f();
+        match edge.orientation() {
+            Orientation::Horizontal => {
+                // Candidates: up (0,-1) or down (0,1).
+                if self.contains_f(mx, my + 0.5) {
+                    (0, -1)
+                } else {
+                    (0, 1)
+                }
+            }
+            Orientation::Vertical => {
+                if self.contains_f(mx + 0.5, my) {
+                    (-1, 0)
+                } else {
+                    (1, 0)
+                }
+            }
+        }
+    }
+}
+
+impl From<Rect> for Polygon {
+    fn from(rect: Rect) -> Self {
+        Polygon::from_rect(rect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(20, 0),
+            Point::new(20, 10),
+            Point::new(10, 10),
+            Point::new(10, 30),
+            Point::new(0, 30),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rect_round_trip() {
+        let r = Rect::new(1, 2, 5, 9);
+        let p = Polygon::from_rect(r);
+        assert_eq!(p.bounding_box(), r);
+        assert_eq!(p.area(), r.area());
+        assert_eq!(p.edges().count(), 4);
+    }
+
+    #[test]
+    fn rejects_diagonal_edges() {
+        let err = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(5, 5),
+            Point::new(5, 0),
+            Point::new(0, 0),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_too_few_vertices() {
+        assert!(Polygon::new(vec![Point::new(0, 0), Point::new(1, 0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_length_edge() {
+        let err = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 0),
+            Point::new(5, 0),
+            Point::new(5, 5),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn l_shape_area_and_containment() {
+        let p = l_shape();
+        assert_eq!(p.area(), 400);
+        assert!(p.contains_f(15.0, 5.0)); // in the top arm
+        assert!(p.contains_f(5.0, 20.0)); // in the left arm
+        assert!(!p.contains_f(15.0, 20.0)); // in the notch
+        assert!(!p.contains_f(-1.0, 5.0));
+        assert!(!p.contains_f(25.0, 5.0));
+    }
+
+    #[test]
+    fn containment_winding_independent() {
+        let mut verts: Vec<Point> = l_shape().vertices().to_vec();
+        verts.reverse();
+        let p = Polygon::new(verts).unwrap();
+        assert!(p.contains_f(15.0, 5.0));
+        assert!(!p.contains_f(15.0, 20.0));
+    }
+
+    #[test]
+    fn outward_normals_point_away_from_interior() {
+        let p = Polygon::from_rect(Rect::new(0, 0, 10, 10));
+        for edge in p.edges() {
+            let (nx, ny) = p.outward_normal(edge);
+            let (mx, my) = edge.midpoint_f();
+            // Half a step outward must be outside; half a step inward inside.
+            assert!(!p.contains_f(mx + 0.5 * nx as f64, my + 0.5 * ny as f64));
+            assert!(p.contains_f(mx - 0.5 * nx as f64, my - 0.5 * ny as f64));
+        }
+    }
+
+    #[test]
+    fn outward_normals_on_concave_shape() {
+        let p = l_shape();
+        for edge in p.edges() {
+            let (nx, ny) = p.outward_normal(edge);
+            let (mx, my) = edge.midpoint_f();
+            assert!(
+                !p.contains_f(mx + 0.5 * nx as f64, my + 0.5 * ny as f64),
+                "edge {edge} normal ({nx},{ny}) points inward"
+            );
+        }
+    }
+
+    #[test]
+    fn translate_moves_bbox() {
+        let p = l_shape().translate(100, -50);
+        assert_eq!(p.bounding_box(), Rect::new(100, -50, 120, -20));
+        assert_eq!(p.area(), 400);
+    }
+
+    #[test]
+    fn segment_accessors() {
+        let s = Segment::new(Point::new(0, 0), Point::new(0, 8));
+        assert_eq!(s.orientation(), Orientation::Vertical);
+        assert_eq!(s.length(), 8);
+        assert_eq!(s.midpoint_f(), (0.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis-parallel")]
+    fn segment_rejects_diagonal() {
+        let _ = Segment::new(Point::new(0, 0), Point::new(1, 1));
+    }
+}

@@ -1,0 +1,330 @@
+//! A minimal double-precision complex number.
+//!
+//! The optical kernels of a partially coherent imaging system are complex
+//! fields, so the whole simulation pipeline runs on [`Complex`] values. The
+//! type is deliberately small: `Copy`, 16 bytes, with the handful of
+//! operations the FFT and the Hopkins/SOCS model need.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` with `f64` components.
+///
+/// ```
+/// use mosaic_numerics::Complex;
+///
+/// let i = Complex::I;
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// assert!((Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2) - 2.0 * i).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number from polar components `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex::new(r * c, r * s)
+    }
+
+    /// Returns `e^{iθ}`, a unit phasor. This is the twiddle-factor
+    /// constructor used throughout the FFT.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// The complex conjugate `re − i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// The modulus `|z| = sqrt(re² + im²)`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The squared modulus `|z|² = re² + im²`.
+    ///
+    /// The aerial-image intensity of a coherent system is exactly the
+    /// squared modulus of the convolved field (Eq. (1) of the paper), so
+    /// this is on the hottest path of the simulator.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplies by a real scalar without constructing a `Complex`.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// The multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `self` is zero, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex> for Complex {
+    fn sum<I: Iterator<Item = &'a Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).norm() < EPS
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert!(close(z + Complex::ZERO, z));
+        assert!(close(z * Complex::ONE, z));
+        assert!(close(z - z, Complex::ZERO));
+        assert!(close(z + (-z), Complex::ZERO));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex::I * Complex::I, Complex::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn norm_and_norm_sqr_agree() {
+        let z = Complex::new(3.0, 4.0);
+        assert!((z.norm() - 5.0).abs() < EPS);
+        assert!((z.norm_sqr() - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary_part() {
+        let z = Complex::new(1.5, 2.5);
+        assert!(close(z.conj(), Complex::new(1.5, -2.5)));
+        // z * conj(z) = |z|^2
+        assert!(close(z * z.conj(), Complex::new(z.norm_sqr(), 0.0)));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(2.0, -1.0);
+        let b = Complex::new(-0.5, 3.0);
+        assert!(close(a * b / b, a));
+        assert!(close(b * b.recip(), Complex::ONE));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.norm() - 2.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit_phasor() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            assert!((Complex::cis(theta).norm() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = (Complex::I * std::f64::consts::PI).exp();
+        assert!(close(z, Complex::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn scalar_ops_match_complex_ops() {
+        let z = Complex::new(1.0, -2.0);
+        assert!(close(z * 3.0, z * Complex::new(3.0, 0.0)));
+        assert!(close(3.0 * z, z * 3.0));
+        assert!(close(z / 2.0, z / Complex::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn sum_folds_from_zero() {
+        let xs = [Complex::new(1.0, 1.0), Complex::new(2.0, -3.0)];
+        let s: Complex = xs.iter().sum();
+        assert!(close(s, Complex::new(3.0, -2.0)));
+        let s2: Complex = xs.into_iter().sum();
+        assert!(close(s2, Complex::new(3.0, -2.0)));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,383 @@
+//! FFT-based circular convolution and correlation.
+//!
+//! The forward lithography model evaluates `M ⊗ h_k` for every optical
+//! kernel `h_k` (Eq. (2)), and the gradient needs the matching correlations
+//! with conjugated, flipped kernels (Eq. (14)/(17)). Both reduce to
+//! pointwise products in the frequency domain:
+//!
+//! * convolution: `F⁻¹( F(M) · F(h) )`
+//! * correlation with `conj(h(−x))`: `F⁻¹( F(G) · conj(F(h)) )`
+//!
+//! A [`Convolver`] owns the 2-D FFT plan; kernels are transformed **once**
+//! into [`KernelSpectrum`] values and reused every iteration, which is where
+//! virtually all of the optimizer's per-iteration cost savings come from.
+//!
+//! Convolution here is *circular*. Callers embed their pattern with a guard
+//! band at least as wide as the kernel support (see
+//! [`Grid::embed_centered`](crate::grid::Grid::embed_centered)) so
+//! wrap-around never reaches real geometry.
+
+use crate::complex::Complex;
+use crate::fft::{Fft2d, FftDirection};
+use crate::grid::Grid;
+
+/// A kernel held in the frequency domain, ready for repeated use.
+///
+/// Produced by [`Convolver::kernel_spectrum`] or
+/// [`Convolver::kernel_spectrum_centered`]; consumed by the convolution and
+/// correlation calls.
+#[derive(Debug, Clone)]
+pub struct KernelSpectrum {
+    spectrum: Grid<Complex>,
+}
+
+impl KernelSpectrum {
+    /// Wraps frequency-domain samples built directly by the caller.
+    ///
+    /// Index `(i, j)` must follow FFT ordering: frequency `i/W` cycles per
+    /// pixel for `i < W/2`, `i/W − 1` for `i ≥ W/2` (same for `j`/`H`).
+    /// Optical pupils are naturally defined in the frequency domain, so
+    /// lithography models construct their kernel spectra this way without
+    /// ever materializing a spatial kernel.
+    pub fn from_grid(spectrum: Grid<Complex>) -> Self {
+        KernelSpectrum { spectrum }
+    }
+
+    /// The raw frequency-domain samples.
+    pub fn as_grid(&self) -> &Grid<Complex> {
+        &self.spectrum
+    }
+
+    /// Consumes the spectrum, returning the frequency-domain samples.
+    pub fn into_grid(self) -> Grid<Complex> {
+        self.spectrum
+    }
+
+    /// Spectrum shape `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        self.spectrum.dims()
+    }
+
+    /// Adds `other · weight` to this spectrum in place.
+    ///
+    /// Linearity of the Fourier transform makes this equivalent to
+    /// combining the kernels in the spatial domain — this is exactly the
+    /// pre-combination trick of Eq. (21) (`H = Σ_k w_k h_k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn accumulate(&mut self, other: &KernelSpectrum, weight: f64) {
+        assert_eq!(self.dims(), other.dims(), "kernel spectrum shape mismatch");
+        for (a, b) in self
+            .spectrum
+            .iter_mut()
+            .zip(other.spectrum.iter())
+        {
+            *a += b.scale(weight);
+        }
+    }
+
+    /// An all-zero spectrum of the given shape, for use as an
+    /// [`accumulate`](KernelSpectrum::accumulate) seed.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        KernelSpectrum {
+            spectrum: Grid::zeros(width, height),
+        }
+    }
+}
+
+/// A reusable frequency-domain convolution engine for one grid shape.
+///
+/// ```
+/// use mosaic_numerics::{Complex, Convolver, Grid};
+///
+/// // Identity kernel (impulse at the center) returns the input unchanged.
+/// let n = 8;
+/// let conv = Convolver::new(n, n);
+/// let mut kernel = Grid::<Complex>::zeros(n, n);
+/// kernel[(n / 2, n / 2)] = Complex::ONE;
+/// let spec = conv.kernel_spectrum_centered(&kernel);
+/// let image = Grid::from_fn(n, n, |x, y| (x + 2 * y) as f64);
+/// let out = conv.convolve_real(&image, &spec);
+/// for (o, i) in out.iter().zip(image.iter()) {
+///     assert!((o.re - i).abs() < 1e-9 && o.im.abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Convolver {
+    plan: Fft2d,
+}
+
+impl Convolver {
+    /// Creates a convolver for `width × height` grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        Convolver {
+            plan: Fft2d::new(width, height),
+        }
+    }
+
+    /// Expected grid width.
+    pub fn width(&self) -> usize {
+        self.plan.width()
+    }
+
+    /// Expected grid height.
+    pub fn height(&self) -> usize {
+        self.plan.height()
+    }
+
+    /// Access to the underlying FFT plan (for callers that want to manage
+    /// spectra themselves).
+    pub fn plan(&self) -> &Fft2d {
+        &self.plan
+    }
+
+    /// Transforms a kernel whose origin is already at index `(0, 0)`.
+    pub fn kernel_spectrum(&self, kernel: &Grid<Complex>) -> KernelSpectrum {
+        let mut g = kernel.clone();
+        self.plan.process(&mut g, FftDirection::Forward);
+        KernelSpectrum { spectrum: g }
+    }
+
+    /// Transforms a kernel whose origin sits at the grid center
+    /// `(width/2, height/2)` — the natural layout for optical kernels.
+    ///
+    /// The circular shift (an "ifftshift") moves the center to `(0, 0)`
+    /// before transforming, so convolution output is not translated.
+    pub fn kernel_spectrum_centered(&self, kernel: &Grid<Complex>) -> KernelSpectrum {
+        let shifted = kernel.shift_origin(kernel.width() / 2, kernel.height() / 2);
+        self.kernel_spectrum(&shifted)
+    }
+
+    /// Forward-transforms a real field (e.g. the mask `M`).
+    ///
+    /// Computing this once per iteration and reusing it against every
+    /// kernel spectrum is the standard SOCS evaluation pattern.
+    pub fn forward_real(&self, field: &Grid<f64>) -> Grid<Complex> {
+        self.plan.forward_real(field)
+    }
+
+    /// Forward-transforms a complex field.
+    pub fn forward(&self, field: &Grid<Complex>) -> Grid<Complex> {
+        let mut g = field.clone();
+        self.plan.process(&mut g, FftDirection::Forward);
+        g
+    }
+
+    /// Completes a convolution given a precomputed field spectrum:
+    /// `F⁻¹( field_spectrum · kernel )`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn convolve_spectrum(
+        &self,
+        field_spectrum: &Grid<Complex>,
+        kernel: &KernelSpectrum,
+    ) -> Grid<Complex> {
+        let mut prod = field_spectrum.hadamard(&kernel.spectrum);
+        self.plan.process(&mut prod, FftDirection::Inverse);
+        prod
+    }
+
+    /// Completes a correlation with the conjugate-flipped kernel:
+    /// `F⁻¹( field_spectrum · conj(kernel) )`.
+    ///
+    /// This is the `H*(−x) ⊗ G` operation appearing in the closed-form
+    /// gradients (Eq. (14) and (17)).
+    pub fn correlate_spectrum(
+        &self,
+        field_spectrum: &Grid<Complex>,
+        kernel: &KernelSpectrum,
+    ) -> Grid<Complex> {
+        let mut prod = field_spectrum.zip_map(&kernel.spectrum, |&a, &b| a * b.conj());
+        self.plan.process(&mut prod, FftDirection::Inverse);
+        prod
+    }
+
+    /// One-shot convolution of a real field with a kernel spectrum.
+    pub fn convolve_real(&self, field: &Grid<f64>, kernel: &KernelSpectrum) -> Grid<Complex> {
+        let spectrum = self.forward_real(field);
+        self.convolve_spectrum(&spectrum, kernel)
+    }
+
+    /// One-shot convolution of a complex field with a kernel spectrum.
+    pub fn convolve(&self, field: &Grid<Complex>, kernel: &KernelSpectrum) -> Grid<Complex> {
+        let spectrum = self.forward(field);
+        self.convolve_spectrum(&spectrum, kernel)
+    }
+
+    /// One-shot correlation of a complex field with the conjugate-flipped
+    /// kernel.
+    pub fn correlate(&self, field: &Grid<Complex>, kernel: &KernelSpectrum) -> Grid<Complex> {
+        let spectrum = self.forward(field);
+        self.correlate_spectrum(&spectrum, kernel)
+    }
+}
+
+/// Direct O(N⁴) circular convolution used as a test reference.
+///
+/// The kernel origin is taken at index `(0, 0)`, matching
+/// [`Convolver::kernel_spectrum`]. Exposed for downstream tests.
+pub fn convolve_reference(field: &Grid<Complex>, kernel: &Grid<Complex>) -> Grid<Complex> {
+    assert_eq!(field.dims(), kernel.dims(), "shape mismatch");
+    let (w, h) = field.dims();
+    Grid::from_fn(w, h, |x, y| {
+        let mut acc = Complex::ZERO;
+        for ky in 0..h {
+            for kx in 0..w {
+                let fx = (x + w - kx) % w;
+                let fy = (y + h - ky) % h;
+                acc += field[(fx, fy)] * kernel[(kx, ky)];
+            }
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_grid_close(a: &Grid<Complex>, b: &Grid<Complex>, tol: f64) {
+        assert_eq!(a.dims(), b.dims());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((*x - *y).norm() < tol, "pixel {i}: {x} vs {y}");
+        }
+    }
+
+    fn random_ish_grid(w: usize, h: usize, seed: u64) -> Grid<Complex> {
+        // Deterministic pseudo-random values without pulling in rand here.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Grid::from_fn(w, h, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+            Complex::new(a, b)
+        })
+    }
+
+    #[test]
+    fn matches_direct_convolution() {
+        let w = 8;
+        let h = 4;
+        let field = random_ish_grid(w, h, 7);
+        let kernel = random_ish_grid(w, h, 99);
+        let conv = Convolver::new(w, h);
+        let spec = conv.kernel_spectrum(&kernel);
+        let fast = conv.convolve(&field, &spec);
+        let slow = convolve_reference(&field, &kernel);
+        assert_grid_close(&fast, &slow, 1e-9);
+    }
+
+    #[test]
+    fn centered_kernel_does_not_translate() {
+        let n = 16;
+        let conv = Convolver::new(n, n);
+        // Gaussian-ish bump centered at grid center.
+        let kernel = Grid::from_fn(n, n, |x, y| {
+            let dx = x as f64 - (n / 2) as f64;
+            let dy = y as f64 - (n / 2) as f64;
+            Complex::new((-0.5 * (dx * dx + dy * dy)).exp(), 0.0)
+        });
+        let spec = conv.kernel_spectrum_centered(&kernel);
+        let mut impulse = Grid::<f64>::zeros(n, n);
+        impulse[(5, 9)] = 1.0;
+        let out = conv.convolve_real(&impulse, &spec);
+        // Peak of output must be at the impulse location.
+        let mut best = (0, 0);
+        let mut best_v = f64::MIN;
+        for ((x, y), v) in out.indexed_iter() {
+            if v.re > best_v {
+                best_v = v.re;
+                best = (x, y);
+            }
+        }
+        assert_eq!(best, (5, 9));
+    }
+
+    #[test]
+    fn correlation_flips_the_kernel() {
+        // correlate(field, h) must equal convolve(field, conj(h(-x))).
+        let w = 8;
+        let h = 8;
+        let field = random_ish_grid(w, h, 3);
+        let kernel = random_ish_grid(w, h, 4);
+        let conv = Convolver::new(w, h);
+        let spec = conv.kernel_spectrum(&kernel);
+        let corr = conv.correlate(&field, &spec);
+        // Build conj(h(-x)) explicitly: index n -> (N - n) mod N, conjugated.
+        let flipped = Grid::from_fn(w, h, |x, y| {
+            kernel[((w - x) % w, (h - y) % h)].conj()
+        });
+        let spec_f = conv.kernel_spectrum(&flipped);
+        let conv_f = conv.convolve(&field, &spec_f);
+        assert_grid_close(&corr, &conv_f, 1e-9);
+    }
+
+    #[test]
+    fn spectrum_accumulate_matches_spatial_sum() {
+        // FFT(w1*h1 + w2*h2) == w1*FFT(h1) + w2*FFT(h2) — Eq. (21).
+        let n = 8;
+        let conv = Convolver::new(n, n);
+        let h1 = random_ish_grid(n, n, 11);
+        let h2 = random_ish_grid(n, n, 22);
+        let mut combined = KernelSpectrum::zeros(n, n);
+        combined.accumulate(&conv.kernel_spectrum(&h1), 0.7);
+        combined.accumulate(&conv.kernel_spectrum(&h2), 0.3);
+        let spatial = h1.zip_map(&h2, |&a, &b| a.scale(0.7) + b.scale(0.3));
+        let expect = conv.kernel_spectrum(&spatial);
+        assert_grid_close(combined.as_grid(), expect.as_grid(), 1e-9);
+    }
+
+    #[test]
+    fn convolution_is_linear_in_field() {
+        let n = 8;
+        let conv = Convolver::new(n, n);
+        let kernel = conv.kernel_spectrum(&random_ish_grid(n, n, 5));
+        let f1 = random_ish_grid(n, n, 6);
+        let f2 = random_ish_grid(n, n, 7);
+        let sum = f1.zip_map(&f2, |&a, &b| a + b);
+        let c1 = conv.convolve(&f1, &kernel);
+        let c2 = conv.convolve(&f2, &kernel);
+        let cs = conv.convolve(&sum, &kernel);
+        let expect = c1.zip_map(&c2, |&a, &b| a + b);
+        assert_grid_close(&cs, &expect, 1e-9);
+    }
+
+    #[test]
+    fn reusing_field_spectrum_matches_one_shot() {
+        let n = 8;
+        let conv = Convolver::new(n, n);
+        let field = random_ish_grid(n, n, 42);
+        let k1 = conv.kernel_spectrum(&random_ish_grid(n, n, 1));
+        let k2 = conv.kernel_spectrum(&random_ish_grid(n, n, 2));
+        let spectrum = conv.forward(&field);
+        let a1 = conv.convolve_spectrum(&spectrum, &k1);
+        let a2 = conv.convolve_spectrum(&spectrum, &k2);
+        assert_grid_close(&a1, &conv.convolve(&field, &k1), 1e-10);
+        assert_grid_close(&a2, &conv.convolve(&field, &k2), 1e-10);
+    }
+
+    #[test]
+    fn works_on_non_power_of_two_grids() {
+        let w = 12;
+        let h = 10;
+        let field = random_ish_grid(w, h, 9);
+        let kernel = random_ish_grid(w, h, 10);
+        let conv = Convolver::new(w, h);
+        let fast = conv.convolve(&field, &conv.kernel_spectrum(&kernel));
+        let slow = convolve_reference(&field, &kernel);
+        assert_grid_close(&fast, &slow, 1e-8);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the numerics crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by FFT planning and grid operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// A transform or convolution of length zero was requested.
+    EmptyTransform,
+    /// Two grids that must share a shape did not.
+    ShapeMismatch {
+        /// Shape of the first operand.
+        expected: (usize, usize),
+        /// Shape of the offending operand.
+        found: (usize, usize),
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::EmptyTransform => write!(f, "transform length must be non-zero"),
+            NumericsError::ShapeMismatch { expected, found } => write!(
+                f,
+                "grid shape mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            NumericsError::EmptyTransform.to_string(),
+            "transform length must be non-zero"
+        );
+        let e = NumericsError::ShapeMismatch {
+            expected: (4, 4),
+            found: (2, 3),
+        };
+        assert_eq!(e.to_string(), "grid shape mismatch: expected 4x4, found 2x3");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

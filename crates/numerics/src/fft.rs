@@ -1,0 +1,544 @@
+//! Fast Fourier transforms.
+//!
+//! Two algorithms cover every size:
+//!
+//! * **Radix-2 Cooley–Tukey** (iterative, in-place, with precomputed
+//!   bit-reversal and twiddle tables) for power-of-two lengths — the fast
+//!   path the simulation grids are chosen to hit.
+//! * **Bluestein's chirp-z algorithm** for arbitrary lengths, expressed as a
+//!   circular convolution of power-of-two length, so odd-sized kernels and
+//!   diagnostic transforms still work.
+//!
+//! Conventions: the forward transform is unnormalized
+//! (`X[k] = Σ_n x[n]·e^{-2πi kn/N}`); the inverse divides by `N`, so
+//! `inverse(forward(x)) == x`.
+//!
+//! ```
+//! use mosaic_numerics::{Complex, Fft, FftDirection};
+//!
+//! let fft = Fft::new(8);
+//! let mut data: Vec<Complex> = (0..8).map(|n| Complex::new(n as f64, 0.0)).collect();
+//! let original = data.clone();
+//! fft.process(&mut data, FftDirection::Forward);
+//! fft.process(&mut data, FftDirection::Inverse);
+//! for (a, b) in data.iter().zip(&original) {
+//!     assert!((*a - *b).norm() < 1e-9);
+//! }
+//! ```
+
+use crate::complex::Complex;
+use crate::grid::Grid;
+use std::f64::consts::PI;
+use std::sync::Arc;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FftDirection {
+    /// Time → frequency, kernel `e^{-2πi kn/N}`, unnormalized.
+    Forward,
+    /// Frequency → time, kernel `e^{+2πi kn/N}`, scaled by `1/N`.
+    Inverse,
+}
+
+/// A planned 1-D FFT of a fixed length.
+///
+/// Plans are cheap to clone (`Arc`-backed tables) and reusable across any
+/// number of `process` calls, which is what the per-iteration convolution
+/// loop of the ILT optimizer relies on.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    len: usize,
+    algo: Algo,
+}
+
+#[derive(Debug, Clone)]
+enum Algo {
+    /// len == 1; transform is the identity.
+    Identity,
+    Radix2 {
+        /// Twiddle factors e^{-iπ k / half} for k in 0..len/2 (forward).
+        twiddles: Arc<[Complex]>,
+        /// Bit-reversal permutation.
+        rev: Arc<[u32]>,
+    },
+    Bluestein {
+        /// chirp[n] = e^{-iπ n² / len} (forward direction).
+        chirp: Arc<[Complex]>,
+        /// Forward FFT (padded length) of the chirp filter b.
+        filter_spectrum: Arc<[Complex]>,
+        /// Power-of-two inner FFT of the padded length.
+        inner: Arc<Fft>,
+    },
+}
+
+impl Fft {
+    /// Plans a transform of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "FFT length must be non-zero");
+        if len == 1 {
+            return Fft {
+                len,
+                algo: Algo::Identity,
+            };
+        }
+        if len.is_power_of_two() {
+            Fft {
+                len,
+                algo: Self::plan_radix2(len),
+            }
+        } else {
+            Fft {
+                len,
+                algo: Self::plan_bluestein(len),
+            }
+        }
+    }
+
+    /// Transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the planned length is zero (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn plan_radix2(len: usize) -> Algo {
+        let half = len / 2;
+        // twiddles[k] = e^{-2πi k / len} = e^{-iπ k / half}
+        let twiddles: Vec<Complex> = (0..half)
+            .map(|k| Complex::cis(-PI * k as f64 / half as f64))
+            .collect();
+        let bits = len.trailing_zeros();
+        let rev: Vec<u32> = (0..len as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        Algo::Radix2 {
+            twiddles: twiddles.into(),
+            rev: rev.into(),
+        }
+    }
+
+    fn plan_bluestein(len: usize) -> Algo {
+        let pad = (2 * len - 1).next_power_of_two();
+        let inner = Fft::new(pad);
+        // chirp[n] = e^{-iπ n²/len}; compute n² mod 2·len to avoid precision
+        // loss at large n.
+        let modulus = 2 * len as u64;
+        let chirp: Vec<Complex> = (0..len)
+            .map(|n| {
+                let sq = ((n as u64 * n as u64) % modulus) as f64;
+                Complex::cis(-PI * sq / len as f64)
+            })
+            .collect();
+        // Filter b[n] = conj(chirp[|n|]) arranged circularly on the padded
+        // length, then transformed once up front.
+        let mut filter = vec![Complex::ZERO; pad];
+        filter[0] = chirp[0].conj();
+        for n in 1..len {
+            let c = chirp[n].conj();
+            filter[n] = c;
+            filter[pad - n] = c;
+        }
+        inner.process(&mut filter, FftDirection::Forward);
+        Algo::Bluestein {
+            chirp: chirp.into(),
+            filter_spectrum: filter.into(),
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Runs the transform in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn process(&self, data: &mut [Complex], direction: FftDirection) {
+        assert_eq!(
+            data.len(),
+            self.len,
+            "FFT plan length {} does not match buffer length {}",
+            self.len,
+            data.len()
+        );
+        match &self.algo {
+            Algo::Identity => {}
+            Algo::Radix2 { twiddles, rev } => {
+                Self::radix2_in_place(data, twiddles, rev, direction);
+                if direction == FftDirection::Inverse {
+                    let scale = 1.0 / self.len as f64;
+                    for v in data.iter_mut() {
+                        *v = v.scale(scale);
+                    }
+                }
+            }
+            Algo::Bluestein {
+                chirp,
+                filter_spectrum,
+                inner,
+            } => {
+                self.bluestein(data, chirp, filter_spectrum, inner, direction);
+            }
+        }
+    }
+
+    fn radix2_in_place(
+        data: &mut [Complex],
+        twiddles: &[Complex],
+        rev: &[u32],
+        direction: FftDirection,
+    ) {
+        let n = data.len();
+        for i in 0..n {
+            let j = rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut size = 2;
+        while size <= n {
+            let half = size / 2;
+            let step = n / size;
+            let mut start = 0;
+            while start < n {
+                for k in 0..half {
+                    let mut w = twiddles[k * step];
+                    if direction == FftDirection::Inverse {
+                        w = w.conj();
+                    }
+                    let even = data[start + k];
+                    let odd = data[start + k + half] * w;
+                    data[start + k] = even + odd;
+                    data[start + k + half] = even - odd;
+                }
+                start += size;
+            }
+            size <<= 1;
+        }
+    }
+
+    fn bluestein(
+        &self,
+        data: &mut [Complex],
+        chirp: &[Complex],
+        filter_spectrum: &[Complex],
+        inner: &Fft,
+        direction: FftDirection,
+    ) {
+        let n = self.len;
+        let pad = inner.len();
+        // For the inverse direction the chirp is conjugated throughout,
+        // which conjugates the filter spectrum as well (the filter is the
+        // forward FFT of a conjugate-symmetric arrangement, so conjugating
+        // it equals building the filter from the conjugated chirp).
+        let chirp_of = |i: usize| match direction {
+            FftDirection::Forward => chirp[i],
+            FftDirection::Inverse => chirp[i].conj(),
+        };
+        let mut a = vec![Complex::ZERO; pad];
+        for i in 0..n {
+            a[i] = data[i] * chirp_of(i);
+        }
+        inner.process(&mut a, FftDirection::Forward);
+        match direction {
+            FftDirection::Forward => {
+                for (av, f) in a.iter_mut().zip(filter_spectrum.iter()) {
+                    *av = *av * *f;
+                }
+            }
+            FftDirection::Inverse => {
+                for (av, f) in a.iter_mut().zip(filter_spectrum.iter()) {
+                    *av = *av * f.conj();
+                }
+            }
+        }
+        inner.process(&mut a, FftDirection::Inverse);
+        let scale = match direction {
+            FftDirection::Forward => 1.0,
+            FftDirection::Inverse => 1.0 / n as f64,
+        };
+        for i in 0..n {
+            data[i] = (a[i] * chirp_of(i)).scale(scale);
+        }
+    }
+}
+
+/// A planned 2-D FFT over [`Grid<Complex>`] values.
+///
+/// Rows are transformed first, then columns through a scratch buffer. The
+/// plan owns one [`Fft`] per axis, so rectangular grids work.
+#[derive(Debug, Clone)]
+pub struct Fft2d {
+    row: Fft,
+    col: Fft,
+}
+
+impl Fft2d {
+    /// Plans transforms for `width × height` grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        Fft2d {
+            row: Fft::new(width),
+            col: Fft::new(height),
+        }
+    }
+
+    /// Grid width this plan expects.
+    pub fn width(&self) -> usize {
+        self.row.len()
+    }
+
+    /// Grid height this plan expects.
+    pub fn height(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Transforms `grid` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid shape differs from the planned shape.
+    pub fn process(&self, grid: &mut Grid<Complex>, direction: FftDirection) {
+        assert_eq!(
+            grid.dims(),
+            (self.width(), self.height()),
+            "FFT2D plan {}x{} does not match grid {}x{}",
+            self.width(),
+            self.height(),
+            grid.width(),
+            grid.height()
+        );
+        let (w, h) = grid.dims();
+        for y in 0..h {
+            self.row.process(grid.row_mut(y), direction);
+        }
+        let mut col = vec![Complex::ZERO; h];
+        for x in 0..w {
+            for (y, c) in col.iter_mut().enumerate() {
+                *c = grid[(x, y)];
+            }
+            self.col.process(&mut col, direction);
+            for (y, c) in col.iter().enumerate() {
+                grid[(x, y)] = *c;
+            }
+        }
+    }
+
+    /// Convenience: forward-transforms a real grid into a fresh spectrum.
+    pub fn forward_real(&self, grid: &Grid<f64>) -> Grid<Complex> {
+        let mut g = grid.to_complex();
+        self.process(&mut g, FftDirection::Forward);
+        g
+    }
+}
+
+/// Naive O(N²) DFT used as a reference in tests.
+///
+/// Exposed publicly (rather than `#[cfg(test)]`) so downstream crates'
+/// tests can validate their own spectra against it.
+pub fn dft_reference(input: &[Complex], direction: FftDirection) -> Vec<Complex> {
+    let n = input.len();
+    let sign = match direction {
+        FftDirection::Forward => -1.0,
+        FftDirection::Inverse => 1.0,
+    };
+    let scale = match direction {
+        FftDirection::Forward => 1.0,
+        FftDirection::Inverse => 1.0 / n as f64,
+    };
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (i, &x) in input.iter().enumerate() {
+                let theta = sign * 2.0 * PI * (k as u64 * i as u64 % n as u64) as f64 / n as f64;
+                acc += x * Complex::cis(theta);
+            }
+            acc.scale(scale)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (*x - *y).norm() < tol,
+                "mismatch at {i}: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 * 0.5 - 1.0, (i as f64).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft_pow2() {
+        for n in [1usize, 2, 4, 8, 16, 64, 128] {
+            let input = ramp(n);
+            let mut data = input.clone();
+            Fft::new(n).process(&mut data, FftDirection::Forward);
+            let expect = dft_reference(&input, FftDirection::Forward);
+            assert_close(&data, &expect, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft_arbitrary() {
+        for n in [3usize, 5, 6, 7, 12, 15, 31, 100] {
+            let input = ramp(n);
+            let mut data = input.clone();
+            Fft::new(n).process(&mut data, FftDirection::Forward);
+            let expect = dft_reference(&input, FftDirection::Forward);
+            assert_close(&data, &expect, 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        for n in [2usize, 8, 13, 27, 256] {
+            let input = ramp(n);
+            let mut data = input.clone();
+            let fft = Fft::new(n);
+            fft.process(&mut data, FftDirection::Forward);
+            fft.process(&mut data, FftDirection::Inverse);
+            assert_close(&data, &input, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 16;
+        let mut data = vec![Complex::ZERO; n];
+        data[0] = Complex::ONE;
+        Fft::new(n).process(&mut data, FftDirection::Forward);
+        for v in &data {
+            assert!((*v - Complex::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_dc_spike() {
+        let n = 32;
+        let mut data = vec![Complex::ONE; n];
+        Fft::new(n).process(&mut data, FftDirection::Forward);
+        assert!((data[0] - Complex::new(n as f64, 0.0)).norm() < 1e-9);
+        for v in &data[1..] {
+            assert!(v.norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 64;
+        let input = ramp(n);
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut data = input;
+        Fft::new(n).process(&mut data, FftDirection::Forward);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 24; // exercises Bluestein
+        let a = ramp(n);
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.3)).collect();
+        let fft = Fft::new(n);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft.process(&mut fa, FftDirection::Forward);
+        fft.process(&mut fb, FftDirection::Forward);
+        let mut sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + y.scale(2.0)).collect();
+        fft.process(&mut sum, FftDirection::Forward);
+        let expect: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| *x + y.scale(2.0)).collect();
+        assert_close(&sum, &expect, 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match buffer length")]
+    fn wrong_length_panics() {
+        let fft = Fft::new(8);
+        let mut data = vec![Complex::ZERO; 4];
+        fft.process(&mut data, FftDirection::Forward);
+    }
+
+    #[test]
+    fn fft2d_round_trip() {
+        let plan = Fft2d::new(8, 4);
+        let input = Grid::from_fn(8, 4, |x, y| Complex::new(x as f64, y as f64 * 0.5));
+        let mut g = input.clone();
+        plan.process(&mut g, FftDirection::Forward);
+        plan.process(&mut g, FftDirection::Inverse);
+        for (a, b) in g.iter().zip(input.iter()) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft2d_separable_against_1d() {
+        // 2-D FFT of a separable function f(x,y) = g(x)h(y) is the outer
+        // product of the 1-D transforms.
+        let w = 8;
+        let h = 16;
+        let gx: Vec<Complex> = (0..w).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let hy: Vec<Complex> = (0..h).map(|i| Complex::new(1.0 / (1.0 + i as f64), 0.0)).collect();
+        let grid = Grid::from_fn(w, h, |x, y| gx[x] * hy[y]);
+        let plan = Fft2d::new(w, h);
+        let mut out = grid;
+        plan.process(&mut out, FftDirection::Forward);
+        let mut fgx = gx;
+        let mut fhy = hy;
+        Fft::new(w).process(&mut fgx, FftDirection::Forward);
+        Fft::new(h).process(&mut fhy, FftDirection::Forward);
+        for y in 0..h {
+            for x in 0..w {
+                let expect = fgx[x] * fhy[y];
+                assert!((out[(x, y)] - expect).norm() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fft2d_rectangular_dimensions_kept_straight() {
+        // A grid constant along x and varying along y must transform to a
+        // spectrum confined to the x=0 column.
+        let plan = Fft2d::new(4, 8);
+        let grid = Grid::from_fn(4, 8, |_x, y| Complex::new((y as f64 * 0.3).cos(), 0.0));
+        let mut out = grid;
+        plan.process(&mut out, FftDirection::Forward);
+        for y in 0..8 {
+            for x in 1..4 {
+                assert!(out[(x, y)].norm() < 1e-9, "energy leaked to x={x}, y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_real_matches_complex_path() {
+        let real = Grid::from_fn(8, 8, |x, y| (x * y) as f64 * 0.1);
+        let plan = Fft2d::new(8, 8);
+        let a = plan.forward_real(&real);
+        let mut b = real.to_complex();
+        plan.process(&mut b, FftDirection::Forward);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((*x - *y).norm() < 1e-12);
+        }
+    }
+}

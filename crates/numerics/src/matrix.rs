@@ -1,0 +1,379 @@
+//! Dense complex matrices and a Hermitian eigensolver.
+//!
+//! The Hopkins transmission cross coefficient (TCC) of a partially
+//! coherent imaging system is a Hermitian positive-semidefinite operator;
+//! its dominant eigenpairs are the optimal (SVD/Mercer) coherent kernels
+//! of the sum-of-coherent-systems decomposition the paper uses (Eq. (1),
+//! "singular value decomposition model"). Frequency-domain support of the
+//! pupil keeps the matrix small (a few hundred samples), so a classic
+//! cyclic **complex Jacobi** eigensolver is plenty:
+//!
+//! each sweep zeroes every off-diagonal pair `(p, q)` with a unitary
+//! plane rotation `U = D(φ)·R(θ)` — the phase `φ = arg(a_pq)` realifies
+//! the pivot, the angle `θ` (with `tan 2θ = 2|a_pq|/(a_pp − a_qq)`)
+//! eliminates it — and the product of rotations accumulates into the
+//! eigenvector matrix.
+
+use crate::complex::Complex;
+use std::fmt;
+
+/// A dense square complex matrix, row-major.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Matrix").field("n", &self.n).finish()
+    }
+}
+
+impl Matrix {
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![Complex::ZERO; n * n],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Builds from a function of `(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> Complex) -> Self {
+        let mut m = Matrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn mul_vec(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.n, "vector length mismatch");
+        (0..self.n)
+            .map(|r| {
+                let mut acc = Complex::ZERO;
+                for c in 0..self.n {
+                    acc += self[(r, c)] * x[c];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Frobenius norm of the off-diagonal part.
+    pub fn off_diagonal_norm(&self) -> f64 {
+        let mut sum = 0.0;
+        for r in 0..self.n {
+            for c in 0..self.n {
+                if r != c {
+                    sum += self[(r, c)].norm_sqr();
+                }
+            }
+        }
+        sum.sqrt()
+    }
+
+    /// Largest Hermitian-asymmetry `|a_rc − conj(a_cr)|` — 0 for an
+    /// exactly Hermitian matrix.
+    pub fn hermitian_defect(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for r in 0..self.n {
+            for c in 0..self.n {
+                worst = worst.max((self[(r, c)] - self[(c, r)].conj()).norm());
+            }
+        }
+        worst
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex {
+        &self.data[r * self.n + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex {
+        &mut self.data[r * self.n + c]
+    }
+}
+
+/// An eigendecomposition of a Hermitian matrix: `A·v_k = λ_k·v_k`.
+#[derive(Debug, Clone)]
+pub struct HermitianEigen {
+    /// Eigenvalues, sorted descending (all real for Hermitian input).
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns, in the same order; unitary up to
+    /// the iteration tolerance.
+    pub vectors: Matrix,
+}
+
+impl HermitianEigen {
+    /// The `k`-th eigenvector as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn vector(&self, k: usize) -> Vec<Complex> {
+        assert!(k < self.values.len(), "eigenpair index out of range");
+        (0..self.vectors.dim())
+            .map(|r| self.vectors[(r, k)])
+            .collect()
+    }
+}
+
+/// Eigendecomposition of a Hermitian matrix by cyclic complex Jacobi
+/// iteration.
+///
+/// Converges quadratically; `max_sweeps = 30` is far more than any
+/// physically sized TCC needs.
+///
+/// # Panics
+///
+/// Panics if the input is not Hermitian within `1e-9` (use
+/// [`Matrix::hermitian_defect`] to check first for graceful handling).
+pub fn eigen_hermitian(a: &Matrix) -> HermitianEigen {
+    assert!(
+        a.hermitian_defect() < 1e-9,
+        "matrix is not Hermitian (defect {})",
+        a.hermitian_defect()
+    );
+    let n = a.dim();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let scale = (0..n)
+        .map(|i| m[(i, i)].re.abs())
+        .fold(1.0f64, f64::max)
+        .max(m.off_diagonal_norm());
+    let tol = 1e-13 * scale * n as f64;
+    const MAX_SWEEPS: usize = 30;
+    for _sweep in 0..MAX_SWEEPS {
+        if m.off_diagonal_norm() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.norm() <= tol / (n as f64) {
+                    continue;
+                }
+                // Phase that realifies the pivot, then the classic real
+                // Jacobi angle.
+                let phi = apq.arg();
+                let g = apq.norm();
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                let theta = if (app - aqq).abs() < 1e-300 {
+                    std::f64::consts::FRAC_PI_4
+                } else {
+                    0.5 * (2.0 * g / (app - aqq)).atan()
+                };
+                let c = theta.cos();
+                let s = theta.sin();
+                // U restricted to the (p,q) plane:
+                //   U_pp = c            U_pq = -s
+                //   U_qp = e^{-iφ}·s    U_qq = e^{-iφ}·c
+                let upp = Complex::new(c, 0.0);
+                let upq = Complex::new(-s, 0.0);
+                let uqp = Complex::from_polar(s, -phi);
+                let uqq = Complex::from_polar(c, -phi);
+                // A <- U^H A U : update columns then rows.
+                for r in 0..n {
+                    let arp = m[(r, p)];
+                    let arq = m[(r, q)];
+                    m[(r, p)] = arp * upp + arq * uqp;
+                    m[(r, q)] = arp * upq + arq * uqq;
+                }
+                for col in 0..n {
+                    let apc = m[(p, col)];
+                    let aqc = m[(q, col)];
+                    m[(p, col)] = upp.conj() * apc + uqp.conj() * aqc;
+                    m[(q, col)] = upq.conj() * apc + uqq.conj() * aqc;
+                }
+                // V <- V U.
+                for r in 0..n {
+                    let vrp = v[(r, p)];
+                    let vrq = v[(r, q)];
+                    v[(r, p)] = vrp * upp + vrq * uqp;
+                    v[(r, q)] = vrp * upq + vrq * uqq;
+                }
+            }
+        }
+    }
+    // Extract and sort by descending eigenvalue.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    let values: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
+    let vectors = Matrix::from_fn(n, |r, k| v[(r, pairs[k].1)]);
+    HermitianEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_hermitian(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
+        };
+        let mut m = Matrix::zeros(n);
+        for r in 0..n {
+            m[(r, r)] = Complex::new(next(), 0.0);
+            for c in (r + 1)..n {
+                let z = Complex::new(next(), next());
+                m[(r, c)] = z;
+                m[(c, r)] = z.conj();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn identity_eigen() {
+        let eig = eigen_hermitian(&Matrix::identity(4));
+        for v in &eig.values {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut m = Matrix::zeros(3);
+        m[(0, 0)] = Complex::new(3.0, 0.0);
+        m[(1, 1)] = Complex::new(-1.0, 0.0);
+        m[(2, 2)] = Complex::new(2.0, 0.0);
+        let eig = eigen_hermitian(&m);
+        assert_eq!(eig.values, vec![3.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn known_2x2_complex_case() {
+        // [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+        let mut m = Matrix::zeros(2);
+        m[(0, 0)] = Complex::new(2.0, 0.0);
+        m[(0, 1)] = Complex::I;
+        m[(1, 0)] = -Complex::I;
+        m[(1, 1)] = Complex::new(2.0, 0.0);
+        let eig = eigen_hermitian(&m);
+        assert!((eig.values[0] - 3.0).abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_av_equals_lambda_v() {
+        for seed in [1u64, 2, 3] {
+            let a = random_hermitian(8, seed);
+            let eig = eigen_hermitian(&a);
+            for k in 0..8 {
+                let v = eig.vector(k);
+                let av = a.mul_vec(&v);
+                for (avi, vi) in av.iter().zip(&v) {
+                    let expect = vi.scale(eig.values[k]);
+                    assert!(
+                        (*avi - expect).norm() < 1e-8,
+                        "seed {seed}, eigenpair {k}: {avi} vs {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_and_real() {
+        let a = random_hermitian(10, 42);
+        let eig = eigen_hermitian(&a);
+        for pair in eig.values.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_hermitian(6, 9);
+        let eig = eigen_hermitian(&a);
+        for i in 0..6 {
+            for j in 0..6 {
+                let vi = eig.vector(i);
+                let vj = eig.vector(j);
+                let dot: Complex = vi.iter().zip(&vj).map(|(a, b)| a.conj() * *b).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (dot.norm() - expect).abs() < 1e-9,
+                    "({i},{j}): {}",
+                    dot.norm()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = random_hermitian(7, 5);
+        let trace: f64 = (0..7).map(|i| a[(i, i)].re).sum();
+        let eig = eigen_hermitian(&a);
+        let sum: f64 = eig.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psd_matrix_has_nonnegative_eigenvalues() {
+        // Build A = B^H B, which is PSD by construction.
+        let b = random_hermitian(6, 11);
+        let a = Matrix::from_fn(6, |r, c| {
+            let mut acc = Complex::ZERO;
+            for k in 0..6 {
+                acc += b[(k, r)].conj() * b[(k, c)];
+            }
+            acc
+        });
+        let eig = eigen_hermitian(&a);
+        for v in &eig.values {
+            assert!(*v > -1e-9, "negative eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not Hermitian")]
+    fn non_hermitian_rejected() {
+        let mut m = Matrix::zeros(2);
+        m[(0, 1)] = Complex::ONE;
+        let _ = eigen_hermitian(&m);
+    }
+
+    #[test]
+    fn mul_vec_and_indexing() {
+        let m = Matrix::from_fn(2, |r, c| Complex::new((r * 2 + c) as f64, 0.0));
+        let y = m.mul_vec(&[Complex::ONE, Complex::new(2.0, 0.0)]);
+        assert!((y[0] - Complex::new(2.0, 0.0)).norm() < 1e-12);
+        assert!((y[1] - Complex::new(8.0, 0.0)).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for optics configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from optical-system configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OpticsError {
+    /// A physical parameter was out of range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        message: String,
+    },
+}
+
+impl OpticsError {
+    pub(crate) fn param(name: &'static str, message: impl Into<String>) -> Self {
+        OpticsError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for OpticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpticsError::InvalidParameter { name, message } => {
+                write!(f, "invalid optical parameter '{name}': {message}")
+            }
+        }
+    }
+}
+
+impl Error for OpticsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter() {
+        let e = OpticsError::param("na", "must be positive");
+        assert_eq!(e.to_string(), "invalid optical parameter 'na': must be positive");
+    }
+}

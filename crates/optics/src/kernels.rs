@@ -1,0 +1,371 @@
+//! Coherent kernel banks (SOCS decomposition of the Hopkins model).
+//!
+//! For each sampled source point `s` (in σ coordinates) the coherent
+//! transfer function is the NA-limited pupil shifted by the source
+//! direction, times a defocus aberration phase:
+//!
+//! ```text
+//! K_s(f) = P(f + s·NA/λ) · exp(−iπ·λ·z·|f + s·NA/λ|²)
+//! ```
+//!
+//! with `P` the ideal circular pupil of cutoff `NA/λ` and `z` the defocus.
+//! The aerial image is then `I = dose · Σ_s w_s |M ⊗ h_s|²` — Eq. (2) of
+//! the paper with `h = kernel_count` kernels.
+//!
+//! Spectra are built directly on the FFT frequency grid, so no transform
+//! is needed at construction time and convolution kernels are exact (no
+//! spatial truncation).
+
+use crate::config::{OpticsConfig, ProcessCondition};
+use mosaic_numerics::{Complex, Convolver, FftDirection, Grid, KernelSpectrum};
+use std::f64::consts::PI;
+
+/// One coherent system: an intensity weight and a transfer function.
+#[derive(Debug, Clone)]
+pub struct CoherentKernel {
+    /// Intensity weight `w_k` (all weights of a set sum to 1).
+    pub weight: f64,
+    /// Frequency-domain transfer function on the FFT grid.
+    pub spectrum: KernelSpectrum,
+}
+
+/// The full kernel bank for one process condition.
+#[derive(Debug, Clone)]
+pub struct KernelSet {
+    kernels: Vec<CoherentKernel>,
+    condition: ProcessCondition,
+    width: usize,
+    height: usize,
+}
+
+impl KernelSet {
+    /// Wraps a prebuilt kernel list (used by the TCC/SVD path in
+    /// [`crate::tcc`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty or any spectrum shape differs from
+    /// `(width, height)`.
+    pub fn from_kernels(
+        kernels: Vec<CoherentKernel>,
+        condition: ProcessCondition,
+        width: usize,
+        height: usize,
+    ) -> Self {
+        assert!(!kernels.is_empty(), "kernel bank cannot be empty");
+        for k in &kernels {
+            assert_eq!(k.spectrum.dims(), (width, height), "kernel shape mismatch");
+        }
+        KernelSet {
+            kernels,
+            condition,
+            width,
+            height,
+        }
+    }
+
+    /// Builds the bank for `condition` under the given optics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`OpticsConfig::validate`]; validate
+    /// upstream for a fallible path.
+    pub fn build(config: &OpticsConfig, condition: ProcessCondition) -> Self {
+        config.validate().expect("invalid optics configuration");
+        let (w, h) = (config.grid_width, config.grid_height);
+        let cutoff = config.cutoff_frequency();
+        let points = config.source.sample(config.kernel_count);
+        let fx: Vec<f64> = (0..w).map(|i| freq(i, w, config.pixel_nm)).collect();
+        let fy: Vec<f64> = (0..h).map(|j| freq(j, h, config.pixel_nm)).collect();
+        let kernels = points
+            .iter()
+            .map(|p| {
+                let shift_x = p.sx * cutoff;
+                let shift_y = p.sy * cutoff;
+                let spectrum = Grid::from_fn(w, h, |i, j| {
+                    let gx = fx[i] + shift_x;
+                    let gy = fy[j] + shift_y;
+                    let g2 = gx * gx + gy * gy;
+                    if g2 <= cutoff * cutoff {
+                        // Paraxial defocus aberration phase.
+                        let phase = -PI * config.wavelength_nm * condition.defocus_nm * g2;
+                        Complex::cis(phase)
+                    } else {
+                        Complex::ZERO
+                    }
+                });
+                CoherentKernel {
+                    weight: p.weight,
+                    spectrum: KernelSpectrum::from_grid(spectrum),
+                }
+            })
+            .collect();
+        KernelSet {
+            kernels,
+            condition,
+            width: w,
+            height: h,
+        }
+    }
+
+    /// The coherent systems of this bank.
+    pub fn kernels(&self) -> &[CoherentKernel] {
+        &self.kernels
+    }
+
+    /// The process condition the bank was built for.
+    pub fn condition(&self) -> ProcessCondition {
+        self.condition
+    }
+
+    /// Grid shape `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// The weight-combined kernel `H = Σ_k w_k h_k` of Eq. (21), in the
+    /// frequency domain.
+    ///
+    /// Convolving with this single kernel replaces `h` convolutions in the
+    /// gradient computation (§3.5) — the MOSAIC_fast speedup.
+    pub fn combined(&self) -> KernelSpectrum {
+        let mut acc = KernelSpectrum::zeros(self.width, self.height);
+        for k in &self.kernels {
+            acc.accumulate(&k.spectrum, k.weight);
+        }
+        acc
+    }
+
+    /// Computes the aerial image `dose · Σ_k w_k |M ⊗ h_k|²` from a
+    /// precomputed mask spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum shape differs from the bank's grid.
+    pub fn aerial_image_from_spectrum(
+        &self,
+        convolver: &Convolver,
+        mask_spectrum: &Grid<Complex>,
+    ) -> Grid<f64> {
+        self.aerial_image_with_fields(convolver, mask_spectrum).0
+    }
+
+    /// Like [`aerial_image_from_spectrum`](Self::aerial_image_from_spectrum)
+    /// but also returns every coherent field `E_k = M ⊗ h_k`.
+    ///
+    /// The per-kernel gradient (Eq. (14)) needs these fields, so the
+    /// optimizer asks for them once and reuses them.
+    pub fn aerial_image_with_fields(
+        &self,
+        convolver: &Convolver,
+        mask_spectrum: &Grid<Complex>,
+    ) -> (Grid<f64>, Vec<Grid<Complex>>) {
+        assert_eq!(
+            mask_spectrum.dims(),
+            (self.width, self.height),
+            "mask spectrum shape mismatch"
+        );
+        let mut intensity = Grid::<f64>::zeros(self.width, self.height);
+        let mut fields = Vec::with_capacity(self.kernels.len());
+        for k in &self.kernels {
+            let field = convolver.convolve_spectrum(mask_spectrum, &k.spectrum);
+            let scale = k.weight * self.condition.dose;
+            for (acc, e) in intensity.iter_mut().zip(field.iter()) {
+                *acc += scale * e.norm_sqr();
+            }
+            fields.push(field);
+        }
+        (intensity, fields)
+    }
+
+    /// The spatial-domain kernel `h_k`, centered on the grid — for
+    /// inspection and plotting only (the pipeline never needs it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn spatial_kernel(&self, index: usize) -> Grid<Complex> {
+        let k = &self.kernels[index];
+        let mut g = k.spectrum.as_grid().clone();
+        let plan = mosaic_numerics::Fft2d::new(self.width, self.height);
+        plan.process(&mut g, FftDirection::Inverse);
+        // Move the origin to the grid center for viewing.
+        g.shift_origin(self.width / 2, self.height / 2)
+    }
+}
+
+/// FFT-ordered spatial frequency of index `i` on an `n`-point axis with
+/// pitch `pixel_nm`, in cycles per nm.
+pub(crate) fn freq(i: usize, n: usize, pixel_nm: f64) -> f64 {
+    let i = i as isize;
+    let n_i = n as isize;
+    let k = if i < n_i - n_i / 2 { i } else { i - n_i };
+    k as f64 / (n as f64 * pixel_nm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> OpticsConfig {
+        OpticsConfig::builder()
+            .grid(64, 64)
+            .pixel_nm(8.0)
+            .kernel_count(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn freq_ordering_matches_fft_convention() {
+        assert_eq!(freq(0, 8, 1.0), 0.0);
+        assert_eq!(freq(1, 8, 1.0), 0.125);
+        assert_eq!(freq(3, 8, 1.0), 0.375);
+        assert_eq!(freq(4, 8, 1.0), -0.5);
+        assert_eq!(freq(7, 8, 1.0), -0.125);
+        // Pitch rescales frequencies.
+        assert_eq!(freq(1, 8, 2.0), 0.0625);
+    }
+
+    #[test]
+    fn bank_has_requested_kernel_count() {
+        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL);
+        assert_eq!(set.kernels().len(), 8);
+        let total: f64 = set.kernels().iter().map(|k| k.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_field_intensity_is_unity() {
+        let config = small_config();
+        let set = KernelSet::build(&config, ProcessCondition::NOMINAL);
+        let conv = Convolver::new(64, 64);
+        let clear = Grid::filled(64, 64, 1.0);
+        let spectrum = conv.forward_real(&clear);
+        let intensity = set.aerial_image_from_spectrum(&conv, &spectrum);
+        for ((x, y), v) in intensity.indexed_iter() {
+            assert!((v - 1.0).abs() < 1e-9, "I({x},{y}) = {v}");
+        }
+    }
+
+    #[test]
+    fn clear_field_unity_even_defocused() {
+        let config = small_config();
+        let set = KernelSet::build(&config, ProcessCondition::new(25.0, 1.0));
+        let conv = Convolver::new(64, 64);
+        let spectrum = conv.forward_real(&Grid::filled(64, 64, 1.0));
+        let intensity = set.aerial_image_from_spectrum(&conv, &spectrum);
+        assert!((intensity[(32, 32)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dark_mask_gives_zero_intensity() {
+        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL);
+        let conv = Convolver::new(64, 64);
+        let spectrum = conv.forward_real(&Grid::zeros(64, 64));
+        let intensity = set.aerial_image_from_spectrum(&conv, &spectrum);
+        assert!(intensity.max() < 1e-15);
+    }
+
+    #[test]
+    fn dose_scales_intensity_linearly() {
+        let config = small_config();
+        let conv = Convolver::new(64, 64);
+        let mut mask = Grid::<f64>::zeros(64, 64);
+        for y in 24..40 {
+            for x in 28..36 {
+                mask[(x, y)] = 1.0;
+            }
+        }
+        let spectrum = conv.forward_real(&mask);
+        let nominal = KernelSet::build(&config, ProcessCondition::NOMINAL)
+            .aerial_image_from_spectrum(&conv, &spectrum);
+        let overdosed = KernelSet::build(&config, ProcessCondition::new(0.0, 1.02))
+            .aerial_image_from_spectrum(&conv, &spectrum);
+        for (a, b) in nominal.iter().zip(overdosed.iter()) {
+            assert!((b - a * 1.02).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn intensity_is_nonnegative() {
+        let set = KernelSet::build(&small_config(), ProcessCondition::new(-25.0, 0.98));
+        let conv = Convolver::new(64, 64);
+        let mask = Grid::from_fn(64, 64, |x, y| if (x / 8 + y / 8) % 2 == 0 { 1.0 } else { 0.0 });
+        let intensity = set.aerial_image_from_spectrum(&conv, &conv.forward_real(&mask));
+        assert!(intensity.min() >= 0.0);
+    }
+
+    #[test]
+    fn defocus_blurs_a_small_feature() {
+        let config = small_config();
+        let conv = Convolver::new(64, 64);
+        let mut mask = Grid::<f64>::zeros(64, 64);
+        // 5-pixel (40 nm) square — near the resolution limit.
+        for y in 30..35 {
+            for x in 30..35 {
+                mask[(x, y)] = 1.0;
+            }
+        }
+        let spectrum = conv.forward_real(&mask);
+        let focused = KernelSet::build(&config, ProcessCondition::NOMINAL)
+            .aerial_image_from_spectrum(&conv, &spectrum);
+        let defocused = KernelSet::build(&config, ProcessCondition::new(60.0, 1.0))
+            .aerial_image_from_spectrum(&conv, &spectrum);
+        assert!(
+            defocused[(32, 32)] < focused[(32, 32)],
+            "defocus should reduce peak intensity: {} vs {}",
+            defocused[(32, 32)],
+            focused[(32, 32)]
+        );
+    }
+
+    #[test]
+    fn combined_kernel_matches_weighted_sum() {
+        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL);
+        let combined = set.combined();
+        let mut manual = Grid::<Complex>::zeros(64, 64);
+        for k in set.kernels() {
+            for (m, s) in manual.iter_mut().zip(k.spectrum.as_grid().iter()) {
+                *m += s.scale(k.weight);
+            }
+        }
+        for (a, b) in combined.as_grid().iter().zip(manual.iter()) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spatial_kernel_is_centered_and_low_pass() {
+        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL);
+        let h = set.spatial_kernel(0);
+        // Peak magnitude at the grid center.
+        let mut best = (0, 0);
+        let mut best_v = f64::MIN;
+        for ((x, y), v) in h.indexed_iter() {
+            if v.norm() > best_v {
+                best_v = v.norm();
+                best = (x, y);
+            }
+        }
+        assert_eq!(best, (32, 32));
+    }
+
+    #[test]
+    fn fields_returned_match_intensity() {
+        let config = small_config();
+        let set = KernelSet::build(&config, ProcessCondition::new(10.0, 1.02));
+        let conv = Convolver::new(64, 64);
+        let mask = Grid::from_fn(64, 64, |x, _| if x > 20 && x < 44 { 1.0 } else { 0.0 });
+        let spectrum = conv.forward_real(&mask);
+        let (intensity, fields) = set.aerial_image_with_fields(&conv, &spectrum);
+        assert_eq!(fields.len(), set.kernels().len());
+        let manual: f64 = set
+            .kernels()
+            .iter()
+            .zip(&fields)
+            .map(|(k, f)| k.weight * 1.02 * f[(32, 32)].norm_sqr())
+            .sum();
+        assert!((intensity[(32, 32)] - manual).abs() < 1e-12);
+    }
+}

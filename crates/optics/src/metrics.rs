@@ -1,0 +1,195 @@
+//! Aerial-image quality metrics.
+//!
+//! Before EPE and PV bands, lithographers judge images by their slope:
+//! a steep intensity transition at the feature edge tolerates dose and
+//! focus errors (Cobb & Granik, "OPC methods to improve image slope and
+//! process window" — reference 2 of the paper). This module measures:
+//!
+//! * **ILS** — image log slope `|∇I|/I` at an edge position, in 1/nm;
+//! * **NILS** — ILS normalized by the feature width (dimensionless; a
+//!   printable edge typically needs NILS ≳ 2);
+//! * **image contrast** `(I_max − I_min)/(I_max + I_min)` over a region.
+//!
+//! These are diagnostics — the MOSAIC objective never consumes them —
+//! but they explain *why* a mask works: SRAFs and ILT decoration raise
+//! the edge ILS, which is exactly what shrinks the PV band.
+
+use mosaic_numerics::Grid;
+
+/// Image log slope at pixel `(x, y)` along the unit direction
+/// `(nx, ny)`, in 1/nm.
+///
+/// Uses a central difference; returns 0 at the grid border or where the
+/// intensity is zero.
+pub fn image_log_slope(
+    intensity: &Grid<f64>,
+    x: usize,
+    y: usize,
+    normal: (i64, i64),
+    pixel_nm: f64,
+) -> f64 {
+    let (w, h) = intensity.dims();
+    let (nx, ny) = normal;
+    let xp = x as i64 + nx;
+    let yp = y as i64 + ny;
+    let xm = x as i64 - nx;
+    let ym = y as i64 - ny;
+    let inside = |a: i64, b: i64| a >= 0 && b >= 0 && (a as usize) < w && (b as usize) < h;
+    if !inside(xp, yp) || !inside(xm, ym) {
+        return 0.0;
+    }
+    let i0 = intensity[(x, y)];
+    if i0 <= 0.0 {
+        return 0.0;
+    }
+    let grad =
+        (intensity[(xp as usize, yp as usize)] - intensity[(xm as usize, ym as usize)]).abs()
+            / (2.0 * pixel_nm);
+    grad / i0
+}
+
+/// Normalized image log slope: `ILS · feature_width`.
+pub fn nils(
+    intensity: &Grid<f64>,
+    x: usize,
+    y: usize,
+    normal: (i64, i64),
+    pixel_nm: f64,
+    feature_width_nm: f64,
+) -> f64 {
+    image_log_slope(intensity, x, y, normal, pixel_nm) * feature_width_nm
+}
+
+/// Michelson contrast `(I_max − I_min)/(I_max + I_min)` over the whole
+/// grid; 0 for a flat or empty image.
+pub fn contrast(intensity: &Grid<f64>) -> f64 {
+    if intensity.is_empty() {
+        return 0.0;
+    }
+    let max = intensity.max();
+    let min = intensity.min();
+    if max + min <= 0.0 {
+        0.0
+    } else {
+        (max - min) / (max + min)
+    }
+}
+
+/// Summary statistics of the edge ILS over a set of probe points.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SlopeSummary {
+    /// Smallest ILS over the probes (the yield limiter), 1/nm.
+    pub min_ils: f64,
+    /// Mean ILS, 1/nm.
+    pub mean_ils: f64,
+    /// Number of probes measured (in-bounds, non-zero intensity).
+    pub probes: usize,
+}
+
+/// Measures the ILS at each `(x, y, normal)` probe and summarizes.
+pub fn slope_summary(
+    intensity: &Grid<f64>,
+    probes: impl IntoIterator<Item = (usize, usize, (i64, i64))>,
+    pixel_nm: f64,
+) -> SlopeSummary {
+    let mut min_ils = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (x, y, normal) in probes {
+        let ils = image_log_slope(intensity, x, y, normal, pixel_nm);
+        if ils > 0.0 {
+            min_ils = min_ils.min(ils);
+            sum += ils;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        SlopeSummary::default()
+    } else {
+        SlopeSummary {
+            min_ils,
+            mean_ils: sum / n as f64,
+            probes: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic edge: I ramps linearly from 0.2 to 0.8 across x=8..12.
+    fn ramp_image() -> Grid<f64> {
+        Grid::from_fn(20, 20, |x, _| {
+            if x < 8 {
+                0.2
+            } else if x >= 12 {
+                0.8
+            } else {
+                0.2 + 0.15 * (x - 8) as f64
+            }
+        })
+    }
+
+    #[test]
+    fn ils_of_linear_ramp() {
+        let img = ramp_image();
+        // At x = 10: I = 0.5, slope = 0.15 per pixel at 1 nm pitch.
+        let ils = image_log_slope(&img, 10, 10, (1, 0), 1.0);
+        assert!((ils - 0.15 / 0.5).abs() < 1e-12);
+        // Pixel pitch scales the slope down.
+        let ils4 = image_log_slope(&img, 10, 10, (1, 0), 4.0);
+        assert!((ils4 - 0.15 / 0.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ils_is_direction_sensitive() {
+        let img = ramp_image();
+        // No variation along y.
+        assert_eq!(image_log_slope(&img, 10, 10, (0, 1), 1.0), 0.0);
+    }
+
+    #[test]
+    fn ils_zero_at_border_and_dark_pixels() {
+        let img = ramp_image();
+        assert_eq!(image_log_slope(&img, 0, 10, (1, 0), 1.0), 0.0);
+        let dark = Grid::<f64>::zeros(8, 8);
+        assert_eq!(image_log_slope(&dark, 4, 4, (1, 0), 1.0), 0.0);
+    }
+
+    #[test]
+    fn nils_scales_by_width() {
+        let img = ramp_image();
+        let ils = image_log_slope(&img, 10, 10, (1, 0), 1.0);
+        assert!((nils(&img, 10, 10, (1, 0), 1.0, 45.0) - ils * 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contrast_of_known_image() {
+        let img = ramp_image();
+        let c = contrast(&img);
+        assert!((c - (0.8 - 0.2) / (0.8 + 0.2)).abs() < 1e-12);
+        assert_eq!(contrast(&Grid::filled(4, 4, 0.5)), 0.0);
+    }
+
+    #[test]
+    fn slope_summary_aggregates() {
+        let img = ramp_image();
+        let probes = vec![(9, 5, (1, 0)), (10, 10, (1, 0)), (11, 15, (1, 0))];
+        let s = slope_summary(&img, probes, 1.0);
+        assert_eq!(s.probes, 3);
+        assert!(s.min_ils > 0.0);
+        assert!(s.mean_ils >= s.min_ils);
+        // The x=9 probe sits at lower intensity, so its ILS is the max;
+        // min is at x=11 (highest intensity)... verify ordering holds.
+        let ils11 = image_log_slope(&img, 11, 0, (1, 0), 1.0);
+        assert!((s.min_ils - ils11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_probe_set_gives_default() {
+        let img = ramp_image();
+        let s = slope_summary(&img, Vec::new(), 1.0);
+        assert_eq!(s, SlopeSummary::default());
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end forward lithography simulation (Fig. 1 of the paper):
+//! mask → optical projection → aerial image → resist → printed image.
+
+use crate::config::{OpticsConfig, ProcessCondition};
+use crate::kernels::KernelSet;
+use crate::resist::ResistModel;
+use mosaic_numerics::{Complex, Convolver, Grid};
+
+/// A forward lithography simulator holding kernel banks for a fixed list
+/// of process conditions.
+///
+/// Condition 0 is conventionally the nominal condition; the remaining
+/// entries are process-window corners. Building the simulator precomputes
+/// every kernel spectrum, so repeated simulation (the ILT inner loop) only
+/// pays FFTs.
+#[derive(Debug, Clone)]
+pub struct LithoSimulator {
+    convolver: Convolver,
+    resist: ResistModel,
+    banks: Vec<KernelSet>,
+    config: OpticsConfig,
+}
+
+impl LithoSimulator {
+    /// Builds kernel banks for every condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `conditions` is empty.
+    pub fn new(
+        config: &OpticsConfig,
+        resist: ResistModel,
+        conditions: Vec<ProcessCondition>,
+    ) -> Self {
+        config.validate().expect("invalid optics configuration");
+        assert!(!conditions.is_empty(), "need at least one process condition");
+        let convolver = Convolver::new(config.grid_width, config.grid_height);
+        let banks = conditions
+            .iter()
+            .map(|&c| KernelSet::build(config, c))
+            .collect();
+        LithoSimulator {
+            convolver,
+            resist,
+            banks,
+            config: config.clone(),
+        }
+    }
+
+    /// The optics configuration the simulator was built with.
+    pub fn config(&self) -> &OpticsConfig {
+        &self.config
+    }
+
+    /// The resist model in use.
+    pub fn resist(&self) -> &ResistModel {
+        &self.resist
+    }
+
+    /// The shared convolution engine (same grid shape as the simulator).
+    pub fn convolver(&self) -> &Convolver {
+        &self.convolver
+    }
+
+    /// Number of process conditions.
+    pub fn condition_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The conditions, in bank order.
+    pub fn conditions(&self) -> Vec<ProcessCondition> {
+        self.banks.iter().map(|b| b.condition()).collect()
+    }
+
+    /// The kernel bank for condition `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn bank(&self, index: usize) -> &KernelSet {
+        &self.banks[index]
+    }
+
+    /// Forward-transforms a mask once for reuse across conditions/kernels.
+    pub fn mask_spectrum(&self, mask: &Grid<f64>) -> Grid<Complex> {
+        self.convolver.forward_real(mask)
+    }
+
+    /// Aerial image of `mask` under condition `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask shape differs from the simulation grid or the
+    /// index is out of range.
+    pub fn aerial_image(&self, mask: &Grid<f64>, index: usize) -> Grid<f64> {
+        let spectrum = self.mask_spectrum(mask);
+        self.aerial_image_from_spectrum(&spectrum, index)
+    }
+
+    /// Aerial image from a precomputed mask spectrum.
+    pub fn aerial_image_from_spectrum(
+        &self,
+        mask_spectrum: &Grid<Complex>,
+        index: usize,
+    ) -> Grid<f64> {
+        self.banks[index].aerial_image_from_spectrum(&self.convolver, mask_spectrum)
+    }
+
+    /// Continuous printed image `Z = sig(I)` (Eq. (4)) under condition
+    /// `index`.
+    pub fn printed_continuous(&self, mask: &Grid<f64>, index: usize) -> Grid<f64> {
+        self.resist.develop(&self.aerial_image(mask, index))
+    }
+
+    /// Binary printed image (Eq. (3)) from an aerial image.
+    pub fn printed(&self, intensity: &Grid<f64>) -> Grid<f64> {
+        self.resist.print(intensity)
+    }
+
+    /// Binary printed images of `mask` under **all** conditions — the
+    /// inputs to PV-band measurement (Fig. 4).
+    pub fn printed_all_conditions(&self, mask: &Grid<f64>) -> Vec<Grid<f64>> {
+        let spectrum = self.mask_spectrum(mask);
+        (0..self.banks.len())
+            .map(|i| self.printed(&self.aerial_image_from_spectrum(&spectrum, i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulator(conditions: Vec<ProcessCondition>) -> LithoSimulator {
+        let config = OpticsConfig::builder()
+            .grid(64, 64)
+            .pixel_nm(8.0)
+            .kernel_count(8)
+            .build()
+            .unwrap();
+        LithoSimulator::new(&config, ResistModel::paper(), conditions)
+    }
+
+    fn bar_mask() -> Grid<f64> {
+        // 24-pixel (192 nm) wide vertical bar — comfortably printable.
+        Grid::from_fn(64, 64, |x, _| if (20..44).contains(&x) { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn large_bar_prints_near_its_edges() {
+        let sim = simulator(ProcessCondition::nominal_only());
+        let aerial = sim.aerial_image(&bar_mask(), 0);
+        let printed = sim.printed(&aerial);
+        // Center of the bar prints, far outside does not.
+        assert_eq!(printed[(32, 32)], 1.0);
+        assert_eq!(printed[(4, 32)], 0.0);
+        // Intensity decays monotonically-ish across the edge region.
+        assert!(aerial[(32, 32)] > aerial[(20, 32)]);
+        assert!(aerial[(20, 32)] > aerial[(8, 32)]);
+    }
+
+    #[test]
+    fn printed_edge_is_close_to_mask_edge() {
+        let sim = simulator(ProcessCondition::nominal_only());
+        let printed = sim.printed(&sim.aerial_image(&bar_mask(), 0));
+        // Find the printed left edge along the middle row.
+        let row = 32;
+        let left_edge = (0..64).find(|&x| printed[(x, row)] > 0.5).unwrap();
+        // Mask edge at x = 20; printed edge within a few pixels.
+        assert!(
+            (left_edge as i64 - 20).abs() <= 3,
+            "printed edge at {left_edge}, mask edge at 20"
+        );
+    }
+
+    #[test]
+    fn process_corners_change_the_print() {
+        // The contest ±2 % dose moves edges by ~1–2 nm — below one 8 nm
+        // test pixel — so use an exaggerated window at this pitch.
+        let sim = simulator(ProcessCondition::paper_window(80.0, 0.10));
+        let prints = sim.printed_all_conditions(&bar_mask());
+        assert_eq!(prints.len(), 5);
+        // Dose variation must move at least one edge pixel somewhere.
+        let base = &prints[0];
+        let differs = prints[1..].iter().any(|p| {
+            p.iter()
+                .zip(base.iter())
+                .any(|(a, b)| (a - b).abs() > 0.5)
+        });
+        assert!(differs, "corners did not change the printed image");
+    }
+
+    #[test]
+    fn overdose_prints_wider_than_underdose() {
+        let sim = simulator(vec![
+            ProcessCondition::new(0.0, 0.94),
+            ProcessCondition::new(0.0, 1.06),
+        ]);
+        let prints = sim.printed_all_conditions(&bar_mask());
+        let width = |g: &Grid<f64>| -> usize {
+            (0..64).filter(|&x| g[(x, 32)] > 0.5).count()
+        };
+        assert!(
+            width(&prints[1]) >= width(&prints[0]),
+            "overdose narrower than underdose"
+        );
+        assert!(width(&prints[1]) > 0);
+    }
+
+    #[test]
+    fn continuous_and_binary_prints_agree() {
+        let sim = simulator(ProcessCondition::nominal_only());
+        let mask = bar_mask();
+        let z = sim.printed_continuous(&mask, 0);
+        let p = sim.printed(&sim.aerial_image(&mask, 0));
+        for (zc, pb) in z.iter().zip(p.iter()) {
+            assert_eq!((*zc > 0.5) as i32 as f64, *pb);
+        }
+    }
+
+    #[test]
+    fn mask_spectrum_reuse_matches_direct() {
+        let sim = simulator(ProcessCondition::contest_window());
+        let mask = bar_mask();
+        let spectrum = sim.mask_spectrum(&mask);
+        for i in 0..sim.condition_count() {
+            let a = sim.aerial_image(&mask, i);
+            let b = sim.aerial_image_from_spectrum(&spectrum, i);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process condition")]
+    fn empty_conditions_rejected() {
+        let _ = simulator(vec![]);
+    }
+}

@@ -1,0 +1,25 @@
+#!/bin/bash
+# Regenerates every table/figure/ablation into results/.
+# Scales: tables+figures at `table` (512 px @ 2 nm), ablations at `quick`
+# (256 px @ 4 nm) to keep the full batch within ~1 h on one core.
+set -e
+cd "$(dirname "$0")"
+mkdir -p results
+BIN=./target/release
+
+run() { # name cmd...
+  local name=$1; shift
+  echo "=== $name: $*"
+  "$@" > "results/$name.txt" 2> "results/$name.log" || echo "FAILED: $name"
+}
+
+run table3_quick       $BIN/table3 quick
+run fig2               $BIN/fig2
+run fig5_table         $BIN/fig5 table
+run fig6_table         $BIN/fig6 table
+run ablation_kernel    $BIN/ablation_kernel quick
+run ablation_gamma     $BIN/ablation_gamma quick
+run ablation_init      $BIN/ablation_init quick
+run ablation_weights   $BIN/ablation_weights quick
+run ablation_linesearch $BIN/ablation_linesearch quick
+echo "all experiments done"

@@ -1,0 +1,183 @@
+//! `mosaic` — command-line OPC driver.
+//!
+//! ```text
+//! mosaic gen  --bench B4 [--out clip.glp]
+//! mosaic run  --clip clip.glp [--mode fast|exact] [--grid 512] [--pixel 2]
+//!             [--iterations 20] [--out-mask mask.pgm] [--out-glp mask.glp]
+//! mosaic eval --clip clip.glp --mask mask.pgm [--grid 512] [--pixel 2]
+//! ```
+//!
+//! * `gen` writes one of the built-in benchmark clips as GLP text.
+//! * `run` optimizes a mask for a clip and reports the contest score;
+//!   `--out-glp` traces the pixel mask back into Manhattan polygons.
+//! * `eval` scores an existing mask image against a clip.
+
+use mosaic_suite::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mosaic gen  --bench <B1..B10> [--out <clip.glp>]
+  mosaic run  --clip <clip.glp> [--mode fast|exact] [--grid <px>] [--pixel <nm>]
+              [--iterations <n>] [--out-mask <mask.pgm>] [--out-glp <mask.glp>]
+  mosaic eval --clip <clip.glp> --mask <mask.pgm> [--grid <px>] [--pixel <nm>]";
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got '{key}'"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "gen" => cmd_gen(&flags),
+        "run" => cmd_run(&flags),
+        "eval" => cmd_eval(&flags),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = flags.get("bench").ok_or("gen requires --bench")?;
+    let bench = benchmarks::BenchmarkId::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+    let text = glp::write_clip(&bench.layout());
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path} ({})", bench.description());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn scale_from(flags: &HashMap<String, String>) -> Result<(usize, f64), String> {
+    let grid = flags
+        .get("grid")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--grid: {e}")))
+        .transpose()?
+        .unwrap_or(512);
+    let pixel = flags
+        .get("pixel")
+        .map(|v| v.parse::<f64>().map_err(|e| format!("--pixel: {e}")))
+        .transpose()?
+        .unwrap_or(2.0);
+    Ok((grid, pixel))
+}
+
+fn load_clip(flags: &HashMap<String, String>) -> Result<Layout, String> {
+    let path = flags.get("clip").ok_or("missing --clip")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    glp::parse_clip(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let layout = load_clip(flags)?;
+    let (grid, pixel) = scale_from(flags)?;
+    let mode = match flags.get("mode").map(String::as_str) {
+        None | Some("exact") => MosaicMode::Exact,
+        Some("fast") => MosaicMode::Fast,
+        Some(other) => return Err(format!("unknown mode '{other}'")),
+    };
+    let mut config = MosaicConfig::contest(grid, pixel);
+    if let Some(iters) = flags.get("iterations") {
+        config.opt.max_iterations = iters.parse().map_err(|e| format!("--iterations: {e}"))?;
+    }
+    let mosaic = Mosaic::new(&layout, config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "optimizing: {} shapes, {} EPE sites, grid {grid} px @ {pixel} nm, {mode:?} mode",
+        layout.shapes().len(),
+        mosaic.problem().samples().len()
+    );
+    let start = std::time::Instant::now();
+    let result = mosaic.run(mode);
+    let runtime = start.elapsed().as_secs_f64();
+
+    let problem = mosaic.problem();
+    let evaluator = Evaluator::new(&layout, problem.grid_dims(), problem.pixel_nm(), 40, 15.0);
+    let report = evaluator.evaluate_mask(problem.simulator(), &result.binary_mask, runtime);
+    print!("{}", mosaic_suite::eval::render_report(&report));
+    let mrc = mrc::check(&result.binary_mask, MrcRules::contest(pixel));
+    println!(
+        "mask rules: {} width / {} space / {} area violations",
+        mrc.width_violations, mrc.space_violations, mrc.area_violations
+    );
+
+    if let Some(path) = flags.get("out-mask") {
+        let clip_mask = problem.crop_to_clip(&result.binary_mask);
+        pgm::write_file(&clip_mask, path).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flags.get("out-glp") {
+        let clip_mask = problem.crop_to_clip(&result.binary_mask);
+        let mask_layout = contour::grid_to_layout(&clip_mask, pixel.round() as i64);
+        std::fs::write(path, glp::write_clip(&mask_layout))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "wrote {path} ({} mask polygons)",
+            mask_layout.shapes().len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let layout = load_clip(flags)?;
+    let (grid, pixel) = scale_from(flags)?;
+    let mask_path = flags.get("mask").ok_or("eval requires --mask")?;
+    let bytes = std::fs::read(mask_path).map_err(|e| format!("read {mask_path}: {e}"))?;
+    let clip_mask = pgm::decode(&bytes)?.threshold(0.5);
+    let config = MosaicConfig::contest(grid, pixel);
+    let problem = OpcProblem::from_layout(
+        &layout,
+        &config.optics,
+        config.resist,
+        config.conditions.clone(),
+        config.epe_spacing_nm,
+    )
+    .map_err(|e| e.to_string())?;
+    if clip_mask.dims() != problem.clip_px() {
+        return Err(format!(
+            "mask is {}x{} px but the clip rasterizes to {}x{} px at {pixel} nm",
+            clip_mask.width(),
+            clip_mask.height(),
+            problem.clip_px().0,
+            problem.clip_px().1
+        ));
+    }
+    let mask = problem.embed_clip(&clip_mask);
+    let evaluator = Evaluator::new(&layout, problem.grid_dims(), pixel, 40, 15.0);
+    let report = evaluator.evaluate_mask(problem.simulator(), &mask, 0.0);
+    print!("{}", mosaic_suite::eval::render_report(&report));
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the MOSAIC workspace.
+//!
+//! This crate exists so the repository root can host cross-crate integration
+//! tests (`tests/`) and runnable examples (`examples/`). It re-exports every
+//! member crate under a short alias so examples read naturally:
+//!
+//! ```
+//! use mosaic_suite::prelude::*;
+//! let grid = Grid::<f64>::zeros(8, 8);
+//! assert_eq!(grid.width(), 8);
+//! ```
+
+pub use mosaic_baselines as baselines;
+pub use mosaic_core as core;
+pub use mosaic_eval as eval;
+pub use mosaic_geometry as geometry;
+pub use mosaic_numerics as numerics;
+pub use mosaic_optics as optics;
+
+/// Convenience re-exports of the types used by almost every example.
+pub mod prelude {
+    pub use mosaic_core::prelude::*;
+    pub use mosaic_eval::prelude::*;
+    pub use mosaic_geometry::prelude::*;
+    pub use mosaic_numerics::prelude::*;
+    pub use mosaic_optics::prelude::*;
+}

@@ -1,0 +1,165 @@
+//! Integration tests of the `mosaic` CLI binary (gen / run / eval).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mosaic_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mosaic"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mosaic_cli_tests").join(name);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn gen_writes_parseable_clips() {
+    let out = mosaic_bin()
+        .args(["gen", "--bench", "B1"])
+        .output()
+        .expect("run mosaic gen");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    let layout = mosaic_geometry::glp::parse_clip(&text).expect("parseable GLP");
+    assert_eq!(layout.shapes().len(), 1);
+    assert_eq!(layout.width(), 1024);
+}
+
+#[test]
+fn gen_rejects_unknown_benchmark() {
+    let out = mosaic_bin()
+        .args(["gen", "--bench", "B99"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("unknown benchmark"), "{err}");
+}
+
+#[test]
+fn missing_subcommand_prints_usage() {
+    let out = mosaic_bin().output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn run_then_eval_round_trip() {
+    let dir = temp_dir("round_trip");
+    let clip = dir.join("clip.glp");
+    let mask = dir.join("mask.pgm");
+    let mask_glp = dir.join("mask.glp");
+
+    // Small custom clip so the debug-build run stays fast.
+    let mut layout = mosaic_geometry::Layout::new(512, 512);
+    layout.push(mosaic_geometry::Polygon::from_rect(
+        mosaic_geometry::Rect::new(200, 120, 310, 390),
+    ));
+    std::fs::write(&clip, mosaic_geometry::glp::write_clip(&layout)).expect("write clip");
+
+    let out = mosaic_bin()
+        .args([
+            "run",
+            "--clip",
+            clip.to_str().expect("utf8 path"),
+            "--grid",
+            "128",
+            "--pixel",
+            "4",
+            "--mode",
+            "fast",
+            "--iterations",
+            "4",
+            "--out-mask",
+            mask.to_str().expect("utf8 path"),
+            "--out-glp",
+            mask_glp.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run mosaic run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("score"), "{stdout}");
+    assert!(stdout.contains("mask rules"), "{stdout}");
+
+    // The mask PGM decodes to the clip raster size.
+    let decoded = mosaic_eval::pgm::decode(&std::fs::read(&mask).expect("read mask"))
+        .expect("valid PGM");
+    assert_eq!(decoded.dims(), (128, 128));
+
+    // The traced GLP parses and has mask polygons.
+    let traced = mosaic_geometry::glp::parse_clip(
+        &std::fs::read_to_string(&mask_glp).expect("read glp"),
+    )
+    .expect("parseable mask GLP");
+    assert!(!traced.shapes().is_empty());
+
+    // eval on the written mask reproduces a score.
+    let out = mosaic_bin()
+        .args([
+            "eval",
+            "--clip",
+            clip.to_str().expect("utf8"),
+            "--mask",
+            mask.to_str().expect("utf8"),
+            "--grid",
+            "128",
+            "--pixel",
+            "4",
+        ])
+        .output()
+        .expect("run mosaic eval");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("score"), "{stdout}");
+}
+
+#[test]
+fn eval_rejects_mismatched_mask_size() {
+    let dir = temp_dir("mismatch");
+    let clip = dir.join("clip.glp");
+    let mask = dir.join("bad.pgm");
+    let mut layout = mosaic_geometry::Layout::new(512, 512);
+    layout.push(mosaic_geometry::Polygon::from_rect(
+        mosaic_geometry::Rect::new(200, 120, 310, 390),
+    ));
+    std::fs::write(&clip, mosaic_geometry::glp::write_clip(&layout)).expect("write");
+    // An 8x8 mask cannot match a 128 px clip raster.
+    let tiny = mosaic_numerics::Grid::<f64>::zeros(8, 8);
+    std::fs::write(&mask, mosaic_eval::pgm::encode(&tiny, 0.0, 1.0)).expect("write");
+    let out = mosaic_bin()
+        .args([
+            "eval",
+            "--clip",
+            clip.to_str().expect("utf8"),
+            "--mask",
+            mask.to_str().expect("utf8"),
+            "--grid",
+            "128",
+            "--pixel",
+            "4",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("rasterizes to"), "{err}");
+}
+
+#[test]
+fn flags_require_values() {
+    let out = mosaic_bin()
+        .args(["gen", "--bench"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("requires a value"), "{err}");
+}

@@ -1,0 +1,128 @@
+//! Consistency between the optimizer's smooth surrogates and the contest
+//! evaluator's hard metrics, across crate boundaries.
+
+use mosaic_suite::core::objective::Objective;
+use mosaic_suite::prelude::*;
+
+fn problem(conditions: Vec<ProcessCondition>) -> OpcProblem {
+    let mut layout = Layout::new(384, 384);
+    layout.push(Polygon::from_rect(Rect::new(96, 72, 200, 312)));
+    let optics = mosaic_suite::optics::OpticsConfig::builder()
+        .grid(96, 96)
+        .pixel_nm(4.0)
+        .kernel_count(4)
+        .build()
+        .expect("valid");
+    OpcProblem::from_layout(&layout, &optics, ResistModel::paper(), conditions, 40).expect("builds")
+}
+
+#[test]
+fn smooth_epe_count_tracks_hard_epe_count() {
+    let p = problem(ProcessCondition::nominal_only());
+    let mut cfg = OptimizationConfig::default();
+    cfg.target_term = TargetTerm::EdgePlacement;
+    let objective = Objective::new(&p, &cfg);
+    let evaluator = Evaluator::new(p.layout(), p.grid_dims(), p.pixel_nm(), 40, 15.0);
+
+    // Evaluate the surrogate and the hard count on the same (target) mask.
+    let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
+    let eval = objective.evaluate(&state);
+    let smooth = eval.report.target / cfg.alpha;
+    let print = p.simulator().printed(&p.simulator().aerial_image(p.target(), 0));
+    let hard = evaluator
+        .evaluate(&[print], 0.0)
+        .epe_violations as f64;
+    // The sigmoid-smoothed count must be within a few units of the hard
+    // count (it interpolates across the threshold).
+    assert!(
+        (smooth - hard).abs() <= 0.35 * p.samples().len() as f64,
+        "smooth {smooth} vs hard {hard} of {} sites",
+        p.samples().len()
+    );
+}
+
+#[test]
+fn pvb_surrogate_zero_iff_corners_match_nominal_target() {
+    // With a single (nominal-only) condition list there are no corners,
+    // so the surrogate must be exactly zero.
+    let p = problem(ProcessCondition::nominal_only());
+    let cfg = OptimizationConfig::default();
+    let objective = Objective::new(&p, &cfg);
+    let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
+    assert_eq!(objective.evaluate(&state).report.pvb, 0.0);
+
+    // With corners the surrogate is positive whenever the prints differ
+    // from the target at all.
+    let p2 = problem(vec![
+        ProcessCondition::NOMINAL,
+        ProcessCondition::new(25.0, 0.98),
+    ]);
+    let objective2 = Objective::new(&p2, &cfg);
+    let eval2 = objective2.evaluate(&state);
+    assert!(eval2.report.pvb > 0.0);
+}
+
+#[test]
+fn hard_pv_band_zero_for_identical_prints_positive_otherwise() {
+    let p = problem(vec![
+        ProcessCondition::NOMINAL,
+        ProcessCondition::new(0.0, 1.0), // duplicate of nominal
+    ]);
+    let prints = p.simulator().printed_all_conditions(p.target());
+    let band = PvBand::measure(&prints, p.pixel_nm());
+    assert_eq!(band.area_px(), 0, "identical conditions must give no band");
+
+    let p2 = problem(vec![
+        ProcessCondition::NOMINAL,
+        ProcessCondition::new(0.0, 1.10), // strong overdose at coarse pixels
+    ]);
+    let prints2 = p2.simulator().printed_all_conditions(p2.target());
+    let band2 = PvBand::measure(&prints2, p2.pixel_nm());
+    assert!(band2.area_px() > 0, "10% dose swing must move some pixels");
+}
+
+#[test]
+fn objective_gradient_and_contest_score_move_together() {
+    // A few gradient steps must not increase the contest score; this ties
+    // the surrogate optimization to the metric it stands in for.
+    let p = problem(vec![
+        ProcessCondition::NOMINAL,
+        ProcessCondition::new(25.0, 0.98),
+        ProcessCondition::new(-25.0, 1.02),
+    ]);
+    let cfg = OptimizationConfig {
+        max_iterations: 6,
+        ..OptimizationConfig::default()
+    };
+    let result = mosaic_suite::core::optimizer::optimize(&p, &cfg, p.target());
+    let evaluator = Evaluator::new(p.layout(), p.grid_dims(), p.pixel_nm(), 40, 15.0);
+    let before = evaluator.evaluate_mask(p.simulator(), p.target(), 0.0);
+    let after = evaluator.evaluate_mask(p.simulator(), &result.binary_mask, 0.0);
+    assert!(
+        after.score.total() <= before.score.total(),
+        "{} -> {}",
+        before.score.total(),
+        after.score.total()
+    );
+}
+
+#[test]
+fn evaluator_and_problem_agree_on_embedding() {
+    // The evaluator builds its own centered embedding; it must match the
+    // problem's exactly, or EPE sites would probe the wrong pixels.
+    let p = problem(ProcessCondition::nominal_only());
+    let evaluator = Evaluator::new(p.layout(), p.grid_dims(), p.pixel_nm(), 40, 15.0);
+    assert_eq!(evaluator.target(), p.target());
+}
+
+#[test]
+fn perfect_print_gives_zero_surrogates_and_zero_metrics() {
+    // Feed the target itself as the "print": hard metrics all zero.
+    let p = problem(ProcessCondition::nominal_only());
+    let evaluator = Evaluator::new(p.layout(), p.grid_dims(), p.pixel_nm(), 40, 15.0);
+    let report = evaluator.evaluate(&[p.target().clone()], 0.0);
+    assert_eq!(report.epe_violations, 0);
+    assert_eq!(report.pvband_nm2, 0.0);
+    assert_eq!(report.shape_violations, 0);
+    assert_eq!(report.score.total(), 0.0);
+}

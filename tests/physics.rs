@@ -1,0 +1,180 @@
+//! Physical-invariant tests of the optical model, cross-checking optics,
+//! core and eval against each other.
+
+use mosaic_suite::optics::metrics;
+use mosaic_suite::prelude::*;
+
+fn iso_line_layout() -> Layout {
+    let mut layout = Layout::new(1024, 1024);
+    layout.push(Polygon::from_rect(Rect::new(477, 240, 547, 784)));
+    layout
+}
+
+fn problem(conditions: Vec<ProcessCondition>) -> OpcProblem {
+    let optics = mosaic_suite::optics::OpticsConfig::builder()
+        .grid(256, 256)
+        .pixel_nm(4.0)
+        .kernel_count(8)
+        .build()
+        .expect("valid");
+    OpcProblem::from_layout(
+        &iso_line_layout(),
+        &optics,
+        ResistModel::paper(),
+        conditions,
+        40,
+    )
+    .expect("builds")
+}
+
+fn edge_probes(p: &OpcProblem) -> Vec<(usize, usize, (i64, i64))> {
+    p.samples()
+        .iter()
+        .map(|s| (s.x, s.y, s.normal))
+        .collect()
+}
+
+#[test]
+fn image_log_slope_is_dose_invariant() {
+    // ILS = |∇I|/I is exactly invariant under intensity scaling, so the
+    // dose corners must not change it.
+    let p = problem(vec![
+        ProcessCondition::NOMINAL,
+        ProcessCondition::new(0.0, 1.02),
+    ]);
+    let nominal = p.simulator().aerial_image(p.target(), 0);
+    let overdosed = p.simulator().aerial_image(p.target(), 1);
+    for (x, y, n) in edge_probes(&p) {
+        let a = metrics::image_log_slope(&nominal, x, y, n, 4.0);
+        let b = metrics::image_log_slope(&overdosed, x, y, n, 4.0);
+        assert!((a - b).abs() < 1e-12, "ILS changed under dose: {a} vs {b}");
+    }
+}
+
+#[test]
+fn defocus_reduces_mean_edge_slope() {
+    let p = problem(vec![
+        ProcessCondition::NOMINAL,
+        ProcessCondition::new(80.0, 1.0), // strong defocus for a clear signal
+    ]);
+    let focused = p.simulator().aerial_image(p.target(), 0);
+    let blurred = p.simulator().aerial_image(p.target(), 1);
+    let probes = edge_probes(&p);
+    let s_focus = metrics::slope_summary(&focused, probes.clone(), 4.0);
+    let s_blur = metrics::slope_summary(&blurred, probes, 4.0);
+    assert!(
+        s_blur.mean_ils < s_focus.mean_ils,
+        "defocus did not blur: {} vs {}",
+        s_blur.mean_ils,
+        s_focus.mean_ils
+    );
+}
+
+#[test]
+fn narrow_line_needs_opc_and_sraf_bars_do_not_print() {
+    // A bare 70 nm isolated line peaks below the print threshold — the
+    // uncorrected target does not print at all, which is exactly why the
+    // clips need OPC. A wide (160 nm) line does print, and decorating it
+    // with sub-resolution bars must not add any printed geometry.
+    let narrow = problem(ProcessCondition::nominal_only());
+    let peak = narrow.simulator().aerial_image(narrow.target(), 0).max();
+    assert!(
+        peak < 0.5,
+        "70 nm line unexpectedly printable without OPC (peak {peak})"
+    );
+
+    let mut wide_layout = Layout::new(1024, 1024);
+    wide_layout.push(Polygon::from_rect(Rect::new(432, 240, 592, 784)));
+    let optics = mosaic_suite::optics::OpticsConfig::builder()
+        .grid(256, 256)
+        .pixel_nm(4.0)
+        .kernel_count(8)
+        .build()
+        .expect("valid");
+    let wide = OpcProblem::from_layout(
+        &wide_layout,
+        &optics,
+        ResistModel::paper(),
+        ProcessCondition::nominal_only(),
+        40,
+    )
+    .expect("builds");
+    let rules = SrafRules::contest();
+    let decorated = rules.apply(wide.layout());
+    assert!(decorated.shapes().len() > wide.layout().shapes().len());
+    let mask = decorated.rasterize(4).embed_centered(256, 256);
+    let print = wide.simulator().printed(&wide.simulator().aerial_image(&mask, 0));
+    let check = ShapeCheck::check(&print, wide.target());
+    assert_eq!(check.spurious, 0, "an SRAF printed: {check:?}");
+    assert_eq!(check.missing, 0, "main feature vanished: {check:?}");
+}
+
+#[test]
+fn sraf_bars_raise_edge_intensity_toward_threshold() {
+    // The measured benefit of scattering bars in this model: the aerial
+    // intensity at the main feature's edges rises toward the print
+    // threshold (0.439 -> 0.461 peak for the 70 nm iso line).
+    let p = problem(ProcessCondition::nominal_only());
+    let bare = p.simulator().aerial_image(p.target(), 0);
+    let decorated_mask = SrafRules::contest()
+        .apply(p.layout())
+        .rasterize(4)
+        .embed_centered(256, 256);
+    let decorated = p.simulator().aerial_image(&decorated_mask, 0);
+    let mut raised = 0usize;
+    let probes = edge_probes(&p);
+    let total = probes.len();
+    for (x, y, _) in probes {
+        if decorated[(x, y)] > bare[(x, y)] {
+            raised += 1;
+        }
+    }
+    assert!(
+        raised * 10 >= total * 9,
+        "SRAFs raised edge intensity at only {raised}/{total} sites"
+    );
+    assert!(decorated.max() > bare.max());
+}
+
+#[test]
+fn pv_band_grows_monotonically_with_the_window() {
+    // Adding process conditions can only grow the union and shrink the
+    // intersection, so the band area is monotone in the condition set.
+    let p = problem(vec![
+        ProcessCondition::NOMINAL,
+        ProcessCondition::new(40.0, 0.95),
+        ProcessCondition::new(-40.0, 1.05),
+    ]);
+    let prints = p.simulator().printed_all_conditions(p.target());
+    let narrow = PvBand::measure(&prints[..2], 4.0);
+    let wide = PvBand::measure(&prints, 4.0);
+    assert!(wide.area_px() >= narrow.area_px());
+    // And the band is always union-minus-intersection ⊆ union.
+    let union: usize = prints
+        .iter()
+        .fold(vec![false; 256 * 256], |mut acc, p| {
+            for (a, v) in acc.iter_mut().zip(p.iter()) {
+                *a |= *v > 0.5;
+            }
+            acc
+        })
+        .iter()
+        .filter(|&&v| v)
+        .count();
+    assert!(wide.area_px() <= union);
+}
+
+#[test]
+fn intensity_never_exceeds_clear_field() {
+    // A binary mask transmits at most the clear field, so normalized
+    // intensity stays (approximately) within [0, ~1]; small overshoot is
+    // possible from coherent ringing but must stay bounded.
+    let p = problem(ProcessCondition::nominal_only());
+    let intensity = p.simulator().aerial_image(p.target(), 0);
+    assert!(intensity.min() >= 0.0);
+    assert!(
+        intensity.max() < 1.5,
+        "unphysical intensity {}",
+        intensity.max()
+    );
+}

@@ -1,0 +1,172 @@
+//! End-to-end pipeline tests: layout → optics → MOSAIC → contest metrics.
+//!
+//! These run at deliberately coarse scale (96–128 px grids, few kernels)
+//! so the whole suite stays fast in debug builds while still exercising
+//! every crate boundary.
+
+use mosaic_suite::prelude::*;
+
+fn two_bar_layout() -> Layout {
+    let mut layout = Layout::new(512, 512);
+    layout.push(Polygon::from_rect(Rect::new(160, 120, 230, 400)));
+    layout.push(Polygon::from_rect(Rect::new(340, 120, 410, 400)));
+    layout
+}
+
+fn quick_mosaic(layout: &Layout, iterations: usize) -> (Mosaic, Evaluator) {
+    let mut config = MosaicConfig::fast_preset(128, 4.0);
+    config.opt.max_iterations = iterations;
+    let mosaic = Mosaic::new(layout, config).expect("setup");
+    let problem = mosaic.problem();
+    let evaluator = Evaluator::new(layout, problem.grid_dims(), problem.pixel_nm(), 40, 15.0);
+    (mosaic, evaluator)
+}
+
+#[test]
+fn mosaic_improves_contest_score_over_no_opc() {
+    let layout = two_bar_layout();
+    let (mosaic, evaluator) = quick_mosaic(&layout, 8);
+    let problem = mosaic.problem();
+    let before = evaluator.evaluate_mask(problem.simulator(), problem.target(), 0.0);
+    let result = mosaic.run_fast();
+    let after = evaluator.evaluate_mask(problem.simulator(), &result.binary_mask, 0.0);
+    assert!(
+        after.score.total() <= before.score.total(),
+        "score worsened: {} -> {}",
+        before.score.total(),
+        after.score.total()
+    );
+    assert!(
+        after.epe_violations <= before.epe_violations,
+        "EPE worsened: {} -> {}",
+        before.epe_violations,
+        after.epe_violations
+    );
+}
+
+#[test]
+fn exact_mode_reduces_epe_versus_no_opc() {
+    // At 8 iterations on this tiny scale neither mode has fully
+    // converged, so comparing the two modes against each other is noisy
+    // (the full comparison is the table2 harness at contest scale);
+    // here exact mode just has to make real progress on its own metric.
+    let layout = two_bar_layout();
+    let (mosaic, evaluator) = quick_mosaic(&layout, 8);
+    let problem = mosaic.problem();
+    let before = evaluator.evaluate_mask(problem.simulator(), problem.target(), 0.0);
+    let exact = mosaic.run_exact();
+    let after = evaluator.evaluate_mask(problem.simulator(), &exact.binary_mask, 0.0);
+    assert!(
+        after.epe_violations < before.epe_violations,
+        "exact made no EPE progress: {} -> {}",
+        before.epe_violations,
+        after.epe_violations
+    );
+}
+
+#[test]
+fn optimized_mask_prints_without_shape_violations() {
+    let layout = two_bar_layout();
+    let (mosaic, evaluator) = quick_mosaic(&layout, 8);
+    let problem = mosaic.problem();
+    let result = mosaic.run_fast();
+    let report = evaluator.evaluate_mask(problem.simulator(), &result.binary_mask, 0.0);
+    assert_eq!(
+        report.shape_violations, 0,
+        "holes/missing/spurious: {:?}",
+        report.shape_check
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let layout = two_bar_layout();
+    let (mosaic_a, evaluator) = quick_mosaic(&layout, 5);
+    let (mosaic_b, _) = quick_mosaic(&layout, 5);
+    let a = mosaic_a.run_fast();
+    let b = mosaic_b.run_fast();
+    assert_eq!(a.binary_mask, b.binary_mask);
+    let ra = evaluator.evaluate_mask(mosaic_a.problem().simulator(), &a.binary_mask, 0.0);
+    let rb = evaluator.evaluate_mask(mosaic_b.problem().simulator(), &b.binary_mask, 0.0);
+    assert_eq!(ra.epe_violations, rb.epe_violations);
+    assert_eq!(ra.pvband_nm2, rb.pvband_nm2);
+}
+
+#[test]
+fn benchmark_clips_round_trip_through_glp() {
+    for id in benchmarks::BenchmarkId::all() {
+        let layout = id.layout();
+        let text = glp::write_clip(&layout);
+        let parsed = glp::parse_clip(&text).expect("parse back");
+        assert_eq!(parsed, layout, "{id} did not round-trip");
+    }
+}
+
+#[test]
+fn every_benchmark_assembles_into_a_problem() {
+    let config = MosaicConfig::fast_preset(256, 4.0);
+    for id in benchmarks::BenchmarkId::all() {
+        let problem = OpcProblem::from_layout(
+            &id.layout(),
+            &config.optics,
+            config.resist,
+            config.conditions.clone(),
+            config.epe_spacing_nm,
+        )
+        .unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert!(
+            problem.samples().len() >= 4,
+            "{id}: only {} samples",
+            problem.samples().len()
+        );
+        // Target must contain the clip's pattern area (1 px = 4 nm).
+        let lit = problem.target().iter().filter(|&&v| v > 0.5).count();
+        let expect = id.layout().pattern_area() / 16;
+        let tolerance = expect / 5 + 64;
+        assert!(
+            (lit as i64 - expect).abs() <= tolerance,
+            "{id}: raster area {lit} vs geometric {expect}"
+        );
+    }
+}
+
+#[test]
+fn convergence_history_is_recorded_and_monotone_at_best() {
+    let layout = two_bar_layout();
+    let mut config = MosaicConfig::fast_preset(128, 4.0);
+    config.opt.max_iterations = 6;
+    config.opt.record_iterates = true;
+    let mosaic = Mosaic::new(&layout, config).expect("setup");
+    let result = mosaic.run_fast();
+    assert_eq!(result.iterates.len(), result.history.len());
+    let best = result.best_report().total;
+    for record in &result.history {
+        assert!(record.report.total >= best - 1e-9);
+    }
+}
+
+#[test]
+fn pv_band_shrinks_or_holds_with_beta() {
+    // Same clip optimized with and without the PVB term; the co-optimized
+    // mask should not have a (meaningfully) larger PV band.
+    let layout = two_bar_layout();
+    let run = |beta: f64| {
+        let mut config = MosaicConfig::fast_preset(128, 4.0);
+        config.opt.max_iterations = 8;
+        config.opt.beta = beta;
+        let mosaic = Mosaic::new(&layout, config).expect("setup");
+        let problem = mosaic.problem();
+        let result = mosaic.run_fast();
+        let evaluator =
+            Evaluator::new(&layout, problem.grid_dims(), problem.pixel_nm(), 40, 15.0);
+        evaluator
+            .evaluate_mask(problem.simulator(), &result.binary_mask, 0.0)
+            .pvband_nm2
+    };
+    let blind = run(0.0);
+    let coopt = run(4.0);
+    assert!(
+        coopt <= blind * 1.1 + 64.0,
+        "PVB term increased the band: {blind} -> {coopt}"
+    );
+}
