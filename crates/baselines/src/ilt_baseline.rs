@@ -23,11 +23,13 @@ pub struct IltBaseline {
 
 impl Default for IltBaseline {
     fn default() -> Self {
-        let mut opt = OptimizationConfig::default();
-        opt.beta = 0.0;
-        opt.gamma = 2.0; // quadratic form of Eq. (16)
-        opt.target_term = TargetTerm::ImageDifference;
-        opt.gradient_mode = GradientMode::Combined;
+        let opt = OptimizationConfig {
+            beta: 0.0,
+            gamma: 2.0, // quadratic form of Eq. (16)
+            target_term: TargetTerm::ImageDifference,
+            gradient_mode: GradientMode::Combined,
+            ..OptimizationConfig::default()
+        };
         IltBaseline {
             opt,
             sraf: Some(SrafRules::contest()),

@@ -81,10 +81,8 @@ impl OpcBaseline for RuleOpc {
                 if bar_layout.shapes().len() == target_shapes {
                     return biased;
                 }
-                let mut bars_only = mosaic_geometry::Layout::new(
-                    bar_layout.width(),
-                    bar_layout.height(),
-                );
+                let mut bars_only =
+                    mosaic_geometry::Layout::new(bar_layout.width(), bar_layout.height());
                 for shape in &bar_layout.shapes()[target_shapes..] {
                     bars_only.push(shape.clone());
                 }
@@ -180,9 +178,6 @@ mod tests {
             sraf: None,
         }
         .generate(&p);
-        assert!(
-            with.sum() > without.sum(),
-            "SRAF bars should add mask area"
-        );
+        assert!(with.sum() > without.sum(), "SRAF bars should add mask area");
     }
 }

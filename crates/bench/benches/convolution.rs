@@ -1,12 +1,24 @@
-//! Criterion micro-benchmarks of the convolution hot loop, including the
-//! Eq. (21) kernel pre-combination speedup (B0 in DESIGN.md).
+//! Micro-benchmarks of the convolution hot loop, including the Eq. (21)
+//! kernel pre-combination speedup (B0 in DESIGN.md).
+//!
+//! Std-only harness (`cargo bench --bench convolution`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use mosaic_numerics::{Convolver, Grid, KernelSpectrum};
 use mosaic_optics::{KernelSet, OpticsConfig, ProcessCondition};
+use std::hint::black_box;
+use std::time::Instant;
 
 const N: usize = 256;
+
+fn report<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{name:<36} {:>12.3} ms/iter ({iters} iters)", per * 1e3);
+}
 
 fn setup() -> (Convolver, KernelSet, Grid<f64>) {
     let config = OpticsConfig::contest_32nm(N, 4.0);
@@ -22,78 +34,43 @@ fn setup() -> (Convolver, KernelSet, Grid<f64>) {
     (conv, bank, mask)
 }
 
-/// The full SOCS aerial image: 24 convolutions reusing one mask spectrum.
-fn bench_socs_intensity(c: &mut Criterion) {
+fn main() {
     let (conv, bank, mask) = setup();
-    let mut group = c.benchmark_group("convolution");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(10);
-    group.bench_function("socs_intensity_24k_256", |b| {
-        b.iter(|| {
-            let spectrum = conv.forward_real(&mask);
-            bank.aerial_image_from_spectrum(&conv, &spectrum)
-        })
-    });
-    group.finish();
-}
 
-/// Eq. (21): one convolution against the pre-combined kernel vs the
-/// per-kernel sum of 24 convolutions of the same linear field.
-fn bench_eq21_speedup(c: &mut Criterion) {
-    let (conv, bank, mask) = setup();
+    // The full SOCS aerial image: 24 convolutions reusing one mask
+    // spectrum.
+    report("socs_intensity_24k_256", 10, || {
+        let spectrum = conv.forward_real(&mask);
+        bank.aerial_image_from_spectrum(&conv, &spectrum)
+    });
+
+    // Eq. (21): one convolution against the pre-combined kernel vs the
+    // per-kernel sum of 24 convolutions of the same linear field.
     let combined = bank.combined();
-    let mut group = c.benchmark_group("eq21");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(10);
-    group.bench_function("combined_1_convolution", |b| {
-        b.iter(|| {
-            let spectrum = conv.forward_real(&mask);
-            conv.convolve_spectrum(&spectrum, &combined)
-        })
+    report("eq21/combined_1_convolution", 20, || {
+        let spectrum = conv.forward_real(&mask);
+        conv.convolve_spectrum(&spectrum, &combined)
     });
-    group.bench_function("per_kernel_24_convolutions", |b| {
-        b.iter(|| {
-            let spectrum = conv.forward_real(&mask);
-            let mut acc = Grid::<f64>::zeros(N, N);
-            for k in bank.kernels() {
-                let field = conv.convolve_spectrum(&spectrum, &k.spectrum);
-                for (a, f) in acc.iter_mut().zip(field.iter()) {
-                    *a += k.weight * f.re;
-                }
+    report("eq21/per_kernel_24_convolutions", 10, || {
+        let spectrum = conv.forward_real(&mask);
+        let mut acc = Grid::<f64>::zeros(N, N);
+        for k in bank.kernels() {
+            let field = conv.convolve_spectrum(&spectrum, &k.spectrum);
+            for (a, f) in acc.iter_mut().zip(field.iter()) {
+                *a += k.weight * f.re;
             }
-            acc
-        })
+        }
+        acc
     });
-    group.finish();
-}
 
-/// Kernel spectrum precomputation amortization: building a spectrum vs
-/// reusing it.
-fn bench_spectrum_reuse(c: &mut Criterion) {
-    let (conv, bank, mask) = setup();
+    // Kernel spectrum precomputation amortization: building a spectrum vs
+    // reusing it.
     let spec: KernelSpectrum = bank.combined();
-    let mut group = c.benchmark_group("spectrum_reuse");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(10);
-    group.bench_function("reused_spectrum_convolve", |b| {
-        b.iter(|| conv.convolve_real(&mask, &spec))
+    report("spectrum_reuse/reused", 20, || {
+        conv.convolve_real(&mask, &spec)
     });
-    group.bench_function("rebuild_combined_then_convolve", |b| {
-        b.iter(|| {
-            let fresh = bank.combined();
-            conv.convolve_real(&mask, &fresh)
-        })
+    report("spectrum_reuse/rebuild_each_time", 10, || {
+        let fresh = bank.combined();
+        conv.convolve_real(&mask, &fresh)
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_socs_intensity,
-    bench_eq21_speedup,
-    bench_spectrum_reuse
-);
-criterion_main!(benches);

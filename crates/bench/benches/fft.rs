@@ -1,60 +1,55 @@
-//! Criterion micro-benchmarks of the FFT substrate (B0 in DESIGN.md).
+//! Micro-benchmarks of the FFT substrate (B0 in DESIGN.md).
+//!
+//! Std-only harness (`cargo bench --bench fft`): each case is warmed up
+//! once and then timed over a fixed iteration count with
+//! `std::time::Instant` — no external benchmarking dependency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use mosaic_numerics::{Complex, Fft, Fft2d, FftDirection, Grid};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_fft_1d(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_1d");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
+fn report<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{name:<32} {:>12.3} us/iter ({iters} iters)", per * 1e6);
+}
+
+fn main() {
     for n in [256usize, 1024, 4096] {
         let fft = Fft::new(n);
         let data: Vec<Complex> = (0..n)
             .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut buf = data.clone();
-                fft.process(&mut buf, FftDirection::Forward);
-                buf
-            })
+        report(&format!("fft_1d/{n}"), 200, || {
+            let mut buf = data.clone();
+            fft.process(&mut buf, FftDirection::Forward);
+            buf
         });
     }
+
     // Bluestein path (non-power-of-two length).
     let n = 1000usize;
     let fft = Fft::new(n);
     let data: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
-    group.bench_function("bluestein_1000", |b| {
-        b.iter(|| {
-            let mut buf = data.clone();
-            fft.process(&mut buf, FftDirection::Forward);
-            buf
-        })
+    report("fft_1d/bluestein_1000", 100, || {
+        let mut buf = data.clone();
+        fft.process(&mut buf, FftDirection::Forward);
+        buf
     });
-    group.finish();
-}
 
-fn bench_fft_2d(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_2d");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(20);
     for n in [128usize, 256, 512] {
         let plan = Fft2d::new(n, n);
         let grid = Grid::from_fn(n, n, |x, y| {
             Complex::new((x as f64 * 0.1).sin(), (y as f64 * 0.1).cos())
         });
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut g = grid.clone();
-                plan.process(&mut g, FftDirection::Forward);
-                g
-            })
+        report(&format!("fft_2d/{n}"), 20, || {
+            let mut g = grid.clone();
+            plan.process(&mut g, FftDirection::Forward);
+            g
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fft_1d, bench_fft_2d);
-criterion_main!(benches);

@@ -1,13 +1,25 @@
-//! Criterion micro-benchmarks of one full objective evaluation (value +
-//! gradient) in each mode — the ILT inner-loop cost (B0 in DESIGN.md).
+//! Micro-benchmarks of one full objective evaluation (value + gradient)
+//! in each mode — the ILT inner-loop cost (B0 in DESIGN.md).
+//!
+//! Std-only harness (`cargo bench --bench gradient`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use mosaic_core::{
     objective::Objective, GradientMode, MaskState, OpcProblem, OptimizationConfig, TargetTerm,
 };
 use mosaic_geometry::{Layout, Polygon, Rect};
 use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn report<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{name:<40} {:>12.3} ms/iter ({iters} iters)", per * 1e3);
+}
 
 fn problem() -> OpcProblem {
     let mut layout = Layout::new(512, 512);
@@ -33,26 +45,34 @@ fn problem() -> OpcProblem {
     .expect("problem assembles")
 }
 
-fn bench_gradient_step(c: &mut Criterion) {
+fn main() {
     let p = problem();
-    let mut group = c.benchmark_group("gradient_step_128_24k_3cond");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
-    group.sample_size(10);
     for (name, term, mode) in [
-        ("fast_combined", TargetTerm::ImageDifference, GradientMode::Combined),
-        ("fast_per_kernel", TargetTerm::ImageDifference, GradientMode::PerKernel),
-        ("exact_combined", TargetTerm::EdgePlacement, GradientMode::Combined),
+        (
+            "fast_combined",
+            TargetTerm::ImageDifference,
+            GradientMode::Combined,
+        ),
+        (
+            "fast_per_kernel",
+            TargetTerm::ImageDifference,
+            GradientMode::PerKernel,
+        ),
+        (
+            "exact_combined",
+            TargetTerm::EdgePlacement,
+            GradientMode::Combined,
+        ),
     ] {
-        let mut cfg = OptimizationConfig::default();
-        cfg.target_term = term;
-        cfg.gradient_mode = mode;
+        let cfg = OptimizationConfig {
+            target_term: term,
+            gradient_mode: mode,
+            ..OptimizationConfig::default()
+        };
         let objective = Objective::new(&p, &cfg);
         let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
-        group.bench_function(name, |b| b.iter(|| objective.evaluate(&state)));
+        report(&format!("gradient_step_128_24k_3cond/{name}"), 10, || {
+            objective.evaluate(&state)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gradient_step);
-criterion_main!(benches);

@@ -9,8 +9,10 @@ use mosaic_optics::ResistModel;
 
 fn main() {
     let resist = ResistModel::paper();
-    println!("# Fig. 2: sigmoid resist model, theta_Z = {}, th_r = {}",
-        resist.steepness, resist.threshold);
+    println!(
+        "# Fig. 2: sigmoid resist model, theta_Z = {}, th_r = {}",
+        resist.steepness, resist.threshold
+    );
     println!("{:>10}  {:>12}", "intensity", "Z=sig(I)");
     for k in 0..=50 {
         let i = k as f64 / 50.0;

@@ -38,7 +38,12 @@ fn main() {
             let clip = problem.crop_to_clip(grid);
             let path = out_dir.join(format!("{}_{name}.pgm", bench.name()));
             pgm::write_file(&clip, &path).expect("write PGM");
-            println!("wrote {} ({}x{})", path.display(), clip.width(), clip.height());
+            println!(
+                "wrote {} ({}x{})",
+                path.display(),
+                clip.width(),
+                clip.height()
+            );
         }
         println!(
             "{bench}: pvband {:.0} nm2, mask area {:.0} px",

@@ -68,7 +68,10 @@ pub use error::CoreError;
 pub use mask::MaskState;
 pub use mosaic::{Mosaic, MosaicConfig, MosaicMode};
 pub use objective::{GradientMode, ObjectiveReport, TargetTerm};
-pub use optimizer::{IterationRecord, OptimizationConfig, OptimizationResult};
+pub use optimizer::{
+    optimize_with, IterationControl, IterationRecord, IterationView, OptimizationConfig,
+    OptimizationResult, OptimizerCheckpoint, OptimizerStart,
+};
 pub use problem::{OpcProblem, PixelSample};
 pub use psm::{optimize_psm, PsmResult, PsmState};
 pub use sraf::SrafRules;
@@ -79,7 +82,10 @@ pub mod prelude {
     pub use crate::mask::MaskState;
     pub use crate::mosaic::{Mosaic, MosaicConfig, MosaicMode};
     pub use crate::objective::{GradientMode, ObjectiveReport, TargetTerm};
-    pub use crate::optimizer::{IterationRecord, OptimizationConfig, OptimizationResult};
+    pub use crate::optimizer::{
+        optimize_with, IterationControl, IterationRecord, IterationView, OptimizationConfig,
+        OptimizationResult, OptimizerCheckpoint, OptimizerStart,
+    };
     pub use crate::problem::{OpcProblem, PixelSample};
     pub use crate::psm::{optimize_psm, PsmResult, PsmState};
     pub use crate::sraf::SrafRules;

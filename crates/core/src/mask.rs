@@ -54,6 +54,21 @@ impl MaskState {
         }
     }
 
+    /// Restores a state from previously captured variables `P` (e.g. an
+    /// optimizer checkpoint) without re-seeding — the exact values are
+    /// kept, so a resumed run continues the identical trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta_m` is not positive.
+    pub fn from_variables(variables: Grid<f64>, theta_m: f64) -> Self {
+        assert!(theta_m > 0.0, "mask steepness must be positive");
+        MaskState {
+            p: variables,
+            theta_m,
+        }
+    }
+
     /// The mask steepness `θ_M`.
     pub fn theta_m(&self) -> f64 {
         self.theta_m

@@ -2,12 +2,16 @@
 
 use crate::error::CoreError;
 use crate::objective::TargetTerm;
-use crate::optimizer::{optimize, OptimizationConfig, OptimizationResult};
+use crate::optimizer::{
+    optimize_with, IterationControl, IterationView, OptimizationConfig, OptimizationResult,
+    OptimizerCheckpoint, OptimizerStart,
+};
 use crate::problem::OpcProblem;
 use crate::sraf::SrafRules;
 use mosaic_geometry::Layout;
 use mosaic_numerics::Grid;
-use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+use mosaic_optics::{LithoSimulator, OpticsConfig, ProcessCondition, ResistModel};
+use std::sync::Arc;
 
 /// Which MOSAIC variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,8 +81,10 @@ impl MosaicConfig {
             .kernel_count(8)
             .build()
             .expect("preset optics are valid");
-        let mut opt = OptimizationConfig::default();
-        opt.max_iterations = 8;
+        let opt = OptimizationConfig {
+            max_iterations: 8,
+            ..OptimizationConfig::default()
+        };
         MosaicConfig {
             optics,
             resist: ResistModel::paper(),
@@ -111,24 +117,46 @@ impl Mosaic {
     /// Propagates [`CoreError`] from problem assembly (clip too large,
     /// invalid optics/configuration).
     pub fn new(layout: &Layout, config: MosaicConfig) -> Result<Self, CoreError> {
-        config
-            .opt
-            .validate()
-            .map_err(CoreError::InvalidConfig)?;
-        let problem = OpcProblem::from_layout(
-            layout,
+        config.optics.validate().map_err(CoreError::Optics)?;
+        if config.conditions.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "need at least one process condition".into(),
+            ));
+        }
+        let sim = Arc::new(LithoSimulator::new(
             &config.optics,
             config.resist,
             config.conditions.clone(),
-            config.epe_spacing_nm,
-        )?;
+        ));
+        Self::with_simulator(layout, config, sim)
+    }
+
+    /// Like [`Mosaic::new`], but reuses an existing shared simulator
+    /// instead of rebuilding kernel banks — the batch runtime's path.
+    ///
+    /// The simulator must match `config.optics` (it defines the grid the
+    /// problem is assembled on); the caller typically obtained it from a
+    /// cache keyed on [`mosaic_optics::SimKey`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from problem assembly (clip too large,
+    /// invalid optimizer configuration).
+    pub fn with_simulator(
+        layout: &Layout,
+        config: MosaicConfig,
+        sim: Arc<LithoSimulator>,
+    ) -> Result<Self, CoreError> {
+        config.opt.validate().map_err(CoreError::InvalidConfig)?;
+        let problem = OpcProblem::from_layout_with_simulator(layout, sim, config.epe_spacing_nm)?;
         let initial_layout = match &config.sraf {
             Some(rules) => rules.apply(layout),
             None => layout.clone(),
         };
         let pixel = config.optics.pixel_nm.round() as i64;
         let clip_mask = initial_layout.rasterize(pixel);
-        let initial_mask = clip_mask.embed_centered(config.optics.grid_width, config.optics.grid_height);
+        let initial_mask =
+            clip_mask.embed_centered(config.optics.grid_width, config.optics.grid_height);
         Ok(Mosaic {
             problem,
             opt: config.opt,
@@ -151,14 +179,55 @@ impl Mosaic {
         &self.opt
     }
 
-    /// Runs the selected MOSAIC variant.
-    pub fn run(&self, mode: MosaicMode) -> OptimizationResult {
+    /// The optimizer configuration as specialized for `mode` (target
+    /// term swapped in) — what [`Mosaic::run`] actually executes.
+    pub fn config_for(&self, mode: MosaicMode) -> OptimizationConfig {
         let mut cfg = self.opt.clone();
         cfg.target_term = match mode {
             MosaicMode::Fast => TargetTerm::ImageDifference,
             MosaicMode::Exact => TargetTerm::EdgePlacement,
         };
-        optimize(&self.problem, &cfg, &self.initial_mask)
+        cfg
+    }
+
+    /// Runs the selected MOSAIC variant.
+    pub fn run(&self, mode: MosaicMode) -> OptimizationResult {
+        self.run_with(mode, &mut |_| IterationControl::Continue)
+    }
+
+    /// Runs the selected variant with a per-iteration hook — the batch
+    /// runtime's entry point for progress events, checkpointing and
+    /// cooperative cancellation (see
+    /// [`optimize_with`](crate::optimizer::optimize_with)).
+    pub fn run_with(
+        &self,
+        mode: MosaicMode,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+    ) -> OptimizationResult {
+        let cfg = self.config_for(mode);
+        optimize_with(
+            &self.problem,
+            &cfg,
+            OptimizerStart::Mask(&self.initial_mask),
+            hook,
+        )
+    }
+
+    /// Resumes the selected variant from a checkpoint captured by an
+    /// earlier (interrupted) run, continuing the identical trajectory.
+    pub fn resume_with(
+        &self,
+        mode: MosaicMode,
+        checkpoint: OptimizerCheckpoint,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+    ) -> OptimizationResult {
+        let cfg = self.config_for(mode);
+        optimize_with(
+            &self.problem,
+            &cfg,
+            OptimizerStart::Checkpoint(checkpoint),
+            hook,
+        )
     }
 
     /// Runs MOSAIC_fast (Eq. (20)).

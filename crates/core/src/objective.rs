@@ -102,7 +102,9 @@ impl<'a> Objective<'a> {
     /// Panics if the configuration fails
     /// [`OptimizationConfig::validate`](crate::optimizer::OptimizationConfig::validate).
     pub fn new(problem: &'a OpcProblem, config: &'a OptimizationConfig) -> Self {
-        config.validate().expect("invalid optimization configuration");
+        config
+            .validate()
+            .expect("invalid optimization configuration");
         let sim = problem.simulator();
         let combined = (0..sim.condition_count())
             .map(|i| sim.bank(i).combined())
@@ -137,11 +139,7 @@ impl<'a> Objective<'a> {
     /// # Panics
     ///
     /// Panics if the grids' shape differs from the problem grid.
-    pub fn evaluate_parameterized(
-        &self,
-        mask: &Grid<f64>,
-        dmask_dp: &Grid<f64>,
-    ) -> Evaluation {
+    pub fn evaluate_parameterized(&self, mask: &Grid<f64>, dmask_dp: &Grid<f64>) -> Evaluation {
         let sim = self.problem.simulator();
         let conv = sim.convolver();
         let cfg = self.config;
@@ -194,10 +192,8 @@ impl<'a> Objective<'a> {
             if pvb_active {
                 // F_pvb contribution of this corner: Σ (Z_c − Z_t)².
                 let mut value = 0.0;
-                for ((gv, (zv, tv)), dv) in g
-                    .iter_mut()
-                    .zip(z.iter().zip(target.iter()))
-                    .zip(dz.iter())
+                for ((gv, (zv, tv)), dv) in
+                    g.iter_mut().zip(z.iter().zip(target.iter())).zip(dz.iter())
                 {
                     let diff = zv - tv;
                     value += diff * diff;
@@ -219,7 +215,14 @@ impl<'a> Objective<'a> {
                     );
                 }
                 GradientMode::PerKernel => {
-                    self.backpropagate_per_kernel(conv, bank, &fields, &g, 2.0 * dose, &mut grad_mask);
+                    self.backpropagate_per_kernel(
+                        conv,
+                        bank,
+                        &fields,
+                        &g,
+                        2.0 * dose,
+                        &mut grad_mask,
+                    );
                 }
             }
         }
@@ -347,10 +350,11 @@ mod tests {
     }
 
     fn config(term: TargetTerm, mode: GradientMode) -> OptimizationConfig {
-        let mut c = OptimizationConfig::default();
-        c.target_term = term;
-        c.gradient_mode = mode;
-        c
+        OptimizationConfig {
+            target_term: term,
+            gradient_mode: mode,
+            ..OptimizationConfig::default()
+        }
     }
 
     /// Finite-difference check of the full analytic gradient at a handful

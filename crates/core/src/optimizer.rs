@@ -116,6 +116,9 @@ impl OptimizationConfig {
     /// # Errors
     ///
     /// Returns a message naming the offending field.
+    // The negated comparisons deliberately reject NaN alongside
+    // out-of-range values.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         if !(self.alpha >= 0.0 && self.beta >= 0.0) {
             return Err("alpha and beta must be non-negative".into());
@@ -163,6 +166,88 @@ pub struct IterationRecord {
     pub jumped: bool,
 }
 
+/// What a per-iteration hook tells the optimizer to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationControl {
+    /// Keep optimizing.
+    Continue,
+    /// Stop after this iteration — cooperative cancellation (deadline,
+    /// shutdown request). The best iterate so far is returned as usual.
+    Stop,
+}
+
+/// Optimizer state exposed to a per-iteration hook: enough to drive
+/// progress reporting, cooperative cancellation, and lossless
+/// checkpointing (capture it into an [`OptimizerCheckpoint`]).
+///
+/// The hook runs at the *end* of an iteration — after the descent step —
+/// so `variables` is exactly the state the next iteration would start
+/// from.
+#[derive(Debug)]
+pub struct IterationView<'a> {
+    /// The record just appended to the history.
+    pub record: &'a IterationRecord,
+    /// Unconstrained variables `P` after this iteration's step.
+    pub variables: &'a Grid<f64>,
+    /// Best-so-far variables.
+    pub best_variables: &'a Grid<f64>,
+    /// Best-so-far objective value.
+    pub best_value: f64,
+    /// This iteration's objective value (next iteration's stagnation
+    /// reference).
+    pub value: f64,
+    /// Consecutive stagnant iterations after this iteration's update.
+    pub stagnant: usize,
+}
+
+impl IterationView<'_> {
+    /// Snapshots the state into a checkpoint that
+    /// [`optimize_with`] can resume from with a bit-identical
+    /// trajectory.
+    pub fn checkpoint(&self) -> OptimizerCheckpoint {
+        OptimizerCheckpoint {
+            variables: self.variables.clone(),
+            best_variables: self.best_variables.clone(),
+            best_value: self.best_value,
+            prev_value: self.value,
+            stagnant: self.stagnant,
+            iterations_done: self.record.iteration + 1,
+        }
+    }
+}
+
+/// Complete optimizer state after `iterations_done` iterations — the
+/// unit of checkpoint/resume. Resuming from a checkpoint reproduces the
+/// exact trajectory the uninterrupted run would have taken, because the
+/// loop state (variables, best iterate, jump bookkeeping) is carried
+/// losslessly.
+#[derive(Debug, Clone)]
+pub struct OptimizerCheckpoint {
+    /// Unconstrained variables `P` the next iteration starts from.
+    pub variables: Grid<f64>,
+    /// Best-so-far variables.
+    pub best_variables: Grid<f64>,
+    /// Best-so-far objective value.
+    pub best_value: f64,
+    /// Previous iteration's objective value (stagnation reference);
+    /// `f64::INFINITY` when no iteration has run.
+    pub prev_value: f64,
+    /// Consecutive stagnant iterations (jump bookkeeping).
+    pub stagnant: usize,
+    /// Number of fully completed iterations; the resumed loop continues
+    /// from this absolute iteration index.
+    pub iterations_done: usize,
+}
+
+/// Where an optimization starts from.
+#[derive(Debug)]
+pub enum OptimizerStart<'a> {
+    /// Seed `P` from a (possibly binary) mask — line 2–3 of Alg. 1.
+    Mask(&'a Grid<f64>),
+    /// Continue a previous run from its checkpointed state.
+    Checkpoint(OptimizerCheckpoint),
+}
+
 /// The outcome of an optimization run.
 #[derive(Debug, Clone)]
 pub struct OptimizationResult {
@@ -204,24 +289,85 @@ pub fn optimize(
     config: &OptimizationConfig,
     initial_mask: &Grid<f64>,
 ) -> OptimizationResult {
-    config.validate().expect("invalid optimization configuration");
-    assert_eq!(
-        initial_mask.dims(),
-        problem.grid_dims(),
-        "initial mask shape mismatch"
-    );
+    optimize_with(
+        problem,
+        config,
+        OptimizerStart::Mask(initial_mask),
+        &mut |_| IterationControl::Continue,
+    )
+}
+
+/// Runs Alg. 1 with full lifecycle control: an arbitrary starting point
+/// (fresh mask or checkpoint) and a per-iteration hook.
+///
+/// The hook runs at the end of every iteration and can observe the full
+/// optimizer state ([`IterationView`]), capture a lossless
+/// [`OptimizerCheckpoint`], and request a cooperative stop
+/// ([`IterationControl::Stop`]). Resuming from a checkpoint continues the
+/// exact trajectory of the uninterrupted run.
+///
+/// In a resumed run, [`OptimizationResult::history`] covers only the
+/// resumed iterations (absolute `iteration` indices), and
+/// [`OptimizationResult::best_iteration`] indexes the best *recorded*
+/// iterate; the returned masks always reflect the overall best,
+/// including the best carried in by the checkpoint.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, the starting mask/variables
+/// shape differs from the problem grid, or a checkpoint has already
+/// reached `config.max_iterations`.
+pub fn optimize_with(
+    problem: &OpcProblem,
+    config: &OptimizationConfig,
+    start: OptimizerStart<'_>,
+    hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+) -> OptimizationResult {
+    config
+        .validate()
+        .expect("invalid optimization configuration");
     let objective = Objective::new(problem, config);
-    let mut state = MaskState::from_mask(initial_mask, config.mask_steepness);
-    let mut history: Vec<IterationRecord> = Vec::with_capacity(config.max_iterations);
-    let mut best_value = f64::INFINITY;
-    let mut best_vars = state.variables().clone();
+    let (mut state, mut best_value, mut best_vars, mut prev_value, mut stagnant, start_iter) =
+        match start {
+            OptimizerStart::Mask(initial_mask) => {
+                assert_eq!(
+                    initial_mask.dims(),
+                    problem.grid_dims(),
+                    "initial mask shape mismatch"
+                );
+                let state = MaskState::from_mask(initial_mask, config.mask_steepness);
+                let vars = state.variables().clone();
+                (state, f64::INFINITY, vars, f64::INFINITY, 0usize, 0usize)
+            }
+            OptimizerStart::Checkpoint(cp) => {
+                assert_eq!(
+                    cp.variables.dims(),
+                    problem.grid_dims(),
+                    "checkpoint shape mismatch"
+                );
+                assert!(
+                    cp.iterations_done < config.max_iterations,
+                    "checkpoint already at the iteration cap"
+                );
+                let state = MaskState::from_variables(cp.variables, config.mask_steepness);
+                (
+                    state,
+                    cp.best_value,
+                    cp.best_variables,
+                    cp.prev_value,
+                    cp.stagnant,
+                    cp.iterations_done,
+                )
+            }
+        };
+    let mut history: Vec<IterationRecord> = Vec::with_capacity(config.max_iterations - start_iter);
+    // Best among *recorded* iterations — what `best_iteration` indexes.
+    let mut recorded_best = f64::INFINITY;
     let mut best_iteration = 0;
     let mut converged = false;
-    let mut stagnant = 0usize;
-    let mut prev_value = f64::INFINITY;
     let mut iterates: Vec<Grid<f64>> = Vec::new();
 
-    for iteration in 0..config.max_iterations {
+    for iteration in start_iter..config.max_iterations {
         let eval = objective.evaluate(&state);
         if config.record_iterates {
             iterates.push(state.binary());
@@ -230,7 +376,10 @@ pub fn optimize(
         if value < best_value {
             best_value = value;
             best_vars = state.variables().clone();
-            best_iteration = iteration;
+        }
+        if value < recorded_best {
+            recorded_best = value;
+            best_iteration = history.len();
         }
         let rms = stats::grid_rms(&eval.gradient);
 
@@ -264,6 +413,15 @@ pub fn optimize(
 
         if rms < config.gradient_tolerance {
             converged = true;
+            let view = IterationView {
+                record: history.last().expect("just pushed"),
+                variables: state.variables(),
+                best_variables: &best_vars,
+                best_value,
+                value,
+                stagnant,
+            };
+            let _ = hook(&view);
             break;
         }
 
@@ -294,6 +452,18 @@ pub fn optimize(
             }
         } else {
             state.step(&direction, step);
+        }
+
+        let view = IterationView {
+            record: history.last().expect("just pushed"),
+            variables: state.variables(),
+            best_variables: &best_vars,
+            best_value,
+            value,
+            stagnant,
+        };
+        if hook(&view) == IterationControl::Stop {
+            break;
         }
     }
 
@@ -334,9 +504,10 @@ mod tests {
     }
 
     fn quick_config() -> OptimizationConfig {
-        let mut c = OptimizationConfig::default();
-        c.max_iterations = 8;
-        c
+        OptimizationConfig {
+            max_iterations: 8,
+            ..OptimizationConfig::default()
+        }
     }
 
     #[test]
@@ -428,17 +599,26 @@ mod tests {
 
     #[test]
     fn config_validation_catches_bad_values() {
-        let mut c = OptimizationConfig::default();
-        c.gamma = 0.5;
+        let base = OptimizationConfig::default;
+        let c = OptimizationConfig {
+            gamma: 0.5,
+            ..base()
+        };
         assert!(c.validate().is_err());
-        let mut c = OptimizationConfig::default();
-        c.step_size = 0.0;
+        let c = OptimizationConfig {
+            step_size: 0.0,
+            ..base()
+        };
         assert!(c.validate().is_err());
-        let mut c = OptimizationConfig::default();
-        c.jump_factor = 0.5;
+        let c = OptimizationConfig {
+            jump_factor: 0.5,
+            ..base()
+        };
         assert!(c.validate().is_err());
-        let mut c = OptimizationConfig::default();
-        c.max_iterations = 0;
+        let c = OptimizationConfig {
+            max_iterations: 0,
+            ..base()
+        };
         assert!(c.validate().is_err());
         assert!(OptimizationConfig::default().validate().is_ok());
     }
@@ -480,10 +660,12 @@ mod line_search_tests {
     #[test]
     fn line_search_descends_monotonically_until_converged() {
         let p = problem();
-        let mut cfg = OptimizationConfig::default();
-        cfg.max_iterations = 6;
-        cfg.line_search = true;
-        cfg.jump_enabled = false;
+        let cfg = OptimizationConfig {
+            max_iterations: 6,
+            line_search: true,
+            jump_enabled: false,
+            ..OptimizationConfig::default()
+        };
         let result = optimize(&p, &cfg, p.target());
         // With backtracking and no jumps, the recorded objective can
         // only plateau at the final halving floor — never rise by more
@@ -501,8 +683,10 @@ mod line_search_tests {
     #[test]
     fn line_search_result_not_worse_than_fixed_step() {
         let p = problem();
-        let mut fixed = OptimizationConfig::default();
-        fixed.max_iterations = 6;
+        let fixed = OptimizationConfig {
+            max_iterations: 6,
+            ..OptimizationConfig::default()
+        };
         let mut ls = fixed.clone();
         ls.line_search = true;
         let rf = optimize(&p, &fixed, p.target());
@@ -514,9 +698,11 @@ mod line_search_tests {
 
     #[test]
     fn line_search_config_validated() {
-        let mut cfg = OptimizationConfig::default();
-        cfg.line_search = true;
-        cfg.line_search_max_halvings = 0;
+        let cfg = OptimizationConfig {
+            line_search: true,
+            line_search_max_halvings: 0,
+            ..OptimizationConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

@@ -9,6 +9,7 @@ use crate::error::CoreError;
 use mosaic_geometry::{Layout, Orientation};
 use mosaic_numerics::Grid;
 use mosaic_optics::{LithoSimulator, OpticsConfig, ProcessCondition, ResistModel};
+use std::sync::Arc;
 
 /// An EPE sample site in simulation-grid pixel coordinates.
 ///
@@ -31,7 +32,7 @@ pub struct PixelSample {
 /// A fully assembled OPC problem on the simulation grid.
 #[derive(Debug, Clone)]
 pub struct OpcProblem {
-    sim: LithoSimulator,
+    sim: Arc<LithoSimulator>,
     layout: Layout,
     target: Grid<f64>,
     samples: Vec<PixelSample>,
@@ -64,6 +65,28 @@ impl OpcProblem {
                 "need at least one process condition".into(),
             ));
         }
+        let sim = Arc::new(LithoSimulator::new(optics, resist, conditions));
+        Self::from_layout_with_simulator(layout, sim, epe_spacing_nm)
+    }
+
+    /// Assembles a problem around an existing (typically cached and
+    /// shared) simulator instead of building fresh kernel banks.
+    ///
+    /// The batch runtime builds each distinct simulator configuration
+    /// once, wraps it in [`Arc`], and hands it to every job with the same
+    /// optics — kernel-bank construction and FFT spectra are paid once
+    /// per configuration instead of once per clip.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OpcProblem::from_layout`], evaluated against the
+    /// simulator's optics configuration.
+    pub fn from_layout_with_simulator(
+        layout: &Layout,
+        sim: Arc<LithoSimulator>,
+        epe_spacing_nm: i64,
+    ) -> Result<Self, CoreError> {
+        let optics = sim.config().clone();
         if epe_spacing_nm <= 0 {
             return Err(CoreError::InvalidConfig(
                 "EPE sample spacing must be positive".into(),
@@ -100,7 +123,6 @@ impl OpcProblem {
                 }
             })
             .collect();
-        let sim = LithoSimulator::new(optics, resist, conditions);
         Ok(OpcProblem {
             sim,
             layout: layout.clone(),
@@ -115,6 +137,13 @@ impl OpcProblem {
     /// The forward simulator (nominal bank is index 0).
     pub fn simulator(&self) -> &LithoSimulator {
         &self.sim
+    }
+
+    /// A cheap shared handle to the simulator, for reuse by other
+    /// problems with the same optics (see
+    /// [`OpcProblem::from_layout_with_simulator`]).
+    pub fn shared_simulator(&self) -> Arc<LithoSimulator> {
+        Arc::clone(&self.sim)
     }
 
     /// The source layout.

@@ -146,7 +146,9 @@ pub fn optimize_psm(
     config: &OptimizationConfig,
     initial_mask: &Grid<f64>,
 ) -> PsmResult {
-    config.validate().expect("invalid optimization configuration");
+    config
+        .validate()
+        .expect("invalid optimization configuration");
     assert_eq!(
         initial_mask.dims(),
         problem.grid_dims(),
@@ -298,10 +300,12 @@ mod tests {
     #[test]
     fn psm_gradient_matches_finite_difference_through_objective() {
         let p = problem();
-        let mut cfg = OptimizationConfig::default();
         // The combined mode (Eq. 21) is an approximation; only the
         // per-kernel adjoint is the exact gradient an FD check can match.
-        cfg.gradient_mode = crate::objective::GradientMode::PerKernel;
+        let cfg = OptimizationConfig {
+            gradient_mode: crate::objective::GradientMode::PerKernel,
+            ..OptimizationConfig::default()
+        };
         let objective = Objective::new(&p, &cfg);
         let state = PsmState::from_mask(p.target(), cfg.mask_steepness);
         let eval = objective.evaluate_parameterized(&state.mask(), &state.mask_derivative());
@@ -354,8 +358,8 @@ mod tests {
         let objective = Objective::new(&p, &cfg);
         let binary_state = MaskState::from_mask(p.target(), cfg.mask_steepness);
         let from_state = objective.evaluate(&binary_state);
-        let explicit = objective
-            .evaluate_parameterized(&binary_state.mask(), &binary_state.mask_derivative());
+        let explicit =
+            objective.evaluate_parameterized(&binary_state.mask(), &binary_state.mask_derivative());
         assert_eq!(from_state.report.total, explicit.report.total);
         assert_eq!(from_state.gradient, explicit.gradient);
     }

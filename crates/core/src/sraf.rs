@@ -49,11 +49,7 @@ impl SrafRules {
     /// exact for the rectilinear benchmark geometry used here).
     pub fn generate(&self, layout: &Layout) -> Vec<Rect> {
         let mut srafs: Vec<Rect> = Vec::new();
-        let shape_boxes: Vec<Rect> = layout
-            .shapes()
-            .iter()
-            .map(|p| p.bounding_box())
-            .collect();
+        let shape_boxes: Vec<Rect> = layout.shapes().iter().map(|p| p.bounding_box()).collect();
         for (shape_idx, edge) in layout.edge_segments() {
             if edge.length() < self.min_edge_nm {
                 continue;

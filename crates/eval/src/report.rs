@@ -143,7 +143,13 @@ mod tests {
 
     #[test]
     fn histogram_bins_and_counts() {
-        let ms = vec![m(Some(0.0)), m(Some(2.0)), m(Some(7.0)), m(Some(-3.0)), m(None)];
+        let ms = vec![
+            m(Some(0.0)),
+            m(Some(2.0)),
+            m(Some(7.0)),
+            m(Some(-3.0)),
+            m(None),
+        ];
         let h = EpeHistogram::new(&ms, 5.0);
         assert_eq!(h.unmeasured(), 1);
         // Bins: [-5,0): 1; [0,5): 2; [5,10): 1.

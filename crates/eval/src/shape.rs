@@ -178,12 +178,7 @@ mod tests {
     #[test]
     fn donut_counts_one_hole() {
         let print = grid_from(&[
-            "........",
-            ".#####..",
-            ".#...#..",
-            ".#...#..",
-            ".#####..",
-            "........",
+            "........", ".#####..", ".#...#..", ".#...#..", ".#####..", "........",
         ]);
         let target = print.clone();
         let check = ShapeCheck::check(&print, &target);
@@ -239,12 +234,7 @@ mod tests {
 
     #[test]
     fn two_holes_counted() {
-        let print = grid_from(&[
-            "#########",
-            "#.##..###",
-            "#.##..###",
-            "#########",
-        ]);
+        let print = grid_from(&["#########", "#.##..###", "#.##..###", "#########"]);
         let t = Grid::filled(9, 4, 1.0);
         assert_eq!(ShapeCheck::check(&print, &t).holes, 2);
     }

@@ -17,8 +17,7 @@ use crate::layout::Layout;
 use crate::point::Point;
 use crate::polygon::Polygon;
 use crate::rect::Rect;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mosaic_numerics::Rng64;
 use std::fmt;
 
 /// Clip edge length in nm (matches the contest clips).
@@ -267,7 +266,7 @@ fn b6() -> Layout {
 
 /// Places shapes at random, rejecting candidates whose inflated bounding
 /// boxes collide with already-accepted shapes.
-fn scatter(rng: &mut StdRng, layout: &mut Layout, makers: &[&dyn Fn(&mut StdRng) -> Polygon]) {
+fn scatter(rng: &mut Rng64, layout: &mut Layout, makers: &[&dyn Fn(&mut Rng64) -> Polygon]) {
     const MIN_SPACE: i64 = 70;
     const MARGIN: i64 = 200;
     let mut accepted: Vec<Rect> = Vec::new();
@@ -284,8 +283,8 @@ fn scatter(rng: &mut StdRng, layout: &mut Layout, makers: &[&dyn Fn(&mut StdRng)
             if room.is_empty() {
                 continue;
             }
-            let dx = rng.gen_range(room.x0..room.x1) - bbox.x0;
-            let dy = rng.gen_range(room.y0..room.y1) - bbox.y0;
+            let dx = rng.range_i64(room.x0, room.x1) - bbox.x0;
+            let dy = rng.range_i64(room.y0, room.y1) - bbox.y0;
             let moved = shape.translate(dx, dy);
             let mb = moved.bounding_box();
             if accepted.iter().all(|r| !r.overlaps(&mb.inflate(MIN_SPACE))) {
@@ -301,33 +300,33 @@ fn snap(v: i64) -> i64 {
     (v / 10) * 10
 }
 
-fn random_bar(rng: &mut StdRng) -> Polygon {
-    let w = snap(rng.gen_range(50..90));
-    let len = snap(rng.gen_range(200..420));
-    if rng.gen_bool(0.5) {
+fn random_bar(rng: &mut Rng64) -> Polygon {
+    let w = snap(rng.range_i64(50, 90));
+    let len = snap(rng.range_i64(200, 420));
+    if rng.chance(0.5) {
         Polygon::from_rect(Rect::new(0, 0, w, len))
     } else {
         Polygon::from_rect(Rect::new(0, 0, len, w))
     }
 }
 
-fn random_l(rng: &mut StdRng) -> Polygon {
-    let w = snap(rng.gen_range(50..80));
-    let ax = snap(rng.gen_range(2 * w + 20..300));
-    let ay = snap(rng.gen_range(2 * w + 20..300));
+fn random_l(rng: &mut Rng64) -> Polygon {
+    let w = snap(rng.range_i64(50, 80));
+    let ax = snap(rng.range_i64(2 * w + 20, 300));
+    let ay = snap(rng.range_i64(2 * w + 20, 300));
     l_polygon(0, 0, ax, ay, w)
 }
 
-fn random_t(rng: &mut StdRng) -> Polygon {
-    let w = snap(rng.gen_range(50..80));
-    let bar = snap(rng.gen_range(3 * w + 10..400));
-    let stem = snap(rng.gen_range(100..280));
+fn random_t(rng: &mut Rng64) -> Polygon {
+    let w = snap(rng.range_i64(50, 80));
+    let bar = snap(rng.range_i64(3 * w + 10, 400));
+    let stem = snap(rng.range_i64(100, 280));
     t_polygon(0, 0, bar, stem, w)
 }
 
 fn b7() -> Layout {
     let mut l = clip();
-    let mut rng = StdRng::seed_from_u64(0xB7);
+    let mut rng = Rng64::new(0xB7);
     scatter(
         &mut rng,
         &mut l,
@@ -366,7 +365,7 @@ fn b9() -> Layout {
 
 fn b10() -> Layout {
     let mut l = clip();
-    let mut rng = StdRng::seed_from_u64(0x10B);
+    let mut rng = Rng64::new(0x10B);
     scatter(
         &mut rng,
         &mut l,
@@ -448,11 +447,7 @@ mod tests {
     fn random_clips_have_disjoint_shapes() {
         for id in [BenchmarkId::B7, BenchmarkId::B10] {
             let layout = id.layout();
-            let boxes: Vec<Rect> = layout
-                .shapes()
-                .iter()
-                .map(Polygon::bounding_box)
-                .collect();
+            let boxes: Vec<Rect> = layout.shapes().iter().map(Polygon::bounding_box).collect();
             for i in 0..boxes.len() {
                 for j in (i + 1)..boxes.len() {
                     assert!(

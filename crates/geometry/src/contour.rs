@@ -61,7 +61,11 @@ impl Dir {
 pub fn trace_contours(grid: &Grid<f64>) -> Vec<Contour> {
     let (w, h) = grid.dims();
     let lit = |x: i64, y: i64| -> bool {
-        x >= 0 && y >= 0 && (x as usize) < w && (y as usize) < h && grid[(x as usize, y as usize)] > 0.5
+        x >= 0
+            && y >= 0
+            && (x as usize) < w
+            && (y as usize) < h
+            && grid[(x as usize, y as usize)] > 0.5
     };
     // Directed boundary edges keyed by start vertex. Orientation: lit
     // region on the LEFT of travel.
@@ -117,10 +121,7 @@ pub fn trace_contours(grid: &Grid<f64>) -> Vec<Contour> {
     let mut starts: Vec<Point> = edges.keys().copied().collect();
     starts.sort();
     for start in starts {
-        loop {
-            let Some(first_dir) = edges.get_mut(&start).and_then(Vec::pop) else {
-                break;
-            };
+        while let Some(first_dir) = edges.get_mut(&start).and_then(Vec::pop) {
             // Walk until we return to the start vertex.
             let mut path = vec![start];
             let mut pos = first_dir.step(start);
@@ -152,7 +153,8 @@ fn close_loop(path: Vec<Point>) -> Contour {
         let prev = path[(i + n - 1) % n];
         let cur = path[i];
         let next = path[(i + 1) % n];
-        let collinear = (prev.x == cur.x && cur.x == next.x) || (prev.y == cur.y && cur.y == next.y);
+        let collinear =
+            (prev.x == cur.x && cur.x == next.x) || (prev.y == cur.y && cur.y == next.y);
         if !collinear {
             vertices.push(cur);
         }
@@ -295,12 +297,7 @@ mod tests {
     #[test]
     fn contour_areas_sum_to_pixel_count_for_solid_shapes() {
         let g = grid_from(&[
-            "........",
-            ".######.",
-            ".#....#.",
-            ".#....#.",
-            ".######.",
-            "........",
+            "........", ".######.", ".#....#.", ".#....#.", ".######.", "........",
         ]);
         let contours = trace_contours(&g);
         let outer: i64 = contours

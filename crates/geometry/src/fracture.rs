@@ -77,11 +77,7 @@ fn merge_vertical(mut rects: Vec<Rect>) -> Vec<Rect> {
 
 /// Fractures every shape of a layout; returns all shots.
 pub fn fracture_layout(layout: &Layout) -> Vec<Rect> {
-    layout
-        .shapes()
-        .iter()
-        .flat_map(fracture_polygon)
-        .collect()
+    layout.shapes().iter().flat_map(fracture_polygon).collect()
 }
 
 /// VSB shot count of a layout — the mask-write-time proxy.
@@ -165,7 +161,12 @@ mod tests {
         assert_eq!(area, p.area(), "{shots:?}");
         for i in 0..shots.len() {
             for j in (i + 1)..shots.len() {
-                assert!(!shots[i].overlaps(&shots[j]), "{:?} {:?}", shots[i], shots[j]);
+                assert!(
+                    !shots[i].overlaps(&shots[j]),
+                    "{:?} {:?}",
+                    shots[i],
+                    shots[j]
+                );
             }
         }
         // Every shot interior is inside the polygon.

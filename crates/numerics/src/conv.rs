@@ -69,11 +69,7 @@ impl KernelSpectrum {
     /// Panics if the shapes differ.
     pub fn accumulate(&mut self, other: &KernelSpectrum, weight: f64) {
         assert_eq!(self.dims(), other.dims(), "kernel spectrum shape mismatch");
-        for (a, b) in self
-            .spectrum
-            .iter_mut()
-            .zip(other.spectrum.iter())
-        {
+        for (a, b) in self.spectrum.iter_mut().zip(other.spectrum.iter()) {
             *a += b.scale(weight);
         }
     }
@@ -317,9 +313,7 @@ mod tests {
         let spec = conv.kernel_spectrum(&kernel);
         let corr = conv.correlate(&field, &spec);
         // Build conj(h(-x)) explicitly: index n -> (N - n) mod N, conjugated.
-        let flipped = Grid::from_fn(w, h, |x, y| {
-            kernel[((w - x) % w, (h - y) % h)].conj()
-        });
+        let flipped = Grid::from_fn(w, h, |x, y| kernel[((w - x) % w, (h - y) % h)].conj());
         let spec_f = conv.kernel_spectrum(&flipped);
         let conv_f = conv.convolve(&field, &spec_f);
         assert_grid_close(&corr, &conv_f, 1e-9);

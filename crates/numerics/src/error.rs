@@ -47,7 +47,10 @@ mod tests {
             expected: (4, 4),
             found: (2, 3),
         };
-        assert_eq!(e.to_string(), "grid shape mismatch: expected 4x4, found 2x3");
+        assert_eq!(
+            e.to_string(),
+            "grid shape mismatch: expected 4x4, found 2x3"
+        );
     }
 
     #[test]

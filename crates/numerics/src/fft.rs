@@ -196,6 +196,9 @@ impl Fft {
         direction: FftDirection,
     ) {
         let n = data.len();
+        // Bit-reversal permutation: the index itself is compared against
+        // its reversal to swap each pair exactly once.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let j = rev[i] as usize;
             if i < j {
@@ -250,12 +253,12 @@ impl Fft {
         match direction {
             FftDirection::Forward => {
                 for (av, f) in a.iter_mut().zip(filter_spectrum.iter()) {
-                    *av = *av * *f;
+                    *av *= *f;
                 }
             }
             FftDirection::Inverse => {
                 for (av, f) in a.iter_mut().zip(filter_spectrum.iter()) {
-                    *av = *av * f.conj();
+                    *av *= f.conj();
                 }
             }
         }
@@ -459,7 +462,9 @@ mod tests {
     fn linearity() {
         let n = 24; // exercises Bluestein
         let a = ramp(n);
-        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.3)).collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), 0.3))
+            .collect();
         let fft = Fft::new(n);
         let mut fa = a.clone();
         let mut fb = b.clone();
@@ -497,8 +502,12 @@ mod tests {
         // product of the 1-D transforms.
         let w = 8;
         let h = 16;
-        let gx: Vec<Complex> = (0..w).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
-        let hy: Vec<Complex> = (0..h).map(|i| Complex::new(1.0 / (1.0 + i as f64), 0.0)).collect();
+        let gx: Vec<Complex> = (0..w)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
+        let hy: Vec<Complex> = (0..h)
+            .map(|i| Complex::new(1.0 / (1.0 + i as f64), 0.0))
+            .collect();
         let grid = Grid::from_fn(w, h, |x, y| gx[x] * hy[y]);
         let plan = Fft2d::new(w, h);
         let mut out = grid;

@@ -193,11 +193,11 @@ impl<T> Grid<T> {
     }
 
     /// Applies `f` to every pixel, producing a new grid of the results.
-    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> Grid<U> {
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Grid<U> {
         Grid {
             width: self.width,
             height: self.height,
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 
@@ -300,7 +300,10 @@ impl<T> Index<(usize, usize)> for Grid<T> {
     /// Panics if `(x, y)` is out of bounds.
     #[inline]
     fn index(&self, (x, y): (usize, usize)) -> &T {
-        assert!(x < self.width && y < self.height, "grid index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
         &self.data[self.idx(x, y)]
     }
 }
@@ -308,7 +311,10 @@ impl<T> Index<(usize, usize)> for Grid<T> {
 impl<T> IndexMut<(usize, usize)> for Grid<T> {
     #[inline]
     fn index_mut(&mut self, (x, y): (usize, usize)) -> &mut T {
-        assert!(x < self.width && y < self.height, "grid index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
         let i = self.idx(x, y);
         &mut self.data[i]
     }

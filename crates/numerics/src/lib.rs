@@ -48,6 +48,7 @@ pub mod fft;
 pub mod grid;
 pub mod grid_ops;
 pub mod matrix;
+pub mod rng;
 pub mod stats;
 
 pub use complex::Complex;
@@ -56,6 +57,7 @@ pub use error::NumericsError;
 pub use fft::{Fft, Fft2d, FftDirection};
 pub use grid::Grid;
 pub use matrix::{eigen_hermitian, HermitianEigen, Matrix};
+pub use rng::Rng64;
 
 /// The types almost every user of this crate needs.
 pub mod prelude {
@@ -65,5 +67,6 @@ pub mod prelude {
     pub use crate::fft::{Fft, Fft2d, FftDirection};
     pub use crate::grid::Grid;
     pub use crate::matrix::{eigen_hermitian, HermitianEigen, Matrix};
+    pub use crate::rng::Rng64;
     pub use crate::stats;
 }

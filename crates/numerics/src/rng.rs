@@ -1,0 +1,164 @@
+//! Small deterministic PRNG (xorshift64*), replacing the external `rand`
+//! crate so the workspace builds hermetically (no network, no registry).
+//!
+//! Everything in this workspace that consumes randomness — seeded
+//! benchmark-clip generation, deterministic property-style tests — needs
+//! reproducibility, not cryptographic quality. xorshift64* passes the
+//! relevant statistical smoke tests, has a 2⁶⁴−1 period, and is four
+//! lines of code.
+//!
+//! ```
+//! use mosaic_numerics::rng::Rng64;
+//!
+//! let mut rng = Rng64::new(42);
+//! let a = rng.range_i64(10, 20);
+//! assert!((10..20).contains(&a));
+//! // Same seed, same stream.
+//! assert_eq!(Rng64::new(42).next_u64(), Rng64::new(42).next_u64());
+//! ```
+
+/// A seeded xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from any seed (including 0 — the seed is
+    /// pre-mixed with a SplitMix64 step so weak seeds still produce
+    /// well-distributed streams).
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 finalizer: guarantees a non-zero, well-mixed state.
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        Rng64 { state: z.max(1) }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::new(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::new(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng64::new(0);
+        let vals: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+        assert!(vals.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range_and_vary() {
+        let mut r = Rng64::new(3);
+        let vals: Vec<f64> = (0..1000).map(|_| r.next_f64()).collect();
+        assert!(vals.iter().all(|&v| (0.0..1.0).contains(&v)));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn integer_ranges_are_inclusive_exclusive() {
+        let mut r = Rng64::new(4);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range_i64(-3, 3);
+            assert!((-3..3).contains(&v));
+            seen_lo |= v == -3;
+            seen_hi |= v == 2;
+        }
+        assert!(seen_lo && seen_hi);
+        for _ in 0..100 {
+            assert!(r.range_usize(5, 6) == 5);
+        }
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = Rng64::new(5);
+        let hits = (0..4000).filter(|_| r.chance(0.25)).count();
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = Rng64::new(0).range_i64(5, 5);
+    }
+}

@@ -1,114 +1,141 @@
-//! Property-based tests for the numerics substrate.
+//! Property-style tests for the numerics substrate.
+//!
+//! Formerly written with `proptest`; now seeded deterministic loops over
+//! the same generators so the workspace builds with no external
+//! dependencies. Each case count matches (or exceeds) the old
+//! `ProptestConfig::with_cases` setting.
 
 use mosaic_numerics::fft::dft_reference;
 use mosaic_numerics::prelude::*;
-use proptest::prelude::*;
 
-fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {
-    proptest::collection::vec(
-        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex::new(re, im)),
-        len,
-    )
+fn complex_vec(rng: &mut Rng64, len: usize) -> Vec<Complex> {
+    (0..len)
+        .map(|_| Complex::new(rng.range_f64(-100.0, 100.0), rng.range_f64(-100.0, 100.0)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// inverse(forward(x)) == x for arbitrary data and lengths (both the
-    /// radix-2 and Bluestein code paths).
-    #[test]
-    fn fft_round_trip(len in 1usize..80, seed in 0u64..1000) {
-        let data: Vec<Complex> = (0..len)
-            .map(|i| {
-                let v = (seed.wrapping_mul(i as u64 + 1)).wrapping_mul(0x9E3779B97F4A7C15);
-                Complex::new(((v >> 40) as f64) / 1e6, ((v >> 20 & 0xFFFFF) as f64) / 1e5)
-            })
-            .collect();
+/// inverse(forward(x)) == x for arbitrary data and lengths (both the
+/// radix-2 and Bluestein code paths).
+#[test]
+fn fft_round_trip() {
+    let mut rng = Rng64::new(0xF7_0001);
+    for case in 0..64 {
+        let len = rng.range_usize(1, 80);
+        let data = complex_vec(&mut rng, len);
         let fft = Fft::new(len);
         let mut out = data.clone();
         fft.process(&mut out, FftDirection::Forward);
         fft.process(&mut out, FftDirection::Inverse);
         for (a, b) in out.iter().zip(&data) {
-            prop_assert!((*a - *b).norm() < 1e-7);
+            assert!((*a - *b).norm() < 1e-7, "case {case} len {len}");
         }
     }
+}
 
-    /// The fast transform agrees with the O(N²) reference DFT.
-    #[test]
-    fn fft_matches_reference(data in complex_vec(33)) {
+/// The fast transform agrees with the O(N²) reference DFT.
+#[test]
+fn fft_matches_reference() {
+    let mut rng = Rng64::new(0xF7_0002);
+    for case in 0..64 {
+        let data = complex_vec(&mut rng, 33);
         let fft = Fft::new(33);
         let mut out = data.clone();
         fft.process(&mut out, FftDirection::Forward);
         let expect = dft_reference(&data, FftDirection::Forward);
         for (a, b) in out.iter().zip(&expect) {
-            prop_assert!((*a - *b).norm() < 1e-6, "{a} vs {b}");
+            assert!((*a - *b).norm() < 1e-6, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    /// Parseval: energy is conserved by the forward transform.
-    #[test]
-    fn fft_parseval(data in complex_vec(32)) {
+/// Parseval: energy is conserved by the forward transform.
+#[test]
+fn fft_parseval() {
+    let mut rng = Rng64::new(0xF7_0003);
+    for _ in 0..64 {
+        let data = complex_vec(&mut rng, 32);
         let time: f64 = data.iter().map(|z| z.norm_sqr()).sum();
         let mut out = data;
         Fft::new(32).process(&mut out, FftDirection::Forward);
         let freq: f64 = out.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
-        prop_assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
+        assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
     }
+}
 
-    /// Convolution commutes: f ⊗ g == g ⊗ f.
-    #[test]
-    fn convolution_commutes(a in complex_vec(64), b in complex_vec(64)) {
-        let ga = Grid::from_vec(8, 8, a).unwrap();
-        let gb = Grid::from_vec(8, 8, b).unwrap();
+/// Convolution commutes: f ⊗ g == g ⊗ f.
+#[test]
+fn convolution_commutes() {
+    let mut rng = Rng64::new(0xF7_0004);
+    for _ in 0..64 {
+        let ga = Grid::from_vec(8, 8, complex_vec(&mut rng, 64)).unwrap();
+        let gb = Grid::from_vec(8, 8, complex_vec(&mut rng, 64)).unwrap();
         let conv = Convolver::new(8, 8);
         let ab = conv.convolve(&ga, &conv.kernel_spectrum(&gb));
         let ba = conv.convolve(&gb, &conv.kernel_spectrum(&ga));
         for (x, y) in ab.iter().zip(ba.iter()) {
-            prop_assert!((*x - *y).norm() < 1e-7);
+            assert!((*x - *y).norm() < 1e-7);
         }
     }
+}
 
-    /// Convolving with a centered impulse is the identity.
-    #[test]
-    fn impulse_is_identity(a in complex_vec(64)) {
-        let ga = Grid::from_vec(8, 8, a).unwrap();
+/// Convolving with a centered impulse is the identity.
+#[test]
+fn impulse_is_identity() {
+    let mut rng = Rng64::new(0xF7_0005);
+    for _ in 0..64 {
+        let ga = Grid::from_vec(8, 8, complex_vec(&mut rng, 64)).unwrap();
         let conv = Convolver::new(8, 8);
         let mut impulse = Grid::<Complex>::zeros(8, 8);
         impulse[(4, 4)] = Complex::ONE;
         let spec = conv.kernel_spectrum_centered(&impulse);
         let out = conv.convolve(&ga, &spec);
         for (x, y) in out.iter().zip(ga.iter()) {
-            prop_assert!((*x - *y).norm() < 1e-8);
+            assert!((*x - *y).norm() < 1e-8);
         }
     }
+}
 
-    /// DC of the convolution equals product of the DCs (sum rule).
-    #[test]
-    fn convolution_sum_rule(a in complex_vec(16), b in complex_vec(16)) {
-        let ga = Grid::from_vec(4, 4, a).unwrap();
-        let gb = Grid::from_vec(4, 4, b).unwrap();
+/// DC of the convolution equals product of the DCs (sum rule).
+#[test]
+fn convolution_sum_rule() {
+    let mut rng = Rng64::new(0xF7_0006);
+    for _ in 0..64 {
+        let ga = Grid::from_vec(4, 4, complex_vec(&mut rng, 16)).unwrap();
+        let gb = Grid::from_vec(4, 4, complex_vec(&mut rng, 16)).unwrap();
         let conv = Convolver::new(4, 4);
         let out = conv.convolve(&ga, &conv.kernel_spectrum(&gb));
         let sum_out: Complex = out.iter().sum();
         let expect = ga.iter().sum::<Complex>() * gb.iter().sum::<Complex>();
-        prop_assert!((sum_out - expect).norm() < 1e-6 * (1.0 + expect.norm()));
+        assert!((sum_out - expect).norm() < 1e-6 * (1.0 + expect.norm()));
     }
+}
 
-    /// embed + crop round-trips arbitrary small grids.
-    #[test]
-    fn embed_crop_round_trip(w in 1usize..6, h in 1usize..6, pad in 0usize..5) {
-        let g = Grid::from_fn(w, h, |x, y| (x * 31 + y * 7) as f64);
-        let big = g.embed_centered(w + pad, h + pad);
-        prop_assert_eq!(big.crop_centered(w, h), g);
+/// embed + crop round-trips arbitrary small grids.
+#[test]
+fn embed_crop_round_trip() {
+    for w in 1usize..6 {
+        for h in 1usize..6 {
+            for pad in 0usize..5 {
+                let g = Grid::from_fn(w, h, |x, y| (x * 31 + y * 7) as f64);
+                let big = g.embed_centered(w + pad, h + pad);
+                assert_eq!(big.crop_centered(w, h), g);
+            }
+        }
     }
+}
 
-    /// RMS is invariant under permutation and scales linearly.
-    #[test]
-    fn rms_properties(mut v in proptest::collection::vec(-1e3f64..1e3, 1..40), k in 0.1f64..10.0) {
+/// RMS is invariant under permutation and scales linearly.
+#[test]
+fn rms_properties() {
+    let mut rng = Rng64::new(0xF7_0007);
+    for _ in 0..64 {
+        let len = rng.range_usize(1, 40);
+        let mut v: Vec<f64> = (0..len).map(|_| rng.range_f64(-1e3, 1e3)).collect();
+        let k = rng.range_f64(0.1, 10.0);
         let r = stats::rms(&v);
         let scaled: Vec<f64> = v.iter().map(|x| x * k).collect();
-        prop_assert!((stats::rms(&scaled) - k * r).abs() < 1e-9 * (1.0 + r) * k);
+        assert!((stats::rms(&scaled) - k * r).abs() < 1e-9 * (1.0 + r) * k);
         v.reverse();
-        prop_assert!((stats::rms(&v) - r).abs() < 1e-12);
+        assert!((stats::rms(&v) - r).abs() < 1e-12);
     }
 }

@@ -124,6 +124,9 @@ impl OpticsConfig {
     /// Returns [`OpticsError::InvalidParameter`] naming the offending
     /// field when any parameter is non-positive, NA is non-physical, or
     /// the kernel count is zero.
+    // The negated comparisons deliberately reject NaN alongside
+    // non-positive values.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), OpticsError> {
         if !(self.wavelength_nm > 0.0) {
             return Err(OpticsError::param("wavelength_nm", "must be positive"));

@@ -44,6 +44,9 @@ mod tests {
     #[test]
     fn display_names_parameter() {
         let e = OpticsError::param("na", "must be positive");
-        assert_eq!(e.to_string(), "invalid optical parameter 'na': must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid optical parameter 'na': must be positive"
+        );
     }
 }

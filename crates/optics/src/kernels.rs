@@ -291,7 +291,11 @@ mod tests {
     fn intensity_is_nonnegative() {
         let set = KernelSet::build(&small_config(), ProcessCondition::new(-25.0, 0.98));
         let conv = Convolver::new(64, 64);
-        let mask = Grid::from_fn(64, 64, |x, y| if (x / 8 + y / 8) % 2 == 0 { 1.0 } else { 0.0 });
+        let mask = Grid::from_fn(
+            64,
+            64,
+            |x, y| if (x / 8 + y / 8) % 2 == 0 { 1.0 } else { 0.0 },
+        );
         let intensity = set.aerial_image_from_spectrum(&conv, &conv.forward_real(&mask));
         assert!(intensity.min() >= 0.0);
     }

@@ -60,7 +60,7 @@ pub use config::{OpticsConfig, ProcessCondition};
 pub use error::OpticsError;
 pub use kernels::{CoherentKernel, KernelSet};
 pub use resist::ResistModel;
-pub use simulator::LithoSimulator;
+pub use simulator::{LithoSimulator, SimKey};
 pub use source::{SourcePoint, SourceShape};
 pub use tcc::TccDecomposition;
 
@@ -71,7 +71,7 @@ pub mod prelude {
     pub use crate::kernels::{CoherentKernel, KernelSet};
     pub use crate::metrics::{self, SlopeSummary};
     pub use crate::resist::ResistModel;
-    pub use crate::simulator::LithoSimulator;
+    pub use crate::simulator::{LithoSimulator, SimKey};
     pub use crate::source::{SourcePoint, SourceShape};
     pub use crate::tcc::{self, TccDecomposition};
 }

@@ -42,9 +42,9 @@ pub fn image_log_slope(
     if i0 <= 0.0 {
         return 0.0;
     }
-    let grad =
-        (intensity[(xp as usize, yp as usize)] - intensity[(xm as usize, ym as usize)]).abs()
-            / (2.0 * pixel_nm);
+    let grad = (intensity[(xp as usize, yp as usize)] - intensity[(xm as usize, ym as usize)])
+        .abs()
+        / (2.0 * pixel_nm);
     grad / i0
 }
 

@@ -4,7 +4,71 @@
 use crate::config::{OpticsConfig, ProcessCondition};
 use crate::kernels::KernelSet;
 use crate::resist::ResistModel;
+use crate::source::SourceShape;
 use mosaic_numerics::{Complex, Convolver, Grid};
+use std::sync::Arc;
+
+/// A hashable identity for a simulator configuration: everything that
+/// goes into building the SOCS kernel banks plus the resist model.
+///
+/// Two simulators with equal keys are interchangeable, so a batch runtime
+/// can build the (expensive) kernel banks once per distinct key and share
+/// them across jobs via [`LithoSimulator::from_shared_banks`]. Floats are
+/// compared by bit pattern — constructions from the same literals always
+/// collide, which is the only case a cache needs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SimKey {
+    grid: (usize, usize),
+    pixel_bits: u64,
+    wavelength_bits: u64,
+    na_bits: u64,
+    kernel_count: usize,
+    source_bits: Vec<u64>,
+    resist_bits: (u64, u64),
+    condition_bits: Vec<(u64, u64)>,
+}
+
+impl SimKey {
+    /// Derives the key of a simulator built from these parts.
+    pub fn new(
+        config: &OpticsConfig,
+        resist: &ResistModel,
+        conditions: &[ProcessCondition],
+    ) -> Self {
+        let source_bits = match config.source {
+            SourceShape::Circular { sigma } => vec![0, sigma.to_bits()],
+            SourceShape::Annular {
+                sigma_in,
+                sigma_out,
+            } => {
+                vec![1, sigma_in.to_bits(), sigma_out.to_bits()]
+            }
+            SourceShape::Dipole {
+                sigma_center,
+                sigma_radius,
+            } => vec![2, sigma_center.to_bits(), sigma_radius.to_bits()],
+            _ => {
+                // Future source shapes hash their debug rendering — slower
+                // but still correct and collision-free per construction.
+                let text = format!("{:?}", config.source);
+                text.as_bytes().iter().map(|&b| u64::from(b)).collect()
+            }
+        };
+        SimKey {
+            grid: (config.grid_width, config.grid_height),
+            pixel_bits: config.pixel_nm.to_bits(),
+            wavelength_bits: config.wavelength_nm.to_bits(),
+            na_bits: config.na.to_bits(),
+            kernel_count: config.kernel_count,
+            source_bits,
+            resist_bits: (resist.threshold.to_bits(), resist.steepness.to_bits()),
+            condition_bits: conditions
+                .iter()
+                .map(|c| (c.defocus_nm.to_bits(), c.dose.to_bits()))
+                .collect(),
+        }
+    }
+}
 
 /// A forward lithography simulator holding kernel banks for a fixed list
 /// of process conditions.
@@ -12,12 +76,14 @@ use mosaic_numerics::{Complex, Convolver, Grid};
 /// Condition 0 is conventionally the nominal condition; the remaining
 /// entries are process-window corners. Building the simulator precomputes
 /// every kernel spectrum, so repeated simulation (the ILT inner loop) only
-/// pays FFTs.
+/// pays FFTs. Banks are held behind [`Arc`], so cloning a simulator — or
+/// constructing one from another's banks — shares the spectra instead of
+/// recomputing or copying them.
 #[derive(Debug, Clone)]
 pub struct LithoSimulator {
     convolver: Convolver,
     resist: ResistModel,
-    banks: Vec<KernelSet>,
+    banks: Vec<Arc<KernelSet>>,
     config: OpticsConfig,
 }
 
@@ -33,11 +99,14 @@ impl LithoSimulator {
         conditions: Vec<ProcessCondition>,
     ) -> Self {
         config.validate().expect("invalid optics configuration");
-        assert!(!conditions.is_empty(), "need at least one process condition");
+        assert!(
+            !conditions.is_empty(),
+            "need at least one process condition"
+        );
         let convolver = Convolver::new(config.grid_width, config.grid_height);
         let banks = conditions
             .iter()
-            .map(|&c| KernelSet::build(config, c))
+            .map(|&c| Arc::new(KernelSet::build(config, c)))
             .collect();
         LithoSimulator {
             convolver,
@@ -45,6 +114,47 @@ impl LithoSimulator {
             banks,
             config: config.clone(),
         }
+    }
+
+    /// Assembles a simulator around prebuilt shared kernel banks — the
+    /// cheap path a batch runtime takes after a [`SimKey`] cache hit. No
+    /// spectra are recomputed; only the convolver plans are rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is empty or any bank's grid differs from the
+    /// configuration grid.
+    pub fn from_shared_banks(
+        config: &OpticsConfig,
+        resist: ResistModel,
+        banks: Vec<Arc<KernelSet>>,
+    ) -> Self {
+        config.validate().expect("invalid optics configuration");
+        assert!(!banks.is_empty(), "need at least one process condition");
+        for b in &banks {
+            assert_eq!(
+                b.dims(),
+                (config.grid_width, config.grid_height),
+                "kernel bank grid mismatch"
+            );
+        }
+        let convolver = Convolver::new(config.grid_width, config.grid_height);
+        LithoSimulator {
+            convolver,
+            resist,
+            banks,
+            config: config.clone(),
+        }
+    }
+
+    /// The cache key identifying this simulator's configuration.
+    pub fn sim_key(&self) -> SimKey {
+        SimKey::new(&self.config, &self.resist, &self.conditions())
+    }
+
+    /// The shared kernel banks, in condition order.
+    pub fn shared_banks(&self) -> &[Arc<KernelSet>] {
+        &self.banks
     }
 
     /// The optics configuration the simulator was built with.
@@ -78,7 +188,7 @@ impl LithoSimulator {
     ///
     /// Panics if `index` is out of range.
     pub fn bank(&self, index: usize) -> &KernelSet {
-        &self.banks[index]
+        self.banks[index].as_ref()
     }
 
     /// Forward-transforms a mask once for reuse across conditions/kernels.
@@ -182,11 +292,9 @@ mod tests {
         assert_eq!(prints.len(), 5);
         // Dose variation must move at least one edge pixel somewhere.
         let base = &prints[0];
-        let differs = prints[1..].iter().any(|p| {
-            p.iter()
-                .zip(base.iter())
-                .any(|(a, b)| (a - b).abs() > 0.5)
-        });
+        let differs = prints[1..]
+            .iter()
+            .any(|p| p.iter().zip(base.iter()).any(|(a, b)| (a - b).abs() > 0.5));
         assert!(differs, "corners did not change the printed image");
     }
 
@@ -197,9 +305,7 @@ mod tests {
             ProcessCondition::new(0.0, 1.06),
         ]);
         let prints = sim.printed_all_conditions(&bar_mask());
-        let width = |g: &Grid<f64>| -> usize {
-            (0..64).filter(|&x| g[(x, 32)] > 0.5).count()
-        };
+        let width = |g: &Grid<f64>| -> usize { (0..64).filter(|&x| g[(x, 32)] > 0.5).count() };
         assert!(
             width(&prints[1]) >= width(&prints[0]),
             "overdose narrower than underdose"
@@ -236,5 +342,42 @@ mod tests {
     #[should_panic(expected = "at least one process condition")]
     fn empty_conditions_rejected() {
         let _ = simulator(vec![]);
+    }
+
+    #[test]
+    fn shared_banks_reproduce_direct_build() {
+        let built = simulator(ProcessCondition::contest_window());
+        let shared = LithoSimulator::from_shared_banks(
+            built.config(),
+            *built.resist(),
+            built.shared_banks().to_vec(),
+        );
+        let mask = bar_mask();
+        for i in 0..built.condition_count() {
+            assert_eq!(built.aerial_image(&mask, i), shared.aerial_image(&mask, i));
+        }
+        // The banks really are shared, not copied.
+        for (a, b) in built.shared_banks().iter().zip(shared.shared_banks()) {
+            assert!(std::sync::Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn sim_key_distinguishes_configurations() {
+        let a = simulator(ProcessCondition::nominal_only()).sim_key();
+        let b = simulator(ProcessCondition::nominal_only()).sim_key();
+        assert_eq!(a, b);
+        assert_ne!(a, simulator(ProcessCondition::contest_window()).sim_key());
+        let other = LithoSimulator::new(
+            &OpticsConfig::builder()
+                .grid(64, 64)
+                .pixel_nm(8.0)
+                .kernel_count(6)
+                .build()
+                .unwrap(),
+            ResistModel::paper(),
+            ProcessCondition::nominal_only(),
+        );
+        assert_ne!(a, other.sim_key());
     }
 }

@@ -185,7 +185,7 @@ mod tests {
         .sample(24);
         for p in &pts {
             let r = (p.sx * p.sx + p.sy * p.sy).sqrt();
-            assert!(r >= 0.6 - 1e-12 && r <= 0.9 + 1e-12, "point radius {r}");
+            assert!((0.6 - 1e-12..=0.9 + 1e-12).contains(&r), "point radius {r}");
         }
     }
 

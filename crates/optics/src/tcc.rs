@@ -47,12 +47,7 @@ impl TccDecomposition {
         if total <= 0.0 {
             return 0.0;
         }
-        let top: f64 = self
-            .eigenvalues
-            .iter()
-            .take(h)
-            .filter(|v| **v > 0.0)
-            .sum();
+        let top: f64 = self.eigenvalues.iter().take(h).filter(|v| **v > 0.0).sum();
         (top / total).min(1.0)
     }
 }
@@ -86,9 +81,9 @@ pub fn decompose(
     let fx: Vec<f64> = (0..w).map(|i| freq(i, w, config.pixel_nm)).collect();
     let fy: Vec<f64> = (0..h).map(|j| freq(j, h, config.pixel_nm)).collect();
     let mut support: Vec<(usize, usize)> = Vec::new();
-    for j in 0..h {
-        for i in 0..w {
-            if fx[i] * fx[i] + fy[j] * fy[j] <= support_radius * support_radius {
+    for (j, &fyj) in fy.iter().enumerate() {
+        for (i, &fxi) in fx.iter().enumerate() {
+            if fxi * fxi + fyj * fyj <= support_radius * support_radius {
                 support.push((i, j));
             }
         }
@@ -206,9 +201,7 @@ mod tests {
         let tcc = decompose(&config(), ProcessCondition::NOMINAL, 64);
         let conv = Convolver::new(64, 64);
         let spectrum = conv.forward_real(&Grid::filled(64, 64, 1.0));
-        let intensity = tcc
-            .kernels
-            .aerial_image_from_spectrum(&conv, &spectrum);
+        let intensity = tcc.kernels.aerial_image_from_spectrum(&conv, &spectrum);
         let center = intensity[(32, 32)];
         assert!(
             (center - 1.0).abs() < 0.05,

@@ -1,0 +1,284 @@
+//! Batch orchestration: queue in, Table-2-style summary out.
+//!
+//! [`run_batch`] glues the subsystems together: it builds the shared
+//! [`SimCache`], opens the JSONL [`EventSink`], schedules every
+//! [`JobSpec`] on the worker pool and folds the per-job results into a
+//! [`BatchOutcome`]. [`render_summary`] formats the outcome the way the
+//! paper's Table 2 reports per-clip results.
+
+use crate::cache::SimCache;
+use crate::events::{Event, EventSink};
+use crate::job::{execute_job, JobContext, JobReport, JobSpec, JobStatus};
+use crate::scheduler::{run_pool, CancelToken, JobExecution};
+use std::io;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Knobs for one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Retries per failed job (1 = the paper over-provisions nothing;
+    /// a transient failure gets one more chance).
+    pub retries: u32,
+    /// JSONL report path; `None` disables event output.
+    pub report: Option<PathBuf>,
+    /// Checkpoint root directory; `None` disables checkpoint/resume.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint every N iterations (0 = only when cancelled).
+    pub checkpoint_every: usize,
+    /// Soft wall-clock budget for the whole batch; when it elapses,
+    /// running jobs checkpoint and stop, queued jobs never start.
+    pub deadline: Option<Duration>,
+    /// External cancellation handle (e.g. from a signal handler).
+    pub cancel: CancelToken,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            workers: 1,
+            retries: 1,
+            report: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            deadline: None,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+/// Everything a finished batch produced, in job order.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One terminal execution per spec, in input order.
+    pub results: Vec<JobExecution<JobReport>>,
+    /// Jobs that finished and were scored.
+    pub finished: usize,
+    /// Jobs that failed every attempt.
+    pub failed: usize,
+    /// Jobs cancelled (before start or mid-run).
+    pub cancelled: usize,
+    /// Sum of runtime-excluded quality scores over finished jobs.
+    pub total_quality_score: f64,
+    /// Batch wall time, seconds.
+    pub wall_s: f64,
+}
+
+/// Runs `specs` on a worker pool and returns the folded outcome.
+///
+/// # Errors
+///
+/// Fails only on report-file creation; job-level problems are reported
+/// per job inside the outcome, never as an `Err`.
+pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOutcome> {
+    let started = Instant::now();
+    let events = match &config.report {
+        Some(path) => EventSink::to_file(path)?,
+        None => EventSink::null(),
+    };
+    let cache = SimCache::new();
+    let deadline = config.deadline.map(|d| started + d);
+    events.emit(&Event::BatchStart {
+        jobs: specs.len(),
+        workers: config.workers.max(1),
+    });
+
+    let ctx = JobContext {
+        cache: &cache,
+        events: &events,
+        cancel: &config.cancel,
+        deadline,
+        checkpoint_dir: config.checkpoint_dir.as_deref(),
+        checkpoint_every: config.checkpoint_every,
+    };
+    let runner = |spec: &JobSpec, attempt: u32| {
+        // Promote an elapsed deadline into a sticky cancel so queued
+        // jobs stop being scheduled, then run the job.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            config.cancel.cancel();
+        }
+        execute_job(spec, attempt, &ctx)
+    };
+    let results = run_pool(
+        specs,
+        config.workers,
+        config.retries,
+        &config.cancel,
+        &runner,
+    );
+
+    let mut finished = 0usize;
+    let mut failed = 0usize;
+    let mut cancelled = 0usize;
+    let mut total_quality_score = 0.0f64;
+    for (spec, execution) in specs.iter().zip(&results) {
+        match execution {
+            JobExecution::Success { result, .. } => match result.status {
+                JobStatus::Cancelled => cancelled += 1,
+                _ => {
+                    finished += 1;
+                    if let Some(m) = &result.metrics {
+                        total_quality_score += m.quality_score;
+                    }
+                }
+            },
+            JobExecution::Failure { error, attempts } => {
+                failed += 1;
+                events.emit(&Event::JobFinish {
+                    job: spec.id.clone(),
+                    status: JobStatus::Failed.name().to_string(),
+                    error: Some(error.clone()),
+                    iterations: 0,
+                    epe_violations: 0,
+                    pvband_nm2: f64::NAN,
+                    shape_violations: 0,
+                    quality_score: f64::NAN,
+                    wall_s: f64::NAN,
+                    attempts: *attempts,
+                });
+            }
+            JobExecution::Cancelled => {
+                cancelled += 1;
+                events.emit(&Event::JobFinish {
+                    job: spec.id.clone(),
+                    status: JobStatus::Cancelled.name().to_string(),
+                    error: None,
+                    iterations: 0,
+                    epe_violations: 0,
+                    pvband_nm2: f64::NAN,
+                    shape_violations: 0,
+                    quality_score: f64::NAN,
+                    wall_s: 0.0,
+                    attempts: 0,
+                });
+            }
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    events.emit(&Event::BatchFinish {
+        finished,
+        failed,
+        cancelled,
+        total_quality_score,
+        wall_s,
+    });
+    Ok(BatchOutcome {
+        results,
+        finished,
+        failed,
+        cancelled,
+        total_quality_score,
+        wall_s,
+    })
+}
+
+/// Renders the outcome as a Table-2-style per-clip summary plus totals.
+pub fn render_summary(specs: &[JobSpec], outcome: &BatchOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<6} {:>6} {:>6} {:>12} {:>6} {:>12} {:>9}  {}\n",
+        "job", "mode", "iters", "EPE", "PVBand(nm2)", "shape", "quality", "wall(s)", "status"
+    ));
+    for (spec, execution) in specs.iter().zip(&outcome.results) {
+        let mode = crate::job::mode_name(spec.mode);
+        match execution {
+            JobExecution::Success { result, .. } => {
+                let (epe, pvb, shape, quality) = match &result.metrics {
+                    Some(m) => (
+                        m.epe_violations.to_string(),
+                        format!("{:.0}", m.pvband_nm2),
+                        m.shape_violations.to_string(),
+                        format!("{:.0}", m.quality_score),
+                    ),
+                    None => ("-".into(), "-".into(), "-".into(), "-".into()),
+                };
+                out.push_str(&format!(
+                    "{:<10} {:<6} {:>6} {:>6} {:>12} {:>6} {:>12} {:>9.2}  {}\n",
+                    spec.id,
+                    mode,
+                    result.iterations,
+                    epe,
+                    pvb,
+                    shape,
+                    quality,
+                    result.wall_s,
+                    result.status.name()
+                ));
+            }
+            JobExecution::Failure { error, attempts } => {
+                out.push_str(&format!(
+                    "{:<10} {:<6} {:>6} {:>6} {:>12} {:>6} {:>12} {:>9}  failed ({attempts} attempts): {error}\n",
+                    spec.id, mode, "-", "-", "-", "-", "-", "-"
+                ));
+            }
+            JobExecution::Cancelled => {
+                out.push_str(&format!(
+                    "{:<10} {:<6} {:>6} {:>6} {:>12} {:>6} {:>12} {:>9}  cancelled\n",
+                    spec.id, mode, "-", "-", "-", "-", "-", "-"
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\ntotal: {} finished, {} failed, {} cancelled | quality score {:.0} | wall {:.2}s\n",
+        outcome.finished,
+        outcome.failed,
+        outcome.cancelled,
+        outcome.total_quality_score,
+        outcome.wall_s
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_core::MosaicMode;
+    use mosaic_geometry::benchmarks::BenchmarkId;
+
+    fn tiny_specs(clips: &[BenchmarkId]) -> Vec<JobSpec> {
+        clips
+            .iter()
+            .map(|&c| {
+                let mut s = JobSpec::preset(c, MosaicMode::Fast, 128, 8.0);
+                s.config.opt.max_iterations = 2;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_of_two_finishes_and_sums_scores() {
+        let specs = tiny_specs(&[BenchmarkId::B1, BenchmarkId::B8]);
+        let outcome = run_batch(&specs, &BatchConfig::default()).unwrap();
+        assert_eq!(outcome.finished, 2);
+        assert_eq!(outcome.failed, 0);
+        let sum: f64 = outcome
+            .results
+            .iter()
+            .filter_map(|e| e.success())
+            .filter_map(|r| r.metrics.as_ref())
+            .map(|m| m.quality_score)
+            .sum();
+        assert_eq!(sum, outcome.total_quality_score);
+        let summary = render_summary(&specs, &outcome);
+        assert!(summary.contains("B1-fast"));
+        assert!(summary.contains("2 finished"));
+    }
+
+    #[test]
+    fn elapsed_deadline_cancels_the_tail() {
+        let specs = tiny_specs(&[BenchmarkId::B1, BenchmarkId::B2, BenchmarkId::B3]);
+        let config = BatchConfig {
+            deadline: Some(Duration::ZERO),
+            ..BatchConfig::default()
+        };
+        let outcome = run_batch(&specs, &config).unwrap();
+        // The first claimed job stops at its first iteration boundary;
+        // the elapsed deadline cancels the token, so the rest never run.
+        assert_eq!(outcome.finished, 0);
+        assert_eq!(outcome.cancelled, 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared simulator cache.
+//!
+//! Kernel-bank construction dominates job setup: each process condition
+//! needs an Abbe source decomposition, per-kernel pupils and FFT spectra,
+//! plus the Eq. (21) combined kernel. All of it depends only on the
+//! optics configuration, resist model and condition set — not on the
+//! clip — so a batch of N clips at one configuration should pay it once.
+//!
+//! [`SimCache`] memoizes fully built [`LithoSimulator`]s behind `Arc`,
+//! keyed on [`SimKey`]. Workers call [`SimCache::get_or_build`]; the
+//! first caller for a configuration builds, everyone else gets a cheap
+//! clone of the `Arc`.
+
+use mosaic_optics::{LithoSimulator, OpticsConfig, ProcessCondition, ResistModel, SimKey};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe memo table of simulators keyed on their configuration.
+///
+/// The mutex is held *across* a build: if two workers race on a missing
+/// configuration, the second blocks until the first finishes rather than
+/// duplicating an expensive kernel-bank construction. Cache hits only
+/// hold the lock for a map lookup.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    inner: Mutex<HashMap<SimKey, Arc<LithoSimulator>>>,
+}
+
+impl SimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SimCache::default()
+    }
+
+    /// Returns the cached simulator for this configuration, building and
+    /// inserting it on first use.
+    pub fn get_or_build(
+        &self,
+        optics: &OpticsConfig,
+        resist: ResistModel,
+        conditions: &[ProcessCondition],
+    ) -> Arc<LithoSimulator> {
+        let key = SimKey::new(optics, &resist, conditions);
+        let mut map = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(sim) = map.get(&key) {
+            return Arc::clone(sim);
+        }
+        let sim = Arc::new(LithoSimulator::new(optics, resist, conditions.to_vec()));
+        map.insert(key, Arc::clone(&sim));
+        sim
+    }
+
+    /// Number of distinct configurations built so far.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn optics(kernels: usize) -> OpticsConfig {
+        OpticsConfig::builder()
+            .grid(32, 32)
+            .pixel_nm(8.0)
+            .kernel_count(kernels)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn same_configuration_shares_one_simulator() {
+        let cache = SimCache::new();
+        let o = optics(4);
+        let a = cache.get_or_build(&o, ResistModel::paper(), &ProcessCondition::nominal_only());
+        let b = cache.get_or_build(&o, ResistModel::paper(), &ProcessCondition::nominal_only());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_configurations_build_separately() {
+        let cache = SimCache::new();
+        let nominal = ProcessCondition::nominal_only();
+        let a = cache.get_or_build(&optics(4), ResistModel::paper(), &nominal);
+        let b = cache.get_or_build(&optics(6), ResistModel::paper(), &nominal);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_instance() {
+        let cache = SimCache::new();
+        let o = optics(4);
+        let distinct = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(s.spawn(|| {
+                    cache.get_or_build(&o, ResistModel::paper(), &ProcessCondition::nominal_only())
+                }));
+            }
+            let sims: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for sim in &sims[1..] {
+                if !Arc::ptr_eq(&sims[0], sim) {
+                    distinct.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        assert_eq!(distinct.load(Ordering::SeqCst), 0);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Checkpoint/resume for interrupted batch runs.
+//!
+//! A checkpoint is a directory per job holding two artifacts:
+//!
+//! * `p_field.pgm` — the optimizer's `P`-field rendered as an 8-bit PGM
+//!   for **human inspection** (is the mask evolving sensibly?). Lossy by
+//!   construction; never read back.
+//! * `state.txt` — a plain-text manifest carrying the **exact** state:
+//!   every `f64` of the `P` and best-`P` grids as hexadecimal bit
+//!   patterns (`f64::to_bits`), plus the scalar loop state. Resuming
+//!   from it reproduces the uninterrupted run bit for bit.
+//!
+//! Saves are atomic (write `state.txt.tmp`, then rename) so a kill mid-
+//! save leaves the previous checkpoint intact.
+
+use mosaic_core::OptimizerCheckpoint;
+use mosaic_eval::pgm;
+use mosaic_numerics::Grid;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &str = "mosaic-checkpoint v1";
+/// Hex words per manifest line — keeps lines short enough for editors.
+const WORDS_PER_LINE: usize = 8;
+
+/// The checkpoint directory for one job.
+pub fn job_dir(root: &Path, job_id: &str) -> PathBuf {
+    root.join(job_id)
+}
+
+fn push_grid_hex(out: &mut String, label: &str, grid: &Grid<f64>) {
+    let _ = writeln!(out, "{label}");
+    for chunk in grid.as_slice().chunks(WORDS_PER_LINE) {
+        let mut line = String::with_capacity(17 * chunk.len());
+        for (i, v) in chunk.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            let _ = write!(line, "{:016x}", v.to_bits());
+        }
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// Saves `checkpoint` under `root/<job_id>/`, replacing any previous
+/// checkpoint for the job.
+///
+/// # Errors
+///
+/// Propagates I/O errors (directory creation, writes, the atomic
+/// rename).
+pub fn save(root: &Path, job_id: &str, checkpoint: &OptimizerCheckpoint) -> io::Result<()> {
+    let dir = job_dir(root, job_id);
+    std::fs::create_dir_all(&dir)?;
+    pgm::write_file(&checkpoint.variables, dir.join("p_field.pgm"))?;
+
+    let (w, h) = checkpoint.variables.dims();
+    let mut manifest = String::with_capacity(64 + 2 * 17 * w * h);
+    let _ = writeln!(manifest, "{MAGIC}");
+    let _ = writeln!(manifest, "job {job_id}");
+    let _ = writeln!(manifest, "grid {w} {h}");
+    let _ = writeln!(manifest, "iterations_done {}", checkpoint.iterations_done);
+    let _ = writeln!(manifest, "stagnant {}", checkpoint.stagnant);
+    let _ = writeln!(
+        manifest,
+        "best_value {:016x}",
+        checkpoint.best_value.to_bits()
+    );
+    let _ = writeln!(
+        manifest,
+        "prev_value {:016x}",
+        checkpoint.prev_value.to_bits()
+    );
+    push_grid_hex(&mut manifest, "p", &checkpoint.variables);
+    push_grid_hex(&mut manifest, "best_p", &checkpoint.best_variables);
+
+    let tmp = dir.join("state.txt.tmp");
+    std::fs::write(&tmp, manifest)?;
+    std::fs::rename(&tmp, dir.join("state.txt"))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn parse_f64_bits(word: &str) -> io::Result<f64> {
+    u64::from_str_radix(word, 16)
+        .map(f64::from_bits)
+        .map_err(|_| bad(format!("bad hex f64 word {word:?}")))
+}
+
+fn parse_grid<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    label: &str,
+    w: usize,
+    h: usize,
+) -> io::Result<Grid<f64>> {
+    match lines.next() {
+        Some(l) if l == label => {}
+        other => return Err(bad(format!("expected {label:?} section, got {other:?}"))),
+    }
+    let mut data = Vec::with_capacity(w * h);
+    while data.len() < w * h {
+        let line = lines
+            .next()
+            .ok_or_else(|| bad(format!("{label}: truncated at {} of {}", data.len(), w * h)))?;
+        for word in line.split_whitespace() {
+            data.push(parse_f64_bits(word)?);
+        }
+    }
+    if data.len() != w * h {
+        return Err(bad(format!(
+            "{label}: {} values, expected {}",
+            data.len(),
+            w * h
+        )));
+    }
+    Grid::from_vec(w, h, data).map_err(|_| bad(format!("{label}: grid assembly failed")))
+}
+
+fn parse_field<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    key: &str,
+) -> io::Result<Vec<&'a str>> {
+    let line = lines.next().ok_or_else(|| bad(format!("missing {key}")))?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some(key) {
+        return Err(bad(format!("expected {key:?}, got {line:?}")));
+    }
+    Ok(parts.collect())
+}
+
+/// Loads the checkpoint for `job_id`, or `Ok(None)` if the job has no
+/// checkpoint under `root`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for corrupt manifests and propagates other I/O
+/// errors.
+pub fn load(root: &Path, job_id: &str) -> io::Result<Option<OptimizerCheckpoint>> {
+    let path = job_dir(root, job_id).join("state.txt");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(bad("not a mosaic checkpoint manifest"));
+    }
+    let job = parse_field(&mut lines, "job")?;
+    if job != [job_id] {
+        return Err(bad(format!("manifest is for job {job:?}, not {job_id:?}")));
+    }
+    let grid = parse_field(&mut lines, "grid")?;
+    let [w, h] = grid.as_slice() else {
+        return Err(bad("grid line needs width and height"));
+    };
+    let w: usize = w.parse().map_err(|_| bad("bad grid width"))?;
+    let h: usize = h.parse().map_err(|_| bad("bad grid height"))?;
+    let iterations_done = parse_field(&mut lines, "iterations_done")?
+        .first()
+        .ok_or_else(|| bad("missing iterations_done value"))?
+        .parse()
+        .map_err(|_| bad("bad iterations_done"))?;
+    let stagnant = parse_field(&mut lines, "stagnant")?
+        .first()
+        .ok_or_else(|| bad("missing stagnant value"))?
+        .parse()
+        .map_err(|_| bad("bad stagnant"))?;
+    let best_value = parse_f64_bits(
+        parse_field(&mut lines, "best_value")?
+            .first()
+            .ok_or_else(|| bad("missing best_value"))?,
+    )?;
+    let prev_value = parse_f64_bits(
+        parse_field(&mut lines, "prev_value")?
+            .first()
+            .ok_or_else(|| bad("missing prev_value"))?,
+    )?;
+    let variables = parse_grid(&mut lines, "p", w, h)?;
+    let best_variables = parse_grid(&mut lines, "best_p", w, h)?;
+    Ok(Some(OptimizerCheckpoint {
+        variables,
+        best_variables,
+        best_value,
+        prev_value,
+        stagnant,
+        iterations_done,
+    }))
+}
+
+/// Removes the job's checkpoint directory (after a successful finish).
+/// Missing directories are fine.
+///
+/// # Errors
+///
+/// Propagates unexpected I/O errors from the removal.
+pub fn clear(root: &Path, job_id: &str) -> io::Result<()> {
+    match std::fs::remove_dir_all(job_dir(root, job_id)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("mosaic_checkpoint_tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_checkpoint() -> OptimizerCheckpoint {
+        OptimizerCheckpoint {
+            variables: Grid::from_fn(5, 3, |x, y| (x as f64 - 2.0) * 0.37 + y as f64 * 1e-9),
+            best_variables: Grid::from_fn(5, 3, |x, y| -(x as f64) + 0.25 * y as f64),
+            best_value: 123.456789,
+            prev_value: 130.0e-3,
+            stagnant: 2,
+            iterations_done: 7,
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_exact() {
+        let root = temp_root("round_trip");
+        let cp = sample_checkpoint();
+        save(&root, "B3-fast", &cp).unwrap();
+        let back = load(&root, "B3-fast").unwrap().expect("checkpoint exists");
+        assert_eq!(back.variables, cp.variables);
+        assert_eq!(back.best_variables, cp.best_variables);
+        assert_eq!(back.best_value.to_bits(), cp.best_value.to_bits());
+        assert_eq!(back.prev_value.to_bits(), cp.prev_value.to_bits());
+        assert_eq!(back.stagnant, cp.stagnant);
+        assert_eq!(back.iterations_done, cp.iterations_done);
+    }
+
+    #[test]
+    fn round_trip_preserves_infinity_prev_value() {
+        let root = temp_root("infinity");
+        let mut cp = sample_checkpoint();
+        cp.prev_value = f64::INFINITY;
+        cp.best_value = f64::INFINITY;
+        save(&root, "j", &cp).unwrap();
+        let back = load(&root, "j").unwrap().unwrap();
+        assert!(back.prev_value.is_infinite());
+        assert!(back.best_value.is_infinite());
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let root = temp_root("missing");
+        assert!(load(&root, "nope").unwrap().is_none());
+    }
+
+    #[test]
+    fn job_id_mismatch_is_rejected() {
+        let root = temp_root("mismatch");
+        save(&root, "B1-fast", &sample_checkpoint()).unwrap();
+        std::fs::rename(job_dir(&root, "B1-fast"), job_dir(&root, "B2-fast")).unwrap();
+        let err = load(&root, "B2-fast").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_invalid_data() {
+        let root = temp_root("corrupt");
+        save(&root, "j", &sample_checkpoint()).unwrap();
+        let path = job_dir(&root, "j").join("state.txt");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.truncate(text.len() / 2);
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(
+            load(&root, "j").unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn save_writes_inspectable_pgm() {
+        let root = temp_root("pgm");
+        save(&root, "j", &sample_checkpoint()).unwrap();
+        let bytes = std::fs::read(job_dir(&root, "j").join("p_field.pgm")).unwrap();
+        let img = pgm::decode(&bytes).unwrap();
+        assert_eq!(img.dims(), (5, 3));
+    }
+
+    #[test]
+    fn clear_removes_and_tolerates_missing() {
+        let root = temp_root("clear");
+        save(&root, "j", &sample_checkpoint()).unwrap();
+        clear(&root, "j").unwrap();
+        assert!(load(&root, "j").unwrap().is_none());
+        clear(&root, "j").unwrap(); // second clear is a no-op
+    }
+}

@@ -1,0 +1,381 @@
+//! Structured JSONL progress events.
+//!
+//! Long batches need machine-readable progress: which jobs ran, how each
+//! iteration moved the objective, what every clip finally scored. Events
+//! are one JSON object per line (JSONL) so they can be tailed while the
+//! batch runs and post-processed with standard tools.
+//!
+//! The encoder is hand-rolled (no serde in a std-only workspace): every
+//! event knows how to render itself, strings are escaped, and
+//! non-finite floats become `null` so the output is always valid JSON.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One progress event. Times (`t`) are seconds since the sink was
+/// created, so a report file is self-contained without wall-clock
+/// stamps.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// The batch was assembled and is about to run.
+    BatchStart {
+        /// Number of jobs queued.
+        jobs: usize,
+        /// Worker threads.
+        workers: usize,
+    },
+    /// A worker picked up a job.
+    JobStart {
+        /// Job identifier (`"B3-fast"`).
+        job: String,
+        /// Clip name (`"B3"`).
+        clip: String,
+        /// Mode name (`"fast"` / `"exact"`).
+        mode: String,
+        /// 1-based attempt number (2 after a retry).
+        attempt: u32,
+        /// Absolute iteration the optimizer starts from (> 0 when
+        /// resuming a checkpoint).
+        start_iteration: usize,
+    },
+    /// One optimizer iteration finished.
+    Iteration {
+        /// Job identifier.
+        job: String,
+        /// 0-based absolute iteration index.
+        iteration: usize,
+        /// Objective value at this iteration.
+        objective: f64,
+        /// RMS of the `P`-gradient.
+        gradient_rms: f64,
+        /// Whether the jump technique fired.
+        jumped: bool,
+    },
+    /// A job reached a terminal state.
+    JobFinish {
+        /// Job identifier.
+        job: String,
+        /// `"finished"`, `"failed"` or `"cancelled"`.
+        status: String,
+        /// Error message for failures (`None` otherwise).
+        error: Option<String>,
+        /// Optimizer iterations recorded in this run.
+        iterations: usize,
+        /// EPE violations of the final mask (contest metric).
+        epe_violations: usize,
+        /// PV-band area of the final mask, nm².
+        pvband_nm2: f64,
+        /// Shape violations of the final mask.
+        shape_violations: usize,
+        /// Runtime-excluded contest score (deterministic across worker
+        /// counts).
+        quality_score: f64,
+        /// Job wall time, seconds.
+        wall_s: f64,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// The whole batch drained.
+    BatchFinish {
+        /// Jobs that finished successfully.
+        finished: usize,
+        /// Jobs that failed every attempt.
+        failed: usize,
+        /// Jobs cancelled before starting.
+        cancelled: usize,
+        /// Sum of quality scores over finished jobs.
+        total_quality_score: f64,
+        /// Batch wall time, seconds.
+        wall_s: f64,
+    },
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `Display` for f64 never prints exponents for typical score
+        // magnitudes and always round-trips the shortest decimal form.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Event {
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self, t_s: f64) -> String {
+        let mut o = String::with_capacity(160);
+        o.push_str("{\"event\":");
+        match self {
+            Event::BatchStart { jobs, workers } => {
+                o.push_str("\"batch_start\"");
+                let _ = write!(o, ",\"jobs\":{jobs},\"workers\":{workers}");
+            }
+            Event::JobStart {
+                job,
+                clip,
+                mode,
+                attempt,
+                start_iteration,
+            } => {
+                o.push_str("\"job_start\",\"job\":");
+                push_json_string(&mut o, job);
+                o.push_str(",\"clip\":");
+                push_json_string(&mut o, clip);
+                o.push_str(",\"mode\":");
+                push_json_string(&mut o, mode);
+                let _ = write!(
+                    o,
+                    ",\"attempt\":{attempt},\"start_iteration\":{start_iteration}"
+                );
+            }
+            Event::Iteration {
+                job,
+                iteration,
+                objective,
+                gradient_rms,
+                jumped,
+            } => {
+                o.push_str("\"iteration\",\"job\":");
+                push_json_string(&mut o, job);
+                let _ = write!(o, ",\"iteration\":{iteration},\"objective\":");
+                push_json_f64(&mut o, *objective);
+                o.push_str(",\"gradient_rms\":");
+                push_json_f64(&mut o, *gradient_rms);
+                let _ = write!(o, ",\"jumped\":{jumped}");
+            }
+            Event::JobFinish {
+                job,
+                status,
+                error,
+                iterations,
+                epe_violations,
+                pvband_nm2,
+                shape_violations,
+                quality_score,
+                wall_s,
+                attempts,
+            } => {
+                o.push_str("\"job_finish\",\"job\":");
+                push_json_string(&mut o, job);
+                o.push_str(",\"status\":");
+                push_json_string(&mut o, status);
+                if let Some(e) = error {
+                    o.push_str(",\"error\":");
+                    push_json_string(&mut o, e);
+                }
+                let _ = write!(
+                    o,
+                    ",\"iterations\":{iterations},\"epe_violations\":{epe_violations}"
+                );
+                o.push_str(",\"pvband_nm2\":");
+                push_json_f64(&mut o, *pvband_nm2);
+                let _ = write!(o, ",\"shape_violations\":{shape_violations}");
+                o.push_str(",\"quality_score\":");
+                push_json_f64(&mut o, *quality_score);
+                o.push_str(",\"wall_s\":");
+                push_json_f64(&mut o, *wall_s);
+                let _ = write!(o, ",\"attempts\":{attempts}");
+            }
+            Event::BatchFinish {
+                finished,
+                failed,
+                cancelled,
+                total_quality_score,
+                wall_s,
+            } => {
+                o.push_str("\"batch_finish\"");
+                let _ = write!(
+                    o,
+                    ",\"finished\":{finished},\"failed\":{failed},\"cancelled\":{cancelled}"
+                );
+                o.push_str(",\"total_quality_score\":");
+                push_json_f64(&mut o, *total_quality_score);
+                o.push_str(",\"wall_s\":");
+                push_json_f64(&mut o, *wall_s);
+            }
+        }
+        o.push_str(",\"t\":");
+        push_json_f64(&mut o, t_s);
+        o.push('}');
+        o
+    }
+}
+
+/// Thread-safe JSONL event writer shared by every worker.
+///
+/// Each [`EventSink::emit`] appends one line and flushes, so a tailing
+/// reader (or a crashed batch's post-mortem) always sees whole events.
+/// Emission never panics: I/O errors are counted and reported at the
+/// end instead of killing workers mid-job.
+#[derive(Debug)]
+pub struct EventSink {
+    out: Mutex<Option<std::fs::File>>,
+    started: Instant,
+    write_errors: Mutex<usize>,
+}
+
+impl EventSink {
+    /// A sink that appends to `path` (created or truncated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(EventSink {
+            out: Mutex::new(Some(file)),
+            started: Instant::now(),
+            write_errors: Mutex::new(0),
+        })
+    }
+
+    /// A sink that discards every event — for runs without `--report`.
+    pub fn null() -> Self {
+        EventSink {
+            out: Mutex::new(None),
+            started: Instant::now(),
+            write_errors: Mutex::new(0),
+        }
+    }
+
+    /// Seconds since the sink was created (the batch clock).
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Appends one event line, stamped with the batch clock.
+    pub fn emit(&self, event: &Event) {
+        let line = event.to_json(self.elapsed_s());
+        let mut guard = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(file) = guard.as_mut() {
+            let ok = file
+                .write_all(line.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .and_then(|()| file.flush())
+                .is_ok();
+            if !ok {
+                *self
+                    .write_errors
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+            }
+        }
+    }
+
+    /// Number of events dropped to I/O errors.
+    pub fn write_errors(&self) -> usize {
+        *self
+            .write_errors
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_valid_minimal_json() {
+        let e = Event::BatchStart {
+            jobs: 10,
+            workers: 4,
+        };
+        assert_eq!(
+            e.to_json(0.5),
+            "{\"event\":\"batch_start\",\"jobs\":10,\"workers\":4,\"t\":0.5}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::JobFinish {
+            job: "B\"1\"".to_string(),
+            status: "failed".to_string(),
+            error: Some("line1\nline2\t\\".to_string()),
+            iterations: 0,
+            epe_violations: 0,
+            pvband_nm2: 0.0,
+            shape_violations: 0,
+            quality_score: 0.0,
+            wall_s: 0.0,
+            attempts: 2,
+        };
+        let json = e.to_json(1.0);
+        assert!(json.contains("\"job\":\"B\\\"1\\\"\""));
+        assert!(json.contains("\"error\":\"line1\\nline2\\t\\\\\""));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event::Iteration {
+            job: "j".to_string(),
+            iteration: 1,
+            objective: f64::NAN,
+            gradient_rms: f64::INFINITY,
+            jumped: false,
+        };
+        let json = e.to_json(0.0);
+        assert!(json.contains("\"objective\":null"));
+        assert!(json.contains("\"gradient_rms\":null"));
+    }
+
+    #[test]
+    fn file_sink_appends_one_line_per_event() {
+        let dir = std::env::temp_dir().join("mosaic_events_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.jsonl");
+        let sink = EventSink::to_file(&path).unwrap();
+        sink.emit(&Event::BatchStart {
+            jobs: 2,
+            workers: 1,
+        });
+        sink.emit(&Event::BatchFinish {
+            finished: 2,
+            failed: 0,
+            cancelled: 0,
+            total_quality_score: 42.0,
+            wall_s: 0.1,
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"batch_start\""));
+        assert!(lines[1].contains("\"total_quality_score\":42"));
+        assert_eq!(sink.write_errors(), 0);
+    }
+
+    #[test]
+    fn null_sink_swallows_events() {
+        let sink = EventSink::null();
+        sink.emit(&Event::BatchStart {
+            jobs: 1,
+            workers: 1,
+        });
+        assert_eq!(sink.write_errors(), 0);
+    }
+}

@@ -1,0 +1,459 @@
+//! The batch job unit and its runner.
+//!
+//! A [`JobSpec`] names one optimization: which benchmark clip, which
+//! MOSAIC mode (fast / exact) and at which resolution (carried by the
+//! [`MosaicConfig`]). [`execute_job`] drives the full lifecycle of one
+//! spec — resume any checkpoint, pull the shared simulator from the
+//! cache, run the optimizer with a hook that streams iteration events
+//! and polls for cancellation, then score the final mask with the
+//! contest evaluator.
+
+use crate::cache::SimCache;
+use crate::checkpoint;
+use crate::events::{Event, EventSink};
+use crate::scheduler::CancelToken;
+use mosaic_core::{IterationControl, IterationView, MaskState, Mosaic, MosaicConfig, MosaicMode};
+use mosaic_eval::{Evaluator, Score};
+use mosaic_geometry::benchmarks::BenchmarkId;
+use mosaic_numerics::Grid;
+use std::path::Path;
+use std::time::Instant;
+
+/// Contest EPE violation threshold in nm.
+pub const EPE_THRESHOLD_NM: f64 = 15.0;
+
+/// Lifecycle state of a job. The scheduler moves every job
+/// queued → running → one of the terminal states; [`JobReport::status`]
+/// records which terminal state was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is optimizing it.
+    Running,
+    /// Optimized and scored.
+    Finished,
+    /// Every attempt failed (error or panic).
+    Failed,
+    /// Stopped cooperatively (cancel token or deadline); a checkpoint
+    /// was saved if a checkpoint directory is configured.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Lower-case name used in events and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Finished => "finished",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Short mode name used in job ids and events.
+pub fn mode_name(mode: MosaicMode) -> &'static str {
+    match mode {
+        MosaicMode::Fast => "fast",
+        MosaicMode::Exact => "exact",
+    }
+}
+
+/// One unit of batch work: clip × mode × resolution.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Unique id within the batch (`"B3-fast"`); also the checkpoint
+    /// directory name.
+    pub id: String,
+    /// Which benchmark clip to optimize.
+    pub clip: BenchmarkId,
+    /// MOSAIC variant.
+    pub mode: MosaicMode,
+    /// Full run configuration (optics resolution, process window,
+    /// optimizer knobs).
+    pub config: MosaicConfig,
+}
+
+impl JobSpec {
+    /// A spec with the default `"<clip>-<mode>"` id.
+    pub fn new(clip: BenchmarkId, mode: MosaicMode, config: MosaicConfig) -> Self {
+        JobSpec {
+            id: format!("{}-{}", clip.name(), mode_name(mode)),
+            clip,
+            mode,
+            config,
+        }
+    }
+
+    /// A spec on the reduced test preset
+    /// ([`MosaicConfig::fast_preset`]) at the given grid/pixel.
+    pub fn preset(clip: BenchmarkId, mode: MosaicMode, grid: usize, pixel_nm: f64) -> Self {
+        JobSpec::new(clip, mode, MosaicConfig::fast_preset(grid, pixel_nm))
+    }
+
+    /// A spec on the paper's full contest setup
+    /// ([`MosaicConfig::contest`]) at the given grid/pixel.
+    pub fn contest(clip: BenchmarkId, mode: MosaicMode, grid: usize, pixel_nm: f64) -> Self {
+        JobSpec::new(clip, mode, MosaicConfig::contest(grid, pixel_nm))
+    }
+}
+
+/// Contest metrics of a finished job's mask.
+#[derive(Debug, Clone, Copy)]
+pub struct JobMetrics {
+    /// EPE violations under the nominal condition.
+    pub epe_violations: usize,
+    /// PV-band area, nm².
+    pub pvband_nm2: f64,
+    /// Shape violations (holes, missing, spurious).
+    pub shape_violations: usize,
+    /// Contest score with the runtime term zeroed — identical across
+    /// worker counts and machines.
+    pub quality_score: f64,
+    /// Full Eq. (22) score including this job's wall time.
+    pub contest_score: f64,
+}
+
+/// What one job produced.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The spec's id.
+    pub id: String,
+    /// The spec's clip.
+    pub clip: BenchmarkId,
+    /// `Finished` or `Cancelled` (failures surface as scheduler errors,
+    /// not reports).
+    pub status: JobStatus,
+    /// Optimizer iterations recorded in this run (0 when a completed
+    /// checkpoint only needed scoring).
+    pub iterations: usize,
+    /// Best objective value seen by the optimizer.
+    pub best_objective: f64,
+    /// Wall time of this job on its worker, seconds.
+    pub wall_s: f64,
+    /// Contest metrics; `None` for cancelled jobs (their partial mask is
+    /// not scored).
+    pub metrics: Option<JobMetrics>,
+    /// The final binarized mask on the simulation grid.
+    pub binary_mask: Grid<f64>,
+}
+
+/// Shared context a worker hands to every job it runs.
+#[derive(Debug)]
+pub struct JobContext<'a> {
+    /// Simulator cache shared by the whole batch.
+    pub cache: &'a SimCache,
+    /// Progress event sink.
+    pub events: &'a EventSink,
+    /// Cooperative cancellation token.
+    pub cancel: &'a CancelToken,
+    /// Absolute deadline; reaching it cancels in-flight jobs at their
+    /// next iteration boundary.
+    pub deadline: Option<Instant>,
+    /// Root directory for checkpoints; `None` disables checkpointing.
+    pub checkpoint_dir: Option<&'a Path>,
+    /// Save a checkpoint every this many iterations (0 = only on
+    /// cancellation).
+    pub checkpoint_every: usize,
+}
+
+impl JobContext<'_> {
+    fn stop_requested(&self) -> bool {
+        self.cancel.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Runs one job end to end. `attempt` is the scheduler's 1-based attempt
+/// number (a retry after a mid-run crash resumes from the job's last
+/// saved checkpoint, when checkpointing is on).
+///
+/// # Errors
+///
+/// Returns a human-readable error string when the job cannot be set up
+/// (bad configuration, clip larger than the grid, corrupt checkpoint) or
+/// was cancelled before it started. Cooperative cancellation *mid-run*
+/// is not an error: it yields `Ok` with [`JobStatus::Cancelled`].
+pub fn execute_job(
+    spec: &JobSpec,
+    attempt: u32,
+    ctx: &JobContext<'_>,
+) -> Result<JobReport, String> {
+    // Only the token gates entry; a deadline that has already passed
+    // still lets the job reach its first iteration boundary, where it
+    // checkpoints and stops (the batch driver cancels the token once it
+    // notices the deadline, so later jobs never start).
+    if ctx.cancel.is_cancelled() {
+        return Err("cancelled before start".to_string());
+    }
+    let started = Instant::now();
+    let resume = match ctx.checkpoint_dir {
+        Some(dir) => {
+            checkpoint::load(dir, &spec.id).map_err(|e| format!("checkpoint load failed: {e}"))?
+        }
+        None => None,
+    };
+    let start_iteration = resume.as_ref().map_or(0, |c| c.iterations_done);
+    ctx.events.emit(&Event::JobStart {
+        job: spec.id.clone(),
+        clip: spec.clip.name().to_string(),
+        mode: mode_name(spec.mode).to_string(),
+        attempt,
+        start_iteration,
+    });
+
+    let layout = spec.clip.layout();
+    let sim = ctx.cache.get_or_build(
+        &spec.config.optics,
+        spec.config.resist,
+        &spec.config.conditions,
+    );
+    let mosaic = Mosaic::with_simulator(&layout, spec.config.clone(), sim)
+        .map_err(|e| format!("problem assembly failed: {e}"))?;
+
+    let opt_cfg = mosaic.optimization_config().clone();
+    let report = if let Some(cp) = resume
+        .as_ref()
+        .filter(|c| c.iterations_done >= opt_cfg.max_iterations)
+    {
+        // The interrupted run had already finished optimizing; only the
+        // scoring was lost. Rebuild the best mask and skip the loop.
+        let state = MaskState::from_variables(cp.best_variables.clone(), opt_cfg.mask_steepness);
+        finish(
+            spec,
+            ctx,
+            0,
+            cp.best_value,
+            state.binary(),
+            &layout,
+            started,
+        )?
+    } else {
+        let mut cancelled = false;
+        let mut iterations = 0usize;
+        let mut hook = |view: &IterationView<'_>| {
+            iterations += 1;
+            ctx.events.emit(&Event::Iteration {
+                job: spec.id.clone(),
+                iteration: view.record.iteration,
+                objective: view.value,
+                gradient_rms: view.record.gradient_rms,
+                jumped: view.record.jumped,
+            });
+            if let Some(dir) = ctx.checkpoint_dir {
+                let due = ctx.checkpoint_every > 0
+                    && (view.record.iteration + 1).is_multiple_of(ctx.checkpoint_every);
+                if due {
+                    let _ = checkpoint::save(dir, &spec.id, &view.checkpoint());
+                }
+            }
+            if ctx.stop_requested() {
+                cancelled = true;
+                if let Some(dir) = ctx.checkpoint_dir {
+                    let _ = checkpoint::save(dir, &spec.id, &view.checkpoint());
+                }
+                return IterationControl::Stop;
+            }
+            IterationControl::Continue
+        };
+        let result = match resume {
+            Some(cp) => mosaic.resume_with(spec.mode, cp, &mut hook),
+            None => mosaic.run_with(spec.mode, &mut hook),
+        };
+        let best_objective = result
+            .history
+            .get(result.best_iteration)
+            .map_or(f64::NAN, |r| r.report.total);
+        if cancelled {
+            let wall_s = started.elapsed().as_secs_f64();
+            let report = JobReport {
+                id: spec.id.clone(),
+                clip: spec.clip,
+                status: JobStatus::Cancelled,
+                iterations,
+                best_objective,
+                wall_s,
+                metrics: None,
+                binary_mask: result.binary_mask,
+            };
+            emit_finish(ctx, &report, attempt, None);
+            return Ok(report);
+        }
+        finish(
+            spec,
+            ctx,
+            iterations,
+            best_objective,
+            result.binary_mask,
+            &layout,
+            started,
+        )?
+    };
+    emit_finish(ctx, &report, attempt, None);
+    Ok(report)
+}
+
+/// Scores the final mask and assembles the finished report; clears the
+/// job's checkpoint.
+fn finish(
+    spec: &JobSpec,
+    ctx: &JobContext<'_>,
+    iterations: usize,
+    best_objective: f64,
+    binary_mask: Grid<f64>,
+    layout: &mosaic_geometry::Layout,
+    started: Instant,
+) -> Result<JobReport, String> {
+    let optics = &spec.config.optics;
+    let evaluator = Evaluator::new(
+        layout,
+        (optics.grid_width, optics.grid_height),
+        optics.pixel_nm,
+        spec.config.epe_spacing_nm,
+        EPE_THRESHOLD_NM,
+    );
+    let sim = ctx
+        .cache
+        .get_or_build(optics, spec.config.resist, &spec.config.conditions);
+    let wall_s = started.elapsed().as_secs_f64();
+    let contest = evaluator.evaluate_mask(&sim, &binary_mask, wall_s);
+    let quality_score = Score::contest(
+        0.0,
+        contest.pvband_nm2,
+        contest.epe_violations,
+        contest.shape_violations,
+    )
+    .total();
+    if let Some(dir) = ctx.checkpoint_dir {
+        checkpoint::clear(dir, &spec.id).map_err(|e| format!("checkpoint cleanup failed: {e}"))?;
+    }
+    Ok(JobReport {
+        id: spec.id.clone(),
+        clip: spec.clip,
+        status: JobStatus::Finished,
+        iterations,
+        best_objective,
+        wall_s,
+        metrics: Some(JobMetrics {
+            epe_violations: contest.epe_violations,
+            pvband_nm2: contest.pvband_nm2,
+            shape_violations: contest.shape_violations,
+            quality_score,
+            contest_score: contest.score.total(),
+        }),
+        binary_mask,
+    })
+}
+
+/// Emits the terminal event for a job that produced a report.
+pub(crate) fn emit_finish(
+    ctx: &JobContext<'_>,
+    report: &JobReport,
+    attempts: u32,
+    error: Option<String>,
+) {
+    let (epe, pvb, shape, quality) = match &report.metrics {
+        Some(m) => (
+            m.epe_violations,
+            m.pvband_nm2,
+            m.shape_violations,
+            m.quality_score,
+        ),
+        None => (0, f64::NAN, 0, f64::NAN),
+    };
+    ctx.events.emit(&Event::JobFinish {
+        job: report.id.clone(),
+        status: report.status.name().to_string(),
+        error,
+        iterations: report.iterations,
+        epe_violations: epe,
+        pvband_nm2: pvb,
+        shape_violations: shape,
+        quality_score: quality,
+        wall_s: report.wall_s,
+        attempts,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(clip: BenchmarkId) -> JobSpec {
+        let mut spec = JobSpec::preset(clip, MosaicMode::Fast, 128, 8.0);
+        spec.config.opt.max_iterations = 3;
+        spec
+    }
+
+    fn ctx<'a>(
+        cache: &'a SimCache,
+        events: &'a EventSink,
+        cancel: &'a CancelToken,
+    ) -> JobContext<'a> {
+        JobContext {
+            cache,
+            events,
+            cancel,
+            deadline: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+        }
+    }
+
+    #[test]
+    fn job_runs_to_finished_with_metrics() {
+        let cache = SimCache::new();
+        let events = EventSink::null();
+        let cancel = CancelToken::new();
+        let report = execute_job(
+            &tiny_spec(BenchmarkId::B1),
+            1,
+            &ctx(&cache, &events, &cancel),
+        )
+        .expect("job succeeds");
+        assert_eq!(report.status, JobStatus::Finished);
+        assert_eq!(report.iterations, 3);
+        let metrics = report.metrics.expect("finished jobs carry metrics");
+        assert!(metrics.quality_score.is_finite());
+        assert!(metrics.contest_score >= metrics.quality_score);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn pre_cancelled_job_errors_out() {
+        let cache = SimCache::new();
+        let events = EventSink::null();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = execute_job(
+            &tiny_spec(BenchmarkId::B1),
+            1,
+            &ctx(&cache, &events, &cancel),
+        )
+        .unwrap_err();
+        assert!(err.contains("cancelled"));
+    }
+
+    #[test]
+    fn mid_run_cancel_yields_cancelled_report() {
+        let cache = SimCache::new();
+        let events = EventSink::null();
+        let cancel = CancelToken::new();
+        let mut spec = tiny_spec(BenchmarkId::B1);
+        spec.config.opt.max_iterations = 50;
+        // A deadline already in the past stops the job cooperatively at
+        // its first iteration boundary (entry is gated on the token
+        // only), so exactly one iteration runs.
+        let context = ctx(&cache, &events, &cancel);
+        let deadline_ctx = JobContext {
+            deadline: Some(Instant::now()),
+            ..context
+        };
+        let report =
+            execute_job(&spec, 1, &deadline_ctx).expect("cooperative stop is not an error");
+        assert_eq!(report.status, JobStatus::Cancelled);
+        assert_eq!(report.iterations, 1);
+        assert!(report.metrics.is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Parallel batch-execution runtime for MOSAIC.
+//!
+//! Optimizing one clip is the job of `mosaic-core`; real OPC workloads
+//! optimize *many* clips — the ten contest benchmarks times however many
+//! modes and resolutions are under study. This crate turns a queue of
+//! such jobs into a managed batch:
+//!
+//! * [`cache`] — a [`SimCache`] keyed on [`mosaic_optics::SimKey`]
+//!   (grid, pixel pitch, kernel count, source, resist, condition set)
+//!   so SOCS kernel banks and their FFT spectra are built **once per
+//!   configuration** and shared across every job via `Arc`, not once
+//!   per clip.
+//! * [`scheduler`] — a worker pool (`std::thread::scope` over a shared
+//!   work queue) with per-job panic isolation, one retry on failure,
+//!   and cooperative cancellation.
+//! * [`job`] — the job unit ([`JobSpec`]: clip × mode × resolution),
+//!   its lifecycle (queued → running → finished / failed / cancelled)
+//!   and the runner that drives one optimization end-to-end.
+//! * [`events`] — structured JSONL progress events (job start, per-
+//!   iteration telemetry, job finish with EPE / PV-band / score, batch
+//!   summary) written through a thread-safe [`EventSink`].
+//! * [`checkpoint`] — lossless checkpoint/resume: the optimizer's
+//!   `P`-field as a PGM image for human inspection plus a plain-text
+//!   manifest carrying the exact `f64` bits, so a resumed run continues
+//!   the bit-identical trajectory.
+//! * [`batch`] — the orchestrator gluing the above together:
+//!   [`run_batch`] plus the Table-2-style summary renderer.
+//!
+//! Everything is std-only: threads, channels and atomics from the
+//! standard library, hand-rolled JSON emission, no external crates.
+//!
+//! # Determinism
+//!
+//! A batch's *quality* outputs — final masks, EPE counts, PV-band areas
+//! and the runtime-excluded quality score — are bit-identical regardless
+//! of worker count: each job's trajectory depends only on its spec, and
+//! the shared simulator is immutable. Only wall-clock figures vary.
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_core::MosaicMode;
+//! use mosaic_geometry::benchmarks::BenchmarkId;
+//! use mosaic_runtime::{run_batch, BatchConfig, JobSpec};
+//!
+//! // Two tiny jobs on two workers, no report file.
+//! let specs: Vec<JobSpec> = [BenchmarkId::B1, BenchmarkId::B2]
+//!     .into_iter()
+//!     .map(|clip| {
+//!         let mut spec = JobSpec::preset(clip, MosaicMode::Fast, 128, 8.0);
+//!         spec.config.opt.max_iterations = 2; // keep the example fast
+//!         spec
+//!     })
+//!     .collect();
+//! let config = BatchConfig { workers: 2, ..BatchConfig::default() };
+//! let outcome = run_batch(&specs, &config).expect("no report file to fail on");
+//! assert_eq!(outcome.results.len(), 2);
+//! assert_eq!(outcome.finished, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod checkpoint;
+pub mod events;
+pub mod job;
+pub mod scheduler;
+
+pub use batch::{render_summary, run_batch, BatchConfig, BatchOutcome};
+pub use cache::SimCache;
+pub use events::{Event, EventSink};
+pub use job::{execute_job, JobContext, JobReport, JobSpec, JobStatus};
+pub use scheduler::{run_pool, CancelToken, JobExecution};
+
+/// The types almost every user of this crate needs.
+pub mod prelude {
+    pub use crate::batch::{render_summary, run_batch, BatchConfig, BatchOutcome};
+    pub use crate::cache::SimCache;
+    pub use crate::checkpoint;
+    pub use crate::events::{Event, EventSink};
+    pub use crate::job::{execute_job, JobContext, JobReport, JobSpec, JobStatus};
+    pub use crate::scheduler::{run_pool, CancelToken, JobExecution};
+}

@@ -1,0 +1,260 @@
+//! Worker pool with panic isolation, retry and cooperative cancel.
+//!
+//! The pool is deliberately generic: it schedules any `Fn(&T) ->
+//! Result<R, String>` over a slice of items, which keeps the scheduling
+//! policy (work stealing off a shared counter, retry, panic capture)
+//! testable without running actual lithography jobs. The OPC-specific
+//! runner lives in [`crate::job`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+/// Cooperative cancellation flag shared between the batch driver and
+/// every worker/job. Cancelling is sticky and idempotent.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation: running jobs stop at their next iteration
+    /// boundary, queued jobs are not started.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Terminal state of one scheduled item.
+#[derive(Debug)]
+pub enum JobExecution<R> {
+    /// The runner returned `Ok` (possibly after a retry).
+    Success {
+        /// The runner's result.
+        result: R,
+        /// Attempts consumed (1 = first try succeeded).
+        attempts: u32,
+    },
+    /// Every attempt returned `Err` or panicked.
+    Failure {
+        /// The last error (panic payloads are rendered into the string).
+        error: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// The item was never started: cancellation was requested first.
+    Cancelled,
+}
+
+impl<R> JobExecution<R> {
+    /// The result, if this execution succeeded.
+    pub fn success(&self) -> Option<&R> {
+        match self {
+            JobExecution::Success { result, .. } => Some(result),
+            _ => None,
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `runner` over every item on a pool of `workers` OS threads and
+/// returns one [`JobExecution`] per item, in input order.
+///
+/// The runner receives the item and the 1-based attempt number (2 on
+/// the retry after a failure).
+///
+/// * Items are claimed off a shared atomic counter, so workers stay busy
+///   until the queue drains regardless of per-item cost.
+/// * A panicking runner is caught ([`catch_unwind`]) and counts as a
+///   failed attempt — one bad job cannot sink the batch or its worker.
+/// * Each item gets `1 + retries` attempts before it is reported failed.
+/// * If `cancel` fires, in-flight items finish (the runner is expected
+///   to poll the token itself for a prompt stop) and unclaimed items
+///   come back [`JobExecution::Cancelled`]; failures are not retried.
+///
+/// `workers` is clamped to at least 1. With one worker the execution
+/// order is exactly the input order, which makes single-threaded runs
+/// reproducible baselines for the parallel ones.
+pub fn run_pool<T, R>(
+    items: &[T],
+    workers: usize,
+    retries: u32,
+    cancel: &CancelToken,
+    runner: &(dyn Fn(&T, u32) -> Result<R, String> + Sync),
+) -> Vec<JobExecution<R>>
+where
+    T: Sync,
+    R: Send,
+{
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, JobExecution<R>)>();
+    thread::scope(|s| {
+        for _ in 0..workers.max(1) {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= items.len() {
+                    break;
+                }
+                let execution = run_one(&items[i], retries, cancel, runner);
+                if tx.send((i, execution)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<JobExecution<R>>> = (0..items.len()).map(|_| None).collect();
+        for (i, execution) in rx {
+            out[i] = Some(execution);
+        }
+        out.into_iter()
+            .map(|e| e.expect("every scheduled item reports an execution"))
+            .collect()
+    })
+}
+
+fn run_one<T, R>(
+    item: &T,
+    retries: u32,
+    cancel: &CancelToken,
+    runner: &(dyn Fn(&T, u32) -> Result<R, String> + Sync),
+) -> JobExecution<R> {
+    let mut attempts = 0u32;
+    loop {
+        if cancel.is_cancelled() && attempts == 0 {
+            return JobExecution::Cancelled;
+        }
+        attempts += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| runner(item, attempts)));
+        let error = match outcome {
+            Ok(Ok(result)) => return JobExecution::Success { result, attempts },
+            Ok(Err(e)) => e,
+            Err(payload) => format!("job panicked: {}", panic_message(payload)),
+        };
+        // During shutdown an errored attempt is cancellation, not
+        // failure — and never worth a retry.
+        if cancel.is_cancelled() {
+            return JobExecution::Cancelled;
+        }
+        if attempts > retries {
+            return JobExecution::Failure { error, attempts };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..20).collect();
+        let out = run_pool(&items, 4, 0, &CancelToken::new(), &|&i, _| {
+            Ok::<_, String>(i * i)
+        });
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.success(), Some(&(i * i)));
+        }
+    }
+
+    #[test]
+    fn panicking_item_fails_without_sinking_the_pool() {
+        let items: Vec<usize> = (0..8).collect();
+        let out = run_pool(&items, 3, 0, &CancelToken::new(), &|&i, _| {
+            if i == 3 {
+                panic!("boom on {i}");
+            }
+            Ok::<_, String>(i)
+        });
+        for (i, e) in out.iter().enumerate() {
+            if i == 3 {
+                match e {
+                    JobExecution::Failure { error, attempts } => {
+                        assert!(error.contains("boom on 3"), "error: {error}");
+                        assert_eq!(*attempts, 1);
+                    }
+                    other => panic!("expected failure, got {other:?}"),
+                }
+            } else {
+                assert_eq!(e.success(), Some(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn one_retry_rescues_a_flaky_item() {
+        let tries: Mutex<HashMap<usize, u32>> = Mutex::new(HashMap::new());
+        let items: Vec<usize> = (0..4).collect();
+        let out = run_pool(&items, 2, 1, &CancelToken::new(), &|&i, _| {
+            let mut map = tries.lock().unwrap();
+            let n = map.entry(i).or_insert(0);
+            *n += 1;
+            if i == 2 && *n == 1 {
+                return Err("transient".to_string());
+            }
+            Ok(i)
+        });
+        match &out[2] {
+            JobExecution::Success { result, attempts } => {
+                assert_eq!(*result, 2);
+                assert_eq!(*attempts, 2);
+            }
+            other => panic!("expected retried success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_last_error() {
+        let out = run_pool(&[7usize], 1, 1, &CancelToken::new(), &|&i, _| {
+            Err::<usize, _>(format!("always fails: {i}"))
+        });
+        match &out[0] {
+            JobExecution::Failure { error, attempts } => {
+                assert_eq!(error, "always fails: 7");
+                assert_eq!(*attempts, 2);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_pool_skips_unstarted_items() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let items: Vec<usize> = (0..5).collect();
+        let out = run_pool(&items, 2, 0, &cancel, &|&i, _| Ok::<_, String>(i));
+        assert!(out.iter().all(|e| matches!(e, JobExecution::Cancelled)));
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let out = run_pool(&[1usize, 2], 0, 0, &CancelToken::new(), &|&i, _| {
+            Ok::<_, String>(i + 1)
+        });
+        assert_eq!(out[0].success(), Some(&2));
+        assert_eq!(out[1].success(), Some(&3));
+    }
+}

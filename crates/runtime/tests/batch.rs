@@ -1,0 +1,238 @@
+//! End-to-end batch runtime tests: worker-count determinism, panic
+//! isolation through the full batch path, checkpoint → kill → resume,
+//! and JSONL report validity.
+
+use mosaic_core::MosaicMode;
+use mosaic_geometry::benchmarks::BenchmarkId;
+use mosaic_runtime::{
+    execute_job, run_batch, BatchConfig, CancelToken, EventSink, JobContext, JobExecution, JobSpec,
+    JobStatus, SimCache,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn tiny_spec(clip: BenchmarkId, iterations: usize) -> JobSpec {
+    let mut spec = JobSpec::preset(clip, MosaicMode::Fast, 128, 8.0);
+    spec.config.opt.max_iterations = iterations;
+    spec
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mosaic_runtime_it").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A batch of four clips produces bit-identical masks and quality
+/// scores on 1 worker and on 4 workers — parallelism only changes
+/// wall-clock figures, never results.
+#[test]
+fn one_and_four_workers_agree_bit_for_bit() {
+    let specs: Vec<JobSpec> = [
+        BenchmarkId::B1,
+        BenchmarkId::B2,
+        BenchmarkId::B5,
+        BenchmarkId::B8,
+    ]
+    .into_iter()
+    .map(|c| tiny_spec(c, 2))
+    .collect();
+
+    let serial = run_batch(&specs, &BatchConfig::default()).unwrap();
+    let parallel = run_batch(
+        &specs,
+        &BatchConfig {
+            workers: 4,
+            ..BatchConfig::default()
+        },
+    )
+    .unwrap();
+
+    assert_eq!(serial.finished, 4);
+    assert_eq!(parallel.finished, 4);
+    for (a, b) in serial.results.iter().zip(&parallel.results) {
+        let (a, b) = (a.success().unwrap(), b.success().unwrap());
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.binary_mask, b.binary_mask, "mask mismatch on {}", a.id);
+        let (ma, mb) = (a.metrics.unwrap(), b.metrics.unwrap());
+        assert_eq!(
+            ma.quality_score.to_bits(),
+            mb.quality_score.to_bits(),
+            "quality score mismatch on {}",
+            a.id
+        );
+        assert_eq!(ma.epe_violations, mb.epe_violations);
+        assert_eq!(ma.pvband_nm2.to_bits(), mb.pvband_nm2.to_bits());
+    }
+    assert_eq!(
+        serial.total_quality_score.to_bits(),
+        parallel.total_quality_score.to_bits()
+    );
+}
+
+/// A job whose setup panics (invalid optics reach the simulator
+/// builder) is reported failed after its retry; every other job in the
+/// batch still finishes.
+#[test]
+fn panicking_job_fails_without_sinking_the_batch() {
+    let mut poison = tiny_spec(BenchmarkId::B2, 2);
+    // Negative pixel pitch slips past the spec (validation happens in
+    // the simulator builder, which asserts) — a genuine panic on a
+    // worker thread, exercising catch_unwind + cache poison recovery.
+    poison.config.optics.pixel_nm = -8.0;
+    let specs = vec![
+        tiny_spec(BenchmarkId::B1, 2),
+        poison,
+        tiny_spec(BenchmarkId::B8, 2),
+    ];
+
+    let outcome = run_batch(
+        &specs,
+        &BatchConfig {
+            workers: 2,
+            ..BatchConfig::default()
+        },
+    )
+    .unwrap();
+
+    assert_eq!(outcome.finished, 2);
+    assert_eq!(outcome.failed, 1);
+    match &outcome.results[1] {
+        JobExecution::Failure { error, attempts } => {
+            assert!(error.contains("panicked"), "error: {error}");
+            assert_eq!(*attempts, 2, "one retry before giving up");
+        }
+        other => panic!("expected failure for the poisoned spec, got {other:?}"),
+    }
+    assert!(outcome.results[0].success().is_some());
+    assert!(outcome.results[2].success().is_some());
+}
+
+/// Kill a job mid-run (deadline already passed → it checkpoints at its
+/// first iteration boundary and stops), then resume from the checkpoint
+/// directory: the resumed run must land on the exact mask of an
+/// uninterrupted run.
+#[test]
+fn checkpoint_kill_resume_reaches_the_same_final_mask() {
+    let ckpt = temp_dir("kill_resume");
+    let spec = tiny_spec(BenchmarkId::B4, 5);
+    let cache = SimCache::new();
+    let events = EventSink::null();
+    let cancel = CancelToken::new();
+
+    // Uninterrupted reference run (no checkpointing involved).
+    let reference = execute_job(
+        &spec,
+        1,
+        &JobContext {
+            cache: &cache,
+            events: &events,
+            cancel: &cancel,
+            deadline: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+        },
+    )
+    .unwrap();
+    assert_eq!(reference.status, JobStatus::Finished);
+
+    // "Killed" run: the elapsed deadline stops it after one iteration,
+    // leaving a checkpoint behind.
+    let killed = execute_job(
+        &spec,
+        1,
+        &JobContext {
+            cache: &cache,
+            events: &events,
+            cancel: &cancel,
+            deadline: Some(Instant::now()),
+            checkpoint_dir: Some(&ckpt),
+            checkpoint_every: 1,
+        },
+    )
+    .unwrap();
+    assert_eq!(killed.status, JobStatus::Cancelled);
+    assert_eq!(killed.iterations, 1);
+    assert!(ckpt.join(&spec.id).join("state.txt").exists());
+    assert!(ckpt.join(&spec.id).join("p_field.pgm").exists());
+
+    // Resume: picks up at iteration 1 and finishes the remaining 4.
+    let resumed = execute_job(
+        &spec,
+        1,
+        &JobContext {
+            cache: &cache,
+            events: &events,
+            cancel: &cancel,
+            deadline: None,
+            checkpoint_dir: Some(&ckpt),
+            checkpoint_every: 1,
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.status, JobStatus::Finished);
+    assert_eq!(resumed.iterations, 4, "resume continues, not restarts");
+    assert_eq!(
+        resumed.binary_mask, reference.binary_mask,
+        "resumed trajectory must be bit-identical"
+    );
+    let (mr, mf) = (resumed.metrics.unwrap(), reference.metrics.unwrap());
+    assert_eq!(mr.quality_score.to_bits(), mf.quality_score.to_bits());
+    // A finished job clears its checkpoint.
+    assert!(!ckpt.join(&spec.id).exists());
+}
+
+/// The JSONL report contains one parseable event per line covering the
+/// whole batch lifecycle.
+#[test]
+fn report_is_valid_jsonl_covering_the_lifecycle() {
+    let dir = temp_dir("jsonl");
+    let report = dir.join("report.jsonl");
+    let specs = vec![tiny_spec(BenchmarkId::B1, 2), tiny_spec(BenchmarkId::B3, 2)];
+    let outcome = run_batch(
+        &specs,
+        &BatchConfig {
+            workers: 2,
+            report: Some(report.clone()),
+            ..BatchConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.finished, 2);
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // batch_start + per job (start + 2 iterations + finish) + batch_finish
+    assert_eq!(lines.len(), 1 + 2 * 4 + 1);
+    for line in &lines {
+        assert!(line.starts_with("{\"event\":\""), "line: {line}");
+        assert!(line.ends_with('}'), "line: {line}");
+        assert!(line.contains("\"t\":"), "line: {line}");
+        // Balanced quotes are a cheap well-formedness proxy for our
+        // escape-free field names.
+        assert_eq!(line.matches('"').count() % 2, 0, "line: {line}");
+    }
+    assert!(lines[0].contains("\"event\":\"batch_start\""));
+    assert!(lines.last().unwrap().contains("\"event\":\"batch_finish\""));
+    for id in ["B1-fast", "B3-fast"] {
+        assert!(text.contains(&format!("\"event\":\"job_start\",\"job\":\"{id}\"")));
+        assert!(text.contains(&format!("\"event\":\"job_finish\",\"job\":\"{id}\"")));
+    }
+    let finish_line = lines
+        .iter()
+        .find(|l| l.contains("\"event\":\"job_finish\",\"job\":\"B1-fast\""))
+        .unwrap();
+    for key in [
+        "epe_violations",
+        "pvband_nm2",
+        "quality_score",
+        "wall_s",
+        "iterations",
+    ] {
+        assert!(
+            finish_line.contains(&format!("\"{key}\":")),
+            "line: {finish_line}"
+        );
+    }
+}

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Both MOSAIC modes.
     let mosaic = Mosaic::new(&layout, config)?;
-    for (name, mode) in [("MOSAIC_fast", MosaicMode::Fast), ("MOSAIC_exact", MosaicMode::Exact)] {
+    for (name, mode) in [
+        ("MOSAIC_fast", MosaicMode::Fast),
+        ("MOSAIC_exact", MosaicMode::Exact),
+    ] {
         let start = std::time::Instant::now();
         let result = mosaic.run(mode);
         show(name, &result.binary_mask, start.elapsed().as_secs_f64());

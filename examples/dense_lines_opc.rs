@@ -44,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Dump images for inspection.
     let dir = std::path::Path::new("results/dense_lines");
     std::fs::create_dir_all(dir)?;
-    let prints = problem.simulator().printed_all_conditions(&result.binary_mask);
+    let prints = problem
+        .simulator()
+        .printed_all_conditions(&result.binary_mask);
     let band = PvBand::measure(&prints, problem.pixel_nm());
     for (name, grid) in [
         ("target", problem.target()),

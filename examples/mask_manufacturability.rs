@@ -62,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .evaluate_mask(problem.simulator(), &problem.embed_clip(&re_rastered), 0.0)
         .score
         .total();
-    println!("\ncontest score: pixel mask {score_pixels:.0}, re-rastered geometry {score_geometry:.0}");
+    println!(
+        "\ncontest score: pixel mask {score_pixels:.0}, re-rastered geometry {score_geometry:.0}"
+    );
     println!("(identical, because Manhattan contours reproduce the pixel mask exactly)");
 
     // 4. Export the mask as GLP for downstream tools.

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let evaluator = Evaluator::new(&layout, problem.grid_dims(), problem.pixel_nm(), 40, 15.0);
 
-    println!("{:>22}  {:>5}  {:>10}  {:>9}", "configuration", "#EPE", "PVB(nm²)", "score");
+    println!(
+        "{:>22}  {:>5}  {:>10}  {:>9}",
+        "configuration", "#EPE", "PVB(nm²)", "score"
+    );
     let mut reports = Vec::new();
     for (name, beta) in [("PVB-blind (β=0)", 0.0), ("co-optimized (β=4)", 4.0)] {
         let (result, runtime) = run_with_beta(&layout, beta);

@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // transmission field.
     let prints: Vec<_> = (0..problem.simulator().condition_count())
         .map(|c| {
-            let aerial = problem.simulator().aerial_image(&psm_result.quantized_mask, c);
+            let aerial = problem
+                .simulator()
+                .aerial_image(&psm_result.quantized_mask, c);
             problem.simulator().printed(&aerial)
         })
         .collect();

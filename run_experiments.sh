@@ -2,8 +2,42 @@
 # Regenerates every table/figure/ablation into results/.
 # Scales: tables+figures at `table` (512 px @ 2 nm), ablations at `quick`
 # (256 px @ 4 nm) to keep the full batch within ~1 h on one core.
+#
+# `./run_experiments.sh tier1` runs the tier-1 gate instead: release
+# build, full test suite, clippy with warnings denied and rustfmt check.
+#
+# `./run_experiments.sh batch` runs the ten contest clips through the
+# parallel batch runtime on the reduced preset and leaves the JSONL
+# report in results/.
 set -e
 cd "$(dirname "$0")"
+
+tier1() {
+  echo "=== tier1: build"
+  cargo build --release
+  echo "=== tier1: tests"
+  cargo test -q --workspace
+  echo "=== tier1: clippy"
+  cargo clippy --all-targets --workspace -- -D warnings
+  echo "=== tier1: fmt"
+  cargo fmt --all --check
+  echo "tier1 OK"
+}
+
+batch() {
+  mkdir -p results
+  cargo build --release
+  ./target/release/mosaic batch --bench all --mode fast --preset fast \
+    --grid 256 --pixel 4 --iterations 10 --jobs "${JOBS:-4}" \
+    --report results/batch_report.jsonl | tee results/batch_summary.txt
+  echo "batch done: results/batch_summary.txt, results/batch_report.jsonl"
+}
+
+case "${1:-}" in
+  tier1) tier1; exit 0 ;;
+  batch) batch; exit 0 ;;
+esac
+
 mkdir -p results
 BIN=./target/release
 

@@ -1,20 +1,30 @@
 //! `mosaic` — command-line OPC driver.
 //!
 //! ```text
-//! mosaic gen  --bench B4 [--out clip.glp]
-//! mosaic run  --clip clip.glp [--mode fast|exact] [--grid 512] [--pixel 2]
-//!             [--iterations 20] [--out-mask mask.pgm] [--out-glp mask.glp]
-//! mosaic eval --clip clip.glp --mask mask.pgm [--grid 512] [--pixel 2]
+//! mosaic gen   --bench B4 [--out clip.glp]
+//! mosaic run   --clip clip.glp [--mode fast|exact] [--grid 512] [--pixel 2]
+//!              [--iterations 20] [--out-mask mask.pgm] [--out-glp mask.glp]
+//! mosaic eval  --clip clip.glp --mask mask.pgm [--grid 512] [--pixel 2]
+//! mosaic batch --bench all [--mode fast|exact] [--preset contest|fast]
+//!              [--grid 512] [--pixel 2] [--iterations 20] [--jobs 4]
+//!              [--report report.jsonl] [--resume ckpt/] [--deadline-s 600]
 //! ```
 //!
 //! * `gen` writes one of the built-in benchmark clips as GLP text.
 //! * `run` optimizes a mask for a clip and reports the contest score;
 //!   `--out-glp` traces the pixel mask back into Manhattan polygons.
 //! * `eval` scores an existing mask image against a clip.
+//! * `batch` runs many benchmark clips through the parallel runtime,
+//!   sharing one simulator per configuration across `--jobs` workers,
+//!   streaming JSONL progress events to `--report` and printing a
+//!   Table-2-style per-clip summary. `--resume <dir>` enables
+//!   checkpointing there and resumes any checkpoints it already holds.
 
 use mosaic_suite::prelude::*;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     match run() {
@@ -29,19 +39,65 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  mosaic gen  --bench <B1..B10> [--out <clip.glp>]
-  mosaic run  --clip <clip.glp> [--mode fast|exact] [--grid <px>] [--pixel <nm>]
-              [--iterations <n>] [--out-mask <mask.pgm>] [--out-glp <mask.glp>]
-  mosaic eval --clip <clip.glp> --mask <mask.pgm> [--grid <px>] [--pixel <nm>]";
+  mosaic gen   --bench <B1..B10> [--out <clip.glp>]
+  mosaic run   --clip <clip.glp> [--mode fast|exact] [--grid <px>] [--pixel <nm>]
+               [--iterations <n>] [--out-mask <mask.pgm>] [--out-glp <mask.glp>]
+  mosaic eval  --clip <clip.glp> --mask <mask.pgm> [--grid <px>] [--pixel <nm>]
+  mosaic batch --bench all|<B1,B3,..> [--mode fast|exact] [--preset contest|fast]
+               [--grid <px>] [--pixel <nm>] [--iterations <n>] [--jobs <n>]
+               [--report <report.jsonl>] [--resume <ckpt-dir>]
+               [--checkpoint-every <n>] [--retries <n>] [--deadline-s <s>]";
 
-/// Parses `--key value` pairs after the subcommand.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// The flags each subcommand accepts; anything else is an error.
+const GEN_FLAGS: &[&str] = &["bench", "out"];
+const RUN_FLAGS: &[&str] = &[
+    "clip",
+    "mode",
+    "grid",
+    "pixel",
+    "iterations",
+    "out-mask",
+    "out-glp",
+];
+const EVAL_FLAGS: &[&str] = &["clip", "mask", "grid", "pixel"];
+const BATCH_FLAGS: &[&str] = &[
+    "bench",
+    "mode",
+    "preset",
+    "grid",
+    "pixel",
+    "iterations",
+    "jobs",
+    "report",
+    "resume",
+    "checkpoint-every",
+    "retries",
+    "deadline-s",
+];
+
+/// Parses `--key value` pairs after the subcommand, rejecting flags the
+/// subcommand does not define.
+fn parse_flags(
+    command: &str,
+    args: &[String],
+    allowed: &[&str],
+) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected a --flag, got '{key}'"));
         };
+        if !allowed.contains(&name) {
+            return Err(format!(
+                "unknown flag --{name} for '{command}' (accepted: {})",
+                allowed
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("--{name} requires a value"))?;
@@ -55,21 +111,48 @@ fn run() -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err("missing subcommand".into());
     };
-    let flags = parse_flags(&args[1..])?;
+    let allowed = match command.as_str() {
+        "gen" => GEN_FLAGS,
+        "run" => RUN_FLAGS,
+        "eval" => EVAL_FLAGS,
+        "batch" => BATCH_FLAGS,
+        other => return Err(format!("unknown subcommand '{other}'")),
+    };
+    let flags = parse_flags(command, &args[1..], allowed)?;
     match command.as_str() {
         "gen" => cmd_gen(&flags),
         "run" => cmd_run(&flags),
         "eval" => cmd_eval(&flags),
-        other => Err(format!("unknown subcommand '{other}'")),
+        "batch" => cmd_batch(&flags),
+        _ => unreachable!("validated above"),
     }
+}
+
+/// Parses an optional numeric flag, falling back to `default`.
+fn numeric_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn find_benchmark(name: &str) -> Result<benchmarks::BenchmarkId, String> {
+    benchmarks::BenchmarkId::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark '{name}'"))
 }
 
 fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
     let name = flags.get("bench").ok_or("gen requires --bench")?;
-    let bench = benchmarks::BenchmarkId::all()
-        .into_iter()
-        .find(|b| b.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+    let bench = find_benchmark(name)?;
     let text = glp::write_clip(&bench.layout());
     match flags.get("out") {
         Some(path) => {
@@ -82,17 +165,18 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn scale_from(flags: &HashMap<String, String>) -> Result<(usize, f64), String> {
-    let grid = flags
-        .get("grid")
-        .map(|v| v.parse::<usize>().map_err(|e| format!("--grid: {e}")))
-        .transpose()?
-        .unwrap_or(512);
-    let pixel = flags
-        .get("pixel")
-        .map(|v| v.parse::<f64>().map_err(|e| format!("--pixel: {e}")))
-        .transpose()?
-        .unwrap_or(2.0);
+    let grid = numeric_flag(flags, "grid", 512usize)?;
+    let pixel = numeric_flag(flags, "pixel", 2.0f64)?;
     Ok((grid, pixel))
+}
+
+fn mode_from(flags: &HashMap<String, String>, default: MosaicMode) -> Result<MosaicMode, String> {
+    match flags.get("mode").map(String::as_str) {
+        None => Ok(default),
+        Some("exact") => Ok(MosaicMode::Exact),
+        Some("fast") => Ok(MosaicMode::Fast),
+        Some(other) => Err(format!("unknown mode '{other}'")),
+    }
 }
 
 fn load_clip(flags: &HashMap<String, String>) -> Result<Layout, String> {
@@ -104,11 +188,7 @@ fn load_clip(flags: &HashMap<String, String>) -> Result<Layout, String> {
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let layout = load_clip(flags)?;
     let (grid, pixel) = scale_from(flags)?;
-    let mode = match flags.get("mode").map(String::as_str) {
-        None | Some("exact") => MosaicMode::Exact,
-        Some("fast") => MosaicMode::Fast,
-        Some(other) => return Err(format!("unknown mode '{other}'")),
-    };
+    let mode = mode_from(flags, MosaicMode::Exact)?;
     let mut config = MosaicConfig::contest(grid, pixel);
     if let Some(iters) = flags.get("iterations") {
         config.opt.max_iterations = iters.parse().map_err(|e| format!("--iterations: {e}"))?;
@@ -179,5 +259,66 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let evaluator = Evaluator::new(&layout, problem.grid_dims(), pixel, 40, 15.0);
     let report = evaluator.evaluate_mask(problem.simulator(), &mask, 0.0);
     print!("{}", mosaic_suite::eval::render_report(&report));
+    Ok(())
+}
+
+fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
+    let bench = flags
+        .get("bench")
+        .ok_or("batch requires --bench (e.g. 'all' or 'B1,B3')")?;
+    let clips: Vec<benchmarks::BenchmarkId> = if bench.eq_ignore_ascii_case("all") {
+        benchmarks::BenchmarkId::all().to_vec()
+    } else {
+        bench
+            .split(',')
+            .map(|name| find_benchmark(name.trim()))
+            .collect::<Result<_, _>>()?
+    };
+    let (grid, pixel) = scale_from(flags)?;
+    let mode = mode_from(flags, MosaicMode::Fast)?;
+    let mut config = match flags.get("preset").map(String::as_str) {
+        None | Some("contest") => MosaicConfig::contest(grid, pixel),
+        Some("fast") => MosaicConfig::fast_preset(grid, pixel),
+        Some(other) => return Err(format!("unknown preset '{other}'")),
+    };
+    if let Some(iters) = flags.get("iterations") {
+        config.opt.max_iterations = iters.parse().map_err(|e| format!("--iterations: {e}"))?;
+    }
+    let specs: Vec<JobSpec> = clips
+        .into_iter()
+        .map(|clip| JobSpec::new(clip, mode, config.clone()))
+        .collect();
+
+    let jobs = numeric_flag(flags, "jobs", 1usize)?;
+    let batch_config = BatchConfig {
+        workers: jobs,
+        retries: numeric_flag(flags, "retries", 1u32)?,
+        report: flags.get("report").map(PathBuf::from),
+        checkpoint_dir: flags.get("resume").map(PathBuf::from),
+        checkpoint_every: numeric_flag(flags, "checkpoint-every", 1usize)?,
+        deadline: flags
+            .get("deadline-s")
+            .map(|v| v.parse::<f64>().map_err(|e| format!("--deadline-s: {e}")))
+            .transpose()?
+            .map(Duration::from_secs_f64),
+        cancel: CancelToken::new(),
+    };
+    eprintln!(
+        "batch: {} job(s) on {} worker(s), grid {grid} px @ {pixel} nm, {} iterations max",
+        specs.len(),
+        jobs.max(1),
+        config.opt.max_iterations
+    );
+    let outcome = run_batch(&specs, &batch_config).map_err(|e| format!("batch: {e}"))?;
+    print!("{}", render_summary(&specs, &outcome));
+    if let Some(path) = &batch_config.report {
+        eprintln!("wrote {}", path.display());
+    }
+    if outcome.failed > 0 {
+        return Err(format!(
+            "{} job(s) failed; see summary above",
+            outcome.failed
+        ));
+    }
     Ok(())
 }

@@ -16,6 +16,7 @@ pub use mosaic_eval as eval;
 pub use mosaic_geometry as geometry;
 pub use mosaic_numerics as numerics;
 pub use mosaic_optics as optics;
+pub use mosaic_runtime as runtime;
 
 /// Convenience re-exports of the types used by almost every example.
 pub mod prelude {
@@ -24,4 +25,5 @@ pub mod prelude {
     pub use mosaic_geometry::prelude::*;
     pub use mosaic_numerics::prelude::*;
     pub use mosaic_optics::prelude::*;
+    pub use mosaic_runtime::prelude::*;
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_gamma-942302772a8e5b66.d: crates/bench/src/bin/ablation_gamma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_gamma-942302772a8e5b66.rmeta: crates/bench/src/bin/ablation_gamma.rs Cargo.toml
+
+crates/bench/src/bin/ablation_gamma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

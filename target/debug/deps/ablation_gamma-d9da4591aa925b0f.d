@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gamma-d9da4591aa925b0f.d: crates/bench/src/bin/ablation_gamma.rs
+
+/root/repo/target/debug/deps/ablation_gamma-d9da4591aa925b0f: crates/bench/src/bin/ablation_gamma.rs
+
+crates/bench/src/bin/ablation_gamma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_init-0370da39e1def772.d: crates/bench/src/bin/ablation_init.rs
+
+/root/repo/target/debug/deps/ablation_init-0370da39e1def772: crates/bench/src/bin/ablation_init.rs
+
+crates/bench/src/bin/ablation_init.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_init-58c0616ae2fedb3d.d: crates/bench/src/bin/ablation_init.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_init-58c0616ae2fedb3d.rmeta: crates/bench/src/bin/ablation_init.rs Cargo.toml
+
+crates/bench/src/bin/ablation_init.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

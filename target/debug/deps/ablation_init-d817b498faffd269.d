@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_init-d817b498faffd269.d: crates/bench/src/bin/ablation_init.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_init-d817b498faffd269.rmeta: crates/bench/src/bin/ablation_init.rs Cargo.toml
+
+crates/bench/src/bin/ablation_init.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

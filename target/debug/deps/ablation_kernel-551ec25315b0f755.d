@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_kernel-551ec25315b0f755.d: crates/bench/src/bin/ablation_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_kernel-551ec25315b0f755.rmeta: crates/bench/src/bin/ablation_kernel.rs Cargo.toml
+
+crates/bench/src/bin/ablation_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_kernel-5a5d78b3ffe2d6e7.d: crates/bench/src/bin/ablation_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_kernel-5a5d78b3ffe2d6e7.rmeta: crates/bench/src/bin/ablation_kernel.rs Cargo.toml
+
+crates/bench/src/bin/ablation_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

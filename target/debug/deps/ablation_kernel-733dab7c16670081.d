@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_kernel-733dab7c16670081.d: crates/bench/src/bin/ablation_kernel.rs
+
+/root/repo/target/debug/deps/ablation_kernel-733dab7c16670081: crates/bench/src/bin/ablation_kernel.rs
+
+crates/bench/src/bin/ablation_kernel.rs:

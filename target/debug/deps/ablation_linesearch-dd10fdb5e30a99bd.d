@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_linesearch-dd10fdb5e30a99bd.d: crates/bench/src/bin/ablation_linesearch.rs
+
+/root/repo/target/debug/deps/ablation_linesearch-dd10fdb5e30a99bd: crates/bench/src/bin/ablation_linesearch.rs
+
+crates/bench/src/bin/ablation_linesearch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_linesearch-e8d022dc9918a847.d: crates/bench/src/bin/ablation_linesearch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_linesearch-e8d022dc9918a847.rmeta: crates/bench/src/bin/ablation_linesearch.rs Cargo.toml
+
+crates/bench/src/bin/ablation_linesearch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_weights-34551eeabce4ed88.d: crates/bench/src/bin/ablation_weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_weights-34551eeabce4ed88.rmeta: crates/bench/src/bin/ablation_weights.rs Cargo.toml
+
+crates/bench/src/bin/ablation_weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

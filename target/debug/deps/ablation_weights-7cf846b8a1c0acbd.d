@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_weights-7cf846b8a1c0acbd.d: crates/bench/src/bin/ablation_weights.rs
+
+/root/repo/target/debug/deps/ablation_weights-7cf846b8a1c0acbd: crates/bench/src/bin/ablation_weights.rs
+
+crates/bench/src/bin/ablation_weights.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_weights-edf5658175db69da.d: crates/bench/src/bin/ablation_weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_weights-edf5658175db69da.rmeta: crates/bench/src/bin/ablation_weights.rs Cargo.toml
+
+crates/bench/src/bin/ablation_weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch-3f9c5a4f91549ddc.d: crates/runtime/tests/batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch-3f9c5a4f91549ddc.rmeta: crates/runtime/tests/batch.rs Cargo.toml
+
+crates/runtime/tests/batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch-e49828002d0b9ae5.d: crates/runtime/tests/batch.rs
+
+/root/repo/target/debug/deps/batch-e49828002d0b9ae5: crates/runtime/tests/batch.rs
+
+crates/runtime/tests/batch.rs:

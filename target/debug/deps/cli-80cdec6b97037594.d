@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-80cdec6b97037594.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-80cdec6b97037594: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mosaic=/root/repo/target/debug/mosaic

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-eb80de29f5ddd56a.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-eb80de29f5ddd56a.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_mosaic=placeholder:mosaic
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convolution-6d06467761cb7720.d: crates/bench/benches/convolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvolution-6d06467761cb7720.rmeta: crates/bench/benches/convolution.rs Cargo.toml
+
+crates/bench/benches/convolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fft-31815ce8c9ddbd4a.d: crates/bench/benches/fft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfft-31815ce8c9ddbd4a.rmeta: crates/bench/benches/fft.rs Cargo.toml
+
+crates/bench/benches/fft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

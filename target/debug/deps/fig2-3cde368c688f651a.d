@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-3cde368c688f651a.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-3cde368c688f651a: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

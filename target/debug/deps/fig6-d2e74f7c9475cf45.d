@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d2e74f7c9475cf45.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d2e74f7c9475cf45: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gradient-7e42dd22b0caa09b.d: crates/bench/benches/gradient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgradient-7e42dd22b0caa09b.rmeta: crates/bench/benches/gradient.rs Cargo.toml
+
+crates/bench/benches/gradient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

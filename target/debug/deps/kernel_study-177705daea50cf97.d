@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_study-177705daea50cf97.d: crates/bench/src/bin/kernel_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_study-177705daea50cf97.rmeta: crates/bench/src/bin/kernel_study.rs Cargo.toml
+
+crates/bench/src/bin/kernel_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

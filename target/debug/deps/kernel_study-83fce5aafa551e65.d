@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_study-83fce5aafa551e65.d: crates/bench/src/bin/kernel_study.rs
+
+/root/repo/target/debug/deps/kernel_study-83fce5aafa551e65: crates/bench/src/bin/kernel_study.rs
+
+crates/bench/src/bin/kernel_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mask_complexity-33bbb69ac0b7eb24.d: crates/bench/src/bin/mask_complexity.rs
+
+/root/repo/target/debug/deps/mask_complexity-33bbb69ac0b7eb24: crates/bench/src/bin/mask_complexity.rs
+
+crates/bench/src/bin/mask_complexity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mask_complexity-d33717b23ef8c600.d: crates/bench/src/bin/mask_complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmask_complexity-d33717b23ef8c600.rmeta: crates/bench/src/bin/mask_complexity.rs Cargo.toml
+
+crates/bench/src/bin/mask_complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_consistency-8f3b810c537f002a.d: tests/metrics_consistency.rs
+
+/root/repo/target/debug/deps/metrics_consistency-8f3b810c537f002a: tests/metrics_consistency.rs
+
+tests/metrics_consistency.rs:

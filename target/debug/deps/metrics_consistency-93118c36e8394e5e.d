@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_consistency-93118c36e8394e5e.d: tests/metrics_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_consistency-93118c36e8394e5e.rmeta: tests/metrics_consistency.rs Cargo.toml
+
+tests/metrics_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

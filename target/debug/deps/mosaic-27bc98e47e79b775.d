@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mosaic-27bc98e47e79b775.d: src/bin/mosaic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic-27bc98e47e79b775.rmeta: src/bin/mosaic.rs Cargo.toml
+
+src/bin/mosaic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

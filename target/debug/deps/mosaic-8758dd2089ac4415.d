@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mosaic-8758dd2089ac4415.d: src/bin/mosaic.rs
+
+/root/repo/target/debug/deps/mosaic-8758dd2089ac4415: src/bin/mosaic.rs
+
+src/bin/mosaic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mosaic-be2373da8e2744ef.d: src/bin/mosaic.rs
+
+/root/repo/target/debug/deps/mosaic-be2373da8e2744ef: src/bin/mosaic.rs
+
+src/bin/mosaic.rs:

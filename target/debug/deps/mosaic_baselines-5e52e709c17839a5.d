@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mosaic_baselines-5e52e709c17839a5.d: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs
+
+/root/repo/target/debug/deps/mosaic_baselines-5e52e709c17839a5: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/edge_opc.rs:
+crates/baselines/src/ilt_baseline.rs:
+crates/baselines/src/rule_opc.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mosaic_baselines-bbc12b1e4d219d52.d: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs
+
+/root/repo/target/debug/deps/libmosaic_baselines-bbc12b1e4d219d52.rlib: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs
+
+/root/repo/target/debug/deps/libmosaic_baselines-bbc12b1e4d219d52.rmeta: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/edge_opc.rs:
+crates/baselines/src/ilt_baseline.rs:
+crates/baselines/src/rule_opc.rs:

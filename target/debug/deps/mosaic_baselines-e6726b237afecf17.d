@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mosaic_baselines-e6726b237afecf17.d: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_baselines-e6726b237afecf17.rmeta: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/edge_opc.rs:
+crates/baselines/src/ilt_baseline.rs:
+crates/baselines/src/rule_opc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mosaic_bench-2ae8d50f27b3276d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_bench-2ae8d50f27b3276d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

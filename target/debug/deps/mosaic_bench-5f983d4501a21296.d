@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mosaic_bench-5f983d4501a21296.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmosaic_bench-5f983d4501a21296.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmosaic_bench-5f983d4501a21296.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mosaic_bench-7db6aef9e2906483.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_bench-7db6aef9e2906483.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

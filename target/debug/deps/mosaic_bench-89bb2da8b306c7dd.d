@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mosaic_bench-89bb2da8b306c7dd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mosaic_bench-89bb2da8b306c7dd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mosaic_core-1334f6b13938a5a0.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/mask.rs crates/core/src/mosaic.rs crates/core/src/objective.rs crates/core/src/optimizer.rs crates/core/src/problem.rs crates/core/src/psm.rs crates/core/src/sraf.rs
+
+/root/repo/target/debug/deps/libmosaic_core-1334f6b13938a5a0.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/mask.rs crates/core/src/mosaic.rs crates/core/src/objective.rs crates/core/src/optimizer.rs crates/core/src/problem.rs crates/core/src/psm.rs crates/core/src/sraf.rs
+
+/root/repo/target/debug/deps/libmosaic_core-1334f6b13938a5a0.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/mask.rs crates/core/src/mosaic.rs crates/core/src/objective.rs crates/core/src/optimizer.rs crates/core/src/problem.rs crates/core/src/psm.rs crates/core/src/sraf.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/mask.rs:
+crates/core/src/mosaic.rs:
+crates/core/src/objective.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/problem.rs:
+crates/core/src/psm.rs:
+crates/core/src/sraf.rs:

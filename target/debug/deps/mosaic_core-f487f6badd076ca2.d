@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mosaic_core-f487f6badd076ca2.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/mask.rs crates/core/src/mosaic.rs crates/core/src/objective.rs crates/core/src/optimizer.rs crates/core/src/problem.rs crates/core/src/psm.rs crates/core/src/sraf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_core-f487f6badd076ca2.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/mask.rs crates/core/src/mosaic.rs crates/core/src/objective.rs crates/core/src/optimizer.rs crates/core/src/problem.rs crates/core/src/psm.rs crates/core/src/sraf.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/mask.rs:
+crates/core/src/mosaic.rs:
+crates/core/src/objective.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/problem.rs:
+crates/core/src/psm.rs:
+crates/core/src/sraf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mosaic_eval-3dc84b41952bd098.d: crates/eval/src/lib.rs crates/eval/src/epe.rs crates/eval/src/evaluator.rs crates/eval/src/mrc.rs crates/eval/src/pgm.rs crates/eval/src/pvband.rs crates/eval/src/report.rs crates/eval/src/score.rs crates/eval/src/shape.rs
+
+/root/repo/target/debug/deps/libmosaic_eval-3dc84b41952bd098.rlib: crates/eval/src/lib.rs crates/eval/src/epe.rs crates/eval/src/evaluator.rs crates/eval/src/mrc.rs crates/eval/src/pgm.rs crates/eval/src/pvband.rs crates/eval/src/report.rs crates/eval/src/score.rs crates/eval/src/shape.rs
+
+/root/repo/target/debug/deps/libmosaic_eval-3dc84b41952bd098.rmeta: crates/eval/src/lib.rs crates/eval/src/epe.rs crates/eval/src/evaluator.rs crates/eval/src/mrc.rs crates/eval/src/pgm.rs crates/eval/src/pvband.rs crates/eval/src/report.rs crates/eval/src/score.rs crates/eval/src/shape.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/epe.rs:
+crates/eval/src/evaluator.rs:
+crates/eval/src/mrc.rs:
+crates/eval/src/pgm.rs:
+crates/eval/src/pvband.rs:
+crates/eval/src/report.rs:
+crates/eval/src/score.rs:
+crates/eval/src/shape.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mosaic_eval-8762fef2bcd9177f.d: crates/eval/src/lib.rs crates/eval/src/epe.rs crates/eval/src/evaluator.rs crates/eval/src/mrc.rs crates/eval/src/pgm.rs crates/eval/src/pvband.rs crates/eval/src/report.rs crates/eval/src/score.rs crates/eval/src/shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_eval-8762fef2bcd9177f.rmeta: crates/eval/src/lib.rs crates/eval/src/epe.rs crates/eval/src/evaluator.rs crates/eval/src/mrc.rs crates/eval/src/pgm.rs crates/eval/src/pvband.rs crates/eval/src/report.rs crates/eval/src/score.rs crates/eval/src/shape.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/epe.rs:
+crates/eval/src/evaluator.rs:
+crates/eval/src/mrc.rs:
+crates/eval/src/pgm.rs:
+crates/eval/src/pvband.rs:
+crates/eval/src/report.rs:
+crates/eval/src/score.rs:
+crates/eval/src/shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

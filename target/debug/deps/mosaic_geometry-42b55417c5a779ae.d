@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mosaic_geometry-42b55417c5a779ae.d: crates/geometry/src/lib.rs crates/geometry/src/benchmarks.rs crates/geometry/src/contour.rs crates/geometry/src/error.rs crates/geometry/src/fracture.rs crates/geometry/src/glp.rs crates/geometry/src/layout.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/raster.rs crates/geometry/src/rect.rs crates/geometry/src/sample.rs
+
+/root/repo/target/debug/deps/mosaic_geometry-42b55417c5a779ae: crates/geometry/src/lib.rs crates/geometry/src/benchmarks.rs crates/geometry/src/contour.rs crates/geometry/src/error.rs crates/geometry/src/fracture.rs crates/geometry/src/glp.rs crates/geometry/src/layout.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/raster.rs crates/geometry/src/rect.rs crates/geometry/src/sample.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/benchmarks.rs:
+crates/geometry/src/contour.rs:
+crates/geometry/src/error.rs:
+crates/geometry/src/fracture.rs:
+crates/geometry/src/glp.rs:
+crates/geometry/src/layout.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/polygon.rs:
+crates/geometry/src/raster.rs:
+crates/geometry/src/rect.rs:
+crates/geometry/src/sample.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mosaic_geometry-7b13579f18d6d57c.d: crates/geometry/src/lib.rs crates/geometry/src/benchmarks.rs crates/geometry/src/contour.rs crates/geometry/src/error.rs crates/geometry/src/fracture.rs crates/geometry/src/glp.rs crates/geometry/src/layout.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/raster.rs crates/geometry/src/rect.rs crates/geometry/src/sample.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_geometry-7b13579f18d6d57c.rmeta: crates/geometry/src/lib.rs crates/geometry/src/benchmarks.rs crates/geometry/src/contour.rs crates/geometry/src/error.rs crates/geometry/src/fracture.rs crates/geometry/src/glp.rs crates/geometry/src/layout.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/raster.rs crates/geometry/src/rect.rs crates/geometry/src/sample.rs Cargo.toml
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/benchmarks.rs:
+crates/geometry/src/contour.rs:
+crates/geometry/src/error.rs:
+crates/geometry/src/fracture.rs:
+crates/geometry/src/glp.rs:
+crates/geometry/src/layout.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/polygon.rs:
+crates/geometry/src/raster.rs:
+crates/geometry/src/rect.rs:
+crates/geometry/src/sample.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mosaic_numerics-2a8b4d368ddd82c5.d: crates/numerics/src/lib.rs crates/numerics/src/complex.rs crates/numerics/src/conv.rs crates/numerics/src/error.rs crates/numerics/src/fft.rs crates/numerics/src/grid.rs crates/numerics/src/grid_ops.rs crates/numerics/src/matrix.rs crates/numerics/src/rng.rs crates/numerics/src/stats.rs
+
+/root/repo/target/debug/deps/mosaic_numerics-2a8b4d368ddd82c5: crates/numerics/src/lib.rs crates/numerics/src/complex.rs crates/numerics/src/conv.rs crates/numerics/src/error.rs crates/numerics/src/fft.rs crates/numerics/src/grid.rs crates/numerics/src/grid_ops.rs crates/numerics/src/matrix.rs crates/numerics/src/rng.rs crates/numerics/src/stats.rs
+
+crates/numerics/src/lib.rs:
+crates/numerics/src/complex.rs:
+crates/numerics/src/conv.rs:
+crates/numerics/src/error.rs:
+crates/numerics/src/fft.rs:
+crates/numerics/src/grid.rs:
+crates/numerics/src/grid_ops.rs:
+crates/numerics/src/matrix.rs:
+crates/numerics/src/rng.rs:
+crates/numerics/src/stats.rs:

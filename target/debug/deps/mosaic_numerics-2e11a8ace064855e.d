@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mosaic_numerics-2e11a8ace064855e.d: crates/numerics/src/lib.rs crates/numerics/src/complex.rs crates/numerics/src/conv.rs crates/numerics/src/error.rs crates/numerics/src/fft.rs crates/numerics/src/grid.rs crates/numerics/src/grid_ops.rs crates/numerics/src/matrix.rs crates/numerics/src/rng.rs crates/numerics/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_numerics-2e11a8ace064855e.rmeta: crates/numerics/src/lib.rs crates/numerics/src/complex.rs crates/numerics/src/conv.rs crates/numerics/src/error.rs crates/numerics/src/fft.rs crates/numerics/src/grid.rs crates/numerics/src/grid_ops.rs crates/numerics/src/matrix.rs crates/numerics/src/rng.rs crates/numerics/src/stats.rs Cargo.toml
+
+crates/numerics/src/lib.rs:
+crates/numerics/src/complex.rs:
+crates/numerics/src/conv.rs:
+crates/numerics/src/error.rs:
+crates/numerics/src/fft.rs:
+crates/numerics/src/grid.rs:
+crates/numerics/src/grid_ops.rs:
+crates/numerics/src/matrix.rs:
+crates/numerics/src/rng.rs:
+crates/numerics/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mosaic_numerics-bb18d787647360cb.d: crates/numerics/src/lib.rs crates/numerics/src/complex.rs crates/numerics/src/conv.rs crates/numerics/src/error.rs crates/numerics/src/fft.rs crates/numerics/src/grid.rs crates/numerics/src/grid_ops.rs crates/numerics/src/matrix.rs crates/numerics/src/rng.rs crates/numerics/src/stats.rs
+
+/root/repo/target/debug/deps/libmosaic_numerics-bb18d787647360cb.rlib: crates/numerics/src/lib.rs crates/numerics/src/complex.rs crates/numerics/src/conv.rs crates/numerics/src/error.rs crates/numerics/src/fft.rs crates/numerics/src/grid.rs crates/numerics/src/grid_ops.rs crates/numerics/src/matrix.rs crates/numerics/src/rng.rs crates/numerics/src/stats.rs
+
+/root/repo/target/debug/deps/libmosaic_numerics-bb18d787647360cb.rmeta: crates/numerics/src/lib.rs crates/numerics/src/complex.rs crates/numerics/src/conv.rs crates/numerics/src/error.rs crates/numerics/src/fft.rs crates/numerics/src/grid.rs crates/numerics/src/grid_ops.rs crates/numerics/src/matrix.rs crates/numerics/src/rng.rs crates/numerics/src/stats.rs
+
+crates/numerics/src/lib.rs:
+crates/numerics/src/complex.rs:
+crates/numerics/src/conv.rs:
+crates/numerics/src/error.rs:
+crates/numerics/src/fft.rs:
+crates/numerics/src/grid.rs:
+crates/numerics/src/grid_ops.rs:
+crates/numerics/src/matrix.rs:
+crates/numerics/src/rng.rs:
+crates/numerics/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mosaic_optics-387d1fbaf014aa65.d: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs
+
+/root/repo/target/debug/deps/mosaic_optics-387d1fbaf014aa65: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs
+
+crates/optics/src/lib.rs:
+crates/optics/src/config.rs:
+crates/optics/src/error.rs:
+crates/optics/src/kernels.rs:
+crates/optics/src/metrics.rs:
+crates/optics/src/resist.rs:
+crates/optics/src/simulator.rs:
+crates/optics/src/source.rs:
+crates/optics/src/tcc.rs:

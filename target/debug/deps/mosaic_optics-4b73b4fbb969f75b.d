@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mosaic_optics-4b73b4fbb969f75b.d: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs
+
+/root/repo/target/debug/deps/libmosaic_optics-4b73b4fbb969f75b.rlib: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs
+
+/root/repo/target/debug/deps/libmosaic_optics-4b73b4fbb969f75b.rmeta: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs
+
+crates/optics/src/lib.rs:
+crates/optics/src/config.rs:
+crates/optics/src/error.rs:
+crates/optics/src/kernels.rs:
+crates/optics/src/metrics.rs:
+crates/optics/src/resist.rs:
+crates/optics/src/simulator.rs:
+crates/optics/src/source.rs:
+crates/optics/src/tcc.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mosaic_optics-8cedd5c46295cd51.d: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_optics-8cedd5c46295cd51.rmeta: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs Cargo.toml
+
+crates/optics/src/lib.rs:
+crates/optics/src/config.rs:
+crates/optics/src/error.rs:
+crates/optics/src/kernels.rs:
+crates/optics/src/metrics.rs:
+crates/optics/src/resist.rs:
+crates/optics/src/simulator.rs:
+crates/optics/src/source.rs:
+crates/optics/src/tcc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mosaic_runtime-11b64c14286ef18f.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs
+
+/root/repo/target/debug/deps/mosaic_runtime-11b64c14286ef18f: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/checkpoint.rs:
+crates/runtime/src/events.rs:
+crates/runtime/src/job.rs:
+crates/runtime/src/scheduler.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mosaic_runtime-3bd3c8311e797acd.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs
+
+/root/repo/target/debug/deps/libmosaic_runtime-3bd3c8311e797acd.rlib: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs
+
+/root/repo/target/debug/deps/libmosaic_runtime-3bd3c8311e797acd.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/checkpoint.rs:
+crates/runtime/src/events.rs:
+crates/runtime/src/job.rs:
+crates/runtime/src/scheduler.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mosaic_runtime-f754548511f68574.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_runtime-f754548511f68574.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/checkpoint.rs:
+crates/runtime/src/events.rs:
+crates/runtime/src/job.rs:
+crates/runtime/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

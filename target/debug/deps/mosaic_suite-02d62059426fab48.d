@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mosaic_suite-02d62059426fab48.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmosaic_suite-02d62059426fab48.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmosaic_suite-02d62059426fab48.rmeta: src/lib.rs
+
+src/lib.rs:

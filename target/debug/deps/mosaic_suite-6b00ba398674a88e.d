@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mosaic_suite-6b00ba398674a88e.d: src/lib.rs
+
+/root/repo/target/debug/deps/mosaic_suite-6b00ba398674a88e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mosaic_suite-9e5b2d442ac10e66.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_suite-9e5b2d442ac10e66.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mosaic_suite-c66e2d6f2cb6f252.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmosaic_suite-c66e2d6f2cb6f252.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/physics-6602b97a8f51224a.d: tests/physics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphysics-6602b97a8f51224a.rmeta: tests/physics.rs Cargo.toml
+
+tests/physics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

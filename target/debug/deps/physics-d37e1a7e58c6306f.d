@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/physics-d37e1a7e58c6306f.d: tests/physics.rs
+
+/root/repo/target/debug/deps/physics-d37e1a7e58c6306f: tests/physics.rs
+
+tests/physics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-6ad66b516c1fee85.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-6ad66b516c1fee85: tests/pipeline.rs
+
+tests/pipeline.rs:

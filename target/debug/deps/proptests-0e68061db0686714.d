@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0e68061db0686714.d: crates/numerics/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0e68061db0686714.rmeta: crates/numerics/tests/proptests.rs Cargo.toml
+
+crates/numerics/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1df1096af4c43829.d: crates/numerics/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1df1096af4c43829: crates/numerics/tests/proptests.rs
+
+crates/numerics/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-795bcfd51e88c8f3.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-795bcfd51e88c8f3: tests/proptests.rs
+
+tests/proptests.rs:

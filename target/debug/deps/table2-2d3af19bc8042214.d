@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2d3af19bc8042214.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-2d3af19bc8042214: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

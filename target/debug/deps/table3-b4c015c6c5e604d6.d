@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b4c015c6c5e604d6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-b4c015c6c5e604d6: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

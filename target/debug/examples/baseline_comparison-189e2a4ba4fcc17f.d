@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/baseline_comparison-189e2a4ba4fcc17f.d: examples/baseline_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbaseline_comparison-189e2a4ba4fcc17f.rmeta: examples/baseline_comparison.rs Cargo.toml
+
+examples/baseline_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/baseline_comparison-d626fd24dc776de3.d: examples/baseline_comparison.rs
+
+/root/repo/target/debug/examples/baseline_comparison-d626fd24dc776de3: examples/baseline_comparison.rs
+
+examples/baseline_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dense_lines_opc-196f8bdff6ca96ab.d: examples/dense_lines_opc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdense_lines_opc-196f8bdff6ca96ab.rmeta: examples/dense_lines_opc.rs Cargo.toml
+
+examples/dense_lines_opc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dense_lines_opc-6f6fa334feaba92c.d: examples/dense_lines_opc.rs
+
+/root/repo/target/debug/examples/dense_lines_opc-6f6fa334feaba92c: examples/dense_lines_opc.rs
+
+examples/dense_lines_opc.rs:

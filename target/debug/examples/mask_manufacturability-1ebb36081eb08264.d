@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mask_manufacturability-1ebb36081eb08264.d: examples/mask_manufacturability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmask_manufacturability-1ebb36081eb08264.rmeta: examples/mask_manufacturability.rs Cargo.toml
+
+examples/mask_manufacturability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

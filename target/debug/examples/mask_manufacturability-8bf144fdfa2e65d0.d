@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mask_manufacturability-8bf144fdfa2e65d0.d: examples/mask_manufacturability.rs
+
+/root/repo/target/debug/examples/mask_manufacturability-8bf144fdfa2e65d0: examples/mask_manufacturability.rs
+
+examples/mask_manufacturability.rs:

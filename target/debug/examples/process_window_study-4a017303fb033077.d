@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/process_window_study-4a017303fb033077.d: examples/process_window_study.rs
+
+/root/repo/target/debug/examples/process_window_study-4a017303fb033077: examples/process_window_study.rs
+
+examples/process_window_study.rs:

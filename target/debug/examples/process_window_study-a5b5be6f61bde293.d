@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/process_window_study-a5b5be6f61bde293.d: examples/process_window_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprocess_window_study-a5b5be6f61bde293.rmeta: examples/process_window_study.rs Cargo.toml
+
+examples/process_window_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

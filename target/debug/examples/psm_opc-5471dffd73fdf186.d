@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/psm_opc-5471dffd73fdf186.d: examples/psm_opc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpsm_opc-5471dffd73fdf186.rmeta: examples/psm_opc.rs Cargo.toml
+
+examples/psm_opc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/psm_opc-7461b0fba913975e.d: examples/psm_opc.rs
+
+/root/repo/target/debug/examples/psm_opc-7461b0fba913975e: examples/psm_opc.rs
+
+examples/psm_opc.rs:

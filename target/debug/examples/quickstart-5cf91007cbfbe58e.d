@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5cf91007cbfbe58e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5cf91007cbfbe58e: examples/quickstart.rs
+
+examples/quickstart.rs:

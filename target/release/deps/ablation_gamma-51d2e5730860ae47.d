@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_gamma-51d2e5730860ae47.d: crates/bench/src/bin/ablation_gamma.rs
+
+/root/repo/target/release/deps/ablation_gamma-51d2e5730860ae47: crates/bench/src/bin/ablation_gamma.rs
+
+crates/bench/src/bin/ablation_gamma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_init-8b00d935fd7f7541.d: crates/bench/src/bin/ablation_init.rs
+
+/root/repo/target/release/deps/ablation_init-8b00d935fd7f7541: crates/bench/src/bin/ablation_init.rs
+
+crates/bench/src/bin/ablation_init.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_kernel-0c3d3540179a3d55.d: crates/bench/src/bin/ablation_kernel.rs
+
+/root/repo/target/release/deps/ablation_kernel-0c3d3540179a3d55: crates/bench/src/bin/ablation_kernel.rs
+
+crates/bench/src/bin/ablation_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_linesearch-1bd43dceaf3218ac.d: crates/bench/src/bin/ablation_linesearch.rs
+
+/root/repo/target/release/deps/ablation_linesearch-1bd43dceaf3218ac: crates/bench/src/bin/ablation_linesearch.rs
+
+crates/bench/src/bin/ablation_linesearch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_weights-fb7859de138048f5.d: crates/bench/src/bin/ablation_weights.rs
+
+/root/repo/target/release/deps/ablation_weights-fb7859de138048f5: crates/bench/src/bin/ablation_weights.rs
+
+crates/bench/src/bin/ablation_weights.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch-c7b5ec9718ef168a.d: crates/runtime/tests/batch.rs
+
+/root/repo/target/release/deps/batch-c7b5ec9718ef168a: crates/runtime/tests/batch.rs
+
+crates/runtime/tests/batch.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-b413bb8444a38d8d.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-b413bb8444a38d8d: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mosaic=/root/repo/target/release/mosaic

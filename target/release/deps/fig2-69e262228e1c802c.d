@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-69e262228e1c802c.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-69e262228e1c802c: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-b1b72b6fc338dec3.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-b1b72b6fc338dec3: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

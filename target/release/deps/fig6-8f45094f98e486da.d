@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-8f45094f98e486da.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-8f45094f98e486da: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

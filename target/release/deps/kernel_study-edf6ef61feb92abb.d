@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_study-edf6ef61feb92abb.d: crates/bench/src/bin/kernel_study.rs
+
+/root/repo/target/release/deps/kernel_study-edf6ef61feb92abb: crates/bench/src/bin/kernel_study.rs
+
+crates/bench/src/bin/kernel_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mask_complexity-a5f29ab39d0b5633.d: crates/bench/src/bin/mask_complexity.rs
+
+/root/repo/target/release/deps/mask_complexity-a5f29ab39d0b5633: crates/bench/src/bin/mask_complexity.rs
+
+crates/bench/src/bin/mask_complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metrics_consistency-703a45bdbcbcff80.d: tests/metrics_consistency.rs
+
+/root/repo/target/release/deps/metrics_consistency-703a45bdbcbcff80: tests/metrics_consistency.rs
+
+tests/metrics_consistency.rs:

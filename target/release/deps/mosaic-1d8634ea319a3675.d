@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mosaic-1d8634ea319a3675.d: src/bin/mosaic.rs
+
+/root/repo/target/release/deps/mosaic-1d8634ea319a3675: src/bin/mosaic.rs
+
+src/bin/mosaic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mosaic-d9f4f0afb91a5a4e.d: src/bin/mosaic.rs
+
+/root/repo/target/release/deps/mosaic-d9f4f0afb91a5a4e: src/bin/mosaic.rs
+
+src/bin/mosaic.rs:

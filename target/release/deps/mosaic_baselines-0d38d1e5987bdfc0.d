@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mosaic_baselines-0d38d1e5987bdfc0.d: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs
+
+/root/repo/target/release/deps/libmosaic_baselines-0d38d1e5987bdfc0.rlib: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs
+
+/root/repo/target/release/deps/libmosaic_baselines-0d38d1e5987bdfc0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/edge_opc.rs:
+crates/baselines/src/ilt_baseline.rs:
+crates/baselines/src/rule_opc.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mosaic_baselines-8a0f37df88e513e0.d: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs
+
+/root/repo/target/release/deps/mosaic_baselines-8a0f37df88e513e0: crates/baselines/src/lib.rs crates/baselines/src/edge_opc.rs crates/baselines/src/ilt_baseline.rs crates/baselines/src/rule_opc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/edge_opc.rs:
+crates/baselines/src/ilt_baseline.rs:
+crates/baselines/src/rule_opc.rs:

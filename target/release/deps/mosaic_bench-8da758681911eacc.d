@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mosaic_bench-8da758681911eacc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/mosaic_bench-8da758681911eacc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

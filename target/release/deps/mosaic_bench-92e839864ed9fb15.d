@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mosaic_bench-92e839864ed9fb15.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmosaic_bench-92e839864ed9fb15.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmosaic_bench-92e839864ed9fb15.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mosaic_core-2167fc32a2169b30.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/mask.rs crates/core/src/mosaic.rs crates/core/src/objective.rs crates/core/src/optimizer.rs crates/core/src/problem.rs crates/core/src/psm.rs crates/core/src/sraf.rs
+
+/root/repo/target/release/deps/libmosaic_core-2167fc32a2169b30.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/mask.rs crates/core/src/mosaic.rs crates/core/src/objective.rs crates/core/src/optimizer.rs crates/core/src/problem.rs crates/core/src/psm.rs crates/core/src/sraf.rs
+
+/root/repo/target/release/deps/libmosaic_core-2167fc32a2169b30.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/mask.rs crates/core/src/mosaic.rs crates/core/src/objective.rs crates/core/src/optimizer.rs crates/core/src/problem.rs crates/core/src/psm.rs crates/core/src/sraf.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/mask.rs:
+crates/core/src/mosaic.rs:
+crates/core/src/objective.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/problem.rs:
+crates/core/src/psm.rs:
+crates/core/src/sraf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mosaic_core-a18c5e21fc593a30.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/mask.rs crates/core/src/mosaic.rs crates/core/src/objective.rs crates/core/src/optimizer.rs crates/core/src/problem.rs crates/core/src/psm.rs crates/core/src/sraf.rs
+
+/root/repo/target/release/deps/mosaic_core-a18c5e21fc593a30: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/mask.rs crates/core/src/mosaic.rs crates/core/src/objective.rs crates/core/src/optimizer.rs crates/core/src/problem.rs crates/core/src/psm.rs crates/core/src/sraf.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/mask.rs:
+crates/core/src/mosaic.rs:
+crates/core/src/objective.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/problem.rs:
+crates/core/src/psm.rs:
+crates/core/src/sraf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mosaic_eval-d4522df7de738324.d: crates/eval/src/lib.rs crates/eval/src/epe.rs crates/eval/src/evaluator.rs crates/eval/src/mrc.rs crates/eval/src/pgm.rs crates/eval/src/pvband.rs crates/eval/src/report.rs crates/eval/src/score.rs crates/eval/src/shape.rs
+
+/root/repo/target/release/deps/mosaic_eval-d4522df7de738324: crates/eval/src/lib.rs crates/eval/src/epe.rs crates/eval/src/evaluator.rs crates/eval/src/mrc.rs crates/eval/src/pgm.rs crates/eval/src/pvband.rs crates/eval/src/report.rs crates/eval/src/score.rs crates/eval/src/shape.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/epe.rs:
+crates/eval/src/evaluator.rs:
+crates/eval/src/mrc.rs:
+crates/eval/src/pgm.rs:
+crates/eval/src/pvband.rs:
+crates/eval/src/report.rs:
+crates/eval/src/score.rs:
+crates/eval/src/shape.rs:

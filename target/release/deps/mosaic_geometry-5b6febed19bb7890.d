@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mosaic_geometry-5b6febed19bb7890.d: crates/geometry/src/lib.rs crates/geometry/src/benchmarks.rs crates/geometry/src/contour.rs crates/geometry/src/error.rs crates/geometry/src/fracture.rs crates/geometry/src/glp.rs crates/geometry/src/layout.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/raster.rs crates/geometry/src/rect.rs crates/geometry/src/sample.rs
+
+/root/repo/target/release/deps/mosaic_geometry-5b6febed19bb7890: crates/geometry/src/lib.rs crates/geometry/src/benchmarks.rs crates/geometry/src/contour.rs crates/geometry/src/error.rs crates/geometry/src/fracture.rs crates/geometry/src/glp.rs crates/geometry/src/layout.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/raster.rs crates/geometry/src/rect.rs crates/geometry/src/sample.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/benchmarks.rs:
+crates/geometry/src/contour.rs:
+crates/geometry/src/error.rs:
+crates/geometry/src/fracture.rs:
+crates/geometry/src/glp.rs:
+crates/geometry/src/layout.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/polygon.rs:
+crates/geometry/src/raster.rs:
+crates/geometry/src/rect.rs:
+crates/geometry/src/sample.rs:

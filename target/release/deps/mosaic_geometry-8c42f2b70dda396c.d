@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/mosaic_geometry-8c42f2b70dda396c.d: crates/geometry/src/lib.rs crates/geometry/src/benchmarks.rs crates/geometry/src/contour.rs crates/geometry/src/error.rs crates/geometry/src/fracture.rs crates/geometry/src/glp.rs crates/geometry/src/layout.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/raster.rs crates/geometry/src/rect.rs crates/geometry/src/sample.rs
+
+/root/repo/target/release/deps/libmosaic_geometry-8c42f2b70dda396c.rlib: crates/geometry/src/lib.rs crates/geometry/src/benchmarks.rs crates/geometry/src/contour.rs crates/geometry/src/error.rs crates/geometry/src/fracture.rs crates/geometry/src/glp.rs crates/geometry/src/layout.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/raster.rs crates/geometry/src/rect.rs crates/geometry/src/sample.rs
+
+/root/repo/target/release/deps/libmosaic_geometry-8c42f2b70dda396c.rmeta: crates/geometry/src/lib.rs crates/geometry/src/benchmarks.rs crates/geometry/src/contour.rs crates/geometry/src/error.rs crates/geometry/src/fracture.rs crates/geometry/src/glp.rs crates/geometry/src/layout.rs crates/geometry/src/point.rs crates/geometry/src/polygon.rs crates/geometry/src/raster.rs crates/geometry/src/rect.rs crates/geometry/src/sample.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/benchmarks.rs:
+crates/geometry/src/contour.rs:
+crates/geometry/src/error.rs:
+crates/geometry/src/fracture.rs:
+crates/geometry/src/glp.rs:
+crates/geometry/src/layout.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/polygon.rs:
+crates/geometry/src/raster.rs:
+crates/geometry/src/rect.rs:
+crates/geometry/src/sample.rs:

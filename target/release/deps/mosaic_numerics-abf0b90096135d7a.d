@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mosaic_numerics-abf0b90096135d7a.d: crates/numerics/src/lib.rs crates/numerics/src/complex.rs crates/numerics/src/conv.rs crates/numerics/src/error.rs crates/numerics/src/fft.rs crates/numerics/src/grid.rs crates/numerics/src/grid_ops.rs crates/numerics/src/matrix.rs crates/numerics/src/rng.rs crates/numerics/src/stats.rs
+
+/root/repo/target/release/deps/mosaic_numerics-abf0b90096135d7a: crates/numerics/src/lib.rs crates/numerics/src/complex.rs crates/numerics/src/conv.rs crates/numerics/src/error.rs crates/numerics/src/fft.rs crates/numerics/src/grid.rs crates/numerics/src/grid_ops.rs crates/numerics/src/matrix.rs crates/numerics/src/rng.rs crates/numerics/src/stats.rs
+
+crates/numerics/src/lib.rs:
+crates/numerics/src/complex.rs:
+crates/numerics/src/conv.rs:
+crates/numerics/src/error.rs:
+crates/numerics/src/fft.rs:
+crates/numerics/src/grid.rs:
+crates/numerics/src/grid_ops.rs:
+crates/numerics/src/matrix.rs:
+crates/numerics/src/rng.rs:
+crates/numerics/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mosaic_optics-8cdd11158c90a7ef.d: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs
+
+/root/repo/target/release/deps/libmosaic_optics-8cdd11158c90a7ef.rlib: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs
+
+/root/repo/target/release/deps/libmosaic_optics-8cdd11158c90a7ef.rmeta: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs
+
+crates/optics/src/lib.rs:
+crates/optics/src/config.rs:
+crates/optics/src/error.rs:
+crates/optics/src/kernels.rs:
+crates/optics/src/metrics.rs:
+crates/optics/src/resist.rs:
+crates/optics/src/simulator.rs:
+crates/optics/src/source.rs:
+crates/optics/src/tcc.rs:

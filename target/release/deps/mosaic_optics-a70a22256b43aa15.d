@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mosaic_optics-a70a22256b43aa15.d: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs
+
+/root/repo/target/release/deps/mosaic_optics-a70a22256b43aa15: crates/optics/src/lib.rs crates/optics/src/config.rs crates/optics/src/error.rs crates/optics/src/kernels.rs crates/optics/src/metrics.rs crates/optics/src/resist.rs crates/optics/src/simulator.rs crates/optics/src/source.rs crates/optics/src/tcc.rs
+
+crates/optics/src/lib.rs:
+crates/optics/src/config.rs:
+crates/optics/src/error.rs:
+crates/optics/src/kernels.rs:
+crates/optics/src/metrics.rs:
+crates/optics/src/resist.rs:
+crates/optics/src/simulator.rs:
+crates/optics/src/source.rs:
+crates/optics/src/tcc.rs:

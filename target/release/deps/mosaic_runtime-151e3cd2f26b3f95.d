@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mosaic_runtime-151e3cd2f26b3f95.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs
+
+/root/repo/target/release/deps/libmosaic_runtime-151e3cd2f26b3f95.rlib: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs
+
+/root/repo/target/release/deps/libmosaic_runtime-151e3cd2f26b3f95.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/checkpoint.rs:
+crates/runtime/src/events.rs:
+crates/runtime/src/job.rs:
+crates/runtime/src/scheduler.rs:

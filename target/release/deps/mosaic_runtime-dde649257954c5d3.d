@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mosaic_runtime-dde649257954c5d3.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs
+
+/root/repo/target/release/deps/mosaic_runtime-dde649257954c5d3: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/checkpoint.rs crates/runtime/src/events.rs crates/runtime/src/job.rs crates/runtime/src/scheduler.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/checkpoint.rs:
+crates/runtime/src/events.rs:
+crates/runtime/src/job.rs:
+crates/runtime/src/scheduler.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mosaic_suite-b8edbab009f3fc31.d: src/lib.rs
+
+/root/repo/target/release/deps/libmosaic_suite-b8edbab009f3fc31.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmosaic_suite-b8edbab009f3fc31.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mosaic_suite-c337581dabdfd0fa.d: src/lib.rs
+
+/root/repo/target/release/deps/mosaic_suite-c337581dabdfd0fa: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/physics-078940216e7520fe.d: tests/physics.rs
+
+/root/repo/target/release/deps/physics-078940216e7520fe: tests/physics.rs
+
+tests/physics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-c3f48501ea913146.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-c3f48501ea913146: tests/pipeline.rs
+
+tests/pipeline.rs:

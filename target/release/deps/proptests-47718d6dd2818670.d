@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-47718d6dd2818670.d: crates/numerics/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-47718d6dd2818670: crates/numerics/tests/proptests.rs
+
+crates/numerics/tests/proptests.rs:

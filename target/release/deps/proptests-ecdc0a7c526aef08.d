@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-ecdc0a7c526aef08.d: tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-ecdc0a7c526aef08: tests/proptests.rs
+
+tests/proptests.rs:

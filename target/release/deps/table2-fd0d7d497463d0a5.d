@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-fd0d7d497463d0a5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-fd0d7d497463d0a5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-619e3f8d3a23664e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-619e3f8d3a23664e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/baseline_comparison-1899670d095dafe8.d: examples/baseline_comparison.rs
+
+/root/repo/target/release/examples/baseline_comparison-1899670d095dafe8: examples/baseline_comparison.rs
+
+examples/baseline_comparison.rs:

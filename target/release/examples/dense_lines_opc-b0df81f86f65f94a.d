@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dense_lines_opc-b0df81f86f65f94a.d: examples/dense_lines_opc.rs
+
+/root/repo/target/release/examples/dense_lines_opc-b0df81f86f65f94a: examples/dense_lines_opc.rs
+
+examples/dense_lines_opc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mask_manufacturability-56f47a9ed890f5da.d: examples/mask_manufacturability.rs
+
+/root/repo/target/release/examples/mask_manufacturability-56f47a9ed890f5da: examples/mask_manufacturability.rs
+
+examples/mask_manufacturability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/process_window_study-700de6293b1e4130.d: examples/process_window_study.rs
+
+/root/repo/target/release/examples/process_window_study-700de6293b1e4130: examples/process_window_study.rs
+
+examples/process_window_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/psm_opc-b7ab1094bf5d7ae9.d: examples/psm_opc.rs
+
+/root/repo/target/release/examples/psm_opc-b7ab1094bf5d7ae9: examples/psm_opc.rs
+
+examples/psm_opc.rs:

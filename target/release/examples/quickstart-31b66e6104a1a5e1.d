@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-31b66e6104a1a5e1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-31b66e6104a1a5e1: examples/quickstart.rs
+
+examples/quickstart.rs:

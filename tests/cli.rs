@@ -86,15 +86,14 @@ fn run_then_eval_round_trip() {
     assert!(stdout.contains("mask rules"), "{stdout}");
 
     // The mask PGM decodes to the clip raster size.
-    let decoded = mosaic_eval::pgm::decode(&std::fs::read(&mask).expect("read mask"))
-        .expect("valid PGM");
+    let decoded =
+        mosaic_eval::pgm::decode(&std::fs::read(&mask).expect("read mask")).expect("valid PGM");
     assert_eq!(decoded.dims(), (128, 128));
 
     // The traced GLP parses and has mask polygons.
-    let traced = mosaic_geometry::glp::parse_clip(
-        &std::fs::read_to_string(&mask_glp).expect("read glp"),
-    )
-    .expect("parseable mask GLP");
+    let traced =
+        mosaic_geometry::glp::parse_clip(&std::fs::read_to_string(&mask_glp).expect("read glp"))
+            .expect("parseable mask GLP");
     assert!(!traced.shapes().is_empty());
 
     // eval on the written mask reproduces a score.
@@ -154,11 +153,80 @@ fn eval_rejects_mismatched_mask_size() {
 }
 
 #[test]
-fn flags_require_values() {
+fn unknown_flags_are_rejected_per_subcommand() {
+    // --clip is valid for `run` but not for `gen`.
     let out = mosaic_bin()
-        .args(["gen", "--bench"])
+        .args(["gen", "--clip", "x.glp"])
         .output()
         .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --clip for 'gen'"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+
+    let out = mosaic_bin()
+        .args(["batch", "--bench", "all", "--bogus", "1"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --bogus for 'batch'"), "{err}");
+}
+
+#[test]
+fn batch_runs_clips_and_writes_jsonl_report() {
+    let dir = temp_dir("batch");
+    let report = dir.join("report.jsonl");
+    let out = mosaic_bin()
+        .args([
+            "batch",
+            "--bench",
+            "B1,B2",
+            "--preset",
+            "fast",
+            "--grid",
+            "128",
+            "--pixel",
+            "8",
+            "--iterations",
+            "2",
+            "--jobs",
+            "2",
+            "--report",
+            report.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run mosaic batch");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("B1-fast"), "{stdout}");
+    assert!(stdout.contains("B2-fast"), "{stdout}");
+    assert!(stdout.contains("2 finished, 0 failed"), "{stdout}");
+
+    let text = std::fs::read_to_string(&report).expect("report written");
+    // batch_start + 2 × (job_start + 2 iterations + job_finish) + batch_finish
+    assert_eq!(text.lines().count(), 1 + 2 * 4 + 1);
+    for line in text.lines() {
+        assert!(line.starts_with("{\"event\":\""), "line: {line}");
+        assert!(line.ends_with('}'), "line: {line}");
+    }
+}
+
+#[test]
+fn batch_rejects_unknown_benchmark_list_entry() {
+    let out = mosaic_bin()
+        .args(["batch", "--bench", "B1,B99"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown benchmark 'B99'"), "{err}");
+}
+
+#[test]
+fn flags_require_values() {
+    let out = mosaic_bin().args(["gen", "--bench"]).output().expect("run");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("requires a value"), "{err}");

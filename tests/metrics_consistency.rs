@@ -19,8 +19,10 @@ fn problem(conditions: Vec<ProcessCondition>) -> OpcProblem {
 #[test]
 fn smooth_epe_count_tracks_hard_epe_count() {
     let p = problem(ProcessCondition::nominal_only());
-    let mut cfg = OptimizationConfig::default();
-    cfg.target_term = TargetTerm::EdgePlacement;
+    let cfg = OptimizationConfig {
+        target_term: TargetTerm::EdgePlacement,
+        ..OptimizationConfig::default()
+    };
     let objective = Objective::new(&p, &cfg);
     let evaluator = Evaluator::new(p.layout(), p.grid_dims(), p.pixel_nm(), 40, 15.0);
 
@@ -28,10 +30,10 @@ fn smooth_epe_count_tracks_hard_epe_count() {
     let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
     let eval = objective.evaluate(&state);
     let smooth = eval.report.target / cfg.alpha;
-    let print = p.simulator().printed(&p.simulator().aerial_image(p.target(), 0));
-    let hard = evaluator
-        .evaluate(&[print], 0.0)
-        .epe_violations as f64;
+    let print = p
+        .simulator()
+        .printed(&p.simulator().aerial_image(p.target(), 0));
+    let hard = evaluator.evaluate(&[print], 0.0).epe_violations as f64;
     // The sigmoid-smoothed count must be within a few units of the hard
     // count (it interpolates across the threshold).
     assert!(

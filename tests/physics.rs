@@ -28,10 +28,7 @@ fn problem(conditions: Vec<ProcessCondition>) -> OpcProblem {
 }
 
 fn edge_probes(p: &OpcProblem) -> Vec<(usize, usize, (i64, i64))> {
-    p.samples()
-        .iter()
-        .map(|s| (s.x, s.y, s.normal))
-        .collect()
+    p.samples().iter().map(|s| (s.x, s.y, s.normal)).collect()
 }
 
 #[test]
@@ -103,7 +100,9 @@ fn narrow_line_needs_opc_and_sraf_bars_do_not_print() {
     let decorated = rules.apply(wide.layout());
     assert!(decorated.shapes().len() > wide.layout().shapes().len());
     let mask = decorated.rasterize(4).embed_centered(256, 256);
-    let print = wide.simulator().printed(&wide.simulator().aerial_image(&mask, 0));
+    let print = wide
+        .simulator()
+        .printed(&wide.simulator().aerial_image(&mask, 0));
     let check = ShapeCheck::check(&print, wide.target());
     assert_eq!(check.spurious, 0, "an SRAF printed: {check:?}");
     assert_eq!(check.missing, 0, "main feature vanished: {check:?}");

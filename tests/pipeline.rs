@@ -157,8 +157,7 @@ fn pv_band_shrinks_or_holds_with_beta() {
         let mosaic = Mosaic::new(&layout, config).expect("setup");
         let problem = mosaic.problem();
         let result = mosaic.run_fast();
-        let evaluator =
-            Evaluator::new(&layout, problem.grid_dims(), problem.pixel_nm(), 40, 15.0);
+        let evaluator = Evaluator::new(&layout, problem.grid_dims(), problem.pixel_nm(), 40, 15.0);
         evaluator
             .evaluate_mask(problem.simulator(), &result.binary_mask, 0.0)
             .pvband_nm2

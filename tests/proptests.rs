@@ -1,64 +1,84 @@
-//! Cross-crate property-based tests.
+//! Cross-crate property-style tests.
+//!
+//! Formerly written with `proptest`; now seeded deterministic loops over
+//! the same generators so the workspace builds with no external
+//! dependencies.
 
 use mosaic_suite::prelude::*;
-use proptest::prelude::*;
 
-/// A random rectangle comfortably inside a 256 nm clip.
-fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (8i64..120, 8i64..120, 30i64..100, 30i64..100)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, (x + w).min(248), (y + h).min(248)))
+/// A random rectangle comfortably inside a 256 nm clip (the old
+/// `rect_strategy`).
+fn random_rect(rng: &mut Rng64) -> Rect {
+    let x = rng.range_i64(8, 120);
+    let y = rng.range_i64(8, 120);
+    let w = rng.range_i64(30, 100);
+    let h = rng.range_i64(30, 100);
+    Rect::new(x, y, (x + w).min(248), (y + h).min(248))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Rasterization at 1 nm reproduces the geometric area exactly, and
-    /// contains_f agrees with the raster at pixel centers.
-    #[test]
-    fn raster_matches_geometry(rect in rect_strategy()) {
+/// Rasterization at 1 nm reproduces the geometric area exactly, and
+/// contains_f agrees with the raster at pixel centers.
+#[test]
+fn raster_matches_geometry() {
+    let mut rng = Rng64::new(0x51_0001);
+    for _ in 0..32 {
+        let rect = random_rect(&mut rng);
         let mut layout = Layout::new(256, 256);
         layout.push(Polygon::from_rect(rect));
         let grid = layout.rasterize(1);
         let lit = grid.iter().filter(|&&v| v > 0.5).count() as i64;
-        prop_assert_eq!(lit, rect.area());
+        assert_eq!(lit, rect.area());
         for &(px, py) in &[(rect.x0, rect.y0), (rect.center().x, rect.center().y)] {
             let in_raster = grid[(px as usize, py as usize)] > 0.5;
             let in_geometry = layout.contains_f(px as f64 + 0.5, py as f64 + 0.5);
-            prop_assert_eq!(in_raster, in_geometry);
+            assert_eq!(in_raster, in_geometry);
         }
     }
+}
 
-    /// Every EPE sample's interior pixel is lit and exterior pixel dark
-    /// on the 1 nm raster, for arbitrary rectangles.
-    #[test]
-    fn epe_samples_straddle_the_edge(rect in rect_strategy()) {
+/// Every EPE sample's interior pixel is lit and exterior pixel dark
+/// on the 1 nm raster, for arbitrary rectangles.
+#[test]
+fn epe_samples_straddle_the_edge() {
+    let mut rng = Rng64::new(0x51_0002);
+    for _ in 0..32 {
+        let rect = random_rect(&mut rng);
         let mut layout = Layout::new(256, 256);
         layout.push(Polygon::from_rect(rect));
         let grid = layout.rasterize(1);
         for s in layout.epe_samples(40).iter() {
             let (ix, iy) = s.interior_pixel(1.0);
             let (ox, oy) = s.exterior_pixel(1.0);
-            prop_assert_eq!(grid[(ix as usize, iy as usize)], 1.0);
-            prop_assert_eq!(grid[(ox as usize, oy as usize)], 0.0);
+            assert_eq!(grid[(ix as usize, iy as usize)], 1.0);
+            assert_eq!(grid[(ox as usize, oy as usize)], 0.0);
         }
     }
+}
 
-    /// A print identical to the target always scores zero EPE/PVB/shape.
-    #[test]
-    fn self_print_is_perfect(rect in rect_strategy()) {
+/// A print identical to the target always scores zero EPE/PVB/shape.
+#[test]
+fn self_print_is_perfect() {
+    let mut rng = Rng64::new(0x51_0003);
+    for _ in 0..32 {
+        let rect = random_rect(&mut rng);
         let mut layout = Layout::new(256, 256);
         layout.push(Polygon::from_rect(rect));
         let eval = Evaluator::new(&layout, (256, 256), 1.0, 40, 15.0);
         let report = eval.evaluate(&[eval.target().clone()], 0.0);
-        prop_assert_eq!(report.epe_violations, 0);
-        prop_assert_eq!(report.pvband_nm2, 0.0);
-        prop_assert_eq!(report.shape_violations, 0);
+        assert_eq!(report.epe_violations, 0);
+        assert_eq!(report.pvband_nm2, 0.0);
+        assert_eq!(report.shape_violations, 0);
     }
+}
 
-    /// The PV band never exceeds the union of prints and is empty for a
-    /// single condition.
-    #[test]
-    fn pv_band_bounds(rect in rect_strategy(), grow in 1i64..8) {
+/// The PV band never exceeds the union of prints and is empty for a
+/// single condition.
+#[test]
+fn pv_band_bounds() {
+    let mut rng = Rng64::new(0x51_0004);
+    for _ in 0..32 {
+        let rect = random_rect(&mut rng);
+        let grow = rng.range_i64(1, 8);
         let print = |r: Rect| {
             let mut l = Layout::new(256, 256);
             l.push(Polygon::from_rect(r));
@@ -72,20 +92,26 @@ proptest! {
             (rect.y1 + grow).min(256),
         ));
         let single = PvBand::measure(std::slice::from_ref(&a), 1.0);
-        prop_assert_eq!(single.area_px(), 0);
+        assert_eq!(single.area_px(), 0);
         let band = PvBand::measure(&[a.clone(), b.clone()], 1.0);
         let union_minus_intersection = a
             .iter()
             .zip(b.iter())
             .filter(|(x, y)| (**x > 0.5) != (**y > 0.5))
             .count();
-        prop_assert_eq!(band.area_px(), union_minus_intersection);
+        assert_eq!(band.area_px(), union_minus_intersection);
     }
+}
 
-    /// Dilation is extensive (output ⊇ input) and monotone in radius.
-    #[test]
-    fn dilation_properties(rect in rect_strategy(), r1 in 0usize..4, r2 in 0usize..4) {
+/// Dilation is extensive (output ⊇ input) and monotone in radius.
+#[test]
+fn dilation_properties() {
+    let mut rng = Rng64::new(0x51_0005);
+    for _ in 0..32 {
         use mosaic_suite::baselines::rule_opc::dilate;
+        let rect = random_rect(&mut rng);
+        let r1 = rng.range_usize(0, 4);
+        let r2 = rng.range_usize(0, 4);
         let mut layout = Layout::new(256, 256);
         layout.push(Polygon::from_rect(rect));
         let grid = layout.rasterize(4);
@@ -93,35 +119,52 @@ proptest! {
         let ds = dilate(&grid, small);
         let db = dilate(&grid, big);
         for ((&orig, &s), &b) in grid.iter().zip(ds.iter()).zip(db.iter()) {
-            prop_assert!(s >= orig);
-            prop_assert!(b >= s);
+            assert!(s >= orig);
+            assert!(b >= s);
         }
     }
+}
 
-    /// PGM encoding round-trips arbitrary grids to 8-bit precision.
-    #[test]
-    fn pgm_round_trip(values in proptest::collection::vec(0.0f64..1.0, 64)) {
+/// PGM encoding round-trips arbitrary grids to 8-bit precision.
+#[test]
+fn pgm_round_trip() {
+    let mut rng = Rng64::new(0x51_0006);
+    for _ in 0..32 {
+        let values: Vec<f64> = (0..64).map(|_| rng.next_f64()).collect();
         let grid = mosaic_suite::numerics::Grid::from_vec(8, 8, values).expect("8x8");
         let decoded = pgm::decode(&pgm::encode(&grid, 0.0, 1.0)).expect("decode");
         for (a, b) in decoded.iter().zip(grid.iter()) {
-            prop_assert!((a - b).abs() <= 0.5 / 255.0 + 1e-9);
+            assert!((a - b).abs() <= 0.5 / 255.0 + 1e-9);
         }
     }
+}
 
-    /// The contest score is monotone in each component.
-    #[test]
-    fn score_is_monotone(rt in 0.0f64..100.0, pvb in 0.0f64..1e5, epe in 0usize..50, shape in 0usize..5) {
+/// The contest score is monotone in each component.
+#[test]
+fn score_is_monotone() {
+    let mut rng = Rng64::new(0x51_0007);
+    for _ in 0..32 {
+        let rt = rng.range_f64(0.0, 100.0);
+        let pvb = rng.range_f64(0.0, 1e5);
+        let epe = rng.range_usize(0, 50);
+        let shape = rng.range_usize(0, 5);
         let base = Score::contest(rt, pvb, epe, shape).total();
-        prop_assert!(Score::contest(rt + 1.0, pvb, epe, shape).total() > base);
-        prop_assert!(Score::contest(rt, pvb + 1.0, epe, shape).total() > base);
-        prop_assert!(Score::contest(rt, pvb, epe + 1, shape).total() > base);
-        prop_assert!(Score::contest(rt, pvb, epe, shape + 1).total() > base);
+        assert!(Score::contest(rt + 1.0, pvb, epe, shape).total() > base);
+        assert!(Score::contest(rt, pvb + 1.0, epe, shape).total() > base);
+        assert!(Score::contest(rt, pvb, epe + 1, shape).total() > base);
+        assert!(Score::contest(rt, pvb, epe, shape + 1).total() > base);
     }
+}
 
-    /// Contour tracing round-trips arbitrary disjoint-rectangle masks
-    /// exactly: polygons -> raster -> polygons -> raster is the identity.
-    #[test]
-    fn contour_round_trip(a in rect_strategy(), dx in 130i64..180, dy in 130i64..180) {
+/// Contour tracing round-trips arbitrary disjoint-rectangle masks
+/// exactly: polygons -> raster -> polygons -> raster is the identity.
+#[test]
+fn contour_round_trip() {
+    let mut rng = Rng64::new(0x51_0008);
+    for _ in 0..32 {
+        let a = random_rect(&mut rng);
+        let dx = rng.range_i64(130, 180);
+        let dy = rng.range_i64(130, 180);
         let mut layout = Layout::new(512, 512);
         layout.push(Polygon::from_rect(a));
         // Second rectangle displaced far enough to stay disjoint.
@@ -129,34 +172,37 @@ proptest! {
         layout.push(Polygon::from_rect(b));
         let raster = layout.rasterize(1);
         let traced = contour::grid_to_layout(&raster, 1);
-        prop_assert_eq!(traced.shapes().len(), 2);
-        prop_assert_eq!(traced.rasterize(1), raster);
-        prop_assert_eq!(traced.pattern_area(), layout.pattern_area());
+        assert_eq!(traced.shapes().len(), 2);
+        assert_eq!(traced.rasterize(1), raster);
+        assert_eq!(traced.pattern_area(), layout.pattern_area());
     }
+}
 
-    /// A clean target layout passes the contest MRC at 1 nm pixels
-    /// (features are far above mask-shop minimums).
-    #[test]
-    fn targets_pass_contest_mrc(rect in rect_strategy()) {
+/// A clean target layout passes the contest MRC at 1 nm pixels
+/// (features are far above mask-shop minimums).
+#[test]
+fn targets_pass_contest_mrc() {
+    let mut rng = Rng64::new(0x51_0009);
+    for _ in 0..32 {
+        let rect = random_rect(&mut rng);
         let mut layout = Layout::new(256, 256);
         layout.push(Polygon::from_rect(rect));
         let mask = layout.rasterize(1);
         let report = mrc::check(&mask, MrcRules::contest(1.0));
-        prop_assert_eq!(report.width_violations, 0);
-        prop_assert_eq!(report.space_violations, 0);
+        assert_eq!(report.width_violations, 0);
+        assert_eq!(report.space_violations, 0);
     }
+}
 
-    /// Mask sigmoid round-trip: binarizing the seeded state recovers any
-    /// binary mask.
-    #[test]
-    fn mask_seed_round_trip(bits in proptest::collection::vec(0u8..2, 36)) {
-        let m0 = mosaic_suite::numerics::Grid::from_vec(
-            6,
-            6,
-            bits.iter().map(|&b| b as f64).collect(),
-        )
-        .expect("6x6");
+/// Mask sigmoid round-trip: binarizing the seeded state recovers any
+/// binary mask.
+#[test]
+fn mask_seed_round_trip() {
+    let mut rng = Rng64::new(0x51_000A);
+    for _ in 0..32 {
+        let bits: Vec<f64> = (0..36).map(|_| f64::from(rng.chance(0.5))).collect();
+        let m0 = mosaic_suite::numerics::Grid::from_vec(6, 6, bits).expect("6x6");
         let state = MaskState::from_mask(&m0, 4.0);
-        prop_assert_eq!(state.binary(), m0);
+        assert_eq!(state.binary(), m0);
     }
 }
