@@ -54,7 +54,9 @@ impl OpcBaseline for IltBaseline {
             }
             None => problem.target().clone(),
         };
-        optimizer::optimize(problem, &cfg, &initial).binary_mask
+        optimizer::optimize(problem, &cfg, &initial)
+            .expect("baseline optimization")
+            .binary_mask
     }
 }
 

@@ -22,7 +22,7 @@ fn report<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
 
 fn setup() -> (Convolver, KernelSet, Grid<f64>) {
     let config = OpticsConfig::contest_32nm(N, 4.0);
-    let bank = KernelSet::build(&config, ProcessCondition::NOMINAL);
+    let bank = KernelSet::build(&config, ProcessCondition::NOMINAL).expect("kernel bank builds");
     let conv = Convolver::new(N, N);
     let mask = Grid::from_fn(N, N, |x, y| {
         if (96..160).contains(&x) && (64..192).contains(&y) {

@@ -69,7 +69,7 @@ fn main() {
             gradient_mode: mode,
             ..OptimizationConfig::default()
         };
-        let objective = Objective::new(&p, &cfg);
+        let objective = Objective::new(&p, &cfg).unwrap();
         let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
         report(&format!("gradient_step_128_24k_3cond/{name}"), 10, || {
             objective.evaluate(&state)

@@ -28,8 +28,9 @@ fn main() {
                 config.sraf = None;
             }
             config.opt.jump_enabled = jump;
-            let mosaic = Mosaic::new(&bench.layout(), config).expect("contest setup");
-            let result = mosaic.run(MosaicMode::Exact);
+            let layout = bench.layout().expect("benchmark clip builds");
+            let mosaic = Mosaic::new(&layout, config).expect("contest setup");
+            let result = mosaic.run(MosaicMode::Exact).expect("optimization");
             let problem = contest_problem(bench, scale);
             let evaluator = contest_evaluator(bench, scale);
             let report = evaluator.evaluate_mask(problem.simulator(), &result.binary_mask, 0.0);

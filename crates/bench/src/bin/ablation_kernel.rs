@@ -30,9 +30,10 @@ fn main() {
             eprintln!("A1: {bench} with {name}...");
             let mut config = contest_config(scale);
             config.opt.gradient_mode = mode;
-            let mosaic = Mosaic::new(&bench.layout(), config).expect("contest setup");
+            let layout = bench.layout().expect("benchmark clip builds");
+            let mosaic = Mosaic::new(&layout, config).expect("contest setup");
             let start = Instant::now();
-            let result = mosaic.run(MosaicMode::Fast);
+            let result = mosaic.run(MosaicMode::Fast).expect("optimization");
             let runtime = start.elapsed().as_secs_f64();
             let problem = contest_problem(bench, scale);
             let evaluator = contest_evaluator(bench, scale);

@@ -30,9 +30,10 @@ fn main() {
             let mut config = contest_config(scale);
             config.opt.line_search = line_search;
             config.opt.jump_enabled = jump;
-            let mosaic = Mosaic::new(&bench.layout(), config).expect("contest setup");
+            let layout = bench.layout().expect("benchmark clip builds");
+            let mosaic = Mosaic::new(&layout, config).expect("contest setup");
             let start = Instant::now();
-            let result = mosaic.run(MosaicMode::Fast);
+            let result = mosaic.run(MosaicMode::Fast).expect("optimization");
             let runtime = start.elapsed().as_secs_f64();
             let problem = contest_problem(bench, scale);
             let evaluator = contest_evaluator(bench, scale);

@@ -25,8 +25,9 @@ fn main() {
         eprintln!("A4: {bench} with beta = {beta} (alpha = 5000)...");
         let mut config = contest_config(scale);
         config.opt.beta = beta;
-        let mosaic = Mosaic::new(&bench.layout(), config).expect("contest setup");
-        let result = mosaic.run(MosaicMode::Fast);
+        let layout = bench.layout().expect("benchmark clip builds");
+        let mosaic = Mosaic::new(&layout, config).expect("contest setup");
+        let result = mosaic.run(MosaicMode::Fast).expect("optimization");
         let problem = contest_problem(bench, scale);
         let evaluator = contest_evaluator(bench, scale);
         let report = evaluator.evaluate_mask(problem.simulator(), &result.binary_mask, 0.0);

@@ -19,10 +19,10 @@ fn main() {
     std::fs::create_dir_all(out_dir).expect("create results/fig5");
     for bench in [BenchmarkId::B4, BenchmarkId::B6] {
         eprintln!("fig5: optimizing {bench} with MOSAIC_exact...");
-        let layout = bench.layout();
+        let layout = bench.layout().expect("benchmark clip builds");
         let config = contest_config(scale);
         let mosaic = Mosaic::new(&layout, config).expect("contest setup");
-        let result = mosaic.run(MosaicMode::Exact);
+        let result = mosaic.run(MosaicMode::Exact).expect("optimization");
         let problem = contest_problem(bench, scale);
         let sim = problem.simulator();
         let prints = sim.printed_all_conditions(&result.binary_mask);

@@ -14,11 +14,11 @@ fn main() {
     let scale = Scale::from_args();
     for bench in [BenchmarkId::B4, BenchmarkId::B6] {
         eprintln!("fig6: tracing convergence on {bench}...");
-        let layout = bench.layout();
+        let layout = bench.layout().expect("benchmark clip builds");
         let mut config = contest_config(scale);
         config.opt.record_iterates = true;
         let mosaic = Mosaic::new(&layout, config).expect("contest setup");
-        let result = mosaic.run(MosaicMode::Exact);
+        let result = mosaic.run(MosaicMode::Exact).expect("optimization");
         let problem = contest_problem(bench, scale);
         let evaluator = contest_evaluator(bench, scale);
 

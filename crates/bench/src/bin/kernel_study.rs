@@ -23,7 +23,8 @@ fn main() {
     let mut config = OpticsConfig::contest_32nm(grid, pixel);
     config.kernel_count = 32;
     eprintln!("building TCC ({}px grid @ {}nm)...", grid, pixel);
-    let decomposition = tcc::decompose(&config, ProcessCondition::NOMINAL, 96);
+    let decomposition =
+        tcc::decompose(&config, ProcessCondition::NOMINAL, 96).expect("TCC decomposition");
     eprintln!(
         "TCC support: {} frequency samples, {} eigenvalues",
         decomposition.support_size,
@@ -33,10 +34,12 @@ fn main() {
     // Dense Abbe reference.
     let mut dense_cfg = config.clone();
     dense_cfg.kernel_count = 96;
-    let reference = KernelSet::build(&dense_cfg, ProcessCondition::NOMINAL);
+    let reference =
+        KernelSet::build(&dense_cfg, ProcessCondition::NOMINAL).expect("kernel bank builds");
     let conv = Convolver::new(grid, grid);
     let mask = BenchmarkId::B1
         .layout()
+        .expect("benchmark clip builds")
         .rasterize(pixel as i64)
         .embed_centered(grid, grid);
     let spectrum = conv.forward_real(&mask);
@@ -62,7 +65,8 @@ fn main() {
     for h in [1usize, 2, 4, 8, 12, 16, 20, 24, 28, 32] {
         let mut cfg_h = config.clone();
         cfg_h.kernel_count = h;
-        let rank_h = tcc::decompose(&cfg_h, ProcessCondition::NOMINAL, 96);
+        let rank_h =
+            tcc::decompose(&cfg_h, ProcessCondition::NOMINAL, 96).expect("TCC decomposition");
         rows.push(vec![
             h.to_string(),
             format!("{:.4}", decomposition.energy_captured(h)),

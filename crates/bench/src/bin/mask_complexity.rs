@@ -29,7 +29,7 @@ fn main() {
     for bench in [BenchmarkId::B1, BenchmarkId::B4] {
         let problem = contest_problem(bench, scale);
         // Reference row: the target itself.
-        let target_layout = bench.layout();
+        let target_layout = bench.layout().expect("benchmark clip builds");
         rows.push(vec![
             bench.name().to_string(),
             "target (no OPC)".to_string(),
@@ -42,7 +42,8 @@ fn main() {
             eprintln!("complexity: {} on {bench}...", method.label());
             let (mask, _rt) = synthesize(method, bench, scale);
             let clip_mask = problem.crop_to_clip(&mask);
-            let traced = contour::grid_to_layout(&clip_mask, scale.pixel_nm.round() as i64);
+            let traced = contour::grid_to_layout(&clip_mask, scale.pixel_nm.round() as i64)
+                .expect("mask contour extraction");
             let report = mrc::check(&mask, MrcRules::contest(scale.pixel_nm));
             rows.push(vec![
                 bench.name().to_string(),

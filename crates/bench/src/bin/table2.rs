@@ -59,7 +59,13 @@ fn main() {
     for &bench in &benches {
         let mut row = vec![
             bench.name().to_string(),
-            format!("{}", bench.layout().pattern_area()),
+            format!(
+                "{}",
+                bench
+                    .layout()
+                    .expect("benchmark clip builds")
+                    .pattern_area()
+            ),
         ];
         for (mi, m) in Method::all().into_iter().enumerate() {
             let r = results

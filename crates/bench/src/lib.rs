@@ -158,7 +158,7 @@ pub fn contest_config(scale: Scale) -> MosaicConfig {
 /// Panics if the clip cannot be assembled (cannot happen for the built-in
 /// benchmarks at the built-in scales).
 pub fn contest_problem(bench: BenchmarkId, scale: Scale) -> OpcProblem {
-    let layout = bench.layout();
+    let layout = bench.layout().expect("benchmark clip builds");
     let config = contest_config(scale);
     OpcProblem::from_layout(
         &layout,
@@ -173,7 +173,7 @@ pub fn contest_problem(bench: BenchmarkId, scale: Scale) -> OpcProblem {
 /// Builds the matching contest evaluator.
 pub fn contest_evaluator(bench: BenchmarkId, scale: Scale) -> Evaluator {
     Evaluator::new(
-        &bench.layout(),
+        &bench.layout().expect("benchmark clip builds"),
         (scale.grid, scale.grid),
         scale.pixel_nm,
         40,
@@ -204,7 +204,7 @@ pub fn synthesize(method: Method, bench: BenchmarkId, scale: Scale) -> (Grid<f64
             RuleOpc::default().generate(&problem)
         }
         Method::MosaicFast | Method::MosaicExact => {
-            let layout = bench.layout();
+            let layout = bench.layout().expect("benchmark clip builds");
             let config = contest_config(scale);
             let mosaic = Mosaic::new(&layout, config).expect("contest setup is valid");
             let mode = if method == Method::MosaicFast {
@@ -212,7 +212,7 @@ pub fn synthesize(method: Method, bench: BenchmarkId, scale: Scale) -> (Grid<f64
             } else {
                 MosaicMode::Exact
             };
-            mosaic.run(mode).binary_mask
+            mosaic.run(mode).expect("optimization").binary_mask
         }
     };
     (mask, start.elapsed().as_secs_f64())

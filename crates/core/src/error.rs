@@ -1,7 +1,78 @@
-//! Error type for MOSAIC problem construction.
+//! Error types for MOSAIC problem construction and optimization.
 
 use std::error::Error;
 use std::fmt;
+
+/// Errors from the gradient-descent driver (Alg. 1).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimizerError {
+    /// The optimization configuration failed
+    /// [`validate`](crate::optimizer::OptimizationConfig::validate); the
+    /// message names the offending field.
+    InvalidConfig(String),
+    /// The starting mask / checkpoint variables do not match the
+    /// problem's simulation grid.
+    ShapeMismatch {
+        /// The problem's grid shape.
+        expected: (usize, usize),
+        /// The shape that was supplied.
+        got: (usize, usize),
+    },
+    /// A checkpoint claims at least `max_iterations` finished
+    /// iterations — there is nothing left to resume.
+    CheckpointExhausted {
+        /// Iterations the checkpoint has completed.
+        iterations_done: usize,
+        /// The configured iteration cap.
+        max_iterations: usize,
+    },
+    /// The objective or gradient went non-finite and the guard's
+    /// recovery budget could not restore a finite trajectory.
+    Diverged {
+        /// Iteration at which the final non-finite evaluation occurred.
+        iteration: usize,
+        /// Last finite objective value seen (NaN when the very first
+        /// evaluation was already non-finite).
+        last_finite_loss: f64,
+        /// Recovery attempts consumed before giving up.
+        recoveries: usize,
+    },
+}
+
+impl fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerError::InvalidConfig(msg) => {
+                write!(f, "invalid optimization configuration: {msg}")
+            }
+            OptimizerError::ShapeMismatch { expected, got } => write!(
+                f,
+                "shape mismatch: problem grid is {}x{} but got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            OptimizerError::CheckpointExhausted {
+                iterations_done,
+                max_iterations,
+            } => write!(
+                f,
+                "checkpoint already has {iterations_done} iterations done \
+                 (cap {max_iterations}); nothing to resume"
+            ),
+            OptimizerError::Diverged {
+                iteration,
+                last_finite_loss,
+                recoveries,
+            } => write!(
+                f,
+                "optimization diverged at iteration {iteration} after \
+                 {recoveries} recovery attempts (last finite loss {last_finite_loss})"
+            ),
+        }
+    }
+}
+
+impl Error for OptimizerError {}
 
 /// Errors from assembling or running an OPC problem.
 #[derive(Debug)]
@@ -18,6 +89,8 @@ pub enum CoreError {
     Optics(mosaic_optics::OpticsError),
     /// A configuration value was out of range.
     InvalidConfig(String),
+    /// The optimizer rejected its inputs or diverged beyond recovery.
+    Optimizer(OptimizerError),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +103,7 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Optics(e) => write!(f, "optics: {e}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Optimizer(e) => write!(f, "optimizer: {e}"),
         }
     }
 }
@@ -38,6 +112,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Optics(e) => Some(e),
+            CoreError::Optimizer(e) => Some(e),
             _ => None,
         }
     }
@@ -46,6 +121,12 @@ impl Error for CoreError {
 impl From<mosaic_optics::OpticsError> for CoreError {
     fn from(e: mosaic_optics::OpticsError) -> Self {
         CoreError::Optics(e)
+    }
+}
+
+impl From<OptimizerError> for CoreError {
+    fn from(e: OptimizerError) -> Self {
+        CoreError::Optimizer(e)
     }
 }
 
@@ -69,5 +150,25 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CoreError>();
+        assert_send_sync::<OptimizerError>();
+    }
+
+    #[test]
+    fn optimizer_error_display() {
+        let e = OptimizerError::Diverged {
+            iteration: 5,
+            last_finite_loss: 42.0,
+            recoveries: 3,
+        };
+        assert!(e.to_string().contains("diverged at iteration 5"));
+        assert!(e.to_string().contains("42"));
+        let e = OptimizerError::ShapeMismatch {
+            expected: (128, 128),
+            got: (32, 32),
+        };
+        assert!(e.to_string().contains("128x128"));
+        let wrapped = CoreError::from(OptimizerError::InvalidConfig("gamma".into()));
+        assert!(wrapped.to_string().contains("optimizer:"));
+        assert!(Error::source(&wrapped).is_some());
     }
 }

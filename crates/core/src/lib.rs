@@ -46,7 +46,7 @@
 //! layout.push(Polygon::from_rect(Rect::new(200, 120, 310, 390)));
 //! let config = MosaicConfig::fast_preset(128, 4.0);
 //! let mosaic = Mosaic::new(&layout, config)?;
-//! let result = mosaic.run_fast();
+//! let result = mosaic.run_fast()?;
 //! assert!(!result.history.is_empty());
 //! // The optimized mask deviates from the target: OPC did something.
 //! # Ok::<(), mosaic_core::CoreError>(())
@@ -64,7 +64,7 @@ pub mod problem;
 pub mod psm;
 pub mod sraf;
 
-pub use error::CoreError;
+pub use error::{CoreError, OptimizerError};
 pub use mask::MaskState;
 pub use mosaic::{Mosaic, MosaicConfig, MosaicMode};
 pub use objective::{GradientMode, ObjectiveReport, TargetTerm};
@@ -78,7 +78,7 @@ pub use sraf::SrafRules;
 
 /// The types almost every user of this crate needs.
 pub mod prelude {
-    pub use crate::error::CoreError;
+    pub use crate::error::{CoreError, OptimizerError};
     pub use crate::mask::MaskState;
     pub use crate::mosaic::{Mosaic, MosaicConfig, MosaicMode};
     pub use crate::objective::{GradientMode, ObjectiveReport, TargetTerm};

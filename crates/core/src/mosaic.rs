@@ -1,6 +1,6 @@
 //! High-level MOSAIC driver: layout in, optimized mask out.
 
-use crate::error::CoreError;
+use crate::error::{CoreError, OptimizerError};
 use crate::objective::TargetTerm;
 use crate::optimizer::{
     optimize_with, IterationControl, IterationView, OptimizationConfig, OptimizationResult,
@@ -75,12 +75,11 @@ impl MosaicConfig {
     /// A reduced preset for tests, examples and docs: 8 kernels, a
     /// 3-condition window, 8 iterations. Same physics, ~10× cheaper.
     pub fn fast_preset(grid: usize, pixel_nm: f64) -> Self {
-        let optics = OpticsConfig::builder()
-            .grid(grid, grid)
-            .pixel_nm(pixel_nm)
-            .kernel_count(8)
-            .build()
-            .expect("preset optics are valid");
+        // Contest optics with a reduced kernel count; skips the builder so
+        // the preset is infallible (the lint gate bans expect in library
+        // code).
+        let mut optics = OpticsConfig::contest_32nm(grid, pixel_nm);
+        optics.kernel_count = 8;
         let opt = OptimizationConfig {
             max_iterations: 8,
             ..OptimizationConfig::default()
@@ -127,7 +126,7 @@ impl Mosaic {
             &config.optics,
             config.resist,
             config.conditions.clone(),
-        ));
+        )?);
         Self::with_simulator(layout, config, sim)
     }
 
@@ -191,7 +190,13 @@ impl Mosaic {
     }
 
     /// Runs the selected MOSAIC variant.
-    pub fn run(&self, mode: MosaicMode) -> OptimizationResult {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizerError`] — in practice only
+    /// [`OptimizerError::Diverged`], since construction already
+    /// validated the configuration and shapes.
+    pub fn run(&self, mode: MosaicMode) -> Result<OptimizationResult, OptimizerError> {
         self.run_with(mode, &mut |_| IterationControl::Continue)
     }
 
@@ -199,11 +204,15 @@ impl Mosaic {
     /// runtime's entry point for progress events, checkpointing and
     /// cooperative cancellation (see
     /// [`optimize_with`](crate::optimizer::optimize_with)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizerError`] (see [`Mosaic::run`]).
     pub fn run_with(
         &self,
         mode: MosaicMode,
         hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-    ) -> OptimizationResult {
+    ) -> Result<OptimizationResult, OptimizerError> {
         let cfg = self.config_for(mode);
         optimize_with(
             &self.problem,
@@ -215,12 +224,19 @@ impl Mosaic {
 
     /// Resumes the selected variant from a checkpoint captured by an
     /// earlier (interrupted) run, continuing the identical trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizerError`], including
+    /// [`OptimizerError::CheckpointExhausted`] for a checkpoint with no
+    /// iterations left and [`OptimizerError::ShapeMismatch`] for one
+    /// from a different grid.
     pub fn resume_with(
         &self,
         mode: MosaicMode,
         checkpoint: OptimizerCheckpoint,
         hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-    ) -> OptimizationResult {
+    ) -> Result<OptimizationResult, OptimizerError> {
         let cfg = self.config_for(mode);
         optimize_with(
             &self.problem,
@@ -231,12 +247,20 @@ impl Mosaic {
     }
 
     /// Runs MOSAIC_fast (Eq. (20)).
-    pub fn run_fast(&self) -> OptimizationResult {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizerError`] (see [`Mosaic::run`]).
+    pub fn run_fast(&self) -> Result<OptimizationResult, OptimizerError> {
         self.run(MosaicMode::Fast)
     }
 
     /// Runs MOSAIC_exact (Eq. (19)).
-    pub fn run_exact(&self) -> OptimizationResult {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizerError`] (see [`Mosaic::run`]).
+    pub fn run_exact(&self) -> Result<OptimizationResult, OptimizerError> {
         self.run(MosaicMode::Exact)
     }
 }
@@ -281,7 +305,7 @@ mod tests {
     fn fast_and_exact_both_improve_objective() {
         let m = mosaic();
         for mode in [MosaicMode::Fast, MosaicMode::Exact] {
-            let r = m.run(mode);
+            let r = m.run(mode).unwrap();
             let first = r.history.first().unwrap().report.total;
             assert!(
                 r.best_report().total <= first,
@@ -294,8 +318,8 @@ mod tests {
     #[test]
     fn run_is_deterministic() {
         let m = mosaic();
-        let a = m.run_fast();
-        let b = m.run_fast();
+        let a = m.run_fast().unwrap();
+        let b = m.run_fast().unwrap();
         assert_eq!(a.binary_mask, b.binary_mask);
         assert_eq!(a.best_iteration, b.best_iteration);
     }

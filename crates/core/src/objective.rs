@@ -32,6 +32,7 @@
 //! * **F_pvb** (Eq. (18)) — `Σ_corners Σ (Z_c − Z_t)²`, pulling every
 //!   corner's printed edge toward the target to shrink the PV band.
 
+use crate::error::OptimizerError;
 use crate::mask::MaskState;
 use crate::optimizer::OptimizationConfig;
 use crate::problem::OpcProblem;
@@ -97,26 +98,28 @@ pub struct Objective<'a> {
 impl<'a> Objective<'a> {
     /// Binds an evaluator to a problem and configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails
+    /// Returns [`OptimizerError::InvalidConfig`] if the configuration
+    /// fails
     /// [`OptimizationConfig::validate`](crate::optimizer::OptimizationConfig::validate).
-    pub fn new(problem: &'a OpcProblem, config: &'a OptimizationConfig) -> Self {
-        config
-            .validate()
-            .expect("invalid optimization configuration");
+    pub fn new(
+        problem: &'a OpcProblem,
+        config: &'a OptimizationConfig,
+    ) -> Result<Self, OptimizerError> {
+        config.validate().map_err(OptimizerError::InvalidConfig)?;
         let sim = problem.simulator();
         let combined = (0..sim.condition_count())
             .map(|i| sim.bank(i).combined())
             .collect();
         let epe_threshold_px =
             ((config.epe_threshold_nm / problem.pixel_nm()).round() as usize).max(1);
-        Objective {
+        Ok(Objective {
             problem,
             config,
             combined,
             epe_threshold_px,
-        }
+        })
     }
 
     /// The EPE window half-width in pixels.
@@ -362,7 +365,7 @@ mod tests {
     fn check_gradient(term: TargetTerm, mode: GradientMode, conditions: Vec<ProcessCondition>) {
         let p = problem(conditions);
         let cfg = config(term, mode);
-        let obj = Objective::new(&p, &cfg);
+        let obj = Objective::new(&p, &cfg).unwrap();
         let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
         let eval = obj.evaluate(&state);
         // Probe pixels near the pattern edge where gradients are live.
@@ -426,7 +429,7 @@ mod tests {
         // it points downhill for the true objective.
         let p = problem(ProcessCondition::nominal_only());
         let cfg = config(TargetTerm::ImageDifference, GradientMode::Combined);
-        let obj = Objective::new(&p, &cfg);
+        let obj = Objective::new(&p, &cfg).unwrap();
         let mut state = MaskState::from_mask(p.target(), cfg.mask_steepness);
         let e0 = obj.evaluate(&state);
         let max = e0.gradient.iter().fold(0.0f64, |m, v| m.max(v.abs()));
@@ -448,7 +451,7 @@ mod tests {
         // system it cannot be, so the term must be positive.
         let p = problem(ProcessCondition::nominal_only());
         let cfg = config(TargetTerm::ImageDifference, GradientMode::Combined);
-        let obj = Objective::new(&p, &cfg);
+        let obj = Objective::new(&p, &cfg).unwrap();
         let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
         let eval = obj.evaluate(&state);
         assert!(eval.report.target > 0.0);
@@ -462,7 +465,7 @@ mod tests {
             ProcessCondition::new(25.0, 0.98),
         ]);
         let cfg = config(TargetTerm::ImageDifference, GradientMode::Combined);
-        let obj = Objective::new(&p, &cfg);
+        let obj = Objective::new(&p, &cfg).unwrap();
         let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
         let eval = obj.evaluate(&state);
         assert!(eval.report.pvb > 0.0);
@@ -474,7 +477,7 @@ mod tests {
     fn epe_term_counts_between_zero_and_sample_count() {
         let p = problem(ProcessCondition::nominal_only());
         let cfg = config(TargetTerm::EdgePlacement, GradientMode::Combined);
-        let obj = Objective::new(&p, &cfg);
+        let obj = Objective::new(&p, &cfg).unwrap();
         let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
         let eval = obj.evaluate(&state);
         let smoothed_count = eval.report.target / cfg.alpha;
@@ -487,7 +490,7 @@ mod tests {
         let p = problem(ProcessCondition::nominal_only());
         let mut cfg = config(TargetTerm::EdgePlacement, GradientMode::Combined);
         cfg.epe_threshold_nm = 16.0;
-        let obj = Objective::new(&p, &cfg);
+        let obj = Objective::new(&p, &cfg).unwrap();
         assert_eq!(obj.epe_threshold_px(), 4); // 16 nm / 4 nm px
     }
 }

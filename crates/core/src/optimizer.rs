@@ -17,6 +17,7 @@
 //! out of the current basin, and line 9's best-iterate tracking keeps the
 //! result safe if the jump lands somewhere worse.
 
+use crate::error::OptimizerError;
 use crate::mask::MaskState;
 use crate::objective::{GradientMode, Objective, ObjectiveReport, TargetTerm};
 use crate::problem::OpcProblem;
@@ -82,6 +83,23 @@ pub struct OptimizationConfig {
     /// [`OptimizationResult::iterates`] — needed for convergence studies
     /// (Fig. 6); off by default to save memory.
     pub record_iterates: bool,
+    /// Numerical guard: detect a non-finite objective or gradient, roll
+    /// back to the best iterate, damp the step and retry (on by
+    /// default). With the guard off, the first non-finite evaluation
+    /// fails the run immediately with
+    /// [`OptimizerError::Diverged`](crate::error::OptimizerError).
+    pub guard_enabled: bool,
+    /// Recovery budget: rollbacks the guard may spend per run before it
+    /// gives up with `Diverged`.
+    pub max_recoveries: usize,
+    /// Step-size multiplier applied cumulatively on each recovery
+    /// (in `(0, 1)`). Healthy runs never apply it, so enabling the
+    /// guard does not perturb finite trajectories.
+    pub recovery_damping: f64,
+    /// Deterministic fault injection for the hardening tests: overwrite
+    /// the gradient with NaN at this absolute iteration index. `None`
+    /// (the default) in all production configurations.
+    pub fault_nan_gradient_at: Option<usize>,
 }
 
 impl Default for OptimizationConfig {
@@ -106,6 +124,10 @@ impl Default for OptimizationConfig {
             line_search: false,
             line_search_max_halvings: 4,
             record_iterates: false,
+            guard_enabled: true,
+            max_recoveries: 3,
+            recovery_damping: 0.5,
+            fault_nan_gradient_at: None,
         }
     }
 }
@@ -147,6 +169,9 @@ impl OptimizationConfig {
         if self.line_search && self.line_search_max_halvings == 0 {
             return Err("line_search_max_halvings must be non-zero".into());
         }
+        if self.guard_enabled && !(self.recovery_damping > 0.0 && self.recovery_damping < 1.0) {
+            return Err("recovery_damping must be in (0, 1)".into());
+        }
         Ok(())
     }
 }
@@ -160,10 +185,15 @@ pub struct IterationRecord {
     pub report: ObjectiveReport,
     /// RMS of the `P`-gradient.
     pub gradient_rms: f64,
-    /// Step size actually applied (after any jump multiplier).
+    /// Step size actually applied (after any jump multiplier and guard
+    /// damping); 0 on a recovery iteration, which takes no step.
     pub step: f64,
     /// Whether this iteration took a jump step.
     pub jumped: bool,
+    /// Whether this iteration was a guard recovery: the evaluation came
+    /// back non-finite (see `report`) and the optimizer rolled back to
+    /// the best iterate instead of stepping.
+    pub recovered: bool,
 }
 
 /// What a per-iteration hook tells the optimizer to do next.
@@ -198,6 +228,11 @@ pub struct IterationView<'a> {
     pub value: f64,
     /// Consecutive stagnant iterations after this iteration's update.
     pub stagnant: usize,
+    /// Guard recoveries consumed so far in this run.
+    pub recoveries: usize,
+    /// Cumulative step damping applied by the guard (1.0 until the
+    /// first recovery).
+    pub step_damp: f64,
 }
 
 impl IterationView<'_> {
@@ -212,6 +247,8 @@ impl IterationView<'_> {
             prev_value: self.value,
             stagnant: self.stagnant,
             iterations_done: self.record.iteration + 1,
+            recoveries: self.recoveries,
+            step_damp: self.step_damp,
         }
     }
 }
@@ -237,6 +274,10 @@ pub struct OptimizerCheckpoint {
     /// Number of fully completed iterations; the resumed loop continues
     /// from this absolute iteration index.
     pub iterations_done: usize,
+    /// Guard recoveries consumed before the checkpoint.
+    pub recoveries: usize,
+    /// Cumulative guard step damping in effect (1.0 = none).
+    pub step_damp: f64,
 }
 
 /// Where an optimization starts from.
@@ -265,6 +306,8 @@ pub struct OptimizationResult {
     /// Binary mask snapshot of every iteration, when
     /// [`OptimizationConfig::record_iterates`] is set (empty otherwise).
     pub iterates: Vec<Grid<f64>>,
+    /// Guard recoveries the run consumed (0 for a healthy trajectory).
+    pub recoveries: usize,
 }
 
 impl OptimizationResult {
@@ -280,15 +323,17 @@ impl OptimizationResult {
 /// ([`crate::sraf`]); `config.target_term` selects MOSAIC_fast vs
 /// MOSAIC_exact.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is invalid or the initial mask shape
-/// differs from the problem grid.
+/// Returns [`OptimizerError::InvalidConfig`] for a rejected
+/// configuration, [`OptimizerError::ShapeMismatch`] when the mask shape
+/// differs from the problem grid, and [`OptimizerError::Diverged`] when
+/// the objective goes non-finite beyond the guard's recovery budget.
 pub fn optimize(
     problem: &OpcProblem,
     config: &OptimizationConfig,
     initial_mask: &Grid<f64>,
-) -> OptimizationResult {
+) -> Result<OptimizationResult, OptimizerError> {
     optimize_with(
         problem,
         config,
@@ -312,67 +357,142 @@ pub fn optimize(
 /// iterate; the returned masks always reflect the overall best,
 /// including the best carried in by the checkpoint.
 ///
-/// # Panics
+/// # Numerical guard
 ///
-/// Panics if the configuration is invalid, the starting mask/variables
-/// shape differs from the problem grid, or a checkpoint has already
-/// reached `config.max_iterations`.
+/// When [`OptimizationConfig::guard_enabled`] is set (the default),
+/// every evaluation is checked for a finite objective and gradient. On
+/// a non-finite evaluation the iterate is rolled back to the best
+/// variables seen so far, the step size is damped by
+/// [`recovery_damping`](OptimizationConfig::recovery_damping), and the
+/// loop continues — the recovery consumes its iteration slot and is
+/// recorded in the history with
+/// [`recovered`](IterationRecord::recovered) set. After
+/// [`max_recoveries`](OptimizationConfig::max_recoveries) rollbacks (or
+/// immediately, with the guard off) the run fails with
+/// [`OptimizerError::Diverged`]. Healthy trajectories never trigger the
+/// guard and are bit-identical to an unguarded run.
+///
+/// # Errors
+///
+/// [`OptimizerError::InvalidConfig`], [`OptimizerError::ShapeMismatch`],
+/// [`OptimizerError::CheckpointExhausted`] for a checkpoint at or past
+/// `config.max_iterations`, and [`OptimizerError::Diverged`] as above.
 pub fn optimize_with(
     problem: &OpcProblem,
     config: &OptimizationConfig,
     start: OptimizerStart<'_>,
     hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-) -> OptimizationResult {
-    config
-        .validate()
-        .expect("invalid optimization configuration");
-    let objective = Objective::new(problem, config);
-    let (mut state, mut best_value, mut best_vars, mut prev_value, mut stagnant, start_iter) =
-        match start {
-            OptimizerStart::Mask(initial_mask) => {
-                assert_eq!(
-                    initial_mask.dims(),
-                    problem.grid_dims(),
-                    "initial mask shape mismatch"
-                );
-                let state = MaskState::from_mask(initial_mask, config.mask_steepness);
-                let vars = state.variables().clone();
-                (state, f64::INFINITY, vars, f64::INFINITY, 0usize, 0usize)
+) -> Result<OptimizationResult, OptimizerError> {
+    config.validate().map_err(OptimizerError::InvalidConfig)?;
+    let objective = Objective::new(problem, config)?;
+    let (
+        mut state,
+        mut best_value,
+        mut best_vars,
+        mut prev_value,
+        mut stagnant,
+        start_iter,
+        mut recoveries,
+        mut step_damp,
+    ) = match start {
+        OptimizerStart::Mask(initial_mask) => {
+            if initial_mask.dims() != problem.grid_dims() {
+                return Err(OptimizerError::ShapeMismatch {
+                    expected: problem.grid_dims(),
+                    got: initial_mask.dims(),
+                });
             }
-            OptimizerStart::Checkpoint(cp) => {
-                assert_eq!(
-                    cp.variables.dims(),
-                    problem.grid_dims(),
-                    "checkpoint shape mismatch"
-                );
-                assert!(
-                    cp.iterations_done < config.max_iterations,
-                    "checkpoint already at the iteration cap"
-                );
-                let state = MaskState::from_variables(cp.variables, config.mask_steepness);
-                (
-                    state,
-                    cp.best_value,
-                    cp.best_variables,
-                    cp.prev_value,
-                    cp.stagnant,
-                    cp.iterations_done,
-                )
+            let state = MaskState::from_mask(initial_mask, config.mask_steepness);
+            let vars = state.variables().clone();
+            (
+                state,
+                f64::INFINITY,
+                vars,
+                f64::INFINITY,
+                0usize,
+                0usize,
+                0usize,
+                1.0f64,
+            )
+        }
+        OptimizerStart::Checkpoint(cp) => {
+            if cp.variables.dims() != problem.grid_dims() {
+                return Err(OptimizerError::ShapeMismatch {
+                    expected: problem.grid_dims(),
+                    got: cp.variables.dims(),
+                });
             }
-        };
+            if cp.iterations_done >= config.max_iterations {
+                return Err(OptimizerError::CheckpointExhausted {
+                    iterations_done: cp.iterations_done,
+                    max_iterations: config.max_iterations,
+                });
+            }
+            let state = MaskState::from_variables(cp.variables, config.mask_steepness);
+            (
+                state,
+                cp.best_value,
+                cp.best_variables,
+                cp.prev_value,
+                cp.stagnant,
+                cp.iterations_done,
+                cp.recoveries,
+                cp.step_damp,
+            )
+        }
+    };
     let mut history: Vec<IterationRecord> = Vec::with_capacity(config.max_iterations - start_iter);
     // Best among *recorded* iterations — what `best_iteration` indexes.
     let mut recorded_best = f64::INFINITY;
     let mut best_iteration = 0;
     let mut converged = false;
     let mut iterates: Vec<Grid<f64>> = Vec::new();
+    // Last finite objective value, for the Diverged report.
+    let mut last_finite = f64::NAN;
 
     for iteration in start_iter..config.max_iterations {
-        let eval = objective.evaluate(&state);
+        let mut eval = objective.evaluate(&state);
+        if config.fault_nan_gradient_at == Some(iteration) {
+            // Test-only fault: poison one gradient entry so the RMS (and
+            // any step taken from it) goes NaN at exactly this iteration.
+            eval.gradient[(0, 0)] = f64::NAN;
+        }
         if config.record_iterates {
             iterates.push(state.binary());
         }
         let value = eval.report.total;
+        let rms = stats::grid_rms(&eval.gradient);
+
+        if !(value.is_finite() && rms.is_finite()) {
+            if !config.guard_enabled || recoveries >= config.max_recoveries {
+                return Err(OptimizerError::Diverged {
+                    iteration,
+                    last_finite_loss: last_finite,
+                    recoveries,
+                });
+            }
+            // Recover: back to the best iterate (the seed, before any
+            // finite evaluation), with a damped step from here on. The
+            // recovery consumes this iteration slot and resets the jump
+            // bookkeeping so a jump cannot immediately re-amplify the
+            // step that blew up.
+            recoveries += 1;
+            step_damp *= config.recovery_damping;
+            state.restore(best_vars.clone());
+            prev_value = f64::INFINITY;
+            stagnant = 0;
+            history.push(IterationRecord {
+                iteration,
+                report: eval.report,
+                gradient_rms: rms,
+                step: 0.0,
+                jumped: false,
+                recovered: true,
+            });
+            continue;
+        }
+        last_finite = value;
+
         if value < best_value {
             best_value = value;
             best_vars = state.variables().clone();
@@ -381,7 +501,6 @@ pub fn optimize_with(
             recorded_best = value;
             best_iteration = history.len();
         }
-        let rms = stats::grid_rms(&eval.gradient);
 
         // Stagnation bookkeeping for the jump technique.
         if prev_value.is_finite() {
@@ -397,29 +516,35 @@ pub fn optimize_with(
         if jump {
             stagnant = 0;
         }
+        // `step_damp` is exactly 1.0 until the first recovery, so a
+        // healthy trajectory is bit-identical to an unguarded run.
         let step = if jump {
             config.step_size * config.jump_factor
         } else {
             config.step_size
-        };
+        } * step_damp;
 
-        history.push(IterationRecord {
+        let record = IterationRecord {
             iteration,
             report: eval.report,
             gradient_rms: rms,
             step,
             jumped: jump,
-        });
+            recovered: false,
+        };
+        history.push(record);
 
         if rms < config.gradient_tolerance {
             converged = true;
             let view = IterationView {
-                record: history.last().expect("just pushed"),
+                record: &record,
                 variables: state.variables(),
                 best_variables: &best_vars,
                 best_value,
                 value,
                 stagnant,
+                recoveries,
+                step_damp,
             };
             let _ = hook(&view);
             break;
@@ -455,12 +580,14 @@ pub fn optimize_with(
         }
 
         let view = IterationView {
-            record: history.last().expect("just pushed"),
+            record: &record,
             variables: state.variables(),
             best_variables: &best_vars,
             best_value,
             value,
             stagnant,
+            recoveries,
+            step_damp,
         };
         if hook(&view) == IterationControl::Stop {
             break;
@@ -468,14 +595,15 @@ pub fn optimize_with(
     }
 
     state.restore(best_vars);
-    OptimizationResult {
+    Ok(OptimizationResult {
         mask: state.mask(),
         binary_mask: state.binary(),
         history,
         best_iteration,
         converged,
         iterates,
-    }
+        recoveries,
+    })
 }
 
 #[cfg(test)]
@@ -514,7 +642,7 @@ mod tests {
     fn objective_decreases_from_target_seed() {
         let p = small_problem();
         let cfg = quick_config();
-        let result = optimize(&p, &cfg, p.target());
+        let result = optimize(&p, &cfg, p.target()).unwrap();
         let first = result.history.first().unwrap().report.total;
         let best = result.best_report().total;
         assert!(
@@ -526,7 +654,7 @@ mod tests {
     #[test]
     fn best_iterate_is_minimum_of_history() {
         let p = small_problem();
-        let result = optimize(&p, &quick_config(), p.target());
+        let result = optimize(&p, &quick_config(), p.target()).unwrap();
         let min = result
             .history
             .iter()
@@ -539,7 +667,7 @@ mod tests {
     fn history_has_one_record_per_iteration() {
         let p = small_problem();
         let cfg = quick_config();
-        let result = optimize(&p, &cfg, p.target());
+        let result = optimize(&p, &cfg, p.target()).unwrap();
         assert!(result.history.len() <= cfg.max_iterations);
         assert!(!result.history.is_empty());
         for (i, r) in result.history.iter().enumerate() {
@@ -551,7 +679,7 @@ mod tests {
     #[test]
     fn binary_mask_is_binary() {
         let p = small_problem();
-        let result = optimize(&p, &quick_config(), p.target());
+        let result = optimize(&p, &quick_config(), p.target()).unwrap();
         for &v in result.binary_mask.iter() {
             assert!(v == 0.0 || v == 1.0);
         }
@@ -569,7 +697,7 @@ mod tests {
         // Absurdly small steps guarantee stagnation.
         cfg.step_size = 1e-9;
         cfg.jump_patience = 2;
-        let result = optimize(&p, &cfg, p.target());
+        let result = optimize(&p, &cfg, p.target()).unwrap();
         assert!(
             result.history.iter().any(|r| r.jumped),
             "no jump despite stagnation"
@@ -583,7 +711,7 @@ mod tests {
         cfg.step_size = 1e-9;
         cfg.jump_enabled = false;
         cfg.max_iterations = 10;
-        let result = optimize(&p, &cfg, p.target());
+        let result = optimize(&p, &cfg, p.target()).unwrap();
         assert!(result.history.iter().all(|r| !r.jumped));
     }
 
@@ -592,7 +720,7 @@ mod tests {
         let p = small_problem();
         let mut cfg = quick_config();
         cfg.target_term = TargetTerm::EdgePlacement;
-        let result = optimize(&p, &cfg, p.target());
+        let result = optimize(&p, &cfg, p.target()).unwrap();
         let first = result.history.first().unwrap().report.total;
         assert!(result.best_report().total <= first);
     }
@@ -624,11 +752,209 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shape mismatch")]
-    fn wrong_initial_mask_shape_panics() {
+    fn wrong_initial_mask_shape_is_rejected() {
         let p = small_problem();
         let wrong = Grid::<f64>::zeros(32, 32);
-        let _ = optimize(&p, &quick_config(), &wrong);
+        let err = optimize(&p, &quick_config(), &wrong).unwrap_err();
+        assert_eq!(
+            err,
+            OptimizerError::ShapeMismatch {
+                expected: (96, 96),
+                got: (32, 32),
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let p = small_problem();
+        let cfg = OptimizationConfig {
+            step_size: 0.0,
+            ..OptimizationConfig::default()
+        };
+        assert!(matches!(
+            optimize(&p, &cfg, p.target()),
+            Err(OptimizerError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn exhausted_checkpoint_is_rejected() {
+        let p = small_problem();
+        let cfg = quick_config();
+        let vars = Grid::<f64>::zeros(96, 96);
+        let cp = OptimizerCheckpoint {
+            variables: vars.clone(),
+            best_variables: vars,
+            best_value: 1.0,
+            prev_value: 1.0,
+            stagnant: 0,
+            iterations_done: cfg.max_iterations,
+            recoveries: 0,
+            step_damp: 1.0,
+        };
+        let err = optimize_with(&p, &cfg, OptimizerStart::Checkpoint(cp), &mut |_| {
+            IterationControl::Continue
+        })
+        .unwrap_err();
+        assert!(matches!(err, OptimizerError::CheckpointExhausted { .. }));
+    }
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+    use mosaic_geometry::{Layout, Polygon, Rect};
+    use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+
+    fn small_problem() -> OpcProblem {
+        let mut layout = Layout::new(256, 256);
+        layout.push(Polygon::from_rect(Rect::new(64, 48, 160, 208)));
+        let optics = OpticsConfig::builder()
+            .grid(96, 96)
+            .pixel_nm(4.0)
+            .kernel_count(4)
+            .build()
+            .unwrap();
+        OpcProblem::from_layout(
+            &layout,
+            &optics,
+            ResistModel::paper(),
+            ProcessCondition::nominal_only(),
+            40,
+        )
+        .unwrap()
+    }
+
+    fn quick_config() -> OptimizationConfig {
+        OptimizationConfig {
+            max_iterations: 8,
+            ..OptimizationConfig::default()
+        }
+    }
+
+    /// A NaN gradient injected mid-run is contained: the guard rolls
+    /// back, damps the step, marks the recovery in the history, and the
+    /// run still finishes with a usable best iterate.
+    #[test]
+    fn nan_gradient_is_recovered_and_recorded() {
+        let p = small_problem();
+        let mut cfg = quick_config();
+        cfg.fault_nan_gradient_at = Some(3);
+        let result = optimize(&p, &cfg, p.target()).unwrap();
+        assert_eq!(result.recoveries, 1);
+        let recovery = &result.history[3];
+        assert!(recovery.recovered);
+        assert!(!recovery.gradient_rms.is_finite());
+        assert_eq!(recovery.step, 0.0);
+        // The loop continued past the fault with a damped step.
+        assert!(result.history.len() > 4);
+        let after = &result.history[4];
+        assert!(!after.recovered);
+        assert!(after.step > 0.0 && after.step < cfg.step_size);
+        assert!(result.best_report().total.is_finite());
+        for &v in result.binary_mask.iter() {
+            assert!(v == 0.0 || v == 1.0);
+        }
+    }
+
+    /// With the guard disabled, the same fault fails the run with a
+    /// typed error carrying the last finite loss.
+    #[test]
+    fn guard_off_fails_fast_with_diverged() {
+        let p = small_problem();
+        let mut cfg = quick_config();
+        cfg.guard_enabled = false;
+        cfg.fault_nan_gradient_at = Some(2);
+        let err = optimize(&p, &cfg, p.target()).unwrap_err();
+        match err {
+            OptimizerError::Diverged {
+                iteration,
+                last_finite_loss,
+                recoveries,
+            } => {
+                assert_eq!(iteration, 2);
+                assert!(last_finite_loss.is_finite(), "two finite iterations ran");
+                assert_eq!(recoveries, 0);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    /// An exhausted recovery budget ends in Diverged, not an infinite
+    /// retry loop: a mask whose objective is NaN at the seed cannot be
+    /// recovered by rolling back to the seed.
+    #[test]
+    fn exhausted_recovery_budget_is_diverged() {
+        let p = small_problem();
+        let mut cfg = quick_config();
+        cfg.max_recoveries = 2;
+        let mut seed = p.target().clone();
+        seed[(0, 0)] = f64::NAN;
+        let err = optimize(&p, &cfg, &seed).unwrap_err();
+        match err {
+            OptimizerError::Diverged {
+                iteration,
+                last_finite_loss,
+                recoveries,
+            } => {
+                assert_eq!(iteration, 2, "budget of 2 consumed two slots");
+                assert!(last_finite_loss.is_nan(), "no finite loss was ever seen");
+                assert_eq!(recoveries, 2);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    /// The guard must not perturb healthy trajectories: identical runs
+    /// with the guard on and off produce bit-identical masks.
+    #[test]
+    fn guard_is_bit_transparent_on_healthy_runs() {
+        let p = small_problem();
+        let mut on = quick_config();
+        on.guard_enabled = true;
+        let mut off = quick_config();
+        off.guard_enabled = false;
+        let a = optimize(&p, &on, p.target()).unwrap();
+        let b = optimize(&p, &off, p.target()).unwrap();
+        assert_eq!(a.binary_mask, b.binary_mask);
+        assert_eq!(a.best_iteration, b.best_iteration);
+        assert_eq!(a.recoveries, 0);
+        for (ra, rb) in a.history.iter().zip(&b.history) {
+            assert_eq!(ra.report.total.to_bits(), rb.report.total.to_bits());
+            assert_eq!(ra.step.to_bits(), rb.step.to_bits());
+        }
+    }
+
+    /// A checkpoint captured after a recovery carries the damped step,
+    /// so a resumed run continues the guarded trajectory exactly.
+    #[test]
+    fn checkpoint_carries_recovery_state() {
+        let p = small_problem();
+        let mut cfg = quick_config();
+        cfg.fault_nan_gradient_at = Some(1);
+        let mut captured = None;
+        let full = optimize_with(
+            &p,
+            &cfg,
+            OptimizerStart::Mask(p.target()),
+            &mut |view: &IterationView<'_>| {
+                if view.record.iteration == 3 {
+                    captured = Some(view.checkpoint());
+                }
+                IterationControl::Continue
+            },
+        )
+        .unwrap();
+        let cp = captured.expect("iteration 3 ran");
+        assert_eq!(cp.recoveries, 1);
+        assert!(cp.step_damp < 1.0);
+        // Resume must not re-inject the fault (iteration 1 is done).
+        let resumed = optimize_with(&p, &cfg, OptimizerStart::Checkpoint(cp), &mut |_| {
+            IterationControl::Continue
+        })
+        .unwrap();
+        assert_eq!(resumed.binary_mask, full.binary_mask);
     }
 }
 
@@ -666,7 +992,7 @@ mod line_search_tests {
             jump_enabled: false,
             ..OptimizationConfig::default()
         };
-        let result = optimize(&p, &cfg, p.target());
+        let result = optimize(&p, &cfg, p.target()).unwrap();
         // With backtracking and no jumps, the recorded objective can
         // only plateau at the final halving floor — never rise by more
         // than that floor's worth.
@@ -689,8 +1015,8 @@ mod line_search_tests {
         };
         let mut ls = fixed.clone();
         ls.line_search = true;
-        let rf = optimize(&p, &fixed, p.target());
-        let rl = optimize(&p, &ls, p.target());
+        let rf = optimize(&p, &fixed, p.target()).unwrap();
+        let rl = optimize(&p, &ls, p.target()).unwrap();
         // Not a strict dominance claim — just that the extension is in
         // the same quality regime at equal iteration count.
         assert!(rl.best_report().total <= rf.best_report().total * 1.5);

@@ -65,7 +65,7 @@ impl OpcProblem {
                 "need at least one process condition".into(),
             ));
         }
-        let sim = Arc::new(LithoSimulator::new(optics, resist, conditions));
+        let sim = Arc::new(LithoSimulator::new(optics, resist, conditions)?);
         Self::from_layout_with_simulator(layout, sim, epe_spacing_nm)
     }
 

@@ -20,6 +20,7 @@
 //! The shared objective machinery ([`Objective::evaluate_parameterized`])
 //! supplies values and gradients.
 
+use crate::error::OptimizerError;
 use crate::objective::Objective;
 use crate::optimizer::{IterationRecord, OptimizationConfig};
 use crate::problem::OpcProblem;
@@ -136,25 +137,27 @@ pub struct PsmResult {
 ///
 /// Identical loop structure to [`crate::optimizer::optimize`] (fixed
 /// normalized steps, jump technique, best-iterate tracking) — only the
-/// mask transform differs.
+/// mask transform differs. The numerical guard lives in the binary-mask
+/// driver; this research-oriented loop fails fast on an invalid setup
+/// instead.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an invalid configuration or mismatched initial-mask shape.
+/// Returns [`OptimizerError::InvalidConfig`] for a rejected
+/// configuration and [`OptimizerError::ShapeMismatch`] when the initial
+/// mask does not match the problem grid.
 pub fn optimize_psm(
     problem: &OpcProblem,
     config: &OptimizationConfig,
     initial_mask: &Grid<f64>,
-) -> PsmResult {
-    config
-        .validate()
-        .expect("invalid optimization configuration");
-    assert_eq!(
-        initial_mask.dims(),
-        problem.grid_dims(),
-        "initial mask shape mismatch"
-    );
-    let objective = Objective::new(problem, config);
+) -> Result<PsmResult, OptimizerError> {
+    if initial_mask.dims() != problem.grid_dims() {
+        return Err(OptimizerError::ShapeMismatch {
+            expected: problem.grid_dims(),
+            got: initial_mask.dims(),
+        });
+    }
+    let objective = Objective::new(problem, config)?;
     let mut state = PsmState::from_mask(initial_mask, config.mask_steepness);
     let mut history = Vec::with_capacity(config.max_iterations);
     let mut best_value = f64::INFINITY;
@@ -196,6 +199,7 @@ pub fn optimize_psm(
             gradient_rms: rms,
             step,
             jumped: jump,
+            recovered: false,
         });
         if rms < config.gradient_tolerance {
             break;
@@ -213,12 +217,12 @@ pub fn optimize_psm(
         state.step(&direction, step);
     }
     state.restore(best_vars);
-    PsmResult {
+    Ok(PsmResult {
         mask: state.mask(),
         quantized_mask: state.quantized(),
         history,
         best_iteration,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -278,7 +282,7 @@ mod tests {
             max_iterations: 4,
             ..OptimizationConfig::default()
         };
-        let result = optimize_psm(&p, &cfg, p.target());
+        let result = optimize_psm(&p, &cfg, p.target()).unwrap();
         for &v in result.quantized_mask.iter() {
             assert!(v == -1.0 || v == 0.0 || v == 1.0, "level {v}");
         }
@@ -291,7 +295,7 @@ mod tests {
             max_iterations: 8,
             ..OptimizationConfig::default()
         };
-        let result = optimize_psm(&p, &cfg, p.target());
+        let result = optimize_psm(&p, &cfg, p.target()).unwrap();
         let first = result.history.first().unwrap().report.total;
         let best = result.history[result.best_iteration].report.total;
         assert!(best < first, "{first} -> {best}");
@@ -306,7 +310,7 @@ mod tests {
             gradient_mode: crate::objective::GradientMode::PerKernel,
             ..OptimizationConfig::default()
         };
-        let objective = Objective::new(&p, &cfg);
+        let objective = Objective::new(&p, &cfg).unwrap();
         let state = PsmState::from_mask(p.target(), cfg.mask_steepness);
         let eval = objective.evaluate_parameterized(&state.mask(), &state.mask_derivative());
         for &(x, y) in &[(40usize, 48usize), (48, 30), (30, 40)] {
@@ -355,7 +359,7 @@ mod tests {
     fn psm_and_binary_objectives_agree_on_shared_masks() {
         let p = problem();
         let cfg = OptimizationConfig::default();
-        let objective = Objective::new(&p, &cfg);
+        let objective = Objective::new(&p, &cfg).unwrap();
         let binary_state = MaskState::from_mask(p.target(), cfg.mask_steepness);
         let from_state = objective.evaluate(&binary_state);
         let explicit =

@@ -43,12 +43,21 @@ pub fn write_file(grid: &Grid<f64>, path: impl AsRef<Path>) -> io::Result<()> {
     f.write_all(&encode_autoscale(grid))
 }
 
+/// Largest pixel count [`decode`] will allocate — far above any mask
+/// grid this workspace produces, far below an allocation bomb from a
+/// forged header.
+const MAX_PIXELS: usize = 1 << 26;
+
 /// Decodes a binary PGM produced by [`encode`] back into a grid with
-/// values in `[0, 1]` — used in tests and round-trip checks.
+/// values in `[0, 1]` — used in tests, round-trip checks and the
+/// `mosaic eval` CLI path, so it must survive arbitrary input files.
 ///
 /// # Errors
 ///
-/// Returns an error string for malformed headers or truncated data.
+/// Returns a descriptive error string for malformed headers (wrong
+/// magic, zero or implausibly large dimensions, maxval outside the
+/// 8-bit `1..=255` range) and for payloads shorter than the header
+/// promises.
 pub fn decode(bytes: &[u8]) -> Result<Grid<f64>, String> {
     let header_end = bytes
         .windows(1)
@@ -79,11 +88,34 @@ pub fn decode(bytes: &[u8]) -> Result<Grid<f64>, String> {
         .ok_or("missing height")?
         .parse()
         .map_err(|_| "bad height")?;
-    let data = &bytes[header_end..];
-    if data.len() < w * h {
-        return Err(format!("truncated data: {} < {}", data.len(), w * h));
+    if w == 0 || h == 0 {
+        return Err(format!("degenerate dimensions {w}x{h}"));
     }
-    Ok(Grid::from_fn(w, h, |x, y| data[y * w + x] as f64 / 255.0))
+    let pixels = w
+        .checked_mul(h)
+        .filter(|&p| p <= MAX_PIXELS)
+        .ok_or_else(|| format!("implausible dimensions {w}x{h}"))?;
+    let maxval_line = lines.next().ok_or("missing maxval")?;
+    let maxval: u32 = maxval_line
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad maxval {maxval_line:?}"))?;
+    if !(1..=255).contains(&maxval) {
+        return Err(format!(
+            "unsupported maxval {maxval} (binary 8-bit PGM requires 1..=255)"
+        ));
+    }
+    let data = &bytes[header_end..];
+    if data.len() < pixels {
+        return Err(format!(
+            "truncated data: {} bytes for {w}x{h} ({pixels} expected)",
+            data.len()
+        ));
+    }
+    let scale = f64::from(maxval);
+    Ok(Grid::from_fn(w, h, |x, y| {
+        (f64::from(data[y * w + x]) / scale).min(1.0)
+    }))
 }
 
 #[cfg(test)]
@@ -129,6 +161,48 @@ mod tests {
         assert!(decode(b"P6\n2 2\n255\n....").is_err());
         assert!(decode(b"P5\n9 9\n255\nxx").is_err());
         assert!(decode(b"").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_headers_with_clear_messages() {
+        // Zero dimensions.
+        assert!(decode(b"P5\n0 3\n255\n")
+            .unwrap_err()
+            .contains("degenerate"));
+        assert!(decode(b"P5\n3 0\n255\n")
+            .unwrap_err()
+            .contains("degenerate"));
+        // Dimensions whose product overflows or is absurdly large.
+        let huge = format!("P5\n{} {}\n255\n", usize::MAX, 2);
+        assert!(decode(huge.as_bytes()).unwrap_err().contains("implausible"));
+        assert!(decode(b"P5\n100000 100000\n255\n")
+            .unwrap_err()
+            .contains("implausible"));
+        // Maxval out of the 8-bit range or non-numeric.
+        assert!(decode(b"P5\n2 2\n0\n1234").unwrap_err().contains("maxval"));
+        assert!(decode(b"P5\n2 2\n65535\n1234")
+            .unwrap_err()
+            .contains("maxval"));
+        assert!(decode(b"P5\n2 2\nabc\n1234")
+            .unwrap_err()
+            .contains("maxval"));
+    }
+
+    #[test]
+    fn decode_reports_truncation_with_expected_size() {
+        let err = decode(b"P5\n4 4\n255\nshort").unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        assert!(err.contains("16 expected"), "{err}");
+    }
+
+    #[test]
+    fn decode_scales_by_declared_maxval() {
+        let g = decode(b"P5\n2 1\n100\n\x64\x32").unwrap();
+        assert!((g[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((g[(1, 0)] - 0.5).abs() < 1e-12);
+        // Samples above maxval clamp to 1.0 instead of overshooting.
+        let over = decode(b"P5\n1 1\n100\n\xff").unwrap();
+        assert!((over[(0, 0)] - 1.0).abs() < 1e-12);
     }
 
     #[test]

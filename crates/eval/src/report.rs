@@ -103,7 +103,7 @@ pub fn render_report(report: &ContestReport) -> String {
     worst.sort_by(|a, b| {
         let ka = a.epe_nm.map_or(f64::INFINITY, f64::abs);
         let kb = b.epe_nm.map_or(f64::INFINITY, f64::abs);
-        kb.partial_cmp(&ka).expect("finite keys")
+        kb.total_cmp(&ka)
     });
     let offenders: Vec<&&EpeMeasurement> = worst
         .iter()

@@ -13,6 +13,7 @@
 //! Generation is fully deterministic: the "random" cases use a fixed-seed
 //! PRNG, so every run of every experiment sees identical targets.
 
+use crate::error::GeometryError;
 use crate::layout::Layout;
 use crate::point::Point;
 use crate::polygon::Polygon;
@@ -88,7 +89,14 @@ impl BenchmarkId {
     }
 
     /// Builds the clip's target layout.
-    pub fn layout(self) -> Layout {
+    ///
+    /// # Errors
+    ///
+    /// Generation is deterministic and the built-in generators always
+    /// produce valid geometry, but the constructors are checked, so a
+    /// future generator bug surfaces as a [`GeometryError`] instead of a
+    /// panic inside a batch worker.
+    pub fn layout(self) -> Result<Layout, GeometryError> {
         match self {
             BenchmarkId::B1 => b1(),
             BenchmarkId::B2 => b2(),
@@ -118,11 +126,16 @@ fn clip() -> Layout {
 /// of length `arm_y`, both `w` wide, meeting at the top-left corner
 /// `(x, y)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if either arm is not longer than the width.
-pub fn l_polygon(x: i64, y: i64, arm_x: i64, arm_y: i64, w: i64) -> Polygon {
-    assert!(arm_x > w && arm_y > w, "L arms must exceed the width");
+/// Returns [`GeometryError::InvalidDimension`] if either arm is not
+/// longer than the width.
+pub fn l_polygon(x: i64, y: i64, arm_x: i64, arm_y: i64, w: i64) -> Result<Polygon, GeometryError> {
+    if arm_x <= w || arm_y <= w {
+        return Err(GeometryError::InvalidDimension(format!(
+            "L arms ({arm_x}, {arm_y}) must exceed the width {w}"
+        )));
+    }
     Polygon::new(vec![
         Point::new(x, y),
         Point::new(x + arm_x, y),
@@ -131,18 +144,28 @@ pub fn l_polygon(x: i64, y: i64, arm_x: i64, arm_y: i64, w: i64) -> Polygon {
         Point::new(x + w, y + arm_y),
         Point::new(x, y + arm_y),
     ])
-    .expect("constructed L is rectilinear")
 }
 
 /// A T-shaped polygon: horizontal top bar `bar_len × w` anchored at
 /// `(x, y)`, with a centered stem of length `stem_len` and width `w`
 /// hanging below it.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the bar is too short to center the stem.
-pub fn t_polygon(x: i64, y: i64, bar_len: i64, stem_len: i64, w: i64) -> Polygon {
-    assert!(bar_len >= 3 * w, "T bar too short to center the stem");
+/// Returns [`GeometryError::InvalidDimension`] if the bar is too short
+/// to center the stem.
+pub fn t_polygon(
+    x: i64,
+    y: i64,
+    bar_len: i64,
+    stem_len: i64,
+    w: i64,
+) -> Result<Polygon, GeometryError> {
+    if bar_len < 3 * w {
+        return Err(GeometryError::InvalidDimension(format!(
+            "T bar {bar_len} too short to center a stem of width {w}"
+        )));
+    }
     let sx0 = x + (bar_len - w) / 2;
     let sx1 = sx0 + w;
     Polygon::new(vec![
@@ -155,124 +178,118 @@ pub fn t_polygon(x: i64, y: i64, bar_len: i64, stem_len: i64, w: i64) -> Polygon
         Point::new(sx0, y + w),
         Point::new(x, y + w),
     ])
-    .expect("constructed T is rectilinear")
 }
 
-fn b1() -> Layout {
+fn b1() -> Result<Layout, GeometryError> {
     let mut l = clip();
-    l.push(Polygon::from_rect(Rect::new(477, 240, 547, 784)));
-    l
+    l.try_push(Polygon::from_rect(Rect::new(477, 240, 547, 784)))?;
+    Ok(l)
 }
 
-fn b2() -> Layout {
+fn b2() -> Result<Layout, GeometryError> {
     let mut l = clip();
-    l.push(Polygon::from_rect(Rect::new(477, 230, 547, 472)));
-    l.push(Polygon::from_rect(Rect::new(477, 592, 547, 824)));
-    l
+    l.try_push(Polygon::from_rect(Rect::new(477, 230, 547, 472)))?;
+    l.try_push(Polygon::from_rect(Rect::new(477, 592, 547, 824)))?;
+    Ok(l)
 }
 
-fn b3() -> Layout {
+fn b3() -> Result<Layout, GeometryError> {
     let mut l = clip();
     // Five lines, width 60, space 80 (pitch 140): 5*60 + 4*80 = 620.
     let x0 = (CLIP_NM - 620) / 2;
     for k in 0..5 {
         let x = x0 + k * 140;
-        l.push(Polygon::from_rect(Rect::new(x, 260, x + 60, 764)));
+        l.try_push(Polygon::from_rect(Rect::new(x, 260, x + 60, 764)))?;
     }
-    l
+    Ok(l)
 }
 
-fn b4() -> Layout {
+fn b4() -> Result<Layout, GeometryError> {
     let mut l = clip();
-    l.push(l_polygon(260, 260, 300, 440, 70));
+    l.try_push(l_polygon(260, 260, 300, 440, 70)?)?;
     // Mirrored L nested against the first: horizontal arm along the
     // bottom, vertical arm up the right side.
-    l.push(
-        Polygon::new(vec![
-            Point::new(430, 430),
-            Point::new(760, 430),
-            Point::new(760, 764),
-            Point::new(690, 764),
-            Point::new(690, 500),
-            Point::new(430, 500),
-        ])
-        .expect("rectilinear"),
-    );
-    l.push(Polygon::from_rect(Rect::new(430, 600, 560, 670)));
-    l
+    l.try_push(Polygon::new(vec![
+        Point::new(430, 430),
+        Point::new(760, 430),
+        Point::new(760, 764),
+        Point::new(690, 764),
+        Point::new(690, 500),
+        Point::new(430, 500),
+    ])?)?;
+    l.try_push(Polygon::from_rect(Rect::new(430, 600, 560, 670)))?;
+    Ok(l)
 }
 
-fn b5() -> Layout {
+fn b5() -> Result<Layout, GeometryError> {
     let mut l = clip();
-    l.push(t_polygon(300, 240, 424, 390, 70));
+    l.try_push(t_polygon(300, 240, 424, 390, 70)?)?;
     // Jogged line to the right of the stem.
-    l.push(
-        Polygon::new(vec![
-            Point::new(617, 380),
-            Point::new(817, 380),
-            Point::new(817, 450),
-            Point::new(687, 450),
-            Point::new(687, 560),
-            Point::new(617, 560),
-        ])
-        .expect("rectilinear"),
-    );
-    l.push(Polygon::from_rect(Rect::new(300, 770, 724, 830)));
-    l
+    l.try_push(Polygon::new(vec![
+        Point::new(617, 380),
+        Point::new(817, 380),
+        Point::new(817, 450),
+        Point::new(687, 450),
+        Point::new(687, 560),
+        Point::new(617, 560),
+    ])?)?;
+    l.try_push(Polygon::from_rect(Rect::new(300, 770, 724, 830)))?;
+    Ok(l)
 }
 
-fn b6() -> Layout {
+fn b6() -> Result<Layout, GeometryError> {
     let mut l = clip();
     // Top spine with three fingers reaching down.
-    l.push(
-        Polygon::new(vec![
-            Point::new(240, 240),
-            Point::new(784, 240),
-            Point::new(784, 300),
-            Point::new(724, 300),
-            Point::new(724, 700),
-            Point::new(664, 700),
-            Point::new(664, 300),
-            Point::new(542, 300),
-            Point::new(542, 700),
-            Point::new(482, 700),
-            Point::new(482, 300),
-            Point::new(300, 300),
-            Point::new(300, 700),
-            Point::new(240, 700),
-        ])
-        .expect("rectilinear"),
-    );
+    l.try_push(Polygon::new(vec![
+        Point::new(240, 240),
+        Point::new(784, 240),
+        Point::new(784, 300),
+        Point::new(724, 300),
+        Point::new(724, 700),
+        Point::new(664, 700),
+        Point::new(664, 300),
+        Point::new(542, 300),
+        Point::new(542, 700),
+        Point::new(482, 700),
+        Point::new(482, 300),
+        Point::new(300, 300),
+        Point::new(300, 700),
+        Point::new(240, 700),
+    ])?)?;
     // Bottom spine with two fingers reaching up between the top fingers.
-    l.push(
-        Polygon::new(vec![
-            Point::new(361, 380),
-            Point::new(421, 380),
-            Point::new(421, 760),
-            Point::new(603, 760),
-            Point::new(603, 380),
-            Point::new(663, 380),
-            Point::new(663, 760),
-            Point::new(784, 760),
-            Point::new(784, 820),
-            Point::new(240, 820),
-            Point::new(240, 760),
-            Point::new(361, 760),
-        ])
-        .expect("rectilinear"),
-    );
-    l
+    l.try_push(Polygon::new(vec![
+        Point::new(361, 380),
+        Point::new(421, 380),
+        Point::new(421, 760),
+        Point::new(603, 760),
+        Point::new(603, 380),
+        Point::new(663, 380),
+        Point::new(663, 760),
+        Point::new(784, 760),
+        Point::new(784, 820),
+        Point::new(240, 820),
+        Point::new(240, 760),
+        Point::new(361, 760),
+    ])?)?;
+    Ok(l)
 }
+
+/// Generator callback used by [`scatter`].
+type ShapeMaker = dyn Fn(&mut Rng64) -> Result<Polygon, GeometryError>;
 
 /// Places shapes at random, rejecting candidates whose inflated bounding
 /// boxes collide with already-accepted shapes.
-fn scatter(rng: &mut Rng64, layout: &mut Layout, makers: &[&dyn Fn(&mut Rng64) -> Polygon]) {
+fn scatter(
+    rng: &mut Rng64,
+    layout: &mut Layout,
+    makers: &[&ShapeMaker],
+) -> Result<(), GeometryError> {
     const MIN_SPACE: i64 = 70;
     const MARGIN: i64 = 200;
     let mut accepted: Vec<Rect> = Vec::new();
     for maker in makers {
         for _attempt in 0..200 {
-            let shape = maker(rng);
+            let shape = maker(rng)?;
             let bbox = shape.bounding_box();
             let room = Rect::new(
                 MARGIN,
@@ -289,53 +306,54 @@ fn scatter(rng: &mut Rng64, layout: &mut Layout, makers: &[&dyn Fn(&mut Rng64) -
             let mb = moved.bounding_box();
             if accepted.iter().all(|r| !r.overlaps(&mb.inflate(MIN_SPACE))) {
                 accepted.push(mb);
-                layout.push(moved);
+                layout.try_push(moved)?;
                 break;
             }
         }
     }
+    Ok(())
 }
 
 fn snap(v: i64) -> i64 {
     (v / 10) * 10
 }
 
-fn random_bar(rng: &mut Rng64) -> Polygon {
+fn random_bar(rng: &mut Rng64) -> Result<Polygon, GeometryError> {
     let w = snap(rng.range_i64(50, 90));
     let len = snap(rng.range_i64(200, 420));
-    if rng.chance(0.5) {
+    Ok(if rng.chance(0.5) {
         Polygon::from_rect(Rect::new(0, 0, w, len))
     } else {
         Polygon::from_rect(Rect::new(0, 0, len, w))
-    }
+    })
 }
 
-fn random_l(rng: &mut Rng64) -> Polygon {
+fn random_l(rng: &mut Rng64) -> Result<Polygon, GeometryError> {
     let w = snap(rng.range_i64(50, 80));
     let ax = snap(rng.range_i64(2 * w + 20, 300));
     let ay = snap(rng.range_i64(2 * w + 20, 300));
     l_polygon(0, 0, ax, ay, w)
 }
 
-fn random_t(rng: &mut Rng64) -> Polygon {
+fn random_t(rng: &mut Rng64) -> Result<Polygon, GeometryError> {
     let w = snap(rng.range_i64(50, 80));
     let bar = snap(rng.range_i64(3 * w + 10, 400));
     let stem = snap(rng.range_i64(100, 280));
     t_polygon(0, 0, bar, stem, w)
 }
 
-fn b7() -> Layout {
+fn b7() -> Result<Layout, GeometryError> {
     let mut l = clip();
     let mut rng = Rng64::new(0xB7);
     scatter(
         &mut rng,
         &mut l,
         &[&random_l, &random_l, &random_bar, &random_bar, &random_bar],
-    );
-    l
+    )?;
+    Ok(l)
 }
 
-fn b8() -> Layout {
+fn b8() -> Result<Layout, GeometryError> {
     let mut l = clip();
     // 3x3 islands, 90 nm squares at 220 nm pitch.
     let start = (CLIP_NM - (3 * 90 + 2 * 130)) / 2;
@@ -343,27 +361,27 @@ fn b8() -> Layout {
         for ix in 0..3 {
             let x = start + ix * 220;
             let y = start + iy * 220;
-            l.push(Polygon::from_rect(Rect::new(x, y, x + 90, y + 90)));
+            l.try_push(Polygon::from_rect(Rect::new(x, y, x + 90, y + 90)))?;
         }
     }
-    l
+    Ok(l)
 }
 
-fn b9() -> Layout {
+fn b9() -> Result<Layout, GeometryError> {
     let mut l = clip();
     // Dense triple on the left.
     for k in 0..3 {
         let x = 240 + k * 120;
-        l.push(Polygon::from_rect(Rect::new(x, 240, x + 50, 620)));
+        l.try_push(Polygon::from_rect(Rect::new(x, 240, x + 50, 620)))?;
     }
     // Isolated line on the right.
-    l.push(Polygon::from_rect(Rect::new(700, 240, 770, 620)));
+    l.try_push(Polygon::from_rect(Rect::new(700, 240, 770, 620)))?;
     // Orthogonal bar below.
-    l.push(Polygon::from_rect(Rect::new(240, 700, 770, 770)));
-    l
+    l.try_push(Polygon::from_rect(Rect::new(240, 700, 770, 770)))?;
+    Ok(l)
 }
 
-fn b10() -> Layout {
+fn b10() -> Result<Layout, GeometryError> {
     let mut l = clip();
     let mut rng = Rng64::new(0x10B);
     scatter(
@@ -377,8 +395,8 @@ fn b10() -> Layout {
             &random_bar,
             &random_bar,
         ],
-    );
-    l
+    )?;
+    Ok(l)
 }
 
 #[cfg(test)]
@@ -388,7 +406,7 @@ mod tests {
     #[test]
     fn all_ten_build_and_are_in_bounds() {
         for id in BenchmarkId::all() {
-            let layout = id.layout();
+            let layout = id.layout().unwrap();
             assert_eq!(layout.width(), CLIP_NM);
             assert!(!layout.shapes().is_empty(), "{id} has no shapes");
             for shape in layout.shapes() {
@@ -403,7 +421,11 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         for id in BenchmarkId::all() {
-            assert_eq!(id.layout(), id.layout(), "{id} not deterministic");
+            assert_eq!(
+                id.layout().unwrap(),
+                id.layout().unwrap(),
+                "{id} not deterministic"
+            );
         }
     }
 
@@ -411,7 +433,7 @@ mod tests {
     fn pattern_areas_are_positive_and_distinct() {
         let areas: Vec<i64> = BenchmarkId::all()
             .iter()
-            .map(|id| id.layout().pattern_area())
+            .map(|id| id.layout().unwrap().pattern_area())
             .collect();
         for (&a, id) in areas.iter().zip(BenchmarkId::all()) {
             assert!(a > 0, "{id} has zero pattern area");
@@ -423,7 +445,7 @@ mod tests {
     #[test]
     fn features_keep_guard_band() {
         for id in BenchmarkId::all() {
-            let layout = id.layout();
+            let layout = id.layout().unwrap();
             let safe = Rect::new(190, 190, CLIP_NM - 190, CLIP_NM - 190);
             for shape in layout.shapes() {
                 assert!(
@@ -438,7 +460,7 @@ mod tests {
     #[test]
     fn every_clip_yields_epe_samples() {
         for id in BenchmarkId::all() {
-            let samples = id.layout().epe_samples(40);
+            let samples = id.layout().unwrap().epe_samples(40);
             assert!(samples.len() >= 4, "{id} placed only {}", samples.len());
         }
     }
@@ -446,7 +468,7 @@ mod tests {
     #[test]
     fn random_clips_have_disjoint_shapes() {
         for id in [BenchmarkId::B7, BenchmarkId::B10] {
-            let layout = id.layout();
+            let layout = id.layout().unwrap();
             let boxes: Vec<Rect> = layout.shapes().iter().map(Polygon::bounding_box).collect();
             for i in 0..boxes.len() {
                 for j in (i + 1)..boxes.len() {
@@ -461,9 +483,9 @@ mod tests {
 
     #[test]
     fn shape_helpers_have_expected_areas() {
-        let l = l_polygon(0, 0, 100, 80, 20);
+        let l = l_polygon(0, 0, 100, 80, 20).unwrap();
         assert_eq!(l.area(), 100 * 20 + (80 - 20) * 20);
-        let t = t_polygon(0, 0, 120, 60, 20);
+        let t = t_polygon(0, 0, 120, 60, 20).unwrap();
         assert_eq!(t.area(), 120 * 20 + 60 * 20);
     }
 
@@ -477,7 +499,7 @@ mod tests {
 
     #[test]
     fn b6_comb_fingers_interdigitate() {
-        let layout = BenchmarkId::B6.layout();
+        let layout = BenchmarkId::B6.layout().unwrap();
         // Between the first and second top fingers there must be a bottom
         // finger: probe at y = 550 (inside both finger ranges).
         assert!(layout.contains_f(280.0, 550.0)); // top finger 1

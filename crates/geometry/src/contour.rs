@@ -14,6 +14,7 @@
 //! resolved with a consistent "turn left first" rule, which keeps
 //! diagonal-touching regions separate.
 
+use crate::error::GeometryError;
 use crate::point::Point;
 use crate::polygon::Polygon;
 use mosaic_numerics::Grid;
@@ -58,7 +59,13 @@ impl Dir {
 /// returned counterclockwise in screen coordinates (lit on the left of
 /// travel), holes clockwise; [`Contour::is_outer`] reports which via the
 /// signed area.
-pub fn trace_contours(grid: &Grid<f64>) -> Vec<Contour> {
+///
+/// # Errors
+///
+/// Returns [`GeometryError::InvariantViolation`] if the boundary walk
+/// cannot complete — unreachable for grids built by this crate, but
+/// propagated rather than panicking so corrupt inputs stay contained.
+pub fn trace_contours(grid: &Grid<f64>) -> Result<Vec<Contour>, GeometryError> {
     let (w, h) = grid.dims();
     let lit = |x: i64, y: i64| -> bool {
         x >= 0
@@ -128,23 +135,31 @@ pub fn trace_contours(grid: &Grid<f64>) -> Vec<Contour> {
             let mut dir = first_dir;
             while pos != start {
                 path.push(pos);
-                let outgoing = edges.get_mut(&pos).expect("boundary graph is Eulerian");
+                let outgoing = edges.get_mut(&pos).ok_or_else(|| {
+                    GeometryError::InvariantViolation(format!(
+                        "boundary graph is not Eulerian at vertex {pos:?}"
+                    ))
+                })?;
                 let next = preference(dir)
                     .into_iter()
                     .find(|d| outgoing.contains(d))
-                    .expect("boundary graph has a continuation");
+                    .ok_or_else(|| {
+                        GeometryError::InvariantViolation(format!(
+                            "boundary graph has no continuation at vertex {pos:?}"
+                        ))
+                    })?;
                 outgoing.retain(|d| *d != next);
                 dir = next;
                 pos = next.step(pos);
             }
-            contours.push(close_loop(path));
+            contours.push(close_loop(path)?);
         }
     }
-    contours
+    Ok(contours)
 }
 
 /// Merges collinear runs and wraps the loop into a polygon + orientation.
-fn close_loop(path: Vec<Point>) -> Contour {
+fn close_loop(path: Vec<Point>) -> Result<Contour, GeometryError> {
     debug_assert!(path.len() >= 4);
     // Merge collinear vertices (including across the wrap point).
     let n = path.len();
@@ -168,24 +183,32 @@ fn close_loop(path: Vec<Point>) -> Contour {
         let b = vertices[(i + 1) % vertices.len()];
         twice_area += a.x * b.y - b.x * a.y;
     }
-    Contour {
-        polygon: Polygon::new(vertices).expect("traced loop is rectilinear"),
+    Ok(Contour {
+        polygon: Polygon::new(vertices)?,
         is_outer: twice_area > 0,
-    }
+    })
 }
 
 /// Converts the lit region into a layout of outer polygons, in pixel
 /// coordinates scaled by `pixel_nm` (holes are dropped; see
 /// [`trace_contours`] to keep them).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `pixel_nm` is not positive.
-pub fn grid_to_layout(grid: &Grid<f64>, pixel_nm: i64) -> crate::layout::Layout {
-    assert!(pixel_nm > 0, "pixel pitch must be positive");
+/// Returns [`GeometryError::InvalidDimension`] for a non-positive pixel
+/// pitch and propagates tracing/assembly errors.
+pub fn grid_to_layout(
+    grid: &Grid<f64>,
+    pixel_nm: i64,
+) -> Result<crate::layout::Layout, GeometryError> {
+    if pixel_nm <= 0 {
+        return Err(GeometryError::InvalidDimension(format!(
+            "pixel pitch must be positive, got {pixel_nm}"
+        )));
+    }
     let (w, h) = grid.dims();
     let mut layout = crate::layout::Layout::new(w as i64 * pixel_nm, h as i64 * pixel_nm);
-    for contour in trace_contours(grid) {
+    for contour in trace_contours(grid)? {
         if contour.is_outer {
             let scaled: Vec<Point> = contour
                 .polygon
@@ -193,10 +216,10 @@ pub fn grid_to_layout(grid: &Grid<f64>, pixel_nm: i64) -> crate::layout::Layout 
                 .iter()
                 .map(|p| Point::new(p.x * pixel_nm, p.y * pixel_nm))
                 .collect();
-            layout.push(Polygon::new(scaled).expect("scaling preserves rectilinearity"));
+            layout.try_push(Polygon::new(scaled)?)?;
         }
     }
-    layout
+    Ok(layout)
 }
 
 #[cfg(test)]
@@ -214,7 +237,7 @@ mod tests {
     #[test]
     fn single_rectangle_traces_to_four_vertices() {
         let g = grid_from(&["....", ".##.", ".##.", "...."]);
-        let contours = trace_contours(&g);
+        let contours = trace_contours(&g).unwrap();
         assert_eq!(contours.len(), 1);
         let c = &contours[0];
         assert!(c.is_outer);
@@ -226,7 +249,7 @@ mod tests {
     #[test]
     fn l_shape_traces_to_six_vertices() {
         let g = grid_from(&["....", ".#..", ".#..", ".##.", "...."]);
-        let contours = trace_contours(&g);
+        let contours = trace_contours(&g).unwrap();
         assert_eq!(contours.len(), 1);
         assert_eq!(contours[0].polygon.vertices().len(), 6);
         assert_eq!(contours[0].polygon.area(), 4);
@@ -235,7 +258,7 @@ mod tests {
     #[test]
     fn donut_yields_outer_and_hole() {
         let g = grid_from(&["#####", "#...#", "#.#.#", "#...#", "#####"]);
-        let mut contours = trace_contours(&g);
+        let mut contours = trace_contours(&g).unwrap();
         contours.sort_by_key(|c| c.polygon.area());
         assert_eq!(contours.len(), 3);
         // Inner lit pixel: outer loop of area 1.
@@ -252,7 +275,7 @@ mod tests {
     #[test]
     fn separate_components_trace_separately() {
         let g = grid_from(&["##..##", "##..##"]);
-        let contours = trace_contours(&g);
+        let contours = trace_contours(&g).unwrap();
         assert_eq!(contours.len(), 2);
         assert!(contours.iter().all(|c| c.is_outer && c.polygon.area() == 4));
     }
@@ -260,7 +283,7 @@ mod tests {
     #[test]
     fn diagonal_touch_stays_two_loops() {
         let g = grid_from(&["#.", ".#"]);
-        let contours = trace_contours(&g);
+        let contours = trace_contours(&g).unwrap();
         assert_eq!(contours.len(), 2, "corner-touching pixels must not merge");
         for c in &contours {
             assert_eq!(c.polygon.area(), 1);
@@ -270,13 +293,15 @@ mod tests {
 
     #[test]
     fn empty_grid_has_no_contours() {
-        assert!(trace_contours(&Grid::<f64>::zeros(4, 4)).is_empty());
+        assert!(trace_contours(&Grid::<f64>::zeros(4, 4))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn full_grid_traces_to_its_border() {
         let g = Grid::filled(3, 2, 1.0);
-        let contours = trace_contours(&g);
+        let contours = trace_contours(&g).unwrap();
         assert_eq!(contours.len(), 1);
         assert_eq!(contours[0].polygon.area(), 6);
     }
@@ -288,7 +313,7 @@ mod tests {
         layout.push(Polygon::from_rect(Rect::new(8, 8, 24, 40)));
         layout.push(Polygon::from_rect(Rect::new(40, 16, 56, 32)));
         let raster = layout.rasterize(1);
-        let back = grid_to_layout(&raster, 1);
+        let back = grid_to_layout(&raster, 1).unwrap();
         assert_eq!(back.shapes().len(), 2);
         assert_eq!(back.rasterize(1), raster);
         assert_eq!(back.pattern_area(), layout.pattern_area());
@@ -299,7 +324,7 @@ mod tests {
         let g = grid_from(&[
             "........", ".######.", ".#....#.", ".#....#.", ".######.", "........",
         ]);
-        let contours = trace_contours(&g);
+        let contours = trace_contours(&g).unwrap();
         let outer: i64 = contours
             .iter()
             .filter(|c| c.is_outer)
@@ -317,7 +342,7 @@ mod tests {
     #[test]
     fn grid_to_layout_scales_by_pixel_pitch() {
         let g = grid_from(&["##", "##"]);
-        let layout = grid_to_layout(&g, 4);
+        let layout = grid_to_layout(&g, 4).unwrap();
         assert_eq!(layout.width(), 8);
         assert_eq!(layout.pattern_area(), 64);
     }

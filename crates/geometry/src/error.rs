@@ -25,6 +25,11 @@ pub enum GeometryError {
     },
     /// A zero or negative dimension was supplied.
     InvalidDimension(String),
+    /// An internal geometric invariant did not hold — indicates corrupt
+    /// input or a bug upstream (e.g. a non-Eulerian boundary graph
+    /// during contour tracing). Propagated instead of panicking so one
+    /// bad clip cannot kill a batch worker.
+    InvariantViolation(String),
 }
 
 impl fmt::Display for GeometryError {
@@ -40,6 +45,9 @@ impl fmt::Display for GeometryError {
                 write!(f, "clip parse error at line {line}: {message}")
             }
             GeometryError::InvalidDimension(msg) => write!(f, "invalid dimension: {msg}"),
+            GeometryError::InvariantViolation(msg) => {
+                write!(f, "geometric invariant violated: {msg}")
+            }
         }
     }
 }

@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn t_shape_is_two_shots_after_merging() {
         // Top bar + stem: slab decomposition gives 2 rects.
-        let p = crate::benchmarks::t_polygon(0, 0, 90, 40, 30);
+        let p = crate::benchmarks::t_polygon(0, 0, 90, 40, 30).unwrap();
         let shots = fracture_polygon(&p);
         assert_eq!(shots.len(), 2, "{shots:?}");
         let area: i64 = shots.iter().map(Rect::area).sum();
@@ -180,7 +180,7 @@ mod tests {
     fn layout_shot_count_sums_shapes() {
         let mut l = Layout::new(200, 200);
         l.push(Polygon::from_rect(Rect::new(0, 0, 10, 10)));
-        l.push(crate::benchmarks::l_polygon(50, 50, 60, 70, 20));
+        l.push(crate::benchmarks::l_polygon(50, 50, 60, 70, 20).unwrap());
         assert_eq!(shot_count(&l), 1 + 2);
         assert_eq!(fracture_layout(&l).len(), 3);
     }
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn benchmark_clips_fracture_exactly() {
         for id in crate::benchmarks::BenchmarkId::all() {
-            let layout = id.layout();
+            let layout = id.layout().unwrap();
             let shots = fracture_layout(&layout);
             let area: i64 = shots.iter().map(Rect::area).sum();
             assert_eq!(area, layout.pattern_area(), "{id}");

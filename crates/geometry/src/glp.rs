@@ -65,7 +65,14 @@ pub fn parse_clip(text: &str) -> Result<Layout, GeometryError> {
             continue;
         }
         let mut tokens = line.split_whitespace();
-        let keyword = tokens.next().expect("non-empty line has a token");
+        let Some(keyword) = tokens.next() else {
+            // Unreachable for a non-empty trimmed line, but a malformed
+            // line must never panic the loader.
+            return Err(GeometryError::ParseClip {
+                line: line_no,
+                message: "line has no keyword token".into(),
+            });
+        };
         let nums: Result<Vec<i64>, _> = tokens.map(str::parse::<i64>).collect();
         let nums = nums.map_err(|e| GeometryError::ParseClip {
             line: line_no,

@@ -67,14 +67,21 @@ impl Layout {
         &self.shapes
     }
 
-    /// Adds a shape.
+    /// Adds a shape — a convenience for tests, examples and docs.
+    ///
+    /// Library code should prefer [`Layout::try_push`], which propagates
+    /// the error instead of unwinding.
     ///
     /// # Panics
     ///
-    /// Panics if the shape does not fit in the clip extent; use
-    /// [`Layout::try_push`] for a fallible version.
+    /// Panics if the shape does not fit in the clip extent.
     pub fn push(&mut self, shape: Polygon) {
-        self.try_push(shape).expect("shape out of clip bounds");
+        let pushed = self.try_push(shape);
+        assert!(
+            pushed.is_ok(),
+            "shape out of clip bounds: {:?}",
+            pushed.err()
+        );
     }
 
     /// Adds a shape, validating that it fits in the clip extent.

@@ -82,7 +82,7 @@ fn rasterize_polygon_into(polygon: &Polygon, pixel_nm: i64, grid: &mut Grid<f64>
         if crossings.is_empty() {
             continue;
         }
-        crossings.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        crossings.sort_by(f64::total_cmp);
         // Parity fill: pairs (crossings[0], crossings[1]), ...
         for pair in crossings.chunks_exact(2) {
             let (xa, xb) = (pair[0], pair[1]);

@@ -44,11 +44,12 @@ impl<T> Grid<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `width * height` overflows `usize`.
+    /// Panics (from the allocator) if `width * height` exceeds the
+    /// addressable capacity of a `Vec`.
     pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
-        let len = width
-            .checked_mul(height)
-            .expect("grid dimensions overflow usize");
+        // A saturated capacity hint makes `Vec` itself reject the
+        // pathological size instead of panicking here.
+        let len = width.saturating_mul(height);
         let mut data = Vec::with_capacity(len);
         for y in 0..height {
             for x in 0..width {

@@ -227,7 +227,9 @@ pub fn eigen_hermitian(a: &Matrix) -> HermitianEigen {
     }
     // Extract and sort by descending eigenvalue.
     let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    // `total_cmp` keeps the sort deterministic even if a degenerate
+    // input produced non-finite eigenvalues.
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
     let values: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
     let vectors = Matrix::from_fn(n, |r, k| v[(r, pairs[k].1)]);
     HermitianEigen { values, vectors }

@@ -66,12 +66,15 @@ impl KernelSet {
 
     /// Builds the bank for `condition` under the given optics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config` fails [`OpticsConfig::validate`]; validate
-    /// upstream for a fallible path.
-    pub fn build(config: &OpticsConfig, condition: ProcessCondition) -> Self {
-        config.validate().expect("invalid optics configuration");
+    /// Returns the validation error if `config` fails
+    /// [`OpticsConfig::validate`].
+    pub fn build(
+        config: &OpticsConfig,
+        condition: ProcessCondition,
+    ) -> Result<Self, crate::error::OpticsError> {
+        config.validate()?;
         let (w, h) = (config.grid_width, config.grid_height);
         let cutoff = config.cutoff_frequency();
         let points = config.source.sample(config.kernel_count);
@@ -100,12 +103,12 @@ impl KernelSet {
                 }
             })
             .collect();
-        KernelSet {
+        Ok(KernelSet {
             kernels,
             condition,
             width: w,
             height: h,
-        }
+        })
     }
 
     /// The coherent systems of this bank.
@@ -229,7 +232,7 @@ mod tests {
 
     #[test]
     fn bank_has_requested_kernel_count() {
-        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL);
+        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL).unwrap();
         assert_eq!(set.kernels().len(), 8);
         let total: f64 = set.kernels().iter().map(|k| k.weight).sum();
         assert!((total - 1.0).abs() < 1e-12);
@@ -238,7 +241,7 @@ mod tests {
     #[test]
     fn clear_field_intensity_is_unity() {
         let config = small_config();
-        let set = KernelSet::build(&config, ProcessCondition::NOMINAL);
+        let set = KernelSet::build(&config, ProcessCondition::NOMINAL).unwrap();
         let conv = Convolver::new(64, 64);
         let clear = Grid::filled(64, 64, 1.0);
         let spectrum = conv.forward_real(&clear);
@@ -251,7 +254,7 @@ mod tests {
     #[test]
     fn clear_field_unity_even_defocused() {
         let config = small_config();
-        let set = KernelSet::build(&config, ProcessCondition::new(25.0, 1.0));
+        let set = KernelSet::build(&config, ProcessCondition::new(25.0, 1.0)).unwrap();
         let conv = Convolver::new(64, 64);
         let spectrum = conv.forward_real(&Grid::filled(64, 64, 1.0));
         let intensity = set.aerial_image_from_spectrum(&conv, &spectrum);
@@ -260,7 +263,7 @@ mod tests {
 
     #[test]
     fn dark_mask_gives_zero_intensity() {
-        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL);
+        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL).unwrap();
         let conv = Convolver::new(64, 64);
         let spectrum = conv.forward_real(&Grid::zeros(64, 64));
         let intensity = set.aerial_image_from_spectrum(&conv, &spectrum);
@@ -279,8 +282,10 @@ mod tests {
         }
         let spectrum = conv.forward_real(&mask);
         let nominal = KernelSet::build(&config, ProcessCondition::NOMINAL)
+            .unwrap()
             .aerial_image_from_spectrum(&conv, &spectrum);
         let overdosed = KernelSet::build(&config, ProcessCondition::new(0.0, 1.02))
+            .unwrap()
             .aerial_image_from_spectrum(&conv, &spectrum);
         for (a, b) in nominal.iter().zip(overdosed.iter()) {
             assert!((b - a * 1.02).abs() < 1e-12);
@@ -289,7 +294,7 @@ mod tests {
 
     #[test]
     fn intensity_is_nonnegative() {
-        let set = KernelSet::build(&small_config(), ProcessCondition::new(-25.0, 0.98));
+        let set = KernelSet::build(&small_config(), ProcessCondition::new(-25.0, 0.98)).unwrap();
         let conv = Convolver::new(64, 64);
         let mask = Grid::from_fn(
             64,
@@ -313,8 +318,10 @@ mod tests {
         }
         let spectrum = conv.forward_real(&mask);
         let focused = KernelSet::build(&config, ProcessCondition::NOMINAL)
+            .unwrap()
             .aerial_image_from_spectrum(&conv, &spectrum);
         let defocused = KernelSet::build(&config, ProcessCondition::new(60.0, 1.0))
+            .unwrap()
             .aerial_image_from_spectrum(&conv, &spectrum);
         assert!(
             defocused[(32, 32)] < focused[(32, 32)],
@@ -326,7 +333,7 @@ mod tests {
 
     #[test]
     fn combined_kernel_matches_weighted_sum() {
-        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL);
+        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL).unwrap();
         let combined = set.combined();
         let mut manual = Grid::<Complex>::zeros(64, 64);
         for k in set.kernels() {
@@ -341,7 +348,7 @@ mod tests {
 
     #[test]
     fn spatial_kernel_is_centered_and_low_pass() {
-        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL);
+        let set = KernelSet::build(&small_config(), ProcessCondition::NOMINAL).unwrap();
         let h = set.spatial_kernel(0);
         // Peak magnitude at the grid center.
         let mut best = (0, 0);
@@ -358,7 +365,7 @@ mod tests {
     #[test]
     fn fields_returned_match_intensity() {
         let config = small_config();
-        let set = KernelSet::build(&config, ProcessCondition::new(10.0, 1.02));
+        let set = KernelSet::build(&config, ProcessCondition::new(10.0, 1.02)).unwrap();
         let conv = Convolver::new(64, 64);
         let mask = Grid::from_fn(64, 64, |x, _| if x > 20 && x < 44 { 1.0 } else { 0.0 });
         let spectrum = conv.forward_real(&mask);

@@ -36,7 +36,8 @@
 //! use mosaic_optics::prelude::*;
 //!
 //! let config = OpticsConfig::contest_32nm(128, 4.0);
-//! let sim = LithoSimulator::new(&config, ResistModel::paper(), ProcessCondition::nominal_only());
+//! let sim = LithoSimulator::new(&config, ResistModel::paper(), ProcessCondition::nominal_only())
+//!     .unwrap();
 //! // A clear mask exposes everywhere: normalized intensity 1.
 //! let clear = Grid::filled(128, 128, 1.0);
 //! let aerial = sim.aerial_image(&clear, 0);

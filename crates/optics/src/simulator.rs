@@ -2,6 +2,7 @@
 //! mask → optical projection → aerial image → resist → printed image.
 
 use crate::config::{OpticsConfig, ProcessCondition};
+use crate::error::OpticsError;
 use crate::kernels::KernelSet;
 use crate::resist::ResistModel;
 use crate::source::SourceShape;
@@ -90,61 +91,67 @@ pub struct LithoSimulator {
 impl LithoSimulator {
     /// Builds kernel banks for every condition.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid or `conditions` is empty.
+    /// Returns [`OpticsError::NoConditions`] when `conditions` is empty
+    /// and the validation error when the configuration is invalid.
     pub fn new(
         config: &OpticsConfig,
         resist: ResistModel,
         conditions: Vec<ProcessCondition>,
-    ) -> Self {
-        config.validate().expect("invalid optics configuration");
-        assert!(
-            !conditions.is_empty(),
-            "need at least one process condition"
-        );
+    ) -> Result<Self, OpticsError> {
+        config.validate()?;
+        if conditions.is_empty() {
+            return Err(OpticsError::NoConditions);
+        }
         let convolver = Convolver::new(config.grid_width, config.grid_height);
         let banks = conditions
             .iter()
-            .map(|&c| Arc::new(KernelSet::build(config, c)))
-            .collect();
-        LithoSimulator {
+            .map(|&c| Ok(Arc::new(KernelSet::build(config, c)?)))
+            .collect::<Result<Vec<_>, OpticsError>>()?;
+        Ok(LithoSimulator {
             convolver,
             resist,
             banks,
             config: config.clone(),
-        }
+        })
     }
 
     /// Assembles a simulator around prebuilt shared kernel banks — the
     /// cheap path a batch runtime takes after a [`SimKey`] cache hit. No
     /// spectra are recomputed; only the convolver plans are rebuilt.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `banks` is empty or any bank's grid differs from the
-    /// configuration grid.
+    /// Returns [`OpticsError::NoConditions`] when `banks` is empty,
+    /// [`OpticsError::BankGridMismatch`] when any bank's grid differs
+    /// from the configuration grid, and the validation error when the
+    /// configuration is invalid.
     pub fn from_shared_banks(
         config: &OpticsConfig,
         resist: ResistModel,
         banks: Vec<Arc<KernelSet>>,
-    ) -> Self {
-        config.validate().expect("invalid optics configuration");
-        assert!(!banks.is_empty(), "need at least one process condition");
+    ) -> Result<Self, OpticsError> {
+        config.validate()?;
+        if banks.is_empty() {
+            return Err(OpticsError::NoConditions);
+        }
+        let expected = (config.grid_width, config.grid_height);
         for b in &banks {
-            assert_eq!(
-                b.dims(),
-                (config.grid_width, config.grid_height),
-                "kernel bank grid mismatch"
-            );
+            if b.dims() != expected {
+                return Err(OpticsError::BankGridMismatch {
+                    expected,
+                    got: b.dims(),
+                });
+            }
         }
         let convolver = Convolver::new(config.grid_width, config.grid_height);
-        LithoSimulator {
+        Ok(LithoSimulator {
             convolver,
             resist,
             banks,
             config: config.clone(),
-        }
+        })
     }
 
     /// The cache key identifying this simulator's configuration.
@@ -248,7 +255,7 @@ mod tests {
             .kernel_count(8)
             .build()
             .unwrap();
-        LithoSimulator::new(&config, ResistModel::paper(), conditions)
+        LithoSimulator::new(&config, ResistModel::paper(), conditions).unwrap()
     }
 
     fn bar_mask() -> Grid<f64> {
@@ -339,9 +346,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one process condition")]
     fn empty_conditions_rejected() {
-        let _ = simulator(vec![]);
+        let config = OpticsConfig::builder()
+            .grid(64, 64)
+            .pixel_nm(8.0)
+            .kernel_count(8)
+            .build()
+            .unwrap();
+        let err = LithoSimulator::new(&config, ResistModel::paper(), vec![]).unwrap_err();
+        assert_eq!(err, OpticsError::NoConditions);
+        let err =
+            LithoSimulator::from_shared_banks(&config, ResistModel::paper(), vec![]).unwrap_err();
+        assert_eq!(err, OpticsError::NoConditions);
+    }
+
+    #[test]
+    fn mismatched_bank_grid_rejected() {
+        let built = simulator(ProcessCondition::nominal_only());
+        let other_config = OpticsConfig::builder()
+            .grid(128, 128)
+            .pixel_nm(8.0)
+            .kernel_count(8)
+            .build()
+            .unwrap();
+        let err = LithoSimulator::from_shared_banks(
+            &other_config,
+            ResistModel::paper(),
+            built.shared_banks().to_vec(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OpticsError::BankGridMismatch { .. }));
     }
 
     #[test]
@@ -351,7 +385,8 @@ mod tests {
             built.config(),
             *built.resist(),
             built.shared_banks().to_vec(),
-        );
+        )
+        .unwrap();
         let mask = bar_mask();
         for i in 0..built.condition_count() {
             assert_eq!(built.aerial_image(&mask, i), shared.aerial_image(&mask, i));
@@ -377,7 +412,8 @@ mod tests {
                 .unwrap(),
             ResistModel::paper(),
             ProcessCondition::nominal_only(),
-        );
+        )
+        .unwrap();
         assert_ne!(a, other.sim_key());
     }
 }

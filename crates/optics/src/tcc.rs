@@ -22,6 +22,7 @@
 //! `(1 + σ_max)·NA/λ` participate.
 
 use crate::config::{OpticsConfig, ProcessCondition};
+use crate::error::OpticsError;
 use crate::kernels::{freq, CoherentKernel, KernelSet};
 use mosaic_numerics::{eigen_hermitian, Complex, Grid, KernelSpectrum, Matrix};
 use std::f64::consts::PI;
@@ -58,16 +59,24 @@ impl TccDecomposition {
 /// `source_samples` controls how densely the source is integrated
 /// (independent of the kernel count; 4–10× the kernel count is plenty).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is invalid or `source_samples == 0`.
+/// Returns the validation error for an invalid configuration,
+/// [`OpticsError::InvalidParameter`] when `source_samples == 0` and
+/// [`OpticsError::EmptyPupilSupport`] when the grid is too coarse to
+/// sample the pupil.
 pub fn decompose(
     config: &OpticsConfig,
     condition: ProcessCondition,
     source_samples: usize,
-) -> TccDecomposition {
-    config.validate().expect("invalid optics configuration");
-    assert!(source_samples > 0, "need at least one source sample");
+) -> Result<TccDecomposition, OpticsError> {
+    config.validate()?;
+    if source_samples == 0 {
+        return Err(OpticsError::InvalidParameter {
+            name: "source_samples",
+            message: "need at least one source sample".into(),
+        });
+    }
     let (w, h) = (config.grid_width, config.grid_height);
     let cutoff = config.cutoff_frequency();
     let points = config.source.sample(source_samples);
@@ -89,7 +98,9 @@ pub fn decompose(
         }
     }
     let n = support.len();
-    assert!(n > 0, "pupil support is empty — grid too coarse");
+    if n == 0 {
+        return Err(OpticsError::EmptyPupilSupport);
+    }
 
     // Defocused pupil evaluated at arbitrary frequency.
     let pupil = |gx: f64, gy: f64| -> Complex {
@@ -138,11 +149,11 @@ pub fn decompose(
             }
         })
         .collect();
-    TccDecomposition {
+    Ok(TccDecomposition {
         eigenvalues: eig.values,
         kernels: KernelSet::from_kernels(kernels, condition, w, h),
         support_size: n,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +177,7 @@ mod tests {
 
     #[test]
     fn eigenvalues_nonnegative_and_descending() {
-        let tcc = decompose(&config(), ProcessCondition::NOMINAL, 64);
+        let tcc = decompose(&config(), ProcessCondition::NOMINAL, 64).unwrap();
         assert!(tcc.support_size > 16);
         for pair in tcc.eigenvalues.windows(2) {
             assert!(pair[0] >= pair[1] - 1e-12);
@@ -178,7 +189,7 @@ mod tests {
 
     #[test]
     fn energy_capture_grows_to_one() {
-        let tcc = decompose(&config(), ProcessCondition::NOMINAL, 64);
+        let tcc = decompose(&config(), ProcessCondition::NOMINAL, 64).unwrap();
         let mut prev = 0.0;
         for h in [1usize, 4, 8, 16, tcc.eigenvalues.len()] {
             let e = tcc.energy_captured(h);
@@ -198,7 +209,7 @@ mod tests {
     fn clear_field_intensity_near_unity() {
         // DC response: Σ_k |K_k(0)|² equals TCC(0,0) = 1 up to rank
         // truncation.
-        let tcc = decompose(&config(), ProcessCondition::NOMINAL, 64);
+        let tcc = decompose(&config(), ProcessCondition::NOMINAL, 64).unwrap();
         let conv = Convolver::new(64, 64);
         let spectrum = conv.forward_real(&Grid::filled(64, 64, 1.0));
         let intensity = tcc.kernels.aerial_image_from_spectrum(&conv, &spectrum);
@@ -215,10 +226,10 @@ mod tests {
         // the same Hopkins operator, so their aerial images must agree.
         let cfg = config();
         let source_n = 64;
-        let tcc = decompose(&cfg, ProcessCondition::NOMINAL, source_n);
+        let tcc = decompose(&cfg, ProcessCondition::NOMINAL, source_n).unwrap();
         let mut abbe_cfg = cfg.clone();
         abbe_cfg.kernel_count = source_n;
-        let abbe = KernelSet::build(&abbe_cfg, ProcessCondition::NOMINAL);
+        let abbe = KernelSet::build(&abbe_cfg, ProcessCondition::NOMINAL).unwrap();
         let conv = Convolver::new(64, 64);
         let spectrum = conv.forward_real(&bar_mask());
         let i_tcc = tcc.kernels.aerial_image_from_spectrum(&conv, &spectrum);
@@ -239,8 +250,8 @@ mod tests {
     #[test]
     fn defocus_enters_the_tcc() {
         let cfg = config();
-        let focused = decompose(&cfg, ProcessCondition::NOMINAL, 32);
-        let defocused = decompose(&cfg, ProcessCondition::new(80.0, 1.0), 32);
+        let focused = decompose(&cfg, ProcessCondition::NOMINAL, 32).unwrap();
+        let defocused = decompose(&cfg, ProcessCondition::new(80.0, 1.0), 32).unwrap();
         let conv = Convolver::new(64, 64);
         let spectrum = conv.forward_real(&bar_mask());
         let i_f = focused.kernels.aerial_image_from_spectrum(&conv, &spectrum);
@@ -253,7 +264,7 @@ mod tests {
 
     #[test]
     fn dominant_kernel_dominates() {
-        let tcc = decompose(&config(), ProcessCondition::NOMINAL, 48);
+        let tcc = decompose(&config(), ProcessCondition::NOMINAL, 48).unwrap();
         // λ₁ should carry a large share for a conventional-ish source.
         assert!(tcc.energy_captured(1) > 0.15);
         assert!(tcc.energy_captured(1) < 1.0);

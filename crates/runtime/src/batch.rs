@@ -8,8 +8,9 @@
 
 use crate::cache::SimCache;
 use crate::events::{Event, EventSink};
+use crate::fault::FaultPlan;
 use crate::job::{execute_job, JobContext, JobReport, JobSpec, JobStatus};
-use crate::scheduler::{run_pool, CancelToken, JobExecution};
+use crate::scheduler::{run_pool, CancelToken, JobExecution, RetryPolicy};
 use std::io;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -22,6 +23,8 @@ pub struct BatchConfig {
     /// Retries per failed job (1 = the paper over-provisions nothing;
     /// a transient failure gets one more chance).
     pub retries: u32,
+    /// Pause on the failing worker before each retry.
+    pub retry_backoff: Duration,
     /// JSONL report path; `None` disables event output.
     pub report: Option<PathBuf>,
     /// Checkpoint root directory; `None` disables checkpoint/resume.
@@ -33,6 +36,8 @@ pub struct BatchConfig {
     pub deadline: Option<Duration>,
     /// External cancellation handle (e.g. from a signal handler).
     pub cancel: CancelToken,
+    /// Planned faults for hardening tests; empty in production.
+    pub faults: FaultPlan,
 }
 
 impl Default for BatchConfig {
@@ -40,16 +45,32 @@ impl Default for BatchConfig {
         BatchConfig {
             workers: 1,
             retries: 1,
+            retry_backoff: Duration::ZERO,
             report: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
             deadline: None,
             cancel: CancelToken::new(),
+            faults: FaultPlan::new(),
         }
     }
 }
 
-/// Everything a finished batch produced, in job order.
+/// One job that exhausted its attempts, in a form a caller can log or
+/// assert on without digging through [`JobExecution`].
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// The failed spec's id.
+    pub job: String,
+    /// The last attempt's error (panic payloads are rendered in).
+    pub error: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+}
+
+/// Everything a finished batch produced, in job order. A batch always
+/// drains: failures are folded in per job, never propagated, so partial
+/// results survive any mix of panics, errors and cancellations.
 #[derive(Debug)]
 pub struct BatchOutcome {
     /// One terminal execution per spec, in input order.
@@ -60,6 +81,8 @@ pub struct BatchOutcome {
     pub failed: usize,
     /// Jobs cancelled (before start or mid-run).
     pub cancelled: usize,
+    /// Structured report of every failed job, in input order.
+    pub failures: Vec<JobFailure>,
     /// Sum of runtime-excluded quality scores over finished jobs.
     pub total_quality_score: f64,
     /// Batch wall time, seconds.
@@ -92,6 +115,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         deadline,
         checkpoint_dir: config.checkpoint_dir.as_deref(),
         checkpoint_every: config.checkpoint_every,
+        faults: (!config.faults.is_empty()).then_some(&config.faults),
     };
     let runner = |spec: &JobSpec, attempt: u32| {
         // Promote an elapsed deadline into a sticky cancel so queued
@@ -104,7 +128,10 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
     let results = run_pool(
         specs,
         config.workers,
-        config.retries,
+        RetryPolicy {
+            retries: config.retries,
+            backoff: config.retry_backoff,
+        },
         &config.cancel,
         &runner,
     );
@@ -112,6 +139,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
     let mut finished = 0usize;
     let mut failed = 0usize;
     let mut cancelled = 0usize;
+    let mut failures = Vec::new();
     let mut total_quality_score = 0.0f64;
     for (spec, execution) in specs.iter().zip(&results) {
         match execution {
@@ -126,6 +154,11 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
             },
             JobExecution::Failure { error, attempts } => {
                 failed += 1;
+                failures.push(JobFailure {
+                    job: spec.id.clone(),
+                    error: error.clone(),
+                    attempts: *attempts,
+                });
                 events.emit(&Event::JobFinish {
                     job: spec.id.clone(),
                     status: JobStatus::Failed.name().to_string(),
@@ -137,6 +170,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
                     quality_score: f64::NAN,
                     wall_s: f64::NAN,
                     attempts: *attempts,
+                    recoveries: 0,
                 });
             }
             JobExecution::Cancelled => {
@@ -152,6 +186,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
                     quality_score: f64::NAN,
                     wall_s: 0.0,
                     attempts: 0,
+                    recoveries: 0,
                 });
             }
         }
@@ -169,6 +204,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         finished,
         failed,
         cancelled,
+        failures,
         total_quality_score,
         wall_s,
     })

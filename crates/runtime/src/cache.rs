@@ -11,7 +11,9 @@
 //! first caller for a configuration builds, everyone else gets a cheap
 //! clone of the `Arc`.
 
-use mosaic_optics::{LithoSimulator, OpticsConfig, ProcessCondition, ResistModel, SimKey};
+use mosaic_optics::{
+    LithoSimulator, OpticsConfig, OpticsError, ProcessCondition, ResistModel, SimKey,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -34,23 +36,29 @@ impl SimCache {
 
     /// Returns the cached simulator for this configuration, building and
     /// inserting it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`OpticsError`] when the configuration cannot build
+    /// a simulator; failed builds are not cached, so a later corrected
+    /// configuration is unaffected.
     pub fn get_or_build(
         &self,
         optics: &OpticsConfig,
         resist: ResistModel,
         conditions: &[ProcessCondition],
-    ) -> Arc<LithoSimulator> {
+    ) -> Result<Arc<LithoSimulator>, OpticsError> {
         let key = SimKey::new(optics, &resist, conditions);
         let mut map = self
             .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(sim) = map.get(&key) {
-            return Arc::clone(sim);
+            return Ok(Arc::clone(sim));
         }
-        let sim = Arc::new(LithoSimulator::new(optics, resist, conditions.to_vec()));
+        let sim = Arc::new(LithoSimulator::new(optics, resist, conditions.to_vec())?);
         map.insert(key, Arc::clone(&sim));
-        sim
+        Ok(sim)
     }
 
     /// Number of distinct configurations built so far.
@@ -85,8 +93,12 @@ mod tests {
     fn same_configuration_shares_one_simulator() {
         let cache = SimCache::new();
         let o = optics(4);
-        let a = cache.get_or_build(&o, ResistModel::paper(), &ProcessCondition::nominal_only());
-        let b = cache.get_or_build(&o, ResistModel::paper(), &ProcessCondition::nominal_only());
+        let a = cache
+            .get_or_build(&o, ResistModel::paper(), &ProcessCondition::nominal_only())
+            .unwrap();
+        let b = cache
+            .get_or_build(&o, ResistModel::paper(), &ProcessCondition::nominal_only())
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
     }
@@ -95,8 +107,12 @@ mod tests {
     fn different_configurations_build_separately() {
         let cache = SimCache::new();
         let nominal = ProcessCondition::nominal_only();
-        let a = cache.get_or_build(&optics(4), ResistModel::paper(), &nominal);
-        let b = cache.get_or_build(&optics(6), ResistModel::paper(), &nominal);
+        let a = cache
+            .get_or_build(&optics(4), ResistModel::paper(), &nominal)
+            .unwrap();
+        let b = cache
+            .get_or_build(&optics(6), ResistModel::paper(), &nominal)
+            .unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 2);
     }
@@ -110,7 +126,9 @@ mod tests {
             let mut handles = Vec::new();
             for _ in 0..4 {
                 handles.push(s.spawn(|| {
-                    cache.get_or_build(&o, ResistModel::paper(), &ProcessCondition::nominal_only())
+                    cache
+                        .get_or_build(&o, ResistModel::paper(), &ProcessCondition::nominal_only())
+                        .unwrap()
                 }));
             }
             let sims: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();

@@ -11,7 +11,10 @@
 //!   from it reproduces the uninterrupted run bit for bit.
 //!
 //! Saves are atomic (write `state.txt.tmp`, then rename) so a kill mid-
-//! save leaves the previous checkpoint intact.
+//! save leaves the previous checkpoint intact. The manifest ends with an
+//! FNV-1a checksum over everything above it; [`load`] verifies it, and
+//! [`load_or_quarantine`] turns any corrupt manifest into a fresh start
+//! by renaming it to `state.txt.corrupt` for post-mortem inspection.
 
 use mosaic_core::OptimizerCheckpoint;
 use mosaic_eval::pgm;
@@ -20,9 +23,20 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &str = "mosaic-checkpoint v1";
+const MAGIC: &str = "mosaic-checkpoint v2";
 /// Hex words per manifest line — keeps lines short enough for editors.
 const WORDS_PER_LINE: usize = 8;
+
+/// FNV-1a 64-bit hash — the manifest integrity checksum. Not
+/// cryptographic; it only needs to catch truncation and bit rot.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// The checkpoint directory for one job.
 pub fn job_dir(root: &Path, job_id: &str) -> PathBuf {
@@ -72,8 +86,15 @@ pub fn save(root: &Path, job_id: &str, checkpoint: &OptimizerCheckpoint) -> io::
         "prev_value {:016x}",
         checkpoint.prev_value.to_bits()
     );
+    let _ = writeln!(manifest, "recoveries {}", checkpoint.recoveries);
+    let _ = writeln!(
+        manifest,
+        "step_damp {:016x}",
+        checkpoint.step_damp.to_bits()
+    );
     push_grid_hex(&mut manifest, "p", &checkpoint.variables);
     push_grid_hex(&mut manifest, "best_p", &checkpoint.best_variables);
+    let _ = writeln!(manifest, "checksum {:016x}", fnv1a64(manifest.as_bytes()));
 
     let tmp = dir.join("state.txt.tmp");
     std::fs::write(&tmp, manifest)?;
@@ -131,12 +152,38 @@ fn parse_field<'a>(
     Ok(parts.collect())
 }
 
+/// Splits the manifest into its body and the trailing checksum line and
+/// verifies the checksum covers the body exactly.
+fn verify_checksum(text: &str) -> io::Result<&str> {
+    let body_end = text
+        .rfind("checksum ")
+        .ok_or_else(|| bad("manifest has no checksum line"))?;
+    if body_end > 0 && !text[..body_end].ends_with('\n') {
+        return Err(bad("checksum marker is not at the start of a line"));
+    }
+    let (body, tail) = text.split_at(body_end);
+    let word = tail
+        .strip_prefix("checksum ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .ok_or_else(|| bad("missing checksum value"))?;
+    let recorded =
+        u64::from_str_radix(word, 16).map_err(|_| bad(format!("bad checksum word {word:?}")))?;
+    let actual = fnv1a64(body.as_bytes());
+    if recorded != actual {
+        return Err(bad(format!(
+            "checksum mismatch: manifest records {recorded:016x}, contents hash to {actual:016x}"
+        )));
+    }
+    Ok(body)
+}
+
 /// Loads the checkpoint for `job_id`, or `Ok(None)` if the job has no
 /// checkpoint under `root`.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for corrupt manifests and propagates other I/O
+/// Returns `InvalidData` for corrupt manifests (bad magic, missing
+/// fields, truncated grids, checksum mismatch) and propagates other I/O
 /// errors.
 pub fn load(root: &Path, job_id: &str) -> io::Result<Option<OptimizerCheckpoint>> {
     let path = job_dir(root, job_id).join("state.txt");
@@ -145,7 +192,8 @@ pub fn load(root: &Path, job_id: &str) -> io::Result<Option<OptimizerCheckpoint>
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
-    let mut lines = text.lines();
+    let body = verify_checksum(&text)?;
+    let mut lines = body.lines();
     if lines.next() != Some(MAGIC) {
         return Err(bad("not a mosaic checkpoint manifest"));
     }
@@ -179,6 +227,16 @@ pub fn load(root: &Path, job_id: &str) -> io::Result<Option<OptimizerCheckpoint>
             .first()
             .ok_or_else(|| bad("missing prev_value"))?,
     )?;
+    let recoveries = parse_field(&mut lines, "recoveries")?
+        .first()
+        .ok_or_else(|| bad("missing recoveries value"))?
+        .parse()
+        .map_err(|_| bad("bad recoveries"))?;
+    let step_damp = parse_f64_bits(
+        parse_field(&mut lines, "step_damp")?
+            .first()
+            .ok_or_else(|| bad("missing step_damp"))?,
+    )?;
     let variables = parse_grid(&mut lines, "p", w, h)?;
     let best_variables = parse_grid(&mut lines, "best_p", w, h)?;
     Ok(Some(OptimizerCheckpoint {
@@ -188,19 +246,67 @@ pub fn load(root: &Path, job_id: &str) -> io::Result<Option<OptimizerCheckpoint>
         prev_value,
         stagnant,
         iterations_done,
+        recoveries,
+        step_damp,
     }))
 }
 
-/// Removes the job's checkpoint directory (after a successful finish).
-/// Missing directories are fine.
+/// Like [`load`], but a corrupt manifest is contained instead of fatal:
+/// the bad `state.txt` is renamed to `state.txt.corrupt` (replacing any
+/// earlier quarantined file) and the job restarts from scratch.
+///
+/// Returns the checkpoint (or `None` when there is nothing usable) plus
+/// a description of the quarantine when one happened, for logging.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than corruption (unreadable directory,
+/// failed rename).
+pub fn load_or_quarantine(
+    root: &Path,
+    job_id: &str,
+) -> io::Result<(Option<OptimizerCheckpoint>, Option<String>)> {
+    match load(root, job_id) {
+        Ok(cp) => Ok((cp, None)),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            let dir = job_dir(root, job_id);
+            let quarantined = dir.join("state.txt.corrupt");
+            std::fs::rename(dir.join("state.txt"), &quarantined)?;
+            Ok((
+                None,
+                Some(format!(
+                    "corrupt checkpoint quarantined to {}: {e}",
+                    quarantined.display()
+                )),
+            ))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Removes the job's checkpoint artifacts (after a successful finish).
+/// Missing directories are fine. A quarantined `state.txt.corrupt` is
+/// deliberately left behind — it exists for post-mortem inspection and
+/// keeps the job directory alive.
 ///
 /// # Errors
 ///
 /// Propagates unexpected I/O errors from the removal.
 pub fn clear(root: &Path, job_id: &str) -> io::Result<()> {
-    match std::fs::remove_dir_all(job_dir(root, job_id)) {
+    let dir = job_dir(root, job_id);
+    for name in ["state.txt", "state.txt.tmp", "p_field.pgm"] {
+        match std::fs::remove_file(dir.join(name)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    // Drop the directory if that emptied it; a remaining quarantine file
+    // (or anything else a human put there) keeps it.
+    match std::fs::remove_dir(&dir) {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(_) if dir.exists() => Ok(()),
         Err(e) => Err(e),
     }
 }
@@ -226,6 +332,8 @@ mod tests {
             prev_value: 130.0e-3,
             stagnant: 2,
             iterations_done: 7,
+            recoveries: 1,
+            step_damp: 0.5,
         }
     }
 
@@ -241,6 +349,8 @@ mod tests {
         assert_eq!(back.prev_value.to_bits(), cp.prev_value.to_bits());
         assert_eq!(back.stagnant, cp.stagnant);
         assert_eq!(back.iterations_done, cp.iterations_done);
+        assert_eq!(back.recoveries, cp.recoveries);
+        assert_eq!(back.step_damp.to_bits(), cp.step_damp.to_bits());
     }
 
     #[test]
@@ -282,6 +392,77 @@ mod tests {
             load(&root, "j").unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    /// Applies `mutate` to a freshly saved manifest, then checks that
+    /// `load` rejects it and `load_or_quarantine` contains it: the bad
+    /// file moves to `state.txt.corrupt` and the job restarts fresh.
+    fn assert_quarantined(name: &str, mutate: impl FnOnce(&str) -> String) {
+        let root = temp_root(name);
+        save(&root, "j", &sample_checkpoint()).unwrap();
+        let path = job_dir(&root, "j").join("state.txt");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, mutate(&text)).unwrap();
+
+        assert_eq!(
+            load(&root, "j").unwrap_err().kind(),
+            io::ErrorKind::InvalidData,
+            "{name}: corruption not detected"
+        );
+        let (cp, note) = load_or_quarantine(&root, "j").unwrap();
+        assert!(cp.is_none(), "{name}: corrupt state must not be resumed");
+        assert!(note.unwrap().contains("quarantined"));
+        assert!(
+            job_dir(&root, "j").join("state.txt.corrupt").is_file(),
+            "{name}: corrupt file not preserved"
+        );
+        // A second look sees no checkpoint at all: the job starts fresh.
+        let (cp, note) = load_or_quarantine(&root, "j").unwrap();
+        assert!(cp.is_none());
+        assert!(note.is_none());
+    }
+
+    #[test]
+    fn truncated_manifest_is_quarantined() {
+        assert_quarantined("q_truncated", |text| text[..text.len() * 2 / 3].to_string());
+    }
+
+    #[test]
+    fn flipped_hex_word_is_quarantined() {
+        assert_quarantined("q_bitflip", |text| {
+            // Flip one nibble inside the first `p`-grid hex word; every
+            // scalar field still parses, only the checksum can notice.
+            let grid = text.find("\np\n").expect("p section") + 2;
+            let mut bytes = text.as_bytes().to_vec();
+            bytes[grid + 1] = if bytes[grid + 1] == b'0' { b'1' } else { b'0' };
+            String::from_utf8(bytes).unwrap()
+        });
+    }
+
+    #[test]
+    fn missing_field_is_quarantined() {
+        assert_quarantined("q_missing_field", |text| {
+            // Drop the `stagnant` line entirely.
+            text.lines()
+                .filter(|l| !l.starts_with("stagnant"))
+                .map(|l| format!("{l}\n"))
+                .collect()
+        });
+    }
+
+    #[test]
+    fn clear_preserves_quarantined_state() {
+        let root = temp_root("q_survives_clear");
+        save(&root, "j", &sample_checkpoint()).unwrap();
+        let path = job_dir(&root, "j").join("state.txt");
+        std::fs::write(&path, "garbage").unwrap();
+        let (cp, _) = load_or_quarantine(&root, "j").unwrap();
+        assert!(cp.is_none());
+        // The job then runs fresh, checkpoints, finishes and clears.
+        save(&root, "j", &sample_checkpoint()).unwrap();
+        clear(&root, "j").unwrap();
+        assert!(load(&root, "j").unwrap().is_none());
+        assert!(job_dir(&root, "j").join("state.txt.corrupt").is_file());
     }
 
     #[test]

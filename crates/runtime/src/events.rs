@@ -41,6 +41,19 @@ pub enum Event {
         /// resuming a checkpoint).
         start_iteration: usize,
     },
+    /// A planned fault fired, or a runtime hazard (failed checkpoint
+    /// save, quarantined corrupt checkpoint) was contained.
+    Fault {
+        /// Job identifier.
+        job: String,
+        /// 1-based attempt the fault fired on.
+        attempt: u32,
+        /// Machine-readable fault kind (`"panic"`, `"nan_gradient"`,
+        /// `"checkpoint_save_error"`, `"checkpoint_corrupt"`).
+        kind: String,
+        /// Human-readable description.
+        detail: String,
+    },
     /// One optimizer iteration finished.
     Iteration {
         /// Job identifier.
@@ -77,6 +90,8 @@ pub enum Event {
         wall_s: f64,
         /// Attempts consumed.
         attempts: u32,
+        /// Numerical-guard recoveries the optimizer performed.
+        recoveries: usize,
     },
     /// The whole batch drained.
     BatchFinish {
@@ -149,6 +164,19 @@ impl Event {
                     ",\"attempt\":{attempt},\"start_iteration\":{start_iteration}"
                 );
             }
+            Event::Fault {
+                job,
+                attempt,
+                kind,
+                detail,
+            } => {
+                o.push_str("\"fault\",\"job\":");
+                push_json_string(&mut o, job);
+                let _ = write!(o, ",\"attempt\":{attempt},\"kind\":");
+                push_json_string(&mut o, kind);
+                o.push_str(",\"detail\":");
+                push_json_string(&mut o, detail);
+            }
             Event::Iteration {
                 job,
                 iteration,
@@ -175,6 +203,7 @@ impl Event {
                 quality_score,
                 wall_s,
                 attempts,
+                recoveries,
             } => {
                 o.push_str("\"job_finish\",\"job\":");
                 push_json_string(&mut o, job);
@@ -195,7 +224,7 @@ impl Event {
                 push_json_f64(&mut o, *quality_score);
                 o.push_str(",\"wall_s\":");
                 push_json_f64(&mut o, *wall_s);
-                let _ = write!(o, ",\"attempts\":{attempts}");
+                let _ = write!(o, ",\"attempts\":{attempts},\"recoveries\":{recoveries}");
             }
             Event::BatchFinish {
                 finished,
@@ -324,10 +353,26 @@ mod tests {
             quality_score: 0.0,
             wall_s: 0.0,
             attempts: 2,
+            recoveries: 0,
         };
         let json = e.to_json(1.0);
         assert!(json.contains("\"job\":\"B\\\"1\\\"\""));
         assert!(json.contains("\"error\":\"line1\\nline2\\t\\\\\""));
+    }
+
+    #[test]
+    fn fault_events_render_kind_and_detail() {
+        let e = Event::Fault {
+            job: "B1-fast".to_string(),
+            attempt: 1,
+            kind: "nan_gradient".to_string(),
+            detail: "injected at iteration 3".to_string(),
+        };
+        let json = e.to_json(0.25);
+        assert!(json.contains("\"event\":\"fault\""));
+        assert!(json.contains("\"attempt\":1"));
+        assert!(json.contains("\"kind\":\"nan_gradient\""));
+        assert!(json.contains("\"detail\":\"injected at iteration 3\""));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Deterministic fault injection for hardening tests.
+//!
+//! A [`FaultPlan`] is a list of faults keyed on `(job id, attempt)`, so
+//! a test can arrange for exactly one attempt of one job to misbehave —
+//! the retry (a different attempt number) runs clean. The plan is wired
+//! through [`crate::batch::BatchConfig`] and consulted by the job
+//! runner; production code simply never installs one, so the default
+//! empty plan costs one `Option` check per lookup.
+//!
+//! Three fault kinds cover the runtime's failure surfaces:
+//!
+//! * [`FaultKind::CheckpointSaveError`] — every checkpoint save on the
+//!   matching attempt fails with an injected I/O error, exercising the
+//!   save-failure reporting path without touching the filesystem.
+//! * [`FaultKind::PanicAtIteration`] — the iteration hook panics at the
+//!   given absolute iteration, exercising the scheduler's panic
+//!   isolation and checkpoint-based retry.
+//! * [`FaultKind::NanGradientAtIteration`] — the optimizer's gradient is
+//!   poisoned with NaN at the given absolute iteration, exercising the
+//!   numerical guard's rollback-and-damp recovery.
+
+/// What goes wrong, and (where relevant) when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Every checkpoint save on the matching attempt returns an
+    /// injected I/O error.
+    CheckpointSaveError,
+    /// The iteration hook panics at this absolute optimizer iteration.
+    PanicAtIteration(usize),
+    /// The objective gradient is poisoned with NaN at this absolute
+    /// optimizer iteration.
+    NanGradientAtIteration(usize),
+}
+
+impl FaultKind {
+    /// Short machine-readable name used in fault events.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::CheckpointSaveError => "checkpoint_save_error",
+            FaultKind::PanicAtIteration(_) => "panic",
+            FaultKind::NanGradientAtIteration(_) => "nan_gradient",
+        }
+    }
+}
+
+/// One planned fault: `kind` fires when job `job` runs its
+/// `attempt`-th attempt (1-based, matching the scheduler's counter).
+#[derive(Debug, Clone)]
+struct Fault {
+    job: String,
+    attempt: u32,
+    kind: FaultKind,
+}
+
+/// A deterministic set of planned faults. Empty by default.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan — nothing ever fails on purpose.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault for `(job, attempt)` (builder style).
+    #[must_use]
+    pub fn inject(mut self, job: &str, attempt: u32, kind: FaultKind) -> Self {
+        self.faults.push(Fault {
+            job: job.to_string(),
+            attempt,
+            kind,
+        });
+        self
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    fn matching<'a>(&'a self, job: &'a str, attempt: u32) -> impl Iterator<Item = FaultKind> + 'a {
+        self.faults
+            .iter()
+            .filter(move |f| f.job == job && f.attempt == attempt)
+            .map(|f| f.kind)
+    }
+
+    /// The iteration at which this attempt should panic, if planned.
+    pub fn panic_at(&self, job: &str, attempt: u32) -> Option<usize> {
+        self.matching(job, attempt).find_map(|k| match k {
+            FaultKind::PanicAtIteration(i) => Some(i),
+            _ => None,
+        })
+    }
+
+    /// The iteration at which this attempt's gradient should go NaN, if
+    /// planned.
+    pub fn nan_gradient_at(&self, job: &str, attempt: u32) -> Option<usize> {
+        self.matching(job, attempt).find_map(|k| match k {
+            FaultKind::NanGradientAtIteration(i) => Some(i),
+            _ => None,
+        })
+    }
+
+    /// Whether checkpoint saves should fail on this attempt.
+    pub fn checkpoint_save_fails(&self, job: &str, attempt: u32) -> bool {
+        self.matching(job, attempt)
+            .any(|k| k == FaultKind::CheckpointSaveError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_matches_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.panic_at("B1-fast", 1), None);
+        assert_eq!(plan.nan_gradient_at("B1-fast", 1), None);
+        assert!(!plan.checkpoint_save_fails("B1-fast", 1));
+    }
+
+    #[test]
+    fn faults_are_keyed_on_job_and_attempt() {
+        let plan = FaultPlan::new()
+            .inject("B1-fast", 1, FaultKind::PanicAtIteration(3))
+            .inject("B2-fast", 2, FaultKind::NanGradientAtIteration(5))
+            .inject("B1-fast", 1, FaultKind::CheckpointSaveError);
+        assert_eq!(plan.panic_at("B1-fast", 1), Some(3));
+        assert_eq!(plan.panic_at("B1-fast", 2), None, "retry runs clean");
+        assert_eq!(plan.panic_at("B2-fast", 1), None, "other jobs untouched");
+        assert_eq!(plan.nan_gradient_at("B2-fast", 2), Some(5));
+        assert!(plan.checkpoint_save_fails("B1-fast", 1));
+        assert!(!plan.checkpoint_save_fails("B1-fast", 2));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(
+            FaultKind::CheckpointSaveError.name(),
+            "checkpoint_save_error"
+        );
+        assert_eq!(FaultKind::PanicAtIteration(0).name(), "panic");
+        assert_eq!(FaultKind::NanGradientAtIteration(0).name(), "nan_gradient");
+    }
+}

@@ -11,11 +11,13 @@
 use crate::cache::SimCache;
 use crate::checkpoint;
 use crate::events::{Event, EventSink};
+use crate::fault::FaultPlan;
 use crate::scheduler::CancelToken;
 use mosaic_core::{IterationControl, IterationView, MaskState, Mosaic, MosaicConfig, MosaicMode};
 use mosaic_eval::{Evaluator, Score};
 use mosaic_geometry::benchmarks::BenchmarkId;
 use mosaic_numerics::Grid;
+use std::io;
 use std::path::Path;
 use std::time::Instant;
 
@@ -138,6 +140,9 @@ pub struct JobReport {
     pub metrics: Option<JobMetrics>,
     /// The final binarized mask on the simulation grid.
     pub binary_mask: Grid<f64>,
+    /// Numerical-guard recoveries the optimizer performed in this run
+    /// (see `mosaic_core::OptimizationConfig::guard_enabled`).
+    pub recoveries: usize,
 }
 
 /// Shared context a worker hands to every job it runs.
@@ -157,12 +162,20 @@ pub struct JobContext<'a> {
     /// Save a checkpoint every this many iterations (0 = only on
     /// cancellation).
     pub checkpoint_every: usize,
+    /// Planned faults for hardening tests; `None` in production.
+    pub faults: Option<&'a FaultPlan>,
 }
 
 impl JobContext<'_> {
     fn stop_requested(&self) -> bool {
         self.cancel.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
+}
+
+/// Fires a planned `FaultKind::PanicAtIteration` fault.
+#[allow(clippy::panic)] // deterministic, test-only fault injection
+fn injected_panic(job: &str, iteration: usize) -> ! {
+    panic!("injected fault: {job} panics at iteration {iteration}")
 }
 
 /// Runs one job end to end. `attempt` is the scheduler's 1-based attempt
@@ -188,9 +201,26 @@ pub fn execute_job(
         return Err("cancelled before start".to_string());
     }
     let started = Instant::now();
+    let fault_panic = ctx.faults.and_then(|p| p.panic_at(&spec.id, attempt));
+    let fault_nan = ctx
+        .faults
+        .and_then(|p| p.nan_gradient_at(&spec.id, attempt));
+    let fault_save = ctx
+        .faults
+        .is_some_and(|p| p.checkpoint_save_fails(&spec.id, attempt));
     let resume = match ctx.checkpoint_dir {
         Some(dir) => {
-            checkpoint::load(dir, &spec.id).map_err(|e| format!("checkpoint load failed: {e}"))?
+            let (cp, quarantined) = checkpoint::load_or_quarantine(dir, &spec.id)
+                .map_err(|e| format!("checkpoint load failed: {e}"))?;
+            if let Some(detail) = quarantined {
+                ctx.events.emit(&Event::Fault {
+                    job: spec.id.clone(),
+                    attempt,
+                    kind: "checkpoint_corrupt".to_string(),
+                    detail,
+                });
+            }
+            cp
         }
         None => None,
     };
@@ -203,13 +233,29 @@ pub fn execute_job(
         start_iteration,
     });
 
-    let layout = spec.clip.layout();
-    let sim = ctx.cache.get_or_build(
-        &spec.config.optics,
-        spec.config.resist,
-        &spec.config.conditions,
-    );
-    let mosaic = Mosaic::with_simulator(&layout, spec.config.clone(), sim)
+    let layout = spec
+        .clip
+        .layout()
+        .map_err(|e| format!("clip generation failed: {e}"))?;
+    let sim = ctx
+        .cache
+        .get_or_build(
+            &spec.config.optics,
+            spec.config.resist,
+            &spec.config.conditions,
+        )
+        .map_err(|e| format!("simulator build failed: {e}"))?;
+    let mut config = spec.config.clone();
+    if let Some(i) = fault_nan {
+        config.opt.fault_nan_gradient_at = Some(i);
+        ctx.events.emit(&Event::Fault {
+            job: spec.id.clone(),
+            attempt,
+            kind: "nan_gradient".to_string(),
+            detail: format!("gradient poisoned with NaN at iteration {i}"),
+        });
+    }
+    let mosaic = Mosaic::with_simulator(&layout, config, sim)
         .map_err(|e| format!("problem assembly failed: {e}"))?;
 
     let opt_cfg = mosaic.optimization_config().clone();
@@ -220,19 +266,48 @@ pub fn execute_job(
         // The interrupted run had already finished optimizing; only the
         // scoring was lost. Rebuild the best mask and skip the loop.
         let state = MaskState::from_variables(cp.best_variables.clone(), opt_cfg.mask_steepness);
-        finish(
-            spec,
-            ctx,
-            0,
-            cp.best_value,
-            state.binary(),
-            &layout,
-            started,
-        )?
+        let stats = RunStats {
+            iterations: 0,
+            best_objective: cp.best_value,
+            recoveries: cp.recoveries,
+        };
+        finish(spec, ctx, stats, state.binary(), &layout, started)?
     } else {
         let mut cancelled = false;
         let mut iterations = 0usize;
+        // Saves a checkpoint, reporting (not propagating) failures: a
+        // full disk must not kill an otherwise healthy optimization.
+        let save_checkpoint = |view: &IterationView<'_>| {
+            let Some(dir) = ctx.checkpoint_dir else {
+                return;
+            };
+            let saved = if fault_save {
+                Err(io::Error::other("injected checkpoint save fault"))
+            } else {
+                checkpoint::save(dir, &spec.id, &view.checkpoint())
+            };
+            if let Err(e) = saved {
+                ctx.events.emit(&Event::Fault {
+                    job: spec.id.clone(),
+                    attempt,
+                    kind: "checkpoint_save_error".to_string(),
+                    detail: format!(
+                        "checkpoint save failed at iteration {}: {e}",
+                        view.record.iteration
+                    ),
+                });
+            }
+        };
         let mut hook = |view: &IterationView<'_>| {
+            if fault_panic == Some(view.record.iteration) {
+                ctx.events.emit(&Event::Fault {
+                    job: spec.id.clone(),
+                    attempt,
+                    kind: "panic".to_string(),
+                    detail: format!("injected panic at iteration {}", view.record.iteration),
+                });
+                injected_panic(&spec.id, view.record.iteration);
+            }
             iterations += 1;
             ctx.events.emit(&Event::Iteration {
                 job: spec.id.clone(),
@@ -241,17 +316,15 @@ pub fn execute_job(
                 gradient_rms: view.record.gradient_rms,
                 jumped: view.record.jumped,
             });
-            if let Some(dir) = ctx.checkpoint_dir {
-                let due = ctx.checkpoint_every > 0
-                    && (view.record.iteration + 1).is_multiple_of(ctx.checkpoint_every);
-                if due {
-                    let _ = checkpoint::save(dir, &spec.id, &view.checkpoint());
-                }
+            let due = ctx.checkpoint_every > 0
+                && (view.record.iteration + 1).is_multiple_of(ctx.checkpoint_every);
+            if due {
+                save_checkpoint(view);
             }
             if ctx.stop_requested() {
                 cancelled = true;
-                if let Some(dir) = ctx.checkpoint_dir {
-                    let _ = checkpoint::save(dir, &spec.id, &view.checkpoint());
+                if !due {
+                    save_checkpoint(view);
                 }
                 return IterationControl::Stop;
             }
@@ -260,7 +333,8 @@ pub fn execute_job(
         let result = match resume {
             Some(cp) => mosaic.resume_with(spec.mode, cp, &mut hook),
             None => mosaic.run_with(spec.mode, &mut hook),
-        };
+        }
+        .map_err(|e| format!("optimization failed: {e}"))?;
         let best_objective = result
             .history
             .get(result.best_iteration)
@@ -276,22 +350,27 @@ pub fn execute_job(
                 wall_s,
                 metrics: None,
                 binary_mask: result.binary_mask,
+                recoveries: result.recoveries,
             };
             emit_finish(ctx, &report, attempt, None);
             return Ok(report);
         }
-        finish(
-            spec,
-            ctx,
+        let stats = RunStats {
             iterations,
             best_objective,
-            result.binary_mask,
-            &layout,
-            started,
-        )?
+            recoveries: result.recoveries,
+        };
+        finish(spec, ctx, stats, result.binary_mask, &layout, started)?
     };
     emit_finish(ctx, &report, attempt, None);
     Ok(report)
+}
+
+/// Optimizer-side tallies of one run, handed to [`finish`].
+struct RunStats {
+    iterations: usize,
+    best_objective: f64,
+    recoveries: usize,
 }
 
 /// Scores the final mask and assembles the finished report; clears the
@@ -299,8 +378,7 @@ pub fn execute_job(
 fn finish(
     spec: &JobSpec,
     ctx: &JobContext<'_>,
-    iterations: usize,
-    best_objective: f64,
+    stats: RunStats,
     binary_mask: Grid<f64>,
     layout: &mosaic_geometry::Layout,
     started: Instant,
@@ -315,7 +393,8 @@ fn finish(
     );
     let sim = ctx
         .cache
-        .get_or_build(optics, spec.config.resist, &spec.config.conditions);
+        .get_or_build(optics, spec.config.resist, &spec.config.conditions)
+        .map_err(|e| format!("simulator build failed: {e}"))?;
     let wall_s = started.elapsed().as_secs_f64();
     let contest = evaluator.evaluate_mask(&sim, &binary_mask, wall_s);
     let quality_score = Score::contest(
@@ -332,8 +411,8 @@ fn finish(
         id: spec.id.clone(),
         clip: spec.clip,
         status: JobStatus::Finished,
-        iterations,
-        best_objective,
+        iterations: stats.iterations,
+        best_objective: stats.best_objective,
         wall_s,
         metrics: Some(JobMetrics {
             epe_violations: contest.epe_violations,
@@ -343,6 +422,7 @@ fn finish(
             contest_score: contest.score.total(),
         }),
         binary_mask,
+        recoveries: stats.recoveries,
     })
 }
 
@@ -373,6 +453,7 @@ pub(crate) fn emit_finish(
         quality_score: quality,
         wall_s: report.wall_s,
         attempts,
+        recoveries: report.recoveries,
     });
 }
 
@@ -398,6 +479,7 @@ mod tests {
             deadline: None,
             checkpoint_dir: None,
             checkpoint_every: 0,
+            faults: None,
         }
     }
 

@@ -21,10 +21,16 @@
 //!   summary) written through a thread-safe [`EventSink`].
 //! * [`checkpoint`] — lossless checkpoint/resume: the optimizer's
 //!   `P`-field as a PGM image for human inspection plus a plain-text
-//!   manifest carrying the exact `f64` bits, so a resumed run continues
-//!   the bit-identical trajectory.
+//!   manifest carrying the exact `f64` bits and an integrity checksum,
+//!   so a resumed run continues the bit-identical trajectory and a
+//!   corrupt manifest is quarantined instead of resumed.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) for the
+//!   hardening tests: planned checkpoint-save I/O errors, mid-iteration
+//!   panics and NaN gradients, keyed on `(job, attempt)`.
 //! * [`batch`] — the orchestrator gluing the above together:
-//!   [`run_batch`] plus the Table-2-style summary renderer.
+//!   [`run_batch`] plus the Table-2-style summary renderer. Batches
+//!   always drain; failed jobs come back as structured [`JobFailure`]s
+//!   next to the finished ones.
 //!
 //! Everything is std-only: threads, channels and atomics from the
 //! standard library, hand-rolled JSON emission, no external crates.
@@ -65,21 +71,24 @@ pub mod batch;
 pub mod cache;
 pub mod checkpoint;
 pub mod events;
+pub mod fault;
 pub mod job;
 pub mod scheduler;
 
-pub use batch::{render_summary, run_batch, BatchConfig, BatchOutcome};
+pub use batch::{render_summary, run_batch, BatchConfig, BatchOutcome, JobFailure};
 pub use cache::SimCache;
 pub use events::{Event, EventSink};
+pub use fault::{FaultKind, FaultPlan};
 pub use job::{execute_job, JobContext, JobReport, JobSpec, JobStatus};
-pub use scheduler::{run_pool, CancelToken, JobExecution};
+pub use scheduler::{run_pool, CancelToken, JobExecution, RetryPolicy};
 
 /// The types almost every user of this crate needs.
 pub mod prelude {
-    pub use crate::batch::{render_summary, run_batch, BatchConfig, BatchOutcome};
+    pub use crate::batch::{render_summary, run_batch, BatchConfig, BatchOutcome, JobFailure};
     pub use crate::cache::SimCache;
     pub use crate::checkpoint;
     pub use crate::events::{Event, EventSink};
+    pub use crate::fault::{FaultKind, FaultPlan};
     pub use crate::job::{execute_job, JobContext, JobReport, JobSpec, JobStatus};
-    pub use crate::scheduler::{run_pool, CancelToken, JobExecution};
+    pub use crate::scheduler::{run_pool, CancelToken, JobExecution, RetryPolicy};
 }

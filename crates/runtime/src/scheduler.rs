@@ -10,6 +10,45 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::Duration;
+
+/// How failed attempts are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per failed item (0 = one attempt only). Each item gets
+    /// `1 + retries` attempts before it is reported failed.
+    pub retries: u32,
+    /// Pause on the failing worker before each retry. Zero by default;
+    /// useful when failures are transient resource contention.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every item gets exactly one attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// `retries` retries with no backoff.
+    pub fn retries(retries: u32) -> Self {
+        RetryPolicy {
+            retries,
+            backoff: Duration::ZERO,
+        }
+    }
+}
 
 /// Cooperative cancellation flag shared between the batch driver and
 /// every worker/job. Cancelling is sticky and idempotent.
@@ -87,7 +126,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///   until the queue drains regardless of per-item cost.
 /// * A panicking runner is caught ([`catch_unwind`]) and counts as a
 ///   failed attempt — one bad job cannot sink the batch or its worker.
-/// * Each item gets `1 + retries` attempts before it is reported failed.
+/// * Each item gets `1 + policy.retries` attempts before it is reported
+///   failed, with `policy.backoff` slept on the worker before each
+///   retry.
 /// * If `cancel` fires, in-flight items finish (the runner is expected
 ///   to poll the token itself for a prompt stop) and unclaimed items
 ///   come back [`JobExecution::Cancelled`]; failures are not retried.
@@ -98,7 +139,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub fn run_pool<T, R>(
     items: &[T],
     workers: usize,
-    retries: u32,
+    policy: RetryPolicy,
     cancel: &CancelToken,
     runner: &(dyn Fn(&T, u32) -> Result<R, String> + Sync),
 ) -> Vec<JobExecution<R>>
@@ -117,7 +158,7 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let execution = run_one(&items[i], retries, cancel, runner);
+                let execution = run_one(&items[i], policy, cancel, runner);
                 if tx.send((i, execution)).is_err() {
                     break;
                 }
@@ -128,15 +169,24 @@ where
         for (i, execution) in rx {
             out[i] = Some(execution);
         }
+        // Every worker either reports an item or dies trying (the panic
+        // is caught per item), so a hole here should be impossible —
+        // but a lost slot must degrade into a reported failure, not a
+        // batch-killing panic.
         out.into_iter()
-            .map(|e| e.expect("every scheduled item reports an execution"))
+            .map(|e| {
+                e.unwrap_or_else(|| JobExecution::Failure {
+                    error: "scheduler: worker exited without reporting this item".to_string(),
+                    attempts: 0,
+                })
+            })
             .collect()
     })
 }
 
 fn run_one<T, R>(
     item: &T,
-    retries: u32,
+    policy: RetryPolicy,
     cancel: &CancelToken,
     runner: &(dyn Fn(&T, u32) -> Result<R, String> + Sync),
 ) -> JobExecution<R> {
@@ -157,8 +207,11 @@ fn run_one<T, R>(
         if cancel.is_cancelled() {
             return JobExecution::Cancelled;
         }
-        if attempts > retries {
+        if attempts > policy.retries {
             return JobExecution::Failure { error, attempts };
+        }
+        if !policy.backoff.is_zero() {
+            thread::sleep(policy.backoff);
         }
     }
 }
@@ -172,9 +225,13 @@ mod tests {
     #[test]
     fn results_come_back_in_input_order() {
         let items: Vec<usize> = (0..20).collect();
-        let out = run_pool(&items, 4, 0, &CancelToken::new(), &|&i, _| {
-            Ok::<_, String>(i * i)
-        });
+        let out = run_pool(
+            &items,
+            4,
+            RetryPolicy::none(),
+            &CancelToken::new(),
+            &|&i, _| Ok::<_, String>(i * i),
+        );
         for (i, e) in out.iter().enumerate() {
             assert_eq!(e.success(), Some(&(i * i)));
         }
@@ -183,12 +240,18 @@ mod tests {
     #[test]
     fn panicking_item_fails_without_sinking_the_pool() {
         let items: Vec<usize> = (0..8).collect();
-        let out = run_pool(&items, 3, 0, &CancelToken::new(), &|&i, _| {
-            if i == 3 {
-                panic!("boom on {i}");
-            }
-            Ok::<_, String>(i)
-        });
+        let out = run_pool(
+            &items,
+            3,
+            RetryPolicy::none(),
+            &CancelToken::new(),
+            &|&i, _| {
+                if i == 3 {
+                    panic!("boom on {i}");
+                }
+                Ok::<_, String>(i)
+            },
+        );
         for (i, e) in out.iter().enumerate() {
             if i == 3 {
                 match e {
@@ -208,15 +271,21 @@ mod tests {
     fn one_retry_rescues_a_flaky_item() {
         let tries: Mutex<HashMap<usize, u32>> = Mutex::new(HashMap::new());
         let items: Vec<usize> = (0..4).collect();
-        let out = run_pool(&items, 2, 1, &CancelToken::new(), &|&i, _| {
-            let mut map = tries.lock().unwrap();
-            let n = map.entry(i).or_insert(0);
-            *n += 1;
-            if i == 2 && *n == 1 {
-                return Err("transient".to_string());
-            }
-            Ok(i)
-        });
+        let out = run_pool(
+            &items,
+            2,
+            RetryPolicy::retries(1),
+            &CancelToken::new(),
+            &|&i, _| {
+                let mut map = tries.lock().unwrap();
+                let n = map.entry(i).or_insert(0);
+                *n += 1;
+                if i == 2 && *n == 1 {
+                    return Err("transient".to_string());
+                }
+                Ok(i)
+            },
+        );
         match &out[2] {
             JobExecution::Success { result, attempts } => {
                 assert_eq!(*result, 2);
@@ -228,9 +297,13 @@ mod tests {
 
     #[test]
     fn exhausted_retries_report_the_last_error() {
-        let out = run_pool(&[7usize], 1, 1, &CancelToken::new(), &|&i, _| {
-            Err::<usize, _>(format!("always fails: {i}"))
-        });
+        let out = run_pool(
+            &[7usize],
+            1,
+            RetryPolicy::retries(1),
+            &CancelToken::new(),
+            &|&i, _| Err::<usize, _>(format!("always fails: {i}")),
+        );
         match &out[0] {
             JobExecution::Failure { error, attempts } => {
                 assert_eq!(error, "always fails: 7");
@@ -241,19 +314,47 @@ mod tests {
     }
 
     #[test]
+    fn backoff_delays_each_retry() {
+        let policy = RetryPolicy {
+            retries: 2,
+            backoff: Duration::from_millis(30),
+        };
+        let start = std::time::Instant::now();
+        let out = run_pool(&[0usize], 1, policy, &CancelToken::new(), &|_, _| {
+            Err::<usize, _>("always".to_string())
+        });
+        // 3 attempts → 2 backoff sleeps of 30 ms each.
+        assert!(
+            start.elapsed() >= Duration::from_millis(60),
+            "backoff not applied: {:?}",
+            start.elapsed()
+        );
+        match &out[0] {
+            JobExecution::Failure { attempts, .. } => assert_eq!(*attempts, 3),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn cancelled_pool_skips_unstarted_items() {
         let cancel = CancelToken::new();
         cancel.cancel();
         let items: Vec<usize> = (0..5).collect();
-        let out = run_pool(&items, 2, 0, &cancel, &|&i, _| Ok::<_, String>(i));
+        let out = run_pool(&items, 2, RetryPolicy::none(), &cancel, &|&i, _| {
+            Ok::<_, String>(i)
+        });
         assert!(out.iter().all(|e| matches!(e, JobExecution::Cancelled)));
     }
 
     #[test]
     fn zero_workers_clamps_to_one() {
-        let out = run_pool(&[1usize, 2], 0, 0, &CancelToken::new(), &|&i, _| {
-            Ok::<_, String>(i + 1)
-        });
+        let out = run_pool(
+            &[1usize, 2],
+            0,
+            RetryPolicy::none(),
+            &CancelToken::new(),
+            &|&i, _| Ok::<_, String>(i + 1),
+        );
         assert_eq!(out[0].success(), Some(&2));
         assert_eq!(out[1].success(), Some(&3));
     }

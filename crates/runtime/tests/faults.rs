@@ -1,0 +1,248 @@
+//! Fault-injection hardening tests: every planned fault must be
+//! contained, retried where a retry helps, and reported through the
+//! JSONL event stream — and an unfaulted job next to a faulted one must
+//! come through untouched.
+
+use mosaic_core::MosaicMode;
+use mosaic_geometry::benchmarks::BenchmarkId;
+use mosaic_runtime::{
+    run_batch, BatchConfig, FaultKind, FaultPlan, JobExecution, JobSpec, JobStatus,
+};
+use std::path::PathBuf;
+
+fn tiny_spec(clip: BenchmarkId, iterations: usize) -> JobSpec {
+    let mut spec = JobSpec::preset(clip, MosaicMode::Fast, 128, 8.0);
+    spec.config.opt.max_iterations = iterations;
+    spec
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mosaic_fault_it").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn report_lines(path: &PathBuf) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// A NaN gradient mid-run is absorbed by the optimizer's numerical
+/// guard: the job still finishes, and both the fault and the recovery
+/// count surface in the report.
+#[test]
+fn nan_gradient_fault_recovers_and_reports() {
+    let dir = temp_dir("nan_gradient");
+    let report = dir.join("report.jsonl");
+    let spec = tiny_spec(BenchmarkId::B1, 5);
+    let job = spec.id.clone();
+    let config = BatchConfig {
+        report: Some(report.clone()),
+        faults: FaultPlan::new().inject(&job, 1, FaultKind::NanGradientAtIteration(1)),
+        ..BatchConfig::default()
+    };
+    let outcome = run_batch(std::slice::from_ref(&spec), &config).unwrap();
+
+    assert_eq!(outcome.finished, 1);
+    assert_eq!(outcome.failed, 0);
+    match &outcome.results[0] {
+        JobExecution::Success { result, attempts } => {
+            assert_eq!(result.status, JobStatus::Finished);
+            assert_eq!(*attempts, 1, "the guard recovers in-process, no retry");
+            assert_eq!(result.recoveries, 1);
+        }
+        other => panic!("expected success, got {other:?}"),
+    }
+    let lines = report_lines(&report);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"fault\"") && l.contains("\"kind\":\"nan_gradient\"")),
+        "no nan_gradient fault event in report"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"job_finish\"") && l.contains("\"recoveries\":1")),
+        "job_finish does not carry the recovery count"
+    );
+}
+
+/// The guard does not change what a faulted job converges to relative
+/// to a clean run of the same spec: the recovery rolls back to the best
+/// iterate and continues, so the final mask is still a valid result.
+#[test]
+fn unfaulted_job_next_to_faulted_one_is_untouched() {
+    let specs = vec![tiny_spec(BenchmarkId::B1, 3), tiny_spec(BenchmarkId::B2, 3)];
+    let faulted_config = BatchConfig {
+        faults: FaultPlan::new().inject(&specs[0].id, 1, FaultKind::NanGradientAtIteration(1)),
+        ..BatchConfig::default()
+    };
+    let faulted = run_batch(&specs, &faulted_config).unwrap();
+    let clean = run_batch(&specs, &BatchConfig::default()).unwrap();
+
+    assert_eq!(faulted.finished, 2);
+    assert_eq!(clean.finished, 2);
+    // B2 never saw a fault: bit-identical to the clean batch.
+    let (f, c) = (
+        faulted.results[1].success().unwrap(),
+        clean.results[1].success().unwrap(),
+    );
+    assert_eq!(f.binary_mask, c.binary_mask);
+    assert_eq!(f.recoveries, 0);
+}
+
+/// A panic mid-iteration is caught by the scheduler, the attempt counts
+/// as failed, and the retry resumes from the last checkpoint instead of
+/// restarting at iteration zero.
+#[test]
+fn injected_panic_is_contained_and_retried_from_checkpoint() {
+    let dir = temp_dir("panic_retry");
+    let report = dir.join("report.jsonl");
+    let ckpt = dir.join("ckpt");
+    let spec = tiny_spec(BenchmarkId::B1, 4);
+    let job = spec.id.clone();
+    let config = BatchConfig {
+        retries: 1,
+        report: Some(report.clone()),
+        checkpoint_dir: Some(ckpt),
+        checkpoint_every: 1,
+        faults: FaultPlan::new().inject(&job, 1, FaultKind::PanicAtIteration(2)),
+        ..BatchConfig::default()
+    };
+    let outcome = run_batch(std::slice::from_ref(&spec), &config).unwrap();
+
+    assert_eq!(outcome.finished, 1);
+    match &outcome.results[0] {
+        JobExecution::Success { result, attempts } => {
+            assert_eq!(result.status, JobStatus::Finished);
+            assert_eq!(*attempts, 2, "first attempt panicked, retry finished");
+        }
+        other => panic!("expected retried success, got {other:?}"),
+    }
+    let lines = report_lines(&report);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"fault\"") && l.contains("\"kind\":\"panic\"")),
+        "no panic fault event in report"
+    );
+    // Iterations 0 and 1 checkpointed before the panic at 2, so the
+    // retry's job_start announces a non-zero resume point.
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"job_start\"")
+            && l.contains("\"attempt\":2")
+            && l.contains("\"start_iteration\":2")),
+        "retry did not resume from the checkpoint"
+    );
+}
+
+/// A job whose every attempt panics fails — but the batch drains, the
+/// healthy job's results survive, and the failure comes back structured.
+#[test]
+fn exhausted_attempts_fail_the_job_but_not_the_batch() {
+    let specs = vec![tiny_spec(BenchmarkId::B1, 3), tiny_spec(BenchmarkId::B2, 3)];
+    let bad = specs[0].id.clone();
+    let config = BatchConfig {
+        retries: 1,
+        faults: FaultPlan::new()
+            .inject(&bad, 1, FaultKind::PanicAtIteration(0))
+            .inject(&bad, 2, FaultKind::PanicAtIteration(0)),
+        ..BatchConfig::default()
+    };
+    let outcome = run_batch(&specs, &config).unwrap();
+
+    assert_eq!(outcome.finished, 1);
+    assert_eq!(outcome.failed, 1);
+    assert_eq!(outcome.failures.len(), 1);
+    let failure = &outcome.failures[0];
+    assert_eq!(failure.job, bad);
+    assert_eq!(failure.attempts, 2);
+    assert!(
+        failure.error.contains("injected fault"),
+        "failure report lost the panic message: {}",
+        failure.error
+    );
+    assert!(outcome.results[1].success().is_some(), "B2 must survive");
+}
+
+/// Checkpoint-save I/O errors are reported as fault events but never
+/// fail an otherwise healthy optimization.
+#[test]
+fn checkpoint_save_fault_is_reported_not_fatal() {
+    let dir = temp_dir("save_fault");
+    let report = dir.join("report.jsonl");
+    let ckpt = dir.join("ckpt");
+    let spec = tiny_spec(BenchmarkId::B1, 3);
+    let job = spec.id.clone();
+    let config = BatchConfig {
+        retries: 0,
+        report: Some(report.clone()),
+        checkpoint_dir: Some(ckpt.clone()),
+        checkpoint_every: 1,
+        faults: FaultPlan::new().inject(&job, 1, FaultKind::CheckpointSaveError),
+        ..BatchConfig::default()
+    };
+    let outcome = run_batch(std::slice::from_ref(&spec), &config).unwrap();
+
+    assert_eq!(outcome.finished, 1);
+    assert_eq!(outcome.failed, 0);
+    let lines = report_lines(&report);
+    let save_faults = lines
+        .iter()
+        .filter(|l| {
+            l.contains("\"event\":\"fault\"") && l.contains("\"kind\":\"checkpoint_save_error\"")
+        })
+        .count();
+    assert!(save_faults >= 1, "failed saves were not reported");
+    assert!(
+        !ckpt.join(&job).join("state.txt").exists(),
+        "no checkpoint should survive the injected save failures"
+    );
+}
+
+/// A corrupt checkpoint on disk is quarantined — renamed to
+/// `state.txt.corrupt` — and the job restarts from scratch and finishes.
+#[test]
+fn corrupt_checkpoint_is_quarantined_and_job_restarts() {
+    let dir = temp_dir("quarantine");
+    let report = dir.join("report.jsonl");
+    let ckpt = dir.join("ckpt");
+    let spec = tiny_spec(BenchmarkId::B1, 3);
+    let job = spec.id.clone();
+
+    // Plant a corrupt checkpoint where the job will look for one.
+    let job_dir = ckpt.join(&job);
+    std::fs::create_dir_all(&job_dir).unwrap();
+    std::fs::write(job_dir.join("state.txt"), "mosaic-checkpoint v2\ngarbage").unwrap();
+
+    let config = BatchConfig {
+        report: Some(report.clone()),
+        checkpoint_dir: Some(ckpt.clone()),
+        checkpoint_every: 1,
+        ..BatchConfig::default()
+    };
+    let outcome = run_batch(std::slice::from_ref(&spec), &config).unwrap();
+
+    assert_eq!(outcome.finished, 1);
+    assert!(
+        job_dir.join("state.txt.corrupt").is_file(),
+        "corrupt manifest was not quarantined"
+    );
+    let lines = report_lines(&report);
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"fault\"")
+            && l.contains("\"kind\":\"checkpoint_corrupt\"")
+            && l.contains("quarantined")),
+        "quarantine was not reported"
+    );
+    // The fresh run starts at iteration 0, not wherever the corrupt
+    // manifest claimed to be.
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("\"event\":\"job_start\"") && l.contains("\"start_iteration\":0")));
+}

@@ -9,7 +9,7 @@ use mosaic_suite::baselines::{EdgeOpc, IltBaseline, OpcBaseline, RuleOpc};
 use mosaic_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let layout = benchmarks::BenchmarkId::B4.layout();
+    let layout = benchmarks::BenchmarkId::B4.layout()?;
     println!("clip: {}\n", benchmarks::BenchmarkId::B4.description());
 
     let config = MosaicConfig::contest(256, 4.0);
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("MOSAIC_exact", MosaicMode::Exact),
     ] {
         let start = std::time::Instant::now();
-        let result = mosaic.run(mode);
+        let result = mosaic.run(mode)?;
         show(name, &result.binary_mask, start.elapsed().as_secs_f64());
     }
 

@@ -13,7 +13,7 @@
 use mosaic_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let layout = benchmarks::BenchmarkId::B3.layout();
+    let layout = benchmarks::BenchmarkId::B3.layout()?;
     println!(
         "clip: {} ({} shapes, {} nm² pattern area)",
         benchmarks::BenchmarkId::B3.description(),
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mosaic = Mosaic::new(&layout, config)?;
 
     let start = std::time::Instant::now();
-    let result = mosaic.run_exact();
+    let result = mosaic.run_exact()?;
     let runtime = start.elapsed().as_secs_f64();
 
     let problem = mosaic.problem();

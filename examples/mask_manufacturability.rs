@@ -13,12 +13,12 @@
 use mosaic_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let layout = benchmarks::BenchmarkId::B1.layout();
+    let layout = benchmarks::BenchmarkId::B1.layout()?;
     let pixel = 4.0;
     let mut config = MosaicConfig::contest(256, pixel);
     config.opt.max_iterations = 12;
     let mosaic = Mosaic::new(&layout, config)?;
-    let result = mosaic.run_fast();
+    let result = mosaic.run_fast()?;
     let problem = mosaic.problem();
 
     // 1. Mask rule check on the raw pixel mask.
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Trace the mask into Manhattan polygons.
     let clip_mask = problem.crop_to_clip(&result.binary_mask);
-    let contours = contour::trace_contours(&clip_mask);
+    let contours = contour::trace_contours(&clip_mask)?;
     let outer = contours.iter().filter(|c| c.is_outer).count();
     let holes = contours.len() - outer;
     println!("\ntraced mask geometry: {outer} polygons, {holes} holes");
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Round-trip: polygons -> raster -> score. Exact by construction
     //    at the same pitch, which is the point of Manhattan tracing.
-    let mask_layout = contour::grid_to_layout(&clip_mask, 1);
+    let mask_layout = contour::grid_to_layout(&clip_mask, 1)?;
     let re_rastered = mask_layout.rasterize(1);
     assert_eq!(re_rastered, clip_mask, "contour round trip must be exact");
 
@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join("b1_mask.glp");
-    let export = contour::grid_to_layout(&clip_mask, pixel.round() as i64);
+    let export = contour::grid_to_layout(&clip_mask, pixel.round() as i64)?;
     std::fs::write(&path, glp::write_clip(&export))?;
     println!("\nwrote {}", path.display());
     Ok(())

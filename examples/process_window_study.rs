@@ -16,12 +16,12 @@ fn run_with_beta(layout: &Layout, beta: f64) -> (OptimizationResult, f64) {
     config.opt.max_iterations = 12;
     let mosaic = Mosaic::new(layout, config).expect("setup");
     let start = std::time::Instant::now();
-    let result = mosaic.run_fast();
+    let result = mosaic.run_fast().expect("optimization");
     (result, start.elapsed().as_secs_f64())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let layout = benchmarks::BenchmarkId::B2.layout();
+    let layout = benchmarks::BenchmarkId::B2.layout()?;
     println!("clip: {}", benchmarks::BenchmarkId::B2.description());
     println!("process window: nominal + 4 corners (±25 nm defocus × ±2 % dose)\n");
 

@@ -14,7 +14,7 @@ use mosaic_suite::core::psm;
 use mosaic_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let layout = benchmarks::BenchmarkId::B1.layout();
+    let layout = benchmarks::BenchmarkId::B1.layout()?;
     let mut config = MosaicConfig::contest(256, 4.0);
     config.opt.max_iterations = 12;
 
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Binary ILT (the paper's MOSAIC_fast).
     let start = std::time::Instant::now();
-    let binary = mosaic.run_fast();
+    let binary = mosaic.run_fast()?;
     let binary_rt = start.elapsed().as_secs_f64();
     let binary_report =
         evaluator.evaluate_mask(problem.simulator(), &binary.binary_mask, binary_rt);
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // PSM ILT with the same objective, budget and SRAF-seeded start.
     let start = std::time::Instant::now();
-    let psm_result = psm::optimize_psm(problem, &config.opt, mosaic.initial_mask());
+    let psm_result = psm::optimize_psm(problem, &config.opt, mosaic.initial_mask())?;
     let psm_rt = start.elapsed().as_secs_f64();
     // Simulate the three-level mask: the simulator takes any real
     // transmission field.

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Run MOSAIC_fast (Eq. (20): image difference + PV band).
     let start = std::time::Instant::now();
-    let result = mosaic.run_fast();
+    let result = mosaic.run_fast()?;
     let runtime = start.elapsed().as_secs_f64();
     println!(
         "optimized in {runtime:.1}s over {} iterations (best at {})",

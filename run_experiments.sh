@@ -19,6 +19,13 @@ tier1() {
   cargo test -q --workspace
   echo "=== tier1: clippy"
   cargo clippy --all-targets --workspace -- -D warnings
+  echo "=== tier1: no-panic lint (library code)"
+  # Library (non-test) code in the pipeline crates must propagate typed
+  # errors instead of unwrapping: a panic in a worker kills a batch job.
+  cargo clippy --lib --no-deps \
+    -p mosaic-numerics -p mosaic-geometry -p mosaic-optics \
+    -p mosaic-core -p mosaic-eval -p mosaic-runtime \
+    -- -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
   echo "=== tier1: fmt"
   cargo fmt --all --check
   echo "tier1 OK"

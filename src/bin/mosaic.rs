@@ -46,7 +46,8 @@ const USAGE: &str = "usage:
   mosaic batch --bench all|<B1,B3,..> [--mode fast|exact] [--preset contest|fast]
                [--grid <px>] [--pixel <nm>] [--iterations <n>] [--jobs <n>]
                [--report <report.jsonl>] [--resume <ckpt-dir>]
-               [--checkpoint-every <n>] [--retries <n>] [--deadline-s <s>]";
+               [--checkpoint-every <n>] [--retries <n>]
+               [--retry-backoff-ms <ms>] [--deadline-s <s>]";
 
 /// The flags each subcommand accepts; anything else is an error.
 const GEN_FLAGS: &[&str] = &["bench", "out"];
@@ -72,6 +73,7 @@ const BATCH_FLAGS: &[&str] = &[
     "resume",
     "checkpoint-every",
     "retries",
+    "retry-backoff-ms",
     "deadline-s",
 ];
 
@@ -143,6 +145,30 @@ where
     }
 }
 
+/// Parses an optional count flag, rejecting zero (negatives already
+/// fail the `usize` parse).
+fn count_flag(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
+    let value: usize = numeric_flag(flags, name, default)?;
+    if value == 0 {
+        return Err(format!("--{name} must be at least 1"));
+    }
+    Ok(value)
+}
+
+/// Parses an optional float flag, rejecting zero, negative and
+/// non-finite values.
+fn positive_flag(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    let value: f64 = numeric_flag(flags, name, default)?;
+    if !(value.is_finite() && value > 0.0) {
+        return Err(format!("--{name} must be positive and finite, got {value}"));
+    }
+    Ok(value)
+}
+
 fn find_benchmark(name: &str) -> Result<benchmarks::BenchmarkId, String> {
     benchmarks::BenchmarkId::all()
         .into_iter()
@@ -153,7 +179,8 @@ fn find_benchmark(name: &str) -> Result<benchmarks::BenchmarkId, String> {
 fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
     let name = flags.get("bench").ok_or("gen requires --bench")?;
     let bench = find_benchmark(name)?;
-    let text = glp::write_clip(&bench.layout());
+    let layout = bench.layout().map_err(|e| e.to_string())?;
+    let text = glp::write_clip(&layout);
     match flags.get("out") {
         Some(path) => {
             std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;
@@ -165,8 +192,8 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn scale_from(flags: &HashMap<String, String>) -> Result<(usize, f64), String> {
-    let grid = numeric_flag(flags, "grid", 512usize)?;
-    let pixel = numeric_flag(flags, "pixel", 2.0f64)?;
+    let grid = count_flag(flags, "grid", 512)?;
+    let pixel = positive_flag(flags, "pixel", 2.0)?;
     Ok((grid, pixel))
 }
 
@@ -190,9 +217,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let (grid, pixel) = scale_from(flags)?;
     let mode = mode_from(flags, MosaicMode::Exact)?;
     let mut config = MosaicConfig::contest(grid, pixel);
-    if let Some(iters) = flags.get("iterations") {
-        config.opt.max_iterations = iters.parse().map_err(|e| format!("--iterations: {e}"))?;
-    }
+    config.opt.max_iterations = count_flag(flags, "iterations", config.opt.max_iterations)?;
     let mosaic = Mosaic::new(&layout, config).map_err(|e| e.to_string())?;
     eprintln!(
         "optimizing: {} shapes, {} EPE sites, grid {grid} px @ {pixel} nm, {mode:?} mode",
@@ -200,7 +225,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         mosaic.problem().samples().len()
     );
     let start = std::time::Instant::now();
-    let result = mosaic.run(mode);
+    let result = mosaic.run(mode).map_err(|e| e.to_string())?;
     let runtime = start.elapsed().as_secs_f64();
 
     let problem = mosaic.problem();
@@ -220,7 +245,8 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if let Some(path) = flags.get("out-glp") {
         let clip_mask = problem.crop_to_clip(&result.binary_mask);
-        let mask_layout = contour::grid_to_layout(&clip_mask, pixel.round() as i64);
+        let mask_layout = contour::grid_to_layout(&clip_mask, pixel.round() as i64)
+            .map_err(|e| format!("mask contour extraction: {e}"))?;
         std::fs::write(path, glp::write_clip(&mask_layout))
             .map_err(|e| format!("write {path}: {e}"))?;
         eprintln!(
@@ -281,27 +307,30 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         Some("fast") => MosaicConfig::fast_preset(grid, pixel),
         Some(other) => return Err(format!("unknown preset '{other}'")),
     };
-    if let Some(iters) = flags.get("iterations") {
-        config.opt.max_iterations = iters.parse().map_err(|e| format!("--iterations: {e}"))?;
-    }
+    config.opt.max_iterations = count_flag(flags, "iterations", config.opt.max_iterations)?;
     let specs: Vec<JobSpec> = clips
         .into_iter()
         .map(|clip| JobSpec::new(clip, mode, config.clone()))
         .collect();
 
-    let jobs = numeric_flag(flags, "jobs", 1usize)?;
+    let jobs = count_flag(flags, "jobs", 1)?;
+    let deadline = match flags.get("deadline-s") {
+        Some(_) => Some(Duration::from_secs_f64(positive_flag(
+            flags,
+            "deadline-s",
+            0.0,
+        )?)),
+        None => None,
+    };
     let batch_config = BatchConfig {
         workers: jobs,
         retries: numeric_flag(flags, "retries", 1u32)?,
+        retry_backoff: Duration::from_millis(numeric_flag(flags, "retry-backoff-ms", 0u64)?),
         report: flags.get("report").map(PathBuf::from),
         checkpoint_dir: flags.get("resume").map(PathBuf::from),
         checkpoint_every: numeric_flag(flags, "checkpoint-every", 1usize)?,
-        deadline: flags
-            .get("deadline-s")
-            .map(|v| v.parse::<f64>().map_err(|e| format!("--deadline-s: {e}")))
-            .transpose()?
-            .map(Duration::from_secs_f64),
-        cancel: CancelToken::new(),
+        deadline,
+        ..BatchConfig::default()
     };
     eprintln!(
         "batch: {} job(s) on {} worker(s), grid {grid} px @ {pixel} nm, {} iterations max",

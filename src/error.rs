@@ -1,0 +1,145 @@
+//! The workspace-wide error umbrella.
+//!
+//! Each member crate owns a typed error for its own failure modes
+//! ([`NumericsError`](mosaic_numerics::NumericsError),
+//! [`GeometryError`](mosaic_geometry::GeometryError),
+//! [`OpticsError`](mosaic_optics::OpticsError),
+//! [`CoreError`](mosaic_core::CoreError) /
+//! [`OptimizerError`](mosaic_core::OptimizerError)). Code that crosses
+//! those boundaries — the CLI, examples, integration tests — needs one
+//! type that any stage's error converts into; [`MosaicError`] is that
+//! type. `?` works across the whole pipeline, and the source chain is
+//! preserved for diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any error a MOSAIC pipeline stage can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MosaicError {
+    /// Grid/FFT-layer failure (shape mismatch, degenerate transform).
+    Numerics(mosaic_numerics::NumericsError),
+    /// Layout/GLP-layer failure (parse error, malformed polygon).
+    Geometry(mosaic_geometry::GeometryError),
+    /// Simulator construction failure (invalid optical parameter).
+    Optics(mosaic_optics::OpticsError),
+    /// Problem assembly failure (clip too large, bad configuration).
+    Core(mosaic_core::CoreError),
+    /// Optimizer rejection or unrecoverable divergence.
+    Optimizer(mosaic_core::OptimizerError),
+    /// Filesystem failure (reading clips, writing masks/reports).
+    Io(std::io::Error),
+    /// A failure that only exists as prose (CLI validation, the
+    /// runtime's per-job error strings).
+    Message(String),
+}
+
+impl fmt::Display for MosaicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MosaicError::Numerics(e) => write!(f, "numerics: {e}"),
+            MosaicError::Geometry(e) => write!(f, "geometry: {e}"),
+            MosaicError::Optics(e) => write!(f, "optics: {e}"),
+            MosaicError::Core(e) => write!(f, "core: {e}"),
+            MosaicError::Optimizer(e) => write!(f, "optimizer: {e}"),
+            MosaicError::Io(e) => write!(f, "io: {e}"),
+            MosaicError::Message(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl Error for MosaicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MosaicError::Numerics(e) => Some(e),
+            MosaicError::Geometry(e) => Some(e),
+            MosaicError::Optics(e) => Some(e),
+            MosaicError::Core(e) => Some(e),
+            MosaicError::Optimizer(e) => Some(e),
+            MosaicError::Io(e) => Some(e),
+            MosaicError::Message(_) => None,
+        }
+    }
+}
+
+impl From<mosaic_numerics::NumericsError> for MosaicError {
+    fn from(e: mosaic_numerics::NumericsError) -> Self {
+        MosaicError::Numerics(e)
+    }
+}
+
+impl From<mosaic_geometry::GeometryError> for MosaicError {
+    fn from(e: mosaic_geometry::GeometryError) -> Self {
+        MosaicError::Geometry(e)
+    }
+}
+
+impl From<mosaic_optics::OpticsError> for MosaicError {
+    fn from(e: mosaic_optics::OpticsError) -> Self {
+        MosaicError::Optics(e)
+    }
+}
+
+impl From<mosaic_core::CoreError> for MosaicError {
+    fn from(e: mosaic_core::CoreError) -> Self {
+        MosaicError::Core(e)
+    }
+}
+
+impl From<mosaic_core::OptimizerError> for MosaicError {
+    fn from(e: mosaic_core::OptimizerError) -> Self {
+        MosaicError::Optimizer(e)
+    }
+}
+
+impl From<std::io::Error> for MosaicError {
+    fn from(e: std::io::Error) -> Self {
+        MosaicError::Io(e)
+    }
+}
+
+impl From<String> for MosaicError {
+    fn from(msg: String) -> Self {
+        MosaicError::Message(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stage_error_converts_and_chains() {
+        let e = MosaicError::from(mosaic_core::OptimizerError::Diverged {
+            iteration: 7,
+            last_finite_loss: 1.5,
+            recoveries: 3,
+        });
+        assert!(e.to_string().starts_with("optimizer:"));
+        assert!(e.source().is_some());
+
+        let e = MosaicError::from(std::io::Error::other("disk full"));
+        assert!(e.to_string().contains("disk full"));
+        assert!(e.source().is_some());
+
+        let e = MosaicError::from("--jobs must be at least 1".to_string());
+        assert_eq!(e.to_string(), "--jobs must be at least 1");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn question_mark_composes_across_stages() {
+        fn pipeline() -> Result<(), MosaicError> {
+            mosaic_geometry::glp::parse_clip("not a clip")?;
+            Ok(())
+        }
+        assert!(matches!(pipeline(), Err(MosaicError::Geometry(_))));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MosaicError>();
+    }
+}

@@ -10,6 +10,10 @@
 //! assert_eq!(grid.width(), 8);
 //! ```
 
+pub mod error;
+
+pub use error::MosaicError;
+
 pub use mosaic_baselines as baselines;
 pub use mosaic_core as core;
 pub use mosaic_eval as eval;
@@ -20,6 +24,7 @@ pub use mosaic_runtime as runtime;
 
 /// Convenience re-exports of the types used by almost every example.
 pub mod prelude {
+    pub use crate::error::MosaicError;
     pub use mosaic_core::prelude::*;
     pub use mosaic_eval::prelude::*;
     pub use mosaic_geometry::prelude::*;

@@ -23,7 +23,7 @@ fn smooth_epe_count_tracks_hard_epe_count() {
         target_term: TargetTerm::EdgePlacement,
         ..OptimizationConfig::default()
     };
-    let objective = Objective::new(&p, &cfg);
+    let objective = Objective::new(&p, &cfg).unwrap();
     let evaluator = Evaluator::new(p.layout(), p.grid_dims(), p.pixel_nm(), 40, 15.0);
 
     // Evaluate the surrogate and the hard count on the same (target) mask.
@@ -49,7 +49,7 @@ fn pvb_surrogate_zero_iff_corners_match_nominal_target() {
     // so the surrogate must be exactly zero.
     let p = problem(ProcessCondition::nominal_only());
     let cfg = OptimizationConfig::default();
-    let objective = Objective::new(&p, &cfg);
+    let objective = Objective::new(&p, &cfg).unwrap();
     let state = MaskState::from_mask(p.target(), cfg.mask_steepness);
     assert_eq!(objective.evaluate(&state).report.pvb, 0.0);
 
@@ -59,7 +59,7 @@ fn pvb_surrogate_zero_iff_corners_match_nominal_target() {
         ProcessCondition::NOMINAL,
         ProcessCondition::new(25.0, 0.98),
     ]);
-    let objective2 = Objective::new(&p2, &cfg);
+    let objective2 = Objective::new(&p2, &cfg).unwrap();
     let eval2 = objective2.evaluate(&state);
     assert!(eval2.report.pvb > 0.0);
 }
@@ -96,7 +96,7 @@ fn objective_gradient_and_contest_score_move_together() {
         max_iterations: 6,
         ..OptimizationConfig::default()
     };
-    let result = mosaic_suite::core::optimizer::optimize(&p, &cfg, p.target());
+    let result = mosaic_suite::core::optimizer::optimize(&p, &cfg, p.target()).unwrap();
     let evaluator = Evaluator::new(p.layout(), p.grid_dims(), p.pixel_nm(), 40, 15.0);
     let before = evaluator.evaluate_mask(p.simulator(), p.target(), 0.0);
     let after = evaluator.evaluate_mask(p.simulator(), &result.binary_mask, 0.0);

@@ -28,7 +28,7 @@ fn mosaic_improves_contest_score_over_no_opc() {
     let (mosaic, evaluator) = quick_mosaic(&layout, 8);
     let problem = mosaic.problem();
     let before = evaluator.evaluate_mask(problem.simulator(), problem.target(), 0.0);
-    let result = mosaic.run_fast();
+    let result = mosaic.run_fast().unwrap();
     let after = evaluator.evaluate_mask(problem.simulator(), &result.binary_mask, 0.0);
     assert!(
         after.score.total() <= before.score.total(),
@@ -54,7 +54,7 @@ fn exact_mode_reduces_epe_versus_no_opc() {
     let (mosaic, evaluator) = quick_mosaic(&layout, 8);
     let problem = mosaic.problem();
     let before = evaluator.evaluate_mask(problem.simulator(), problem.target(), 0.0);
-    let exact = mosaic.run_exact();
+    let exact = mosaic.run_exact().unwrap();
     let after = evaluator.evaluate_mask(problem.simulator(), &exact.binary_mask, 0.0);
     assert!(
         after.epe_violations < before.epe_violations,
@@ -69,7 +69,7 @@ fn optimized_mask_prints_without_shape_violations() {
     let layout = two_bar_layout();
     let (mosaic, evaluator) = quick_mosaic(&layout, 8);
     let problem = mosaic.problem();
-    let result = mosaic.run_fast();
+    let result = mosaic.run_fast().unwrap();
     let report = evaluator.evaluate_mask(problem.simulator(), &result.binary_mask, 0.0);
     assert_eq!(
         report.shape_violations, 0,
@@ -83,8 +83,8 @@ fn pipeline_is_deterministic_end_to_end() {
     let layout = two_bar_layout();
     let (mosaic_a, evaluator) = quick_mosaic(&layout, 5);
     let (mosaic_b, _) = quick_mosaic(&layout, 5);
-    let a = mosaic_a.run_fast();
-    let b = mosaic_b.run_fast();
+    let a = mosaic_a.run_fast().unwrap();
+    let b = mosaic_b.run_fast().unwrap();
     assert_eq!(a.binary_mask, b.binary_mask);
     let ra = evaluator.evaluate_mask(mosaic_a.problem().simulator(), &a.binary_mask, 0.0);
     let rb = evaluator.evaluate_mask(mosaic_b.problem().simulator(), &b.binary_mask, 0.0);
@@ -95,7 +95,7 @@ fn pipeline_is_deterministic_end_to_end() {
 #[test]
 fn benchmark_clips_round_trip_through_glp() {
     for id in benchmarks::BenchmarkId::all() {
-        let layout = id.layout();
+        let layout = id.layout().unwrap();
         let text = glp::write_clip(&layout);
         let parsed = glp::parse_clip(&text).expect("parse back");
         assert_eq!(parsed, layout, "{id} did not round-trip");
@@ -107,7 +107,7 @@ fn every_benchmark_assembles_into_a_problem() {
     let config = MosaicConfig::fast_preset(256, 4.0);
     for id in benchmarks::BenchmarkId::all() {
         let problem = OpcProblem::from_layout(
-            &id.layout(),
+            &id.layout().unwrap(),
             &config.optics,
             config.resist,
             config.conditions.clone(),
@@ -121,7 +121,7 @@ fn every_benchmark_assembles_into_a_problem() {
         );
         // Target must contain the clip's pattern area (1 px = 4 nm).
         let lit = problem.target().iter().filter(|&&v| v > 0.5).count();
-        let expect = id.layout().pattern_area() / 16;
+        let expect = id.layout().unwrap().pattern_area() / 16;
         let tolerance = expect / 5 + 64;
         assert!(
             (lit as i64 - expect).abs() <= tolerance,
@@ -137,7 +137,7 @@ fn convergence_history_is_recorded_and_monotone_at_best() {
     config.opt.max_iterations = 6;
     config.opt.record_iterates = true;
     let mosaic = Mosaic::new(&layout, config).expect("setup");
-    let result = mosaic.run_fast();
+    let result = mosaic.run_fast().unwrap();
     assert_eq!(result.iterates.len(), result.history.len());
     let best = result.best_report().total;
     for record in &result.history {
@@ -156,7 +156,7 @@ fn pv_band_shrinks_or_holds_with_beta() {
         config.opt.beta = beta;
         let mosaic = Mosaic::new(&layout, config).expect("setup");
         let problem = mosaic.problem();
-        let result = mosaic.run_fast();
+        let result = mosaic.run_fast().unwrap();
         let evaluator = Evaluator::new(&layout, problem.grid_dims(), problem.pixel_nm(), 40, 15.0);
         evaluator
             .evaluate_mask(problem.simulator(), &result.binary_mask, 0.0)

@@ -171,7 +171,7 @@ fn contour_round_trip() {
         let b = Rect::new(a.x0 + dx, a.y0 + dy, a.x1 + dx, a.y1 + dy);
         layout.push(Polygon::from_rect(b));
         let raster = layout.rasterize(1);
-        let traced = contour::grid_to_layout(&raster, 1);
+        let traced = contour::grid_to_layout(&raster, 1).unwrap();
         assert_eq!(traced.shapes().len(), 2);
         assert_eq!(traced.rasterize(1), raster);
         assert_eq!(traced.pattern_area(), layout.pattern_area());
