@@ -4,7 +4,7 @@
 //! once and then timed over a fixed iteration count with
 //! `std::time::Instant` — no external benchmarking dependency.
 
-use mosaic_numerics::{Complex, Fft, Fft2d, FftDirection, Grid};
+use mosaic_numerics::{Complex, Fft, Fft2d, FftDirection, Grid, Workspace};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -50,6 +50,30 @@ fn main() {
             let mut g = grid.clone();
             plan.process(&mut g, FftDirection::Forward);
             g
+        });
+    }
+
+    // The hot-loop variants (DESIGN.md §9): in-place transform drawing
+    // scratch from a warm workspace (no clone, no allocation), and the
+    // Hermitian real-input half-spectrum forward.
+    for n in [128usize, 256, 512] {
+        let plan = Fft2d::new(n, n);
+        let mut g = Grid::from_fn(n, n, |x, y| {
+            Complex::new((x as f64 * 0.1).sin(), (y as f64 * 0.1).cos())
+        });
+        let mut ws = Workspace::new();
+        report(&format!("fft_2d_with/{n}"), 40, || {
+            // Forward+inverse pair, so the buffer magnitudes stay put.
+            plan.process_with(&mut g, FftDirection::Forward, &mut ws);
+            plan.process_with(&mut g, FftDirection::Inverse, &mut ws);
+            g[(0, 0)]
+        });
+
+        let real = Grid::from_fn(n, n, |x, y| ((x * 3 + y) % 7) as f64 * 0.1);
+        let mut half = Grid::zeros(plan.half_width(), n);
+        report(&format!("fft_2d_real_fwd/{n}"), 40, || {
+            plan.forward_real_into(&real, &mut half, &mut ws);
+            half[(0, 0)]
         });
     }
 }

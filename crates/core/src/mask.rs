@@ -101,6 +101,34 @@ impl MaskState {
         })
     }
 
+    /// In-place twin of [`mask`](Self::mask): overwrites `out` with
+    /// `sig(P)` without allocating. Same numerics as the allocating call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mask_into(&self, out: &mut Grid<f64>) {
+        assert_eq!(self.p.dims(), out.dims(), "mask shape mismatch");
+        let t = self.theta_m;
+        for (o, &p) in out.iter_mut().zip(self.p.iter()) {
+            *o = 1.0 / (1.0 + (-t * p).exp());
+        }
+    }
+
+    /// In-place twin of [`mask_derivative`](Self::mask_derivative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mask_derivative_into(&self, out: &mut Grid<f64>) {
+        assert_eq!(self.p.dims(), out.dims(), "mask shape mismatch");
+        let t = self.theta_m;
+        for (o, &p) in out.iter_mut().zip(self.p.iter()) {
+            let m = 1.0 / (1.0 + (-t * p).exp());
+            *o = t * m * (1.0 - m);
+        }
+    }
+
     /// Gradient-descent update `P ← P − step · g` (line 6 of Alg. 1).
     ///
     /// # Panics
@@ -127,6 +155,18 @@ impl MaskState {
     pub fn restore(&mut self, variables: Grid<f64>) {
         assert_eq!(self.p.dims(), variables.dims(), "variable shape mismatch");
         self.p = variables;
+    }
+
+    /// Borrowing twin of [`restore`](Self::restore): copies the
+    /// variables in place without taking ownership (and so without the
+    /// caller cloning) — keeps the optimizer's numerical-guard recovery
+    /// path allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs.
+    pub fn restore_from(&mut self, variables: &Grid<f64>) {
+        self.p.copy_from(variables);
     }
 }
 

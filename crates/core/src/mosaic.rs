@@ -3,13 +3,13 @@
 use crate::error::{CoreError, OptimizerError};
 use crate::objective::TargetTerm;
 use crate::optimizer::{
-    optimize_with, IterationControl, IterationView, OptimizationConfig, OptimizationResult,
-    OptimizerCheckpoint, OptimizerStart,
+    optimize_in, optimize_with, IterationControl, IterationView, OptimizationConfig,
+    OptimizationResult, OptimizerCheckpoint, OptimizerStart,
 };
 use crate::problem::OpcProblem;
 use crate::sraf::SrafRules;
 use mosaic_geometry::Layout;
-use mosaic_numerics::Grid;
+use mosaic_numerics::{Grid, Workspace};
 use mosaic_optics::{LithoSimulator, OpticsConfig, ProcessCondition, ResistModel};
 use std::sync::Arc;
 
@@ -222,6 +222,32 @@ impl Mosaic {
         )
     }
 
+    /// Workspace-pooled twin of [`run_with`](Self::run_with): drawing the
+    /// spectral scratch buffers from `ws` lets a long-lived caller (the
+    /// batch runtime's worker threads) run iteration loops with zero heap
+    /// allocations once the pool is warm. Bit-identical to
+    /// [`run_with`](Self::run_with) — both resolve to
+    /// [`optimize_in`](crate::optimizer::optimize_in).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizerError`] (see [`Mosaic::run`]).
+    pub fn run_in(
+        &self,
+        mode: MosaicMode,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+        ws: &mut Workspace,
+    ) -> Result<OptimizationResult, OptimizerError> {
+        let cfg = self.config_for(mode);
+        optimize_in(
+            &self.problem,
+            &cfg,
+            OptimizerStart::Mask(&self.initial_mask),
+            hook,
+            ws,
+        )
+    }
+
     /// Resumes the selected variant from a checkpoint captured by an
     /// earlier (interrupted) run, continuing the identical trajectory.
     ///
@@ -243,6 +269,30 @@ impl Mosaic {
             &cfg,
             OptimizerStart::Checkpoint(checkpoint),
             hook,
+        )
+    }
+
+    /// Workspace-pooled twin of [`resume_with`](Self::resume_with); see
+    /// [`run_in`](Self::run_in).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizerError`] (see
+    /// [`resume_with`](Self::resume_with)).
+    pub fn resume_in(
+        &self,
+        mode: MosaicMode,
+        checkpoint: OptimizerCheckpoint,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+        ws: &mut Workspace,
+    ) -> Result<OptimizationResult, OptimizerError> {
+        let cfg = self.config_for(mode);
+        optimize_in(
+            &self.problem,
+            &cfg,
+            OptimizerStart::Checkpoint(checkpoint),
+            hook,
+            ws,
         )
     }
 

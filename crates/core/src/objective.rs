@@ -37,7 +37,7 @@ use crate::mask::MaskState;
 use crate::optimizer::OptimizationConfig;
 use crate::problem::OpcProblem;
 use mosaic_geometry::Orientation;
-use mosaic_numerics::{Complex, Convolver, Grid, KernelSpectrum};
+use mosaic_numerics::{Complex, Convolver, FftDirection, Grid, KernelSpectrum, Workspace};
 use mosaic_optics::KernelSet;
 
 /// How the gradient folds the kernel bank.
@@ -81,6 +81,25 @@ pub struct Evaluation {
     pub report: ObjectiveReport,
     /// `∂F/∂P` on the simulation grid.
     pub gradient: Grid<f64>,
+}
+
+impl Evaluation {
+    /// An empty evaluation for [`Objective::evaluate_with`] to fill; the
+    /// gradient grid is sized on first use and reused afterwards, so one
+    /// `Evaluation` can serve a whole optimization run without
+    /// reallocating.
+    pub fn empty() -> Self {
+        Evaluation {
+            report: ObjectiveReport::default(),
+            gradient: Grid::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for Evaluation {
+    fn default() -> Self {
+        Evaluation::empty()
+    }
 }
 
 /// A reusable objective evaluator bound to one problem and configuration.
@@ -129,7 +148,34 @@ impl<'a> Objective<'a> {
 
     /// Evaluates `F` and `∂F/∂P` at the current mask state.
     pub fn evaluate(&self, state: &MaskState) -> Evaluation {
-        self.evaluate_parameterized(&state.mask(), &state.mask_derivative())
+        let mut ws = Workspace::new();
+        let mut eval = Evaluation::empty();
+        self.evaluate_with(state, &mut ws, &mut eval);
+        eval
+    }
+
+    /// Allocation-free twin of [`evaluate`](Self::evaluate): fills `eval`
+    /// drawing every intermediate from `ws`. With a warm workspace and a
+    /// sized `eval.gradient`, an evaluation in [`GradientMode::Combined`]
+    /// performs zero heap allocations (asserted by the allocation smoke
+    /// test); [`GradientMode::PerKernel`] additionally keeps one `Vec` of
+    /// per-kernel field handles per call.
+    ///
+    /// There is exactly one numeric path: `evaluate` delegates here, so
+    /// pooled and allocating evaluations are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's shape differs from the problem grid.
+    pub fn evaluate_with(&self, state: &MaskState, ws: &mut Workspace, eval: &mut Evaluation) {
+        let (gw, gh) = state.dims();
+        let mut mask = ws.take_real_grid(gw, gh);
+        let mut dmask_dp = ws.take_real_grid(gw, gh);
+        state.mask_into(&mut mask);
+        state.mask_derivative_into(&mut dmask_dp);
+        self.evaluate_parameterized_with(&mask, &dmask_dp, ws, eval);
+        ws.give_real_grid(dmask_dp);
+        ws.give_real_grid(mask);
     }
 
     /// Evaluates `F` and its gradient for an arbitrary mask
@@ -143,6 +189,26 @@ impl<'a> Objective<'a> {
     ///
     /// Panics if the grids' shape differs from the problem grid.
     pub fn evaluate_parameterized(&self, mask: &Grid<f64>, dmask_dp: &Grid<f64>) -> Evaluation {
+        let mut ws = Workspace::new();
+        let mut eval = Evaluation::empty();
+        self.evaluate_parameterized_with(mask, dmask_dp, &mut ws, &mut eval);
+        eval
+    }
+
+    /// Workspace-pooled core of
+    /// [`evaluate_parameterized`](Self::evaluate_parameterized); see
+    /// [`evaluate_with`](Self::evaluate_with) for the pooling contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids' shape differs from the problem grid.
+    pub fn evaluate_parameterized_with(
+        &self,
+        mask: &Grid<f64>,
+        dmask_dp: &Grid<f64>,
+        ws: &mut Workspace,
+        eval: &mut Evaluation,
+    ) {
         let sim = self.problem.simulator();
         let conv = sim.convolver();
         let cfg = self.config;
@@ -151,9 +217,17 @@ impl<'a> Objective<'a> {
 
         assert_eq!(mask.dims(), self.problem.grid_dims(), "mask shape mismatch");
         assert_eq!(dmask_dp.dims(), mask.dims(), "derivative shape mismatch");
-        let mask_spectrum = sim.mask_spectrum(mask);
         let (gw, gh) = self.problem.grid_dims();
-        let mut grad_mask = Grid::<f64>::zeros(gw, gh);
+        let mut mask_spectrum = ws.take_complex_grid(gw, gh);
+        sim.mask_spectrum_into(mask, &mut mask_spectrum, ws);
+        let mut grad_mask = ws.take_real_grid_zeroed(gw, gh);
+        let mut intensity = ws.take_real_grid(gw, gh);
+        let mut z = ws.take_real_grid(gw, gh);
+        let mut dz = ws.take_real_grid(gw, gh);
+        let mut g = ws.take_real_grid(gw, gh);
+        // Per-kernel field handles (PerKernel mode only); the grids come
+        // from the workspace and are returned after the condition loop.
+        let mut fields: Vec<Grid<Complex>> = Vec::new();
         let mut report = ObjectiveReport::default();
 
         for c in 0..sim.condition_count() {
@@ -167,30 +241,36 @@ impl<'a> Objective<'a> {
             }
             let bank = sim.bank(c);
             let per_kernel = cfg.gradient_mode == GradientMode::PerKernel;
-            let (intensity, fields) = if per_kernel {
-                bank.aerial_image_with_fields(conv, &mask_spectrum)
+            if per_kernel {
+                bank.aerial_image_with_fields_into(
+                    conv,
+                    &mask_spectrum,
+                    &mut intensity,
+                    &mut fields,
+                    ws,
+                );
             } else {
-                (
-                    bank.aerial_image_from_spectrum(conv, &mask_spectrum),
-                    Vec::new(),
-                )
-            };
-            let z = sim.resist().develop(&intensity);
+                bank.aerial_image_accumulate_into(conv, &mask_spectrum, &mut intensity, ws);
+            }
+            sim.resist().develop_into(&intensity, &mut z);
             // dZ/dI at every pixel.
-            let dz = intensity.map(|&i| sim.resist().sigmoid_derivative(i));
+            for (d, &i) in dz.iter_mut().zip(intensity.iter()) {
+                *d = sim.resist().sigmoid_derivative(i);
+            }
 
             // Accumulate ∂F/∂I for every term active at this condition.
-            let mut g = Grid::<f64>::zeros(gw, gh);
+            g.fill(0.0);
 
             if target_active {
-                let (value, df_dz) = match cfg.target_term {
-                    TargetTerm::ImageDifference => self.image_difference(&z, target, pixel_area),
-                    TargetTerm::EdgePlacement => self.epe_violations(&z, target),
+                let value = match cfg.target_term {
+                    TargetTerm::ImageDifference => {
+                        self.image_difference_accumulate(&z, target, &dz, pixel_area, &mut g)
+                    }
+                    TargetTerm::EdgePlacement => {
+                        self.epe_violations_accumulate(&z, target, &dz, &mut g, ws)
+                    }
                 };
                 report.target = cfg.alpha * value;
-                for ((gv, dv), zv) in g.iter_mut().zip(df_dz.iter()).zip(dz.iter()) {
-                    *gv += cfg.alpha * dv * zv;
-                }
             }
             if pvb_active {
                 // F_pvb contribution of this corner: Σ (Z_c − Z_t)².
@@ -215,6 +295,7 @@ impl<'a> Objective<'a> {
                         &g,
                         2.0 * dose,
                         &mut grad_mask,
+                        ws,
                     );
                 }
                 GradientMode::PerKernel => {
@@ -225,6 +306,7 @@ impl<'a> Objective<'a> {
                         &g,
                         2.0 * dose,
                         &mut grad_mask,
+                        ws,
                     );
                 }
             }
@@ -232,38 +314,72 @@ impl<'a> Objective<'a> {
         report.total = report.target + report.pvb;
 
         // Chain through the parameterization: ∂F/∂P = ∂F/∂M ⊙ dM/dP.
-        let gradient = grad_mask.zip_map(dmask_dp, |a, b| a * b);
-        Evaluation { report, gradient }
+        if eval.gradient.dims() != (gw, gh) {
+            eval.gradient = Grid::zeros(gw, gh);
+        }
+        for ((o, &gm), &dm) in eval
+            .gradient
+            .iter_mut()
+            .zip(grad_mask.iter())
+            .zip(dmask_dp.iter())
+        {
+            *o = gm * dm;
+        }
+        eval.report = report;
+
+        for f in fields.drain(..) {
+            ws.give_complex_grid(f);
+        }
+        ws.give_real_grid(g);
+        ws.give_real_grid(dz);
+        ws.give_real_grid(z);
+        ws.give_real_grid(intensity);
+        ws.give_real_grid(grad_mask);
+        ws.give_complex_grid(mask_spectrum);
     }
 
-    /// `F_id = Σ |Z − Z_t|^γ · px²` and `∂F_id/∂Z`.
-    fn image_difference(
+    /// `F_id = Σ |Z − Z_t|^γ · px²`; accumulates `α·∂F_id/∂Z·dZ/dI` into
+    /// `g` in the same pass and returns the unweighted value.
+    fn image_difference_accumulate(
         &self,
         z: &Grid<f64>,
         target: &Grid<f64>,
+        dz: &Grid<f64>,
         pixel_area: f64,
-    ) -> (f64, Grid<f64>) {
+        g: &mut Grid<f64>,
+    ) -> f64 {
         let gamma = self.config.gamma;
+        let alpha = self.config.alpha;
         let mut value = 0.0;
-        let df = z.zip_map(target, |&zv, &tv| {
+        for ((gv, (zv, tv)), dzv) in g.iter_mut().zip(z.iter().zip(target.iter())).zip(dz.iter()) {
             let diff = zv - tv;
             value += diff.abs().powf(gamma);
-            pixel_area * gamma * diff.abs().powf(gamma - 1.0) * diff.signum()
-        });
-        (value * pixel_area, df)
+            let dv = pixel_area * gamma * diff.abs().powf(gamma - 1.0) * diff.signum();
+            *gv += alpha * dv * dzv;
+        }
+        value * pixel_area
     }
 
-    /// `F_epe = Σ_sites sig(Dsum − th_epe)` and `∂F_epe/∂Z`.
+    /// `F_epe = Σ_sites sig(Dsum − th_epe)`; accumulates
+    /// `α·∂F_epe/∂Z·dZ/dI` into `g` and returns the unweighted value.
     ///
     /// The derivative field is assembled by scattering each site's
     /// `θ_epe·s·(1−s)` back over its window and multiplying by
     /// `∂D/∂Z = 2(Z − Z_t)` (Eq. (14)).
-    fn epe_violations(&self, z: &Grid<f64>, target: &Grid<f64>) -> (f64, Grid<f64>) {
+    fn epe_violations_accumulate(
+        &self,
+        z: &Grid<f64>,
+        target: &Grid<f64>,
+        dz: &Grid<f64>,
+        g: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) -> f64 {
         let (gw, gh) = z.dims();
         let th = self.epe_threshold_px as i64;
         let theta = self.config.epe_steepness;
+        let alpha = self.config.alpha;
         let mut value = 0.0;
-        let mut weight = Grid::<f64>::zeros(gw, gh);
+        let mut weight = ws.take_real_grid_zeroed(gw, gh);
         for sample in self.problem.samples() {
             let mut dsum = 0.0;
             let window = |k: i64| -> Option<(usize, usize)> {
@@ -289,11 +405,24 @@ impl<'a> Objective<'a> {
                 }
             }
         }
-        let df = weight.zip_map(&z.zip_map(target, |&a, &b| a - b), |&w, &d| w * 2.0 * d);
-        (value, df)
+        for ((gv, (zv, tv)), (wv, dzv)) in g
+            .iter_mut()
+            .zip(z.iter().zip(target.iter()))
+            .zip(weight.iter().zip(dz.iter()))
+        {
+            let dv = wv * 2.0 * (zv - tv);
+            *gv += alpha * dv * dzv;
+        }
+        ws.give_real_grid(weight);
+        value
     }
 
     /// `∂F/∂M += scale · Re[(G ⊙ (M ⊗ H)) ★ H]` with the combined kernel.
+    ///
+    /// The trailing correlation goes through the Hermitian half-spectrum
+    /// inverse (only the real part is consumed), which is ULP-compatible
+    /// with — not bit-identical to — a full complex correlation.
+    #[allow(clippy::too_many_arguments)]
     fn backpropagate_combined(
         &self,
         conv: &Convolver,
@@ -302,17 +431,23 @@ impl<'a> Objective<'a> {
         g: &Grid<f64>,
         scale: f64,
         grad_mask: &mut Grid<f64>,
+        ws: &mut Workspace,
     ) {
-        let field = conv.convolve_spectrum(mask_spectrum, combined);
-        let weighted = field.zip_map(g, |&e, &gv| e.scale(gv));
-        let corr = conv.correlate(&weighted, combined);
-        for (acc, c) in grad_mask.iter_mut().zip(corr.iter()) {
-            *acc += scale * c.re;
+        let (gw, gh) = grad_mask.dims();
+        let mut field = ws.take_complex_grid(gw, gh);
+        conv.convolve_spectrum_into(mask_spectrum, combined, &mut field, ws);
+        for (e, &gv) in field.iter_mut().zip(g.iter()) {
+            *e = e.scale(gv);
         }
+        conv.plan()
+            .process_with(&mut field, FftDirection::Forward, ws);
+        conv.correlate_spectrum_re_accumulate(&field, combined, scale, grad_mask, ws);
+        ws.give_complex_grid(field);
     }
 
     /// `∂F/∂M += scale · Σ_k w_k Re[(G ⊙ E_k) ★ h_k]` with the exact
     /// per-kernel adjoint.
+    #[allow(clippy::too_many_arguments)]
     fn backpropagate_per_kernel(
         &self,
         conv: &Convolver,
@@ -321,15 +456,25 @@ impl<'a> Objective<'a> {
         g: &Grid<f64>,
         scale: f64,
         grad_mask: &mut Grid<f64>,
+        ws: &mut Workspace,
     ) {
+        let (gw, gh) = grad_mask.dims();
+        let mut weighted = ws.take_complex_grid(gw, gh);
         for (kernel, field) in bank.kernels().iter().zip(fields) {
-            let weighted = field.zip_map(g, |&e, &gv| e.scale(gv));
-            let corr = conv.correlate(&weighted, &kernel.spectrum);
-            let s = scale * kernel.weight;
-            for (acc, c) in grad_mask.iter_mut().zip(corr.iter()) {
-                *acc += s * c.re;
+            for ((wv, &e), &gv) in weighted.iter_mut().zip(field.iter()).zip(g.iter()) {
+                *wv = e.scale(gv);
             }
+            conv.plan()
+                .process_with(&mut weighted, FftDirection::Forward, ws);
+            conv.correlate_spectrum_re_accumulate(
+                &weighted,
+                &kernel.spectrum,
+                scale * kernel.weight,
+                grad_mask,
+                ws,
+            );
         }
+        ws.give_complex_grid(weighted);
     }
 }
 

@@ -19,9 +19,9 @@
 
 use crate::error::OptimizerError;
 use crate::mask::MaskState;
-use crate::objective::{GradientMode, Objective, ObjectiveReport, TargetTerm};
+use crate::objective::{Evaluation, GradientMode, Objective, ObjectiveReport, TargetTerm};
 use crate::problem::OpcProblem;
-use mosaic_numerics::{stats, Grid};
+use mosaic_numerics::{stats, Grid, Workspace};
 
 /// Every knob of the optimization (objective weights + Alg. 1 controls).
 ///
@@ -383,6 +383,28 @@ pub fn optimize_with(
     start: OptimizerStart<'_>,
     hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
 ) -> Result<OptimizationResult, OptimizerError> {
+    let mut ws = Workspace::new();
+    optimize_in(problem, config, start, hook, &mut ws)
+}
+
+/// Workspace-pooled twin of [`optimize_with`]: every per-iteration
+/// intermediate (mask fields, spectra, gradients, line-search base) is
+/// drawn from `ws`, so after the first iteration warms the pool the main
+/// loop performs zero heap allocations per iteration in
+/// [`GradientMode::Combined`] (asserted by the allocation smoke test).
+/// `optimize_with` delegates here with a fresh workspace, so the two
+/// entry points share one numeric path and are bit-identical.
+///
+/// # Errors
+///
+/// Exactly as [`optimize_with`].
+pub fn optimize_in(
+    problem: &OpcProblem,
+    config: &OptimizationConfig,
+    start: OptimizerStart<'_>,
+    hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+    ws: &mut Workspace,
+) -> Result<OptimizationResult, OptimizerError> {
     config.validate().map_err(OptimizerError::InvalidConfig)?;
     let objective = Objective::new(problem, config)?;
     let (
@@ -449,9 +471,15 @@ pub fn optimize_with(
     let mut iterates: Vec<Grid<f64>> = Vec::new();
     // Last finite objective value, for the Diverged report.
     let mut last_finite = f64::NAN;
+    // Reused across iterations: the main evaluation and the line-search
+    // trial evaluation (separate because `direction` borrows the main
+    // gradient while trials run). `Evaluation::empty` holds 0×0 grids, so
+    // nothing is allocated until the first evaluation sizes them.
+    let mut eval = Evaluation::empty();
+    let mut eval_ls = Evaluation::empty();
 
     for iteration in start_iter..config.max_iterations {
-        let mut eval = objective.evaluate(&state);
+        objective.evaluate_with(&state, ws, &mut eval);
         if config.fault_nan_gradient_at == Some(iteration) {
             // Test-only fault: poison one gradient entry so the RMS (and
             // any step taken from it) goes NaN at exactly this iteration.
@@ -478,7 +506,7 @@ pub fn optimize_with(
             // step that blew up.
             recoveries += 1;
             step_damp *= config.recovery_damping;
-            state.restore(best_vars.clone());
+            state.restore_from(&best_vars);
             prev_value = f64::INFINITY;
             stagnant = 0;
             history.push(IterationRecord {
@@ -495,7 +523,7 @@ pub fn optimize_with(
 
         if value < best_value {
             best_value = value;
-            best_vars = state.variables().clone();
+            best_vars.copy_from(state.variables());
         }
         if value < recorded_best {
             recorded_best = value;
@@ -550,33 +578,38 @@ pub fn optimize_with(
             break;
         }
 
-        let direction = if config.normalize_gradient {
+        // Normalize in place (`g / max` pixel-wise, bit-identical to the
+        // old allocating map) and descend along the stored gradient.
+        if config.normalize_gradient {
             let max = stats::max_abs(eval.gradient.as_slice());
             if max > 0.0 {
-                eval.gradient.map(|&g| g / max)
-            } else {
-                eval.gradient
+                for g in eval.gradient.iter_mut() {
+                    *g /= max;
+                }
             }
-        } else {
-            eval.gradient
-        };
+        }
+        let direction = &eval.gradient;
         if config.line_search && !jump {
             // Backtracking: accept the first halved step that descends;
             // if none does, keep the smallest trial (best-iterate
             // tracking protects the result either way).
-            let base_vars = state.variables().clone();
+            let (gw, gh) = state.dims();
+            let mut base_vars = ws.take_real_grid(gw, gh);
+            base_vars.copy_from(state.variables());
             let mut trial = step;
             for attempt in 0..config.line_search_max_halvings {
-                state.restore(base_vars.clone());
-                state.step(&direction, trial);
-                let f_trial = objective.evaluate(&state).report.total;
+                state.restore_from(&base_vars);
+                state.step(direction, trial);
+                objective.evaluate_with(&state, ws, &mut eval_ls);
+                let f_trial = eval_ls.report.total;
                 if f_trial < value || attempt + 1 == config.line_search_max_halvings {
                     break;
                 }
                 trial *= 0.5;
             }
+            ws.give_real_grid(base_vars);
         } else {
-            state.step(&direction, step);
+            state.step(direction, step);
         }
 
         let view = IterationView {

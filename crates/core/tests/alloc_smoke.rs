@@ -1,0 +1,115 @@
+//! Allocation-count smoke test for the optimizer hot path (DESIGN.md §9).
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! runs a real optimization, arms the counter at the end of the first
+//! (warm-up) iteration and reads it back at the last iteration's hook.
+//! In [`GradientMode::Combined`] (the default and the batch-bench
+//! configuration) every warm iteration — objective evaluation, gradient
+//! backpropagation, descent step, best-iterate tracking — must perform
+//! **zero heap allocations**: all spectral scratch comes from the
+//! [`Workspace`] pool the warm-up iteration populated.
+//!
+//! The single test function keeps the process free of concurrent test
+//! threads that would pollute the counter.
+
+use mosaic_core::prelude::*;
+use mosaic_geometry::{Layout, Polygon, Rect};
+use mosaic_numerics::Workspace;
+use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: AllocLayout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn small_problem() -> OpcProblem {
+    let mut layout = Layout::new(256, 256);
+    layout.push(Polygon::from_rect(Rect::new(64, 48, 160, 208)));
+    // 96 = 32·3: the Bluestein scratch path must be pooled too.
+    let optics = OpticsConfig::builder()
+        .grid(96, 96)
+        .pixel_nm(4.0)
+        .kernel_count(4)
+        .build()
+        .unwrap();
+    OpcProblem::from_layout(
+        &layout,
+        &optics,
+        ResistModel::paper(),
+        ProcessCondition::nominal_only(),
+        40,
+    )
+    .unwrap()
+}
+
+#[test]
+fn warm_iterations_allocate_nothing() {
+    let problem = small_problem();
+    let cfg = OptimizationConfig {
+        max_iterations: 4,
+        gradient_mode: GradientMode::Combined,
+        ..OptimizationConfig::default()
+    };
+    let mut ws = Workspace::new();
+    let mut measured: Option<u64> = None;
+    let last = cfg.max_iterations - 1;
+    let result = optimize_in(
+        &problem,
+        &cfg,
+        OptimizerStart::Mask(problem.target()),
+        &mut |view| {
+            if view.record.iteration == 0 {
+                // Iteration 0 warmed the pool and sized the reused
+                // evaluation; everything from here to the final hook is
+                // steady-state.
+                ALLOCATIONS.store(0, Ordering::Relaxed);
+                ARMED.store(true, Ordering::Relaxed);
+            } else if view.record.iteration == last {
+                ARMED.store(false, Ordering::Relaxed);
+                measured = Some(ALLOCATIONS.load(Ordering::Relaxed));
+            }
+            IterationControl::Continue
+        },
+        &mut ws,
+    )
+    .unwrap();
+    assert_eq!(result.history.len(), cfg.max_iterations);
+    let allocations = measured.expect("final iteration hook fired");
+    assert_eq!(
+        allocations, 0,
+        "warm optimizer iterations performed {allocations} heap allocations; \
+         the spectral hot path must draw everything from the workspace pool"
+    );
+}

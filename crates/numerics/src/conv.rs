@@ -20,6 +20,7 @@
 use crate::complex::Complex;
 use crate::fft::{Fft2d, FftDirection};
 use crate::grid::Grid;
+use crate::workspace::Workspace;
 
 /// A kernel held in the frequency domain, ready for repeated use.
 ///
@@ -213,6 +214,103 @@ impl Convolver {
     pub fn correlate(&self, field: &Grid<Complex>, kernel: &KernelSpectrum) -> Grid<Complex> {
         let spectrum = self.forward(field);
         self.correlate_spectrum(&spectrum, kernel)
+    }
+
+    /// Forward-transforms a real field into a caller-owned full spectrum
+    /// without allocating: the Hermitian half spectrum is computed first
+    /// and mirrored out (same numerics as [`Convolver::forward_real`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn forward_real_into(
+        &self,
+        field: &Grid<f64>,
+        out: &mut Grid<Complex>,
+        ws: &mut Workspace,
+    ) {
+        let mut half = ws.take_complex_grid(self.plan.half_width(), self.height());
+        self.plan.forward_real_into(field, &mut half, ws);
+        self.plan.expand_half_spectrum_into(&half, out);
+        ws.give_complex_grid(half);
+    }
+
+    /// Writes `field_spectrum · kernel` into `out` and inverse-transforms
+    /// it in place: the allocation-free twin of
+    /// [`Convolver::convolve_spectrum`], bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn convolve_spectrum_into(
+        &self,
+        field_spectrum: &Grid<Complex>,
+        kernel: &KernelSpectrum,
+        out: &mut Grid<Complex>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            field_spectrum.dims(),
+            kernel.dims(),
+            "field/kernel spectrum shape mismatch"
+        );
+        assert_eq!(field_spectrum.dims(), out.dims(), "output shape mismatch");
+        for ((o, &a), &b) in out
+            .iter_mut()
+            .zip(field_spectrum.iter())
+            .zip(kernel.spectrum.iter())
+        {
+            *o = a * b;
+        }
+        self.plan.process_with(out, FftDirection::Inverse, ws);
+    }
+
+    /// Accumulates `scale · Re[F⁻¹(field_spectrum · conj(kernel))]` into
+    /// `acc` — the gradient correlation of Eq. (14)/(17), which only ever
+    /// consumes the real part.
+    ///
+    /// Implemented through the Hermitian half spectrum: the product's
+    /// Hermitian part `(P(f) + conj(P(−f)))/2` inverse-transforms to
+    /// exactly `Re(F⁻¹ P)` (exact arithmetic), so only `w/2 + 1` columns
+    /// go through the inverse transform. ULP-compatible with
+    /// `correlate_spectrum(...).re()`, not bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn correlate_spectrum_re_accumulate(
+        &self,
+        field_spectrum: &Grid<Complex>,
+        kernel: &KernelSpectrum,
+        scale: f64,
+        acc: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            field_spectrum.dims(),
+            kernel.dims(),
+            "field/kernel spectrum shape mismatch"
+        );
+        assert_eq!(field_spectrum.dims(), acc.dims(), "output shape mismatch");
+        let (w, h) = field_spectrum.dims();
+        let hw = self.plan.half_width();
+        let mut half = ws.take_complex_grid(hw, h);
+        for j in 0..h {
+            let jm = (h - j) % h;
+            for i in 0..hw {
+                let im = (w - i) % w;
+                let p = field_spectrum[(i, j)] * kernel.spectrum[(i, j)].conj();
+                let q = field_spectrum[(im, jm)] * kernel.spectrum[(im, jm)].conj();
+                half[(i, j)] = (p + q.conj()).scale(0.5);
+            }
+        }
+        let mut re = ws.take_real_grid(w, h);
+        self.plan.inverse_real_into(&mut half, &mut re, ws);
+        for (a, &r) in acc.iter_mut().zip(re.iter()) {
+            *a += scale * r;
+        }
+        ws.give_real_grid(re);
+        ws.give_complex_grid(half);
     }
 }
 

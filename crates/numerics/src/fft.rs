@@ -13,6 +13,17 @@
 //! (`X[k] = Σ_n x[n]·e^{-2πi kn/N}`); the inverse divides by `N`, so
 //! `inverse(forward(x)) == x`.
 //!
+//! Two hot-path refinements (see DESIGN.md §9):
+//!
+//! * every `process` entry point has a `process_with` twin that draws
+//!   scratch from a caller-owned [`Workspace`] instead of allocating —
+//!   bit-identical results, zero allocations after warm-up;
+//! * real-valued grids can round-trip through a **Hermitian half
+//!   spectrum** of `w/2 + 1` columns ([`Fft2d::forward_real_into`] /
+//!   [`Fft2d::inverse_real_into`]), cutting the row-transform work
+//!   roughly in half by packing even/odd samples into one half-length
+//!   complex FFT.
+//!
 //! ```
 //! use mosaic_numerics::{Complex, Fft, FftDirection};
 //!
@@ -28,6 +39,7 @@
 
 use crate::complex::Complex;
 use crate::grid::Grid;
+use crate::workspace::Workspace;
 use std::f64::consts::PI;
 use std::sync::Arc;
 
@@ -58,6 +70,10 @@ enum Algo {
     Radix2 {
         /// Twiddle factors e^{-iπ k / half} for k in 0..len/2 (forward).
         twiddles: Arc<[Complex]>,
+        /// Conjugate table for the inverse direction, precomputed so the
+        /// butterfly loop is branch-free. `conj` is an exact sign flip,
+        /// so results are bit-identical to conjugating on the fly.
+        twiddles_inv: Arc<[Complex]>,
         /// Bit-reversal permutation.
         rev: Arc<[u32]>,
     },
@@ -116,12 +132,14 @@ impl Fft {
         let twiddles: Vec<Complex> = (0..half)
             .map(|k| Complex::cis(-PI * k as f64 / half as f64))
             .collect();
+        let twiddles_inv: Vec<Complex> = twiddles.iter().map(|w| w.conj()).collect();
         let bits = len.trailing_zeros();
         let rev: Vec<u32> = (0..len as u32)
             .map(|i| i.reverse_bits() >> (32 - bits))
             .collect();
         Algo::Radix2 {
             twiddles: twiddles.into(),
+            twiddles_inv: twiddles_inv.into(),
             rev: rev.into(),
         }
     }
@@ -155,12 +173,28 @@ impl Fft {
         }
     }
 
-    /// Runs the transform in place.
+    /// Runs the transform in place, allocating any scratch it needs.
+    ///
+    /// Prefer [`Fft::process_with`] in hot loops: it is bit-identical
+    /// but draws scratch from a reusable [`Workspace`].
     ///
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the planned length.
     pub fn process(&self, data: &mut [Complex], direction: FftDirection) {
+        let mut ws = Workspace::new();
+        self.process_with(data, direction, &mut ws);
+    }
+
+    /// Runs the transform in place, drawing scratch from `ws`.
+    ///
+    /// Power-of-two lengths need no scratch at all; Bluestein lengths
+    /// borrow one padded buffer and return it before this call ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn process_with(&self, data: &mut [Complex], direction: FftDirection, ws: &mut Workspace) {
         assert_eq!(
             data.len(),
             self.len,
@@ -170,8 +204,16 @@ impl Fft {
         );
         match &self.algo {
             Algo::Identity => {}
-            Algo::Radix2 { twiddles, rev } => {
-                Self::radix2_in_place(data, twiddles, rev, direction);
+            Algo::Radix2 {
+                twiddles,
+                twiddles_inv,
+                rev,
+            } => {
+                let table = match direction {
+                    FftDirection::Forward => twiddles,
+                    FftDirection::Inverse => twiddles_inv,
+                };
+                Self::radix2_in_place(data, table, rev);
                 if direction == FftDirection::Inverse {
                     let scale = 1.0 / self.len as f64;
                     for v in data.iter_mut() {
@@ -184,49 +226,56 @@ impl Fft {
                 filter_spectrum,
                 inner,
             } => {
-                self.bluestein(data, chirp, filter_spectrum, inner, direction);
+                self.bluestein(data, chirp, filter_spectrum, inner, direction, ws);
             }
         }
     }
 
-    fn radix2_in_place(
-        data: &mut [Complex],
-        twiddles: &[Complex],
-        rev: &[u32],
-        direction: FftDirection,
-    ) {
+    fn radix2_in_place(data: &mut [Complex], twiddles: &[Complex], rev: &[u32]) {
         let n = data.len();
         // Bit-reversal permutation: the index itself is compared against
         // its reversal to swap each pair exactly once.
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..n {
-            let j = rev[i] as usize;
+        for (i, &r) in rev.iter().enumerate() {
+            let j = r as usize;
             if i < j {
                 data.swap(i, j);
             }
         }
-        let mut size = 2;
+        // First stage (size 2): the only twiddle is cis(0) = exactly
+        // (1, 0), so the butterfly is a bare add/sub — numerically
+        // identical to multiplying by the table entry.
+        for pair in data.chunks_exact_mut(2) {
+            let even = pair[0];
+            let odd = pair[1];
+            pair[0] = even + odd;
+            pair[1] = even - odd;
+        }
+        // Remaining stages, written over exact-size chunks and split
+        // halves so the butterfly loop carries no bounds checks; the
+        // operations and their order match the textbook indexed form
+        // exactly.
+        let mut size = 4;
         while size <= n {
             let half = size / 2;
             let step = n / size;
-            let mut start = 0;
-            while start < n {
-                for k in 0..half {
-                    let mut w = twiddles[k * step];
-                    if direction == FftDirection::Inverse {
-                        w = w.conj();
-                    }
-                    let even = data[start + k];
-                    let odd = data[start + k + half] * w;
-                    data[start + k] = even + odd;
-                    data[start + k + half] = even - odd;
+            for block in data.chunks_exact_mut(size) {
+                let (lo, hi) = block.split_at_mut(half);
+                for ((e, o), w) in lo
+                    .iter_mut()
+                    .zip(hi.iter_mut())
+                    .zip(twiddles.iter().step_by(step))
+                {
+                    let even = *e;
+                    let odd = *o * *w;
+                    *e = even + odd;
+                    *o = even - odd;
                 }
-                start += size;
             }
             size <<= 1;
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn bluestein(
         &self,
         data: &mut [Complex],
@@ -234,6 +283,7 @@ impl Fft {
         filter_spectrum: &[Complex],
         inner: &Fft,
         direction: FftDirection,
+        ws: &mut Workspace,
     ) {
         let n = self.len;
         let pad = inner.len();
@@ -245,11 +295,11 @@ impl Fft {
             FftDirection::Forward => chirp[i],
             FftDirection::Inverse => chirp[i].conj(),
         };
-        let mut a = vec![Complex::ZERO; pad];
+        let mut a = ws.take_complex_zeroed(pad);
         for i in 0..n {
             a[i] = data[i] * chirp_of(i);
         }
-        inner.process(&mut a, FftDirection::Forward);
+        inner.process_with(&mut a, FftDirection::Forward, ws);
         match direction {
             FftDirection::Forward => {
                 for (av, f) in a.iter_mut().zip(filter_spectrum.iter()) {
@@ -262,7 +312,7 @@ impl Fft {
                 }
             }
         }
-        inner.process(&mut a, FftDirection::Inverse);
+        inner.process_with(&mut a, FftDirection::Inverse, ws);
         let scale = match direction {
             FftDirection::Forward => 1.0,
             FftDirection::Inverse => 1.0 / n as f64,
@@ -270,17 +320,73 @@ impl Fft {
         for i in 0..n {
             data[i] = (a[i] * chirp_of(i)).scale(scale);
         }
+        ws.give_complex(a);
     }
+}
+
+/// Tile edge for the blocked transposes below: 32×32 complex values are
+/// 16 KiB, comfortably inside L1 for both the source rows and the
+/// destination columns.
+const TRANSPOSE_TILE: usize = 32;
+
+/// Blocked out-of-place transpose: `dst[x*h + y] = src[y*w + x]` for a
+/// row-major `w × h` source. Calling it again with `w`/`h` swapped
+/// inverts it.
+fn transpose_into(src: &[Complex], dst: &mut [Complex], w: usize, h: usize) {
+    debug_assert_eq!(src.len(), w * h);
+    debug_assert_eq!(dst.len(), w * h);
+    let mut y0 = 0;
+    while y0 < h {
+        let y1 = (y0 + TRANSPOSE_TILE).min(h);
+        let mut x0 = 0;
+        while x0 < w {
+            let x1 = (x0 + TRANSPOSE_TILE).min(w);
+            // Within the tile, write destination rows contiguously; the
+            // slice-based inner loop keeps the write side free of bounds
+            // checks.
+            for x in x0..x1 {
+                let drow = &mut dst[x * h + y0..x * h + y1];
+                for (d, y) in drow.iter_mut().zip(y0..y1) {
+                    *d = src[y * w + x];
+                }
+            }
+            x0 = x1;
+        }
+        y0 = y1;
+    }
+}
+
+/// Strategy for transforming one real-valued row into its Hermitian
+/// half spectrum of `w/2 + 1` columns.
+#[derive(Debug, Clone)]
+enum RealRowPlan {
+    /// `w == 1`: the row transform is the identity.
+    Trivial,
+    /// Even width: pack adjacent sample pairs into one half-length
+    /// complex FFT, then untangle the even/odd sub-spectra.
+    Even {
+        /// FFT of length `w / 2` over the packed samples.
+        half_fft: Fft,
+        /// `tw[k] = e^{-2πi k / w}` for `k` in `0..=w/2`.
+        tw: Arc<[Complex]>,
+    },
+    /// Odd width: full-width complex row transform, keep the first
+    /// `w/2 + 1` bins (the rest are their mirror conjugates).
+    Odd,
 }
 
 /// A planned 2-D FFT over [`Grid<Complex>`] values.
 ///
-/// Rows are transformed first, then columns through a scratch buffer. The
-/// plan owns one [`Fft`] per axis, so rectangular grids work.
+/// Rows are transformed first, then columns; the column pass runs on a
+/// blocked transpose of the grid so every 1-D transform touches
+/// contiguous memory. The plan owns one [`Fft`] per axis, so rectangular
+/// grids work, plus a real-row plan for the Hermitian half-spectrum
+/// paths ([`Fft2d::forward_real_into`] / [`Fft2d::inverse_real_into`]).
 #[derive(Debug, Clone)]
 pub struct Fft2d {
     row: Fft,
     col: Fft,
+    half: RealRowPlan,
 }
 
 impl Fft2d {
@@ -290,9 +396,23 @@ impl Fft2d {
     ///
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
+        let half = if width == 1 {
+            RealRowPlan::Trivial
+        } else if width.is_multiple_of(2) {
+            let tw: Vec<Complex> = (0..=width / 2)
+                .map(|k| Complex::cis(-2.0 * PI * k as f64 / width as f64))
+                .collect();
+            RealRowPlan::Even {
+                half_fft: Fft::new(width / 2),
+                tw: tw.into(),
+            }
+        } else {
+            RealRowPlan::Odd
+        };
         Fft2d {
             row: Fft::new(width),
             col: Fft::new(height),
+            half,
         }
     }
 
@@ -306,12 +426,37 @@ impl Fft2d {
         self.col.len()
     }
 
-    /// Transforms `grid` in place.
+    /// Number of columns a Hermitian half spectrum stores: `w/2 + 1`
+    /// (the independent bins of a real-input row transform, for both
+    /// parities of `w`).
+    pub fn half_width(&self) -> usize {
+        self.width() / 2 + 1
+    }
+
+    /// Transforms `grid` in place, allocating its own scratch.
+    ///
+    /// Prefer [`Fft2d::process_with`] in hot loops; the two are
+    /// bit-identical.
     ///
     /// # Panics
     ///
     /// Panics if the grid shape differs from the planned shape.
     pub fn process(&self, grid: &mut Grid<Complex>, direction: FftDirection) {
+        let mut ws = Workspace::new();
+        self.process_with(grid, direction, &mut ws);
+    }
+
+    /// Transforms `grid` in place, drawing scratch from `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid shape differs from the planned shape.
+    pub fn process_with(
+        &self,
+        grid: &mut Grid<Complex>,
+        direction: FftDirection,
+        ws: &mut Workspace,
+    ) {
         assert_eq!(
             grid.dims(),
             (self.width(), self.height()),
@@ -323,25 +468,240 @@ impl Fft2d {
         );
         let (w, h) = grid.dims();
         for y in 0..h {
-            self.row.process(grid.row_mut(y), direction);
+            self.row.process_with(grid.row_mut(y), direction, ws);
         }
-        let mut col = vec![Complex::ZERO; h];
+        self.column_pass(grid.as_mut_slice(), w, h, direction, ws);
+    }
+
+    /// Runs the column FFTs of a row-major `w × h` buffer via a blocked
+    /// transpose, so each 1-D transform is contiguous.
+    fn column_pass(
+        &self,
+        data: &mut [Complex],
+        w: usize,
+        h: usize,
+        direction: FftDirection,
+        ws: &mut Workspace,
+    ) {
+        if h == 1 {
+            return; // length-1 column transform is the identity
+        }
+        let mut t = ws.take_complex(w * h);
+        transpose_into(data, &mut t, w, h);
         for x in 0..w {
-            for (y, c) in col.iter_mut().enumerate() {
-                *c = grid[(x, y)];
+            self.col
+                .process_with(&mut t[x * h..(x + 1) * h], direction, ws);
+        }
+        transpose_into(&t, data, h, w);
+        ws.give_complex(t);
+    }
+
+    /// Transforms one real row into its `w/2 + 1` half spectrum.
+    fn row_r2c(&self, input: &[f64], out: &mut [Complex], ws: &mut Workspace) {
+        let w = self.width();
+        let hw = self.half_width();
+        debug_assert_eq!(input.len(), w);
+        debug_assert_eq!(out.len(), hw);
+        match &self.half {
+            RealRowPlan::Trivial => out[0] = Complex::new(input[0], 0.0),
+            RealRowPlan::Even { half_fft, tw } => {
+                let m = w / 2;
+                let mut z = ws.take_complex(m);
+                for (zv, pair) in z.iter_mut().zip(input.chunks_exact(2)) {
+                    *zv = Complex::new(pair[0], pair[1]);
+                }
+                half_fft.process_with(&mut z, FftDirection::Forward, ws);
+                // Untangle: with Z the packed spectrum, the even/odd
+                // sample sub-spectra are Ze = (Z[k] + conj(Z[-k]))/2 and
+                // Zo = -i·(Z[k] - conj(Z[-k]))/2, and the full-row bin is
+                // X[k] = Ze[k] + e^{-2πik/w}·Zo[k] for k in 0..=w/2.
+                for (k, out_k) in out.iter_mut().enumerate() {
+                    let zk = z[k % m];
+                    let zmk = z[(m - k) % m].conj();
+                    let ze = (zk + zmk).scale(0.5);
+                    let d = zk - zmk;
+                    let zo = Complex::new(d.im * 0.5, -d.re * 0.5);
+                    *out_k = ze + tw[k] * zo;
+                }
+                ws.give_complex(z);
             }
-            self.col.process(&mut col, direction);
-            for (y, c) in col.iter().enumerate() {
-                grid[(x, y)] = *c;
+            RealRowPlan::Odd => {
+                let mut full = ws.take_complex(w);
+                for (c, &v) in full.iter_mut().zip(input.iter()) {
+                    *c = Complex::new(v, 0.0);
+                }
+                self.row.process_with(&mut full, FftDirection::Forward, ws);
+                out.copy_from_slice(&full[..hw]);
+                ws.give_complex(full);
             }
         }
     }
 
-    /// Convenience: forward-transforms a real grid into a fresh spectrum.
+    /// Inverse of [`Fft2d::row_r2c`]: reconstructs the real row from its
+    /// half spectrum (the unstored bins are Hermitian mirrors).
+    fn row_c2r(&self, spec: &[Complex], out: &mut [f64], ws: &mut Workspace) {
+        let w = self.width();
+        let hw = self.half_width();
+        debug_assert_eq!(spec.len(), hw);
+        debug_assert_eq!(out.len(), w);
+        match &self.half {
+            RealRowPlan::Trivial => out[0] = spec[0].re,
+            RealRowPlan::Even { half_fft, tw } => {
+                let m = w / 2;
+                let mut z = ws.take_complex(m);
+                // Re-tangle: Ze = (X[k] + conj(X[m-k]))/2,
+                // t_k·Zo = (X[k] - conj(X[m-k]))/2, Z = Ze + i·Zo; the
+                // half-length inverse's 1/m scaling reproduces the exact
+                // 1/w-scaled row inverse (even bins sum in pairs).
+                for (k, zv) in z.iter_mut().enumerate() {
+                    let xk = spec[k];
+                    let xmk = spec[m - k].conj();
+                    let ze = (xk + xmk).scale(0.5);
+                    let tzo = (xk - xmk).scale(0.5);
+                    let zo = tw[k].conj() * tzo;
+                    *zv = Complex::new(ze.re - zo.im, ze.im + zo.re);
+                }
+                half_fft.process_with(&mut z, FftDirection::Inverse, ws);
+                for (pair, zv) in out.chunks_exact_mut(2).zip(z.iter()) {
+                    pair[0] = zv.re;
+                    pair[1] = zv.im;
+                }
+                ws.give_complex(z);
+            }
+            RealRowPlan::Odd => {
+                let mut full = ws.take_complex(w);
+                full[..hw].copy_from_slice(spec);
+                for i in hw..w {
+                    full[i] = spec[w - i].conj();
+                }
+                self.row.process_with(&mut full, FftDirection::Inverse, ws);
+                for (o, c) in out.iter_mut().zip(full.iter()) {
+                    *o = c.re;
+                }
+                ws.give_complex(full);
+            }
+        }
+    }
+
+    /// Forward-transforms a real grid into its Hermitian half spectrum:
+    /// `out` holds bins `(i, j)` for `i` in `0..w/2+1`; the missing
+    /// columns are recoverable as `conj(out(w-i, (h-j) mod h))` (see
+    /// [`Fft2d::expand_half_spectrum_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not `w × h` or `out` is not `(w/2+1) × h`.
+    pub fn forward_real_into(
+        &self,
+        input: &Grid<f64>,
+        out: &mut Grid<Complex>,
+        ws: &mut Workspace,
+    ) {
+        let (w, h) = (self.width(), self.height());
+        let hw = self.half_width();
+        assert_eq!(
+            input.dims(),
+            (w, h),
+            "real input {}x{} does not match plan {w}x{h}",
+            input.width(),
+            input.height()
+        );
+        assert_eq!(
+            out.dims(),
+            (hw, h),
+            "half spectrum {}x{} does not match plan {hw}x{h}",
+            out.width(),
+            out.height()
+        );
+        for y in 0..h {
+            self.row_r2c(input.row(y), out.row_mut(y), ws);
+        }
+        self.column_pass(out.as_mut_slice(), hw, h, FftDirection::Forward, ws);
+    }
+
+    /// Inverse of [`Fft2d::forward_real_into`]: reconstructs the real
+    /// grid from a Hermitian half spectrum, consuming `half`'s contents
+    /// (it is used as scratch for the column pass).
+    ///
+    /// For a half spectrum that is the Hermitian part of some full
+    /// product spectrum `P` — `half(i,j) = (P(i,j) + conj(P(-i,-j)))/2`
+    /// — this equals `Re(inverse(P))` exactly in exact arithmetic, which
+    /// is what the gradient correlation consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is not `(w/2+1) × h` or `out` is not `w × h`.
+    pub fn inverse_real_into(
+        &self,
+        half: &mut Grid<Complex>,
+        out: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) {
+        let (w, h) = (self.width(), self.height());
+        let hw = self.half_width();
+        assert_eq!(
+            half.dims(),
+            (hw, h),
+            "half spectrum {}x{} does not match plan {hw}x{h}",
+            half.width(),
+            half.height()
+        );
+        assert_eq!(
+            out.dims(),
+            (w, h),
+            "real output {}x{} does not match plan {w}x{h}",
+            out.width(),
+            out.height()
+        );
+        self.column_pass(half.as_mut_slice(), hw, h, FftDirection::Inverse, ws);
+        for y in 0..h {
+            self.row_c2r(half.row(y), out.row_mut(y), ws);
+        }
+    }
+
+    /// Expands a Hermitian half spectrum to the full `w × h` spectrum
+    /// using `S(i,j) = conj(S(w-i, (h-j) mod h))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is not `(w/2+1) × h` or `out` is not `w × h`.
+    pub fn expand_half_spectrum_into(&self, half: &Grid<Complex>, out: &mut Grid<Complex>) {
+        let (w, h) = (self.width(), self.height());
+        let hw = self.half_width();
+        assert_eq!(
+            half.dims(),
+            (hw, h),
+            "half spectrum {}x{} does not match plan {hw}x{h}",
+            half.width(),
+            half.height()
+        );
+        assert_eq!(
+            out.dims(),
+            (w, h),
+            "full spectrum {}x{} does not match plan {w}x{h}",
+            out.width(),
+            out.height()
+        );
+        for j in 0..h {
+            out.row_mut(j)[..hw].copy_from_slice(half.row(j));
+        }
+        for j in 0..h {
+            let jm = (h - j) % h;
+            for i in hw..w {
+                out[(i, j)] = half[(w - i, jm)].conj();
+            }
+        }
+    }
+
+    /// Convenience: forward-transforms a real grid into a fresh full
+    /// spectrum via the Hermitian half-spectrum path.
     pub fn forward_real(&self, grid: &Grid<f64>) -> Grid<Complex> {
-        let mut g = grid.to_complex();
-        self.process(&mut g, FftDirection::Forward);
-        g
+        let mut ws = Workspace::new();
+        let mut half = ws.take_complex_grid(self.half_width(), self.height());
+        self.forward_real_into(grid, &mut half, &mut ws);
+        let mut out = Grid::zeros(self.width(), self.height());
+        self.expand_half_spectrum_into(&half, &mut out);
+        out
     }
 }
 
@@ -548,6 +908,89 @@ mod tests {
         plan.process(&mut b, FftDirection::Forward);
         for (x, y) in a.iter().zip(b.iter()) {
             assert!((*x - *y).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn process_with_is_bit_identical_to_process() {
+        for (w, h) in [(8, 8), (16, 12), (7, 5), (12, 24)] {
+            let plan = Fft2d::new(w, h);
+            let input = Grid::from_fn(w, h, |x, y| {
+                Complex::new((x as f64 * 1.3).sin(), (y as f64 * 0.7).cos())
+            });
+            let mut a = input.clone();
+            let mut b = input;
+            plan.process(&mut a, FftDirection::Forward);
+            let mut ws = Workspace::new();
+            plan.process_with(&mut b, FftDirection::Forward, &mut ws);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "{w}x{h}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "{w}x{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_half_spectrum_round_trip() {
+        for (w, h) in [(8, 8), (16, 12), (7, 5), (1, 4), (2, 2), (9, 3)] {
+            let plan = Fft2d::new(w, h);
+            let input = Grid::from_fn(w, h, |x, y| {
+                ((x as f64 * 0.9).sin() + (y as f64 * 1.7).cos()) * 0.5
+            });
+            let mut ws = Workspace::new();
+            let mut half = ws.take_complex_grid(plan.half_width(), h);
+            plan.forward_real_into(&input, &mut half, &mut ws);
+            let mut back = Grid::zeros(w, h);
+            plan.inverse_real_into(&mut half, &mut back, &mut ws);
+            for (a, b) in back.iter().zip(input.iter()) {
+                assert!((a - b).abs() < 1e-12, "{w}x{h}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn expanded_half_spectrum_matches_complex_forward() {
+        for (w, h) in [(8, 8), (16, 12), (7, 5), (6, 9)] {
+            let plan = Fft2d::new(w, h);
+            let input = Grid::from_fn(w, h, |x, y| (x as f64 - 0.3 * y as f64).sin());
+            let mut ws = Workspace::new();
+            let mut half = ws.take_complex_grid(plan.half_width(), h);
+            plan.forward_real_into(&input, &mut half, &mut ws);
+            let mut full = Grid::zeros(w, h);
+            plan.expand_half_spectrum_into(&half, &mut full);
+            let mut expect = input.to_complex();
+            plan.process(&mut expect, FftDirection::Forward);
+            for (a, b) in full.iter().zip(expect.iter()) {
+                assert!((*a - *b).norm() < 1e-9 * (w * h) as f64, "{w}x{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_real_of_hermitian_part_equals_re_of_full_inverse() {
+        // The gradient correlation consumes Re(inverse(P)) for a
+        // non-Hermitian product spectrum P; the hot path computes it as
+        // inverse_real of the Hermitian part of P. Verify the identity.
+        let (w, h) = (16, 12);
+        let plan = Fft2d::new(w, h);
+        let p = Grid::from_fn(w, h, |x, y| {
+            Complex::new((x as f64 * 0.61).cos(), (y as f64 * 1.1 + x as f64).sin())
+        });
+        let mut ws = Workspace::new();
+        let hw = plan.half_width();
+        let mut half = ws.take_complex_grid(hw, h);
+        for j in 0..h {
+            for i in 0..hw {
+                let mirror = p[((w - i) % w, (h - j) % h)].conj();
+                half[(i, j)] = (p[(i, j)] + mirror).scale(0.5);
+            }
+        }
+        let mut re = Grid::zeros(w, h);
+        plan.inverse_real_into(&mut half, &mut re, &mut ws);
+        let mut full = p;
+        plan.process(&mut full, FftDirection::Inverse);
+        for (a, b) in re.iter().zip(full.iter()) {
+            assert!((a - b.re).abs() < 1e-12, "{a} vs {}", b.re);
         }
     }
 }

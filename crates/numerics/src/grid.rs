@@ -229,6 +229,25 @@ impl<T> Grid<T> {
     }
 }
 
+impl<T: Copy> Grid<T> {
+    /// Copies every pixel from `src` into `self` without reallocating.
+    ///
+    /// The in-place counterpart of `clone()` used by the optimizer's
+    /// best-iterate tracking so the hot loop stays allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids have different dimensions.
+    pub fn copy_from(&mut self, src: &Grid<T>) {
+        assert_eq!(
+            (self.width, self.height),
+            (src.width, src.height),
+            "copy_from requires identical grid dimensions"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+}
+
 impl<T: Clone> Grid<T> {
     /// Creates a grid with every pixel set to `value`.
     pub fn filled(width: usize, height: usize, value: T) -> Self {
@@ -251,6 +270,19 @@ impl<T: Clone + Default> Grid<T> {
     /// Creates a grid of default values (`0.0` for floats).
     pub fn zeros(width: usize, height: usize) -> Self {
         Grid::filled(width, height, T::default())
+    }
+
+    /// Wraps a pooled buffer, resizing it to exactly `width * height`
+    /// first. Infallible fast path for the workspace free-list: reused
+    /// prefix contents are left as-is (callers treat them as
+    /// unspecified), any growth is default-filled.
+    pub(crate) fn from_vec_resized(width: usize, height: usize, mut data: Vec<T>) -> Grid<T> {
+        data.resize(width * height, T::default());
+        Grid {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Copies this grid into the center of a larger zero-filled grid.

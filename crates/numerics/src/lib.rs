@@ -12,6 +12,8 @@
 //!   fallback for arbitrary lengths ([`fft`]).
 //! * [`Convolver`] — frequency-domain circular convolution/correlation with
 //!   cached kernel spectra ([`conv`]).
+//! * [`Workspace`] — pooled scratch buffers that make the whole spectral
+//!   pipeline allocation-free after warm-up ([`workspace`]).
 //! * Reductions and error metrics used by optimizer stopping rules
 //!   ([`stats`]).
 //!
@@ -50,6 +52,7 @@ pub mod grid_ops;
 pub mod matrix;
 pub mod rng;
 pub mod stats;
+pub mod workspace;
 
 pub use complex::Complex;
 pub use conv::{Convolver, KernelSpectrum};
@@ -58,6 +61,7 @@ pub use fft::{Fft, Fft2d, FftDirection};
 pub use grid::Grid;
 pub use matrix::{eigen_hermitian, HermitianEigen, Matrix};
 pub use rng::Rng64;
+pub use workspace::Workspace;
 
 /// The types almost every user of this crate needs.
 pub mod prelude {
@@ -69,4 +73,5 @@ pub mod prelude {
     pub use crate::matrix::{eigen_hermitian, HermitianEigen, Matrix};
     pub use crate::rng::Rng64;
     pub use crate::stats;
+    pub use crate::workspace::Workspace;
 }

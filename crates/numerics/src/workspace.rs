@@ -1,0 +1,278 @@
+//! Pooled scratch buffers for the spectral hot path.
+//!
+//! Every MOSAIC iteration runs a fixed sequence of FFTs, Hadamard
+//! products and pixel-wise reductions, and before this module each of
+//! them allocated fresh `Vec`s. A [`Workspace`] is a small free-list of
+//! previously used buffers: hot-path code *takes* a buffer sized to its
+//! need, uses it, and *gives* it back, so after one warm-up iteration
+//! the whole gradient loop runs without touching the global allocator
+//! (asserted by `crates/core/tests/alloc_smoke.rs`).
+//!
+//! # Ownership and aliasing rules
+//!
+//! - A taken buffer is **owned** by the caller until it is given back;
+//!   the pool holds no reference to it, so there is no aliasing to
+//!   reason about and no `unsafe` anywhere in this crate.
+//! - Taken buffers have **unspecified contents** (stale data from a
+//!   previous user). Callers must fully overwrite them or use the
+//!   `*_zeroed` / `*_filled` variants. The workspace-reuse determinism
+//!   test in `mosaic-core` seeds a pool with poisoned (NaN) buffers to
+//!   prove no stale value ever leaks into results.
+//! - Give-back is by value and not enforced (no RAII guard): forgetting
+//!   to give a buffer back is a silent efficiency bug, not a soundness
+//!   bug — the next take simply allocates again.
+//! - A `Workspace` is deliberately `!Sync`; each worker thread owns its
+//!   own pool (`mosaic-runtime` keeps one per worker in a thread local).
+//!
+//! Buffers are matched best-fit by capacity, so a pool shared between a
+//! full-resolution grid and its `w/2 + 1` half-spectrum (see
+//! [`Fft2d::forward_real_into`](crate::fft::Fft2d::forward_real_into))
+//! converges to a stable set of allocations instead of thrashing.
+
+use crate::complex::Complex;
+use crate::grid::Grid;
+
+/// A free-list of reusable `Complex` and `f64` buffers.
+///
+/// See the [module docs](self) for the take/give contract.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    complex_pool: Vec<Vec<Complex>>,
+    real_pool: Vec<Vec<f64>>,
+}
+
+/// Removes the best-fit buffer from a pool: the smallest capacity that
+/// already holds `len` elements, else the largest available (which then
+/// grows once and stays grown), else `None` (pool empty).
+fn take_best_fit<T>(pool: &mut Vec<Vec<T>>, len: usize) -> Option<Vec<T>> {
+    let mut best: Option<usize> = None;
+    let mut largest: Option<usize> = None;
+    for (i, buf) in pool.iter().enumerate() {
+        let cap = buf.capacity();
+        if cap >= len {
+            if best.is_none_or(|b| cap < pool[b].capacity()) {
+                best = Some(i);
+            }
+        } else if largest.is_none_or(|l| cap > pool[l].capacity()) {
+            largest = Some(i);
+        }
+    }
+    best.or(largest).map(|i| pool.swap_remove(i))
+}
+
+impl Workspace {
+    /// An empty pool. Creating one performs no allocation.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Takes a `Complex` buffer of exactly `len` elements with
+    /// unspecified contents.
+    pub fn take_complex(&mut self, len: usize) -> Vec<Complex> {
+        let mut buf = take_best_fit(&mut self.complex_pool, len).unwrap_or_default();
+        buf.resize(len, Complex::ZERO);
+        buf.truncate(len);
+        buf
+    }
+
+    /// Takes a `Complex` buffer of exactly `len` zeros.
+    pub fn take_complex_zeroed(&mut self, len: usize) -> Vec<Complex> {
+        let mut buf = self.take_complex(len);
+        buf.fill(Complex::ZERO);
+        buf
+    }
+
+    /// Takes an `f64` buffer of exactly `len` elements with unspecified
+    /// contents.
+    pub fn take_real(&mut self, len: usize) -> Vec<f64> {
+        let mut buf = take_best_fit(&mut self.real_pool, len).unwrap_or_default();
+        buf.resize(len, 0.0);
+        buf.truncate(len);
+        buf
+    }
+
+    /// Takes an `f64` buffer of exactly `len` zeros.
+    pub fn take_real_zeroed(&mut self, len: usize) -> Vec<f64> {
+        let mut buf = self.take_real(len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Returns a `Complex` buffer to the pool for reuse.
+    pub fn give_complex(&mut self, buf: Vec<Complex>) {
+        if buf.capacity() > 0 {
+            self.complex_pool.push(buf);
+        }
+    }
+
+    /// Returns an `f64` buffer to the pool for reuse.
+    pub fn give_real(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.real_pool.push(buf);
+        }
+    }
+
+    /// Takes a `width × height` complex grid with unspecified contents.
+    pub fn take_complex_grid(&mut self, width: usize, height: usize) -> Grid<Complex> {
+        Grid::from_vec_resized(width, height, self.take_complex(width * height))
+    }
+
+    /// Takes a `width × height` real grid with unspecified contents.
+    pub fn take_real_grid(&mut self, width: usize, height: usize) -> Grid<f64> {
+        Grid::from_vec_resized(width, height, self.take_real(width * height))
+    }
+
+    /// Takes a `width × height` real grid of zeros.
+    pub fn take_real_grid_zeroed(&mut self, width: usize, height: usize) -> Grid<f64> {
+        let mut g = self.take_real_grid(width, height);
+        g.fill(0.0);
+        g
+    }
+
+    /// Returns a complex grid's buffer to the pool.
+    pub fn give_complex_grid(&mut self, grid: Grid<Complex>) {
+        self.give_complex(grid.into_vec());
+    }
+
+    /// Returns a real grid's buffer to the pool.
+    pub fn give_real_grid(&mut self, grid: Grid<f64>) {
+        self.give_real(grid.into_vec());
+    }
+
+    /// Preallocates the buffers a `width × height` spectral pipeline
+    /// (forward real FFT, per-kernel convolve/accumulate, adjoint
+    /// correlation) needs, so even the very first iteration after this
+    /// call stays off the allocator. Sized generously; overshoot is a
+    /// few reusable buffers, never a correctness issue.
+    pub fn warm_spectral(&mut self, width: usize, height: usize) {
+        let full = width * height;
+        let half = (width / 2 + 1) * height;
+        let complex_sizes = [full, full, full, half, half, width.max(height)];
+        let taken: Vec<_> = complex_sizes
+            .iter()
+            .map(|&len| self.take_complex(len))
+            .collect();
+        for buf in taken {
+            self.give_complex(buf);
+        }
+        let real_sizes = [full; 8];
+        let taken: Vec<_> = real_sizes.iter().map(|&len| self.take_real(len)).collect();
+        for buf in taken {
+            self.give_real(buf);
+        }
+    }
+
+    /// Number of buffers currently parked in the pool (diagnostics).
+    pub fn pooled_buffers(&self) -> usize {
+        self.complex_pool.len() + self.real_pool.len()
+    }
+
+    /// Bytes currently parked in the pool (diagnostics).
+    pub fn pooled_bytes(&self) -> usize {
+        let c: usize = self
+            .complex_pool
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<Complex>())
+            .sum();
+        let r: usize = self
+            .real_pool
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<f64>())
+            .sum();
+        c + r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_requested_length() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.take_complex(17).len(), 17);
+        assert_eq!(ws.take_real(9).len(), 9);
+        assert_eq!(ws.take_complex(0).len(), 0);
+    }
+
+    #[test]
+    fn given_buffers_are_reused() {
+        let mut ws = Workspace::new();
+        let buf = ws.take_complex(64);
+        let ptr = buf.as_ptr();
+        ws.give_complex(buf);
+        let again = ws.take_complex(64);
+        assert_eq!(
+            again.as_ptr(),
+            ptr,
+            "same-size take must reuse the pooled buffer"
+        );
+        assert_eq!(ws.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_capacity() {
+        let mut ws = Workspace::new();
+        let big = ws.take_real(256);
+        let small = ws.take_real(32);
+        let small_ptr = small.as_ptr();
+        ws.give_real(big);
+        ws.give_real(small);
+        let taken = ws.take_real(16);
+        assert_eq!(
+            taken.as_ptr(),
+            small_ptr,
+            "should pick the 32-cap buffer, not the 256"
+        );
+    }
+
+    #[test]
+    fn undersized_pool_buffer_grows_instead_of_leaking() {
+        let mut ws = Workspace::new();
+        let small = ws.take_real(8);
+        ws.give_real(small);
+        let grown = ws.take_real(1024);
+        assert_eq!(grown.len(), 1024);
+        assert_eq!(
+            ws.pooled_buffers(),
+            0,
+            "the small buffer was grown, not left behind"
+        );
+    }
+
+    #[test]
+    fn zeroed_take_clears_stale_contents() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take_real(16);
+        buf.fill(f64::NAN);
+        ws.give_real(buf);
+        let clean = ws.take_real_zeroed(16);
+        assert!(clean.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn grid_round_trip_preserves_capacity() {
+        let mut ws = Workspace::new();
+        let g = ws.take_complex_grid(12, 7);
+        assert_eq!(g.dims(), (12, 7));
+        ws.give_complex_grid(g);
+        assert_eq!(ws.pooled_buffers(), 1);
+        let g2 = ws.take_complex_grid(12, 7);
+        assert_eq!(g2.dims(), (12, 7));
+        assert_eq!(ws.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn warm_spectral_then_hot_takes_do_not_grow_pool_count() {
+        let mut ws = Workspace::new();
+        ws.warm_spectral(32, 24);
+        let before = ws.pooled_buffers();
+        let a = ws.take_complex(32 * 24);
+        let b = ws.take_complex((32 / 2 + 1) * 24);
+        let c = ws.take_real(32 * 24);
+        ws.give_complex(a);
+        ws.give_complex(b);
+        ws.give_real(c);
+        assert_eq!(ws.pooled_buffers(), before);
+    }
+}

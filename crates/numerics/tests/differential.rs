@@ -1,0 +1,249 @@
+//! Differential test harness for the spectral hot path (DESIGN.md §9).
+//!
+//! Every fast path in the FFT/convolution stack is checked against a
+//! slow, obviously-correct reference on the same inputs:
+//!
+//! * FFT convolution / correlation vs the O(N⁴) [`convolve_reference`]
+//!   and a direct circular-correlation sum;
+//! * the planned 1-D FFT vs the O(N²) [`dft_reference`];
+//! * the Hermitian real-FFT path vs the full complex transform;
+//! * the half-spectrum gradient correlation vs the real part of the
+//!   full complex correlation.
+//!
+//! Tolerances are explicit ULP budgets: an error bound of
+//! `scale · ε · ULPS`, where `scale` is the magnitude of the data
+//! feeding the sum and `ε` is `f64::EPSILON`. The budgets are far above
+//! anything a healthy implementation produces (different summation
+//! orders cost a handful of ULPs) and far below any real defect (an
+//! index or conjugation bug shows up at the percent level).
+
+use mosaic_numerics::conv::convolve_reference;
+use mosaic_numerics::fft::dft_reference;
+use mosaic_numerics::prelude::*;
+
+/// Grid shapes exercised everywhere: odd×odd (Bluestein rows and
+/// columns), square power-of-two (pure radix-2), and mixed
+/// even×non-pow2-even (packed real rows + Bluestein columns).
+const SHAPES: [(usize, usize); 3] = [(7, 5), (8, 8), (16, 12)];
+
+/// ULP budget for a single fast-vs-reference transform comparison.
+const ULPS_FFT: f64 = 256.0;
+
+/// ULP budget for chained transforms (forward + pointwise + inverse)
+/// against an O(N⁴) direct sum, whose own rounding differs too.
+const ULPS_CONV: f64 = 1024.0;
+
+/// Asserts `|a − b| ≤ scale · ε · ulps` with a diagnostic that reports
+/// the achieved ULP distance.
+fn assert_ulp_close(a: f64, b: f64, scale: f64, ulps: f64, ctx: &str) {
+    let tol = scale.max(1.0) * f64::EPSILON * ulps;
+    let err = (a - b).abs();
+    assert!(
+        err <= tol,
+        "{ctx}: {a} vs {b}, error {err:.3e} exceeds {ulps} ULPs of scale {scale:.3e} ({:.1} ULPs)",
+        err / (scale.max(1.0) * f64::EPSILON)
+    );
+}
+
+fn assert_complex_ulp_close(a: Complex, b: Complex, scale: f64, ulps: f64, ctx: &str) {
+    assert_ulp_close(a.re, b.re, scale, ulps, ctx);
+    assert_ulp_close(a.im, b.im, scale, ulps, ctx);
+}
+
+fn random_complex_grid(rng: &mut Rng64, w: usize, h: usize) -> Grid<Complex> {
+    Grid::from_fn(w, h, |_, _| {
+        Complex::new(rng.range_f64(-2.0, 2.0), rng.range_f64(-2.0, 2.0))
+    })
+}
+
+fn random_real_grid(rng: &mut Rng64, w: usize, h: usize) -> Grid<f64> {
+    Grid::from_fn(w, h, |_, _| rng.range_f64(-2.0, 2.0))
+}
+
+/// Magnitude scale of a sum over `n` terms drawn from `data`: the worst
+/// partial sum is bounded by `n · max|x|`, which is the quantity the
+/// rounding error of a length-`n` summation is proportional to.
+fn sum_scale(max_mag: f64, n: usize) -> f64 {
+    max_mag * n as f64
+}
+
+fn max_mag(grid: &Grid<Complex>) -> f64 {
+    grid.iter().map(|c| c.norm()).fold(0.0, f64::max)
+}
+
+/// Direct circular correlation `c(x) = Σ_v f(v + x) · conj(k(v))` — the
+/// reference for `Convolver::correlate`.
+fn correlate_reference(field: &Grid<Complex>, kernel: &Grid<Complex>) -> Grid<Complex> {
+    assert_eq!(field.dims(), kernel.dims());
+    let (w, h) = field.dims();
+    Grid::from_fn(w, h, |x, y| {
+        let mut acc = Complex::ZERO;
+        for vy in 0..h {
+            for vx in 0..w {
+                let fx = (x + vx) % w;
+                let fy = (y + vy) % h;
+                acc += field[(fx, fy)] * kernel[(vx, vy)].conj();
+            }
+        }
+        acc
+    })
+}
+
+#[test]
+fn planned_fft_matches_reference_dft_in_ulps() {
+    let mut rng = Rng64::new(0xD1F_0001);
+    for n in [5usize, 7, 8, 12, 16] {
+        for case in 0..8 {
+            let data: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.range_f64(-2.0, 2.0), rng.range_f64(-2.0, 2.0)))
+                .collect();
+            let mm = data.iter().map(|c| c.norm()).fold(0.0, f64::max);
+            let scale = sum_scale(mm, n);
+            for direction in [FftDirection::Forward, FftDirection::Inverse] {
+                let mut fast = data.clone();
+                Fft::new(n).process(&mut fast, direction);
+                let slow = dft_reference(&data, direction);
+                for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                    assert_complex_ulp_close(
+                        *a,
+                        *b,
+                        scale,
+                        ULPS_FFT,
+                        &format!("fft n={n} case={case} {direction:?} bin {i}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fft_convolution_matches_direct_sum() {
+    let mut rng = Rng64::new(0xD1F_0002);
+    for (w, h) in SHAPES {
+        for case in 0..4 {
+            let field = random_complex_grid(&mut rng, w, h);
+            let kernel = random_complex_grid(&mut rng, w, h);
+            let conv = Convolver::new(w, h);
+            let fast = conv.convolve(&field, &conv.kernel_spectrum(&kernel));
+            let slow = convolve_reference(&field, &kernel);
+            let scale = sum_scale(max_mag(&field) * max_mag(&kernel), w * h);
+            for (i, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+                assert_complex_ulp_close(
+                    *a,
+                    *b,
+                    scale,
+                    ULPS_CONV,
+                    &format!("conv {w}x{h} case={case} pixel {i}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fft_correlation_matches_direct_sum() {
+    let mut rng = Rng64::new(0xD1F_0003);
+    for (w, h) in SHAPES {
+        for case in 0..4 {
+            let field = random_complex_grid(&mut rng, w, h);
+            let kernel = random_complex_grid(&mut rng, w, h);
+            let conv = Convolver::new(w, h);
+            let fast = conv.correlate(&field, &KernelSpectrum::from_grid(conv.forward(&kernel)));
+            let slow = correlate_reference(&field, &kernel);
+            let scale = sum_scale(max_mag(&field) * max_mag(&kernel), w * h);
+            for (i, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+                assert_complex_ulp_close(
+                    *a,
+                    *b,
+                    scale,
+                    ULPS_CONV,
+                    &format!("corr {w}x{h} case={case} pixel {i}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn real_fft_matches_complex_path_in_ulps() {
+    let mut rng = Rng64::new(0xD1F_0004);
+    for (w, h) in SHAPES {
+        for case in 0..4 {
+            let real = random_real_grid(&mut rng, w, h);
+            let plan = Fft2d::new(w, h);
+            let fast = plan.forward_real(&real);
+            let mut slow = real.to_complex();
+            plan.process(&mut slow, FftDirection::Forward);
+            let mm = real.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            let scale = sum_scale(mm, w * h);
+            for (i, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+                assert_complex_ulp_close(
+                    *a,
+                    *b,
+                    scale,
+                    ULPS_FFT,
+                    &format!("real-fft {w}x{h} case={case} bin {i}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn half_spectrum_correlation_matches_full_complex_re() {
+    let mut rng = Rng64::new(0xD1F_0005);
+    for (w, h) in SHAPES {
+        for case in 0..4 {
+            let field = random_complex_grid(&mut rng, w, h);
+            let kernel = random_complex_grid(&mut rng, w, h);
+            let conv = Convolver::new(w, h);
+            let field_spectrum = conv.forward(&field);
+            let kspec = KernelSpectrum::from_grid(conv.forward(&kernel));
+            // Full complex path.
+            let full = conv.correlate_spectrum(&field_spectrum, &kspec);
+            // Hermitian half-spectrum path, with scale folded in.
+            let scale_factor: f64 = 0.75;
+            let mut acc = Grid::from_fn(w, h, |x, y| (x + y) as f64 * 0.01);
+            let expected = acc.zip_map(&full, |&a, c| scale_factor.mul_add(c.re, a));
+            let mut ws = Workspace::new();
+            conv.correlate_spectrum_re_accumulate(
+                &field_spectrum,
+                &kspec,
+                scale_factor,
+                &mut acc,
+                &mut ws,
+            );
+            let scale = sum_scale(max_mag(&field_spectrum) * max_mag(kspec.as_grid()), w * h);
+            for (i, (a, b)) in acc.iter().zip(expected.iter()).enumerate() {
+                assert_ulp_close(
+                    *a,
+                    *b,
+                    scale,
+                    ULPS_FFT,
+                    &format!("half-corr {w}x{h} case={case} pixel {i}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pooled_convolve_is_bit_identical_to_allocating() {
+    let mut rng = Rng64::new(0xD1F_0006);
+    for (w, h) in SHAPES {
+        let field = random_complex_grid(&mut rng, w, h);
+        let kernel = random_complex_grid(&mut rng, w, h);
+        let conv = Convolver::new(w, h);
+        let kspec = conv.kernel_spectrum(&kernel);
+        let spectrum = conv.forward(&field);
+        let alloc = conv.convolve_spectrum(&spectrum, &kspec);
+        let mut ws = Workspace::new();
+        let mut pooled = Grid::zeros(w, h);
+        conv.convolve_spectrum_into(&spectrum, &kspec, &mut pooled, &mut ws);
+        for (a, b) in alloc.iter().zip(pooled.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "{w}x{h}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "{w}x{h}");
+        }
+    }
+}

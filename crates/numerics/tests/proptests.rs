@@ -62,6 +62,79 @@ fn fft_parseval() {
     }
 }
 
+/// Linearity: F(a + c·b) == F(a) + c·F(b) on both code paths
+/// (power-of-two and Bluestein lengths).
+#[test]
+fn fft_linearity() {
+    let mut rng = Rng64::new(0xF7_0008);
+    for case in 0..64 {
+        let len = rng.range_usize(2, 48);
+        let a = complex_vec(&mut rng, len);
+        let b = complex_vec(&mut rng, len);
+        let c = rng.range_f64(-3.0, 3.0);
+        let fft = Fft::new(len);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft.process(&mut fa, FftDirection::Forward);
+        fft.process(&mut fb, FftDirection::Forward);
+        let mut combined: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + y.scale(c)).collect();
+        fft.process(&mut combined, FftDirection::Forward);
+        for (i, (got, (x, y))) in combined.iter().zip(fa.iter().zip(&fb)).enumerate() {
+            let expect = *x + y.scale(c);
+            assert!(
+                (*got - expect).norm() < 1e-7 * len as f64,
+                "case {case} len {len} bin {i}"
+            );
+        }
+    }
+}
+
+/// The spectrum of a real-valued grid is Hermitian:
+/// `S(i, j) == conj(S((w-i) mod w, (h-j) mod h))`, on both the complex
+/// path and (by expansion) the half-spectrum path.
+#[test]
+fn real_input_spectrum_is_hermitian() {
+    let mut rng = Rng64::new(0xF7_0009);
+    for _ in 0..32 {
+        let w = rng.range_usize(1, 14);
+        let h = rng.range_usize(1, 14);
+        let real = Grid::from_fn(w, h, |_, _| rng.range_f64(-5.0, 5.0));
+        let plan = Fft2d::new(w, h);
+        let spec = plan.forward_real(&real);
+        for j in 0..h {
+            for i in 0..w {
+                let mirror = spec[((w - i) % w, (h - j) % h)].conj();
+                assert!(
+                    (spec[(i, j)] - mirror).norm() < 1e-9 * (w * h) as f64,
+                    "{w}x{h} bin ({i}, {j}): {} vs {mirror}",
+                    spec[(i, j)]
+                );
+            }
+        }
+    }
+}
+
+/// The Hermitian half-spectrum transform round-trips arbitrary real
+/// grids: `inverse_real(forward_real(x)) == x`.
+#[test]
+fn real_fft_round_trip() {
+    let mut rng = Rng64::new(0xF7_000A);
+    let mut ws = Workspace::new();
+    for _ in 0..32 {
+        let w = rng.range_usize(1, 20);
+        let h = rng.range_usize(1, 20);
+        let real = Grid::from_fn(w, h, |_, _| rng.range_f64(-5.0, 5.0));
+        let plan = Fft2d::new(w, h);
+        let mut half = Grid::zeros(plan.half_width(), h);
+        plan.forward_real_into(&real, &mut half, &mut ws);
+        let mut back = Grid::zeros(w, h);
+        plan.inverse_real_into(&mut half, &mut back, &mut ws);
+        for (i, (a, b)) in back.iter().zip(real.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-10 * (w * h) as f64, "{w}x{h} pixel {i}");
+        }
+    }
+}
+
 /// Convolution commutes: f ⊗ g == g ⊗ f.
 #[test]
 fn convolution_commutes() {

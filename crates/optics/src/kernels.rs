@@ -17,7 +17,7 @@
 //! spatial truncation).
 
 use crate::config::{OpticsConfig, ProcessCondition};
-use mosaic_numerics::{Complex, Convolver, FftDirection, Grid, KernelSpectrum};
+use mosaic_numerics::{Complex, Convolver, FftDirection, Grid, KernelSpectrum, Workspace};
 use std::f64::consts::PI;
 
 /// One coherent system: an intensity weight and a transfer function.
@@ -150,7 +150,98 @@ impl KernelSet {
         convolver: &Convolver,
         mask_spectrum: &Grid<Complex>,
     ) -> Grid<f64> {
-        self.aerial_image_with_fields(convolver, mask_spectrum).0
+        let mut intensity = Grid::<f64>::zeros(self.width, self.height);
+        let mut ws = Workspace::new();
+        self.aerial_image_accumulate_into(convolver, mask_spectrum, &mut intensity, &mut ws);
+        intensity
+    }
+
+    /// Allocation-free twin of
+    /// [`aerial_image_from_spectrum`](Self::aerial_image_from_spectrum):
+    /// overwrites `intensity` with `dose · Σ_k w_k |M ⊗ h_k|²`, fusing
+    /// the per-kernel convolve / magnitude / weight-accumulate passes
+    /// through one reused scratch field. Bit-identical to the allocating
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the bank's grid.
+    pub fn aerial_image_accumulate_into(
+        &self,
+        convolver: &Convolver,
+        mask_spectrum: &Grid<Complex>,
+        intensity: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            mask_spectrum.dims(),
+            (self.width, self.height),
+            "mask spectrum shape mismatch"
+        );
+        assert_eq!(
+            intensity.dims(),
+            (self.width, self.height),
+            "intensity shape mismatch"
+        );
+        intensity.fill(0.0);
+        let mut field = ws.take_complex_grid(self.width, self.height);
+        for k in &self.kernels {
+            convolver.convolve_spectrum_into(mask_spectrum, &k.spectrum, &mut field, ws);
+            let scale = k.weight * self.condition.dose;
+            for (acc, e) in intensity.iter_mut().zip(field.iter()) {
+                *acc += scale * e.norm_sqr();
+            }
+        }
+        ws.give_complex_grid(field);
+    }
+
+    /// Workspace-pooled variant of
+    /// [`aerial_image_with_fields`](Self::aerial_image_with_fields):
+    /// overwrites `intensity` and refills `fields` with every coherent
+    /// field `E_k = M ⊗ h_k`, reusing the grids already in `fields` when
+    /// their shape matches (and drawing any missing ones from `ws`).
+    /// Callers give the field grids back to `ws` when done — or simply
+    /// keep the `Vec` alive across iterations, which is what the
+    /// per-kernel gradient loop does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the bank's grid.
+    pub fn aerial_image_with_fields_into(
+        &self,
+        convolver: &Convolver,
+        mask_spectrum: &Grid<Complex>,
+        intensity: &mut Grid<f64>,
+        fields: &mut Vec<Grid<Complex>>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            mask_spectrum.dims(),
+            (self.width, self.height),
+            "mask spectrum shape mismatch"
+        );
+        assert_eq!(
+            intensity.dims(),
+            (self.width, self.height),
+            "intensity shape mismatch"
+        );
+        fields.retain(|f| f.dims() == (self.width, self.height));
+        while fields.len() < self.kernels.len() {
+            fields.push(ws.take_complex_grid(self.width, self.height));
+        }
+        while fields.len() > self.kernels.len() {
+            if let Some(extra) = fields.pop() {
+                ws.give_complex_grid(extra);
+            }
+        }
+        intensity.fill(0.0);
+        for (k, field) in self.kernels.iter().zip(fields.iter_mut()) {
+            convolver.convolve_spectrum_into(mask_spectrum, &k.spectrum, field, ws);
+            let scale = k.weight * self.condition.dose;
+            for (acc, e) in intensity.iter_mut().zip(field.iter()) {
+                *acc += scale * e.norm_sqr();
+            }
+        }
     }
 
     /// Like [`aerial_image_from_spectrum`](Self::aerial_image_from_spectrum)
@@ -163,21 +254,16 @@ impl KernelSet {
         convolver: &Convolver,
         mask_spectrum: &Grid<Complex>,
     ) -> (Grid<f64>, Vec<Grid<Complex>>) {
-        assert_eq!(
-            mask_spectrum.dims(),
-            (self.width, self.height),
-            "mask spectrum shape mismatch"
-        );
         let mut intensity = Grid::<f64>::zeros(self.width, self.height);
         let mut fields = Vec::with_capacity(self.kernels.len());
-        for k in &self.kernels {
-            let field = convolver.convolve_spectrum(mask_spectrum, &k.spectrum);
-            let scale = k.weight * self.condition.dose;
-            for (acc, e) in intensity.iter_mut().zip(field.iter()) {
-                *acc += scale * e.norm_sqr();
-            }
-            fields.push(field);
-        }
+        let mut ws = Workspace::new();
+        self.aerial_image_with_fields_into(
+            convolver,
+            mask_spectrum,
+            &mut intensity,
+            &mut fields,
+            &mut ws,
+        );
         (intensity, fields)
     }
 

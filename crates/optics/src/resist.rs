@@ -76,6 +76,19 @@ impl ResistModel {
         intensity.map(|&i| self.sigmoid(i))
     }
 
+    /// In-place twin of [`develop`](Self::develop): overwrites `out`
+    /// with `sig(I)` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn develop_into(&self, intensity: &Grid<f64>, out: &mut Grid<f64>) {
+        assert_eq!(intensity.dims(), out.dims(), "develop shape mismatch");
+        for (o, &i) in out.iter_mut().zip(intensity.iter()) {
+            *o = self.sigmoid(i);
+        }
+    }
+
     /// Applies the hard step of Eq. (3): the binary printed image.
     pub fn print(&self, intensity: &Grid<f64>) -> Grid<f64> {
         intensity.threshold(self.threshold)

@@ -6,7 +6,7 @@ use crate::error::OpticsError;
 use crate::kernels::KernelSet;
 use crate::resist::ResistModel;
 use crate::source::SourceShape;
-use mosaic_numerics::{Complex, Convolver, Grid};
+use mosaic_numerics::{Complex, Convolver, Grid, Workspace};
 use std::sync::Arc;
 
 /// A hashable identity for a simulator configuration: everything that
@@ -201,6 +201,47 @@ impl LithoSimulator {
     /// Forward-transforms a mask once for reuse across conditions/kernels.
     pub fn mask_spectrum(&self, mask: &Grid<f64>) -> Grid<Complex> {
         self.convolver.forward_real(mask)
+    }
+
+    /// Allocation-free twin of [`mask_spectrum`](Self::mask_spectrum):
+    /// overwrites `out` with the mask's full spectrum through the
+    /// Hermitian half-spectrum fast path. Same numerics as the
+    /// allocating call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the simulation grid.
+    pub fn mask_spectrum_into(
+        &self,
+        mask: &Grid<f64>,
+        out: &mut Grid<Complex>,
+        ws: &mut Workspace,
+    ) {
+        self.convolver.forward_real_into(mask, out, ws);
+    }
+
+    /// Allocation-free twin of
+    /// [`aerial_image_from_spectrum`](Self::aerial_image_from_spectrum):
+    /// overwrites `intensity` under condition `index` using pooled
+    /// scratch. Bit-identical to the allocating call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the simulation grid or the index is
+    /// out of range.
+    pub fn aerial_image_into(
+        &self,
+        mask_spectrum: &Grid<Complex>,
+        index: usize,
+        intensity: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) {
+        self.banks[index].aerial_image_accumulate_into(
+            &self.convolver,
+            mask_spectrum,
+            intensity,
+            ws,
+        );
     }
 
     /// Aerial image of `mask` under condition `index`.

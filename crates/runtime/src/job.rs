@@ -16,10 +16,20 @@ use crate::scheduler::CancelToken;
 use mosaic_core::{IterationControl, IterationView, MaskState, Mosaic, MosaicConfig, MosaicMode};
 use mosaic_eval::{Evaluator, Score};
 use mosaic_geometry::benchmarks::BenchmarkId;
-use mosaic_numerics::Grid;
+use mosaic_numerics::{Grid, Workspace};
+use std::cell::RefCell;
 use std::io;
 use std::path::Path;
 use std::time::Instant;
+
+thread_local! {
+    /// Per-worker spectral scratch pool. The scheduler's shared runner
+    /// closure (`&dyn Fn`) cannot carry `&mut` state across workers, so
+    /// each worker thread keeps its own [`Workspace`]; buffers warmed by
+    /// one job are reused by every later job on the same worker whose
+    /// grid fits.
+    static WORKER_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
 
 /// Contest EPE violation threshold in nm.
 pub const EPE_THRESHOLD_NM: f64 = 15.0;
@@ -193,6 +203,24 @@ pub fn execute_job(
     attempt: u32,
     ctx: &JobContext<'_>,
 ) -> Result<JobReport, String> {
+    WORKER_WS.with(|ws| execute_job_in(spec, attempt, ctx, &mut ws.borrow_mut()))
+}
+
+/// Workspace-threaded twin of [`execute_job`]: runs the optimizer through
+/// the pooled [`mosaic_core::optimize_in`] path, drawing all spectral
+/// scratch buffers from `ws`. [`execute_job`] delegates here with the
+/// worker thread's long-lived pool, so repeated jobs on one worker reuse
+/// their FFT workspaces across jobs.
+///
+/// # Errors
+///
+/// Exactly as [`execute_job`].
+pub fn execute_job_in(
+    spec: &JobSpec,
+    attempt: u32,
+    ctx: &JobContext<'_>,
+    ws: &mut Workspace,
+) -> Result<JobReport, String> {
     // Only the token gates entry; a deadline that has already passed
     // still lets the job reach its first iteration boundary, where it
     // checkpoints and stops (the batch driver cancels the token once it
@@ -245,6 +273,13 @@ pub fn execute_job(
             &spec.config.conditions,
         )
         .map_err(|e| format!("simulator build failed: {e}"))?;
+    // Pre-size the pool for this job's grid: the cached simulator fixes
+    // the spectral working set, so warming here means even the first
+    // iteration allocates nothing inside the optimizer loop.
+    ws.warm_spectral(
+        spec.config.optics.grid_width,
+        spec.config.optics.grid_height,
+    );
     let mut config = spec.config.clone();
     if let Some(i) = fault_nan {
         config.opt.fault_nan_gradient_at = Some(i);
@@ -331,8 +366,8 @@ pub fn execute_job(
             IterationControl::Continue
         };
         let result = match resume {
-            Some(cp) => mosaic.resume_with(spec.mode, cp, &mut hook),
-            None => mosaic.run_with(spec.mode, &mut hook),
+            Some(cp) => mosaic.resume_in(spec.mode, cp, &mut hook, ws),
+            None => mosaic.run_in(spec.mode, &mut hook, ws),
         }
         .map_err(|e| format!("optimization failed: {e}"))?;
         let best_objective = result

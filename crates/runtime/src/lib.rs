@@ -79,7 +79,7 @@ pub use batch::{render_summary, run_batch, BatchConfig, BatchOutcome, JobFailure
 pub use cache::SimCache;
 pub use events::{Event, EventSink};
 pub use fault::{FaultKind, FaultPlan};
-pub use job::{execute_job, JobContext, JobReport, JobSpec, JobStatus};
+pub use job::{execute_job, execute_job_in, JobContext, JobReport, JobSpec, JobStatus};
 pub use scheduler::{run_pool, CancelToken, JobExecution, RetryPolicy};
 
 /// The types almost every user of this crate needs.
@@ -89,6 +89,6 @@ pub mod prelude {
     pub use crate::checkpoint;
     pub use crate::events::{Event, EventSink};
     pub use crate::fault::{FaultKind, FaultPlan};
-    pub use crate::job::{execute_job, JobContext, JobReport, JobSpec, JobStatus};
+    pub use crate::job::{execute_job, execute_job_in, JobContext, JobReport, JobSpec, JobStatus};
     pub use crate::scheduler::{run_pool, CancelToken, JobExecution, RetryPolicy};
 }

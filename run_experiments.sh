@@ -17,6 +17,11 @@ tier1() {
   cargo build --release
   echo "=== tier1: tests"
   cargo test -q --workspace
+  echo "=== tier1: zero-allocation hot path"
+  # Counting-allocator smoke test (DESIGN.md §9): warm optimizer
+  # iterations must not touch the heap. Also covered by the workspace
+  # test run above; repeated here so a gate failure names the culprit.
+  cargo test -q -p mosaic-core --test alloc_smoke
   echo "=== tier1: clippy"
   cargo clippy --all-targets --workspace -- -D warnings
   echo "=== tier1: no-panic lint (library code)"
