@@ -69,8 +69,9 @@ pub use mask::MaskState;
 pub use mosaic::{Mosaic, MosaicConfig, MosaicMode};
 pub use objective::{GradientMode, ObjectiveReport, TargetTerm};
 pub use optimizer::{
-    optimize_in, optimize_with, IterationControl, IterationRecord, IterationView,
-    OptimizationConfig, OptimizationResult, OptimizerCheckpoint, OptimizerStart,
+    optimize_in, optimize_supervised, optimize_with, Heartbeat, IterationControl, IterationRecord,
+    IterationView, NoHeartbeat, OptimizationConfig, OptimizationResult, OptimizerCheckpoint,
+    OptimizerStart,
 };
 pub use problem::{OpcProblem, PixelSample};
 pub use psm::{optimize_psm, PsmResult, PsmState};
@@ -83,8 +84,9 @@ pub mod prelude {
     pub use crate::mosaic::{Mosaic, MosaicConfig, MosaicMode};
     pub use crate::objective::{GradientMode, ObjectiveReport, TargetTerm};
     pub use crate::optimizer::{
-        optimize_in, optimize_with, IterationControl, IterationRecord, IterationView,
-        OptimizationConfig, OptimizationResult, OptimizerCheckpoint, OptimizerStart,
+        optimize_in, optimize_supervised, optimize_with, Heartbeat, IterationControl,
+        IterationRecord, IterationView, NoHeartbeat, OptimizationConfig, OptimizationResult,
+        OptimizerCheckpoint, OptimizerStart,
     };
     pub use crate::problem::{OpcProblem, PixelSample};
     pub use crate::psm::{optimize_psm, PsmResult, PsmState};

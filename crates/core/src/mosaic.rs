@@ -3,8 +3,8 @@
 use crate::error::{CoreError, OptimizerError};
 use crate::objective::TargetTerm;
 use crate::optimizer::{
-    optimize_in, optimize_with, IterationControl, IterationView, OptimizationConfig,
-    OptimizationResult, OptimizerCheckpoint, OptimizerStart,
+    optimize_in, optimize_supervised, optimize_with, Heartbeat, IterationControl, IterationView,
+    OptimizationConfig, OptimizationResult, OptimizerCheckpoint, OptimizerStart,
 };
 use crate::problem::OpcProblem;
 use crate::sraf::SrafRules;
@@ -248,6 +248,33 @@ impl Mosaic {
         )
     }
 
+    /// Heartbeat-instrumented twin of [`run_in`](Self::run_in): the
+    /// optimizer beats `pulse` every iteration so an external watchdog
+    /// can detect a wedged worker (see
+    /// [`Heartbeat`](crate::optimizer::Heartbeat)). Bit-identical to
+    /// [`run_in`](Self::run_in).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizerError`] (see [`Mosaic::run`]).
+    pub fn run_supervised(
+        &self,
+        mode: MosaicMode,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+        ws: &mut Workspace,
+        pulse: &dyn Heartbeat,
+    ) -> Result<OptimizationResult, OptimizerError> {
+        let cfg = self.config_for(mode);
+        optimize_supervised(
+            &self.problem,
+            &cfg,
+            OptimizerStart::Mask(&self.initial_mask),
+            hook,
+            ws,
+            pulse,
+        )
+    }
+
     /// Resumes the selected variant from a checkpoint captured by an
     /// earlier (interrupted) run, continuing the identical trajectory.
     ///
@@ -293,6 +320,32 @@ impl Mosaic {
             OptimizerStart::Checkpoint(checkpoint),
             hook,
             ws,
+        )
+    }
+
+    /// Heartbeat-instrumented twin of [`resume_in`](Self::resume_in);
+    /// see [`run_supervised`](Self::run_supervised).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizerError`] (see
+    /// [`resume_with`](Self::resume_with)).
+    pub fn resume_supervised(
+        &self,
+        mode: MosaicMode,
+        checkpoint: OptimizerCheckpoint,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+        ws: &mut Workspace,
+        pulse: &dyn Heartbeat,
+    ) -> Result<OptimizationResult, OptimizerError> {
+        let cfg = self.config_for(mode);
+        optimize_supervised(
+            &self.problem,
+            &cfg,
+            OptimizerStart::Checkpoint(checkpoint),
+            hook,
+            ws,
+            pulse,
         )
     }
 

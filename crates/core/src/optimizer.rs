@@ -280,6 +280,28 @@ pub struct OptimizerCheckpoint {
     pub step_damp: f64,
 }
 
+/// Per-iteration liveness signal consumed by an external watchdog.
+///
+/// The optimizer beats at the top of every iteration, right after each
+/// objective evaluation (the loop's longest uninterruptible stretch)
+/// and after every line-search trial, so a supervisor can tell "slow
+/// but alive" apart from "wedged" without instrumenting the spectral
+/// kernels. Implementations must be cheap — a beat fires several times
+/// per iteration — and must not panic.
+pub trait Heartbeat {
+    /// Records one liveness beat.
+    fn beat(&self);
+}
+
+/// The no-op heartbeat used by unsupervised runs; optimizes away
+/// entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHeartbeat;
+
+impl Heartbeat for NoHeartbeat {
+    fn beat(&self) {}
+}
+
 /// Where an optimization starts from.
 #[derive(Debug)]
 pub enum OptimizerStart<'a> {
@@ -405,6 +427,27 @@ pub fn optimize_in(
     hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
     ws: &mut Workspace,
 ) -> Result<OptimizationResult, OptimizerError> {
+    optimize_supervised(problem, config, start, hook, ws, &NoHeartbeat)
+}
+
+/// Heartbeat-instrumented twin of [`optimize_in`] — the supervised
+/// batch runtime's entry point. `pulse` is beaten at the top of every
+/// iteration, after each objective evaluation and after every
+/// line-search trial (see [`Heartbeat`]); with [`NoHeartbeat`] this is
+/// bit-identical and allocation-identical to [`optimize_in`], which
+/// delegates here.
+///
+/// # Errors
+///
+/// Exactly as [`optimize_with`].
+pub fn optimize_supervised(
+    problem: &OpcProblem,
+    config: &OptimizationConfig,
+    start: OptimizerStart<'_>,
+    hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+    ws: &mut Workspace,
+    pulse: &dyn Heartbeat,
+) -> Result<OptimizationResult, OptimizerError> {
     config.validate().map_err(OptimizerError::InvalidConfig)?;
     let objective = Objective::new(problem, config)?;
     let (
@@ -479,7 +522,9 @@ pub fn optimize_in(
     let mut eval_ls = Evaluation::empty();
 
     for iteration in start_iter..config.max_iterations {
+        pulse.beat();
         objective.evaluate_with(&state, ws, &mut eval);
+        pulse.beat();
         if config.fault_nan_gradient_at == Some(iteration) {
             // Test-only fault: poison one gradient entry so the RMS (and
             // any step taken from it) goes NaN at exactly this iteration.
@@ -601,6 +646,7 @@ pub fn optimize_in(
                 state.restore_from(&base_vars);
                 state.step(direction, trial);
                 objective.evaluate_with(&state, ws, &mut eval_ls);
+                pulse.beat();
                 let f_trial = eval_ls.report.total;
                 if f_trial < value || attempt + 1 == config.line_search_max_halvings {
                     break;

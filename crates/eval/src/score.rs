@@ -65,6 +65,17 @@ impl Score {
             + self.weights.epe * self.epe_violations as f64
             + self.weights.shape * self.shape_violations as f64
     }
+
+    /// The runtime-excluded total: Eq. (22) with the runtime term
+    /// zeroed. Deterministic across hosts and worker counts — the batch
+    /// runtime's quality metric, and the score given to salvaged
+    /// partial masks (whose wall time would otherwise punish the very
+    /// jobs that were cut short).
+    pub fn quality(&self) -> f64 {
+        self.weights.pvband * self.pvband_nm2
+            + self.weights.epe * self.epe_violations as f64
+            + self.weights.shape * self.shape_violations as f64
+    }
 }
 
 impl fmt::Display for Score {
@@ -94,6 +105,13 @@ mod tests {
     #[test]
     fn zero_everything_scores_zero() {
         assert_eq!(Score::contest(0.0, 0.0, 0, 0).total(), 0.0);
+    }
+
+    #[test]
+    fn quality_drops_exactly_the_runtime_term() {
+        let s = Score::contest(100.0, 1000.0, 2, 1);
+        assert_eq!(s.quality(), s.total() - 100.0);
+        assert_eq!(s.quality(), Score::contest(0.0, 1000.0, 2, 1).total());
     }
 
     #[test]

@@ -7,12 +7,17 @@
 //! paper's Table 2 reports per-clip results.
 
 use crate::cache::SimCache;
+use crate::degrade::DegradationLadder;
 use crate::events::{Event, EventSink};
 use crate::fault::FaultPlan;
-use crate::job::{execute_job, JobContext, JobReport, JobSpec, JobStatus};
+use crate::job::{execute_job, JobContext, JobMetrics, JobReport, JobSpec, JobStatus};
+use crate::salvage;
 use crate::scheduler::{run_pool, CancelToken, JobExecution, RetryPolicy};
+use crate::supervise::{Supervisor, SupervisorConfig};
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Knobs for one batch run.
@@ -38,6 +43,13 @@ pub struct BatchConfig {
     pub cancel: CancelToken,
     /// Planned faults for hardening tests; empty in production.
     pub faults: FaultPlan,
+    /// Supervision knobs: per-job budget, heartbeat grace, watchdog
+    /// poll (see [`crate::supervise`]).
+    pub supervise: SupervisorConfig,
+    /// Degradation ladder applied to downshifted retries (see
+    /// [`crate::degrade`]); [`DegradationLadder::none`] retries the
+    /// original configuration forever.
+    pub ladder: DegradationLadder,
 }
 
 impl Default for BatchConfig {
@@ -52,6 +64,8 @@ impl Default for BatchConfig {
             deadline: None,
             cancel: CancelToken::new(),
             faults: FaultPlan::new(),
+            supervise: SupervisorConfig::default(),
+            ladder: DegradationLadder::default(),
         }
     }
 }
@@ -66,6 +80,10 @@ pub struct JobFailure {
     pub error: String,
     /// Attempts consumed.
     pub attempts: u32,
+    /// Metrics salvaged from the job's last checkpoint, when one was
+    /// loadable (see [`crate::salvage`]); counted into the batch
+    /// quality total.
+    pub salvaged: Option<JobMetrics>,
 }
 
 /// Everything a finished batch produced, in job order. A batch always
@@ -81,9 +99,12 @@ pub struct BatchOutcome {
     pub failed: usize,
     /// Jobs cancelled (before start or mid-run).
     pub cancelled: usize,
+    /// Jobs whose final attempt the supervision watchdog timed out.
+    pub timed_out: usize,
     /// Structured report of every failed job, in input order.
     pub failures: Vec<JobFailure>,
-    /// Sum of runtime-excluded quality scores over finished jobs.
+    /// Sum of runtime-excluded quality scores over everything the batch
+    /// actually produced: finished jobs plus salvaged partial results.
     pub total_quality_score: f64,
     /// Batch wall time, seconds.
     pub wall_s: f64,
@@ -97,16 +118,28 @@ pub struct BatchOutcome {
 /// per job inside the outcome, never as an `Err`.
 pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOutcome> {
     let started = Instant::now();
-    let events = match &config.report {
+    let events = Arc::new(match &config.report {
         Some(path) => EventSink::to_file(path)?,
         None => EventSink::null(),
-    };
+    });
     let cache = SimCache::new();
     let deadline = config.deadline.map(|d| started + d);
     events.emit(&Event::BatchStart {
         jobs: specs.len(),
         workers: config.workers.max(1),
     });
+
+    // Supervision: every attempt registers with the supervisor; the
+    // watchdog thread scans for budget overruns and heartbeat stalls
+    // for as long as the pool runs.
+    let supervisor = Arc::new(Supervisor::new(config.supervise.clone()));
+    let watchdog_stop = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let supervisor = Arc::clone(&supervisor);
+        let events = Arc::clone(&events);
+        let stop = Arc::clone(&watchdog_stop);
+        std::thread::spawn(move || supervisor.watch(&events, &stop))
+    };
 
     let ctx = JobContext {
         cache: &cache,
@@ -116,6 +149,9 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         checkpoint_dir: config.checkpoint_dir.as_deref(),
         checkpoint_every: config.checkpoint_every,
         faults: (!config.faults.is_empty()).then_some(&config.faults),
+        supervisor: Some(&supervisor),
+        ladder: Some(&config.ladder),
+        max_attempts: config.retries + 1,
     };
     let runner = |spec: &JobSpec, attempt: u32| {
         // Promote an elapsed deadline into a sticky cancel so queued
@@ -135,42 +171,76 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         &config.cancel,
         &runner,
     );
+    watchdog_stop.store(true, Ordering::SeqCst);
+    let _ = watchdog.join();
 
     let mut finished = 0usize;
     let mut failed = 0usize;
     let mut cancelled = 0usize;
+    let mut timed_out = 0usize;
     let mut failures = Vec::new();
     let mut total_quality_score = 0.0f64;
     for (spec, execution) in specs.iter().zip(&results) {
         match execution {
-            JobExecution::Success { result, .. } => match result.status {
-                JobStatus::Cancelled => cancelled += 1,
-                _ => {
-                    finished += 1;
-                    if let Some(m) = &result.metrics {
-                        total_quality_score += m.quality_score;
-                    }
+            JobExecution::Success { result, .. } => {
+                match result.status {
+                    JobStatus::Cancelled => cancelled += 1,
+                    JobStatus::TimedOut => timed_out += 1,
+                    _ => finished += 1,
                 }
-            },
+                // Salvaged metrics count too: the quality total
+                // reflects what the batch actually produced.
+                if let Some(m) = &result.metrics {
+                    total_quality_score += m.quality_score;
+                }
+            }
             JobExecution::Failure { error, attempts } => {
                 failed += 1;
-                failures.push(JobFailure {
-                    job: spec.id.clone(),
-                    error: error.clone(),
-                    attempts: *attempts,
+                // Last-resort salvage: a failed job may still have a
+                // loadable checkpoint from its most productive attempt.
+                let salvaged = config.checkpoint_dir.as_deref().and_then(|dir| {
+                    salvage::from_checkpoint(
+                        dir,
+                        spec,
+                        Some(&config.ladder),
+                        supervisor.downshifts(&spec.id),
+                        &cache,
+                        &events,
+                        *attempts,
+                    )
                 });
+                if let Some(m) = &salvaged {
+                    total_quality_score += m.quality_score;
+                }
+                let (epe, pvb, shape, quality) = match &salvaged {
+                    Some(m) => (
+                        m.epe_violations,
+                        m.pvband_nm2,
+                        m.shape_violations,
+                        m.quality_score,
+                    ),
+                    None => (0, f64::NAN, 0, f64::NAN),
+                };
                 events.emit(&Event::JobFinish {
                     job: spec.id.clone(),
                     status: JobStatus::Failed.name().to_string(),
                     error: Some(error.clone()),
                     iterations: 0,
-                    epe_violations: 0,
-                    pvband_nm2: f64::NAN,
-                    shape_violations: 0,
-                    quality_score: f64::NAN,
+                    epe_violations: epe,
+                    pvband_nm2: pvb,
+                    shape_violations: shape,
+                    quality_score: quality,
                     wall_s: f64::NAN,
                     attempts: *attempts,
                     recoveries: 0,
+                    degraded: salvaged.is_some(),
+                    degrade_step: supervisor.downshifts(&spec.id),
+                });
+                failures.push(JobFailure {
+                    job: spec.id.clone(),
+                    error: error.clone(),
+                    attempts: *attempts,
+                    salvaged,
                 });
             }
             JobExecution::Cancelled => {
@@ -187,6 +257,8 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
                     wall_s: 0.0,
                     attempts: 0,
                     recoveries: 0,
+                    degraded: false,
+                    degrade_step: 0,
                 });
             }
         }
@@ -196,6 +268,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         finished,
         failed,
         cancelled,
+        timed_out,
         total_quality_score,
         wall_s,
     });
@@ -204,6 +277,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         finished,
         failed,
         cancelled,
+        timed_out,
         failures,
         total_quality_score,
         wall_s,
@@ -230,6 +304,13 @@ pub fn render_summary(specs: &[JobSpec], outcome: &BatchOutcome) -> String {
                     ),
                     None => ("-".into(), "-".into(), "-".into(), "-".into()),
                 };
+                let mut status = result.status.name().to_string();
+                if result.degraded {
+                    status.push_str(" (salvaged)");
+                }
+                if result.degrade_step > 0 {
+                    status.push_str(&format!(" [rung {}]", result.degrade_step));
+                }
                 out.push_str(&format!(
                     "{:<10} {:<6} {:>6} {:>6} {:>12} {:>6} {:>12} {:>9.2}  {}\n",
                     spec.id,
@@ -240,13 +321,32 @@ pub fn render_summary(specs: &[JobSpec], outcome: &BatchOutcome) -> String {
                     shape,
                     quality,
                     result.wall_s,
-                    result.status.name()
+                    status
                 ));
             }
             JobExecution::Failure { error, attempts } => {
+                let salvaged = outcome
+                    .failures
+                    .iter()
+                    .find(|f| f.job == spec.id)
+                    .and_then(|f| f.salvaged.as_ref());
+                let (epe, pvb, shape, quality) = match salvaged {
+                    Some(m) => (
+                        m.epe_violations.to_string(),
+                        format!("{:.0}", m.pvband_nm2),
+                        m.shape_violations.to_string(),
+                        format!("{:.0}", m.quality_score),
+                    ),
+                    None => ("-".into(), "-".into(), "-".into(), "-".into()),
+                };
+                let note = if salvaged.is_some() {
+                    " (salvaged)"
+                } else {
+                    ""
+                };
                 out.push_str(&format!(
-                    "{:<10} {:<6} {:>6} {:>6} {:>12} {:>6} {:>12} {:>9}  failed ({attempts} attempts): {error}\n",
-                    spec.id, mode, "-", "-", "-", "-", "-", "-"
+                    "{:<10} {:<6} {:>6} {:>6} {:>12} {:>6} {:>12} {:>9}  failed{note} ({attempts} attempts): {error}\n",
+                    spec.id, mode, "-", epe, pvb, shape, quality, "-"
                 ));
             }
             JobExecution::Cancelled => {
@@ -258,10 +358,11 @@ pub fn render_summary(specs: &[JobSpec], outcome: &BatchOutcome) -> String {
         }
     }
     out.push_str(&format!(
-        "\ntotal: {} finished, {} failed, {} cancelled | quality score {:.0} | wall {:.2}s\n",
+        "\ntotal: {} finished, {} failed, {} cancelled, {} timed out | quality score {:.0} | wall {:.2}s\n",
         outcome.finished,
         outcome.failed,
         outcome.cancelled,
+        outcome.timed_out,
         outcome.total_quality_score,
         outcome.wall_s
     ));

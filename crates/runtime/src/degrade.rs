@@ -1,0 +1,192 @@
+//! Degradation ladder: fallback presets for retries after a timeout,
+//! stall or divergence.
+//!
+//! Re-running the identical configuration after a blown budget mostly
+//! blows the budget again. Instead, each supervision downshift
+//! ([`crate::supervise::Supervisor::note_downshift`]) moves the job one
+//! rung down a configured ladder of *cheaper* configurations — fewer
+//! iterations, then fewer SOCS kernels, then a coarser grid — trading
+//! mask quality for the chance to ship *any* scored mask within the
+//! budget (Eq. (22) pays 5000 per EPE violation but a job that returns
+//! nothing forfeits everything it would have scored).
+//!
+//! Rungs are cumulative: a job two rungs down runs with halved
+//! iterations *and* halved kernels. Coarsening the grid halves the
+//! pixel count per axis while doubling the pixel pitch, so the physical
+//! window is preserved and the clip still fits; a checkpoint written at
+//! a finer grid cannot be resumed across that rung (the job runner
+//! skips shape-mismatched checkpoints and restarts).
+
+use mosaic_core::MosaicConfig;
+
+/// One rung of the ladder — a single cheapening transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeStep {
+    /// Halve the iteration cap (floor 1).
+    HalveIterations,
+    /// Halve the SOCS kernel count (floor 2).
+    HalveKernels,
+    /// Halve the grid per axis and double the pixel pitch (floor 64 px
+    /// per axis), preserving the physical window.
+    CoarsenGrid,
+}
+
+impl DegradeStep {
+    /// Short machine-readable name used in `degrade` events.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeStep::HalveIterations => "halve_iterations",
+            DegradeStep::HalveKernels => "halve_kernels",
+            DegradeStep::CoarsenGrid => "coarsen_grid",
+        }
+    }
+
+    /// Applies the rung in place; returns what changed (or hit its
+    /// floor), for the event trail.
+    fn apply(self, config: &mut MosaicConfig) -> String {
+        match self {
+            DegradeStep::HalveIterations => {
+                let from = config.opt.max_iterations;
+                config.opt.max_iterations = (from / 2).max(1);
+                format!("iterations {from}->{}", config.opt.max_iterations)
+            }
+            DegradeStep::HalveKernels => {
+                let from = config.optics.kernel_count;
+                config.optics.kernel_count = (from / 2).max(2);
+                format!("kernels {from}->{}", config.optics.kernel_count)
+            }
+            DegradeStep::CoarsenGrid => {
+                let (w, h) = (config.optics.grid_width, config.optics.grid_height);
+                if w / 2 < 64 || h / 2 < 64 {
+                    return format!("grid {w}x{h} at floor, unchanged");
+                }
+                config.optics.grid_width = w / 2;
+                config.optics.grid_height = h / 2;
+                config.optics.pixel_nm *= 2.0;
+                format!(
+                    "grid {w}x{h}->{}x{} @ {} nm",
+                    config.optics.grid_width, config.optics.grid_height, config.optics.pixel_nm
+                )
+            }
+        }
+    }
+}
+
+/// An ordered list of [`DegradeStep`] rungs. The default ladder is
+/// iterations → kernels → grid; [`DegradationLadder::none`] disables
+/// degradation (every retry reruns the original configuration).
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    steps: Vec<DegradeStep>,
+}
+
+impl Default for DegradationLadder {
+    fn default() -> Self {
+        DegradationLadder {
+            steps: vec![
+                DegradeStep::HalveIterations,
+                DegradeStep::HalveKernels,
+                DegradeStep::CoarsenGrid,
+            ],
+        }
+    }
+}
+
+impl DegradationLadder {
+    /// A custom ladder (rungs applied in order).
+    pub fn new(steps: Vec<DegradeStep>) -> Self {
+        DegradationLadder { steps }
+    }
+
+    /// The empty ladder: downshifts are counted but change nothing.
+    pub fn none() -> Self {
+        DegradationLadder { steps: Vec::new() }
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the ladder has no rungs.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Applies the first `count` rungs (clamped to the ladder length)
+    /// cumulatively to a copy of `config`; returns the degraded
+    /// configuration and a human-readable summary of what changed
+    /// (empty at rung 0).
+    pub fn apply(&self, config: &MosaicConfig, count: usize) -> (MosaicConfig, String) {
+        let mut degraded = config.clone();
+        let notes: Vec<String> = self
+            .steps
+            .iter()
+            .take(count)
+            .map(|step| format!("{}: {}", step.name(), step.apply(&mut degraded)))
+            .collect();
+        (degraded, notes.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> MosaicConfig {
+        MosaicConfig::fast_preset(256, 8.0) // 8 kernels, 8 iterations
+    }
+
+    #[test]
+    fn rung_zero_is_identity() {
+        let (cfg, note) = DegradationLadder::default().apply(&base(), 0);
+        assert_eq!(cfg.opt.max_iterations, base().opt.max_iterations);
+        assert_eq!(cfg.optics.grid_width, 256);
+        assert!(note.is_empty());
+    }
+
+    #[test]
+    fn rungs_compose_cumulatively() {
+        let ladder = DegradationLadder::default();
+        let (one, _) = ladder.apply(&base(), 1);
+        assert_eq!(one.opt.max_iterations, 4);
+        assert_eq!(one.optics.kernel_count, 8, "rung 1 leaves kernels alone");
+        let (three, note) = ladder.apply(&base(), 3);
+        assert_eq!(three.opt.max_iterations, 4);
+        assert_eq!(three.optics.kernel_count, 4);
+        assert_eq!(three.optics.grid_width, 128);
+        assert_eq!(three.optics.pixel_nm, 16.0);
+        assert!(note.contains("halve_iterations"));
+        assert!(note.contains("coarsen_grid"));
+    }
+
+    #[test]
+    fn count_past_the_last_rung_is_clamped() {
+        let ladder = DegradationLadder::default();
+        let (a, _) = ladder.apply(&base(), 3);
+        let (b, _) = ladder.apply(&base(), 99);
+        assert_eq!(a.opt.max_iterations, b.opt.max_iterations);
+        assert_eq!(a.optics.grid_width, b.optics.grid_width);
+    }
+
+    #[test]
+    fn floors_hold() {
+        let mut cfg = base();
+        cfg.opt.max_iterations = 1;
+        cfg.optics.kernel_count = 2;
+        cfg.optics.grid_width = 64;
+        cfg.optics.grid_height = 64;
+        let (d, note) = DegradationLadder::default().apply(&cfg, 3);
+        assert_eq!(d.opt.max_iterations, 1);
+        assert_eq!(d.optics.kernel_count, 2);
+        assert_eq!(d.optics.grid_width, 64, "grid floor holds");
+        assert!(note.contains("at floor"));
+    }
+
+    #[test]
+    fn empty_ladder_never_changes_anything() {
+        let (cfg, note) = DegradationLadder::none().apply(&base(), 5);
+        assert_eq!(cfg.optics.kernel_count, base().optics.kernel_count);
+        assert!(note.is_empty());
+    }
+}

@@ -49,9 +49,23 @@ pub enum Event {
         /// 1-based attempt the fault fired on.
         attempt: u32,
         /// Machine-readable fault kind (`"panic"`, `"nan_gradient"`,
-        /// `"checkpoint_save_error"`, `"checkpoint_corrupt"`).
+        /// `"checkpoint_save_error"`, `"checkpoint_corrupt"`,
+        /// `"stall"`, `"stall_detected"`, `"stall_hard"`,
+        /// `"job_timeout"`, `"diverged"`, `"salvage_error"`).
         kind: String,
         /// Human-readable description.
+        detail: String,
+    },
+    /// A retry is running a degraded configuration (see
+    /// [`crate::degrade`]).
+    Degrade {
+        /// Job identifier.
+        job: String,
+        /// 1-based attempt running degraded.
+        attempt: u32,
+        /// Ladder rungs applied (1 = one step down).
+        step: usize,
+        /// Human-readable summary of the applied rungs.
         detail: String,
     },
     /// One optimizer iteration finished.
@@ -92,6 +106,12 @@ pub enum Event {
         attempts: u32,
         /// Numerical-guard recoveries the optimizer performed.
         recoveries: usize,
+        /// Whether the metrics were salvaged from a partial
+        /// (cancelled / timed-out) run's best-so-far mask.
+        degraded: bool,
+        /// Degradation-ladder rungs the reported attempt ran at
+        /// (0 = original configuration).
+        degrade_step: usize,
     },
     /// The whole batch drained.
     BatchFinish {
@@ -101,6 +121,8 @@ pub enum Event {
         failed: usize,
         /// Jobs cancelled before starting.
         cancelled: usize,
+        /// Jobs whose final attempt timed out under supervision.
+        timed_out: usize,
         /// Sum of quality scores over finished jobs.
         total_quality_score: f64,
         /// Batch wall time, seconds.
@@ -177,6 +199,17 @@ impl Event {
                 o.push_str(",\"detail\":");
                 push_json_string(&mut o, detail);
             }
+            Event::Degrade {
+                job,
+                attempt,
+                step,
+                detail,
+            } => {
+                o.push_str("\"degrade\",\"job\":");
+                push_json_string(&mut o, job);
+                let _ = write!(o, ",\"attempt\":{attempt},\"step\":{step},\"detail\":");
+                push_json_string(&mut o, detail);
+            }
             Event::Iteration {
                 job,
                 iteration,
@@ -204,6 +237,8 @@ impl Event {
                 wall_s,
                 attempts,
                 recoveries,
+                degraded,
+                degrade_step,
             } => {
                 o.push_str("\"job_finish\",\"job\":");
                 push_json_string(&mut o, job);
@@ -224,19 +259,23 @@ impl Event {
                 push_json_f64(&mut o, *quality_score);
                 o.push_str(",\"wall_s\":");
                 push_json_f64(&mut o, *wall_s);
-                let _ = write!(o, ",\"attempts\":{attempts},\"recoveries\":{recoveries}");
+                let _ = write!(
+                    o,
+                    ",\"attempts\":{attempts},\"recoveries\":{recoveries},\"degraded\":{degraded},\"degrade_step\":{degrade_step}"
+                );
             }
             Event::BatchFinish {
                 finished,
                 failed,
                 cancelled,
+                timed_out,
                 total_quality_score,
                 wall_s,
             } => {
                 o.push_str("\"batch_finish\"");
                 let _ = write!(
                     o,
-                    ",\"finished\":{finished},\"failed\":{failed},\"cancelled\":{cancelled}"
+                    ",\"finished\":{finished},\"failed\":{failed},\"cancelled\":{cancelled},\"timed_out\":{timed_out}"
                 );
                 o.push_str(",\"total_quality_score\":");
                 push_json_f64(&mut o, *total_quality_score);
@@ -354,10 +393,27 @@ mod tests {
             wall_s: 0.0,
             attempts: 2,
             recoveries: 0,
+            degraded: false,
+            degrade_step: 0,
         };
         let json = e.to_json(1.0);
         assert!(json.contains("\"job\":\"B\\\"1\\\"\""));
         assert!(json.contains("\"error\":\"line1\\nline2\\t\\\\\""));
+        assert!(json.contains("\"degraded\":false"));
+    }
+
+    #[test]
+    fn degrade_events_render_step_and_detail() {
+        let e = Event::Degrade {
+            job: "B1-fast".to_string(),
+            attempt: 2,
+            step: 1,
+            detail: "halve_iterations: iterations 8->4".to_string(),
+        };
+        let json = e.to_json(0.5);
+        assert!(json.contains("\"event\":\"degrade\""));
+        assert!(json.contains("\"step\":1"));
+        assert!(json.contains("iterations 8->4"));
     }
 
     #[test]
@@ -403,6 +459,7 @@ mod tests {
             finished: 2,
             failed: 0,
             cancelled: 0,
+            timed_out: 0,
             total_quality_score: 42.0,
             wall_s: 0.1,
         });

@@ -7,7 +7,7 @@
 //! runner; production code simply never installs one, so the default
 //! empty plan costs one `Option` check per lookup.
 //!
-//! Three fault kinds cover the runtime's failure surfaces:
+//! Four fault kinds cover the runtime's failure surfaces:
 //!
 //! * [`FaultKind::CheckpointSaveError`] — every checkpoint save on the
 //!   matching attempt fails with an injected I/O error, exercising the
@@ -18,6 +18,10 @@
 //! * [`FaultKind::NanGradientAtIteration`] — the optimizer's gradient is
 //!   poisoned with NaN at the given absolute iteration, exercising the
 //!   numerical guard's rollback-and-damp recovery.
+//! * [`FaultKind::Stall`] — the iteration hook sleeps once on the
+//!   matching attempt, a deterministic stand-in for a worker wedged
+//!   between cancel-token polls, exercising the heartbeat watchdog and
+//!   the degradation ladder.
 
 /// What goes wrong, and (where relevant) when.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +35,14 @@ pub enum FaultKind {
     /// The objective gradient is poisoned with NaN at this absolute
     /// optimizer iteration.
     NanGradientAtIteration(usize),
+    /// The iteration hook sleeps this many milliseconds on its first
+    /// call of the matching attempt — between heartbeats, so the
+    /// watchdog sees a genuine gap. Finite by construction: tests
+    /// always drain even if detection fails.
+    Stall {
+        /// Sleep duration in milliseconds.
+        millis: u64,
+    },
 }
 
 impl FaultKind {
@@ -40,6 +52,7 @@ impl FaultKind {
             FaultKind::CheckpointSaveError => "checkpoint_save_error",
             FaultKind::PanicAtIteration(_) => "panic",
             FaultKind::NanGradientAtIteration(_) => "nan_gradient",
+            FaultKind::Stall { .. } => "stall",
         }
     }
 }
@@ -110,6 +123,15 @@ impl FaultPlan {
         self.matching(job, attempt)
             .any(|k| k == FaultKind::CheckpointSaveError)
     }
+
+    /// How long this attempt's first iteration hook should stall, if
+    /// planned.
+    pub fn stall_millis(&self, job: &str, attempt: u32) -> Option<u64> {
+        self.matching(job, attempt).find_map(|k| match k {
+            FaultKind::Stall { millis } => Some(millis),
+            _ => None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +169,14 @@ mod tests {
         );
         assert_eq!(FaultKind::PanicAtIteration(0).name(), "panic");
         assert_eq!(FaultKind::NanGradientAtIteration(0).name(), "nan_gradient");
+        assert_eq!(FaultKind::Stall { millis: 5 }.name(), "stall");
+    }
+
+    #[test]
+    fn stall_is_keyed_like_the_other_kinds() {
+        let plan = FaultPlan::new().inject("B1-fast", 1, FaultKind::Stall { millis: 250 });
+        assert_eq!(plan.stall_millis("B1-fast", 1), Some(250));
+        assert_eq!(plan.stall_millis("B1-fast", 2), None, "retry runs clean");
+        assert_eq!(plan.stall_millis("B2-fast", 1), None);
     }
 }

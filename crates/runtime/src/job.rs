@@ -10,17 +10,22 @@
 
 use crate::cache::SimCache;
 use crate::checkpoint;
+use crate::degrade::DegradationLadder;
 use crate::events::{Event, EventSink};
 use crate::fault::FaultPlan;
 use crate::scheduler::CancelToken;
-use mosaic_core::{IterationControl, IterationView, MaskState, Mosaic, MosaicConfig, MosaicMode};
-use mosaic_eval::{Evaluator, Score};
+use crate::supervise::{AttemptGuard, Supervisor};
+use mosaic_core::{
+    Heartbeat, IterationControl, IterationView, MaskState, Mosaic, MosaicConfig, MosaicMode,
+    NoHeartbeat, OptimizerError,
+};
+use mosaic_eval::Evaluator;
 use mosaic_geometry::benchmarks::BenchmarkId;
 use mosaic_numerics::{Grid, Workspace};
 use std::cell::RefCell;
 use std::io;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 thread_local! {
     /// Per-worker spectral scratch pool. The scheduler's shared runner
@@ -48,8 +53,13 @@ pub enum JobStatus {
     /// Every attempt failed (error or panic).
     Failed,
     /// Stopped cooperatively (cancel token or deadline); a checkpoint
-    /// was saved if a checkpoint directory is configured.
+    /// was saved if a checkpoint directory is configured and the
+    /// best-so-far mask was salvage-scored.
     Cancelled,
+    /// The supervision watchdog stopped the final attempt (per-job
+    /// budget overrun or repeated heartbeat stall); the best-so-far
+    /// mask was salvage-scored.
+    TimedOut,
 }
 
 impl JobStatus {
@@ -61,6 +71,7 @@ impl JobStatus {
             JobStatus::Finished => "finished",
             JobStatus::Failed => "failed",
             JobStatus::Cancelled => "cancelled",
+            JobStatus::TimedOut => "timed_out",
         }
     }
 }
@@ -145,14 +156,22 @@ pub struct JobReport {
     pub best_objective: f64,
     /// Wall time of this job on its worker, seconds.
     pub wall_s: f64,
-    /// Contest metrics; `None` for cancelled jobs (their partial mask is
-    /// not scored).
+    /// Contest metrics. Cancelled / timed-out jobs carry *salvaged*
+    /// metrics (best-so-far mask scored with zero runtime, flagged by
+    /// [`degraded`](Self::degraded)); `None` only when salvage scoring
+    /// itself failed.
     pub metrics: Option<JobMetrics>,
     /// The final binarized mask on the simulation grid.
     pub binary_mask: Grid<f64>,
     /// Numerical-guard recoveries the optimizer performed in this run
     /// (see `mosaic_core::OptimizationConfig::guard_enabled`).
     pub recoveries: usize,
+    /// Whether [`metrics`](Self::metrics) were salvaged from a partial
+    /// (cancelled / timed-out) run rather than a completed one.
+    pub degraded: bool,
+    /// Degradation-ladder rungs this attempt's configuration ran at
+    /// (0 = the spec's original configuration; see [`crate::degrade`]).
+    pub degrade_step: usize,
 }
 
 /// Shared context a worker hands to every job it runs.
@@ -174,6 +193,17 @@ pub struct JobContext<'a> {
     pub checkpoint_every: usize,
     /// Planned faults for hardening tests; `None` in production.
     pub faults: Option<&'a FaultPlan>,
+    /// Supervision registry (heartbeats, per-job budgets, downshift
+    /// counters); `None` runs unsupervised.
+    pub supervisor: Option<&'a Supervisor>,
+    /// Degradation ladder applied on downshifted retries; `None`
+    /// reruns the original configuration on every attempt.
+    pub ladder: Option<&'a DegradationLadder>,
+    /// Total attempts the scheduler grants this job (`1 + retries`).
+    /// A supervision timeout on a non-final attempt returns an error so
+    /// the scheduler retries (one ladder rung down); on the final
+    /// attempt it yields a salvaged [`JobStatus::TimedOut`] report.
+    pub max_attempts: u32,
 }
 
 impl JobContext<'_> {
@@ -229,6 +259,26 @@ pub fn execute_job_in(
         return Err("cancelled before start".to_string());
     }
     let started = Instant::now();
+    // Supervision: register this attempt with the watchdog and resolve
+    // the degradation rung its configuration runs at (downshifts accrue
+    // across attempts from timeouts, stalls and divergences).
+    let guard = ctx.supervisor.map(|s| s.register(&spec.id, attempt));
+    let degrade_step = match (ctx.supervisor, ctx.ladder) {
+        (Some(sup), Some(ladder)) => sup.downshifts(&spec.id).min(ladder.len()),
+        _ => 0,
+    };
+    let (job_config, degrade_note) = match ctx.ladder {
+        Some(ladder) => ladder.apply(&spec.config, degrade_step),
+        None => (spec.config.clone(), String::new()),
+    };
+    if degrade_step > 0 {
+        ctx.events.emit(&Event::Degrade {
+            job: spec.id.clone(),
+            attempt,
+            step: degrade_step,
+            detail: degrade_note,
+        });
+    }
     let fault_panic = ctx.faults.and_then(|p| p.panic_at(&spec.id, attempt));
     let fault_nan = ctx
         .faults
@@ -236,6 +286,7 @@ pub fn execute_job_in(
     let fault_save = ctx
         .faults
         .is_some_and(|p| p.checkpoint_save_fails(&spec.id, attempt));
+    let fault_stall = ctx.faults.and_then(|p| p.stall_millis(&spec.id, attempt));
     let resume = match ctx.checkpoint_dir {
         Some(dir) => {
             let (cp, quarantined) = checkpoint::load_or_quarantine(dir, &spec.id)
@@ -252,6 +303,12 @@ pub fn execute_job_in(
         }
         None => None,
     };
+    // A degraded retry may run on a coarser grid than the checkpoint
+    // was written at; such checkpoints cannot be resumed across shapes,
+    // so the degraded attempt restarts fresh.
+    let resume = resume.filter(|cp| {
+        cp.variables.dims() == (job_config.optics.grid_width, job_config.optics.grid_height)
+    });
     let start_iteration = resume.as_ref().map_or(0, |c| c.iterations_done);
     ctx.events.emit(&Event::JobStart {
         job: spec.id.clone(),
@@ -268,19 +325,16 @@ pub fn execute_job_in(
     let sim = ctx
         .cache
         .get_or_build(
-            &spec.config.optics,
-            spec.config.resist,
-            &spec.config.conditions,
+            &job_config.optics,
+            job_config.resist,
+            &job_config.conditions,
         )
         .map_err(|e| format!("simulator build failed: {e}"))?;
     // Pre-size the pool for this job's grid: the cached simulator fixes
     // the spectral working set, so warming here means even the first
     // iteration allocates nothing inside the optimizer loop.
-    ws.warm_spectral(
-        spec.config.optics.grid_width,
-        spec.config.optics.grid_height,
-    );
-    let mut config = spec.config.clone();
+    ws.warm_spectral(job_config.optics.grid_width, job_config.optics.grid_height);
+    let mut config = job_config.clone();
     if let Some(i) = fault_nan {
         config.opt.fault_nan_gradient_at = Some(i);
         ctx.events.emit(&Event::Fault {
@@ -305,11 +359,22 @@ pub fn execute_job_in(
             iterations: 0,
             best_objective: cp.best_value,
             recoveries: cp.recoveries,
+            degrade_step,
         };
-        finish(spec, ctx, stats, state.binary(), &layout, started)?
+        finish(
+            spec,
+            &job_config,
+            ctx,
+            stats,
+            state.binary(),
+            &layout,
+            started,
+        )?
     } else {
         let mut cancelled = false;
         let mut iterations = 0usize;
+        let slot = guard.as_ref().map(AttemptGuard::slot);
+        let mut stall_pending = fault_stall;
         // Saves a checkpoint, reporting (not propagating) failures: a
         // full disk must not kill an otherwise healthy optimization.
         let save_checkpoint = |view: &IterationView<'_>| {
@@ -343,6 +408,21 @@ pub fn execute_job_in(
                 });
                 injected_panic(&spec.id, view.record.iteration);
             }
+            if let Some(ms) = stall_pending.take() {
+                // Planned stall: sleep between heartbeats so the
+                // watchdog sees a genuine gap (the optimizer last beat
+                // before calling this hook).
+                ctx.events.emit(&Event::Fault {
+                    job: spec.id.clone(),
+                    attempt,
+                    kind: "stall".to_string(),
+                    detail: format!(
+                        "injected {ms} ms stall at iteration {}",
+                        view.record.iteration
+                    ),
+                });
+                std::thread::sleep(Duration::from_millis(ms));
+            }
             iterations += 1;
             ctx.events.emit(&Event::Iteration {
                 job: spec.id.clone(),
@@ -356,7 +436,7 @@ pub fn execute_job_in(
             if due {
                 save_checkpoint(view);
             }
-            if ctx.stop_requested() {
+            if ctx.stop_requested() || slot.is_some_and(|s| s.stop_requested()) {
                 cancelled = true;
                 if !due {
                     save_checkpoint(view);
@@ -365,27 +445,81 @@ pub fn execute_job_in(
             }
             IterationControl::Continue
         };
+        let pulse: &dyn Heartbeat = match guard.as_ref() {
+            Some(g) => g,
+            None => &NoHeartbeat,
+        };
         let result = match resume {
-            Some(cp) => mosaic.resume_in(spec.mode, cp, &mut hook, ws),
-            None => mosaic.run_in(spec.mode, &mut hook, ws),
-        }
-        .map_err(|e| format!("optimization failed: {e}"))?;
+            Some(cp) => mosaic.resume_supervised(spec.mode, cp, &mut hook, ws, pulse),
+            None => mosaic.run_supervised(spec.mode, &mut hook, ws, pulse),
+        };
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => {
+                if matches!(e, OptimizerError::Diverged { .. }) {
+                    // A diverged attempt exhausted the numerical
+                    // guard's recovery budget: the retry goes one
+                    // ladder rung down instead of repeating the
+                    // configuration that blew up.
+                    ctx.events.emit(&Event::Fault {
+                        job: spec.id.clone(),
+                        attempt,
+                        kind: "diverged".to_string(),
+                        detail: e.to_string(),
+                    });
+                    if let Some(sup) = ctx.supervisor {
+                        sup.note_downshift(&spec.id);
+                    }
+                }
+                return Err(format!("optimization failed: {e}"));
+            }
+        };
         let best_objective = result
             .history
             .get(result.best_iteration)
             .map_or(f64::NAN, |r| r.report.total);
         if cancelled {
+            let timed_out = slot.is_some_and(|s| s.timed_out());
+            if timed_out && attempt < ctx.max_attempts {
+                // The watchdog cut this attempt short but retries
+                // remain: fail the attempt so the scheduler reruns the
+                // job one ladder rung down (the downshift was already
+                // recorded at detection; the checkpoint above keeps the
+                // progress when the grid rung allows a resume).
+                return Err(format!(
+                    "attempt timed out under supervision after {iterations} iteration(s)"
+                ));
+            }
+            // Partial-result salvage: the optimizer returned its
+            // best-so-far mask (it restores the best iterate on stop),
+            // so score it — Eq. (22) pays for whatever is shipped, and
+            // a scored partial mask always beats returning nothing.
+            let status = if timed_out {
+                JobStatus::TimedOut
+            } else {
+                JobStatus::Cancelled
+            };
+            let metrics = salvage_metrics(
+                spec,
+                &job_config,
+                ctx,
+                attempt,
+                &result.binary_mask,
+                &layout,
+            );
             let wall_s = started.elapsed().as_secs_f64();
             let report = JobReport {
                 id: spec.id.clone(),
                 clip: spec.clip,
-                status: JobStatus::Cancelled,
+                status,
                 iterations,
                 best_objective,
                 wall_s,
-                metrics: None,
+                metrics,
                 binary_mask: result.binary_mask,
                 recoveries: result.recoveries,
+                degraded: true,
+                degrade_step,
             };
             emit_finish(ctx, &report, attempt, None);
             return Ok(report);
@@ -394,8 +528,17 @@ pub fn execute_job_in(
             iterations,
             best_objective,
             recoveries: result.recoveries,
+            degrade_step,
         };
-        finish(spec, ctx, stats, result.binary_mask, &layout, started)?
+        finish(
+            spec,
+            &job_config,
+            ctx,
+            stats,
+            result.binary_mask,
+            &layout,
+            started,
+        )?
     };
     emit_finish(ctx, &report, attempt, None);
     Ok(report)
@@ -406,39 +549,82 @@ struct RunStats {
     iterations: usize,
     best_objective: f64,
     recoveries: usize,
+    degrade_step: usize,
+}
+
+/// Scores `binary_mask` with the contest evaluator at `config`'s grid.
+/// `config` is the configuration the mask was actually produced at —
+/// for a degraded attempt, the ladder-applied one, not the spec's.
+pub(crate) fn score_mask(
+    config: &MosaicConfig,
+    ctx: &JobContext<'_>,
+    binary_mask: &Grid<f64>,
+    layout: &mosaic_geometry::Layout,
+    wall_s: f64,
+) -> Result<JobMetrics, String> {
+    let optics = &config.optics;
+    let evaluator = Evaluator::new(
+        layout,
+        (optics.grid_width, optics.grid_height),
+        optics.pixel_nm,
+        config.epe_spacing_nm,
+        EPE_THRESHOLD_NM,
+    );
+    let sim = ctx
+        .cache
+        .get_or_build(optics, config.resist, &config.conditions)
+        .map_err(|e| format!("simulator build failed: {e}"))?;
+    let contest = evaluator.evaluate_mask(&sim, binary_mask, wall_s);
+    Ok(JobMetrics {
+        epe_violations: contest.epe_violations,
+        pvband_nm2: contest.pvband_nm2,
+        shape_violations: contest.shape_violations,
+        quality_score: contest.score.quality(),
+        contest_score: contest.score.total(),
+    })
+}
+
+/// Salvage scoring for a cancelled / timed-out attempt: evaluates the
+/// best-so-far mask with zero runtime charged. Never escalates — a
+/// salvage failure is reported as a `salvage_error` fault and yields
+/// `None`, because refusing to score a partial mask must not turn a
+/// cancellation into a job failure. The checkpoint is deliberately
+/// *not* cleared so the mask behind the score stays inspectable.
+fn salvage_metrics(
+    spec: &JobSpec,
+    config: &MosaicConfig,
+    ctx: &JobContext<'_>,
+    attempt: u32,
+    binary_mask: &Grid<f64>,
+    layout: &mosaic_geometry::Layout,
+) -> Option<JobMetrics> {
+    match score_mask(config, ctx, binary_mask, layout, 0.0) {
+        Ok(metrics) => Some(metrics),
+        Err(e) => {
+            ctx.events.emit(&Event::Fault {
+                job: spec.id.clone(),
+                attempt,
+                kind: "salvage_error".to_string(),
+                detail: format!("best-so-far mask could not be scored: {e}"),
+            });
+            None
+        }
+    }
 }
 
 /// Scores the final mask and assembles the finished report; clears the
 /// job's checkpoint.
 fn finish(
     spec: &JobSpec,
+    config: &MosaicConfig,
     ctx: &JobContext<'_>,
     stats: RunStats,
     binary_mask: Grid<f64>,
     layout: &mosaic_geometry::Layout,
     started: Instant,
 ) -> Result<JobReport, String> {
-    let optics = &spec.config.optics;
-    let evaluator = Evaluator::new(
-        layout,
-        (optics.grid_width, optics.grid_height),
-        optics.pixel_nm,
-        spec.config.epe_spacing_nm,
-        EPE_THRESHOLD_NM,
-    );
-    let sim = ctx
-        .cache
-        .get_or_build(optics, spec.config.resist, &spec.config.conditions)
-        .map_err(|e| format!("simulator build failed: {e}"))?;
     let wall_s = started.elapsed().as_secs_f64();
-    let contest = evaluator.evaluate_mask(&sim, &binary_mask, wall_s);
-    let quality_score = Score::contest(
-        0.0,
-        contest.pvband_nm2,
-        contest.epe_violations,
-        contest.shape_violations,
-    )
-    .total();
+    let metrics = score_mask(config, ctx, &binary_mask, layout, wall_s)?;
     if let Some(dir) = ctx.checkpoint_dir {
         checkpoint::clear(dir, &spec.id).map_err(|e| format!("checkpoint cleanup failed: {e}"))?;
     }
@@ -449,15 +635,11 @@ fn finish(
         iterations: stats.iterations,
         best_objective: stats.best_objective,
         wall_s,
-        metrics: Some(JobMetrics {
-            epe_violations: contest.epe_violations,
-            pvband_nm2: contest.pvband_nm2,
-            shape_violations: contest.shape_violations,
-            quality_score,
-            contest_score: contest.score.total(),
-        }),
+        metrics: Some(metrics),
         binary_mask,
         recoveries: stats.recoveries,
+        degraded: false,
+        degrade_step: stats.degrade_step,
     })
 }
 
@@ -489,6 +671,8 @@ pub(crate) fn emit_finish(
         wall_s: report.wall_s,
         attempts,
         recoveries: report.recoveries,
+        degraded: report.degraded,
+        degrade_step: report.degrade_step,
     });
 }
 
@@ -515,6 +699,9 @@ mod tests {
             checkpoint_dir: None,
             checkpoint_every: 0,
             faults: None,
+            supervisor: None,
+            ladder: None,
+            max_attempts: 1,
         }
     }
 
@@ -571,6 +758,10 @@ mod tests {
             execute_job(&spec, 1, &deadline_ctx).expect("cooperative stop is not an error");
         assert_eq!(report.status, JobStatus::Cancelled);
         assert_eq!(report.iterations, 1);
-        assert!(report.metrics.is_none());
+        // Partial-result salvage: the best-so-far mask is scored.
+        let metrics = report.metrics.expect("cancelled jobs salvage metrics");
+        assert!(metrics.quality_score.is_finite());
+        assert!(report.degraded, "salvaged results are flagged degraded");
+        assert_eq!(report.degrade_step, 0, "no downshift without a supervisor");
     }
 }

@@ -26,7 +26,21 @@
 //!   corrupt manifest is quarantined instead of resumed.
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]) for the
 //!   hardening tests: planned checkpoint-save I/O errors, mid-iteration
-//!   panics and NaN gradients, keyed on `(job, attempt)`.
+//!   panics, NaN gradients and heartbeat stalls, keyed on
+//!   `(job, attempt)`.
+//! * [`supervise`] — per-job wall-clock budgets and a heartbeat
+//!   watchdog: the optimizer beats a [`Supervisor`]-issued guard every
+//!   iteration; a dedicated watchdog thread cancels attempts that blow
+//!   their budget or stop beating, and escalates repeated stalls to
+//!   [`JobStatus::TimedOut`].
+//! * [`degrade`] — the degradation ladder: on a timeout or divergence
+//!   retry the next attempt is downshifted one rung (halve iterations →
+//!   halve SOCS kernels → coarsen the grid), so a struggling job trades
+//!   fidelity for completion instead of failing outright.
+//! * [`salvage`] — partial-result salvage: cancelled and timed-out
+//!   attempts score their best-so-far mask in-process, and jobs that
+//!   failed every attempt are scored from their last checkpoint, so the
+//!   batch quality total reflects everything that was actually produced.
 //! * [`batch`] — the orchestrator gluing the above together:
 //!   [`run_batch`] plus the Table-2-style summary renderer. Batches
 //!   always drain; failed jobs come back as structured [`JobFailure`]s
@@ -70,25 +84,39 @@
 pub mod batch;
 pub mod cache;
 pub mod checkpoint;
+pub mod degrade;
 pub mod events;
 pub mod fault;
 pub mod job;
+pub mod salvage;
 pub mod scheduler;
+pub mod supervise;
 
 pub use batch::{render_summary, run_batch, BatchConfig, BatchOutcome, JobFailure};
 pub use cache::SimCache;
+pub use degrade::{DegradationLadder, DegradeStep};
 pub use events::{Event, EventSink};
 pub use fault::{FaultKind, FaultPlan};
-pub use job::{execute_job, execute_job_in, JobContext, JobReport, JobSpec, JobStatus};
-pub use scheduler::{run_pool, CancelToken, JobExecution, RetryPolicy};
+pub use job::{execute_job, execute_job_in, JobContext, JobMetrics, JobReport, JobSpec, JobStatus};
+pub use scheduler::{
+    clamp_workers, default_workers, run_pool, CancelToken, JobExecution, RetryPolicy,
+};
+pub use supervise::{AttemptGuard, JobSlot, Supervisor, SupervisorConfig};
 
 /// The types almost every user of this crate needs.
 pub mod prelude {
     pub use crate::batch::{render_summary, run_batch, BatchConfig, BatchOutcome, JobFailure};
     pub use crate::cache::SimCache;
     pub use crate::checkpoint;
+    pub use crate::degrade::{DegradationLadder, DegradeStep};
     pub use crate::events::{Event, EventSink};
     pub use crate::fault::{FaultKind, FaultPlan};
-    pub use crate::job::{execute_job, execute_job_in, JobContext, JobReport, JobSpec, JobStatus};
-    pub use crate::scheduler::{run_pool, CancelToken, JobExecution, RetryPolicy};
+    pub use crate::job::{
+        execute_job, execute_job_in, JobContext, JobMetrics, JobReport, JobSpec, JobStatus,
+    };
+    pub use crate::salvage;
+    pub use crate::scheduler::{
+        clamp_workers, default_workers, run_pool, CancelToken, JobExecution, RetryPolicy,
+    };
+    pub use crate::supervise::{AttemptGuard, JobSlot, Supervisor, SupervisorConfig};
 }

@@ -1,0 +1,117 @@
+//! Checkpoint-based partial-result salvage.
+//!
+//! Mid-run cancellations salvage in-process: the optimizer hands back
+//! its best-so-far mask and [`crate::job`] scores it directly. But a
+//! job that *failed* every attempt (panics, repeated divergence) left
+//! no in-process result — only, possibly, a checkpoint from its last
+//! productive iteration. [`from_checkpoint`] rebuilds the best-so-far
+//! mask from that checkpoint and scores it through the contest
+//! evaluator, so even a job that never completed an attempt still
+//! contributes what it actually produced to the batch total.
+//!
+//! Salvage never escalates: a missing checkpoint yields `None`, a
+//! corrupt one is quarantined (via
+//! [`checkpoint::load_or_quarantine`]'s rename-to-`.corrupt` path) and
+//! yields `None`, and a scoring failure is reported as a
+//! `salvage_error` fault — none of these fail the batch.
+
+use crate::cache::SimCache;
+use crate::checkpoint;
+use crate::degrade::DegradationLadder;
+use crate::events::{Event, EventSink};
+use crate::job::{score_mask, JobContext, JobMetrics, JobSpec};
+use crate::scheduler::CancelToken;
+use mosaic_core::MaskState;
+use std::path::Path;
+
+/// Attempts to salvage a score from `spec`'s last checkpoint under
+/// `root`. `downshifts` is the job's final downshift count (from the
+/// supervisor), used to find the ladder rung whose grid matches the
+/// checkpoint — the last attempt may have run degraded.
+///
+/// Returns `None` when there is nothing to salvage (no checkpoint, a
+/// quarantined corrupt one, or an unscorable mask); emits `fault`
+/// events for the latter two.
+pub fn from_checkpoint(
+    root: &Path,
+    spec: &JobSpec,
+    ladder: Option<&DegradationLadder>,
+    downshifts: usize,
+    cache: &SimCache,
+    events: &EventSink,
+    attempts: u32,
+) -> Option<JobMetrics> {
+    let (cp, quarantined) = match checkpoint::load_or_quarantine(root, &spec.id) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            events.emit(&Event::Fault {
+                job: spec.id.clone(),
+                attempt: attempts,
+                kind: "salvage_error".to_string(),
+                detail: format!("checkpoint could not be read for salvage: {e}"),
+            });
+            return None;
+        }
+    };
+    if let Some(detail) = quarantined {
+        events.emit(&Event::Fault {
+            job: spec.id.clone(),
+            attempt: attempts,
+            kind: "checkpoint_corrupt".to_string(),
+            detail,
+        });
+    }
+    let cp = cp?;
+    // Find the configuration the checkpoint was written at: walk the
+    // applied ladder rungs from the deepest down, matching on grid
+    // shape (the only rung-dependent property a checkpoint encodes).
+    let rungs = ladder.map_or(0, DegradationLadder::len).min(downshifts);
+    let config = (0..=rungs).rev().find_map(|count| {
+        let candidate = match ladder {
+            Some(l) => l.apply(&spec.config, count).0,
+            None => spec.config.clone(),
+        };
+        let dims = (candidate.optics.grid_width, candidate.optics.grid_height);
+        (cp.variables.dims() == dims).then_some(candidate)
+    })?;
+    let mask = MaskState::from_variables(cp.best_variables, config.opt.mask_steepness).binary();
+    let layout = match spec.clip.layout() {
+        Ok(l) => l,
+        Err(e) => {
+            events.emit(&Event::Fault {
+                job: spec.id.clone(),
+                attempt: attempts,
+                kind: "salvage_error".to_string(),
+                detail: format!("clip generation failed during salvage: {e}"),
+            });
+            return None;
+        }
+    };
+    // Borrow the job runner's scorer through a minimal context: salvage
+    // charges zero runtime, exactly like an in-process salvage.
+    let cancel = CancelToken::new();
+    let ctx = JobContext {
+        cache,
+        events,
+        cancel: &cancel,
+        deadline: None,
+        checkpoint_dir: None,
+        checkpoint_every: 0,
+        faults: None,
+        supervisor: None,
+        ladder: None,
+        max_attempts: 1,
+    };
+    match score_mask(&config, &ctx, &mask, &layout, 0.0) {
+        Ok(metrics) => Some(metrics),
+        Err(e) => {
+            events.emit(&Event::Fault {
+                job: spec.id.clone(),
+                attempt: attempts,
+                kind: "salvage_error".to_string(),
+                detail: format!("checkpointed mask could not be scored: {e}"),
+            });
+            None
+        }
+    }
+}

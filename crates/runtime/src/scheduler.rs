@@ -12,6 +12,21 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
+/// The worker count that saturates this host:
+/// `std::thread::available_parallelism()`, or 1 when the host cannot
+/// report it. Benchmarks on a 1-CPU host show over-subscription is
+/// strictly slower (BENCH_runtime.json: jobs=2/4 lose 8–26 % to
+/// jobs=1), so this is both the default and the clamp ceiling for
+/// user-requested worker counts.
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Clamps a requested worker count to `1..=default_workers()`.
+pub fn clamp_workers(requested: usize) -> usize {
+    requested.clamp(1, default_workers())
+}
+
 /// How failed attempts are retried.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {

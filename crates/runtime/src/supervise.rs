@@ -1,0 +1,419 @@
+//! Supervised execution: per-job wall-clock budgets and a heartbeat
+//! watchdog.
+//!
+//! The scheduler's cancel token and batch deadline are *cooperative*:
+//! they only take effect when a worker reaches an iteration boundary
+//! and polls. A worker wedged inside a long spectral pass (or held by a
+//! planned [`crate::fault::FaultKind::Stall`]) never polls, so without
+//! supervision the batch would hang forever. This module closes that
+//! gap:
+//!
+//! * every attempt registers an [`AttemptGuard`] with the batch's
+//!   [`Supervisor`] and beats it from inside the optimizer loop (the
+//!   guard implements [`mosaic_core::Heartbeat`], threaded through
+//!   `Mosaic::run_supervised`);
+//! * a dedicated watchdog thread ([`Supervisor::watch`]) scans the
+//!   registered slots: an attempt whose heartbeat is older than the
+//!   stall grace period, or whose wall clock exceeds the per-job
+//!   budget, is asked to stop via a *per-job* stop flag (independent of
+//!   the batch-wide token) and marked timed out, with a structured
+//!   `fault` event (`"stall_detected"` / `"job_timeout"`) in the JSONL
+//!   report;
+//! * each watchdog intervention — and each optimizer divergence the job
+//!   runner reports via [`Supervisor::note_downshift`] — bumps the
+//!   job's *downshift counter*, which the degradation ladder
+//!   ([`crate::degrade`]) reads on the retry so the next attempt runs a
+//!   cheaper configuration instead of repeating the one that blew its
+//!   budget.
+//!
+//! Safe Rust cannot kill a wedged thread, so the watchdog's stop flag
+//! is still cooperative — but detection, the JSONL fault trail, the
+//! degraded retry and the salvaged partial result all happen without
+//! the wedged worker's help; a second missed grace period is escalated
+//! as a `"stall_hard"` fault so an operator can see the worker never
+//! recovered.
+
+use crate::events::{Event, EventSink};
+use mosaic_core::Heartbeat;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Supervision knobs for one batch.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Per-attempt wall-clock budget; `None` disables budget
+    /// enforcement (heartbeat stall detection stays on).
+    pub job_timeout: Option<Duration>,
+    /// Maximum heartbeat age before an attempt counts as stalled. Must
+    /// comfortably exceed one objective evaluation at the batch's
+    /// largest grid — the optimizer beats a few times per iteration,
+    /// not inside the spectral kernels.
+    pub stall_grace: Duration,
+    /// Watchdog scan interval; `None` derives a quarter of the tightest
+    /// enforced limit, clamped to 5–250 ms.
+    pub poll: Option<Duration>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            job_timeout: None,
+            stall_grace: Duration::from_secs(30),
+            poll: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    fn poll_interval(&self) -> Duration {
+        self.poll.unwrap_or_else(|| {
+            let tightest = self
+                .job_timeout
+                .map_or(self.stall_grace, |t| t.min(self.stall_grace));
+            (tightest / 4).clamp(Duration::from_millis(5), Duration::from_millis(250))
+        })
+    }
+}
+
+/// Shared flight-recorder state of one in-flight attempt. The worker
+/// beats and polls it; the watchdog scans it. All fields are atomics so
+/// neither side ever blocks the other.
+#[derive(Debug)]
+pub struct JobSlot {
+    job: String,
+    attempt: u32,
+    /// Clock shared by beats and scans (copied from the supervisor).
+    epoch: Instant,
+    started_ms: u64,
+    last_beat_ms: AtomicU64,
+    /// The watchdog asked this attempt to stop (per-job cancel).
+    stop: AtomicBool,
+    /// The stop was a supervision timeout (budget or stall), not a
+    /// batch-wide cancel — the attempt should surface as `TimedOut`.
+    timed_out: AtomicBool,
+    /// The attempt reached a terminal state; the watchdog skips it.
+    done: AtomicBool,
+    /// Consecutive grace periods with no heartbeat.
+    strikes: AtomicU32,
+    /// Scan watermark: one stall episode yields one strike per grace
+    /// period, not one per poll tick.
+    last_strike_ms: AtomicU64,
+    /// The budget fault event fired (emit once).
+    budget_noted: AtomicBool,
+}
+
+impl JobSlot {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Records a liveness beat (called from the optimizer loop).
+    pub fn beat(&self) {
+        self.last_beat_ms.store(self.now_ms(), Ordering::SeqCst);
+    }
+
+    /// Whether the watchdog asked this attempt to stop.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Whether the stop was a supervision timeout (budget overrun or
+    /// detected stall) rather than an ordinary cancellation.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out.load(Ordering::SeqCst)
+    }
+}
+
+/// RAII registration of one attempt with the [`Supervisor`]: beats
+/// forward to the underlying [`JobSlot`]; dropping the guard marks the
+/// slot done so the watchdog stops scanning it.
+#[derive(Debug)]
+pub struct AttemptGuard {
+    slot: Arc<JobSlot>,
+}
+
+impl AttemptGuard {
+    /// The slot this guard feeds.
+    pub fn slot(&self) -> &JobSlot {
+        &self.slot
+    }
+}
+
+impl Heartbeat for AttemptGuard {
+    fn beat(&self) {
+        self.slot.beat();
+    }
+}
+
+impl Drop for AttemptGuard {
+    fn drop(&mut self) {
+        self.slot.done.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Per-batch supervision registry: live attempt slots for the watchdog
+/// plus the per-job downshift counters the degradation ladder reads.
+#[derive(Debug)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    epoch: Instant,
+    slots: Mutex<Vec<Arc<JobSlot>>>,
+    downshifts: Mutex<HashMap<String, usize>>,
+}
+
+impl Supervisor {
+    /// A supervisor with the given knobs; the epoch (the clock beats
+    /// and scans share) starts now.
+    pub fn new(config: SupervisorConfig) -> Self {
+        Supervisor {
+            config,
+            epoch: Instant::now(),
+            slots: Mutex::new(Vec::new()),
+            downshifts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock_slots(&self) -> std::sync::MutexGuard<'_, Vec<Arc<JobSlot>>> {
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_downshifts(&self) -> std::sync::MutexGuard<'_, HashMap<String, usize>> {
+        self.downshifts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers one attempt and returns its guard. The attempt's
+    /// budget clock starts now; its heartbeat is primed so a fresh
+    /// attempt is never immediately stalled.
+    pub fn register(&self, job: &str, attempt: u32) -> AttemptGuard {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        let slot = Arc::new(JobSlot {
+            job: job.to_string(),
+            attempt,
+            epoch: self.epoch,
+            started_ms: now,
+            last_beat_ms: AtomicU64::new(now),
+            stop: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            strikes: AtomicU32::new(0),
+            last_strike_ms: AtomicU64::new(now),
+            budget_noted: AtomicBool::new(false),
+        });
+        let mut slots = self.lock_slots();
+        slots.retain(|s| !s.done.load(Ordering::SeqCst));
+        slots.push(Arc::clone(&slot));
+        AttemptGuard { slot }
+    }
+
+    /// The job's accumulated downshift count — how many degradation
+    /// ladder rungs its next attempt applies.
+    pub fn downshifts(&self, job: &str) -> usize {
+        self.lock_downshifts().get(job).copied().unwrap_or(0)
+    }
+
+    /// Bumps the job's downshift counter (watchdog timeout, stall or a
+    /// reported divergence): the next attempt runs one ladder rung
+    /// lower.
+    pub fn note_downshift(&self, job: &str) {
+        *self.lock_downshifts().entry(job.to_string()).or_insert(0) += 1;
+    }
+
+    /// One watchdog pass over the live slots: enforces the per-job
+    /// budget and the heartbeat grace period, emitting `fault` events
+    /// on every transition. Public so tests can drive scans without a
+    /// thread.
+    pub fn scan(&self, events: &EventSink) {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        let grace_ms = self.config.stall_grace.as_millis() as u64;
+        let live: Vec<Arc<JobSlot>> = self
+            .lock_slots()
+            .iter()
+            .filter(|s| !s.done.load(Ordering::SeqCst))
+            .cloned()
+            .collect();
+        for slot in live {
+            if let Some(budget) = self.config.job_timeout {
+                let budget_ms = budget.as_millis() as u64;
+                let elapsed = now.saturating_sub(slot.started_ms);
+                if elapsed > budget_ms && !slot.budget_noted.swap(true, Ordering::SeqCst) {
+                    slot.timed_out.store(true, Ordering::SeqCst);
+                    slot.stop.store(true, Ordering::SeqCst);
+                    self.note_downshift(&slot.job);
+                    events.emit(&Event::Fault {
+                        job: slot.job.clone(),
+                        attempt: slot.attempt,
+                        kind: "job_timeout".to_string(),
+                        detail: format!(
+                            "attempt exceeded its {budget_ms} ms budget ({elapsed} ms elapsed); cancelling"
+                        ),
+                    });
+                }
+            }
+            let reference = slot
+                .last_beat_ms
+                .load(Ordering::SeqCst)
+                .max(slot.last_strike_ms.load(Ordering::SeqCst));
+            let age = now.saturating_sub(reference);
+            if age > grace_ms {
+                slot.last_strike_ms.store(now, Ordering::SeqCst);
+                let strike = slot.strikes.fetch_add(1, Ordering::SeqCst) + 1;
+                slot.stop.store(true, Ordering::SeqCst);
+                match strike {
+                    1 => {
+                        // First miss: cancel the attempt and line up a
+                        // degraded retry.
+                        self.note_downshift(&slot.job);
+                        events.emit(&Event::Fault {
+                            job: slot.job.clone(),
+                            attempt: slot.attempt,
+                            kind: "stall_detected".to_string(),
+                            detail: format!(
+                                "no heartbeat for {age} ms (grace {grace_ms} ms); cancelling attempt"
+                            ),
+                        });
+                    }
+                    2 => {
+                        // Second full grace period with no beat: the
+                        // worker is wedged beyond cooperative cancel;
+                        // mark the attempt timed out.
+                        slot.timed_out.store(true, Ordering::SeqCst);
+                        events.emit(&Event::Fault {
+                            job: slot.job.clone(),
+                            attempt: slot.attempt,
+                            kind: "stall_hard".to_string(),
+                            detail: format!(
+                                "still no heartbeat {age} ms after cancellation; attempt marked timed_out"
+                            ),
+                        });
+                    }
+                    _ => {} // keep quiet; the trail above suffices
+                }
+            }
+        }
+    }
+
+    /// Watchdog thread body: scans every poll interval until `stop` is
+    /// set. Sleeps in short slices so batch teardown never waits a full
+    /// interval for the join.
+    pub fn watch(&self, events: &EventSink, stop: &AtomicBool) {
+        let poll = self.config.poll_interval();
+        while !stop.load(Ordering::SeqCst) {
+            self.scan(events);
+            let mut remaining = poll;
+            while !stop.load(Ordering::SeqCst) && !remaining.is_zero() {
+                let slice = remaining.min(Duration::from_millis(25));
+                std::thread::sleep(slice);
+                remaining = remaining.saturating_sub(slice);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> SupervisorConfig {
+        SupervisorConfig {
+            job_timeout: Some(Duration::from_millis(40)),
+            stall_grace: Duration::from_millis(30),
+            poll: Some(Duration::from_millis(5)),
+        }
+    }
+
+    #[test]
+    fn healthy_attempt_is_left_alone() {
+        let sup = Supervisor::new(fast_config());
+        let events = EventSink::null();
+        let guard = sup.register("B1-fast", 1);
+        guard.beat();
+        sup.scan(&events);
+        assert!(!guard.slot().stop_requested());
+        assert!(!guard.slot().timed_out());
+        assert_eq!(sup.downshifts("B1-fast"), 0);
+    }
+
+    #[test]
+    fn stalled_attempt_is_cancelled_then_escalated() {
+        let sup = Supervisor::new(SupervisorConfig {
+            job_timeout: None,
+            ..fast_config()
+        });
+        let events = EventSink::null();
+        let guard = sup.register("B1-fast", 1);
+        std::thread::sleep(Duration::from_millis(45));
+        sup.scan(&events);
+        assert!(guard.slot().stop_requested(), "first miss cancels");
+        assert!(!guard.slot().timed_out(), "one miss is not yet a timeout");
+        assert_eq!(sup.downshifts("B1-fast"), 1, "one rung per episode");
+        std::thread::sleep(Duration::from_millis(45));
+        sup.scan(&events);
+        assert!(guard.slot().timed_out(), "second miss marks timed_out");
+        assert_eq!(
+            sup.downshifts("B1-fast"),
+            1,
+            "escalation adds no extra rung"
+        );
+    }
+
+    #[test]
+    fn beats_keep_resetting_the_grace_window() {
+        let sup = Supervisor::new(SupervisorConfig {
+            job_timeout: None,
+            ..fast_config()
+        });
+        let events = EventSink::null();
+        let guard = sup.register("B2-fast", 1);
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(15));
+            guard.beat();
+            sup.scan(&events);
+        }
+        assert!(!guard.slot().stop_requested());
+    }
+
+    #[test]
+    fn budget_overrun_times_out_even_with_beats() {
+        let sup = Supervisor::new(SupervisorConfig {
+            stall_grace: Duration::from_secs(30),
+            ..fast_config()
+        });
+        let events = EventSink::null();
+        let guard = sup.register("B3-fast", 2);
+        std::thread::sleep(Duration::from_millis(50));
+        guard.beat(); // alive, but over budget
+        sup.scan(&events);
+        assert!(guard.slot().stop_requested());
+        assert!(guard.slot().timed_out());
+        assert_eq!(sup.downshifts("B3-fast"), 1);
+    }
+
+    #[test]
+    fn dropped_guard_retires_the_slot() {
+        let sup = Supervisor::new(fast_config());
+        let events = EventSink::null();
+        let guard = sup.register("B4-fast", 1);
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(45));
+        sup.scan(&events); // must not flag the finished attempt
+        assert_eq!(sup.downshifts("B4-fast"), 0);
+    }
+
+    #[test]
+    fn derived_poll_interval_tracks_the_tightest_limit() {
+        let cfg = SupervisorConfig {
+            job_timeout: Some(Duration::from_millis(100)),
+            stall_grace: Duration::from_secs(30),
+            poll: None,
+        };
+        assert_eq!(cfg.poll_interval(), Duration::from_millis(25));
+        let cfg = SupervisorConfig::default();
+        assert_eq!(cfg.poll_interval(), Duration::from_millis(250), "clamped");
+    }
+}

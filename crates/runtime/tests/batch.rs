@@ -135,6 +135,9 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             checkpoint_dir: None,
             checkpoint_every: 0,
             faults: None,
+            supervisor: None,
+            ladder: None,
+            max_attempts: 1,
         },
     )
     .unwrap();
@@ -153,6 +156,9 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             checkpoint_dir: Some(&ckpt),
             checkpoint_every: 1,
             faults: None,
+            supervisor: None,
+            ladder: None,
+            max_attempts: 1,
         },
     )
     .unwrap();
@@ -173,6 +179,9 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             checkpoint_dir: Some(&ckpt),
             checkpoint_every: 1,
             faults: None,
+            supervisor: None,
+            ladder: None,
+            max_attempts: 1,
         },
     )
     .unwrap();

@@ -7,8 +7,10 @@ use mosaic_core::MosaicMode;
 use mosaic_geometry::benchmarks::BenchmarkId;
 use mosaic_runtime::{
     run_batch, BatchConfig, FaultKind, FaultPlan, JobExecution, JobSpec, JobStatus,
+    SupervisorConfig,
 };
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn tiny_spec(clip: BenchmarkId, iterations: usize) -> JobSpec {
     let mut spec = JobSpec::preset(clip, MosaicMode::Fast, 128, 8.0);
@@ -202,6 +204,66 @@ fn checkpoint_save_fault_is_reported_not_fatal() {
     assert!(
         !ckpt.join(&job).join("state.txt").exists(),
         "no checkpoint should survive the injected save failures"
+    );
+}
+
+/// An injected heartbeat stall is detected by the watchdog within the
+/// grace period: the stalled attempt is cancelled and escalated to
+/// timed-out, and the retry runs one degradation rung down and
+/// finishes. The whole episode is visible in the JSONL trail.
+#[test]
+fn injected_stall_is_detected_cancelled_and_retried_degraded() {
+    let dir = temp_dir("stall_retry");
+    let report = dir.join("report.jsonl");
+    let ckpt = dir.join("ckpt");
+    let spec = tiny_spec(BenchmarkId::B1, 4);
+    let job = spec.id.clone();
+    let config = BatchConfig {
+        retries: 1,
+        report: Some(report.clone()),
+        checkpoint_dir: Some(ckpt),
+        checkpoint_every: 1,
+        // The 400 ms stall spans several 80 ms grace periods, so the
+        // watchdog both detects the stall and escalates it while the
+        // worker is still asleep.
+        faults: FaultPlan::new().inject(&job, 1, FaultKind::Stall { millis: 400 }),
+        supervise: SupervisorConfig {
+            job_timeout: None,
+            stall_grace: Duration::from_millis(80),
+            poll: Some(Duration::from_millis(10)),
+        },
+        ..BatchConfig::default()
+    };
+    let outcome = run_batch(std::slice::from_ref(&spec), &config).unwrap();
+
+    assert_eq!(outcome.finished, 1);
+    assert_eq!(outcome.failed, 0);
+    match &outcome.results[0] {
+        JobExecution::Success { result, attempts } => {
+            assert_eq!(result.status, JobStatus::Finished);
+            assert_eq!(*attempts, 2, "stalled attempt cancelled, retry finished");
+            assert_eq!(result.degrade_step, 1, "retry ran one ladder rung down");
+        }
+        other => panic!("expected retried success, got {other:?}"),
+    }
+    let lines = report_lines(&report);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"fault\"") && l.contains("\"kind\":\"stall\"")),
+        "injected stall was not reported"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"fault\"") && l.contains("\"kind\":\"stall_detected\"")),
+        "watchdog did not report the stall detection"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"degrade\"") && l.contains("\"step\":1")),
+        "degraded retry was not reported"
     );
 }
 

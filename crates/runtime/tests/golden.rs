@@ -43,6 +43,9 @@ fn b1_fast_preset_golden_snapshot() {
         checkpoint_dir: None,
         checkpoint_every: 0,
         faults: None,
+        supervisor: None,
+        ladder: None,
+        max_attempts: 1,
     };
     let report = execute_job(&spec, 1, &ctx).expect("B1 fast job runs");
     let metrics = report.metrics.expect("finished job carries metrics");

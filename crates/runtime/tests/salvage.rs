@@ -1,0 +1,177 @@
+//! Partial-result salvage tests: a cancelled or timed-out job must
+//! still account for the work it did — and the salvaged score must be
+//! exactly what an operator would get by loading the job's checkpoint
+//! and scoring it by hand.
+
+use mosaic_core::MosaicMode;
+use mosaic_geometry::benchmarks::BenchmarkId;
+use mosaic_runtime::{
+    execute_job, run_batch, salvage, BatchConfig, CancelToken, EventSink, FaultKind, FaultPlan,
+    JobContext, JobExecution, JobSpec, JobStatus, SimCache, SupervisorConfig,
+};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn tiny_spec(clip: BenchmarkId, iterations: usize) -> JobSpec {
+    let mut spec = JobSpec::preset(clip, MosaicMode::Fast, 128, 8.0);
+    spec.config.opt.max_iterations = iterations;
+    spec
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mosaic_salvage_it").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The in-process salvage of a cancelled run and an after-the-fact
+/// checkpoint salvage must agree bit-for-bit: both score the same
+/// best-so-far mask through the same evaluator.
+#[test]
+fn cancelled_run_salvage_matches_checkpoint_salvage_bit_exactly() {
+    let ckpt = temp_dir("bit_exact");
+    let spec = tiny_spec(BenchmarkId::B2, 5);
+    let cache = SimCache::new();
+    let events = EventSink::null();
+    let cancel = CancelToken::new();
+
+    // The elapsed deadline cancels the job at its first iteration
+    // boundary, leaving a checkpoint and a salvaged in-process score.
+    let report = execute_job(
+        &spec,
+        1,
+        &JobContext {
+            cache: &cache,
+            events: &events,
+            cancel: &cancel,
+            deadline: Some(Instant::now()),
+            checkpoint_dir: Some(&ckpt),
+            checkpoint_every: 1,
+            faults: None,
+            supervisor: None,
+            ladder: None,
+            max_attempts: 1,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.status, JobStatus::Cancelled);
+    assert_eq!(report.iterations, 1);
+    assert!(report.degraded, "salvaged results are flagged degraded");
+    let in_process = report.metrics.expect("cancelled job salvages metrics");
+    assert!(in_process.quality_score.is_finite());
+
+    // Load the checkpoint the cancelled run left behind and score it
+    // through the salvage path: same mask, same evaluator, same bits.
+    let from_ckpt = salvage::from_checkpoint(&ckpt, &spec, None, 0, &cache, &events, 1)
+        .expect("checkpoint salvage finds the cancelled run's state");
+    assert_eq!(
+        from_ckpt.quality_score.to_bits(),
+        in_process.quality_score.to_bits(),
+        "checkpoint salvage must reproduce the in-process salvage exactly"
+    );
+    assert_eq!(from_ckpt.epe_violations, in_process.epe_violations);
+    assert_eq!(
+        from_ckpt.pvband_nm2.to_bits(),
+        in_process.pvband_nm2.to_bits()
+    );
+    assert_eq!(from_ckpt.shape_violations, in_process.shape_violations);
+}
+
+/// A corrupt checkpoint yields no salvage — it is quarantined, reported
+/// as a fault, and the batch that hits it still drains cleanly.
+#[test]
+fn corrupt_checkpoint_salvages_nothing_and_is_quarantined() {
+    let dir = temp_dir("corrupt");
+    let report = dir.join("report.jsonl");
+    let ckpt = dir.join("ckpt");
+    let spec = tiny_spec(BenchmarkId::B1, 3);
+    let job = spec.id.clone();
+
+    // Plant a corrupt checkpoint, then make every attempt panic before
+    // it can write a fresh one: the end-of-batch salvage finds only the
+    // quarantined wreck.
+    let job_dir = ckpt.join(&job);
+    std::fs::create_dir_all(&job_dir).unwrap();
+    std::fs::write(job_dir.join("state.txt"), "mosaic-checkpoint v2\ngarbage").unwrap();
+
+    let config = BatchConfig {
+        retries: 1,
+        report: Some(report.clone()),
+        checkpoint_dir: Some(ckpt.clone()),
+        checkpoint_every: 1,
+        faults: FaultPlan::new()
+            .inject(&job, 1, FaultKind::PanicAtIteration(0))
+            .inject(&job, 2, FaultKind::PanicAtIteration(0)),
+        ..BatchConfig::default()
+    };
+    let outcome = run_batch(std::slice::from_ref(&spec), &config).unwrap();
+
+    assert_eq!(outcome.failed, 1);
+    assert!(
+        outcome.failures[0].salvaged.is_none(),
+        "a corrupt checkpoint must not produce salvaged metrics"
+    );
+    assert!(
+        job_dir.join("state.txt.corrupt").is_file(),
+        "corrupt manifest was not quarantined"
+    );
+    let lines = std::fs::read_to_string(&report).unwrap();
+    assert!(
+        lines.contains("\"kind\":\"checkpoint_corrupt\""),
+        "quarantine was not reported"
+    );
+}
+
+/// A job that blows its wall-clock budget on its only attempt comes
+/// back `TimedOut` with finite salvaged metrics, and the batch counts
+/// it separately from failures and cancellations.
+#[test]
+fn budget_timeout_on_final_attempt_salvages_and_counts_as_timed_out() {
+    let dir = temp_dir("budget");
+    let report = dir.join("report.jsonl");
+    let spec = tiny_spec(BenchmarkId::B3, 5);
+    let job = spec.id.clone();
+    let config = BatchConfig {
+        retries: 0,
+        report: Some(report.clone()),
+        // The injected 150 ms stall guarantees the 60 ms budget elapses
+        // while iteration 0's result is already in hand; the huge grace
+        // keeps stall detection out of the picture.
+        faults: FaultPlan::new().inject(&job, 1, FaultKind::Stall { millis: 150 }),
+        supervise: SupervisorConfig {
+            job_timeout: Some(Duration::from_millis(60)),
+            stall_grace: Duration::from_secs(10),
+            poll: Some(Duration::from_millis(10)),
+        },
+        ..BatchConfig::default()
+    };
+    let outcome = run_batch(std::slice::from_ref(&spec), &config).unwrap();
+
+    assert_eq!(outcome.timed_out, 1);
+    assert_eq!(outcome.failed, 0);
+    assert_eq!(outcome.finished, 0);
+    match &outcome.results[0] {
+        JobExecution::Success { result, attempts } => {
+            assert_eq!(result.status, JobStatus::TimedOut);
+            assert_eq!(*attempts, 1, "no retries configured");
+            assert!(result.degraded);
+            let metrics = result.metrics.as_ref().expect("timed-out job salvages");
+            assert!(metrics.quality_score.is_finite());
+        }
+        other => panic!("expected a timed-out report, got {other:?}"),
+    }
+    assert!(
+        outcome.total_quality_score.is_finite() && outcome.total_quality_score > 0.0,
+        "the salvaged score must flow into the batch total"
+    );
+    let lines = std::fs::read_to_string(&report).unwrap();
+    assert!(
+        lines.contains("\"kind\":\"job_timeout\""),
+        "budget overrun was not reported"
+    );
+    assert!(
+        lines.contains("\"status\":\"timed_out\""),
+        "job_finish does not carry the timed_out status"
+    );
+}

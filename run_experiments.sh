@@ -9,6 +9,12 @@
 # `./run_experiments.sh batch` runs the ten contest clips through the
 # parallel batch runtime on the reduced preset and leaves the JSONL
 # report in results/.
+#
+# `./run_experiments.sh soak` runs the seeded chaos soak: randomized
+# fault plans (NaN, panic, save error, stall) against supervised tiny
+# batches, asserting every batch drains with finite salvaged scores and
+# no unquarantined checkpoints. Seed count via SOAK_SEEDS (default 30);
+# bounded well under a minute on one core.
 set -e
 cd "$(dirname "$0")"
 
@@ -31,9 +37,17 @@ tier1() {
     -p mosaic-numerics -p mosaic-geometry -p mosaic-optics \
     -p mosaic-core -p mosaic-eval -p mosaic-runtime \
     -- -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+  echo "=== tier1: supervision soak"
+  soak
   echo "=== tier1: fmt"
   cargo fmt --all --check
   echo "tier1 OK"
+}
+
+soak() {
+  # Seeded, so a red run names a reproducible seed; SOAK_SEEDS scales it.
+  SOAK_SEEDS="${SOAK_SEEDS:-30}" cargo test -q -p mosaic-runtime --test soak
+  echo "soak OK (${SOAK_SEEDS:-30} seeds)"
 }
 
 batch() {
@@ -48,6 +62,7 @@ batch() {
 case "${1:-}" in
   tier1) tier1; exit 0 ;;
   batch) batch; exit 0 ;;
+  soak) soak; exit 0 ;;
 esac
 
 mkdir -p results

@@ -8,6 +8,7 @@
 //! mosaic batch --bench all [--mode fast|exact] [--preset contest|fast]
 //!              [--grid 512] [--pixel 2] [--iterations 20] [--jobs 4]
 //!              [--report report.jsonl] [--resume ckpt/] [--deadline-s 600]
+//!              [--job-timeout-ms 30000] [--stall-grace-ms 5000]
 //! ```
 //!
 //! * `gen` writes one of the built-in benchmark clips as GLP text.
@@ -19,6 +20,11 @@
 //!   streaming JSONL progress events to `--report` and printing a
 //!   Table-2-style per-clip summary. `--resume <dir>` enables
 //!   checkpointing there and resumes any checkpoints it already holds.
+//!   `--jobs` defaults to the host's available parallelism and is
+//!   clamped to it. `--job-timeout-ms` puts a wall-clock budget on each
+//!   job and `--stall-grace-ms` tunes the heartbeat watchdog; attempts
+//!   that blow either are cancelled, downshifted one degradation rung
+//!   and retried, with best-so-far results salvaged into the summary.
 
 use mosaic_suite::prelude::*;
 use std::collections::HashMap;
@@ -47,7 +53,8 @@ const USAGE: &str = "usage:
                [--grid <px>] [--pixel <nm>] [--iterations <n>] [--jobs <n>]
                [--report <report.jsonl>] [--resume <ckpt-dir>]
                [--checkpoint-every <n>] [--retries <n>]
-               [--retry-backoff-ms <ms>] [--deadline-s <s>]";
+               [--retry-backoff-ms <ms>] [--deadline-s <s>]
+               [--job-timeout-ms <ms>] [--stall-grace-ms <ms>]";
 
 /// The flags each subcommand accepts; anything else is an error.
 const GEN_FLAGS: &[&str] = &["bench", "out"];
@@ -75,6 +82,8 @@ const BATCH_FLAGS: &[&str] = &[
     "retries",
     "retry-backoff-ms",
     "deadline-s",
+    "job-timeout-ms",
+    "stall-grace-ms",
 ];
 
 /// Parses `--key value` pairs after the subcommand, rejecting flags the
@@ -313,7 +322,13 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|clip| JobSpec::new(clip, mode, config.clone()))
         .collect();
 
-    let jobs = count_flag(flags, "jobs", 1)?;
+    let requested_jobs = count_flag(flags, "jobs", default_workers())?;
+    let jobs = clamp_workers(requested_jobs);
+    if jobs != requested_jobs {
+        eprintln!(
+            "note: --jobs {requested_jobs} exceeds this host's parallelism; clamped to {jobs}"
+        );
+    }
     let deadline = match flags.get("deadline-s") {
         Some(_) => Some(Duration::from_secs_f64(positive_flag(
             flags,
@@ -322,6 +337,20 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         )?)),
         None => None,
     };
+    let job_timeout = match flags.get("job-timeout-ms") {
+        Some(_) => Some(Duration::from_millis(
+            count_flag(flags, "job-timeout-ms", 0)? as u64,
+        )),
+        None => None,
+    };
+    let mut supervise = SupervisorConfig {
+        job_timeout,
+        ..SupervisorConfig::default()
+    };
+    if flags.contains_key("stall-grace-ms") {
+        supervise.stall_grace =
+            Duration::from_millis(count_flag(flags, "stall-grace-ms", 0)? as u64);
+    }
     let batch_config = BatchConfig {
         workers: jobs,
         retries: numeric_flag(flags, "retries", 1u32)?,
@@ -330,6 +359,7 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         checkpoint_dir: flags.get("resume").map(PathBuf::from),
         checkpoint_every: numeric_flag(flags, "checkpoint-every", 1usize)?,
         deadline,
+        supervise,
         ..BatchConfig::default()
     };
     eprintln!(
