@@ -131,15 +131,16 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
 
     // Supervision: every attempt registers with the supervisor; the
     // watchdog thread scans for budget overruns and heartbeat stalls
-    // for as long as the pool runs.
+    // for as long as the pool runs. With both limits disabled there is
+    // nothing to enforce, so no watchdog thread is spawned at all.
     let supervisor = Arc::new(Supervisor::new(config.supervise.clone()));
     let watchdog_stop = Arc::new(AtomicBool::new(false));
-    let watchdog = {
+    let watchdog = config.supervise.enabled().then(|| {
         let supervisor = Arc::clone(&supervisor);
         let events = Arc::clone(&events);
         let stop = Arc::clone(&watchdog_stop);
         std::thread::spawn(move || supervisor.watch(&events, &stop))
-    };
+    });
 
     let ctx = JobContext {
         cache: &cache,
@@ -172,7 +173,9 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         &runner,
     );
     watchdog_stop.store(true, Ordering::SeqCst);
-    let _ = watchdog.join();
+    if let Some(watchdog) = watchdog {
+        let _ = watchdog.join();
+    }
 
     let mut finished = 0usize;
     let mut failed = 0usize;

@@ -123,7 +123,9 @@ pub enum Event {
         cancelled: usize,
         /// Jobs whose final attempt timed out under supervision.
         timed_out: usize,
-        /// Sum of quality scores over finished jobs.
+        /// Sum of runtime-excluded quality scores over everything the
+        /// batch produced: finished jobs plus salvaged partial results
+        /// from cancelled, timed-out and failed jobs.
         total_quality_score: f64,
         /// Batch wall time, seconds.
         wall_s: f64,

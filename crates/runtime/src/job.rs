@@ -14,7 +14,7 @@ use crate::degrade::DegradationLadder;
 use crate::events::{Event, EventSink};
 use crate::fault::FaultPlan;
 use crate::scheduler::CancelToken;
-use crate::supervise::{AttemptGuard, Supervisor};
+use crate::supervise::{AttemptGuard, JobSlot, Supervisor};
 use mosaic_core::{
     Heartbeat, IterationControl, IterationView, MaskState, Mosaic, MosaicConfig, MosaicMode,
     NoHeartbeat, OptimizerError,
@@ -57,8 +57,8 @@ pub enum JobStatus {
     /// best-so-far mask was salvage-scored.
     Cancelled,
     /// The supervision watchdog stopped the final attempt (per-job
-    /// budget overrun or repeated heartbeat stall); the best-so-far
-    /// mask was salvage-scored.
+    /// budget overrun or heartbeat stall); the best-so-far mask was
+    /// salvage-scored.
     TimedOut,
 }
 
@@ -200,9 +200,10 @@ pub struct JobContext<'a> {
     /// reruns the original configuration on every attempt.
     pub ladder: Option<&'a DegradationLadder>,
     /// Total attempts the scheduler grants this job (`1 + retries`).
-    /// A supervision timeout on a non-final attempt returns an error so
-    /// the scheduler retries (one ladder rung down); on the final
-    /// attempt it yields a salvaged [`JobStatus::TimedOut`] report.
+    /// A supervision stop (budget overrun or stall) on a non-final
+    /// attempt returns an error so the scheduler retries (one ladder
+    /// rung down); on the final attempt it yields a salvaged
+    /// [`JobStatus::TimedOut`] report.
     pub max_attempts: u32,
 }
 
@@ -479,22 +480,30 @@ pub fn execute_job_in(
             .get(result.best_iteration)
             .map_or(f64::NAN, |r| r.report.total);
         if cancelled {
-            let timed_out = slot.is_some_and(|s| s.timed_out());
-            if timed_out && attempt < ctx.max_attempts {
+            // Who asked for the stop decides the path. The batch token
+            // or deadline is an ordinary cancellation: salvage and
+            // report, never retry. A stop on the *slot* is a watchdog
+            // intervention (budget overrun or detected stall) — and a
+            // stall strike sets only the stop flag at first, so a
+            // worker that recovers before the hard-stall escalation
+            // still carries stop without timed_out; both shapes must
+            // take the degraded-retry path while retries remain.
+            let supervised = slot.is_some_and(JobSlot::stop_requested) && !ctx.stop_requested();
+            if supervised && attempt < ctx.max_attempts {
                 // The watchdog cut this attempt short but retries
                 // remain: fail the attempt so the scheduler reruns the
                 // job one ladder rung down (the downshift was already
                 // recorded at detection; the checkpoint above keeps the
                 // progress when the grid rung allows a resume).
                 return Err(format!(
-                    "attempt timed out under supervision after {iterations} iteration(s)"
+                    "attempt stopped by supervision after {iterations} iteration(s)"
                 ));
             }
             // Partial-result salvage: the optimizer returned its
             // best-so-far mask (it restores the best iterate on stop),
             // so score it — Eq. (22) pays for whatever is shipped, and
             // a scored partial mask always beats returning nothing.
-            let status = if timed_out {
+            let status = if supervised || slot.is_some_and(|s| s.timed_out()) {
                 JobStatus::TimedOut
             } else {
                 JobStatus::Cancelled

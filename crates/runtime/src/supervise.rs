@@ -14,11 +14,13 @@
 //!   `Mosaic::run_supervised`);
 //! * a dedicated watchdog thread ([`Supervisor::watch`]) scans the
 //!   registered slots: an attempt whose heartbeat is older than the
-//!   stall grace period, or whose wall clock exceeds the per-job
-//!   budget, is asked to stop via a *per-job* stop flag (independent of
-//!   the batch-wide token) and marked timed out, with a structured
-//!   `fault` event (`"stall_detected"` / `"job_timeout"`) in the JSONL
-//!   report;
+//!   stall grace period (when stall detection is enabled), or whose
+//!   wall clock exceeds the per-job budget, is asked to stop via a
+//!   *per-job* stop flag (independent of the batch-wide token), with a
+//!   structured `fault` event (`"stall_detected"` / `"job_timeout"`)
+//!   in the JSONL report; a budget overrun is marked timed out
+//!   immediately, a stall only once a second grace period passes with
+//!   no recovery;
 //! * each watchdog intervention — and each optimizer divergence the job
 //!   runner reports via [`Supervisor::note_downshift`] — bumps the
 //!   job's *downshift counter*, which the degradation ladder
@@ -40,38 +42,40 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Supervision knobs for one batch.
-#[derive(Debug, Clone)]
+/// Supervision knobs for one batch. The default disables every limit:
+/// supervision is strictly opt-in.
+#[derive(Debug, Clone, Default)]
 pub struct SupervisorConfig {
     /// Per-attempt wall-clock budget; `None` disables budget
-    /// enforcement (heartbeat stall detection stays on).
+    /// enforcement.
     pub job_timeout: Option<Duration>,
-    /// Maximum heartbeat age before an attempt counts as stalled. Must
+    /// Maximum heartbeat age before an attempt counts as stalled;
+    /// `None` (the default) disables stall detection. A safe grace must
     /// comfortably exceed one objective evaluation at the batch's
     /// largest grid — the optimizer beats a few times per iteration,
-    /// not inside the spectral kernels.
-    pub stall_grace: Duration,
+    /// not inside the spectral kernels — and only the caller knows that
+    /// scale, so stall detection is strictly opt-in.
+    pub stall_grace: Option<Duration>,
     /// Watchdog scan interval; `None` derives a quarter of the tightest
     /// enforced limit, clamped to 5–250 ms.
     pub poll: Option<Duration>,
 }
 
-impl Default for SupervisorConfig {
-    fn default() -> Self {
-        SupervisorConfig {
-            job_timeout: None,
-            stall_grace: Duration::from_secs(30),
-            poll: None,
-        }
-    }
-}
-
 impl SupervisorConfig {
+    /// Whether any supervision limit is enabled. When `false` the
+    /// watchdog has nothing to enforce and no thread need be spawned.
+    pub fn enabled(&self) -> bool {
+        self.job_timeout.is_some() || self.stall_grace.is_some()
+    }
+
     fn poll_interval(&self) -> Duration {
         self.poll.unwrap_or_else(|| {
-            let tightest = self
-                .job_timeout
-                .map_or(self.stall_grace, |t| t.min(self.stall_grace));
+            let tightest = match (self.job_timeout, self.stall_grace) {
+                (Some(t), Some(g)) => t.min(g),
+                (Some(t), None) => t,
+                (None, Some(g)) => g,
+                (None, None) => return Duration::from_millis(250),
+            };
             (tightest / 4).clamp(Duration::from_millis(5), Duration::from_millis(250))
         })
     }
@@ -102,6 +106,10 @@ pub struct JobSlot {
     last_strike_ms: AtomicU64,
     /// The budget fault event fired (emit once).
     budget_noted: AtomicBool,
+    /// A supervision downshift was recorded for this attempt: a budget
+    /// overrun and a stall in the same episode must cost one ladder
+    /// rung, not two.
+    downshift_noted: AtomicBool,
 }
 
 impl JobSlot {
@@ -204,6 +212,7 @@ impl Supervisor {
             strikes: AtomicU32::new(0),
             last_strike_ms: AtomicU64::new(now),
             budget_noted: AtomicBool::new(false),
+            downshift_noted: AtomicBool::new(false),
         });
         let mut slots = self.lock_slots();
         slots.retain(|s| !s.done.load(Ordering::SeqCst));
@@ -224,13 +233,20 @@ impl Supervisor {
         *self.lock_downshifts().entry(job.to_string()).or_insert(0) += 1;
     }
 
+    /// Records a watchdog-originated downshift, at most once per
+    /// attempt (budget overrun and stall strikes share the cap).
+    fn note_slot_downshift(&self, slot: &JobSlot) {
+        if !slot.downshift_noted.swap(true, Ordering::SeqCst) {
+            self.note_downshift(&slot.job);
+        }
+    }
+
     /// One watchdog pass over the live slots: enforces the per-job
     /// budget and the heartbeat grace period, emitting `fault` events
     /// on every transition. Public so tests can drive scans without a
     /// thread.
     pub fn scan(&self, events: &EventSink) {
         let now = self.epoch.elapsed().as_millis() as u64;
-        let grace_ms = self.config.stall_grace.as_millis() as u64;
         let live: Vec<Arc<JobSlot>> = self
             .lock_slots()
             .iter()
@@ -244,7 +260,7 @@ impl Supervisor {
                 if elapsed > budget_ms && !slot.budget_noted.swap(true, Ordering::SeqCst) {
                     slot.timed_out.store(true, Ordering::SeqCst);
                     slot.stop.store(true, Ordering::SeqCst);
-                    self.note_downshift(&slot.job);
+                    self.note_slot_downshift(&slot);
                     events.emit(&Event::Fault {
                         job: slot.job.clone(),
                         attempt: slot.attempt,
@@ -255,6 +271,16 @@ impl Supervisor {
                     });
                 }
             }
+            // A slot that is already timed out — budget overrun above,
+            // or an earlier hard stall — needs no stall bookkeeping on
+            // top: the attempt is stopped and its downshift recorded.
+            if slot.timed_out() {
+                continue;
+            }
+            let Some(grace) = self.config.stall_grace else {
+                continue;
+            };
+            let grace_ms = grace.as_millis() as u64;
             let reference = slot
                 .last_beat_ms
                 .load(Ordering::SeqCst)
@@ -268,7 +294,7 @@ impl Supervisor {
                     1 => {
                         // First miss: cancel the attempt and line up a
                         // degraded retry.
-                        self.note_downshift(&slot.job);
+                        self.note_slot_downshift(&slot);
                         events.emit(&Event::Fault {
                             job: slot.job.clone(),
                             attempt: slot.attempt,
@@ -322,7 +348,7 @@ mod tests {
     fn fast_config() -> SupervisorConfig {
         SupervisorConfig {
             job_timeout: Some(Duration::from_millis(40)),
-            stall_grace: Duration::from_millis(30),
+            stall_grace: Some(Duration::from_millis(30)),
             poll: Some(Duration::from_millis(5)),
         }
     }
@@ -381,7 +407,7 @@ mod tests {
     #[test]
     fn budget_overrun_times_out_even_with_beats() {
         let sup = Supervisor::new(SupervisorConfig {
-            stall_grace: Duration::from_secs(30),
+            stall_grace: Some(Duration::from_secs(30)),
             ..fast_config()
         });
         let events = EventSink::null();
@@ -409,11 +435,47 @@ mod tests {
     fn derived_poll_interval_tracks_the_tightest_limit() {
         let cfg = SupervisorConfig {
             job_timeout: Some(Duration::from_millis(100)),
-            stall_grace: Duration::from_secs(30),
+            stall_grace: Some(Duration::from_secs(30)),
             poll: None,
         };
         assert_eq!(cfg.poll_interval(), Duration::from_millis(25));
         let cfg = SupervisorConfig::default();
-        assert_eq!(cfg.poll_interval(), Duration::from_millis(250), "clamped");
+        assert!(!cfg.enabled(), "both limits default off");
+        assert_eq!(cfg.poll_interval(), Duration::from_millis(250), "fallback");
+    }
+
+    #[test]
+    fn stall_detection_is_opt_in() {
+        // Default config: no budget, no stall grace — a silent attempt
+        // is never flagged, however long it goes without beating.
+        let sup = Supervisor::new(SupervisorConfig {
+            poll: Some(Duration::from_millis(5)),
+            ..SupervisorConfig::default()
+        });
+        let events = EventSink::null();
+        let guard = sup.register("B1-fast", 1);
+        std::thread::sleep(Duration::from_millis(45));
+        sup.scan(&events);
+        assert!(!guard.slot().stop_requested());
+        assert!(!guard.slot().timed_out());
+        assert_eq!(sup.downshifts("B1-fast"), 0);
+    }
+
+    #[test]
+    fn budget_and_stall_in_one_pass_downshift_once() {
+        // 50 ms of silence blows both the 40 ms budget and the 30 ms
+        // grace in the same scan pass; the attempt must still cost one
+        // ladder rung, not two.
+        let sup = Supervisor::new(fast_config());
+        let events = EventSink::null();
+        let guard = sup.register("B5-fast", 1);
+        std::thread::sleep(Duration::from_millis(50));
+        sup.scan(&events);
+        assert!(guard.slot().stop_requested());
+        assert!(guard.slot().timed_out());
+        assert_eq!(sup.downshifts("B5-fast"), 1, "one rung per attempt");
+        std::thread::sleep(Duration::from_millis(40));
+        sup.scan(&events);
+        assert_eq!(sup.downshifts("B5-fast"), 1, "later passes add nothing");
     }
 }

@@ -229,7 +229,7 @@ fn injected_stall_is_detected_cancelled_and_retried_degraded() {
         faults: FaultPlan::new().inject(&job, 1, FaultKind::Stall { millis: 400 }),
         supervise: SupervisorConfig {
             job_timeout: None,
-            stall_grace: Duration::from_millis(80),
+            stall_grace: Some(Duration::from_millis(80)),
             poll: Some(Duration::from_millis(10)),
         },
         ..BatchConfig::default()
@@ -264,6 +264,54 @@ fn injected_stall_is_detected_cancelled_and_retried_degraded() {
             .iter()
             .any(|l| l.contains("\"event\":\"degrade\"") && l.contains("\"step\":1")),
         "degraded retry was not reported"
+    );
+}
+
+/// A worker that goes quiet for one grace period but wakes up before
+/// the hard-stall escalation carries a stop flag without `timed_out`.
+/// That stop is still a supervision intervention: with retries
+/// remaining the attempt must fail and rerun one degradation rung
+/// down, not come back as a terminal cancelled report with a partial
+/// salvaged score.
+#[test]
+fn stall_strike_one_recovery_is_retried_not_cancelled() {
+    let dir = temp_dir("stall_recovery");
+    let report = dir.join("report.jsonl");
+    let spec = tiny_spec(BenchmarkId::B1, 4);
+    let job = spec.id.clone();
+    let config = BatchConfig {
+        retries: 1,
+        report: Some(report.clone()),
+        // The 150 ms stall misses exactly one 100 ms grace period: the
+        // watchdog cancels at strike 1, then the worker wakes well
+        // before the second grace elapses and polls the stop flag.
+        faults: FaultPlan::new().inject(&job, 1, FaultKind::Stall { millis: 150 }),
+        supervise: SupervisorConfig {
+            job_timeout: None,
+            stall_grace: Some(Duration::from_millis(100)),
+            poll: Some(Duration::from_millis(10)),
+        },
+        ..BatchConfig::default()
+    };
+    let outcome = run_batch(std::slice::from_ref(&spec), &config).unwrap();
+
+    assert_eq!(outcome.finished, 1);
+    assert_eq!(outcome.cancelled, 0, "a recovered stall must not cancel");
+    match &outcome.results[0] {
+        JobExecution::Success { result, attempts } => {
+            assert_eq!(result.status, JobStatus::Finished);
+            assert_eq!(*attempts, 2, "stalled attempt failed, retry finished");
+            assert_eq!(result.degrade_step, 1, "retry ran one ladder rung down");
+            assert!(!result.degraded, "the retry completed, nothing salvaged");
+        }
+        other => panic!("expected retried success, got {other:?}"),
+    }
+    let lines = report_lines(&report);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"fault\"") && l.contains("\"kind\":\"stall_detected\"")),
+        "watchdog did not report the stall detection"
     );
 }
 

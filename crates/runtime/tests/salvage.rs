@@ -141,7 +141,7 @@ fn budget_timeout_on_final_attempt_salvages_and_counts_as_timed_out() {
         faults: FaultPlan::new().inject(&job, 1, FaultKind::Stall { millis: 150 }),
         supervise: SupervisorConfig {
             job_timeout: Some(Duration::from_millis(60)),
-            stall_grace: Duration::from_secs(10),
+            stall_grace: Some(Duration::from_secs(10)),
             poll: Some(Duration::from_millis(10)),
         },
         ..BatchConfig::default()

@@ -22,9 +22,11 @@
 //!   checkpointing there and resumes any checkpoints it already holds.
 //!   `--jobs` defaults to the host's available parallelism and is
 //!   clamped to it. `--job-timeout-ms` puts a wall-clock budget on each
-//!   job and `--stall-grace-ms` tunes the heartbeat watchdog; attempts
-//!   that blow either are cancelled, downshifted one degradation rung
-//!   and retried, with best-so-far results salvaged into the summary.
+//!   job and `--stall-grace-ms` enables the heartbeat watchdog (both
+//!   are off unless given — a safe grace depends on the batch's grid
+//!   size); attempts that blow either limit are cancelled, downshifted
+//!   one degradation rung and retried, with best-so-far results
+//!   salvaged into the summary.
 
 use mosaic_suite::prelude::*;
 use std::collections::HashMap;
@@ -343,14 +345,17 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         )),
         None => None,
     };
-    let mut supervise = SupervisorConfig {
+    let stall_grace = match flags.get("stall-grace-ms") {
+        Some(_) => Some(Duration::from_millis(
+            count_flag(flags, "stall-grace-ms", 0)? as u64,
+        )),
+        None => None,
+    };
+    let supervise = SupervisorConfig {
         job_timeout,
+        stall_grace,
         ..SupervisorConfig::default()
     };
-    if flags.contains_key("stall-grace-ms") {
-        supervise.stall_grace =
-            Duration::from_millis(count_flag(flags, "stall-grace-ms", 0)? as u64);
-    }
     let batch_config = BatchConfig {
         workers: jobs,
         retries: numeric_flag(flags, "retries", 1u32)?,
