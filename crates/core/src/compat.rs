@@ -1,0 +1,323 @@
+//! Deprecated entry points kept one release as thin shims over
+//! [`ExecutionSession`].
+//!
+//! Three PRs of cross-cutting concerns (pooled workspaces, heartbeats,
+//! supervision) each grafted another near-duplicate entry point onto the
+//! optimizer and onto [`Mosaic`] — `*_with`, `*_in`, `*_supervised`. The
+//! session pipeline replaces the whole family: each shim below maps its
+//! legacy knobs (per-iteration hook, workspace, heartbeat) onto one
+//! instrument and delegates. The shims are bit- and beat-identical to
+//! the pre-session implementations; they will be deleted next release.
+//!
+//! | Legacy call | Session equivalent |
+//! |---|---|
+//! | `optimize_with(p, cfg, start, hook)` | `ExecutionSession::from_start(p, cfg, start).run_instrumented(..)` |
+//! | `optimize_in(.., ws)` | `.workspace(ws)` on the session builder |
+//! | `optimize_supervised(.., ws, pulse)` | an instrument's `on_objective_eval` |
+//! | `Mosaic::run_with(mode, hook)` | `Mosaic::session(mode).run_instrumented(..)` |
+//! | `Mosaic::resume_with(mode, cp, hook)` | `Mosaic::resume_session(mode, cp)...` |
+
+#![allow(deprecated)]
+
+use crate::error::OptimizerError;
+use crate::mosaic::{Mosaic, MosaicMode};
+use crate::optimizer::{
+    Heartbeat, IterationControl, IterationView, NoHeartbeat, OptimizationConfig,
+    OptimizationResult, OptimizerCheckpoint, OptimizerStart,
+};
+use crate::problem::OpcProblem;
+use crate::session::{ExecutionSession, Instrument};
+use mosaic_numerics::Workspace;
+
+/// Adapts the legacy `(hook, pulse)` pair onto the [`Instrument`]
+/// hooks: iteration-start and post-evaluation beats go to the pulse,
+/// iteration-end goes to the hook — the exact beat/hook sites of the
+/// pre-session loop.
+struct LegacyInstrument<'h, 'p> {
+    hook: &'h mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+    pulse: &'p dyn Heartbeat,
+}
+
+impl Instrument for LegacyInstrument<'_, '_> {
+    fn on_iteration_start(&mut self, _iteration: usize) {
+        self.pulse.beat();
+    }
+    fn on_objective_eval(&mut self) {
+        self.pulse.beat();
+    }
+    fn on_iteration_end(&mut self, view: &IterationView<'_>) -> IterationControl {
+        (self.hook)(view)
+    }
+}
+
+/// Runs Alg. 1 with full lifecycle control: an arbitrary starting point
+/// (fresh mask or checkpoint) and a per-iteration hook.
+///
+/// # Errors
+///
+/// Exactly as [`ExecutionSession::run_instrumented`].
+#[deprecated(note = "build an `ExecutionSession` and pass an `Instrument` instead")]
+pub fn optimize_with(
+    problem: &OpcProblem,
+    config: &OptimizationConfig,
+    start: OptimizerStart<'_>,
+    hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+) -> Result<OptimizationResult, OptimizerError> {
+    ExecutionSession::from_start(problem, config.clone(), start).run_instrumented(
+        &mut LegacyInstrument {
+            hook,
+            pulse: &NoHeartbeat,
+        },
+    )
+}
+
+/// Workspace-pooled twin of [`optimize_with`].
+///
+/// # Errors
+///
+/// Exactly as [`ExecutionSession::run_instrumented`].
+#[deprecated(note = "use `ExecutionSession::workspace` on the session builder instead")]
+pub fn optimize_in(
+    problem: &OpcProblem,
+    config: &OptimizationConfig,
+    start: OptimizerStart<'_>,
+    hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+    ws: &mut Workspace,
+) -> Result<OptimizationResult, OptimizerError> {
+    ExecutionSession::from_start(problem, config.clone(), start)
+        .workspace(ws)
+        .run_instrumented(&mut LegacyInstrument {
+            hook,
+            pulse: &NoHeartbeat,
+        })
+}
+
+/// Heartbeat-instrumented twin of [`optimize_in`].
+///
+/// # Errors
+///
+/// Exactly as [`ExecutionSession::run_instrumented`].
+#[deprecated(note = "implement `Instrument::on_objective_eval` on a session instrument instead")]
+pub fn optimize_supervised(
+    problem: &OpcProblem,
+    config: &OptimizationConfig,
+    start: OptimizerStart<'_>,
+    hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+    ws: &mut Workspace,
+    pulse: &dyn Heartbeat,
+) -> Result<OptimizationResult, OptimizerError> {
+    ExecutionSession::from_start(problem, config.clone(), start)
+        .workspace(ws)
+        .run_instrumented(&mut LegacyInstrument { hook, pulse })
+}
+
+/// Deprecated hook/workspace/heartbeat variants of [`Mosaic::run`] and
+/// the checkpoint-resume family, shimmed over [`Mosaic::session`] /
+/// [`Mosaic::resume_session`].
+impl Mosaic {
+    /// Runs with a per-iteration hook.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Mosaic::run`].
+    #[deprecated(note = "use `Mosaic::session(mode).run_instrumented(..)` instead")]
+    pub fn run_with(
+        &self,
+        mode: MosaicMode,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+    ) -> Result<OptimizationResult, OptimizerError> {
+        self.session(mode).run_instrumented(&mut LegacyInstrument {
+            hook,
+            pulse: &NoHeartbeat,
+        })
+    }
+
+    /// Workspace-pooled twin of [`Mosaic::run_with`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Mosaic::run`].
+    #[deprecated(note = "use `Mosaic::session(mode).workspace(ws).run_instrumented(..)` instead")]
+    pub fn run_in(
+        &self,
+        mode: MosaicMode,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+        ws: &mut Workspace,
+    ) -> Result<OptimizationResult, OptimizerError> {
+        self.session(mode)
+            .workspace(ws)
+            .run_instrumented(&mut LegacyInstrument {
+                hook,
+                pulse: &NoHeartbeat,
+            })
+    }
+
+    /// Heartbeat-instrumented twin of [`Mosaic::run_in`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Mosaic::run`].
+    #[deprecated(
+        note = "implement `Instrument::on_objective_eval` on a session instrument instead"
+    )]
+    pub fn run_supervised(
+        &self,
+        mode: MosaicMode,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+        ws: &mut Workspace,
+        pulse: &dyn Heartbeat,
+    ) -> Result<OptimizationResult, OptimizerError> {
+        self.session(mode)
+            .workspace(ws)
+            .run_instrumented(&mut LegacyInstrument { hook, pulse })
+    }
+
+    /// Resumes a checkpointed run with a per-iteration hook.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Mosaic::run`], plus
+    /// [`OptimizerError::CheckpointExhausted`].
+    #[deprecated(
+        note = "use `Mosaic::resume_session(mode, checkpoint).run_instrumented(..)` instead"
+    )]
+    pub fn resume_with(
+        &self,
+        mode: MosaicMode,
+        checkpoint: OptimizerCheckpoint,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+    ) -> Result<OptimizationResult, OptimizerError> {
+        self.resume_session(mode, checkpoint)
+            .run_instrumented(&mut LegacyInstrument {
+                hook,
+                pulse: &NoHeartbeat,
+            })
+    }
+
+    /// Workspace-pooled twin of [`Mosaic::resume_with`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Mosaic::resume_with`].
+    #[deprecated(
+        note = "use `Mosaic::resume_session(mode, checkpoint).workspace(ws).run_instrumented(..)` instead"
+    )]
+    pub fn resume_in(
+        &self,
+        mode: MosaicMode,
+        checkpoint: OptimizerCheckpoint,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+        ws: &mut Workspace,
+    ) -> Result<OptimizationResult, OptimizerError> {
+        self.resume_session(mode, checkpoint)
+            .workspace(ws)
+            .run_instrumented(&mut LegacyInstrument {
+                hook,
+                pulse: &NoHeartbeat,
+            })
+    }
+
+    /// Heartbeat-instrumented twin of [`Mosaic::resume_in`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Mosaic::resume_with`].
+    #[deprecated(
+        note = "implement `Instrument::on_objective_eval` on a session instrument instead"
+    )]
+    pub fn resume_supervised(
+        &self,
+        mode: MosaicMode,
+        checkpoint: OptimizerCheckpoint,
+        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
+        ws: &mut Workspace,
+        pulse: &dyn Heartbeat,
+    ) -> Result<OptimizationResult, OptimizerError> {
+        self.resume_session(mode, checkpoint)
+            .workspace(ws)
+            .run_instrumented(&mut LegacyInstrument { hook, pulse })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_geometry::{Layout, Polygon, Rect};
+    use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+
+    fn small_problem() -> OpcProblem {
+        let mut layout = Layout::new(256, 256);
+        layout.push(Polygon::from_rect(Rect::new(64, 48, 160, 208)));
+        let optics = OpticsConfig::builder()
+            .grid(96, 96)
+            .pixel_nm(4.0)
+            .kernel_count(4)
+            .build()
+            .unwrap();
+        OpcProblem::from_layout(
+            &layout,
+            &optics,
+            ResistModel::paper(),
+            ProcessCondition::nominal_only(),
+            40,
+        )
+        .unwrap()
+    }
+
+    /// The deprecated shims must stay bit-identical to the session path
+    /// for their one-release grace period.
+    #[test]
+    fn legacy_shims_are_bit_identical_to_sessions() {
+        let p = small_problem();
+        let cfg = OptimizationConfig {
+            max_iterations: 5,
+            ..OptimizationConfig::default()
+        };
+        let session = ExecutionSession::from_mask(&p, cfg.clone(), p.target())
+            .run()
+            .unwrap();
+        let legacy = optimize_with(&p, &cfg, OptimizerStart::Mask(p.target()), &mut |_| {
+            IterationControl::Continue
+        })
+        .unwrap();
+        assert_eq!(session.binary_mask, legacy.binary_mask);
+        for (a, b) in session.history.iter().zip(&legacy.history) {
+            assert_eq!(a.report.total.to_bits(), b.report.total.to_bits());
+            assert_eq!(a.step.to_bits(), b.step.to_bits());
+        }
+
+        let mut ws = Workspace::new();
+        let pooled = optimize_in(
+            &p,
+            &cfg,
+            OptimizerStart::Mask(p.target()),
+            &mut |_| IterationControl::Continue,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(session.binary_mask, pooled.binary_mask);
+    }
+
+    /// The legacy hook still sees every iteration and its Stop is
+    /// honored.
+    #[test]
+    fn legacy_hook_stop_is_honored() {
+        let p = small_problem();
+        let cfg = OptimizationConfig {
+            max_iterations: 6,
+            ..OptimizationConfig::default()
+        };
+        let mut seen = 0usize;
+        let r = optimize_with(&p, &cfg, OptimizerStart::Mask(p.target()), &mut |_view| {
+            seen += 1;
+            if seen >= 2 {
+                IterationControl::Stop
+            } else {
+                IterationControl::Continue
+            }
+        })
+        .unwrap();
+        assert_eq!(seen, 2);
+        assert_eq!(r.history.len(), 2);
+    }
+}

@@ -25,14 +25,19 @@
 //! * [`objective`] — the three objective terms with closed-form gradients,
 //!   in both per-kernel (exact adjoint) and combined-kernel (Eq. (21))
 //!   modes.
-//! * [`optimizer`] — Alg. 1: gradient descent with RMS stopping, the jump
-//!   technique and best-iterate tracking.
+//! * [`optimizer`] — Alg. 1's types: configuration, iteration records,
+//!   checkpoints, and the plain [`optimizer::optimize`] entry point.
+//! * [`session`] — the [`ExecutionSession`] pipeline every entry point
+//!   resolves to, with the composable [`Instrument`] hook trait.
+//! * [`compat`] — deprecated pre-session entry points, kept one release
+//!   as thin shims.
 //! * [`psm`] — the phase-shifting-mask extension (three-level
 //!   transmission, per the paper's ref. 10).
 //! * [`sraf`] — rule-based sub-resolution assist feature insertion for
 //!   the initial mask.
 //! * [`mosaic`] — the high-level [`Mosaic`] driver with
-//!   [`Mosaic::run_fast`]/[`Mosaic::run_exact`].
+//!   [`Mosaic::run_fast`]/[`Mosaic::run_exact`] and the
+//!   [`Mosaic::session`] builder.
 //!
 //! # Example
 //!
@@ -55,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compat;
 pub mod error;
 pub mod mask;
 pub mod mosaic;
@@ -62,33 +68,42 @@ pub mod objective;
 pub mod optimizer;
 pub mod problem;
 pub mod psm;
+pub mod session;
 pub mod sraf;
 
+#[allow(deprecated)]
+pub use compat::{optimize_in, optimize_supervised, optimize_with};
 pub use error::{CoreError, OptimizerError};
 pub use mask::MaskState;
-pub use mosaic::{Mosaic, MosaicConfig, MosaicMode};
+pub use mosaic::{Mosaic, MosaicConfig, MosaicMode, MosaicPreset};
 pub use objective::{GradientMode, ObjectiveReport, TargetTerm};
 pub use optimizer::{
-    optimize_in, optimize_supervised, optimize_with, Heartbeat, IterationControl, IterationRecord,
-    IterationView, NoHeartbeat, OptimizationConfig, OptimizationResult, OptimizerCheckpoint,
-    OptimizerStart,
+    optimize, IterationControl, IterationRecord, IterationView, OptimizationConfig,
+    OptimizationResult, OptimizerCheckpoint, OptimizerStart,
 };
+#[allow(deprecated)]
+pub use optimizer::{Heartbeat, NoHeartbeat};
 pub use problem::{OpcProblem, PixelSample};
 pub use psm::{optimize_psm, PsmResult, PsmState};
+pub use session::{ExecutionSession, Instrument, NoInstrument};
 pub use sraf::SrafRules;
 
 /// The types almost every user of this crate needs.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use crate::compat::{optimize_in, optimize_supervised, optimize_with};
     pub use crate::error::{CoreError, OptimizerError};
     pub use crate::mask::MaskState;
-    pub use crate::mosaic::{Mosaic, MosaicConfig, MosaicMode};
+    pub use crate::mosaic::{Mosaic, MosaicConfig, MosaicMode, MosaicPreset};
     pub use crate::objective::{GradientMode, ObjectiveReport, TargetTerm};
     pub use crate::optimizer::{
-        optimize_in, optimize_supervised, optimize_with, Heartbeat, IterationControl,
-        IterationRecord, IterationView, NoHeartbeat, OptimizationConfig, OptimizationResult,
-        OptimizerCheckpoint, OptimizerStart,
+        optimize, IterationControl, IterationRecord, IterationView, OptimizationConfig,
+        OptimizationResult, OptimizerCheckpoint, OptimizerStart,
     };
+    #[allow(deprecated)]
+    pub use crate::optimizer::{Heartbeat, NoHeartbeat};
     pub use crate::problem::{OpcProblem, PixelSample};
     pub use crate::psm::{optimize_psm, PsmResult, PsmState};
+    pub use crate::session::{ExecutionSession, Instrument, NoInstrument};
     pub use crate::sraf::SrafRules;
 }

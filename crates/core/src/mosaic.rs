@@ -2,14 +2,12 @@
 
 use crate::error::{CoreError, OptimizerError};
 use crate::objective::TargetTerm;
-use crate::optimizer::{
-    optimize_in, optimize_supervised, optimize_with, Heartbeat, IterationControl, IterationView,
-    OptimizationConfig, OptimizationResult, OptimizerCheckpoint, OptimizerStart,
-};
+use crate::optimizer::{OptimizationConfig, OptimizationResult, OptimizerCheckpoint};
 use crate::problem::OpcProblem;
+use crate::session::ExecutionSession;
 use crate::sraf::SrafRules;
 use mosaic_geometry::Layout;
-use mosaic_numerics::{Grid, Workspace};
+use mosaic_numerics::Grid;
 use mosaic_optics::{LithoSimulator, OpticsConfig, ProcessCondition, ResistModel};
 use std::sync::Arc;
 
@@ -21,6 +19,30 @@ pub enum MosaicMode {
     /// `F_exact = α·F_epe + β·F_pvb` (Eq. (19)) — direct EPE
     /// minimization; best quality, more sample-dependent cost.
     Exact,
+}
+
+impl MosaicMode {
+    /// The design-target term this mode optimizes — the *single* place
+    /// the mode → objective mapping lives, so a session resumed from a
+    /// checkpoint can never disagree with a fresh run over what `Fast`
+    /// and `Exact` mean.
+    pub fn target_term(self) -> TargetTerm {
+        match self {
+            MosaicMode::Fast => TargetTerm::ImageDifference,
+            MosaicMode::Exact => TargetTerm::EdgePlacement,
+        }
+    }
+}
+
+/// The named configuration presets, unified so callers deriving a config
+/// from a spec and callers rebuilding one for a resumed session go
+/// through the same constructor (see [`MosaicConfig::preset`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosaicPreset {
+    /// The paper's full contest setup ([`MosaicConfig::contest`]).
+    Contest,
+    /// The reduced test/example preset ([`MosaicConfig::fast_preset`]).
+    Fast,
 }
 
 /// Everything needed to set up a MOSAIC run.
@@ -56,45 +78,60 @@ impl MosaicConfig {
     /// step × iterations (calibrated on B9: fixed budget leaves the EPE
     /// objective half-converged at 2 nm pixels).
     pub fn contest(grid: usize, pixel_nm: f64) -> Self {
-        let mut opt = OptimizationConfig::default();
-        // step 3 / 20 iterations at the 4 nm calibration pitch, scaling
-        // the combined budget ~linearly with resolution.
-        let fine = (4.0 / pixel_nm).max(1.0);
-        opt.step_size = 3.0 * fine.powf(0.75);
-        opt.max_iterations = (20.0 * fine.powf(0.6)).round() as usize;
-        MosaicConfig {
-            optics: OpticsConfig::contest_32nm(grid, pixel_nm),
-            resist: ResistModel::paper(),
-            conditions: ProcessCondition::contest_window(),
-            epe_spacing_nm: 40,
-            opt,
-            sraf: Some(SrafRules::contest()),
-        }
+        Self::preset(MosaicPreset::Contest, grid, pixel_nm)
     }
 
     /// A reduced preset for tests, examples and docs: 8 kernels, a
     /// 3-condition window, 8 iterations. Same physics, ~10× cheaper.
     pub fn fast_preset(grid: usize, pixel_nm: f64) -> Self {
-        // Contest optics with a reduced kernel count; skips the builder so
-        // the preset is infallible (the lint gate bans expect in library
-        // code).
-        let mut optics = OpticsConfig::contest_32nm(grid, pixel_nm);
-        optics.kernel_count = 8;
-        let opt = OptimizationConfig {
-            max_iterations: 8,
-            ..OptimizationConfig::default()
-        };
-        MosaicConfig {
-            optics,
-            resist: ResistModel::paper(),
-            conditions: vec![
-                ProcessCondition::NOMINAL,
-                ProcessCondition::new(25.0, 0.98),
-                ProcessCondition::new(-25.0, 1.02),
-            ],
-            epe_spacing_nm: 40,
-            opt,
-            sraf: Some(SrafRules::contest()),
+        Self::preset(MosaicPreset::Fast, grid, pixel_nm)
+    }
+
+    /// Builds a named preset — the single derivation behind
+    /// [`contest`](Self::contest) and [`fast_preset`](Self::fast_preset),
+    /// so a config rebuilt for a resumed or degraded session cannot
+    /// drift from the one the job spec was created with.
+    pub fn preset(preset: MosaicPreset, grid: usize, pixel_nm: f64) -> Self {
+        match preset {
+            MosaicPreset::Contest => {
+                let mut opt = OptimizationConfig::default();
+                // step 3 / 20 iterations at the 4 nm calibration pitch,
+                // scaling the combined budget ~linearly with resolution.
+                let fine = (4.0 / pixel_nm).max(1.0);
+                opt.step_size = 3.0 * fine.powf(0.75);
+                opt.max_iterations = (20.0 * fine.powf(0.6)).round() as usize;
+                MosaicConfig {
+                    optics: OpticsConfig::contest_32nm(grid, pixel_nm),
+                    resist: ResistModel::paper(),
+                    conditions: ProcessCondition::contest_window(),
+                    epe_spacing_nm: 40,
+                    opt,
+                    sraf: Some(SrafRules::contest()),
+                }
+            }
+            MosaicPreset::Fast => {
+                // Contest optics with a reduced kernel count; skips the
+                // builder so the preset is infallible (the lint gate bans
+                // expect in library code).
+                let mut optics = OpticsConfig::contest_32nm(grid, pixel_nm);
+                optics.kernel_count = 8;
+                let opt = OptimizationConfig {
+                    max_iterations: 8,
+                    ..OptimizationConfig::default()
+                };
+                MosaicConfig {
+                    optics,
+                    resist: ResistModel::paper(),
+                    conditions: vec![
+                        ProcessCondition::NOMINAL,
+                        ProcessCondition::new(25.0, 0.98),
+                        ProcessCondition::new(-25.0, 1.02),
+                    ],
+                    epe_spacing_nm: 40,
+                    opt,
+                    sraf: Some(SrafRules::contest()),
+                }
+            }
         }
     }
 }
@@ -179,14 +216,36 @@ impl Mosaic {
     }
 
     /// The optimizer configuration as specialized for `mode` (target
-    /// term swapped in) — what [`Mosaic::run`] actually executes.
+    /// term swapped in via [`MosaicMode::target_term`]) — what
+    /// [`Mosaic::run`] actually executes.
     pub fn config_for(&self, mode: MosaicMode) -> OptimizationConfig {
         let mut cfg = self.opt.clone();
-        cfg.target_term = match mode {
-            MosaicMode::Fast => TargetTerm::ImageDifference,
-            MosaicMode::Exact => TargetTerm::EdgePlacement,
-        };
+        cfg.target_term = mode.target_term();
         cfg
+    }
+
+    /// Builds an [`ExecutionSession`] for the selected variant, seeded
+    /// from the SRAF-enhanced initial mask. Chain
+    /// [`workspace`](ExecutionSession::workspace) /
+    /// [`checkpoints`](ExecutionSession::checkpoints) and run with
+    /// [`run`](ExecutionSession::run) or
+    /// [`run_instrumented`](ExecutionSession::run_instrumented) — the
+    /// single pipeline behind every `Mosaic` entry point.
+    pub fn session(&self, mode: MosaicMode) -> ExecutionSession<'_> {
+        ExecutionSession::from_mask(&self.problem, self.config_for(mode), &self.initial_mask)
+    }
+
+    /// Builds an [`ExecutionSession`] that resumes the selected variant
+    /// from a checkpoint captured by an earlier (interrupted) run,
+    /// continuing the identical trajectory. For a checkpoint captured on
+    /// a different grid, resample it first with
+    /// [`OptimizerCheckpoint::resample_to`].
+    pub fn resume_session(
+        &self,
+        mode: MosaicMode,
+        checkpoint: OptimizerCheckpoint,
+    ) -> ExecutionSession<'_> {
+        ExecutionSession::from_checkpoint(&self.problem, self.config_for(mode), checkpoint)
     }
 
     /// Runs the selected MOSAIC variant.
@@ -197,156 +256,7 @@ impl Mosaic {
     /// [`OptimizerError::Diverged`], since construction already
     /// validated the configuration and shapes.
     pub fn run(&self, mode: MosaicMode) -> Result<OptimizationResult, OptimizerError> {
-        self.run_with(mode, &mut |_| IterationControl::Continue)
-    }
-
-    /// Runs the selected variant with a per-iteration hook — the batch
-    /// runtime's entry point for progress events, checkpointing and
-    /// cooperative cancellation (see
-    /// [`optimize_with`](crate::optimizer::optimize_with)).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`OptimizerError`] (see [`Mosaic::run`]).
-    pub fn run_with(
-        &self,
-        mode: MosaicMode,
-        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-    ) -> Result<OptimizationResult, OptimizerError> {
-        let cfg = self.config_for(mode);
-        optimize_with(
-            &self.problem,
-            &cfg,
-            OptimizerStart::Mask(&self.initial_mask),
-            hook,
-        )
-    }
-
-    /// Workspace-pooled twin of [`run_with`](Self::run_with): drawing the
-    /// spectral scratch buffers from `ws` lets a long-lived caller (the
-    /// batch runtime's worker threads) run iteration loops with zero heap
-    /// allocations once the pool is warm. Bit-identical to
-    /// [`run_with`](Self::run_with) — both resolve to
-    /// [`optimize_in`](crate::optimizer::optimize_in).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`OptimizerError`] (see [`Mosaic::run`]).
-    pub fn run_in(
-        &self,
-        mode: MosaicMode,
-        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-        ws: &mut Workspace,
-    ) -> Result<OptimizationResult, OptimizerError> {
-        let cfg = self.config_for(mode);
-        optimize_in(
-            &self.problem,
-            &cfg,
-            OptimizerStart::Mask(&self.initial_mask),
-            hook,
-            ws,
-        )
-    }
-
-    /// Heartbeat-instrumented twin of [`run_in`](Self::run_in): the
-    /// optimizer beats `pulse` every iteration so an external watchdog
-    /// can detect a wedged worker (see
-    /// [`Heartbeat`](crate::optimizer::Heartbeat)). Bit-identical to
-    /// [`run_in`](Self::run_in).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`OptimizerError`] (see [`Mosaic::run`]).
-    pub fn run_supervised(
-        &self,
-        mode: MosaicMode,
-        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-        ws: &mut Workspace,
-        pulse: &dyn Heartbeat,
-    ) -> Result<OptimizationResult, OptimizerError> {
-        let cfg = self.config_for(mode);
-        optimize_supervised(
-            &self.problem,
-            &cfg,
-            OptimizerStart::Mask(&self.initial_mask),
-            hook,
-            ws,
-            pulse,
-        )
-    }
-
-    /// Resumes the selected variant from a checkpoint captured by an
-    /// earlier (interrupted) run, continuing the identical trajectory.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`OptimizerError`], including
-    /// [`OptimizerError::CheckpointExhausted`] for a checkpoint with no
-    /// iterations left and [`OptimizerError::ShapeMismatch`] for one
-    /// from a different grid.
-    pub fn resume_with(
-        &self,
-        mode: MosaicMode,
-        checkpoint: OptimizerCheckpoint,
-        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-    ) -> Result<OptimizationResult, OptimizerError> {
-        let cfg = self.config_for(mode);
-        optimize_with(
-            &self.problem,
-            &cfg,
-            OptimizerStart::Checkpoint(checkpoint),
-            hook,
-        )
-    }
-
-    /// Workspace-pooled twin of [`resume_with`](Self::resume_with); see
-    /// [`run_in`](Self::run_in).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`OptimizerError`] (see
-    /// [`resume_with`](Self::resume_with)).
-    pub fn resume_in(
-        &self,
-        mode: MosaicMode,
-        checkpoint: OptimizerCheckpoint,
-        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-        ws: &mut Workspace,
-    ) -> Result<OptimizationResult, OptimizerError> {
-        let cfg = self.config_for(mode);
-        optimize_in(
-            &self.problem,
-            &cfg,
-            OptimizerStart::Checkpoint(checkpoint),
-            hook,
-            ws,
-        )
-    }
-
-    /// Heartbeat-instrumented twin of [`resume_in`](Self::resume_in);
-    /// see [`run_supervised`](Self::run_supervised).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`OptimizerError`] (see
-    /// [`resume_with`](Self::resume_with)).
-    pub fn resume_supervised(
-        &self,
-        mode: MosaicMode,
-        checkpoint: OptimizerCheckpoint,
-        hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-        ws: &mut Workspace,
-        pulse: &dyn Heartbeat,
-    ) -> Result<OptimizationResult, OptimizerError> {
-        let cfg = self.config_for(mode);
-        optimize_supervised(
-            &self.problem,
-            &cfg,
-            OptimizerStart::Checkpoint(checkpoint),
-            hook,
-            ws,
-            pulse,
-        )
+        self.session(mode).run()
     }
 
     /// Runs MOSAIC_fast (Eq. (20)).
@@ -425,6 +335,42 @@ mod tests {
         let b = m.run_fast().unwrap();
         assert_eq!(a.binary_mask, b.binary_mask);
         assert_eq!(a.best_iteration, b.best_iteration);
+    }
+
+    /// Satellite guard against preset drift: the named constructors and
+    /// the unified [`MosaicConfig::preset`] derivation must agree, so a
+    /// config rebuilt from a spec (or for a resumed session) round-trips
+    /// to the exact same configuration.
+    #[test]
+    fn named_presets_round_trip_through_unified_derivation() {
+        for (grid, pixel) in [(128usize, 4.0f64), (256, 4.0), (512, 2.0), (1024, 1.0)] {
+            let contest = MosaicConfig::contest(grid, pixel);
+            let unified = MosaicConfig::preset(MosaicPreset::Contest, grid, pixel);
+            assert_eq!(format!("{contest:?}"), format!("{unified:?}"));
+            let fast = MosaicConfig::fast_preset(grid, pixel);
+            let unified = MosaicConfig::preset(MosaicPreset::Fast, grid, pixel);
+            assert_eq!(format!("{fast:?}"), format!("{unified:?}"));
+        }
+    }
+
+    /// The mode → target-term mapping has exactly one home
+    /// ([`MosaicMode::target_term`]); `config_for` must go through it.
+    #[test]
+    fn config_for_round_trips_the_mode_mapping() {
+        let m = mosaic();
+        for mode in [MosaicMode::Fast, MosaicMode::Exact] {
+            assert_eq!(m.config_for(mode).target_term, mode.target_term());
+        }
+        assert_eq!(MosaicMode::Fast.target_term(), TargetTerm::ImageDifference);
+        assert_eq!(MosaicMode::Exact.target_term(), TargetTerm::EdgePlacement);
+    }
+
+    #[test]
+    fn session_builder_matches_run() {
+        let m = mosaic();
+        let direct = m.run_fast().unwrap();
+        let via_session = m.session(MosaicMode::Fast).run().unwrap();
+        assert_eq!(direct.binary_mask, via_session.binary_mask);
     }
 
     #[test]

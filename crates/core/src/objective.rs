@@ -84,7 +84,7 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
-    /// An empty evaluation for [`Objective::evaluate_with`] to fill; the
+    /// An empty evaluation for [`Objective::evaluate_into`] to fill; the
     /// gradient grid is sized on first use and reused afterwards, so one
     /// `Evaluation` can serve a whole optimization run without
     /// reallocating.
@@ -150,7 +150,7 @@ impl<'a> Objective<'a> {
     pub fn evaluate(&self, state: &MaskState) -> Evaluation {
         let mut ws = Workspace::new();
         let mut eval = Evaluation::empty();
-        self.evaluate_with(state, &mut ws, &mut eval);
+        self.evaluate_into(state, &mut ws, &mut eval);
         eval
     }
 
@@ -167,13 +167,13 @@ impl<'a> Objective<'a> {
     /// # Panics
     ///
     /// Panics if the state's shape differs from the problem grid.
-    pub fn evaluate_with(&self, state: &MaskState, ws: &mut Workspace, eval: &mut Evaluation) {
+    pub fn evaluate_into(&self, state: &MaskState, ws: &mut Workspace, eval: &mut Evaluation) {
         let (gw, gh) = state.dims();
         let mut mask = ws.take_real_grid(gw, gh);
         let mut dmask_dp = ws.take_real_grid(gw, gh);
         state.mask_into(&mut mask);
         state.mask_derivative_into(&mut dmask_dp);
-        self.evaluate_parameterized_with(&mask, &dmask_dp, ws, eval);
+        self.evaluate_parameterized_into(&mask, &dmask_dp, ws, eval);
         ws.give_real_grid(dmask_dp);
         ws.give_real_grid(mask);
     }
@@ -191,18 +191,18 @@ impl<'a> Objective<'a> {
     pub fn evaluate_parameterized(&self, mask: &Grid<f64>, dmask_dp: &Grid<f64>) -> Evaluation {
         let mut ws = Workspace::new();
         let mut eval = Evaluation::empty();
-        self.evaluate_parameterized_with(mask, dmask_dp, &mut ws, &mut eval);
+        self.evaluate_parameterized_into(mask, dmask_dp, &mut ws, &mut eval);
         eval
     }
 
     /// Workspace-pooled core of
     /// [`evaluate_parameterized`](Self::evaluate_parameterized); see
-    /// [`evaluate_with`](Self::evaluate_with) for the pooling contract.
+    /// [`evaluate_into`](Self::evaluate_into) for the pooling contract.
     ///
     /// # Panics
     ///
     /// Panics if the grids' shape differs from the problem grid.
-    pub fn evaluate_parameterized_with(
+    pub fn evaluate_parameterized_into(
         &self,
         mask: &Grid<f64>,
         dmask_dp: &Grid<f64>,

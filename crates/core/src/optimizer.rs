@@ -18,10 +18,10 @@
 //! result safe if the jump lands somewhere worse.
 
 use crate::error::OptimizerError;
-use crate::mask::MaskState;
-use crate::objective::{Evaluation, GradientMode, Objective, ObjectiveReport, TargetTerm};
+use crate::objective::{GradientMode, ObjectiveReport, TargetTerm};
 use crate::problem::OpcProblem;
-use mosaic_numerics::{stats, Grid, Workspace};
+use crate::session::ExecutionSession;
+use mosaic_numerics::Grid;
 
 /// Every knob of the optimization (objective weights + Alg. 1 controls).
 ///
@@ -236,8 +236,8 @@ pub struct IterationView<'a> {
 }
 
 impl IterationView<'_> {
-    /// Snapshots the state into a checkpoint that
-    /// [`optimize_with`] can resume from with a bit-identical
+    /// Snapshots the state into a checkpoint that a resumed
+    /// [`ExecutionSession`] continues from with a bit-identical
     /// trajectory.
     pub fn checkpoint(&self) -> OptimizerCheckpoint {
         OptimizerCheckpoint {
@@ -280,6 +280,38 @@ pub struct OptimizerCheckpoint {
     pub step_damp: f64,
 }
 
+impl OptimizerCheckpoint {
+    /// Migrates the checkpoint to a different grid by bilinearly
+    /// resampling the `P` fields — the cross-grid hand-off used when the
+    /// degradation ladder's coarsen rung retries a job at half
+    /// resolution without discarding its progress.
+    ///
+    /// Only the spatial fields carry over: `variables` and
+    /// `best_variables` are resampled, while every scalar is reset to
+    /// its fresh-start value (`iterations_done = 0`, infinite
+    /// `best_value`/`prev_value`, zero `stagnant`/`recoveries`, unit
+    /// `step_damp`). Objective values measured on the old grid are not
+    /// comparable on the new one, and the retried attempt gets its full
+    /// iteration budget — the migrated field is a warm start, not a
+    /// bit-exact resume.
+    ///
+    /// Resampling to the checkpoint's own dimensions returns a plain
+    /// scalar reset with the fields copied unchanged.
+    #[must_use]
+    pub fn resample_to(&self, width: usize, height: usize) -> OptimizerCheckpoint {
+        OptimizerCheckpoint {
+            variables: self.variables.resample_bilinear(width, height),
+            best_variables: self.best_variables.resample_bilinear(width, height),
+            best_value: f64::INFINITY,
+            prev_value: f64::INFINITY,
+            stagnant: 0,
+            iterations_done: 0,
+            recoveries: 0,
+            step_damp: 1.0,
+        }
+    }
+}
+
 /// Per-iteration liveness signal consumed by an external watchdog.
 ///
 /// The optimizer beats at the top of every iteration, right after each
@@ -288,6 +320,9 @@ pub struct OptimizerCheckpoint {
 /// but alive" apart from "wedged" without instrumenting the spectral
 /// kernels. Implementations must be cheap — a beat fires several times
 /// per iteration — and must not panic.
+#[deprecated(
+    note = "implement `Instrument::on_objective_eval` and run through `ExecutionSession` instead"
+)]
 pub trait Heartbeat {
     /// Records one liveness beat.
     fn beat(&self);
@@ -295,9 +330,11 @@ pub trait Heartbeat {
 
 /// The no-op heartbeat used by unsupervised runs; optimizes away
 /// entirely.
+#[deprecated(note = "use `NoInstrument` with `ExecutionSession` instead")]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoHeartbeat;
 
+#[allow(deprecated)]
 impl Heartbeat for NoHeartbeat {
     fn beat(&self) {}
 }
@@ -356,334 +393,12 @@ pub fn optimize(
     config: &OptimizationConfig,
     initial_mask: &Grid<f64>,
 ) -> Result<OptimizationResult, OptimizerError> {
-    optimize_with(
-        problem,
-        config,
-        OptimizerStart::Mask(initial_mask),
-        &mut |_| IterationControl::Continue,
-    )
+    ExecutionSession::from_mask(problem, config.clone(), initial_mask).run()
 }
 
-/// Runs Alg. 1 with full lifecycle control: an arbitrary starting point
-/// (fresh mask or checkpoint) and a per-iteration hook.
-///
-/// The hook runs at the end of every iteration and can observe the full
-/// optimizer state ([`IterationView`]), capture a lossless
-/// [`OptimizerCheckpoint`], and request a cooperative stop
-/// ([`IterationControl::Stop`]). Resuming from a checkpoint continues the
-/// exact trajectory of the uninterrupted run.
-///
-/// In a resumed run, [`OptimizationResult::history`] covers only the
-/// resumed iterations (absolute `iteration` indices), and
-/// [`OptimizationResult::best_iteration`] indexes the best *recorded*
-/// iterate; the returned masks always reflect the overall best,
-/// including the best carried in by the checkpoint.
-///
-/// # Numerical guard
-///
-/// When [`OptimizationConfig::guard_enabled`] is set (the default),
-/// every evaluation is checked for a finite objective and gradient. On
-/// a non-finite evaluation the iterate is rolled back to the best
-/// variables seen so far, the step size is damped by
-/// [`recovery_damping`](OptimizationConfig::recovery_damping), and the
-/// loop continues — the recovery consumes its iteration slot and is
-/// recorded in the history with
-/// [`recovered`](IterationRecord::recovered) set. After
-/// [`max_recoveries`](OptimizationConfig::max_recoveries) rollbacks (or
-/// immediately, with the guard off) the run fails with
-/// [`OptimizerError::Diverged`]. Healthy trajectories never trigger the
-/// guard and are bit-identical to an unguarded run.
-///
-/// # Errors
-///
-/// [`OptimizerError::InvalidConfig`], [`OptimizerError::ShapeMismatch`],
-/// [`OptimizerError::CheckpointExhausted`] for a checkpoint at or past
-/// `config.max_iterations`, and [`OptimizerError::Diverged`] as above.
-pub fn optimize_with(
-    problem: &OpcProblem,
-    config: &OptimizationConfig,
-    start: OptimizerStart<'_>,
-    hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-) -> Result<OptimizationResult, OptimizerError> {
-    let mut ws = Workspace::new();
-    optimize_in(problem, config, start, hook, &mut ws)
-}
-
-/// Workspace-pooled twin of [`optimize_with`]: every per-iteration
-/// intermediate (mask fields, spectra, gradients, line-search base) is
-/// drawn from `ws`, so after the first iteration warms the pool the main
-/// loop performs zero heap allocations per iteration in
-/// [`GradientMode::Combined`] (asserted by the allocation smoke test).
-/// `optimize_with` delegates here with a fresh workspace, so the two
-/// entry points share one numeric path and are bit-identical.
-///
-/// # Errors
-///
-/// Exactly as [`optimize_with`].
-pub fn optimize_in(
-    problem: &OpcProblem,
-    config: &OptimizationConfig,
-    start: OptimizerStart<'_>,
-    hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-    ws: &mut Workspace,
-) -> Result<OptimizationResult, OptimizerError> {
-    optimize_supervised(problem, config, start, hook, ws, &NoHeartbeat)
-}
-
-/// Heartbeat-instrumented twin of [`optimize_in`] — the supervised
-/// batch runtime's entry point. `pulse` is beaten at the top of every
-/// iteration, after each objective evaluation and after every
-/// line-search trial (see [`Heartbeat`]); with [`NoHeartbeat`] this is
-/// bit-identical and allocation-identical to [`optimize_in`], which
-/// delegates here.
-///
-/// # Errors
-///
-/// Exactly as [`optimize_with`].
-pub fn optimize_supervised(
-    problem: &OpcProblem,
-    config: &OptimizationConfig,
-    start: OptimizerStart<'_>,
-    hook: &mut dyn FnMut(&IterationView<'_>) -> IterationControl,
-    ws: &mut Workspace,
-    pulse: &dyn Heartbeat,
-) -> Result<OptimizationResult, OptimizerError> {
-    config.validate().map_err(OptimizerError::InvalidConfig)?;
-    let objective = Objective::new(problem, config)?;
-    let (
-        mut state,
-        mut best_value,
-        mut best_vars,
-        mut prev_value,
-        mut stagnant,
-        start_iter,
-        mut recoveries,
-        mut step_damp,
-    ) = match start {
-        OptimizerStart::Mask(initial_mask) => {
-            if initial_mask.dims() != problem.grid_dims() {
-                return Err(OptimizerError::ShapeMismatch {
-                    expected: problem.grid_dims(),
-                    got: initial_mask.dims(),
-                });
-            }
-            let state = MaskState::from_mask(initial_mask, config.mask_steepness);
-            let vars = state.variables().clone();
-            (
-                state,
-                f64::INFINITY,
-                vars,
-                f64::INFINITY,
-                0usize,
-                0usize,
-                0usize,
-                1.0f64,
-            )
-        }
-        OptimizerStart::Checkpoint(cp) => {
-            if cp.variables.dims() != problem.grid_dims() {
-                return Err(OptimizerError::ShapeMismatch {
-                    expected: problem.grid_dims(),
-                    got: cp.variables.dims(),
-                });
-            }
-            if cp.iterations_done >= config.max_iterations {
-                return Err(OptimizerError::CheckpointExhausted {
-                    iterations_done: cp.iterations_done,
-                    max_iterations: config.max_iterations,
-                });
-            }
-            let state = MaskState::from_variables(cp.variables, config.mask_steepness);
-            (
-                state,
-                cp.best_value,
-                cp.best_variables,
-                cp.prev_value,
-                cp.stagnant,
-                cp.iterations_done,
-                cp.recoveries,
-                cp.step_damp,
-            )
-        }
-    };
-    let mut history: Vec<IterationRecord> = Vec::with_capacity(config.max_iterations - start_iter);
-    // Best among *recorded* iterations — what `best_iteration` indexes.
-    let mut recorded_best = f64::INFINITY;
-    let mut best_iteration = 0;
-    let mut converged = false;
-    let mut iterates: Vec<Grid<f64>> = Vec::new();
-    // Last finite objective value, for the Diverged report.
-    let mut last_finite = f64::NAN;
-    // Reused across iterations: the main evaluation and the line-search
-    // trial evaluation (separate because `direction` borrows the main
-    // gradient while trials run). `Evaluation::empty` holds 0×0 grids, so
-    // nothing is allocated until the first evaluation sizes them.
-    let mut eval = Evaluation::empty();
-    let mut eval_ls = Evaluation::empty();
-
-    for iteration in start_iter..config.max_iterations {
-        pulse.beat();
-        objective.evaluate_with(&state, ws, &mut eval);
-        pulse.beat();
-        if config.fault_nan_gradient_at == Some(iteration) {
-            // Test-only fault: poison one gradient entry so the RMS (and
-            // any step taken from it) goes NaN at exactly this iteration.
-            eval.gradient[(0, 0)] = f64::NAN;
-        }
-        if config.record_iterates {
-            iterates.push(state.binary());
-        }
-        let value = eval.report.total;
-        let rms = stats::grid_rms(&eval.gradient);
-
-        if !(value.is_finite() && rms.is_finite()) {
-            if !config.guard_enabled || recoveries >= config.max_recoveries {
-                return Err(OptimizerError::Diverged {
-                    iteration,
-                    last_finite_loss: last_finite,
-                    recoveries,
-                });
-            }
-            // Recover: back to the best iterate (the seed, before any
-            // finite evaluation), with a damped step from here on. The
-            // recovery consumes this iteration slot and resets the jump
-            // bookkeeping so a jump cannot immediately re-amplify the
-            // step that blew up.
-            recoveries += 1;
-            step_damp *= config.recovery_damping;
-            state.restore_from(&best_vars);
-            prev_value = f64::INFINITY;
-            stagnant = 0;
-            history.push(IterationRecord {
-                iteration,
-                report: eval.report,
-                gradient_rms: rms,
-                step: 0.0,
-                jumped: false,
-                recovered: true,
-            });
-            continue;
-        }
-        last_finite = value;
-
-        if value < best_value {
-            best_value = value;
-            best_vars.copy_from(state.variables());
-        }
-        if value < recorded_best {
-            recorded_best = value;
-            best_iteration = history.len();
-        }
-
-        // Stagnation bookkeeping for the jump technique.
-        if prev_value.is_finite() {
-            let improvement = (prev_value - value) / prev_value.abs().max(1e-12);
-            if improvement < 1e-4 {
-                stagnant += 1;
-            } else {
-                stagnant = 0;
-            }
-        }
-        prev_value = value;
-        let jump = config.jump_enabled && stagnant >= config.jump_patience;
-        if jump {
-            stagnant = 0;
-        }
-        // `step_damp` is exactly 1.0 until the first recovery, so a
-        // healthy trajectory is bit-identical to an unguarded run.
-        let step = if jump {
-            config.step_size * config.jump_factor
-        } else {
-            config.step_size
-        } * step_damp;
-
-        let record = IterationRecord {
-            iteration,
-            report: eval.report,
-            gradient_rms: rms,
-            step,
-            jumped: jump,
-            recovered: false,
-        };
-        history.push(record);
-
-        if rms < config.gradient_tolerance {
-            converged = true;
-            let view = IterationView {
-                record: &record,
-                variables: state.variables(),
-                best_variables: &best_vars,
-                best_value,
-                value,
-                stagnant,
-                recoveries,
-                step_damp,
-            };
-            let _ = hook(&view);
-            break;
-        }
-
-        // Normalize in place (`g / max` pixel-wise, bit-identical to the
-        // old allocating map) and descend along the stored gradient.
-        if config.normalize_gradient {
-            let max = stats::max_abs(eval.gradient.as_slice());
-            if max > 0.0 {
-                for g in eval.gradient.iter_mut() {
-                    *g /= max;
-                }
-            }
-        }
-        let direction = &eval.gradient;
-        if config.line_search && !jump {
-            // Backtracking: accept the first halved step that descends;
-            // if none does, keep the smallest trial (best-iterate
-            // tracking protects the result either way).
-            let (gw, gh) = state.dims();
-            let mut base_vars = ws.take_real_grid(gw, gh);
-            base_vars.copy_from(state.variables());
-            let mut trial = step;
-            for attempt in 0..config.line_search_max_halvings {
-                state.restore_from(&base_vars);
-                state.step(direction, trial);
-                objective.evaluate_with(&state, ws, &mut eval_ls);
-                pulse.beat();
-                let f_trial = eval_ls.report.total;
-                if f_trial < value || attempt + 1 == config.line_search_max_halvings {
-                    break;
-                }
-                trial *= 0.5;
-            }
-            ws.give_real_grid(base_vars);
-        } else {
-            state.step(direction, step);
-        }
-
-        let view = IterationView {
-            record: &record,
-            variables: state.variables(),
-            best_variables: &best_vars,
-            best_value,
-            value,
-            stagnant,
-            recoveries,
-            step_damp,
-        };
-        if hook(&view) == IterationControl::Stop {
-            break;
-        }
-    }
-
-    state.restore(best_vars);
-    Ok(OptimizationResult {
-        mask: state.mask(),
-        binary_mask: state.binary(),
-        history,
-        best_iteration,
-        converged,
-        iterates,
-        recoveries,
-    })
-}
+// The loop itself lives in [`crate::session`]; the deprecated
+// `optimize_with`/`optimize_in`/`optimize_supervised` shims live in
+// [`crate::compat`].
 
 #[cfg(test)]
 mod tests {
@@ -872,11 +587,37 @@ mod tests {
             recoveries: 0,
             step_damp: 1.0,
         };
-        let err = optimize_with(&p, &cfg, OptimizerStart::Checkpoint(cp), &mut |_| {
-            IterationControl::Continue
-        })
-        .unwrap_err();
+        let err = ExecutionSession::from_checkpoint(&p, cfg, cp)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, OptimizerError::CheckpointExhausted { .. }));
+    }
+
+    #[test]
+    fn resample_to_migrates_fields_and_resets_scalars() {
+        let vars = Grid::from_fn(8, 8, |x, y| (x + y) as f64);
+        let cp = OptimizerCheckpoint {
+            variables: vars.clone(),
+            best_variables: vars,
+            best_value: 12.5,
+            prev_value: 13.0,
+            stagnant: 2,
+            iterations_done: 7,
+            recoveries: 1,
+            step_damp: 0.5,
+        };
+        let migrated = cp.resample_to(4, 4);
+        assert_eq!(migrated.variables.dims(), (4, 4));
+        assert_eq!(migrated.best_variables.dims(), (4, 4));
+        assert_eq!(migrated.iterations_done, 0);
+        assert_eq!(migrated.stagnant, 0);
+        assert_eq!(migrated.recoveries, 0);
+        assert_eq!(migrated.step_damp, 1.0);
+        assert!(migrated.best_value.is_infinite());
+        assert!(migrated.prev_value.is_infinite());
+        // The resampled field preserves the source's value range.
+        let (lo, hi) = (cp.variables.min(), cp.variables.max());
+        assert!(migrated.variables.min() >= lo && migrated.variables.max() <= hi);
     }
 }
 
@@ -1012,27 +753,26 @@ mod guard_tests {
         let p = small_problem();
         let mut cfg = quick_config();
         cfg.fault_nan_gradient_at = Some(1);
-        let mut captured = None;
-        let full = optimize_with(
-            &p,
-            &cfg,
-            OptimizerStart::Mask(p.target()),
-            &mut |view: &IterationView<'_>| {
+        struct CaptureAt3(Option<OptimizerCheckpoint>);
+        impl crate::session::Instrument for CaptureAt3 {
+            fn on_iteration_end(&mut self, view: &IterationView<'_>) -> IterationControl {
                 if view.record.iteration == 3 {
-                    captured = Some(view.checkpoint());
+                    self.0 = Some(view.checkpoint());
                 }
                 IterationControl::Continue
-            },
-        )
-        .unwrap();
-        let cp = captured.expect("iteration 3 ran");
+            }
+        }
+        let mut cap = CaptureAt3(None);
+        let full = ExecutionSession::from_mask(&p, cfg.clone(), p.target())
+            .run_instrumented(&mut cap)
+            .unwrap();
+        let cp = cap.0.expect("iteration 3 ran");
         assert_eq!(cp.recoveries, 1);
         assert!(cp.step_damp < 1.0);
         // Resume must not re-inject the fault (iteration 1 is done).
-        let resumed = optimize_with(&p, &cfg, OptimizerStart::Checkpoint(cp), &mut |_| {
-            IterationControl::Continue
-        })
-        .unwrap();
+        let resumed = ExecutionSession::from_checkpoint(&p, cfg, cp)
+            .run()
+            .unwrap();
         assert_eq!(resumed.binary_mask, full.binary_mask);
     }
 }

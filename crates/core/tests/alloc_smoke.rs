@@ -74,6 +74,31 @@ fn small_problem() -> OpcProblem {
     .unwrap()
 }
 
+/// Arms the counter once the pool is warm and reads it back at the last
+/// iteration. The instrument itself is allocation-free (atomics only),
+/// so the measurement covers the session's warm path *including* the
+/// static-dispatch hook plumbing.
+struct ArmingInstrument {
+    last: usize,
+    measured: Option<u64>,
+}
+
+impl Instrument for ArmingInstrument {
+    fn on_iteration_end(&mut self, view: &IterationView<'_>) -> IterationControl {
+        if view.record.iteration == 0 {
+            // Iteration 0 warmed the pool and sized the reused
+            // evaluation; everything from here to the final hook is
+            // steady-state.
+            ALLOCATIONS.store(0, Ordering::Relaxed);
+            ARMED.store(true, Ordering::Relaxed);
+        } else if view.record.iteration == self.last {
+            ARMED.store(false, Ordering::Relaxed);
+            self.measured = Some(ALLOCATIONS.load(Ordering::Relaxed));
+        }
+        IterationControl::Continue
+    }
+}
+
 #[test]
 fn warm_iterations_allocate_nothing() {
     let problem = small_problem();
@@ -83,30 +108,16 @@ fn warm_iterations_allocate_nothing() {
         ..OptimizationConfig::default()
     };
     let mut ws = Workspace::new();
-    let mut measured: Option<u64> = None;
-    let last = cfg.max_iterations - 1;
-    let result = optimize_in(
-        &problem,
-        &cfg,
-        OptimizerStart::Mask(problem.target()),
-        &mut |view| {
-            if view.record.iteration == 0 {
-                // Iteration 0 warmed the pool and sized the reused
-                // evaluation; everything from here to the final hook is
-                // steady-state.
-                ALLOCATIONS.store(0, Ordering::Relaxed);
-                ARMED.store(true, Ordering::Relaxed);
-            } else if view.record.iteration == last {
-                ARMED.store(false, Ordering::Relaxed);
-                measured = Some(ALLOCATIONS.load(Ordering::Relaxed));
-            }
-            IterationControl::Continue
-        },
-        &mut ws,
-    )
-    .unwrap();
+    let mut armer = ArmingInstrument {
+        last: cfg.max_iterations - 1,
+        measured: None,
+    };
+    let result = ExecutionSession::from_mask(&problem, cfg.clone(), problem.target())
+        .workspace(&mut ws)
+        .run_instrumented(&mut armer)
+        .unwrap();
     assert_eq!(result.history.len(), cfg.max_iterations);
-    let allocations = measured.expect("final iteration hook fired");
+    let allocations = armer.measured.expect("final iteration hook fired");
     assert_eq!(
         allocations, 0,
         "warm optimizer iterations performed {allocations} heap allocations; \

@@ -1,0 +1,217 @@
+//! Instrument-layer contract tests (DESIGN.md §11).
+//!
+//! A recording instrument captures the full hook sequence of a session
+//! and asserts the lifecycle contract:
+//!
+//! * every iteration is bracketed `on_iteration_start` →
+//!   `on_iteration_end` (or `on_recovery` for guard rollbacks, which
+//!   must *not* reach `on_iteration_end`);
+//! * `on_objective_eval` fires exactly once per objective evaluation —
+//!   once for the main evaluation and once per line-search trial — and
+//!   never outside an iteration bracket;
+//! * `on_checkpoint` fires after the iteration end it snapshots.
+
+use mosaic_core::prelude::*;
+use mosaic_geometry::{Layout, Polygon, Rect};
+use mosaic_optics::{OpticsConfig, ProcessCondition, ResistModel};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    Start(usize),
+    Eval,
+    End(usize),
+    Recovery(usize),
+    Checkpoint(usize),
+}
+
+#[derive(Default)]
+struct Recorder {
+    events: Vec<Ev>,
+}
+
+impl Instrument for Recorder {
+    fn on_iteration_start(&mut self, iteration: usize) {
+        self.events.push(Ev::Start(iteration));
+    }
+    fn on_objective_eval(&mut self) {
+        self.events.push(Ev::Eval);
+    }
+    fn on_iteration_end(&mut self, view: &IterationView<'_>) -> IterationControl {
+        self.events.push(Ev::End(view.record.iteration));
+        IterationControl::Continue
+    }
+    fn on_checkpoint(&mut self, checkpoint: &OptimizerCheckpoint) {
+        self.events.push(Ev::Checkpoint(checkpoint.iterations_done));
+    }
+    fn on_recovery(&mut self, record: &IterationRecord) {
+        self.events.push(Ev::Recovery(record.iteration));
+    }
+}
+
+fn small_problem() -> OpcProblem {
+    let mut layout = Layout::new(256, 256);
+    layout.push(Polygon::from_rect(Rect::new(64, 48, 160, 208)));
+    let optics = OpticsConfig::builder()
+        .grid(96, 96)
+        .pixel_nm(4.0)
+        .kernel_count(4)
+        .build()
+        .unwrap();
+    OpcProblem::from_layout(
+        &layout,
+        &optics,
+        ResistModel::paper(),
+        ProcessCondition::nominal_only(),
+        40,
+    )
+    .unwrap()
+}
+
+/// Splits the event stream into per-iteration windows and checks the
+/// bracket structure: Start first, then one or more Evals, closed by
+/// exactly one End or Recovery; nothing floats outside a window.
+fn check_brackets(events: &[Ev]) -> Vec<(usize, usize, bool)> {
+    let mut windows = Vec::new();
+    let mut current: Option<(usize, usize)> = None;
+    for ev in events {
+        match ev {
+            Ev::Start(i) => {
+                assert!(current.is_none(), "Start({i}) inside an open window");
+                current = Some((*i, 0));
+            }
+            Ev::Eval => {
+                let w = current.as_mut().expect("Eval outside a window");
+                w.1 += 1;
+            }
+            Ev::End(i) => {
+                let (start, evals) = current.take().expect("End outside a window");
+                assert_eq!(start, *i, "End({i}) closes Start({start})");
+                windows.push((start, evals, false));
+            }
+            Ev::Recovery(i) => {
+                let (start, evals) = current.take().expect("Recovery outside a window");
+                assert_eq!(start, *i, "Recovery({i}) closes Start({start})");
+                windows.push((start, evals, true));
+            }
+            Ev::Checkpoint(_) => {
+                assert!(
+                    current.is_none(),
+                    "Checkpoint must fire after the iteration end, not inside the window"
+                );
+            }
+        }
+    }
+    assert!(current.is_none(), "unclosed iteration window");
+    windows
+}
+
+#[test]
+fn hooks_bracket_every_iteration_with_one_eval_each() {
+    let p = small_problem();
+    let cfg = OptimizationConfig {
+        max_iterations: 5,
+        ..OptimizationConfig::default()
+    };
+    let mut rec = Recorder::default();
+    let result = ExecutionSession::from_mask(&p, cfg, p.target())
+        .run_instrumented(&mut rec)
+        .unwrap();
+    let windows = check_brackets(&rec.events);
+    assert_eq!(windows.len(), result.history.len());
+    for (idx, (iteration, evals, recovered)) in windows.iter().enumerate() {
+        assert_eq!(*iteration, idx);
+        assert_eq!(
+            *evals, 1,
+            "no line search: exactly one objective eval per iteration"
+        );
+        assert!(!recovered);
+    }
+}
+
+#[test]
+fn each_line_search_trial_fires_exactly_one_eval() {
+    let p = small_problem();
+    // One halving means the trial loop always evaluates exactly once
+    // (the single attempt is also the last), deterministically: every
+    // iteration is main eval + one trial eval.
+    let cfg = OptimizationConfig {
+        max_iterations: 4,
+        line_search: true,
+        line_search_max_halvings: 1,
+        jump_enabled: false,
+        ..OptimizationConfig::default()
+    };
+    let mut rec = Recorder::default();
+    let result = ExecutionSession::from_mask(&p, cfg, p.target())
+        .run_instrumented(&mut rec)
+        .unwrap();
+    let windows = check_brackets(&rec.events);
+    assert_eq!(windows.len(), result.history.len());
+    for (iteration, evals, recovered) in &windows {
+        assert_eq!(
+            *evals, 2,
+            "iteration {iteration}: main evaluation + one line-search trial"
+        );
+        assert!(!recovered);
+    }
+    let total_evals = rec.events.iter().filter(|e| **e == Ev::Eval).count();
+    assert_eq!(total_evals, 2 * result.history.len());
+}
+
+#[test]
+fn guard_recovery_fires_on_recovery_and_skips_iteration_end() {
+    let p = small_problem();
+    let cfg = OptimizationConfig {
+        max_iterations: 5,
+        fault_nan_gradient_at: Some(2),
+        ..OptimizationConfig::default()
+    };
+    let mut rec = Recorder::default();
+    let result = ExecutionSession::from_mask(&p, cfg, p.target())
+        .run_instrumented(&mut rec)
+        .unwrap();
+    assert_eq!(result.recoveries, 1);
+    let windows = check_brackets(&rec.events);
+    // Iteration 2 is the rollback: it evaluated once, closed with
+    // Recovery, and never reached on_iteration_end.
+    let (iteration, evals, recovered) = windows[2];
+    assert_eq!(iteration, 2);
+    assert_eq!(evals, 1);
+    assert!(recovered);
+    assert!(!rec.events.contains(&Ev::End(2)));
+    assert!(rec.events.contains(&Ev::Recovery(2)));
+    // Every other iteration completed normally.
+    for (i, (_, _, recovered)) in windows.iter().enumerate() {
+        assert_eq!(*recovered, i == 2);
+    }
+}
+
+#[test]
+fn checkpoint_hook_follows_its_iteration() {
+    let p = small_problem();
+    let cfg = OptimizationConfig {
+        max_iterations: 4,
+        ..OptimizationConfig::default()
+    };
+    let mut rec = Recorder::default();
+    let _ = ExecutionSession::from_mask(&p, cfg, p.target())
+        .checkpoints(2)
+        .run_instrumented(&mut rec)
+        .unwrap();
+    // check_brackets already asserts checkpoints sit between windows;
+    // additionally, each snapshot must directly follow End(n-1).
+    for (i, ev) in rec.events.iter().enumerate() {
+        if let Ev::Checkpoint(done) = ev {
+            assert_eq!(rec.events[i - 1], Ev::End(done - 1));
+        }
+    }
+    let captured: Vec<_> = rec
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Ev::Checkpoint(done) => Some(*done),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(captured, vec![2, 4]);
+}

@@ -59,24 +59,16 @@ fn poison(ws: &mut Workspace, w: usize, h: usize) {
 }
 
 fn run_fresh(problem: &OpcProblem) -> OptimizationResult {
-    optimize_with(
-        problem,
-        &config(),
-        OptimizerStart::Mask(problem.target()),
-        &mut |_| IterationControl::Continue,
-    )
-    .unwrap()
+    ExecutionSession::from_mask(problem, config(), problem.target())
+        .run()
+        .unwrap()
 }
 
 fn run_pooled(problem: &OpcProblem, ws: &mut Workspace) -> OptimizationResult {
-    optimize_in(
-        problem,
-        &config(),
-        OptimizerStart::Mask(problem.target()),
-        &mut |_| IterationControl::Continue,
-        ws,
-    )
-    .unwrap()
+    ExecutionSession::from_mask(problem, config(), problem.target())
+        .workspace(ws)
+        .run()
+        .unwrap()
 }
 
 fn assert_bit_identical(a: &OptimizationResult, b: &OptimizationResult, ctx: &str) {
@@ -138,7 +130,7 @@ fn pooled_evaluation_matches_allocating_evaluation() {
     let mut ws = Workspace::new();
     poison(&mut ws, w, h);
     let mut eval_pooled = Evaluation::empty();
-    objective.evaluate_with(&state, &mut ws, &mut eval_pooled);
+    objective.evaluate_into(&state, &mut ws, &mut eval_pooled);
     assert_eq!(
         eval_alloc.report.total.to_bits(),
         eval_pooled.report.total.to_bits()

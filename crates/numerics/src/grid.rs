@@ -392,6 +392,43 @@ impl Grid<f64> {
     pub fn threshold(&self, threshold: f64) -> Grid<f64> {
         self.map(|&v| if v > threshold { 1.0 } else { 0.0 })
     }
+
+    /// Bilinearly resamples the grid to `width × height`, treating each
+    /// pixel as a sample at its cell center.
+    ///
+    /// Destination pixel `(x, y)` reads the source at
+    /// `((x + 0.5)·w/W − 0.5, (y + 0.5)·h/H − 0.5)` (cell-center
+    /// alignment), with coordinates clamped to the source rectangle so
+    /// border pixels extend outward. Values are convex combinations of
+    /// the four neighboring samples, so the output range never exceeds
+    /// the input range — the property the optimizer relies on when
+    /// migrating an unconstrained `P` field across a grid change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either the source or the target has a zero dimension.
+    #[must_use]
+    pub fn resample_bilinear(&self, width: usize, height: usize) -> Grid<f64> {
+        assert!(
+            width > 0 && height > 0 && !self.is_empty(),
+            "resample requires non-empty source and target"
+        );
+        let sx = self.width as f64 / width as f64;
+        let sy = self.height as f64 / height as f64;
+        Grid::from_fn(width, height, |x, y| {
+            let fx = ((x as f64 + 0.5) * sx - 0.5).clamp(0.0, (self.width - 1) as f64);
+            let fy = ((y as f64 + 0.5) * sy - 0.5).clamp(0.0, (self.height - 1) as f64);
+            let x0 = fx.floor() as usize;
+            let y0 = fy.floor() as usize;
+            let x1 = (x0 + 1).min(self.width - 1);
+            let y1 = (y0 + 1).min(self.height - 1);
+            let tx = fx - x0 as f64;
+            let ty = fy - y0 as f64;
+            let top = self[(x0, y0)] * (1.0 - tx) + self[(x1, y0)] * tx;
+            let bottom = self[(x0, y1)] * (1.0 - tx) + self[(x1, y1)] * tx;
+            top * (1.0 - ty) + bottom * ty
+        })
+    }
 }
 
 impl Grid<Complex> {
@@ -531,6 +568,51 @@ mod tests {
         let b = Grid::filled(2, 1, 2.0);
         a.accumulate_scaled(&b, 0.5);
         assert_eq!(a.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn resample_identity_is_exact() {
+        let g = Grid::from_fn(5, 4, |x, y| (3 * x + 7 * y) as f64);
+        assert_eq!(g.resample_bilinear(5, 4), g);
+    }
+
+    #[test]
+    fn resample_preserves_constant_fields() {
+        let g = Grid::filled(8, 8, 2.5);
+        for (w, h) in [(4, 4), (16, 16), (3, 11)] {
+            let r = g.resample_bilinear(w, h);
+            assert_eq!(r.dims(), (w, h));
+            assert!(r.iter().all(|&v| (v - 2.5).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn resample_interpolates_linear_ramp() {
+        // A linear ramp is reproduced exactly by bilinear interpolation
+        // (away from the clamped border).
+        let g = Grid::from_fn(8, 8, |x, _| x as f64);
+        let r = g.resample_bilinear(4, 4);
+        // Destination x=1 samples source fx = 1.5*2 - 0.5 = 2.5.
+        assert!((r[(1, 1)] - 2.5).abs() < 1e-12);
+        // Output range stays within the input range (convexity).
+        assert!(r.min() >= g.min() && r.max() <= g.max());
+    }
+
+    #[test]
+    fn resample_downsample_upsample_round_trip_is_bounded() {
+        let g = Grid::from_fn(16, 16, |x, y| {
+            (x as f64 * 0.7).sin() + (y as f64 * 0.3).cos()
+        });
+        let down = g.resample_bilinear(8, 8);
+        let back = down.resample_bilinear(16, 16);
+        assert!(back.min() >= g.min() - 1e-12 && back.max() <= g.max() + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn resample_rejects_zero_target() {
+        let g = Grid::<f64>::zeros(4, 4);
+        let _ = g.resample_bilinear(0, 4);
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! iterations *and* halved kernels. Coarsening the grid halves the
 //! pixel count per axis while doubling the pixel pitch, so the physical
 //! window is preserved and the clip still fits; a checkpoint written at
-//! a finer grid cannot be resumed across that rung (the job runner
-//! skips shape-mismatched checkpoints and restarts).
+//! a finer grid is carried across that rung by bilinearly resampling
+//! its `P`-field onto the coarser grid
+//! (`mosaic_core::OptimizerCheckpoint::resample_to`), so the degraded
+//! retry keeps the mask progress already paid for — the job runner
+//! emits a `checkpoint_migrated` event recording both grids.
 
 use mosaic_core::MosaicConfig;
 

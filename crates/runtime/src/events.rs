@@ -56,6 +56,24 @@ pub enum Event {
         /// Human-readable description.
         detail: String,
     },
+    /// A checkpoint written at a different grid resolution was
+    /// bilinearly resampled so a degraded retry (the coarsen-grid
+    /// ladder rung) keeps its optimization progress instead of
+    /// restarting from scratch.
+    CheckpointMigrated {
+        /// Job identifier.
+        job: String,
+        /// 1-based attempt resuming the migrated checkpoint.
+        attempt: u32,
+        /// Grid width the checkpoint was written at.
+        from_width: usize,
+        /// Grid height the checkpoint was written at.
+        from_height: usize,
+        /// Grid width the retry runs at.
+        to_width: usize,
+        /// Grid height the retry runs at.
+        to_height: usize,
+    },
     /// A retry is running a degraded configuration (see
     /// [`crate::degrade`]).
     Degrade {
@@ -200,6 +218,21 @@ impl Event {
                 push_json_string(&mut o, kind);
                 o.push_str(",\"detail\":");
                 push_json_string(&mut o, detail);
+            }
+            Event::CheckpointMigrated {
+                job,
+                attempt,
+                from_width,
+                from_height,
+                to_width,
+                to_height,
+            } => {
+                o.push_str("\"checkpoint_migrated\",\"job\":");
+                push_json_string(&mut o, job);
+                let _ = write!(
+                    o,
+                    ",\"attempt\":{attempt},\"from_width\":{from_width},\"from_height\":{from_height},\"to_width\":{to_width},\"to_height\":{to_height}"
+                );
             }
             Event::Degrade {
                 job,
@@ -416,6 +449,23 @@ mod tests {
         assert!(json.contains("\"event\":\"degrade\""));
         assert!(json.contains("\"step\":1"));
         assert!(json.contains("iterations 8->4"));
+    }
+
+    #[test]
+    fn checkpoint_migrated_events_render_both_grids() {
+        let e = Event::CheckpointMigrated {
+            job: "B1-fast".to_string(),
+            attempt: 3,
+            from_width: 256,
+            from_height: 256,
+            to_width: 128,
+            to_height: 128,
+        };
+        let json = e.to_json(0.75);
+        assert!(json.contains("\"event\":\"checkpoint_migrated\""));
+        assert!(json.contains("\"attempt\":3"));
+        assert!(json.contains("\"from_width\":256,\"from_height\":256"));
+        assert!(json.contains("\"to_width\":128,\"to_height\":128"));
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! A [`JobSpec`] names one optimization: which benchmark clip, which
 //! MOSAIC mode (fast / exact) and at which resolution (carried by the
 //! [`MosaicConfig`]). [`execute_job`] drives the full lifecycle of one
-//! spec — resume any checkpoint, pull the shared simulator from the
-//! cache, run the optimizer with a hook that streams iteration events
-//! and polls for cancellation, then score the final mask with the
-//! contest evaluator.
+//! spec — resume any checkpoint (resampling it across a grid change),
+//! pull the shared simulator from the cache, run an
+//! [`mosaic_core::ExecutionSession`] under a stack of instruments
+//! (supervision heartbeats, wall-clock sampling, iteration events,
+//! stop polling, checkpoint persistence), then score the final mask
+//! with the contest evaluator.
 
 use crate::cache::SimCache;
 use crate::checkpoint;
@@ -14,10 +16,10 @@ use crate::degrade::DegradationLadder;
 use crate::events::{Event, EventSink};
 use crate::fault::FaultPlan;
 use crate::scheduler::CancelToken;
-use crate::supervise::{AttemptGuard, JobSlot, Supervisor};
+use crate::supervise::{AttemptGuard, IterationStats, JobSlot, Supervisor};
 use mosaic_core::{
-    Heartbeat, IterationControl, IterationView, MaskState, Mosaic, MosaicConfig, MosaicMode,
-    NoHeartbeat, OptimizerError,
+    Instrument, IterationControl, IterationRecord, IterationView, MaskState, Mosaic, MosaicConfig,
+    MosaicMode, OptimizerCheckpoint, OptimizerError,
 };
 use mosaic_eval::Evaluator;
 use mosaic_geometry::benchmarks::BenchmarkId;
@@ -219,6 +221,151 @@ fn injected_panic(job: &str, iteration: usize) -> ! {
     panic!("injected fault: {job} panics at iteration {iteration}")
 }
 
+/// Forwards the session's liveness hooks to the supervision slot: the
+/// watchdog sees a beat at every iteration start and after every
+/// objective evaluation (including each line-search trial), exactly the
+/// granularity the stall grace period is calibrated against.
+struct SlotPulse<'a> {
+    guard: Option<&'a AttemptGuard>,
+}
+
+impl Instrument for SlotPulse<'_> {
+    fn on_iteration_start(&mut self, _iteration: usize) {
+        if let Some(guard) = self.guard {
+            guard.beat();
+        }
+    }
+
+    fn on_objective_eval(&mut self) {
+        if let Some(guard) = self.guard {
+            guard.beat();
+        }
+    }
+}
+
+/// Samples each iteration's wall time into the batch-wide
+/// [`IterationStats`], the raw material for percentile-derived budgets.
+/// Recovery iterations are sampled too — a rollback costs a full
+/// objective evaluation and belongs in the distribution.
+struct WallClockSampler<'a> {
+    stats: Option<&'a IterationStats>,
+    started: Option<Instant>,
+}
+
+impl WallClockSampler<'_> {
+    fn sample(&mut self) {
+        if let (Some(stats), Some(started)) = (self.stats, self.started.take()) {
+            stats.record(started.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+}
+
+impl Instrument for WallClockSampler<'_> {
+    fn on_iteration_start(&mut self, _iteration: usize) {
+        if self.stats.is_some() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    fn on_iteration_end(&mut self, _view: &IterationView<'_>) -> IterationControl {
+        self.sample();
+        IterationControl::Continue
+    }
+
+    fn on_recovery(&mut self, _record: &IterationRecord) {
+        self.sample();
+    }
+}
+
+/// Job control: planned fault injection, per-iteration progress events,
+/// and cooperative stop polling (batch token, deadline, and the
+/// watchdog's per-job stop flag).
+struct JobControl<'a, 'b> {
+    spec: &'a JobSpec,
+    attempt: u32,
+    ctx: &'a JobContext<'b>,
+    slot: Option<&'a JobSlot>,
+    fault_panic: Option<usize>,
+    stall_pending: Option<u64>,
+    iterations: usize,
+    cancelled: bool,
+}
+
+impl Instrument for JobControl<'_, '_> {
+    fn on_iteration_end(&mut self, view: &IterationView<'_>) -> IterationControl {
+        if self.fault_panic == Some(view.record.iteration) {
+            self.ctx.events.emit(&Event::Fault {
+                job: self.spec.id.clone(),
+                attempt: self.attempt,
+                kind: "panic".to_string(),
+                detail: format!("injected panic at iteration {}", view.record.iteration),
+            });
+            injected_panic(&self.spec.id, view.record.iteration);
+        }
+        if let Some(ms) = self.stall_pending.take() {
+            // Planned stall: sleep between heartbeats so the watchdog
+            // sees a genuine gap (the optimizer last beat at this
+            // iteration's objective evaluation).
+            self.ctx.events.emit(&Event::Fault {
+                job: self.spec.id.clone(),
+                attempt: self.attempt,
+                kind: "stall".to_string(),
+                detail: format!(
+                    "injected {ms} ms stall at iteration {}",
+                    view.record.iteration
+                ),
+            });
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        self.iterations += 1;
+        self.ctx.events.emit(&Event::Iteration {
+            job: self.spec.id.clone(),
+            iteration: view.record.iteration,
+            objective: view.value,
+            gradient_rms: view.record.gradient_rms,
+            jumped: view.record.jumped,
+        });
+        if self.ctx.stop_requested() || self.slot.is_some_and(|s| s.stop_requested()) {
+            self.cancelled = true;
+            return IterationControl::Stop;
+        }
+        IterationControl::Continue
+    }
+}
+
+/// Persists captured checkpoints, reporting (not propagating) failures:
+/// a full disk must not kill an otherwise healthy optimization.
+struct CheckpointWriter<'a, 'b> {
+    spec: &'a JobSpec,
+    attempt: u32,
+    ctx: &'a JobContext<'b>,
+    fault_save: bool,
+}
+
+impl Instrument for CheckpointWriter<'_, '_> {
+    fn on_checkpoint(&mut self, checkpoint: &OptimizerCheckpoint) {
+        let Some(dir) = self.ctx.checkpoint_dir else {
+            return;
+        };
+        let saved = if self.fault_save {
+            Err(io::Error::other("injected checkpoint save fault"))
+        } else {
+            checkpoint::save(dir, &self.spec.id, checkpoint)
+        };
+        if let Err(e) = saved {
+            self.ctx.events.emit(&Event::Fault {
+                job: self.spec.id.clone(),
+                attempt: self.attempt,
+                kind: "checkpoint_save_error".to_string(),
+                detail: format!(
+                    "checkpoint save failed after {} iteration(s): {e}",
+                    checkpoint.iterations_done
+                ),
+            });
+        }
+    }
+}
+
 /// Runs one job end to end. `attempt` is the scheduler's 1-based attempt
 /// number (a retry after a mid-run crash resumes from the job's last
 /// saved checkpoint, when checkpointing is on).
@@ -237,11 +384,12 @@ pub fn execute_job(
     WORKER_WS.with(|ws| execute_job_in(spec, attempt, ctx, &mut ws.borrow_mut()))
 }
 
-/// Workspace-threaded twin of [`execute_job`]: runs the optimizer through
-/// the pooled [`mosaic_core::optimize_in`] path, drawing all spectral
-/// scratch buffers from `ws`. [`execute_job`] delegates here with the
-/// worker thread's long-lived pool, so repeated jobs on one worker reuse
-/// their FFT workspaces across jobs.
+/// Workspace-threaded twin of [`execute_job`]: runs the optimizer as an
+/// [`mosaic_core::ExecutionSession`] with the session's workspace set to
+/// `ws`, so all spectral scratch buffers come from the pool.
+/// [`execute_job`] delegates here with the worker thread's long-lived
+/// pool, so repeated jobs on one worker reuse their FFT workspaces
+/// across jobs.
 ///
 /// # Errors
 ///
@@ -305,10 +453,26 @@ pub fn execute_job_in(
         None => None,
     };
     // A degraded retry may run on a coarser grid than the checkpoint
-    // was written at; such checkpoints cannot be resumed across shapes,
-    // so the degraded attempt restarts fresh.
-    let resume = resume.filter(|cp| {
-        cp.variables.dims() == (job_config.optics.grid_width, job_config.optics.grid_height)
+    // was written at. Such checkpoints are migrated, not discarded: the
+    // `P`-field is bilinearly resampled onto the retry's grid
+    // (`OptimizerCheckpoint::resample_to`) so the attempt keeps its
+    // mask progress. Counters restart, so the retry's full (degraded)
+    // iteration budget applies to the migrated state.
+    let resume = resume.map(|cp| {
+        let target = (job_config.optics.grid_width, job_config.optics.grid_height);
+        if cp.variables.dims() == target {
+            return cp;
+        }
+        let (from_width, from_height) = cp.variables.dims();
+        ctx.events.emit(&Event::CheckpointMigrated {
+            job: spec.id.clone(),
+            attempt,
+            from_width,
+            from_height,
+            to_width: target.0,
+            to_height: target.1,
+        });
+        cp.resample_to(target.0, target.1)
     });
     let start_iteration = resume.as_ref().map_or(0, |c| c.iterations_done);
     ctx.events.emit(&Event::JobStart {
@@ -372,88 +536,47 @@ pub fn execute_job_in(
             started,
         )?
     } else {
-        let mut cancelled = false;
-        let mut iterations = 0usize;
         let slot = guard.as_ref().map(AttemptGuard::slot);
-        let mut stall_pending = fault_stall;
-        // Saves a checkpoint, reporting (not propagating) failures: a
-        // full disk must not kill an otherwise healthy optimization.
-        let save_checkpoint = |view: &IterationView<'_>| {
-            let Some(dir) = ctx.checkpoint_dir else {
-                return;
-            };
-            let saved = if fault_save {
-                Err(io::Error::other("injected checkpoint save fault"))
-            } else {
-                checkpoint::save(dir, &spec.id, &view.checkpoint())
-            };
-            if let Err(e) = saved {
-                ctx.events.emit(&Event::Fault {
-                    job: spec.id.clone(),
-                    attempt,
-                    kind: "checkpoint_save_error".to_string(),
-                    detail: format!(
-                        "checkpoint save failed at iteration {}: {e}",
-                        view.record.iteration
-                    ),
-                });
-            }
+        let mut pulse = SlotPulse {
+            guard: guard.as_ref(),
         };
-        let mut hook = |view: &IterationView<'_>| {
-            if fault_panic == Some(view.record.iteration) {
-                ctx.events.emit(&Event::Fault {
-                    job: spec.id.clone(),
-                    attempt,
-                    kind: "panic".to_string(),
-                    detail: format!("injected panic at iteration {}", view.record.iteration),
-                });
-                injected_panic(&spec.id, view.record.iteration);
-            }
-            if let Some(ms) = stall_pending.take() {
-                // Planned stall: sleep between heartbeats so the
-                // watchdog sees a genuine gap (the optimizer last beat
-                // before calling this hook).
-                ctx.events.emit(&Event::Fault {
-                    job: spec.id.clone(),
-                    attempt,
-                    kind: "stall".to_string(),
-                    detail: format!(
-                        "injected {ms} ms stall at iteration {}",
-                        view.record.iteration
-                    ),
-                });
-                std::thread::sleep(Duration::from_millis(ms));
-            }
-            iterations += 1;
-            ctx.events.emit(&Event::Iteration {
-                job: spec.id.clone(),
-                iteration: view.record.iteration,
-                objective: view.value,
-                gradient_rms: view.record.gradient_rms,
-                jumped: view.record.jumped,
-            });
-            let due = ctx.checkpoint_every > 0
-                && (view.record.iteration + 1).is_multiple_of(ctx.checkpoint_every);
-            if due {
-                save_checkpoint(view);
-            }
-            if ctx.stop_requested() || slot.is_some_and(|s| s.stop_requested()) {
-                cancelled = true;
-                if !due {
-                    save_checkpoint(view);
-                }
-                return IterationControl::Stop;
-            }
-            IterationControl::Continue
+        let mut sampler = WallClockSampler {
+            stats: ctx.supervisor.map(Supervisor::iteration_stats),
+            started: None,
         };
-        let pulse: &dyn Heartbeat = match guard.as_ref() {
-            Some(g) => g,
-            None => &NoHeartbeat,
+        let mut control = JobControl {
+            spec,
+            attempt,
+            ctx,
+            slot,
+            fault_panic,
+            stall_pending: fault_stall,
+            iterations: 0,
+            cancelled: false,
         };
-        let result = match resume {
-            Some(cp) => mosaic.resume_supervised(spec.mode, cp, &mut hook, ws, pulse),
-            None => mosaic.run_supervised(spec.mode, &mut hook, ws, pulse),
+        let mut writer = CheckpointWriter {
+            spec,
+            attempt,
+            ctx,
+            fault_save,
         };
+        // The instrument stack composes by nesting tuples; every hook
+        // fans out left to right, so beats land before the control
+        // instrument can sleep (planned stall) or stop the session.
+        let mut stack = (&mut pulse, (&mut sampler, (&mut control, &mut writer)));
+        let mut session = match resume {
+            Some(cp) => mosaic.resume_session(spec.mode, cp),
+            None => mosaic.session(spec.mode),
+        }
+        .workspace(ws);
+        if ctx.checkpoint_dir.is_some() {
+            // Matches JobContext::checkpoint_every's contract: 0 means
+            // capture only at a cooperative stop. Without a checkpoint
+            // directory no snapshot is ever built.
+            session = session.checkpoints(ctx.checkpoint_every);
+        }
+        let result = session.run_instrumented(&mut stack);
+        let (iterations, cancelled) = (control.iterations, control.cancelled);
         let result = match result {
             Ok(r) => r,
             Err(e) => {

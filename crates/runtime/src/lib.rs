@@ -29,10 +29,12 @@
 //!   panics, NaN gradients and heartbeat stalls, keyed on
 //!   `(job, attempt)`.
 //! * [`supervise`] — per-job wall-clock budgets and a heartbeat
-//!   watchdog: the optimizer beats a [`Supervisor`]-issued guard every
-//!   iteration; a dedicated watchdog thread cancels attempts that blow
+//!   watchdog: the job runner's instrument stack beats a
+//!   [`Supervisor`]-issued guard at every iteration start and objective
+//!   evaluation; a dedicated watchdog thread cancels attempts that blow
 //!   their budget or stop beating, and escalates repeated stalls to
-//!   [`JobStatus::TimedOut`].
+//!   [`JobStatus::TimedOut`]. Per-iteration wall times stream into a
+//!   batch-wide [`IterationStats`] for percentile-derived budgets.
 //! * [`degrade`] — the degradation ladder: on a timeout or divergence
 //!   retry the next attempt is downshifted one rung (halve iterations →
 //!   halve SOCS kernels → coarsen the grid), so a struggling job trades
@@ -101,7 +103,7 @@ pub use job::{execute_job, execute_job_in, JobContext, JobMetrics, JobReport, Jo
 pub use scheduler::{
     clamp_workers, default_workers, run_pool, CancelToken, JobExecution, RetryPolicy,
 };
-pub use supervise::{AttemptGuard, JobSlot, Supervisor, SupervisorConfig};
+pub use supervise::{AttemptGuard, IterationStats, JobSlot, Supervisor, SupervisorConfig};
 
 /// The types almost every user of this crate needs.
 pub mod prelude {
@@ -118,5 +120,7 @@ pub mod prelude {
     pub use crate::scheduler::{
         clamp_workers, default_workers, run_pool, CancelToken, JobExecution, RetryPolicy,
     };
-    pub use crate::supervise::{AttemptGuard, JobSlot, Supervisor, SupervisorConfig};
+    pub use crate::supervise::{
+        AttemptGuard, IterationStats, JobSlot, Supervisor, SupervisorConfig,
+    };
 }

@@ -10,8 +10,9 @@
 //!
 //! * every attempt registers an [`AttemptGuard`] with the batch's
 //!   [`Supervisor`] and beats it from inside the optimizer loop (the
-//!   guard implements [`mosaic_core::Heartbeat`], threaded through
-//!   `Mosaic::run_supervised`);
+//!   job runner's instrument stack forwards the session's
+//!   `on_iteration_start` / `on_objective_eval` hooks to
+//!   [`AttemptGuard::beat`]);
 //! * a dedicated watchdog thread ([`Supervisor::watch`]) scans the
 //!   registered slots: an attempt whose heartbeat is older than the
 //!   stall grace period (when stall detection is enabled), or whose
@@ -36,7 +37,6 @@
 //! recovered.
 
 use crate::events::{Event, EventSink};
-use mosaic_core::Heartbeat;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -147,10 +147,11 @@ impl AttemptGuard {
     pub fn slot(&self) -> &JobSlot {
         &self.slot
     }
-}
 
-impl Heartbeat for AttemptGuard {
-    fn beat(&self) {
+    /// Records a liveness beat on the underlying slot. The job runner's
+    /// instrument stack calls this from the session's
+    /// `on_iteration_start` and `on_objective_eval` hooks.
+    pub fn beat(&self) {
         self.slot.beat();
     }
 }
@@ -158,6 +159,57 @@ impl Heartbeat for AttemptGuard {
 impl Drop for AttemptGuard {
     fn drop(&mut self) {
         self.slot.done.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Batch-wide per-iteration wall-clock samples, fed by the job runner's
+/// wall-clock sampler instrument. The distribution is the raw material
+/// for *percentile-derived* budgets: instead of guessing a per-job
+/// timeout up front, a caller can let a few jobs run, read e.g.
+/// [`percentile_ms(95.0)`](IterationStats::percentile_ms) × the
+/// iteration cap, and supervise the rest of the batch against observed
+/// behavior.
+#[derive(Debug, Default)]
+pub struct IterationStats {
+    samples_ms: Mutex<Vec<f64>>,
+}
+
+impl IterationStats {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<f64>> {
+        self.samples_ms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records one iteration's wall time in milliseconds. Non-finite
+    /// samples are dropped.
+    pub fn record(&self, ms: f64) {
+        if ms.is_finite() {
+            self.lock().push(ms);
+        }
+    }
+
+    /// Number of samples recorded so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank) of the recorded
+    /// iteration times, or `None` while no sample exists.
+    pub fn percentile_ms(&self, p: f64) -> Option<f64> {
+        let mut samples = self.lock().clone();
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(f64::total_cmp);
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        Some(samples[rank - 1])
     }
 }
 
@@ -169,6 +221,7 @@ pub struct Supervisor {
     epoch: Instant,
     slots: Mutex<Vec<Arc<JobSlot>>>,
     downshifts: Mutex<HashMap<String, usize>>,
+    iteration_stats: IterationStats,
 }
 
 impl Supervisor {
@@ -180,7 +233,15 @@ impl Supervisor {
             epoch: Instant::now(),
             slots: Mutex::new(Vec::new()),
             downshifts: Mutex::new(HashMap::new()),
+            iteration_stats: IterationStats::default(),
         }
+    }
+
+    /// The batch-wide iteration wall-clock distribution. The job
+    /// runner's sampler instrument records into this; callers read
+    /// percentiles to derive data-driven budgets.
+    pub fn iteration_stats(&self) -> &IterationStats {
+        &self.iteration_stats
     }
 
     fn lock_slots(&self) -> std::sync::MutexGuard<'_, Vec<Arc<JobSlot>>> {
@@ -459,6 +520,31 @@ mod tests {
         assert!(!guard.slot().stop_requested());
         assert!(!guard.slot().timed_out());
         assert_eq!(sup.downshifts("B1-fast"), 0);
+    }
+
+    #[test]
+    fn iteration_stats_percentiles_use_nearest_rank() {
+        let stats = IterationStats::default();
+        assert!(stats.is_empty());
+        assert_eq!(stats.percentile_ms(95.0), None);
+        for ms in [30.0, 10.0, 20.0, 40.0, f64::NAN] {
+            stats.record(ms);
+        }
+        assert_eq!(stats.len(), 4, "non-finite samples are dropped");
+        assert_eq!(stats.percentile_ms(0.0), Some(10.0));
+        assert_eq!(stats.percentile_ms(50.0), Some(20.0));
+        assert_eq!(stats.percentile_ms(75.0), Some(30.0));
+        assert_eq!(stats.percentile_ms(100.0), Some(40.0));
+        assert_eq!(stats.percentile_ms(250.0), Some(40.0), "p is clamped");
+    }
+
+    #[test]
+    fn supervisor_exposes_shared_iteration_stats() {
+        let sup = Supervisor::new(SupervisorConfig::default());
+        sup.iteration_stats().record(12.5);
+        sup.iteration_stats().record(7.5);
+        assert_eq!(sup.iteration_stats().len(), 2);
+        assert_eq!(sup.iteration_stats().percentile_ms(100.0), Some(12.5));
     }
 
     #[test]

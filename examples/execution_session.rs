@@ -1,0 +1,102 @@
+//! Execution sessions: instruments, checkpoint capture, and cross-grid
+//! resume.
+//!
+//! ```text
+//! cargo run --release --example execution_session
+//! ```
+//!
+//! Demonstrates the composable session pipeline behind every MOSAIC
+//! entry point:
+//!
+//! 1. run a session under a *stack* of instruments — a progress printer
+//!    and a checkpoint collector composed as a tuple;
+//! 2. stop the session cooperatively partway through and keep the
+//!    captured checkpoint;
+//! 3. migrate the checkpoint to a coarser grid with
+//!    [`OptimizerCheckpoint::resample_to`] — what the batch runtime's
+//!    degradation ladder does on a coarsen-grid retry — and resume
+//!    there, keeping the fine-grid progress.
+
+use mosaic_suite::prelude::*;
+
+/// Prints per-iteration progress, then asks the session to stop after
+/// `stop_after` iterations — the cooperative-cancellation pattern.
+struct Progress {
+    stop_after: usize,
+}
+
+impl Instrument for Progress {
+    fn on_iteration_end(&mut self, view: &IterationView<'_>) -> IterationControl {
+        println!(
+            "  iter {:>3}  F = {:>10.1}{}",
+            view.record.iteration,
+            view.value,
+            if view.record.jumped { "  (jump)" } else { "" }
+        );
+        if view.record.iteration + 1 >= self.stop_after {
+            IterationControl::Stop
+        } else {
+            IterationControl::Continue
+        }
+    }
+}
+
+/// Keeps the most recent checkpoint the session captures — the
+/// persistence hook (the batch runtime writes these to disk instead).
+#[derive(Default)]
+struct KeepLatest {
+    checkpoint: Option<OptimizerCheckpoint>,
+}
+
+impl Instrument for KeepLatest {
+    fn on_checkpoint(&mut self, checkpoint: &OptimizerCheckpoint) {
+        self.checkpoint = Some(checkpoint.clone());
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut layout = Layout::new(512, 512);
+    layout.push(Polygon::from_rect(Rect::new(160, 120, 230, 400)));
+    layout.push(Polygon::from_rect(Rect::new(340, 120, 410, 400)));
+
+    // Phase 1: a fine 256 px session, stopped after 4 of 8 iterations.
+    // `.checkpoints(0)` captures a snapshot only at the stop boundary.
+    let fine = Mosaic::new(&layout, MosaicConfig::fast_preset(256, 2.0))?;
+    let mut progress = Progress { stop_after: 4 };
+    let mut keeper = KeepLatest::default();
+    let mut stack = (&mut progress, &mut keeper);
+    println!("fine session (256 px @ 2 nm), stopping early:");
+    let partial = fine
+        .session(MosaicMode::Fast)
+        .checkpoints(0)
+        .run_instrumented(&mut stack)?;
+    println!(
+        "stopped after {} iterations, best objective {:.1}",
+        partial.history.len(),
+        partial.history[partial.best_iteration].report.total
+    );
+    let checkpoint = keeper.checkpoint.expect("the stop captured a checkpoint");
+
+    // Phase 2: migrate the 256 px checkpoint to a 128 px grid and
+    // resume. The `P`-field is bilinearly resampled; counters restart,
+    // so the coarse session runs its full iteration budget from the
+    // carried-over mask.
+    let coarse = Mosaic::new(&layout, MosaicConfig::fast_preset(128, 4.0))?;
+    let migrated = checkpoint.resample_to(128, 128);
+    println!("\ncoarse session (128 px @ 4 nm), resuming the migrated checkpoint:");
+    let resumed = coarse
+        .resume_session(MosaicMode::Fast, migrated)
+        .run_instrumented(&mut Progress {
+            stop_after: usize::MAX,
+        })?;
+
+    // A from-scratch coarse run for comparison: the migrated resume
+    // starts from real descent progress instead of the bare target.
+    let scratch = coarse.run_fast()?;
+    let resumed_best = resumed.history[resumed.best_iteration].report.total;
+    let scratch_best = scratch.history[scratch.best_iteration].report.total;
+    println!(
+        "\nbest objective — migrated resume: {resumed_best:.1}, from scratch: {scratch_best:.1}"
+    );
+    Ok(())
+}

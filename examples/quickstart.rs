@@ -6,9 +6,29 @@
 //!
 //! Walks the full MOSAIC pipeline on a two-bar clip at coarse (4 nm)
 //! resolution: build a layout → configure the contest optics → run
-//! MOSAIC_fast → print the contest metrics before and after OPC.
+//! MOSAIC_fast through an [`ExecutionSession`] with a live progress
+//! instrument → print the contest metrics before and after OPC.
 
 use mosaic_suite::prelude::*;
+
+/// Prints each iteration of Alg. 1 as it completes — an [`Instrument`]
+/// observing the session.
+struct Trace;
+
+impl Instrument for Trace {
+    fn on_iteration_end(&mut self, view: &IterationView<'_>) -> IterationControl {
+        let record = view.record;
+        println!(
+            "{:>4}  {:>10.1}  {:>10.1}  {:>7.1}{}",
+            record.iteration,
+            record.report.total,
+            record.report.target,
+            record.report.pvb,
+            if record.jumped { "  (jump)" } else { "" }
+        );
+        IterationControl::Continue
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A 512 nm clip with two vertical bars (70 nm wide, 110 nm apart).
@@ -32,9 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         before.score.total()
     );
 
-    // 4. Run MOSAIC_fast (Eq. (20): image difference + PV band).
+    // 4. Run MOSAIC_fast (Eq. (20): image difference + PV band) as an
+    //    ExecutionSession, tracing the descent of Alg. 1 live through
+    //    an instrument.
+    println!("\niter  F_total     F_target    F_pvb");
     let start = std::time::Instant::now();
-    let result = mosaic.run_fast()?;
+    let result = mosaic
+        .session(MosaicMode::Fast)
+        .run_instrumented(&mut Trace)?;
     let runtime = start.elapsed().as_secs_f64();
     println!(
         "optimized in {runtime:.1}s over {} iterations (best at {})",
@@ -50,19 +75,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         after.pvband_nm2,
         after.score.total()
     );
-
-    // 6. The objective trace shows the descent of Alg. 1.
-    println!("\niter  F_total     F_target    F_pvb");
-    for record in &result.history {
-        println!(
-            "{:>4}  {:>10.1}  {:>10.1}  {:>7.1}{}",
-            record.iteration,
-            record.report.total,
-            record.report.target,
-            record.report.pvb,
-            if record.jumped { "  (jump)" } else { "" }
-        );
-    }
 
     assert!(
         after.score.total() <= before.score.total(),

@@ -39,6 +39,19 @@ tier1() {
     -- -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
   echo "=== tier1: supervision soak"
   soak
+  echo "=== tier1: rustdoc (warnings denied)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+  echo "=== tier1: single-pipeline API gate"
+  # The run/resume/supervised entry-point matrix was collapsed into
+  # ExecutionSession (DESIGN.md §11); the deprecated shims live in
+  # mosaic-core's compat module and nowhere else. Fail if a
+  # non-deprecated *_with/*_in/*_supervised public entry point
+  # reappears in mosaic-core outside that module.
+  if grep -rEn 'pub fn [a-zA-Z0-9_]+_(with|in|supervised)\s*(<|\()' \
+      crates/core/src --include='*.rs' | grep -v 'compat\.rs'; then
+    echo "FAILED: duplicate public entry point outside compat.rs (use ExecutionSession)"
+    exit 1
+  fi
   echo "=== tier1: fmt"
   cargo fmt --all --check
   echo "tier1 OK"

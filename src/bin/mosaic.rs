@@ -3,7 +3,8 @@
 //! ```text
 //! mosaic gen   --bench B4 [--out clip.glp]
 //! mosaic run   --clip clip.glp [--mode fast|exact] [--grid 512] [--pixel 2]
-//!              [--iterations 20] [--out-mask mask.pgm] [--out-glp mask.glp]
+//!              [--iterations 20] [--progress 1] [--out-mask mask.pgm]
+//!              [--out-glp mask.glp]
 //! mosaic eval  --clip clip.glp --mask mask.pgm [--grid 512] [--pixel 2]
 //! mosaic batch --bench all [--mode fast|exact] [--preset contest|fast]
 //!              [--grid 512] [--pixel 2] [--iterations 20] [--jobs 4]
@@ -13,7 +14,10 @@
 //!
 //! * `gen` writes one of the built-in benchmark clips as GLP text.
 //! * `run` optimizes a mask for a clip and reports the contest score;
-//!   `--out-glp` traces the pixel mask back into Manhattan polygons.
+//!   `--progress <n>` streams objective/gradient progress to stderr
+//!   every n iterations (an `Instrument` on the `ExecutionSession`),
+//!   and `--out-glp` traces the pixel mask back into Manhattan
+//!   polygons.
 //! * `eval` scores an existing mask image against a clip.
 //! * `batch` runs many benchmark clips through the parallel runtime,
 //!   sharing one simulator per configuration across `--jobs` workers,
@@ -49,7 +53,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   mosaic gen   --bench <B1..B10> [--out <clip.glp>]
   mosaic run   --clip <clip.glp> [--mode fast|exact] [--grid <px>] [--pixel <nm>]
-               [--iterations <n>] [--out-mask <mask.pgm>] [--out-glp <mask.glp>]
+               [--iterations <n>] [--progress <n>] [--out-mask <mask.pgm>]
+               [--out-glp <mask.glp>]
   mosaic eval  --clip <clip.glp> --mask <mask.pgm> [--grid <px>] [--pixel <nm>]
   mosaic batch --bench all|<B1,B3,..> [--mode fast|exact] [--preset contest|fast]
                [--grid <px>] [--pixel <nm>] [--iterations <n>] [--jobs <n>]
@@ -66,6 +71,7 @@ const RUN_FLAGS: &[&str] = &[
     "grid",
     "pixel",
     "iterations",
+    "progress",
     "out-mask",
     "out-glp",
 ];
@@ -223,6 +229,28 @@ fn load_clip(flags: &HashMap<String, String>) -> Result<Layout, String> {
     glp::parse_clip(&text).map_err(|e| e.to_string())
 }
 
+/// Streams objective progress to stderr every `every` completed
+/// iterations — the CLI's [`Instrument`] over the run's
+/// [`ExecutionSession`].
+struct ProgressTicker {
+    every: usize,
+}
+
+impl Instrument for ProgressTicker {
+    fn on_iteration_end(&mut self, view: &IterationView<'_>) -> IterationControl {
+        if (view.record.iteration + 1).is_multiple_of(self.every) {
+            eprintln!(
+                "  iter {:>4}  F = {:.6e}  |grad| = {:.3e}{}",
+                view.record.iteration,
+                view.value,
+                view.record.gradient_rms,
+                if view.record.jumped { "  (jump)" } else { "" }
+            );
+        }
+        IterationControl::Continue
+    }
+}
+
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let layout = load_clip(flags)?;
     let (grid, pixel) = scale_from(flags)?;
@@ -236,7 +264,20 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         mosaic.problem().samples().len()
     );
     let start = std::time::Instant::now();
-    let result = mosaic.run(mode).map_err(|e| e.to_string())?;
+    let session = mosaic.session(mode);
+    let result = match flags.get("progress") {
+        Some(v) => {
+            let every: usize = v
+                .parse()
+                .map_err(|_| format!("--progress: '{v}' is not a count"))?;
+            let mut ticker = ProgressTicker {
+                every: every.max(1),
+            };
+            session.run_instrumented(&mut ticker)
+        }
+        None => session.run(),
+    }
+    .map_err(|e| e.to_string())?;
     let runtime = start.elapsed().as_secs_f64();
 
     let problem = mosaic.problem();
