@@ -8,7 +8,7 @@
 
 use crate::cache::SimCache;
 use crate::degrade::DegradationLadder;
-use crate::events::{Event, EventSink};
+use crate::events::{Event, EventObserver, EventSink};
 use crate::fault::FaultPlan;
 use crate::job::{execute_job, JobContext, JobMetrics, JobReport, JobSpec, JobStatus};
 use crate::salvage;
@@ -32,6 +32,9 @@ pub struct BatchConfig {
     pub retry_backoff: Duration,
     /// JSONL report path; `None` disables event output.
     pub report: Option<PathBuf>,
+    /// Live tee: every rendered event line is also handed to this
+    /// observer (`mosaic batch --watch`, the serve event stream).
+    pub observer: Option<EventObserver>,
     /// Checkpoint root directory; `None` disables checkpoint/resume.
     pub checkpoint_dir: Option<PathBuf>,
     /// Checkpoint every N iterations (0 = only when cancelled).
@@ -59,6 +62,7 @@ impl Default for BatchConfig {
             retries: 1,
             retry_backoff: Duration::ZERO,
             report: None,
+            observer: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
             deadline: None,
@@ -103,6 +107,18 @@ pub struct BatchOutcome {
     pub timed_out: usize,
     /// Structured report of every failed job, in input order.
     pub failures: Vec<JobFailure>,
+    /// Jobs whose reported metrics were salvaged from a partial result
+    /// (cancelled / timed-out best-so-far masks and checkpoint-salvaged
+    /// failures).
+    pub salvaged: usize,
+    /// `fault` events emitted over the batch.
+    pub faults: usize,
+    /// `degrade` events emitted over the batch.
+    pub degrades: usize,
+    /// Distinct simulator configurations the shared cache built.
+    pub sim_configs: usize,
+    /// Kernel-bank constructions the shared cache avoided.
+    pub sim_cache_hits: usize,
     /// Sum of runtime-excluded quality scores over everything the batch
     /// actually produced: finished jobs plus salvaged partial results.
     pub total_quality_score: f64,
@@ -118,10 +134,14 @@ pub struct BatchOutcome {
 /// per job inside the outcome, never as an `Err`.
 pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOutcome> {
     let started = Instant::now();
-    let events = Arc::new(match &config.report {
+    let mut sink = match &config.report {
         Some(path) => EventSink::to_file(path)?,
         None => EventSink::null(),
-    });
+    };
+    if let Some(observer) = &config.observer {
+        sink = sink.with_observer(observer.clone());
+    }
+    let events = Arc::new(sink);
     let cache = SimCache::new();
     let deadline = config.deadline.map(|d| started + d);
     events.emit(&Event::BatchStart {
@@ -181,6 +201,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
     let mut failed = 0usize;
     let mut cancelled = 0usize;
     let mut timed_out = 0usize;
+    let mut salvaged_jobs = 0usize;
     let mut failures = Vec::new();
     let mut total_quality_score = 0.0f64;
     for (spec, execution) in specs.iter().zip(&results) {
@@ -190,6 +211,9 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
                     JobStatus::Cancelled => cancelled += 1,
                     JobStatus::TimedOut => timed_out += 1,
                     _ => finished += 1,
+                }
+                if result.degraded && result.metrics.is_some() {
+                    salvaged_jobs += 1;
                 }
                 // Salvaged metrics count too: the quality total
                 // reflects what the batch actually produced.
@@ -214,6 +238,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
                 });
                 if let Some(m) = &salvaged {
                     total_quality_score += m.quality_score;
+                    salvaged_jobs += 1;
                 }
                 let (epe, pvb, shape, quality) = match &salvaged {
                     Some(m) => (
@@ -275,6 +300,24 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         total_quality_score,
         wall_s,
     });
+    // Machine-readable roll-up of the resilience machinery: the final
+    // line a dashboard (or `mosaic batch --watch`) consumes instead of
+    // folding the whole feed. Emitted after BatchFinish so tools keyed
+    // on the legacy terminal event keep working.
+    let (sim_configs, sim_cache_hits) = (cache.len(), cache.hits());
+    let (faults, degrades) = (events.fault_count(), events.degrade_count());
+    events.emit(&Event::BatchSummary {
+        finished,
+        failed,
+        cancelled,
+        timed_out,
+        salvaged: salvaged_jobs,
+        faults,
+        degrades,
+        result_cache_hits: 0,
+        sim_configs,
+        sim_cache_hits,
+    });
     Ok(BatchOutcome {
         results,
         finished,
@@ -282,6 +325,11 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         cancelled,
         timed_out,
         failures,
+        salvaged: salvaged_jobs,
+        faults,
+        degrades,
+        sim_configs,
+        sim_cache_hits,
         total_quality_score,
         wall_s,
     })

@@ -15,6 +15,7 @@ use mosaic_optics::{
     LithoSimulator, OpticsConfig, OpticsError, ProcessCondition, ResistModel, SimKey,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A thread-safe memo table of simulators keyed on their configuration.
@@ -22,10 +23,14 @@ use std::sync::{Arc, Mutex};
 /// The mutex is held *across* a build: if two workers race on a missing
 /// configuration, the second blocks until the first finishes rather than
 /// duplicating an expensive kernel-bank construction. Cache hits only
-/// hold the lock for a map lookup.
+/// hold the lock for a map lookup. Hits and misses are counted so the
+/// end-of-batch summary (and the `mosaic serve` `stats` response) can
+/// report how much kernel-bank construction the cache avoided.
 #[derive(Debug, Default)]
 pub struct SimCache {
     inner: Mutex<HashMap<SimKey, Arc<LithoSimulator>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
 }
 
 impl SimCache {
@@ -54,11 +59,24 @@ impl SimCache {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(sim) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(sim));
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let sim = Arc::new(LithoSimulator::new(optics, resist, conditions.to_vec())?);
         map.insert(key, Arc::clone(&sim));
         Ok(sim)
+    }
+
+    /// Lookups answered from the memo table.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build a simulator (failed builds included —
+    /// they paid the construction attempt).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Number of distinct configurations built so far.
@@ -101,6 +119,8 @@ mod tests {
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
     }
 
     #[test]

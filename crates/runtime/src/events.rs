@@ -6,13 +6,19 @@
 //! batch runs and post-processed with standard tools.
 //!
 //! The encoder is hand-rolled (no serde in a std-only workspace): every
-//! event knows how to render itself, strings are escaped, and
-//! non-finite floats become `null` so the output is always valid JSON.
+//! event knows how to render itself, strings are escaped through the
+//! shared wire-safe escaper in [`crate::jsonl`], and non-finite floats
+//! become `null` so the output is always valid JSON. The same lines are
+//! what `mosaic serve` streams to remote watchers, so a sink can tee
+//! every rendered line to an in-process [`EventObserver`] in addition
+//! to (or instead of) the report file.
 
+use crate::jsonl::{push_json_f64, push_json_string};
 use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One progress event. Times (`t`) are seconds since the sink was
@@ -131,6 +137,50 @@ pub enum Event {
         /// (0 = original configuration).
         degrade_step: usize,
     },
+    /// A submission was answered from a result cache without scheduling
+    /// a worker (`mosaic serve`'s LRU keyed on clip-hash × preset).
+    CacheHit {
+        /// Job identifier of the answered submission.
+        job: String,
+        /// Hex fingerprint of the (clip, preset) cache key.
+        fingerprint: String,
+        /// Job identifier whose completed run populated the entry.
+        source_job: String,
+    },
+    /// Machine-readable end-of-batch roll-up: how often each resilience
+    /// mechanism fired, in one line a dashboard (or the `mosaic serve`
+    /// `stats` response) can consume without folding the whole feed.
+    /// Emitted once, immediately after [`Event::BatchFinish`].
+    BatchSummary {
+        /// Jobs that finished successfully.
+        finished: usize,
+        /// Jobs that failed every attempt.
+        failed: usize,
+        /// Jobs cancelled before or during a run.
+        cancelled: usize,
+        /// Jobs whose final attempt timed out under supervision.
+        timed_out: usize,
+        /// Jobs whose reported metrics came from a salvaged partial
+        /// result (cancelled / timed-out best-so-far masks plus
+        /// checkpoint-salvaged failures).
+        salvaged: usize,
+        /// `fault` events emitted over the batch (injected faults plus
+        /// contained runtime hazards).
+        faults: usize,
+        /// `degrade` events emitted over the batch (attempts run at a
+        /// lowered ladder rung).
+        degrades: usize,
+        /// Submissions answered from a result cache without scheduling
+        /// a worker (always 0 for a local `mosaic batch`; meaningful
+        /// under `mosaic serve`).
+        result_cache_hits: usize,
+        /// Distinct simulator configurations built by the shared
+        /// [`crate::cache::SimCache`].
+        sim_configs: usize,
+        /// Kernel-bank constructions avoided because a simulator was
+        /// already cached.
+        sim_cache_hits: usize,
+    },
     /// The whole batch drained.
     BatchFinish {
         /// Jobs that finished successfully.
@@ -148,34 +198,6 @@ pub enum Event {
         /// Batch wall time, seconds.
         wall_s: f64,
     },
-}
-
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn push_json_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        // `Display` for f64 never prints exponents for typical score
-        // magnitudes and always round-trips the shortest decimal form.
-        let _ = write!(out, "{v}");
-    } else {
-        out.push_str("null");
-    }
 }
 
 impl Event {
@@ -299,6 +321,36 @@ impl Event {
                     ",\"attempts\":{attempts},\"recoveries\":{recoveries},\"degraded\":{degraded},\"degrade_step\":{degrade_step}"
                 );
             }
+            Event::CacheHit {
+                job,
+                fingerprint,
+                source_job,
+            } => {
+                o.push_str("\"cache_hit\",\"job\":");
+                push_json_string(&mut o, job);
+                o.push_str(",\"fingerprint\":");
+                push_json_string(&mut o, fingerprint);
+                o.push_str(",\"source_job\":");
+                push_json_string(&mut o, source_job);
+            }
+            Event::BatchSummary {
+                finished,
+                failed,
+                cancelled,
+                timed_out,
+                salvaged,
+                faults,
+                degrades,
+                result_cache_hits,
+                sim_configs,
+                sim_cache_hits,
+            } => {
+                o.push_str("\"batch_summary\"");
+                let _ = write!(
+                    o,
+                    ",\"finished\":{finished},\"failed\":{failed},\"cancelled\":{cancelled},\"timed_out\":{timed_out},\"salvaged\":{salvaged},\"faults\":{faults},\"degrades\":{degrades},\"result_cache_hits\":{result_cache_hits},\"sim_configs\":{sim_configs},\"sim_cache_hits\":{sim_cache_hits}"
+                );
+            }
             Event::BatchFinish {
                 finished,
                 failed,
@@ -325,41 +377,82 @@ impl Event {
     }
 }
 
+/// A shareable callback receiving every rendered event line. This is
+/// how live consumers tap the feed: `mosaic batch --watch` prints each
+/// line to stdout, and `mosaic serve` routes lines into per-job buffers
+/// that remote watch connections stream from.
+#[derive(Clone)]
+pub struct EventObserver(Arc<dyn Fn(&str) + Send + Sync>);
+
+impl EventObserver {
+    /// Wraps a callback. The callback sees the rendered JSON line
+    /// without its trailing newline and must not block: it runs on the
+    /// emitting worker's thread under the sink's lock ordering.
+    pub fn new(f: impl Fn(&str) + Send + Sync + 'static) -> Self {
+        EventObserver(Arc::new(f))
+    }
+
+    /// Invokes the callback on one rendered line.
+    pub fn observe(&self, line: &str) {
+        (self.0)(line);
+    }
+}
+
+impl std::fmt::Debug for EventObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EventObserver(..)")
+    }
+}
+
 /// Thread-safe JSONL event writer shared by every worker.
 ///
 /// Each [`EventSink::emit`] appends one line and flushes, so a tailing
 /// reader (or a crashed batch's post-mortem) always sees whole events.
-/// Emission never panics: I/O errors are counted and reported at the
-/// end instead of killing workers mid-job.
+/// An optional [`EventObserver`] is teed every rendered line for live
+/// consumers. Emission never panics: I/O errors are counted and
+/// reported at the end instead of killing workers mid-job.
 #[derive(Debug)]
 pub struct EventSink {
     out: Mutex<Option<std::fs::File>>,
+    observer: Option<EventObserver>,
     started: Instant,
     write_errors: Mutex<usize>,
+    faults: AtomicUsize,
+    degrades: AtomicUsize,
 }
 
 impl EventSink {
+    fn with_out(out: Option<std::fs::File>) -> Self {
+        EventSink {
+            out: Mutex::new(out),
+            observer: None,
+            started: Instant::now(),
+            write_errors: Mutex::new(0),
+            faults: AtomicUsize::new(0),
+            degrades: AtomicUsize::new(0),
+        }
+    }
+
     /// A sink that appends to `path` (created or truncated).
     ///
     /// # Errors
     ///
     /// Propagates file-creation errors.
     pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
-        let file = std::fs::File::create(path)?;
-        Ok(EventSink {
-            out: Mutex::new(Some(file)),
-            started: Instant::now(),
-            write_errors: Mutex::new(0),
-        })
+        Ok(EventSink::with_out(Some(std::fs::File::create(path)?)))
     }
 
     /// A sink that discards every event — for runs without `--report`.
     pub fn null() -> Self {
-        EventSink {
-            out: Mutex::new(None),
-            started: Instant::now(),
-            write_errors: Mutex::new(0),
-        }
+        EventSink::with_out(None)
+    }
+
+    /// Tees every rendered line to `observer` (in addition to the file,
+    /// when one is configured).
+    #[must_use]
+    pub fn with_observer(mut self, observer: EventObserver) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Seconds since the sink was created (the batch clock).
@@ -369,23 +462,37 @@ impl EventSink {
 
     /// Appends one event line, stamped with the batch clock.
     pub fn emit(&self, event: &Event) {
-        let line = event.to_json(self.elapsed_s());
-        let mut guard = self
-            .out
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(file) = guard.as_mut() {
-            let ok = file
-                .write_all(line.as_bytes())
-                .and_then(|()| file.write_all(b"\n"))
-                .and_then(|()| file.flush())
-                .is_ok();
-            if !ok {
-                *self
-                    .write_errors
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+        match event {
+            Event::Fault { .. } => {
+                self.faults.fetch_add(1, Ordering::Relaxed);
             }
+            Event::Degrade { .. } => {
+                self.degrades.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        let line = event.to_json(self.elapsed_s());
+        {
+            let mut guard = self
+                .out
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(file) = guard.as_mut() {
+                let ok = file
+                    .write_all(line.as_bytes())
+                    .and_then(|()| file.write_all(b"\n"))
+                    .and_then(|()| file.flush())
+                    .is_ok();
+                if !ok {
+                    *self
+                        .write_errors
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+                }
+            }
+        }
+        if let Some(observer) = &self.observer {
+            observer.observe(&line);
         }
     }
 
@@ -395,6 +502,16 @@ impl EventSink {
             .write_errors
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// `fault` events emitted through this sink so far.
+    pub fn fault_count(&self) -> usize {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// `degrade` events emitted through this sink so far.
+    pub fn degrade_count(&self) -> usize {
+        self.degrades.load(Ordering::Relaxed)
     }
 }
 
@@ -521,6 +638,79 @@ mod tests {
         assert!(lines[0].starts_with("{\"event\":\"batch_start\""));
         assert!(lines[1].contains("\"total_quality_score\":42"));
         assert_eq!(sink.write_errors(), 0);
+    }
+
+    #[test]
+    fn batch_summary_renders_every_counter() {
+        let e = Event::BatchSummary {
+            finished: 8,
+            failed: 1,
+            cancelled: 1,
+            timed_out: 2,
+            salvaged: 3,
+            faults: 4,
+            degrades: 2,
+            result_cache_hits: 5,
+            sim_configs: 1,
+            sim_cache_hits: 9,
+        };
+        let json = e.to_json(2.0);
+        assert!(json.starts_with("{\"event\":\"batch_summary\""));
+        assert!(json.contains("\"salvaged\":3"));
+        assert!(json.contains("\"faults\":4"));
+        assert!(json.contains("\"degrades\":2"));
+        assert!(json.contains("\"result_cache_hits\":5"));
+        assert!(json.contains("\"sim_cache_hits\":9"));
+    }
+
+    #[test]
+    fn observer_sees_every_rendered_line() {
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let tee = Arc::clone(&seen);
+        let sink = EventSink::null().with_observer(EventObserver::new(move |line| {
+            tee.lock().unwrap().push(line.to_string());
+        }));
+        sink.emit(&Event::BatchStart {
+            jobs: 1,
+            workers: 1,
+        });
+        sink.emit(&Event::Fault {
+            job: "j".into(),
+            attempt: 1,
+            kind: "stall".into(),
+            detail: "quote \" and slash \\".into(),
+        });
+        let lines = seen.lock().unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"batch_start\""));
+        assert!(lines[1].contains("\"detail\":\"quote \\\" and slash \\\\\""));
+        assert_eq!(sink.fault_count(), 1);
+        assert_eq!(sink.degrade_count(), 0);
+    }
+
+    #[test]
+    fn sink_counts_fault_and_degrade_events() {
+        let sink = EventSink::null();
+        sink.emit(&Event::Degrade {
+            job: "j".into(),
+            attempt: 2,
+            step: 1,
+            detail: "halve_iterations".into(),
+        });
+        sink.emit(&Event::Degrade {
+            job: "j".into(),
+            attempt: 3,
+            step: 2,
+            detail: "halve_kernels".into(),
+        });
+        sink.emit(&Event::Fault {
+            job: "j".into(),
+            attempt: 1,
+            kind: "panic".into(),
+            detail: "boom".into(),
+        });
+        assert_eq!(sink.degrade_count(), 2);
+        assert_eq!(sink.fault_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Shared JSONL string/number encoding.
+//!
+//! The runtime hand-rolls its JSON (the workspace is std-only, no
+//! serde), and with `mosaic serve` those lines now travel over the
+//! wire to remote clients, not just into a local report file. Every
+//! producer — the [`crate::events`] sink and the serve crate's wire
+//! responses — must therefore agree on one escaper, kept here, so a
+//! path or panic message containing `"`, `\` or control characters can
+//! never produce an invalid (or consumer-splitting) line.
+//!
+//! Beyond the mandatory JSON escapes (`"`, `\`, control characters),
+//! the encoder escapes U+2028 LINE SEPARATOR, U+2029 PARAGRAPH
+//! SEPARATOR and U+007F DEL: all three are *legal* raw inside JSON
+//! strings, but line-oriented wire consumers (JavaScript `eval`-family
+//! parsers, naive line splitters, terminal tails) mis-handle them, and
+//! a JSONL protocol is exactly one line per message.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a quoted, fully escaped JSON string.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` to `out` as a JSON number; non-finite values (which JSON
+/// cannot represent) become `null`.
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `Display` for f64 never prints exponents and always
+        // round-trips the shortest decimal form.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// `s` as a standalone quoted JSON string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_json_string(&mut out, s);
+    out
+}
+
+/// Extracts the raw value of a top-level `"key":"value"` string field
+/// from a single JSON object line produced by this module's escaper.
+///
+/// This is *not* a JSON parser: it exists so the serve layer can route
+/// an already-rendered event line to the right per-job feed without
+/// re-rendering, and it is only guaranteed to work on values that
+/// contain no escape sequences — which holds for server-generated job
+/// ids (`[A-Za-z0-9._-]` only). Returns `None` when the key is absent
+/// or its value contains an escape.
+pub fn extract_plain_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    let value = &rest[..end];
+    if value.contains('\\') {
+        return None;
+    }
+    Some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotes_and_backslashes_escape() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn windows_path_round_trips_as_valid_json() {
+        // The motivating case: an I/O error message carrying a path
+        // with backslashes must stay one valid JSON string.
+        let mut out = String::new();
+        push_json_string(&mut out, "read C:\\ckpt\\\"B1\"\\state.txt failed");
+        assert_eq!(out, "\"read C:\\\\ckpt\\\\\\\"B1\\\"\\\\state.txt failed\"");
+    }
+
+    #[test]
+    fn control_and_separator_chars_escape_to_u_sequences() {
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_string("\u{7f}"), "\"\\u007f\"");
+        assert_eq!(json_string("\u{2028}"), "\"\\u2028\"");
+        assert_eq!(json_string("\u{2029}"), "\"\\u2029\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::NAN);
+        out.push(' ');
+        push_json_f64(&mut out, f64::NEG_INFINITY);
+        out.push(' ');
+        push_json_f64(&mut out, 1.5);
+        assert_eq!(out, "null null 1.5");
+    }
+
+    #[test]
+    fn extract_plain_field_finds_job_ids() {
+        let line = "{\"event\":\"fault\",\"job\":\"j3-B1-fast\",\"detail\":\"x\"}";
+        assert_eq!(extract_plain_field(line, "job"), Some("j3-B1-fast"));
+        assert_eq!(extract_plain_field(line, "missing"), None);
+        // Escaped values are refused, not mis-parsed.
+        let tricky = "{\"job\":\"a\\\"b\"}";
+        assert_eq!(extract_plain_field(tricky, "job"), None);
+    }
+}

@@ -90,6 +90,7 @@ pub mod degrade;
 pub mod events;
 pub mod fault;
 pub mod job;
+pub mod jsonl;
 pub mod salvage;
 pub mod scheduler;
 pub mod supervise;
@@ -97,7 +98,7 @@ pub mod supervise;
 pub use batch::{render_summary, run_batch, BatchConfig, BatchOutcome, JobFailure};
 pub use cache::SimCache;
 pub use degrade::{DegradationLadder, DegradeStep};
-pub use events::{Event, EventSink};
+pub use events::{Event, EventObserver, EventSink};
 pub use fault::{FaultKind, FaultPlan};
 pub use job::{execute_job, execute_job_in, JobContext, JobMetrics, JobReport, JobSpec, JobStatus};
 pub use scheduler::{
@@ -111,11 +112,12 @@ pub mod prelude {
     pub use crate::cache::SimCache;
     pub use crate::checkpoint;
     pub use crate::degrade::{DegradationLadder, DegradeStep};
-    pub use crate::events::{Event, EventSink};
+    pub use crate::events::{Event, EventObserver, EventSink};
     pub use crate::fault::{FaultKind, FaultPlan};
     pub use crate::job::{
         execute_job, execute_job_in, JobContext, JobMetrics, JobReport, JobSpec, JobStatus,
     };
+    pub use crate::jsonl;
     pub use crate::salvage;
     pub use crate::scheduler::{
         clamp_workers, default_workers, run_pool, CancelToken, JobExecution, RetryPolicy,

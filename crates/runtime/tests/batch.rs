@@ -217,8 +217,9 @@ fn report_is_valid_jsonl_covering_the_lifecycle() {
 
     let text = std::fs::read_to_string(&report).unwrap();
     let lines: Vec<&str> = text.lines().collect();
-    // batch_start + per job (start + 2 iterations + finish) + batch_finish
-    assert_eq!(lines.len(), 1 + 2 * 4 + 1);
+    // batch_start + per job (start + 2 iterations + finish) +
+    // batch_finish + batch_summary
+    assert_eq!(lines.len(), 1 + 2 * 4 + 2);
     for line in &lines {
         assert!(line.starts_with("{\"event\":\""), "line: {line}");
         assert!(line.ends_with('}'), "line: {line}");
@@ -228,7 +229,13 @@ fn report_is_valid_jsonl_covering_the_lifecycle() {
         assert_eq!(line.matches('"').count() % 2, 0, "line: {line}");
     }
     assert!(lines[0].contains("\"event\":\"batch_start\""));
-    assert!(lines.last().unwrap().contains("\"event\":\"batch_finish\""));
+    assert!(lines[lines.len() - 2].contains("\"event\":\"batch_finish\""));
+    // The machine-readable roll-up is the last line of every report.
+    let summary = lines.last().unwrap();
+    assert!(summary.contains("\"event\":\"batch_summary\""));
+    assert!(summary.contains("\"finished\":2"));
+    assert!(summary.contains("\"salvaged\":0"));
+    assert!(summary.contains("\"sim_configs\":1"));
     for id in ["B1-fast", "B3-fast"] {
         assert!(text.contains(&format!("\"event\":\"job_start\",\"job\":\"{id}\"")));
         assert!(text.contains(&format!("\"event\":\"job_finish\",\"job\":\"{id}\"")));

@@ -1,0 +1,292 @@
+//! Per-connection request dispatch.
+//!
+//! One handler thread owns one client socket. Reads run under a short
+//! timeout so the loop can notice server shutdown even when the client
+//! goes quiet; writes block (a slow watcher throttles only its own
+//! feed — every other job's watchers read from their own record
+//! buffer, never through this connection).
+
+use crate::protocol::{error_line, parse_request, Request};
+use crate::server::{ServerShared, Submission};
+use crate::store::{JobOutcome, JobRecord};
+use mosaic_runtime::jsonl::{push_json_f64, push_json_string};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Read-timeout granularity: how often an idle connection re-checks
+/// the stopping flag, and how long a watch poll blocks per round.
+const POLL: Duration = Duration::from_millis(200);
+
+/// Incremental line splitter over a read-timeout socket. A timeout is
+/// not an error here — it is the poll point where the caller's stop
+/// check runs; partial lines survive timeouts because the buffer is
+/// owned, not borrowed from `BufReader` internals.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Next full line (without the newline), or `None` on EOF / stop.
+    fn next_line(&mut self, stop: &dyn Fn() -> bool) -> Option<String> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if stop() {
+                        return None;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+/// Serves one client until it disconnects or the server stops.
+pub(crate) fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader::new(stream);
+    while let Some(line) = reader.next_line(&|| shared.stopping()) {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if dispatch(line, shared, &mut writer).is_err() {
+            return; // client is gone; nothing left to tell it
+        }
+    }
+}
+
+/// Parses and executes one request line, writing every response line.
+fn dispatch(line: &str, shared: &Arc<ServerShared>, writer: &mut TcpStream) -> std::io::Result<()> {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return write_line(writer, &error_line(&e)),
+    };
+    match request {
+        Request::Submit(params) => match shared.submit(params) {
+            Submission::Queued(record) => write_line(writer, &submit_line(&record, false)),
+            Submission::Cached(record) => write_line(writer, &submit_line(&record, true)),
+            Submission::Refused(reason) => write_line(writer, &error_line(&reason)),
+        },
+        Request::Watch { job, from } => watch(shared, writer, &job, from),
+        Request::Fetch { job } => match shared.store.get(&job) {
+            Some(record) => write_line(writer, &fetch_line(&record)),
+            None => write_line(writer, &error_line(&format!("unknown job '{job}'"))),
+        },
+        Request::Cancel { job } => match shared.store.get(&job) {
+            Some(record) => {
+                // Queued jobs terminalize here; running jobs only get
+                // their token fired — the worker terminalizes them at
+                // the next iteration boundary.
+                let was_queued = record.cancel_queued();
+                if !was_queued {
+                    record.cancel.cancel();
+                }
+                let mut o = String::from("{\"ok\":true,\"job\":");
+                push_json_string(&mut o, &record.id);
+                o.push_str(",\"state\":");
+                push_json_string(&mut o, record.state().name());
+                o.push('}');
+                write_line(writer, &o)
+            }
+            None => write_line(writer, &error_line(&format!("unknown job '{job}'"))),
+        },
+        Request::Stats => write_line(writer, &stats_line(shared)),
+        Request::Ping => write_line(writer, "{\"ok\":true,\"pong\":true}"),
+        Request::Shutdown { drain } => {
+            let mode = if drain { "drain" } else { "now" };
+            let response = format!("{{\"ok\":true,\"shutting_down\":true,\"mode\":\"{mode}\"}}");
+            write_line(writer, &response)?;
+            shared.begin_shutdown(drain);
+            Ok(())
+        }
+    }
+}
+
+/// Streams a job's feed: full replay from `from`, then live lines until
+/// the job terminalizes, closed by a `watch_end` line carrying the
+/// terminal state. Lossless by construction — lines come out of the
+/// record's append-only buffer, so two concurrent watchers (or a late
+/// one) see the identical sequence.
+fn watch(
+    shared: &Arc<ServerShared>,
+    writer: &mut TcpStream,
+    job: &str,
+    from: usize,
+) -> std::io::Result<()> {
+    let Some(record) = shared.store.get(job) else {
+        return write_line(writer, &error_line(&format!("unknown job '{job}'")));
+    };
+    let mut o = String::from("{\"ok\":true,\"job\":");
+    push_json_string(&mut o, &record.id);
+    o.push_str(&format!(",\"watching\":true,\"from\":{from}}}"));
+    write_line(writer, &o)?;
+    let mut next = from;
+    loop {
+        let (lines, state) = record.wait_lines(next, POLL);
+        for line in &lines {
+            write_line(writer, line)?;
+        }
+        next += lines.len();
+        if state.terminal() {
+            // wait_lines returns lines and state from one lock
+            // acquisition, and the worker pushes a job's last line
+            // before terminalizing it, so a terminal state here means
+            // the feed is complete.
+            let mut end = String::from("{\"event\":\"watch_end\",\"job\":");
+            push_json_string(&mut end, &record.id);
+            end.push_str(",\"state\":");
+            push_json_string(&mut end, state.name());
+            end.push_str(&format!(",\"lines\":{next}"));
+            end.push('}');
+            return write_line(writer, &end);
+        }
+    }
+}
+
+fn submit_line(record: &Arc<JobRecord>, cached: bool) -> String {
+    let mut o = String::from("{\"ok\":true,\"job\":");
+    push_json_string(&mut o, &record.id);
+    o.push_str(",\"state\":");
+    push_json_string(&mut o, record.state().name());
+    o.push_str(&format!(",\"cached\":{cached}}}"));
+    o
+}
+
+fn push_outcome(o: &mut String, outcome: &JobOutcome) {
+    o.push_str(&format!(
+        ",\"iterations\":{},\"wall_s\":",
+        outcome.iterations
+    ));
+    push_json_f64(o, outcome.wall_s);
+    o.push_str(&format!(
+        ",\"attempts\":{},\"degraded\":{},\"degrade_step\":{}",
+        outcome.attempts, outcome.degraded, outcome.degrade_step
+    ));
+    o.push_str(",\"error\":");
+    match &outcome.error {
+        Some(e) => push_json_string(o, e),
+        None => o.push_str("null"),
+    }
+    o.push_str(",\"metrics\":");
+    match &outcome.metrics {
+        Some(m) => {
+            o.push_str(&format!(
+                "{{\"epe_violations\":{},\"pvband_nm2\":",
+                m.epe_violations
+            ));
+            push_json_f64(o, m.pvband_nm2);
+            o.push_str(&format!(
+                ",\"shape_violations\":{},\"quality_score\":",
+                m.shape_violations
+            ));
+            push_json_f64(o, m.quality_score);
+            o.push_str(",\"contest_score\":");
+            push_json_f64(o, m.contest_score);
+            o.push('}');
+        }
+        None => o.push_str("null"),
+    }
+}
+
+fn fetch_line(record: &Arc<JobRecord>) -> String {
+    let state = record.state();
+    let mut o = String::from("{\"ok\":true,\"job\":");
+    push_json_string(&mut o, &record.id);
+    o.push_str(",\"state\":");
+    push_json_string(&mut o, state.name());
+    o.push_str(&format!(
+        ",\"cached\":{},\"events\":{}",
+        record.cached(),
+        record.event_count()
+    ));
+    if let Some(outcome) = record.outcome() {
+        push_outcome(&mut o, &outcome);
+    }
+    o.push('}');
+    o
+}
+
+/// The server-wide roll-up: the same counters the batch runtime's
+/// `batch_summary` event reports (faults, degrades, salvage, cache
+/// hits), extended with live service state.
+fn stats_line(shared: &Arc<ServerShared>) -> String {
+    let counts = shared.store.counts();
+    let results = shared.results.stats();
+    let mut o = String::from("{\"ok\":true,\"uptime_s\":");
+    push_json_f64(&mut o, shared.uptime_s());
+    o.push_str(&format!(
+        ",\"draining\":{},\"workers\":{},\"max_conns\":{},\"connections\":{}",
+        shared.draining(),
+        shared.config.workers.max(1),
+        shared.config.max_conns.max(1),
+        shared.gate.in_use(),
+    ));
+    o.push_str(&format!(
+        ",\"jobs\":{{\"total\":{},\"queued\":{},\"running\":{},\"done\":{},\"failed\":{},\"salvaged\":{},\"cancelled\":{}}}",
+        counts.total,
+        counts.queued,
+        counts.running,
+        counts.done,
+        counts.failed,
+        counts.salvaged,
+        counts.cancelled,
+    ));
+    o.push_str(&format!(
+        ",\"queue\":{},\"executed\":{}",
+        shared.queue_len(),
+        shared.executed.load(std::sync::atomic::Ordering::SeqCst),
+    ));
+    o.push_str(&format!(
+        ",\"result_cache\":{{\"hits\":{},\"misses\":{},\"len\":{},\"capacity\":{},\"insertions\":{},\"evictions\":{}}}",
+        results.hits,
+        results.misses,
+        results.len,
+        results.capacity,
+        results.insertions,
+        results.evictions,
+    ));
+    o.push_str(&format!(
+        ",\"sim_cache\":{{\"configs\":{},\"hits\":{},\"misses\":{}}}",
+        shared.sim_cache.len(),
+        shared.sim_cache.hits(),
+        shared.sim_cache.misses(),
+    ));
+    o.push_str(&format!(
+        ",\"faults\":{},\"degrades\":{}}}",
+        shared.events.fault_count(),
+        shared.events.degrade_count(),
+    ));
+    o
+}

@@ -1,0 +1,682 @@
+//! The daemon: listener, connection gate, worker pool, shutdown.
+//!
+//! [`ServerHandle::start`] binds a TCP listener and spawns three kinds
+//! of threads around one shared [`ServerShared`] state:
+//!
+//! * **workers** pull queued [`JobRecord`]s off a condvar-guarded queue
+//!   and drive [`mosaic_runtime::execute_job`] with the same retry /
+//!   panic-isolation / checkpoint-salvage ladder the batch scheduler
+//!   uses, terminalizing each record when done;
+//! * the **listener** accepts connections behind a semaphore
+//!   ([`Gate`]): the permit is acquired *before* `accept()`, so when
+//!   `max_conns` handlers are live the N+1th client waits in the OS
+//!   accept backlog instead of being half-served — it connects, then
+//!   queues cleanly until a permit frees;
+//! * an optional **watchdog** runs the runtime's [`Supervisor`] scan
+//!   loop when any supervision limit is configured.
+//!
+//! Every runtime event flows through one server-wide [`EventSink`]
+//! whose observer routes rendered lines into per-job feeds
+//! ([`JobStore::route_line`]), which is what `watch` connections
+//! stream. Shutdown is cooperative and two-speed: `drain` refuses new
+//! submissions, cancels queued jobs and lets running ones finish; `now`
+//! additionally fires every running job's cancel token so it
+//! checkpoints at its next iteration boundary. `std` cannot install
+//! signal handlers, so shutdown arrives over the wire (`shutdown`
+//! command) or programmatically ([`ServerHandle::shutdown`]); a crash
+//! instead of a shutdown loses nothing that checkpointing had saved.
+
+use crate::handler;
+use crate::protocol::SubmitParams;
+use crate::result_cache::{CachedResult, ResultCache};
+use crate::store::{JobOutcome, JobRecord, JobState, JobStore};
+use mosaic_runtime::{
+    execute_job, salvage, DegradationLadder, Event, EventObserver, EventSink, JobContext,
+    JobReport, JobStatus, SimCache, Supervisor, SupervisorConfig,
+};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing optimizations (clamped to ≥ 1).
+    pub workers: usize,
+    /// Concurrent connection limit; further clients queue in the OS
+    /// accept backlog (clamped to ≥ 1).
+    pub max_conns: usize,
+    /// Retries per failed job (`1 + retries` attempts each).
+    pub retries: u32,
+    /// Result-cache capacity in entries (0 disables result caching).
+    pub result_cache: usize,
+    /// JSONL report path for the server-wide event feed; `None` keeps
+    /// events in memory only (feeds still work).
+    pub report: Option<PathBuf>,
+    /// Checkpoint root directory; `None` disables checkpoint/resume
+    /// and checkpoint salvage.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint every N iterations (0 = only when cancelled).
+    pub checkpoint_every: usize,
+    /// Supervision knobs (per-job budget, stall grace); disabled
+    /// limits spawn no watchdog.
+    pub supervise: SupervisorConfig,
+    /// Degradation ladder applied on downshifted retries.
+    pub ladder: DegradationLadder,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            workers: 1,
+            max_conns: 64,
+            retries: 1,
+            result_cache: 256,
+            report: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            supervise: SupervisorConfig::default(),
+            ladder: DegradationLadder::default(),
+        }
+    }
+}
+
+/// Counting semaphore bounding live connections. Permits are acquired
+/// by the listener before `accept()` and released when a handler
+/// thread drops its [`GatePermit`].
+#[derive(Debug)]
+pub(crate) struct Gate {
+    permits: Mutex<usize>,
+    capacity: usize,
+    cond: Condvar,
+}
+
+impl Gate {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Gate {
+            permits: Mutex::new(capacity),
+            capacity,
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit frees or `stop` fires; `None` on stop.
+    fn acquire(self: &Arc<Self>, stop: &AtomicBool) -> Option<GatePermit> {
+        let mut permits = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            if *permits > 0 {
+                *permits -= 1;
+                return Some(GatePermit {
+                    gate: Arc::clone(self),
+                });
+            }
+            let (guard, _) = self
+                .cond
+                .wait_timeout(permits, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            permits = guard;
+        }
+    }
+
+    fn release(&self) {
+        let mut permits = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
+        *permits += 1;
+        drop(permits);
+        self.cond.notify_one();
+    }
+
+    /// Connections currently holding a permit.
+    pub(crate) fn in_use(&self) -> usize {
+        let permits = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
+        self.capacity - *permits
+    }
+}
+
+/// RAII connection permit; dropping it frees one accept slot.
+#[derive(Debug)]
+pub(crate) struct GatePermit {
+    gate: Arc<Gate>,
+}
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+/// State shared by the listener, every handler thread and every worker.
+#[derive(Debug)]
+pub(crate) struct ServerShared {
+    pub(crate) config: ServeConfig,
+    pub(crate) store: Arc<JobStore>,
+    pub(crate) results: ResultCache,
+    pub(crate) sim_cache: SimCache,
+    pub(crate) events: Arc<EventSink>,
+    pub(crate) supervisor: Arc<Supervisor>,
+    pub(crate) gate: Arc<Gate>,
+    queue: Mutex<VecDeque<Arc<JobRecord>>>,
+    queue_cond: Condvar,
+    /// New submissions are refused (shutdown has begun).
+    draining: AtomicBool,
+    /// Listener and workers must exit.
+    stopping: AtomicBool,
+    /// Jobs actually executed on a worker (cache hits excluded).
+    pub(crate) executed: AtomicUsize,
+    pub(crate) started: Instant,
+    addr: SocketAddr,
+}
+
+/// What `submit` resolved to.
+pub(crate) enum Submission {
+    /// Enqueued for a worker.
+    Queued(Arc<JobRecord>),
+    /// Answered from the result cache without scheduling a worker.
+    Cached(Arc<JobRecord>),
+    /// Refused (server draining).
+    Refused(String),
+}
+
+impl ServerShared {
+    pub(crate) fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Registers a submission: answers it from the result cache when a
+    /// completed twin exists, otherwise enqueues it for a worker.
+    pub(crate) fn submit(&self, params: SubmitParams) -> Submission {
+        if self.draining() {
+            return Submission::Refused("server is shutting down; submissions refused".to_string());
+        }
+        let fingerprint = ResultCache::fingerprint(&params.cache_key());
+        let record = self.store.insert(params);
+        if let Some(hit) = self.results.get(fingerprint) {
+            // The feed still tells the story: a cache_hit event lands in
+            // this job's feed (via the observer route) before the record
+            // terminalizes, so watchers see why there are no iterations.
+            self.events.emit(&Event::CacheHit {
+                job: record.id.clone(),
+                fingerprint: format!("{fingerprint:016x}"),
+                source_job: hit.source_job.clone(),
+            });
+            let mut outcome = hit.outcome.clone();
+            // The answer is replayed, not recomputed: this job did no
+            // optimizer work, so it charges no wall time of its own.
+            outcome.wall_s = 0.0;
+            record.finish(JobState::Done, outcome, true);
+            return Submission::Cached(record);
+        }
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        // Re-check under the queue lock: a shutdown that began after the
+        // gate above must not race a job into a queue no worker drains.
+        if self.draining() {
+            record.cancel_queued();
+            return Submission::Refused("server is shutting down; submissions refused".to_string());
+        }
+        queue.push_back(Arc::clone(&record));
+        drop(queue);
+        self.queue_cond.notify_one();
+        Submission::Queued(record)
+    }
+
+    /// Worker side: blocks for the next queued record; `None` when the
+    /// server is stopping and the queue is empty.
+    fn next_job(&self) -> Option<Arc<JobRecord>> {
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(record) = queue.pop_front() {
+                return Some(record);
+            }
+            if self.stopping() {
+                return None;
+            }
+            let (guard, _) = self
+                .queue_cond
+                .wait_timeout(queue, Duration::from_millis(200))
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = guard;
+        }
+    }
+
+    /// Queued jobs at this instant.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// One worker thread: claim, execute with retries, terminalize.
+    fn run_worker(&self) {
+        while let Some(record) = self.next_job() {
+            if !record.start() {
+                // Cancelled while queued; already terminal.
+                continue;
+            }
+            self.executed.fetch_add(1, Ordering::SeqCst);
+            self.run_record(&record);
+        }
+    }
+
+    /// The per-job attempt loop, mirroring the batch scheduler: panics
+    /// are caught per attempt, failures retry (one degradation rung
+    /// down when supervision noted a downshift), and a job that
+    /// exhausts every attempt still tries checkpoint salvage before
+    /// being declared failed.
+    fn run_record(&self, record: &Arc<JobRecord>) {
+        let max_attempts = self.config.retries + 1;
+        let ctx = JobContext {
+            cache: &self.sim_cache,
+            events: &self.events,
+            cancel: &record.cancel,
+            deadline: None,
+            checkpoint_dir: self.config.checkpoint_dir.as_deref(),
+            checkpoint_every: self.config.checkpoint_every,
+            faults: None,
+            supervisor: Some(&self.supervisor),
+            ladder: Some(&self.config.ladder),
+            max_attempts,
+        };
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                execute_job(&record.spec, attempts, &ctx)
+            }));
+            let error = match outcome {
+                Ok(Ok(report)) => {
+                    self.finish_with_report(record, report, attempts);
+                    return;
+                }
+                Ok(Err(e)) => e,
+                Err(payload) => format!("job panicked: {}", panic_message(payload)),
+            };
+            if record.cancel.is_cancelled() {
+                // Cancelled (wire `cancel` or shutdown `now`) between
+                // attempts: cancellation, not failure, and never a retry.
+                record.finish(
+                    JobState::Cancelled,
+                    JobOutcome {
+                        metrics: None,
+                        iterations: 0,
+                        wall_s: 0.0,
+                        attempts,
+                        degraded: false,
+                        degrade_step: 0,
+                        error: Some(error),
+                    },
+                    false,
+                );
+                return;
+            }
+            if attempts >= max_attempts {
+                self.finish_failed(record, error, attempts);
+                return;
+            }
+        }
+    }
+
+    /// Terminalizes a record that produced a [`JobReport`], admitting
+    /// cleanly finished answers to the result cache.
+    fn finish_with_report(&self, record: &Arc<JobRecord>, report: JobReport, attempts: u32) {
+        let outcome = JobOutcome {
+            metrics: report.metrics,
+            iterations: report.iterations,
+            wall_s: report.wall_s,
+            attempts,
+            degraded: report.degraded,
+            degrade_step: report.degrade_step,
+            error: None,
+        };
+        let state = match report.status {
+            JobStatus::Finished => JobState::Done,
+            _ if outcome.metrics.is_some() => JobState::Salvaged,
+            _ => JobState::Cancelled,
+        };
+        if state == JobState::Done && !outcome.degraded && outcome.metrics.is_some() {
+            // Only authoritative answers are replayable; salvaged
+            // partials must re-run if asked again.
+            self.results.put(
+                ResultCache::fingerprint(&record.params.cache_key()),
+                CachedResult {
+                    outcome: outcome.clone(),
+                    source_job: record.id.clone(),
+                },
+            );
+        }
+        record.finish(state, outcome, false);
+    }
+
+    /// Terminalizes a record whose every attempt failed, after trying
+    /// checkpoint salvage exactly like the batch runtime does.
+    fn finish_failed(&self, record: &Arc<JobRecord>, error: String, attempts: u32) {
+        let downshifts = self.supervisor.downshifts(&record.spec.id);
+        let salvaged = self.config.checkpoint_dir.as_deref().and_then(|dir| {
+            salvage::from_checkpoint(
+                dir,
+                &record.spec,
+                Some(&self.config.ladder),
+                downshifts,
+                &self.sim_cache,
+                &self.events,
+                attempts,
+            )
+        });
+        let (epe, pvb, shape, quality) = match &salvaged {
+            Some(m) => (
+                m.epe_violations,
+                m.pvband_nm2,
+                m.shape_violations,
+                m.quality_score,
+            ),
+            None => (0, f64::NAN, 0, f64::NAN),
+        };
+        // The failure's terminal feed line, mirroring run_batch's shape
+        // so `watch` consumers see one JobFinish per job regardless of
+        // how it ended.
+        self.events.emit(&Event::JobFinish {
+            job: record.id.clone(),
+            status: JobStatus::Failed.name().to_string(),
+            error: Some(error.clone()),
+            iterations: 0,
+            epe_violations: epe,
+            pvband_nm2: pvb,
+            shape_violations: shape,
+            quality_score: quality,
+            wall_s: f64::NAN,
+            attempts,
+            recoveries: 0,
+            degraded: salvaged.is_some(),
+            degrade_step: downshifts,
+        });
+        let state = if salvaged.is_some() {
+            JobState::Salvaged
+        } else {
+            JobState::Failed
+        };
+        record.finish(
+            state,
+            JobOutcome {
+                metrics: salvaged,
+                iterations: 0,
+                wall_s: 0.0,
+                attempts,
+                degraded: true,
+                degrade_step: downshifts,
+                error: Some(error),
+            },
+            false,
+        );
+    }
+
+    /// Initiates shutdown. `drain` lets running jobs finish; `!drain`
+    /// also fires their cancel tokens so they checkpoint and stop at
+    /// the next iteration boundary. Queued jobs are cancelled in both
+    /// modes, new submissions are refused, and the listener is woken
+    /// with a loopback self-connect so a blocked `accept()` returns.
+    pub(crate) fn begin_shutdown(&self, drain: bool) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            // Second shutdown can still escalate drain → now.
+            if !drain {
+                self.cancel_running();
+            }
+            return;
+        }
+        // Queued jobs will never run: terminalize them so watchers and
+        // fetchers get a definite answer instead of a hang.
+        let queued: Vec<Arc<JobRecord>> = {
+            let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            queue.drain(..).collect()
+        };
+        for record in queued {
+            record.cancel_queued();
+        }
+        if !drain {
+            self.cancel_running();
+        }
+        self.stopping.store(true, Ordering::SeqCst);
+        self.queue_cond.notify_all();
+        // Wake the listener out of accept(); the throwaway connection is
+        // dropped immediately and never handled.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn cancel_running(&self) {
+        for record in self.store.all() {
+            if record.state() == JobState::Running {
+                record.cancel.cancel();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Cheap cloneable remote control for a running server: lets another
+/// thread (the CLI's stdin reader, a test) initiate shutdown while the
+/// owner blocks in [`ServerHandle::join`].
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<ServerShared>,
+}
+
+impl ShutdownHandle {
+    /// Initiates shutdown; `drain` semantics as
+    /// [`ServerHandle::shutdown`].
+    pub fn shutdown(&self, drain: bool) {
+        self.shared.begin_shutdown(drain);
+    }
+}
+
+/// A running server: its bound address plus the join/shutdown handle.
+#[derive(Debug)]
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
+}
+
+impl ServerHandle {
+    /// Binds `config.addr`, spawns workers, listener and (when
+    /// supervision is enabled) the watchdog, and returns the handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound or the report file
+    /// cannot be created.
+    pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let store = Arc::new(JobStore::new());
+        let route_store = Arc::clone(&store);
+        let sink = match &config.report {
+            Some(path) => EventSink::to_file(path)?,
+            None => EventSink::null(),
+        }
+        .with_observer(EventObserver::new(move |line| route_store.route_line(line)));
+        let supervisor = Arc::new(Supervisor::new(config.supervise.clone()));
+        let watchdog_enabled = config.supervise.enabled();
+        let workers = config.workers.max(1);
+        let shared = Arc::new(ServerShared {
+            gate: Arc::new(Gate::new(config.max_conns)),
+            results: ResultCache::new(config.result_cache),
+            config,
+            store,
+            sim_cache: SimCache::new(),
+            events: Arc::new(sink),
+            supervisor,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cond: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            executed: AtomicUsize::new(0),
+            started: Instant::now(),
+            addr,
+        });
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || shared.run_worker())
+            })
+            .collect();
+        let watchdog = watchdog_enabled.then(|| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let shared = Arc::clone(&shared);
+            let stop_flag = Arc::clone(&stop);
+            let handle = std::thread::spawn(move || {
+                shared.supervisor.watch(&shared.events, &stop_flag);
+            });
+            (stop, handle)
+        });
+        let listener_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run_listener(&listener, &shared))
+        };
+        Ok(ServerHandle {
+            shared,
+            addr,
+            listener: Some(listener_handle),
+            workers: worker_handles,
+            watchdog,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates shutdown without waiting. `drain` refuses new
+    /// submissions, cancels queued jobs and lets running ones finish;
+    /// `!drain` additionally cancels running jobs so they checkpoint
+    /// and stop at their next iteration boundary.
+    pub fn shutdown(&self, drain: bool) {
+        self.shared.begin_shutdown(drain);
+    }
+
+    /// A cloneable handle other threads can use to initiate shutdown.
+    pub fn controller(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Waits for the listener, workers and watchdog to exit. Running
+    /// jobs finish (drain) or stop at their next checkpoint boundary
+    /// (now) before the workers return.
+    pub fn join(mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some((stop, handle)) = self.watchdog.take() {
+            stop.store(true, Ordering::SeqCst);
+            let _ = handle.join();
+        }
+    }
+
+    /// `shutdown` + `join` in one call.
+    pub fn stop(self, drain: bool) {
+        self.shutdown(drain);
+        self.join();
+    }
+}
+
+/// Accept loop: permit, accept, hand off. Handler threads are detached
+/// — their lifetime is bounded by the client connection and the
+/// stopping flag (handlers poll it between reads), and the gate keeps
+/// their population bounded.
+fn run_listener(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let stop_flag = &shared.stopping;
+    loop {
+        let Some(permit) = shared.gate.acquire(stop_flag) else {
+            return;
+        };
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stopping() {
+                    // The shutdown self-connect (or a client racing it):
+                    // drop both the stream and the permit and exit.
+                    return;
+                }
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    handler::handle_connection(stream, &shared);
+                    drop(permit);
+                });
+            }
+            Err(_) => {
+                drop(permit);
+                if shared.stopping() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_bounds_permits_and_releases_on_drop() {
+        let gate = Arc::new(Gate::new(2));
+        let stop = AtomicBool::new(false);
+        let a = gate.acquire(&stop).expect("permit available");
+        let _b = gate.acquire(&stop).expect("permit available");
+        assert_eq!(gate.in_use(), 2);
+        drop(a);
+        assert_eq!(gate.in_use(), 1);
+        let _c = gate.acquire(&stop).expect("released permit reusable");
+        assert_eq!(gate.in_use(), 2);
+    }
+
+    #[test]
+    fn gate_acquire_honours_stop() {
+        let gate = Arc::new(Gate::new(1));
+        let stop = AtomicBool::new(false);
+        let _held = gate.acquire(&stop).expect("permit available");
+        stop.store(true, Ordering::SeqCst);
+        assert!(gate.acquire(&stop).is_none(), "stop unblocks acquire");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let gate = Arc::new(Gate::new(0));
+        let stop = AtomicBool::new(false);
+        assert!(gate.acquire(&stop).is_some());
+    }
+}

@@ -35,8 +35,15 @@ tier1() {
   # errors instead of unwrapping: a panic in a worker kills a batch job.
   cargo clippy --lib --no-deps \
     -p mosaic-numerics -p mosaic-geometry -p mosaic-optics \
-    -p mosaic-core -p mosaic-eval -p mosaic-runtime \
+    -p mosaic-core -p mosaic-eval -p mosaic-runtime -p mosaic-serve \
     -- -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+  echo "=== tier1: serve loopback (network service end-to-end)"
+  # Real server on an ephemeral loopback port, real client connections:
+  # result-cache hits without a worker, lossless concurrent watch
+  # streams, connection-gate queueing, drain/now shutdown, and the
+  # 64-client mixed-preset storm (DESIGN.md §12). Also covered by the
+  # workspace test run above; repeated so a gate failure names it.
+  cargo test -q -p mosaic-serve --test loopback
   echo "=== tier1: supervision soak"
   soak
   echo "=== tier1: rustdoc (warnings denied)"
@@ -48,7 +55,7 @@ tier1() {
   # non-deprecated *_with/*_in/*_supervised public entry point
   # reappears in mosaic-core outside that module.
   if grep -rEn 'pub fn [a-zA-Z0-9_]+_(with|in|supervised)\s*(<|\()' \
-      crates/core/src --include='*.rs' | grep -v 'compat\.rs'; then
+      crates/core/src crates/serve/src --include='*.rs' | grep -v 'compat\.rs'; then
     echo "FAILED: duplicate public entry point outside compat.rs (use ExecutionSession)"
     exit 1
   fi

@@ -9,7 +9,16 @@
 //! mosaic batch --bench all [--mode fast|exact] [--preset contest|fast]
 //!              [--grid 512] [--pixel 2] [--iterations 20] [--jobs 4]
 //!              [--report report.jsonl] [--resume ckpt/] [--deadline-s 600]
+//!              [--job-timeout-ms 30000] [--stall-grace-ms 5000] [--watch]
+//! mosaic serve [--addr 127.0.0.1:7171] [--jobs 4] [--max-conns 64]
+//!              [--result-cache 256] [--retries 1] [--report report.jsonl]
+//!              [--resume ckpt/] [--checkpoint-every 1]
 //!              [--job-timeout-ms 30000] [--stall-grace-ms 5000]
+//! mosaic submit --bench B1 [--addr host:port] [--mode fast|exact]
+//!              [--preset fast|contest] [--grid 256] [--pixel 4]
+//!              [--iterations 20] [--watch]
+//! mosaic watch --job j1-B1-fast [--addr host:port] [--from 0]
+//! mosaic stats [--addr host:port]
 //! ```
 //!
 //! * `gen` writes one of the built-in benchmark clips as GLP text.
@@ -30,7 +39,20 @@
 //!   are off unless given — a safe grace depends on the batch's grid
 //!   size); attempts that blow either limit are cancelled, downshifted
 //!   one degradation rung and retried, with best-so-far results
-//!   salvaged into the summary.
+//!   salvaged into the summary. `--watch` tees every JSONL event line
+//!   live to stdout — the same feed `mosaic serve` streams to watch
+//!   connections.
+//! * `serve` runs the batch runtime as a long-lived TCP service (see
+//!   `mosaic-serve`): clients submit clips, watch live event feeds,
+//!   fetch results and read server stats over a newline-delimited
+//!   protocol. Repeated submissions with identical parameters are
+//!   answered from an LRU result cache without re-optimizing. The
+//!   process blocks until `shutdown` arrives on stdin (or EOF), or a
+//!   client sends the wire `shutdown` command; `shutdown now` cancels
+//!   running jobs (they checkpoint first) instead of draining.
+//! * `submit`, `watch` and `stats` are thin clients for a running
+//!   server: `submit --watch` submits one clip and streams its feed
+//!   until the job completes.
 
 use mosaic_suite::prelude::*;
 use std::collections::HashMap;
@@ -61,7 +83,16 @@ const USAGE: &str = "usage:
                [--report <report.jsonl>] [--resume <ckpt-dir>]
                [--checkpoint-every <n>] [--retries <n>]
                [--retry-backoff-ms <ms>] [--deadline-s <s>]
-               [--job-timeout-ms <ms>] [--stall-grace-ms <ms>]";
+               [--job-timeout-ms <ms>] [--stall-grace-ms <ms>] [--watch]
+  mosaic serve [--addr <host:port>] [--jobs <n>] [--max-conns <n>]
+               [--result-cache <n>] [--retries <n>] [--report <report.jsonl>]
+               [--resume <ckpt-dir>] [--checkpoint-every <n>]
+               [--job-timeout-ms <ms>] [--stall-grace-ms <ms>]
+  mosaic submit --bench <B1..B10> [--addr <host:port>] [--mode fast|exact]
+               [--preset fast|contest] [--grid <px>] [--pixel <nm>]
+               [--iterations <n>] [--watch]
+  mosaic watch --job <id> [--addr <host:port>] [--from <n>]
+  mosaic stats [--addr <host:port>]";
 
 /// The flags each subcommand accepts; anything else is an error.
 const GEN_FLAGS: &[&str] = &["bench", "out"];
@@ -93,6 +124,32 @@ const BATCH_FLAGS: &[&str] = &[
     "job-timeout-ms",
     "stall-grace-ms",
 ];
+const SERVE_FLAGS: &[&str] = &[
+    "addr",
+    "jobs",
+    "max-conns",
+    "result-cache",
+    "retries",
+    "report",
+    "resume",
+    "checkpoint-every",
+    "job-timeout-ms",
+    "stall-grace-ms",
+];
+const SUBMIT_FLAGS: &[&str] = &[
+    "addr",
+    "bench",
+    "mode",
+    "preset",
+    "grid",
+    "pixel",
+    "iterations",
+];
+const WATCH_FLAGS: &[&str] = &["addr", "job", "from"];
+const STATS_FLAGS: &[&str] = &["addr"];
+
+/// Default address `serve` binds and the client commands dial.
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 
 /// Parses `--key value` pairs after the subcommand, rejecting flags the
 /// subcommand does not define.
@@ -125,24 +182,46 @@ fn parse_flags(
     Ok(flags)
 }
 
+/// Removes every occurrence of valueless `--name` from `args`,
+/// returning whether it was present (boolean flags take no value, so
+/// they must come out before [`parse_flags`] pairs keys with values).
+fn take_bool_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let flag = format!("--{name}");
+    let before = args.len();
+    args.retain(|a| a != &flag);
+    args.len() != before
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         return Err("missing subcommand".into());
     };
+    let command = command.clone();
+    let mut rest: Vec<String> = args[1..].to_vec();
+    let watch_feed =
+        matches!(command.as_str(), "batch" | "submit") && take_bool_flag(&mut rest, "watch");
     let allowed = match command.as_str() {
         "gen" => GEN_FLAGS,
         "run" => RUN_FLAGS,
         "eval" => EVAL_FLAGS,
         "batch" => BATCH_FLAGS,
+        "serve" => SERVE_FLAGS,
+        "submit" => SUBMIT_FLAGS,
+        "watch" => WATCH_FLAGS,
+        "stats" => STATS_FLAGS,
         other => return Err(format!("unknown subcommand '{other}'")),
     };
-    let flags = parse_flags(command, &args[1..], allowed)?;
+    let flags = parse_flags(&command, &rest, allowed)?;
     match command.as_str() {
         "gen" => cmd_gen(&flags),
         "run" => cmd_run(&flags),
         "eval" => cmd_eval(&flags),
-        "batch" => cmd_batch(&flags),
+        "batch" => cmd_batch(&flags, watch_feed),
+        "serve" => cmd_serve(&flags),
+        "submit" => cmd_submit(&flags, watch_feed),
+        "watch" => cmd_watch(&flags),
+        "stats" => cmd_stats(&flags),
         _ => unreachable!("validated above"),
     }
 }
@@ -340,7 +419,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_batch(flags: &HashMap<String, String>, watch_feed: bool) -> Result<(), String> {
     let bench = flags
         .get("bench")
         .ok_or("batch requires --bench (e.g. 'all' or 'B1,B3')")?;
@@ -406,6 +485,9 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         checkpoint_every: numeric_flag(flags, "checkpoint-every", 1usize)?,
         deadline,
         supervise,
+        // The same live JSONL tee a serve watch connection gets, on
+        // stdout (the summary table prints after the batch finishes).
+        observer: watch_feed.then(|| EventObserver::new(|line| println!("{line}"))),
         ..BatchConfig::default()
     };
     eprintln!(
@@ -425,5 +507,154 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
             outcome.failed
         ));
     }
+    Ok(())
+}
+
+/// Shared by `serve` and the client commands.
+fn addr_from(flags: &HashMap<String, String>) -> String {
+    flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let requested_jobs = count_flag(flags, "jobs", default_workers())?;
+    let jobs = clamp_workers(requested_jobs);
+    if jobs != requested_jobs {
+        eprintln!(
+            "note: --jobs {requested_jobs} exceeds this host's parallelism; clamped to {jobs}"
+        );
+    }
+    let job_timeout = match flags.get("job-timeout-ms") {
+        Some(_) => Some(Duration::from_millis(
+            count_flag(flags, "job-timeout-ms", 0)? as u64,
+        )),
+        None => None,
+    };
+    let stall_grace = match flags.get("stall-grace-ms") {
+        Some(_) => Some(Duration::from_millis(
+            count_flag(flags, "stall-grace-ms", 0)? as u64,
+        )),
+        None => None,
+    };
+    let config = ServeConfig {
+        addr: addr_from(flags),
+        workers: jobs,
+        max_conns: count_flag(flags, "max-conns", 64)?,
+        retries: numeric_flag(flags, "retries", 1u32)?,
+        result_cache: numeric_flag(flags, "result-cache", 256usize)?,
+        report: flags.get("report").map(PathBuf::from),
+        checkpoint_dir: flags.get("resume").map(PathBuf::from),
+        checkpoint_every: numeric_flag(flags, "checkpoint-every", 1usize)?,
+        supervise: SupervisorConfig {
+            job_timeout,
+            stall_grace,
+            ..SupervisorConfig::default()
+        },
+        ladder: DegradationLadder::default(),
+    };
+    let max_conns = config.max_conns;
+    let handle = ServerHandle::start(config).map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "mosaic serve: listening on {} ({jobs} worker(s), {max_conns} connection(s) max)",
+        handle.addr()
+    );
+    eprintln!(
+        "mosaic serve: wire commands: submit watch fetch cancel stats ping shutdown; \
+         stdin: 'shutdown' (drain) / 'shutdown now' / EOF drains"
+    );
+    // std cannot install signal handlers, so local shutdown rides on
+    // stdin: a reader thread fires the controller, while this thread
+    // blocks in join() — which a wire `shutdown` also unblocks.
+    let controller = handle.controller();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) | Err(_) => {
+                    controller.shutdown(true);
+                    return;
+                }
+                Ok(_) => match line.trim() {
+                    "" => {}
+                    "shutdown" | "drain" => {
+                        eprintln!("mosaic serve: draining (running jobs finish)");
+                        controller.shutdown(true);
+                        return;
+                    }
+                    "shutdown now" | "now" => {
+                        eprintln!("mosaic serve: stopping now (running jobs checkpoint)");
+                        controller.shutdown(false);
+                        return;
+                    }
+                    other => {
+                        eprintln!("unrecognized '{other}' (try: shutdown | shutdown now)");
+                    }
+                },
+            }
+        }
+    });
+    handle.join();
+    eprintln!("mosaic serve: stopped");
+    Ok(())
+}
+
+/// Connects a protocol client to `--addr`.
+fn dial(flags: &HashMap<String, String>) -> Result<Client, String> {
+    let addr = addr_from(flags);
+    Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn cmd_submit(flags: &HashMap<String, String>, watch_feed: bool) -> Result<(), String> {
+    let bench = flags.get("bench").ok_or("submit requires --bench")?;
+    let mut request = format!("submit clip={bench}");
+    // Pass through only what the user gave; the server owns defaults,
+    // so implicit and explicit defaults share one result-cache key.
+    for key in ["mode", "preset", "grid", "pixel", "iterations"] {
+        if let Some(value) = flags.get(key) {
+            request.push_str(&format!(" {key}={value}"));
+        }
+    }
+    let mut client = dial(flags)?;
+    let reply = client
+        .request(&request)
+        .map_err(|e| format!("submit: {e}"))?;
+    println!("{reply}");
+    if !reply.starts_with("{\"ok\":true") {
+        return Err("submission refused; see response above".to_string());
+    }
+    if watch_feed {
+        let job = jsonl::extract_plain_field(&reply, "job")
+            .ok_or("submit response carried no job id")?
+            .to_string();
+        let end = client
+            .watch(&job, 0, &mut |line| println!("{line}"))
+            .map_err(|e| format!("watch: {e}"))?;
+        println!("{end}");
+    }
+    Ok(())
+}
+
+fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
+    let job = flags.get("job").ok_or("watch requires --job")?;
+    let from = numeric_flag(flags, "from", 0usize)?;
+    let mut client = dial(flags)?;
+    let end = client
+        .watch(job, from, &mut |line| println!("{line}"))
+        .map_err(|e| format!("watch: {e}"))?;
+    println!("{end}");
+    if end.starts_with("{\"ok\":false") {
+        return Err("watch refused; see response above".to_string());
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut client = dial(flags)?;
+    let reply = client.request("stats").map_err(|e| format!("stats: {e}"))?;
+    println!("{reply}");
     Ok(())
 }

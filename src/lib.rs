@@ -21,6 +21,7 @@ pub use mosaic_geometry as geometry;
 pub use mosaic_numerics as numerics;
 pub use mosaic_optics as optics;
 pub use mosaic_runtime as runtime;
+pub use mosaic_serve as serve;
 
 /// Convenience re-exports of the types used by almost every example.
 pub mod prelude {
@@ -31,4 +32,5 @@ pub mod prelude {
     pub use mosaic_numerics::prelude::*;
     pub use mosaic_optics::prelude::*;
     pub use mosaic_runtime::prelude::*;
+    pub use mosaic_serve::prelude::*;
 }

@@ -205,8 +205,9 @@ fn batch_runs_clips_and_writes_jsonl_report() {
     assert!(stdout.contains("2 finished, 0 failed"), "{stdout}");
 
     let text = std::fs::read_to_string(&report).expect("report written");
-    // batch_start + 2 × (job_start + 2 iterations + job_finish) + batch_finish
-    assert_eq!(text.lines().count(), 1 + 2 * 4 + 1);
+    // batch_start + 2 × (job_start + 2 iterations + job_finish) +
+    // batch_finish + batch_summary
+    assert_eq!(text.lines().count(), 1 + 2 * 4 + 2);
     for line in text.lines() {
         assert!(line.starts_with("{\"event\":\""), "line: {line}");
         assert!(line.ends_with('}'), "line: {line}");
