@@ -13,6 +13,7 @@ use crate::fault::FaultPlan;
 use crate::job::{execute_job, JobContext, JobMetrics, JobReport, JobSpec, JobStatus};
 use crate::salvage;
 use crate::scheduler::{run_pool, CancelToken, JobExecution, RetryPolicy};
+use crate::shard::ShardConfig;
 use crate::supervise::{Supervisor, SupervisorConfig};
 use std::io;
 use std::path::PathBuf;
@@ -53,6 +54,10 @@ pub struct BatchConfig {
     /// [`crate::degrade`]); [`DegradationLadder::none`] retries the
     /// original configuration forever.
     pub ladder: DegradationLadder,
+    /// Shared-ledger sharding (see [`crate::shard`]); when set,
+    /// [`run_batch`] claims jobs from the ledger instead of assigning
+    /// them statically, so multiple processes can drain one queue.
+    pub shard: Option<ShardConfig>,
 }
 
 impl Default for BatchConfig {
@@ -70,6 +75,7 @@ impl Default for BatchConfig {
             faults: FaultPlan::new(),
             supervise: SupervisorConfig::default(),
             ladder: DegradationLadder::default(),
+            shard: None,
         }
     }
 }
@@ -105,6 +111,9 @@ pub struct BatchOutcome {
     pub cancelled: usize,
     /// Jobs whose final attempt the supervision watchdog timed out.
     pub timed_out: usize,
+    /// Jobs completed (or held) by another process sharing the job
+    /// ledger; this process holds no metrics for them.
+    pub remote: usize,
     /// Structured report of every failed job, in input order.
     pub failures: Vec<JobFailure>,
     /// Jobs whose reported metrics were salvaged from a partial result
@@ -133,6 +142,9 @@ pub struct BatchOutcome {
 /// Fails only on report-file creation; job-level problems are reported
 /// per job inside the outcome, never as an `Err`.
 pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOutcome> {
+    if let Some(shard) = &config.shard {
+        return crate::shard::run_sharded_batch(specs, config, shard);
+    }
     let started = Instant::now();
     let mut sink = match &config.report {
         Some(path) => EventSink::to_file(path)?,
@@ -173,6 +185,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         supervisor: Some(&supervisor),
         ladder: Some(&config.ladder),
         max_attempts: config.retries + 1,
+        lease: None,
     };
     let runner = |spec: &JobSpec, attempt: u32| {
         // Promote an elapsed deadline into a sticky cancel so queued
@@ -196,11 +209,37 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
     if let Some(watchdog) = watchdog {
         let _ = watchdog.join();
     }
+    Ok(fold_outcome(
+        specs,
+        results,
+        config,
+        &supervisor,
+        &cache,
+        &events,
+        started,
+    ))
+}
 
+/// Folds per-job executions into the terminal [`BatchOutcome`]: counts
+/// statuses, salvages failed jobs from their checkpoints, emits the
+/// per-job `job_finish` events the runner could not (failures and
+/// never-started cancellations), then the `batch_finish` /
+/// `batch_summary` terminal pair. Shared by [`run_batch`] and the
+/// ledger-sharded driver ([`crate::shard::run_sharded_batch`]).
+pub(crate) fn fold_outcome(
+    specs: &[JobSpec],
+    results: Vec<JobExecution<JobReport>>,
+    config: &BatchConfig,
+    supervisor: &Supervisor,
+    cache: &SimCache,
+    events: &EventSink,
+    started: Instant,
+) -> BatchOutcome {
     let mut finished = 0usize;
     let mut failed = 0usize;
     let mut cancelled = 0usize;
     let mut timed_out = 0usize;
+    let mut remote = 0usize;
     let mut salvaged_jobs = 0usize;
     let mut failures = Vec::new();
     let mut total_quality_score = 0.0f64;
@@ -231,8 +270,8 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
                         spec,
                         Some(&config.ladder),
                         supervisor.downshifts(&spec.id),
-                        &cache,
-                        &events,
+                        cache,
+                        events,
                         *attempts,
                     )
                 });
@@ -289,6 +328,9 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
                     degrade_step: 0,
                 });
             }
+            // Another shard holds (or completed) the job; its owner
+            // emits the job_finish event and carries the metrics.
+            JobExecution::Remote { .. } => remote += 1,
         }
     }
     let wall_s = started.elapsed().as_secs_f64();
@@ -318,12 +360,13 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         sim_configs,
         sim_cache_hits,
     });
-    Ok(BatchOutcome {
+    BatchOutcome {
         results,
         finished,
         failed,
         cancelled,
         timed_out,
+        remote,
         failures,
         salvaged: salvaged_jobs,
         faults,
@@ -332,7 +375,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         sim_cache_hits,
         total_quality_score,
         wall_s,
-    })
+    }
 }
 
 /// Renders the outcome as a Table-2-style per-clip summary plus totals.
@@ -406,14 +449,26 @@ pub fn render_summary(specs: &[JobSpec], outcome: &BatchOutcome) -> String {
                     spec.id, mode, "-", "-", "-", "-", "-", "-"
                 ));
             }
+            JobExecution::Remote { owner } => {
+                out.push_str(&format!(
+                    "{:<10} {:<6} {:>6} {:>6} {:>12} {:>6} {:>12} {:>9}  remote ({owner})\n",
+                    spec.id, mode, "-", "-", "-", "-", "-", "-"
+                ));
+            }
         }
     }
+    let remote_note = if outcome.remote > 0 {
+        format!(", {} remote", outcome.remote)
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "\ntotal: {} finished, {} failed, {} cancelled, {} timed out | quality score {:.0} | wall {:.2}s\n",
+        "\ntotal: {} finished, {} failed, {} cancelled, {} timed out{} | quality score {:.0} | wall {:.2}s\n",
         outcome.finished,
         outcome.failed,
         outcome.cancelled,
         outcome.timed_out,
+        remote_note,
         outcome.total_quality_score,
         outcome.wall_s
     ));

@@ -29,7 +29,8 @@ const WORDS_PER_LINE: usize = 8;
 
 /// FNV-1a 64-bit hash — the manifest integrity checksum. Not
 /// cryptographic; it only needs to catch truncation and bit rot.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// Shared with the job ledger's lease records ([`crate::ledger`]).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

@@ -147,6 +147,72 @@ pub enum Event {
         /// Job identifier whose completed run populated the entry.
         source_job: String,
     },
+    /// A shard claimed a job lease in the shared ledger (see
+    /// [`crate::ledger`]).
+    LeaseClaimed {
+        /// Job identifier.
+        job: String,
+        /// The claiming shard's owner id.
+        owner: String,
+        /// The lease epoch claimed.
+        epoch: u64,
+        /// Heartbeat deadline horizon, ms.
+        ttl_ms: u64,
+    },
+    /// A lease was found past its heartbeat deadline — its owner
+    /// crashed or stalled, and the job is being taken over.
+    LeaseExpired {
+        /// Job identifier.
+        job: String,
+        /// The owner that let the lease lapse.
+        owner: String,
+        /// The lapsed lease's epoch.
+        epoch: u64,
+        /// How far past its deadline the lease was, ms.
+        stale_ms: u64,
+    },
+    /// A shard adopted a dead peer's job, resuming from the peer's
+    /// newest checkpoint when one exists.
+    JobAdopted {
+        /// Job identifier.
+        job: String,
+        /// The adopting shard's owner id.
+        owner: String,
+        /// The owner whose expired lease was taken over.
+        prev_owner: String,
+        /// The adopter's (bumped) lease epoch.
+        epoch: u64,
+        /// Whether a checkpoint existed to resume from.
+        checkpoint: bool,
+    },
+    /// A shard observed a higher lease epoch — it was fenced — and is
+    /// abandoning the job without further checkpoint writes.
+    LeaseLost {
+        /// Job identifier.
+        job: String,
+        /// The fenced shard's owner id.
+        owner: String,
+        /// The epoch this shard held.
+        epoch: u64,
+        /// The higher epoch it observed.
+        observed_epoch: u64,
+    },
+    /// The supervisor derived a per-job wall-clock budget from
+    /// iteration-time percentiles because no static `--job-timeout-ms`
+    /// was configured (see [`crate::supervise`]).
+    BudgetDerived {
+        /// Job identifier.
+        job: String,
+        /// 1-based attempt the budget applies to.
+        attempt: u32,
+        /// The derived budget, ms.
+        budget_ms: u64,
+        /// The p95 per-iteration wall time the budget was derived from,
+        /// ms.
+        p95_ms: f64,
+        /// Iteration samples backing the percentile.
+        samples: usize,
+    },
     /// Machine-readable end-of-batch roll-up: how often each resilience
     /// mechanism fired, in one line a dashboard (or the `mosaic serve`
     /// `stats` response) can consume without folding the whole feed.
@@ -332,6 +398,71 @@ impl Event {
                 push_json_string(&mut o, fingerprint);
                 o.push_str(",\"source_job\":");
                 push_json_string(&mut o, source_job);
+            }
+            Event::LeaseClaimed {
+                job,
+                owner,
+                epoch,
+                ttl_ms,
+            } => {
+                o.push_str("\"lease_claimed\",\"job\":");
+                push_json_string(&mut o, job);
+                o.push_str(",\"owner\":");
+                push_json_string(&mut o, owner);
+                let _ = write!(o, ",\"epoch\":{epoch},\"ttl_ms\":{ttl_ms}");
+            }
+            Event::LeaseExpired {
+                job,
+                owner,
+                epoch,
+                stale_ms,
+            } => {
+                o.push_str("\"lease_expired\",\"job\":");
+                push_json_string(&mut o, job);
+                o.push_str(",\"owner\":");
+                push_json_string(&mut o, owner);
+                let _ = write!(o, ",\"epoch\":{epoch},\"stale_ms\":{stale_ms}");
+            }
+            Event::JobAdopted {
+                job,
+                owner,
+                prev_owner,
+                epoch,
+                checkpoint,
+            } => {
+                o.push_str("\"job_adopted\",\"job\":");
+                push_json_string(&mut o, job);
+                o.push_str(",\"owner\":");
+                push_json_string(&mut o, owner);
+                o.push_str(",\"prev_owner\":");
+                push_json_string(&mut o, prev_owner);
+                let _ = write!(o, ",\"epoch\":{epoch},\"checkpoint\":{checkpoint}");
+            }
+            Event::LeaseLost {
+                job,
+                owner,
+                epoch,
+                observed_epoch,
+            } => {
+                o.push_str("\"lease_lost\",\"job\":");
+                push_json_string(&mut o, job);
+                o.push_str(",\"owner\":");
+                push_json_string(&mut o, owner);
+                let _ = write!(o, ",\"epoch\":{epoch},\"observed_epoch\":{observed_epoch}");
+            }
+            Event::BudgetDerived {
+                job,
+                attempt,
+                budget_ms,
+                p95_ms,
+                samples,
+            } => {
+                o.push_str("\"budget_derived\",\"job\":");
+                push_json_string(&mut o, job);
+                let _ = write!(o, ",\"attempt\":{attempt},\"budget_ms\":{budget_ms}");
+                o.push_str(",\"p95_ms\":");
+                push_json_f64(&mut o, *p95_ms);
+                let _ = write!(o, ",\"samples\":{samples}");
             }
             Event::BatchSummary {
                 finished,
@@ -711,6 +842,68 @@ mod tests {
         });
         assert_eq!(sink.degrade_count(), 2);
         assert_eq!(sink.fault_count(), 1);
+    }
+
+    #[test]
+    fn lease_events_render_owner_and_epoch() {
+        let claimed = Event::LeaseClaimed {
+            job: "B1-fast".into(),
+            owner: "shard-0".into(),
+            epoch: 3,
+            ttl_ms: 5000,
+        };
+        let json = claimed.to_json(0.1);
+        assert!(json.contains("\"event\":\"lease_claimed\""));
+        assert!(json.contains("\"owner\":\"shard-0\""));
+        assert!(json.contains("\"epoch\":3,\"ttl_ms\":5000"));
+
+        let expired = Event::LeaseExpired {
+            job: "B1-fast".into(),
+            owner: "shard-1".into(),
+            epoch: 2,
+            stale_ms: 750,
+        };
+        let json = expired.to_json(0.2);
+        assert!(json.contains("\"event\":\"lease_expired\""));
+        assert!(json.contains("\"stale_ms\":750"));
+
+        let adopted = Event::JobAdopted {
+            job: "B1-fast".into(),
+            owner: "shard-0".into(),
+            prev_owner: "shard-1".into(),
+            epoch: 3,
+            checkpoint: true,
+        };
+        let json = adopted.to_json(0.3);
+        assert!(json.contains("\"event\":\"job_adopted\""));
+        assert!(json.contains("\"prev_owner\":\"shard-1\""));
+        assert!(json.contains("\"checkpoint\":true"));
+
+        let lost = Event::LeaseLost {
+            job: "B1-fast".into(),
+            owner: "shard-1".into(),
+            epoch: 2,
+            observed_epoch: 3,
+        };
+        let json = lost.to_json(0.4);
+        assert!(json.contains("\"event\":\"lease_lost\""));
+        assert!(json.contains("\"epoch\":2,\"observed_epoch\":3"));
+    }
+
+    #[test]
+    fn budget_derived_renders_percentile_inputs() {
+        let e = Event::BudgetDerived {
+            job: "B1-fast".into(),
+            attempt: 1,
+            budget_ms: 4800,
+            p95_ms: 120.5,
+            samples: 40,
+        };
+        let json = e.to_json(0.5);
+        assert!(json.contains("\"event\":\"budget_derived\""));
+        assert!(json.contains("\"budget_ms\":4800"));
+        assert!(json.contains("\"p95_ms\":120.5"));
+        assert!(json.contains("\"samples\":40"));
     }
 
     #[test]

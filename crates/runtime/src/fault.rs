@@ -22,6 +22,21 @@
 //!   matching attempt, a deterministic stand-in for a worker wedged
 //!   between cancel-token polls, exercising the heartbeat watchdog and
 //!   the degradation ladder.
+//!
+//! Three more cover the shared job ledger's failure surfaces (see
+//! [`crate::ledger`]); these are keyed on the shard's *claim attempt*
+//! counter for the job, since a ledger fault fires before a run
+//! attempt exists:
+//!
+//! * [`FaultKind::LeaseWriteError`] — the matching claim attempt fails
+//!   with an injected I/O error instead of committing a lease,
+//!   exercising the claim loop's skip-and-rescan path.
+//! * [`FaultKind::ShardPause`] — heartbeat renewals are suppressed for
+//!   a window after the matching claim, letting the lease lapse while
+//!   the job keeps computing: the stale-heartbeat / fencing scenario.
+//! * [`FaultKind::ClaimRace`] — a rival's already-expired lease is
+//!   planted at the epoch the matching claim targets, forcing the
+//!   claim to lose the create-new race and adopt on rescan.
 
 /// What goes wrong, and (where relevant) when.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +58,18 @@ pub enum FaultKind {
         /// Sleep duration in milliseconds.
         millis: u64,
     },
+    /// The matching ledger claim attempt fails with an injected I/O
+    /// error instead of committing a lease.
+    LeaseWriteError,
+    /// Heartbeat renewals are suppressed for this many milliseconds
+    /// after the matching claim, letting the lease lapse mid-run.
+    ShardPause {
+        /// Renewal-suppression window in milliseconds.
+        millis: u64,
+    },
+    /// A rival lease is planted at the epoch the matching claim
+    /// targets, forcing the claim to lose the create-new race.
+    ClaimRace,
 }
 
 impl FaultKind {
@@ -53,6 +80,9 @@ impl FaultKind {
             FaultKind::PanicAtIteration(_) => "panic",
             FaultKind::NanGradientAtIteration(_) => "nan_gradient",
             FaultKind::Stall { .. } => "stall",
+            FaultKind::LeaseWriteError => "lease_write_error",
+            FaultKind::ShardPause { .. } => "shard_pause",
+            FaultKind::ClaimRace => "claim_race",
         }
     }
 }
@@ -132,6 +162,28 @@ impl FaultPlan {
             _ => None,
         })
     }
+
+    /// Whether this claim attempt should fail with an injected lease
+    /// I/O error.
+    pub fn lease_write_fails(&self, job: &str, attempt: u32) -> bool {
+        self.matching(job, attempt)
+            .any(|k| k == FaultKind::LeaseWriteError)
+    }
+
+    /// How long this claim's heartbeat renewals should be suppressed,
+    /// if planned.
+    pub fn shard_pause_millis(&self, job: &str, attempt: u32) -> Option<u64> {
+        self.matching(job, attempt).find_map(|k| match k {
+            FaultKind::ShardPause { millis } => Some(millis),
+            _ => None,
+        })
+    }
+
+    /// Whether this claim attempt should lose a planted claim race.
+    pub fn claim_race(&self, job: &str, attempt: u32) -> bool {
+        self.matching(job, attempt)
+            .any(|k| k == FaultKind::ClaimRace)
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +222,23 @@ mod tests {
         assert_eq!(FaultKind::PanicAtIteration(0).name(), "panic");
         assert_eq!(FaultKind::NanGradientAtIteration(0).name(), "nan_gradient");
         assert_eq!(FaultKind::Stall { millis: 5 }.name(), "stall");
+        assert_eq!(FaultKind::LeaseWriteError.name(), "lease_write_error");
+        assert_eq!(FaultKind::ShardPause { millis: 5 }.name(), "shard_pause");
+        assert_eq!(FaultKind::ClaimRace.name(), "claim_race");
+    }
+
+    #[test]
+    fn ledger_faults_are_keyed_like_the_other_kinds() {
+        let plan = FaultPlan::new()
+            .inject("B1-fast", 1, FaultKind::LeaseWriteError)
+            .inject("B1-fast", 2, FaultKind::ShardPause { millis: 40 })
+            .inject("B2-fast", 1, FaultKind::ClaimRace);
+        assert!(plan.lease_write_fails("B1-fast", 1));
+        assert!(!plan.lease_write_fails("B1-fast", 2), "retry claims clean");
+        assert_eq!(plan.shard_pause_millis("B1-fast", 2), Some(40));
+        assert_eq!(plan.shard_pause_millis("B1-fast", 1), None);
+        assert!(plan.claim_race("B2-fast", 1));
+        assert!(!plan.claim_race("B1-fast", 1));
     }
 
     #[test]

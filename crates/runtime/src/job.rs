@@ -15,6 +15,7 @@ use crate::checkpoint;
 use crate::degrade::DegradationLadder;
 use crate::events::{Event, EventSink};
 use crate::fault::FaultPlan;
+use crate::ledger::LeaseHandle;
 use crate::scheduler::CancelToken;
 use crate::supervise::{AttemptGuard, IterationStats, JobSlot, Supervisor};
 use mosaic_core::{
@@ -84,6 +85,18 @@ pub fn mode_name(mode: MosaicMode) -> &'static str {
         MosaicMode::Fast => "fast",
         MosaicMode::Exact => "exact",
     }
+}
+
+/// Job *class* for pre-emptive degradation: specs sharing a grid and
+/// mode cost alike, so the ladder rung that finally completed one
+/// informs where later same-class jobs start.
+fn spec_class(spec: &JobSpec) -> String {
+    format!(
+        "{}x{}-{}",
+        spec.config.optics.grid_width,
+        spec.config.optics.grid_height,
+        mode_name(spec.mode)
+    )
 }
 
 /// One unit of batch work: clip × mode × resolution.
@@ -207,6 +220,11 @@ pub struct JobContext<'a> {
     /// rung down); on the final attempt it yields a salvaged
     /// [`JobStatus::TimedOut`] report.
     pub max_attempts: u32,
+    /// The shared-ledger lease this run holds, when the job came from a
+    /// [`crate::ledger::Ledger`] claim; `None` for ordinary local runs.
+    /// A lost lease (epoch fence) stops the run at the next iteration
+    /// boundary and blocks further checkpoint writes.
+    pub lease: Option<&'a LeaseHandle>,
 }
 
 impl JobContext<'_> {
@@ -325,7 +343,10 @@ impl Instrument for JobControl<'_, '_> {
             gradient_rms: view.record.gradient_rms,
             jumped: view.record.jumped,
         });
-        if self.ctx.stop_requested() || self.slot.is_some_and(|s| s.stop_requested()) {
+        if self.ctx.stop_requested()
+            || self.slot.is_some_and(|s| s.stop_requested())
+            || self.ctx.lease.is_some_and(|l| l.lost())
+        {
             self.cancelled = true;
             return IterationControl::Stop;
         }
@@ -347,6 +368,23 @@ impl Instrument for CheckpointWriter<'_, '_> {
         let Some(dir) = self.ctx.checkpoint_dir else {
             return;
         };
+        // Fencing: a shard that lost its ledger lease must not write
+        // over its adopter's checkpoints. The fence is re-verified at
+        // every save — this is exactly the "detect the epoch bump on
+        // the next checkpoint write" contract.
+        if let Some(lease) = self.ctx.lease {
+            if lease.lost() || lease.verify_fence() {
+                if lease.take_loss_report() {
+                    self.ctx.events.emit(&Event::LeaseLost {
+                        job: self.spec.id.clone(),
+                        owner: lease.owner().to_string(),
+                        epoch: lease.epoch(),
+                        observed_epoch: lease.observed_epoch(),
+                    });
+                }
+                return;
+            }
+        }
         let saved = if self.fault_save {
             Err(io::Error::other("injected checkpoint save fault"))
         } else {
@@ -408,24 +446,38 @@ pub fn execute_job_in(
         return Err("cancelled before start".to_string());
     }
     let started = Instant::now();
-    // Supervision: register this attempt with the watchdog and resolve
-    // the degradation rung its configuration runs at (downshifts accrue
-    // across attempts from timeouts, stalls and divergences).
-    let guard = ctx.supervisor.map(|s| s.register(&spec.id, attempt));
-    let degrade_step = match (ctx.supervisor, ctx.ladder) {
-        (Some(sup), Some(ladder)) => sup.downshifts(&spec.id).min(ladder.len()),
-        _ => 0,
+    // Resolve the degradation rung this attempt's configuration runs at:
+    // the job's own downshifts (timeouts, stalls, divergences across
+    // attempts), or the rung that finally completed an earlier job of
+    // the same class — whichever is deeper.
+    let (degrade_step, preemptive) = match (ctx.supervisor, ctx.ladder) {
+        (Some(sup), Some(ladder)) => {
+            let shifts = sup.downshifts(&spec.id);
+            let rung = sup.preemptive_rung(&spec_class(spec));
+            (shifts.max(rung).min(ladder.len()), rung > shifts)
+        }
+        _ => (0, false),
     };
     let (job_config, degrade_note) = match ctx.ladder {
         Some(ladder) => ladder.apply(&spec.config, degrade_step),
         None => (spec.config.clone(), String::new()),
     };
+    // Supervision: register this attempt with the watchdog, declaring
+    // the (possibly degraded) iteration plan so an adaptive budget can
+    // be derived from it.
+    let guard = ctx
+        .supervisor
+        .map(|s| s.register_planned(&spec.id, attempt, job_config.opt.max_iterations));
     if degrade_step > 0 {
         ctx.events.emit(&Event::Degrade {
             job: spec.id.clone(),
             attempt,
             step: degrade_step,
-            detail: degrade_note,
+            detail: if preemptive {
+                format!("preemptive: {degrade_note}")
+            } else {
+                degrade_note
+            },
         });
     }
     let fault_panic = ctx.faults.and_then(|p| p.panic_at(&spec.id, attempt));
@@ -603,6 +655,25 @@ pub fn execute_job_in(
             .get(result.best_iteration)
             .map_or(f64::NAN, |r| r.report.total);
         if cancelled {
+            // A lost ledger lease outranks every other stop reason: the
+            // job now belongs to its adopter, so this run must neither
+            // salvage-score nor emit a terminal event for it. The error
+            // return ends the attempt loop; the shard driver folds the
+            // job as remotely owned.
+            if let Some(lease) = ctx.lease.filter(|l| l.lost()) {
+                if lease.take_loss_report() {
+                    ctx.events.emit(&Event::LeaseLost {
+                        job: spec.id.clone(),
+                        owner: lease.owner().to_string(),
+                        epoch: lease.epoch(),
+                        observed_epoch: lease.observed_epoch(),
+                    });
+                }
+                return Err(format!(
+                    "attempt abandoned after {iterations} iteration(s): lease lost to epoch {}",
+                    lease.observed_epoch()
+                ));
+            }
             // Who asked for the stop decides the path. The batch token
             // or deadline is an ordinary cancellation: salvage and
             // report, never retry. A stop on the *slot* is a watchdog
@@ -672,6 +743,14 @@ pub fn execute_job_in(
             started,
         )?
     };
+    // Remember which rung finally completed this job so later
+    // same-class specs start there pre-emptively — including rung 0,
+    // which clears a stale class entry after a clean completion.
+    if report.status == JobStatus::Finished {
+        if let Some(sup) = ctx.supervisor {
+            sup.note_completed_rung(&spec_class(spec), report.degrade_step);
+        }
+    }
     emit_finish(ctx, &report, attempt, None);
     Ok(report)
 }
@@ -834,6 +913,7 @@ mod tests {
             supervisor: None,
             ladder: None,
             max_attempts: 1,
+            lease: None,
         }
     }
 

@@ -43,6 +43,16 @@
 //!   attempts score their best-so-far mask in-process, and jobs that
 //!   failed every attempt are scored from their last checkpoint, so the
 //!   batch quality total reflects everything that was actually produced.
+//! * [`ledger`] — a std-only, filesystem-backed job ledger: each job is
+//!   a claim file with an FNV-1a-checksummed lease record (owner,
+//!   epoch, heartbeat deadline) committed with create-new semantics, so
+//!   N independent processes (or hosts on a shared mount) shard one
+//!   queue, survive each other's crashes via lease expiry + checkpoint
+//!   adoption, and fence stragglers through epoch bumps.
+//! * [`shard`] — the claim-loop batch driver over a [`Ledger`]:
+//!   [`run_sharded_batch`] replaces static job assignment with
+//!   claim/adopt scans, heartbeats leases from the watchdog thread and
+//!   folds remotely-completed jobs into the local summary.
 //! * [`batch`] — the orchestrator gluing the above together:
 //!   [`run_batch`] plus the Table-2-style summary renderer. Batches
 //!   always drain; failed jobs come back as structured [`JobFailure`]s
@@ -91,8 +101,10 @@ pub mod events;
 pub mod fault;
 pub mod job;
 pub mod jsonl;
+pub mod ledger;
 pub mod salvage;
 pub mod scheduler;
+pub mod shard;
 pub mod supervise;
 
 pub use batch::{render_summary, run_batch, BatchConfig, BatchOutcome, JobFailure};
@@ -101,10 +113,14 @@ pub use degrade::{DegradationLadder, DegradeStep};
 pub use events::{Event, EventObserver, EventSink};
 pub use fault::{FaultKind, FaultPlan};
 pub use job::{execute_job, execute_job_in, JobContext, JobMetrics, JobReport, JobSpec, JobStatus};
+pub use ledger::{Claim, CompletionRecord, LeaseHandle, Ledger};
 pub use scheduler::{
     clamp_workers, default_workers, run_pool, CancelToken, JobExecution, RetryPolicy,
 };
-pub use supervise::{AttemptGuard, IterationStats, JobSlot, Supervisor, SupervisorConfig};
+pub use shard::{run_sharded_batch, ShardConfig};
+pub use supervise::{
+    AttemptGuard, IterationStats, JobSlot, Supervisor, SupervisorConfig, WatchTicker,
+};
 
 /// The types almost every user of this crate needs.
 pub mod prelude {
@@ -118,11 +134,13 @@ pub mod prelude {
         execute_job, execute_job_in, JobContext, JobMetrics, JobReport, JobSpec, JobStatus,
     };
     pub use crate::jsonl;
+    pub use crate::ledger::{Claim, CompletionRecord, LeaseHandle, Ledger};
     pub use crate::salvage;
     pub use crate::scheduler::{
         clamp_workers, default_workers, run_pool, CancelToken, JobExecution, RetryPolicy,
     };
+    pub use crate::shard::{run_sharded_batch, ShardConfig};
     pub use crate::supervise::{
-        AttemptGuard, IterationStats, JobSlot, Supervisor, SupervisorConfig,
+        AttemptGuard, IterationStats, JobSlot, Supervisor, SupervisorConfig, WatchTicker,
     };
 }

@@ -101,6 +101,7 @@ pub fn from_checkpoint(
         supervisor: None,
         ladder: None,
         max_attempts: 1,
+        lease: None,
     };
     match score_mask(&config, &ctx, &mask, &layout, 0.0) {
         Ok(metrics) => Some(metrics),

@@ -109,6 +109,12 @@ pub enum JobExecution<R> {
     },
     /// The item was never started: cancellation was requested first.
     Cancelled,
+    /// The item was (or is being) handled by another process sharing
+    /// the job ledger — this process holds no result for it.
+    Remote {
+        /// Ledger owner id of the process that holds (or held) the job.
+        owner: String,
+    },
 }
 
 impl<R> JobExecution<R> {
@@ -121,7 +127,7 @@ impl<R> JobExecution<R> {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

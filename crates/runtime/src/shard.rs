@@ -1,0 +1,606 @@
+//! Claim-loop batch driver over a shared job [`Ledger`].
+//!
+//! [`crate::batch::run_batch`] assigns every spec to its own worker
+//! pool; this driver replaces that static assignment with a *claim
+//! loop*: every shard process runs the same spec list against the same
+//! ledger directory, and each job goes to whichever shard commits its
+//! lease first. The pieces:
+//!
+//! * **Posting** — each shard posts every spec's payload on startup
+//!   (posts are idempotent), so the ledger describes the full queue no
+//!   matter which shard arrived first.
+//! * **Claiming** — workers sweep the unresolved specs; open jobs are
+//!   claimed, expired leases adopted (`lease_expired` + `job_adopted`
+//!   events), live peers' jobs skipped and revisited.
+//! * **Heartbeating** — claimed leases are renewed from the existing
+//!   supervision watchdog thread via [`WatchTicker`]; no extra thread.
+//! * **Adoption** — an adopted job resumes from the dead peer's newest
+//!   checkpoint through the normal resume path, including bilinear
+//!   migration when the peer crashed mid-ladder at a coarser grid.
+//! * **Fencing** — a shard that loses its lease abandons the attempt
+//!   at the next iteration boundary without checkpoint writes (see
+//!   [`crate::ledger`]); the job folds as [`JobExecution::Remote`].
+//! * **Completion** — terminal outcomes (finished / failed / timed
+//!   out) commit a completion record exactly once; cancelled runs
+//!   release their lease so a longer-lived peer can finish the job.
+//!
+//! Each shard's summary covers what *it* produced; jobs another shard
+//! handled fold as [`JobExecution::Remote`] and are excluded from the
+//! local quality totals. The ledger's `done` records hold the global
+//! picture.
+
+use crate::batch::{fold_outcome, BatchConfig, BatchOutcome};
+use crate::cache::SimCache;
+use crate::checkpoint;
+use crate::events::{Event, EventSink};
+use crate::job::{execute_job, mode_name, JobContext, JobReport, JobSpec, JobStatus};
+use crate::ledger::{Claim, CompletionRecord, LeaseHandle, Ledger};
+use crate::scheduler::{panic_message, JobExecution};
+use crate::supervise::{Supervisor, WatchTicker};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How one shard process attaches to the shared ledger.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// The shared ledger root directory (typically on a mount every
+    /// shard can reach).
+    pub ledger_dir: PathBuf,
+    /// This shard's owner id, recorded in its leases and completion
+    /// records (`mosaic batch --shard 1/3` uses `shard-1`).
+    pub owner: String,
+    /// Heartbeat deadline horizon: a lease not renewed within this
+    /// window is adoptable by peers. Must comfortably exceed the
+    /// watchdog poll interval; the driver polls at a quarter of it
+    /// when no explicit poll is configured.
+    pub lease_ttl: Duration,
+}
+
+impl ShardConfig {
+    /// A shard on `ledger_dir` with the default 5 s lease TTL.
+    pub fn new(ledger_dir: impl Into<PathBuf>, owner: &str) -> Self {
+        ShardConfig {
+            ledger_dir: ledger_dir.into(),
+            owner: owner.to_string(),
+            lease_ttl: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One spec's slot in the shard's sweep.
+struct Slot {
+    /// A worker is currently claiming / running this spec.
+    busy: AtomicBool,
+    /// Terminal [`JobExecution`]; `Some` means resolved.
+    result: Mutex<Option<JobExecution<JobReport>>>,
+    /// Claim attempts this shard has made on the spec — the counter
+    /// ledger faults are keyed on.
+    claim_attempts: AtomicU32,
+}
+
+impl Slot {
+    fn resolved(&self) -> bool {
+        self.lock().is_some()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<JobExecution<JobReport>>> {
+        self.result.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn resolve(&self, execution: JobExecution<JobReport>) {
+        let mut guard = self.lock();
+        if guard.is_none() {
+            *guard = Some(execution);
+        }
+    }
+}
+
+/// The single-line payload posted for a spec — informational; shards
+/// run from their own (identical) spec lists, peers and humans read
+/// this to see what a job id means.
+fn spec_payload(spec: &JobSpec) -> String {
+    format!(
+        "clip={};mode={};grid={}x{};iterations={}",
+        spec.clip.name(),
+        mode_name(spec.mode),
+        spec.config.optics.grid_width,
+        spec.config.optics.grid_height,
+        spec.config.opt.max_iterations
+    )
+}
+
+/// Best-effort name of the peer that holds (or completed) a job this
+/// shard folded as remote.
+fn remote_owner(ledger: &Ledger, job: &str) -> String {
+    ledger
+        .completion(job)
+        .ok()
+        .flatten()
+        .map_or_else(|| "peer".to_string(), |record| record.owner)
+}
+
+fn completion_from_report(
+    lease: &LeaseHandle,
+    report: &JobReport,
+    attempts: u32,
+    error: Option<String>,
+) -> CompletionRecord {
+    CompletionRecord {
+        job: report.id.clone(),
+        owner: lease.owner().to_string(),
+        epoch: lease.epoch(),
+        status: report.status,
+        error,
+        iterations: report.iterations,
+        attempts,
+        wall_ms: (report.wall_s * 1000.0).max(0.0) as u64,
+        degraded: report.degraded,
+        degrade_step: report.degrade_step,
+        metrics: report.metrics,
+    }
+}
+
+/// Runs `specs` against the shared ledger at `shard.ledger_dir` and
+/// returns this shard's folded outcome. Every participating process
+/// calls this with the *same* spec list; jobs other shards handle come
+/// back as [`JobExecution::Remote`].
+///
+/// # Errors
+///
+/// Fails only on report-file creation and on opening the ledger root;
+/// job-level problems are reported per job inside the outcome.
+pub fn run_sharded_batch(
+    specs: &[JobSpec],
+    config: &BatchConfig,
+    shard: &ShardConfig,
+) -> io::Result<BatchOutcome> {
+    let started = Instant::now();
+    let mut sink = match &config.report {
+        Some(path) => EventSink::to_file(path)?,
+        None => EventSink::null(),
+    };
+    if let Some(observer) = &config.observer {
+        sink = sink.with_observer(observer.clone());
+    }
+    let events = Arc::new(sink);
+    let cache = SimCache::new();
+    let deadline = config.deadline.map(|d| started + d);
+    let ledger = Ledger::open(&shard.ledger_dir, &shard.owner, shard.lease_ttl)?;
+    events.emit(&Event::BatchStart {
+        jobs: specs.len(),
+        workers: config.workers.max(1),
+    });
+    for spec in specs {
+        ledger.post(&spec.id, &spec_payload(spec))?;
+    }
+
+    // Live leases, renewed from the watchdog thread: the ticker fires
+    // after every supervision scan, so lease liveness and job liveness
+    // ride the same clock.
+    let leases: Arc<Mutex<Vec<Arc<LeaseHandle>>>> = Arc::default();
+    let ticker = {
+        let leases = Arc::clone(&leases);
+        WatchTicker::new(move || {
+            let mut held = leases.lock().unwrap_or_else(PoisonError::into_inner);
+            held.retain(|lease| !lease.retired() && !lease.lost());
+            for lease in held.iter() {
+                lease.heartbeat();
+            }
+        })
+    };
+    // The watchdog must run regardless of supervision limits — it is
+    // the heartbeat pump. Without an explicit poll, beat at a quarter
+    // of the lease TTL so a healthy shard can miss three beats before
+    // its lease lapses.
+    let mut supervise = config.supervise.clone();
+    if supervise.poll.is_none() {
+        supervise.poll =
+            Some((shard.lease_ttl / 4).clamp(Duration::from_millis(5), Duration::from_millis(250)));
+    }
+    let supervisor = Arc::new(Supervisor::new(supervise).with_ticker(ticker));
+    let watchdog_stop = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let supervisor = Arc::clone(&supervisor);
+        let events = Arc::clone(&events);
+        let stop = Arc::clone(&watchdog_stop);
+        std::thread::spawn(move || supervisor.watch(&events, &stop))
+    };
+
+    let slots: Vec<Slot> = specs
+        .iter()
+        .map(|_| Slot {
+            busy: AtomicBool::new(false),
+            result: Mutex::new(None),
+            claim_attempts: AtomicU32::new(0),
+        })
+        .collect();
+    let sweep_pause =
+        (shard.lease_ttl / 8).clamp(Duration::from_millis(5), Duration::from_millis(100));
+    std::thread::scope(|s| {
+        for _ in 0..config.workers.max(1) {
+            s.spawn(|| {
+                sweep(
+                    specs,
+                    &slots,
+                    config,
+                    &ledger,
+                    &leases,
+                    &supervisor,
+                    &cache,
+                    &events,
+                    deadline,
+                    sweep_pause,
+                );
+            });
+        }
+    });
+    watchdog_stop.store(true, Ordering::SeqCst);
+    let _ = watchdog.join();
+
+    let results: Vec<JobExecution<JobReport>> = slots
+        .into_iter()
+        .map(|slot| {
+            let resolved = slot
+                .result
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            resolved.unwrap_or(JobExecution::Failure {
+                error: "shard: sweep exited without resolving this job".to_string(),
+                attempts: 0,
+            })
+        })
+        .collect();
+    Ok(fold_outcome(
+        specs,
+        results,
+        config,
+        &supervisor,
+        &cache,
+        &events,
+        started,
+    ))
+}
+
+/// One worker's sweep: repeatedly walk the unresolved specs, claiming
+/// whatever the ledger offers, until every slot is terminal.
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    specs: &[JobSpec],
+    slots: &[Slot],
+    config: &BatchConfig,
+    ledger: &Ledger,
+    leases: &Mutex<Vec<Arc<LeaseHandle>>>,
+    supervisor: &Supervisor,
+    cache: &SimCache,
+    events: &EventSink,
+    deadline: Option<Instant>,
+    sweep_pause: Duration,
+) {
+    loop {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            config.cancel.cancel();
+        }
+        let mut unresolved = 0usize;
+        let mut progressed = false;
+        for (spec, slot) in specs.iter().zip(slots) {
+            if slot.resolved() {
+                continue;
+            }
+            unresolved += 1;
+            if slot.busy.swap(true, Ordering::SeqCst) {
+                continue; // another local worker has this spec
+            }
+            if slot.resolved() {
+                slot.busy.store(false, Ordering::SeqCst);
+                continue;
+            }
+            if config.cancel.is_cancelled() {
+                // fold_outcome emits the job_finish for never-started
+                // cancellations.
+                slot.resolve(JobExecution::Cancelled);
+                slot.busy.store(false, Ordering::SeqCst);
+                progressed = true;
+                continue;
+            }
+            if visit(
+                spec, slot, config, ledger, leases, supervisor, cache, events, deadline,
+            ) {
+                progressed = true;
+            }
+            slot.busy.store(false, Ordering::SeqCst);
+        }
+        if unresolved == 0 {
+            return;
+        }
+        if !progressed {
+            // Everything left is held by live peers (or racing): wait
+            // a fraction of the TTL before rescanning.
+            std::thread::sleep(sweep_pause);
+        }
+    }
+}
+
+/// One claim attempt on one spec. Returns whether the sweep made
+/// progress (resolved the slot or ran a job).
+#[allow(clippy::too_many_arguments)]
+fn visit(
+    spec: &JobSpec,
+    slot: &Slot,
+    config: &BatchConfig,
+    ledger: &Ledger,
+    leases: &Mutex<Vec<Arc<LeaseHandle>>>,
+    supervisor: &Supervisor,
+    cache: &SimCache,
+    events: &EventSink,
+    deadline: Option<Instant>,
+) -> bool {
+    let claim_no = slot.claim_attempts.fetch_add(1, Ordering::SeqCst) + 1;
+    // Ledger fault injection, keyed on this shard's claim attempt.
+    if config.faults.lease_write_fails(&spec.id, claim_no) {
+        events.emit(&Event::Fault {
+            job: spec.id.clone(),
+            attempt: claim_no,
+            kind: "lease_write_error".to_string(),
+            detail: "injected lease-write I/O error; claim skipped".to_string(),
+        });
+        return false;
+    }
+    if config.faults.claim_race(&spec.id, claim_no) {
+        // Plant an already-expired rival at the epoch this claim
+        // targets: the claim loses the create-new race it would have
+        // won and must take the adoption path instead.
+        let _ = ledger.plant(&spec.id, "injected-rival", Duration::ZERO);
+        events.emit(&Event::Fault {
+            job: spec.id.clone(),
+            attempt: claim_no,
+            kind: "claim_race".to_string(),
+            detail: "injected rival lease at the targeted epoch".to_string(),
+        });
+    }
+    let claim = match ledger.claim(&spec.id) {
+        Ok(claim) => claim,
+        Err(e) => {
+            events.emit(&Event::Fault {
+                job: spec.id.clone(),
+                attempt: claim_no,
+                kind: "lease_write_error".to_string(),
+                detail: format!("claim failed: {e}"),
+            });
+            return false;
+        }
+    };
+    let (lease, adopted_from) = match claim {
+        Claim::Completed => {
+            slot.resolve(JobExecution::Remote {
+                owner: remote_owner(ledger, &spec.id),
+            });
+            return true;
+        }
+        Claim::Held { .. } | Claim::Raced => return false,
+        Claim::Claimed { lease } => (lease, None),
+        Claim::Adopted {
+            lease,
+            prev_owner,
+            stale_ms,
+        } => {
+            events.emit(&Event::LeaseExpired {
+                job: spec.id.clone(),
+                owner: prev_owner.clone(),
+                epoch: lease.epoch().saturating_sub(1),
+                stale_ms,
+            });
+            (lease, Some(prev_owner))
+        }
+    };
+    events.emit(&Event::LeaseClaimed {
+        job: spec.id.clone(),
+        owner: lease.owner().to_string(),
+        epoch: lease.epoch(),
+        ttl_ms: ledger.ttl().as_millis() as u64,
+    });
+    if let Some(prev_owner) = adopted_from {
+        let has_checkpoint = config.checkpoint_dir.as_deref().is_some_and(|dir| {
+            checkpoint::job_dir(dir, &spec.id)
+                .join("state.txt")
+                .exists()
+        });
+        events.emit(&Event::JobAdopted {
+            job: spec.id.clone(),
+            owner: lease.owner().to_string(),
+            prev_owner,
+            epoch: lease.epoch(),
+            checkpoint: has_checkpoint,
+        });
+    }
+    if let Some(millis) = config.faults.shard_pause_millis(&spec.id, claim_no) {
+        lease.pause(millis);
+        events.emit(&Event::Fault {
+            job: spec.id.clone(),
+            attempt: claim_no,
+            kind: "shard_pause".to_string(),
+            detail: format!("heartbeat renewals suppressed for {millis} ms"),
+        });
+    }
+    {
+        let mut held = leases.lock().unwrap_or_else(PoisonError::into_inner);
+        held.push(Arc::clone(&lease));
+    }
+    let execution = run_leased(
+        spec, &lease, config, ledger, supervisor, cache, events, deadline,
+    );
+    slot.resolve(execution);
+    true
+}
+
+/// Runs the claimed job through the normal attempt loop and maps its
+/// terminal state onto the ledger: completion records for finished /
+/// failed / timed-out runs, a clean release for cancellations, and
+/// [`JobExecution::Remote`] when the lease was lost mid-run.
+#[allow(clippy::too_many_arguments)]
+fn run_leased(
+    spec: &JobSpec,
+    lease: &Arc<LeaseHandle>,
+    config: &BatchConfig,
+    ledger: &Ledger,
+    supervisor: &Supervisor,
+    cache: &SimCache,
+    events: &EventSink,
+    deadline: Option<Instant>,
+) -> JobExecution<JobReport> {
+    let ctx = JobContext {
+        cache,
+        events,
+        cancel: &config.cancel,
+        deadline,
+        checkpoint_dir: config.checkpoint_dir.as_deref(),
+        checkpoint_every: config.checkpoint_every,
+        faults: (!config.faults.is_empty()).then_some(&config.faults),
+        supervisor: Some(supervisor),
+        ladder: Some(&config.ladder),
+        max_attempts: config.retries + 1,
+        lease: Some(lease),
+    };
+    let mut attempts = 0u32;
+    let terminal_error = loop {
+        attempts += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute_job(spec, attempts, &ctx)));
+        let error = match outcome {
+            Ok(Ok(report)) => {
+                if report.status == JobStatus::Cancelled {
+                    // Local cancellation (deadline / signal) is not a
+                    // job outcome: release so a longer-lived peer can
+                    // pick the job up where the checkpoint left it.
+                    lease.release();
+                } else if !matches!(
+                    lease.complete(&completion_from_report(lease, &report, attempts, None)),
+                    Ok(true)
+                ) {
+                    return JobExecution::Remote {
+                        owner: remote_owner(ledger, &spec.id),
+                    };
+                }
+                return JobExecution::Success {
+                    result: report,
+                    attempts,
+                };
+            }
+            Ok(Err(e)) => e,
+            Err(payload) => format!("job panicked: {}", panic_message(payload)),
+        };
+        if lease.lost() {
+            // Fenced mid-run: the adopter owns the job now.
+            return JobExecution::Remote {
+                owner: remote_owner(ledger, &spec.id),
+            };
+        }
+        if config.cancel.is_cancelled() {
+            lease.release();
+            return JobExecution::Cancelled;
+        }
+        if attempts > config.retries {
+            break error;
+        }
+        if !config.retry_backoff.is_zero() {
+            std::thread::sleep(config.retry_backoff);
+        }
+    };
+    // Attempts exhausted: commit the failure so peers do not ping-pong
+    // a deterministically failing job around the fleet. The local fold
+    // still salvages from the newest checkpoint and emits job_finish.
+    let record = CompletionRecord {
+        job: spec.id.clone(),
+        owner: lease.owner().to_string(),
+        epoch: lease.epoch(),
+        status: JobStatus::Failed,
+        error: Some(terminal_error.clone()),
+        iterations: 0,
+        attempts,
+        wall_ms: 0,
+        degraded: false,
+        degrade_step: supervisor.downshifts(&spec.id),
+        metrics: None,
+    };
+    if !matches!(lease.complete(&record), Ok(true)) {
+        return JobExecution::Remote {
+            owner: remote_owner(ledger, &spec.id),
+        };
+    }
+    JobExecution::Failure {
+        error: terminal_error,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::unix_millis;
+    use mosaic_core::MosaicMode;
+    use mosaic_geometry::benchmarks::BenchmarkId;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mosaic-shard-{tag}-{}-{}",
+            std::process::id(),
+            unix_millis()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_spec(clip: BenchmarkId) -> JobSpec {
+        let mut spec = JobSpec::preset(clip, MosaicMode::Fast, 128, 8.0);
+        spec.config.opt.max_iterations = 2;
+        spec
+    }
+
+    #[test]
+    fn sharded_singleton_completes_and_records_done() {
+        let root = temp_dir("single");
+        let specs = vec![tiny_spec(BenchmarkId::B1)];
+        let shard = ShardConfig::new(root.join("ledger"), "shard-a");
+        let config = BatchConfig::default();
+        let outcome = run_sharded_batch(&specs, &config, &shard).unwrap();
+        assert_eq!(outcome.finished, 1);
+        assert_eq!(outcome.remote, 0);
+        let ledger = Ledger::open(root.join("ledger"), "reader", shard.lease_ttl).unwrap();
+        let done = ledger.completion("B1-fast").unwrap().unwrap();
+        assert_eq!(done.owner, "shard-a");
+        assert_eq!(done.status, JobStatus::Finished);
+        assert!(done.metrics.is_some());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn completed_jobs_fold_as_remote_on_the_second_shard() {
+        let root = temp_dir("remote");
+        let specs = vec![tiny_spec(BenchmarkId::B1), tiny_spec(BenchmarkId::B2)];
+        let config = BatchConfig::default();
+        let shard_a = ShardConfig::new(root.join("ledger"), "shard-a");
+        let first = run_sharded_batch(&specs, &config, &shard_a).unwrap();
+        assert_eq!(first.finished, 2);
+        // A late-arriving peer sees both jobs done and runs nothing.
+        let shard_b = ShardConfig::new(root.join("ledger"), "shard-b");
+        let second = run_sharded_batch(&specs, &config, &shard_b).unwrap();
+        assert_eq!(second.finished, 0);
+        assert_eq!(second.remote, 2);
+        assert!(matches!(
+            &second.results[0],
+            JobExecution::Remote { owner } if owner == "shard-a"
+        ));
+        let summary = crate::batch::render_summary(&specs, &second);
+        assert!(summary.contains("remote (shard-a)"), "{summary}");
+        assert!(summary.contains("2 remote"), "{summary}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn shard_config_defaults_to_five_second_ttl() {
+        let shard = ShardConfig::new("/tmp/x", "s");
+        assert_eq!(shard.lease_ttl, Duration::from_secs(5));
+    }
+}

@@ -42,6 +42,17 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Iteration samples required before an adaptive budget is derived —
+/// below this the percentile is too noisy to enforce against.
+const MIN_BUDGET_SAMPLES: usize = 20;
+/// Safety factor on the percentile-derived budget: p95 × planned
+/// iterations × this. Generous on purpose — an adaptive budget exists
+/// to catch order-of-magnitude hangs, not 20% slowdowns.
+const BUDGET_SAFETY: f64 = 4.0;
+/// Floor for derived budgets so sub-millisecond iteration times never
+/// produce a budget the watchdog's own poll granularity would trip.
+const MIN_DERIVED_BUDGET_MS: u64 = 50;
+
 /// Supervision knobs for one batch. The default disables every limit:
 /// supervision is strictly opt-in.
 #[derive(Debug, Clone, Default)]
@@ -59,13 +70,19 @@ pub struct SupervisorConfig {
     /// Watchdog scan interval; `None` derives a quarter of the tightest
     /// enforced limit, clamped to 5–250 ms.
     pub poll: Option<Duration>,
+    /// Derive per-job budgets from observed iteration times when
+    /// [`job_timeout`](Self::job_timeout) is unset: once enough samples
+    /// exist, an attempt's budget is p95 × its planned iterations × a
+    /// safety factor, announced via a `budget_derived` event. A static
+    /// `job_timeout` always wins over the derived figure.
+    pub adaptive: bool,
 }
 
 impl SupervisorConfig {
     /// Whether any supervision limit is enabled. When `false` the
     /// watchdog has nothing to enforce and no thread need be spawned.
     pub fn enabled(&self) -> bool {
-        self.job_timeout.is_some() || self.stall_grace.is_some()
+        self.job_timeout.is_some() || self.stall_grace.is_some() || self.adaptive
     }
 
     fn poll_interval(&self) -> Duration {
@@ -110,6 +127,11 @@ pub struct JobSlot {
     /// overrun and a stall in the same episode must cost one ladder
     /// rung, not two.
     downshift_noted: AtomicBool,
+    /// Optimizer iterations this attempt plans to run (0 = unknown) —
+    /// the multiplier for an adaptive, percentile-derived budget.
+    planned: u64,
+    /// The adaptive budget derived for this attempt, ms (0 = none yet).
+    derived_budget_ms: AtomicU64,
 }
 
 impl JobSlot {
@@ -213,6 +235,31 @@ impl IterationStats {
     }
 }
 
+/// A callback the watchdog thread invokes after every scan pass. The
+/// shard driver hooks lease heartbeats here so liveness renewal rides
+/// the existing watchdog thread instead of needing one of its own.
+#[derive(Clone)]
+pub struct WatchTicker(Arc<dyn Fn() + Send + Sync>);
+
+impl WatchTicker {
+    /// Wraps a callback; it runs on the watchdog thread and must not
+    /// block for long — it delays the next supervision scan.
+    pub fn new(f: impl Fn() + Send + Sync + 'static) -> Self {
+        WatchTicker(Arc::new(f))
+    }
+
+    /// Invokes the callback once.
+    pub fn tick(&self) {
+        (self.0)();
+    }
+}
+
+impl std::fmt::Debug for WatchTicker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WatchTicker(..)")
+    }
+}
+
 /// Per-batch supervision registry: live attempt slots for the watchdog
 /// plus the per-job downshift counters the degradation ladder reads.
 #[derive(Debug)]
@@ -221,7 +268,11 @@ pub struct Supervisor {
     epoch: Instant,
     slots: Mutex<Vec<Arc<JobSlot>>>,
     downshifts: Mutex<HashMap<String, usize>>,
+    /// Ladder rung that finally completed a job, keyed by job *class*
+    /// (grid × mode): later same-class jobs start there pre-emptively.
+    completed_rungs: Mutex<HashMap<String, usize>>,
     iteration_stats: IterationStats,
+    ticker: Option<WatchTicker>,
 }
 
 impl Supervisor {
@@ -233,8 +284,18 @@ impl Supervisor {
             epoch: Instant::now(),
             slots: Mutex::new(Vec::new()),
             downshifts: Mutex::new(HashMap::new()),
+            completed_rungs: Mutex::new(HashMap::new()),
             iteration_stats: IterationStats::default(),
+            ticker: None,
         }
+    }
+
+    /// Attaches a [`WatchTicker`] the watchdog invokes after each scan
+    /// pass (builder style).
+    #[must_use]
+    pub fn with_ticker(mut self, ticker: WatchTicker) -> Self {
+        self.ticker = Some(ticker);
+        self
     }
 
     /// The batch-wide iteration wall-clock distribution. The job
@@ -260,6 +321,15 @@ impl Supervisor {
     /// budget clock starts now; its heartbeat is primed so a fresh
     /// attempt is never immediately stalled.
     pub fn register(&self, job: &str, attempt: u32) -> AttemptGuard {
+        self.register_planned(job, attempt, 0)
+    }
+
+    /// Like [`register`](Self::register), but declaring how many
+    /// optimizer iterations the attempt plans to run — the multiplier
+    /// for an adaptive, percentile-derived budget (see
+    /// [`SupervisorConfig::adaptive`]). Zero leaves the attempt without
+    /// an adaptive budget.
+    pub fn register_planned(&self, job: &str, attempt: u32, planned: usize) -> AttemptGuard {
         let now = self.epoch.elapsed().as_millis() as u64;
         let slot = Arc::new(JobSlot {
             job: job.to_string(),
@@ -274,6 +344,8 @@ impl Supervisor {
             last_strike_ms: AtomicU64::new(now),
             budget_noted: AtomicBool::new(false),
             downshift_noted: AtomicBool::new(false),
+            planned: planned as u64,
+            derived_budget_ms: AtomicU64::new(0),
         });
         let mut slots = self.lock_slots();
         slots.retain(|s| !s.done.load(Ordering::SeqCst));
@@ -302,6 +374,59 @@ impl Supervisor {
         }
     }
 
+    fn lock_completed_rungs(&self) -> std::sync::MutexGuard<'_, HashMap<String, usize>> {
+        self.completed_rungs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records the ladder rung that finally completed a job of `class`
+    /// (latest completion wins). Rung 0 — the original configuration —
+    /// is recorded too, so one struggling outlier does not condemn the
+    /// whole class for the rest of the batch.
+    pub fn note_completed_rung(&self, class: &str, rung: usize) {
+        self.lock_completed_rungs().insert(class.to_string(), rung);
+    }
+
+    /// The ladder rung later jobs of `class` should start at
+    /// pre-emptively: what the last completed same-class job needed
+    /// (0 when the class has no history).
+    pub fn preemptive_rung(&self, class: &str) -> usize {
+        self.lock_completed_rungs().get(class).copied().unwrap_or(0)
+    }
+
+    /// Derives this slot's adaptive budget once enough samples exist:
+    /// p95 × planned iterations × safety factor. Returns the active
+    /// budget (static budgets win; the derived figure is memoized).
+    fn effective_budget_ms(&self, slot: &JobSlot, events: &EventSink) -> Option<u64> {
+        if let Some(budget) = self.config.job_timeout {
+            return Some(budget.as_millis() as u64);
+        }
+        if !self.config.adaptive || slot.planned == 0 {
+            return None;
+        }
+        let memoized = slot.derived_budget_ms.load(Ordering::SeqCst);
+        if memoized > 0 {
+            return Some(memoized);
+        }
+        let samples = self.iteration_stats.len();
+        if samples < MIN_BUDGET_SAMPLES {
+            return None;
+        }
+        let p95_ms = self.iteration_stats.percentile_ms(95.0)?;
+        let budget_ms =
+            ((p95_ms * slot.planned as f64 * BUDGET_SAFETY) as u64).max(MIN_DERIVED_BUDGET_MS);
+        slot.derived_budget_ms.store(budget_ms, Ordering::SeqCst);
+        events.emit(&Event::BudgetDerived {
+            job: slot.job.clone(),
+            attempt: slot.attempt,
+            budget_ms,
+            p95_ms,
+            samples,
+        });
+        Some(budget_ms)
+    }
+
     /// One watchdog pass over the live slots: enforces the per-job
     /// budget and the heartbeat grace period, emitting `fault` events
     /// on every transition. Public so tests can drive scans without a
@@ -315,8 +440,7 @@ impl Supervisor {
             .cloned()
             .collect();
         for slot in live {
-            if let Some(budget) = self.config.job_timeout {
-                let budget_ms = budget.as_millis() as u64;
+            if let Some(budget_ms) = self.effective_budget_ms(&slot, events) {
                 let elapsed = now.saturating_sub(slot.started_ms);
                 if elapsed > budget_ms && !slot.budget_noted.swap(true, Ordering::SeqCst) {
                     slot.timed_out.store(true, Ordering::SeqCst);
@@ -392,6 +516,9 @@ impl Supervisor {
         let poll = self.config.poll_interval();
         while !stop.load(Ordering::SeqCst) {
             self.scan(events);
+            if let Some(ticker) = &self.ticker {
+                ticker.tick();
+            }
             let mut remaining = poll;
             while !stop.load(Ordering::SeqCst) && !remaining.is_zero() {
                 let slice = remaining.min(Duration::from_millis(25));
@@ -411,6 +538,7 @@ mod tests {
             job_timeout: Some(Duration::from_millis(40)),
             stall_grace: Some(Duration::from_millis(30)),
             poll: Some(Duration::from_millis(5)),
+            adaptive: false,
         }
     }
 
@@ -498,6 +626,7 @@ mod tests {
             job_timeout: Some(Duration::from_millis(100)),
             stall_grace: Some(Duration::from_secs(30)),
             poll: None,
+            adaptive: false,
         };
         assert_eq!(cfg.poll_interval(), Duration::from_millis(25));
         let cfg = SupervisorConfig::default();
@@ -545,6 +674,121 @@ mod tests {
         sup.iteration_stats().record(7.5);
         assert_eq!(sup.iteration_stats().len(), 2);
         assert_eq!(sup.iteration_stats().percentile_ms(100.0), Some(12.5));
+    }
+
+    #[test]
+    fn adaptive_budget_derives_from_percentiles_and_enforces() {
+        let sup = Supervisor::new(SupervisorConfig {
+            job_timeout: None,
+            stall_grace: None,
+            poll: Some(Duration::from_millis(5)),
+            adaptive: true,
+        });
+        assert!(sup.config.enabled(), "adaptive alone enables supervision");
+        let events = EventSink::null();
+        // Feed enough iteration samples: p95 of a flat 1 ms is 1 ms, so
+        // 2 planned iterations derive a tiny budget (floored to 50 ms).
+        for _ in 0..MIN_BUDGET_SAMPLES {
+            sup.iteration_stats().record(1.0);
+        }
+        let guard = sup.register_planned("B1-fast", 1, 2);
+        sup.scan(&events);
+        assert_eq!(
+            guard.slot().derived_budget_ms.load(Ordering::SeqCst),
+            MIN_DERIVED_BUDGET_MS,
+            "tiny p95 budgets hit the floor"
+        );
+        assert!(!guard.slot().stop_requested(), "within budget so far");
+        std::thread::sleep(Duration::from_millis(60));
+        guard.beat(); // alive, but over the derived budget
+        sup.scan(&events);
+        assert!(guard.slot().stop_requested());
+        assert!(guard.slot().timed_out());
+        assert_eq!(sup.downshifts("B1-fast"), 1);
+    }
+
+    #[test]
+    fn adaptive_budget_waits_for_samples_and_planned_iterations() {
+        let sup = Supervisor::new(SupervisorConfig {
+            adaptive: true,
+            poll: Some(Duration::from_millis(5)),
+            ..SupervisorConfig::default()
+        });
+        let events = EventSink::null();
+        let guard = sup.register_planned("B1-fast", 1, 100);
+        sup.scan(&events);
+        assert_eq!(
+            guard.slot().derived_budget_ms.load(Ordering::SeqCst),
+            0,
+            "no samples yet: no budget"
+        );
+        for _ in 0..MIN_BUDGET_SAMPLES {
+            sup.iteration_stats().record(2.0);
+        }
+        // Plain register (planned = 0) never gets an adaptive budget.
+        let unplanned = sup.register("B2-fast", 1);
+        sup.scan(&events);
+        assert!(guard.slot().derived_budget_ms.load(Ordering::SeqCst) >= 50);
+        assert_eq!(unplanned.slot().derived_budget_ms.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn static_timeout_wins_over_adaptive() {
+        let sup = Supervisor::new(SupervisorConfig {
+            job_timeout: Some(Duration::from_millis(40)),
+            stall_grace: None,
+            poll: Some(Duration::from_millis(5)),
+            adaptive: true,
+        });
+        let events = EventSink::null();
+        for _ in 0..MIN_BUDGET_SAMPLES {
+            sup.iteration_stats().record(1_000.0); // would derive a huge budget
+        }
+        let guard = sup.register_planned("B1-fast", 1, 100);
+        std::thread::sleep(Duration::from_millis(50));
+        sup.scan(&events);
+        assert!(guard.slot().timed_out(), "the static 40 ms budget applied");
+        assert_eq!(
+            guard.slot().derived_budget_ms.load(Ordering::SeqCst),
+            0,
+            "nothing was derived"
+        );
+    }
+
+    #[test]
+    fn completed_rungs_feed_preemptive_starts() {
+        let sup = Supervisor::new(SupervisorConfig::default());
+        assert_eq!(sup.preemptive_rung("256x256-fast"), 0, "no history");
+        sup.note_completed_rung("256x256-fast", 2);
+        assert_eq!(sup.preemptive_rung("256x256-fast"), 2);
+        assert_eq!(sup.preemptive_rung("512x512-exact"), 0, "per class");
+        // A later clean completion at the original config resets it.
+        sup.note_completed_rung("256x256-fast", 0);
+        assert_eq!(sup.preemptive_rung("256x256-fast"), 0);
+    }
+
+    #[test]
+    fn ticker_fires_every_watch_pass() {
+        let ticks = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&ticks);
+        let sup = Supervisor::new(SupervisorConfig {
+            poll: Some(Duration::from_millis(5)),
+            stall_grace: Some(Duration::from_secs(30)),
+            ..SupervisorConfig::default()
+        })
+        .with_ticker(WatchTicker::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        let events = EventSink::null();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| sup.watch(&events, &stop));
+            while ticks.load(Ordering::SeqCst) < 3 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+        assert!(ticks.load(Ordering::SeqCst) >= 3);
     }
 
     #[test]

@@ -138,6 +138,7 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             supervisor: None,
             ladder: None,
             max_attempts: 1,
+            lease: None,
         },
     )
     .unwrap();
@@ -159,6 +160,7 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             supervisor: None,
             ladder: None,
             max_attempts: 1,
+            lease: None,
         },
     )
     .unwrap();
@@ -182,6 +184,7 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             supervisor: None,
             ladder: None,
             max_attempts: 1,
+            lease: None,
         },
     )
     .unwrap();

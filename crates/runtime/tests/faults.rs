@@ -231,6 +231,7 @@ fn injected_stall_is_detected_cancelled_and_retried_degraded() {
             job_timeout: None,
             stall_grace: Some(Duration::from_millis(80)),
             poll: Some(Duration::from_millis(10)),
+            adaptive: false,
         },
         ..BatchConfig::default()
     };
@@ -290,6 +291,7 @@ fn stall_strike_one_recovery_is_retried_not_cancelled() {
             job_timeout: None,
             stall_grace: Some(Duration::from_millis(100)),
             poll: Some(Duration::from_millis(10)),
+            adaptive: false,
         },
         ..BatchConfig::default()
     };

@@ -46,6 +46,7 @@ fn b1_fast_preset_golden_snapshot() {
         supervisor: None,
         ladder: None,
         max_attempts: 1,
+        lease: None,
     };
     let report = execute_job(&spec, 1, &ctx).expect("B1 fast job runs");
     let metrics = report.metrics.expect("finished job carries metrics");

@@ -67,6 +67,7 @@ fn coarsen_grid_retry_resumes_from_resampled_checkpoint() {
                 supervisor: None,
                 ladder: Some(&ladder),
                 max_attempts: 2,
+                lease: None,
             },
         )
         .unwrap();
@@ -93,6 +94,7 @@ fn coarsen_grid_retry_resumes_from_resampled_checkpoint() {
             supervisor: Some(&sup),
             ladder: Some(&ladder),
             max_attempts: 2,
+            lease: None,
         },
     )
     .unwrap();
@@ -143,6 +145,7 @@ fn coarsen_grid_retry_resumes_from_resampled_checkpoint() {
             supervisor: Some(&fresh_sup),
             ladder: Some(&ladder),
             max_attempts: 1,
+            lease: None,
         },
     )
     .unwrap();

@@ -52,6 +52,7 @@ fn cancelled_run_salvage_matches_checkpoint_salvage_bit_exactly() {
             supervisor: None,
             ladder: None,
             max_attempts: 1,
+            lease: None,
         },
     )
     .unwrap();
@@ -143,6 +144,7 @@ fn budget_timeout_on_final_attempt_salvages_and_counts_as_timed_out() {
             job_timeout: Some(Duration::from_millis(60)),
             stall_grace: Some(Duration::from_secs(10)),
             poll: Some(Duration::from_millis(10)),
+            adaptive: false,
         },
         ..BatchConfig::default()
     };

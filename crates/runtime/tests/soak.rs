@@ -106,6 +106,7 @@ fn seeded_chaos_batches_always_drain_with_finite_salvage() {
                 job_timeout: rng.chance(0.3).then(|| Duration::from_millis(120)),
                 stall_grace: Some(Duration::from_millis(60)),
                 poll: Some(Duration::from_millis(10)),
+                adaptive: false,
             },
             ..BatchConfig::default()
         };

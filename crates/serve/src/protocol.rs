@@ -160,6 +160,26 @@ impl SubmitParams {
         }
     }
 
+    /// Parses a [`cache_key`](Self::cache_key)-formatted line back into
+    /// parameters — the round-trip used when a daemon picks a job
+    /// posted to the shared ledger by a peer it never spoke to.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`parse_pairs`](Self::parse_pairs): malformed pairs,
+    /// unknown keys and out-of-range values are rejected.
+    pub fn from_cache_key(payload: &str) -> Result<SubmitParams, String> {
+        let pairs: Vec<(&str, &str)> = payload
+            .split(';')
+            .filter(|part| !part.is_empty())
+            .map(|part| {
+                part.split_once('=')
+                    .ok_or_else(|| format!("expected key=value, got '{part}'"))
+            })
+            .collect::<Result<_, _>>()?;
+        SubmitParams::parse_pairs(&pairs)
+    }
+
     /// Canonical cache-key string: every field that changes the
     /// produced mask, none that doesn't (the job id, notably).
     pub fn cache_key(&self) -> String {
@@ -326,6 +346,22 @@ mod tests {
             p.cache_key(),
             "clip=B3;mode=exact;preset=fast;grid=128;pixel=8;iterations=5"
         );
+    }
+
+    #[test]
+    fn cache_key_round_trips_through_from_cache_key() {
+        let p = SubmitParams::parse_pairs(&[
+            ("clip", "B3"),
+            ("mode", "exact"),
+            ("grid", "128"),
+            ("pixel", "8"),
+            ("iterations", "5"),
+        ])
+        .unwrap();
+        let q = SubmitParams::from_cache_key(&p.cache_key()).unwrap();
+        assert_eq!(p.cache_key(), q.cache_key());
+        assert!(SubmitParams::from_cache_key("garbage").is_err());
+        assert!(SubmitParams::from_cache_key("clip=B1;bogus=1").is_err());
     }
 
     #[test]

@@ -31,8 +31,9 @@ use crate::protocol::SubmitParams;
 use crate::result_cache::{CachedResult, ResultCache};
 use crate::store::{JobOutcome, JobRecord, JobState, JobStore};
 use mosaic_runtime::{
-    execute_job, salvage, DegradationLadder, Event, EventObserver, EventSink, JobContext,
-    JobReport, JobStatus, SimCache, Supervisor, SupervisorConfig,
+    checkpoint, execute_job, salvage, Claim, CompletionRecord, DegradationLadder, Event,
+    EventObserver, EventSink, JobContext, JobReport, JobStatus, LeaseHandle, Ledger, SimCache,
+    Supervisor, SupervisorConfig, WatchTicker,
 };
 use std::collections::VecDeque;
 use std::io;
@@ -71,6 +72,17 @@ pub struct ServeConfig {
     pub supervise: SupervisorConfig,
     /// Degradation ladder applied on downshifted retries.
     pub ladder: DegradationLadder,
+    /// Shared job-ledger root; `None` keeps the queue private to this
+    /// daemon. With a ledger, submissions get content-derived job ids,
+    /// are posted to the ledger, and idle workers also drain jobs
+    /// peers posted — multiple daemons (sharing this directory and,
+    /// for crash handoff, [`checkpoint_dir`](Self::checkpoint_dir))
+    /// serve one queue.
+    pub ledger_dir: Option<PathBuf>,
+    /// Lease heartbeat deadline horizon for ledger mode.
+    pub lease_ttl: Duration,
+    /// Ledger owner id; `None` derives `serve-<pid>`.
+    pub ledger_owner: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +98,9 @@ impl Default for ServeConfig {
             checkpoint_every: 1,
             supervise: SupervisorConfig::default(),
             ladder: DegradationLadder::default(),
+            ledger_dir: None,
+            lease_ttl: Duration::from_secs(5),
+            ledger_owner: None,
         }
     }
 }
@@ -167,6 +182,10 @@ pub(crate) struct ServerShared {
     pub(crate) events: Arc<EventSink>,
     pub(crate) supervisor: Arc<Supervisor>,
     pub(crate) gate: Arc<Gate>,
+    /// Shared job ledger (ledger mode); `None` keeps the queue local.
+    pub(crate) ledger: Option<Ledger>,
+    /// Live ledger leases, renewed from the watchdog thread's ticker.
+    leases: Arc<Mutex<Vec<Arc<LeaseHandle>>>>,
     queue: Mutex<VecDeque<Arc<JobRecord>>>,
     queue_cond: Condvar,
     /// New submissions are refused (shutdown has begun).
@@ -189,6 +208,17 @@ pub(crate) enum Submission {
     Refused(String),
 }
 
+/// What a worker's queue poll resolved to.
+enum NextJob {
+    /// A locally queued record to run.
+    Job(Arc<JobRecord>),
+    /// The queue stayed empty for one wait window — a chance to drain
+    /// the shared ledger.
+    Idle,
+    /// The server is stopping and the queue is empty.
+    Stop,
+}
+
 impl ServerShared {
     pub(crate) fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
@@ -203,13 +233,37 @@ impl ServerShared {
     }
 
     /// Registers a submission: answers it from the result cache when a
-    /// completed twin exists, otherwise enqueues it for a worker.
+    /// completed twin exists, otherwise enqueues it for a worker. In
+    /// ledger mode the job id is content-derived and the payload is
+    /// posted to the shared ledger, so every daemon on the ledger sees
+    /// the same job under the same id.
     pub(crate) fn submit(&self, params: SubmitParams) -> Submission {
         if self.draining() {
             return Submission::Refused("server is shutting down; submissions refused".to_string());
         }
         let fingerprint = ResultCache::fingerprint(&params.cache_key());
-        let record = self.store.insert(params);
+        let record = match &self.ledger {
+            None => self.store.insert(params),
+            Some(ledger) => {
+                let id = format!("g{fingerprint:016x}-{}", params.spec_suffix());
+                if let Err(e) = ledger.post(&id, &params.cache_key()) {
+                    self.events.emit(&Event::Fault {
+                        job: id.clone(),
+                        attempt: 0,
+                        kind: "lease_write_error".to_string(),
+                        detail: format!("ledger post failed: {e}"),
+                    });
+                }
+                let (record, fresh) = self.store.register(&id, params);
+                if !fresh {
+                    // The same work was already submitted (here or via
+                    // the ledger drain): converge on the existing record
+                    // instead of queueing a duplicate.
+                    return Submission::Queued(record);
+                }
+                record
+            }
+        };
         if let Some(hit) = self.results.get(fingerprint) {
             // The feed still tells the story: a cache_hit event lands in
             // this job's feed (via the observer route) before the record
@@ -239,22 +293,26 @@ impl ServerShared {
         Submission::Queued(record)
     }
 
-    /// Worker side: blocks for the next queued record; `None` when the
-    /// server is stopping and the queue is empty.
-    fn next_job(&self) -> Option<Arc<JobRecord>> {
+    /// Worker side: the next queued record, [`NextJob::Idle`] after one
+    /// empty wait window (the worker uses idle windows to drain the
+    /// shared ledger), or [`NextJob::Stop`] when the server is stopping
+    /// and the queue is empty.
+    fn next_job(&self) -> NextJob {
         let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
-        loop {
-            if let Some(record) = queue.pop_front() {
-                return Some(record);
-            }
-            if self.stopping() {
-                return None;
-            }
-            let (guard, _) = self
-                .queue_cond
-                .wait_timeout(queue, Duration::from_millis(200))
-                .unwrap_or_else(PoisonError::into_inner);
-            queue = guard;
+        if let Some(record) = queue.pop_front() {
+            return NextJob::Job(record);
+        }
+        if self.stopping() {
+            return NextJob::Stop;
+        }
+        let (mut queue, _) = self
+            .queue_cond
+            .wait_timeout(queue, Duration::from_millis(200))
+            .unwrap_or_else(PoisonError::into_inner);
+        match queue.pop_front() {
+            Some(record) => NextJob::Job(record),
+            None if self.stopping() => NextJob::Stop,
+            None => NextJob::Idle,
         }
     }
 
@@ -267,23 +325,212 @@ impl ServerShared {
     }
 
     /// One worker thread: claim, execute with retries, terminalize.
+    /// Idle windows (empty local queue) drain jobs peers posted to the
+    /// shared ledger, which is what lets multiple daemons serve one
+    /// queue.
     fn run_worker(&self) {
-        while let Some(record) = self.next_job() {
-            if !record.start() {
-                // Cancelled while queued; already terminal.
+        loop {
+            match self.next_job() {
+                NextJob::Job(record) => {
+                    if !record.start() {
+                        // Cancelled while queued; already terminal.
+                        continue;
+                    }
+                    self.executed.fetch_add(1, Ordering::SeqCst);
+                    self.run_record(&record);
+                }
+                NextJob::Idle => {
+                    if !self.draining() {
+                        self.drain_ledger();
+                    }
+                }
+                NextJob::Stop => return,
+            }
+        }
+    }
+
+    /// One pass over the shared ledger: terminalize local records a
+    /// peer completed, then claim and run at most one open job —
+    /// including postings from daemons this one has never spoken to,
+    /// which are adopted into the store so `fetch`/`watch` work here.
+    fn drain_ledger(&self) {
+        let Some(ledger) = &self.ledger else { return };
+        let Ok(jobs) = ledger.posted_jobs() else {
+            return;
+        };
+        for id in jobs {
+            if self.stopping() || self.draining() {
+                return;
+            }
+            let record = self.store.get(&id);
+            if let Ok(Some(done)) = ledger.completion(&id) {
+                if let Some(record) = &record {
+                    self.finish_remote(record, &done);
+                }
                 continue;
             }
+            let claim = match ledger.claim(&id) {
+                Ok(claim) => claim,
+                Err(_) => continue,
+            };
+            let (lease, adopted_from) = match claim {
+                Claim::Claimed { lease } => (lease, None),
+                Claim::Adopted {
+                    lease,
+                    prev_owner,
+                    stale_ms,
+                } => (lease, Some((prev_owner, stale_ms))),
+                Claim::Completed | Claim::Held { .. } | Claim::Raced => continue,
+            };
+            let record = match record {
+                Some(record) => record,
+                None => {
+                    let Ok(Some(payload)) = ledger.payload(&id) else {
+                        lease.release();
+                        continue;
+                    };
+                    let Ok(params) = SubmitParams::from_cache_key(&payload) else {
+                        lease.release();
+                        continue;
+                    };
+                    self.store.register(&id, params).0
+                }
+            };
+            if !record.start() {
+                // Running on another local worker, or already terminal.
+                lease.release();
+                continue;
+            }
+            self.announce_claim(ledger, &record.id, &lease, adopted_from);
             self.executed.fetch_add(1, Ordering::SeqCst);
-            self.run_record(&record);
+            self.run_attempts(&record, Some((ledger, &lease)));
+            return; // ran one; favour freshly queued local work next
         }
+    }
+
+    /// Claims the record's ledger job, then runs it. Jobs a peer holds
+    /// are waited out (the peer's completion terminalizes the record);
+    /// jobs a peer completed terminalize immediately.
+    fn run_record(&self, record: &Arc<JobRecord>) {
+        let Some(ledger) = &self.ledger else {
+            self.run_attempts(record, None);
+            return;
+        };
+        loop {
+            match ledger.claim(&record.id) {
+                Ok(Claim::Completed) => {
+                    if let Ok(Some(done)) = ledger.completion(&record.id) {
+                        self.finish_remote(record, &done);
+                    } else {
+                        self.finish_failed(
+                            record,
+                            "ledger completion record unreadable".to_string(),
+                            0,
+                        );
+                    }
+                    return;
+                }
+                Ok(Claim::Claimed { lease }) => {
+                    self.announce_claim(ledger, &record.id, &lease, None);
+                    self.run_attempts(record, Some((ledger, &lease)));
+                    return;
+                }
+                Ok(Claim::Adopted {
+                    lease,
+                    prev_owner,
+                    stale_ms,
+                }) => {
+                    self.announce_claim(ledger, &record.id, &lease, Some((prev_owner, stale_ms)));
+                    self.run_attempts(record, Some((ledger, &lease)));
+                    return;
+                }
+                Ok(Claim::Held { .. } | Claim::Raced) | Err(_) => {
+                    // A peer is on it: wait for its completion instead
+                    // of computing the same answer twice.
+                    if self.await_remote(ledger, record) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Waits one beat for a peer-held job; returns `true` when the
+    /// record terminalized (peer completion, cancel or shutdown).
+    fn await_remote(&self, ledger: &Ledger, record: &Arc<JobRecord>) -> bool {
+        if let Ok(Some(done)) = ledger.completion(&record.id) {
+            self.finish_remote(record, &done);
+            return true;
+        }
+        if record.cancel.is_cancelled() || self.stopping() {
+            record.finish(
+                JobState::Cancelled,
+                JobOutcome {
+                    metrics: None,
+                    iterations: 0,
+                    wall_s: 0.0,
+                    attempts: 0,
+                    degraded: false,
+                    degrade_step: 0,
+                    error: Some("job is held by a peer daemon; local wait aborted".to_string()),
+                },
+                false,
+            );
+            return true;
+        }
+        std::thread::sleep(self.config.lease_ttl.min(Duration::from_millis(100)));
+        false
+    }
+
+    /// Emits the lease lifecycle events for a claim, registers the
+    /// lease with the watchdog heartbeat list.
+    fn announce_claim(
+        &self,
+        ledger: &Ledger,
+        job: &str,
+        lease: &Arc<LeaseHandle>,
+        adopted_from: Option<(String, u64)>,
+    ) {
+        if let Some((prev_owner, stale_ms)) = &adopted_from {
+            self.events.emit(&Event::LeaseExpired {
+                job: job.to_string(),
+                owner: prev_owner.clone(),
+                epoch: lease.epoch().saturating_sub(1),
+                stale_ms: *stale_ms,
+            });
+        }
+        self.events.emit(&Event::LeaseClaimed {
+            job: job.to_string(),
+            owner: lease.owner().to_string(),
+            epoch: lease.epoch(),
+            ttl_ms: ledger.ttl().as_millis() as u64,
+        });
+        if let Some((prev_owner, _)) = adopted_from {
+            let has_checkpoint = self
+                .config
+                .checkpoint_dir
+                .as_deref()
+                .is_some_and(|dir| checkpoint::job_dir(dir, job).join("state.txt").exists());
+            self.events.emit(&Event::JobAdopted {
+                job: job.to_string(),
+                owner: lease.owner().to_string(),
+                prev_owner,
+                epoch: lease.epoch(),
+                checkpoint: has_checkpoint,
+            });
+        }
+        let mut held = self.leases.lock().unwrap_or_else(PoisonError::into_inner);
+        held.push(Arc::clone(lease));
     }
 
     /// The per-job attempt loop, mirroring the batch scheduler: panics
     /// are caught per attempt, failures retry (one degradation rung
     /// down when supervision noted a downshift), and a job that
     /// exhausts every attempt still tries checkpoint salvage before
-    /// being declared failed.
-    fn run_record(&self, record: &Arc<JobRecord>) {
+    /// being declared failed. With a lease, terminal states map onto
+    /// the ledger: completions commit a done record, cancellations
+    /// release, and a lost lease hands the record over to the adopter.
+    fn run_attempts(&self, record: &Arc<JobRecord>, leased: Option<(&Ledger, &Arc<LeaseHandle>)>) {
         let max_attempts = self.config.retries + 1;
         let ctx = JobContext {
             cache: &self.sim_cache,
@@ -296,6 +543,7 @@ impl ServerShared {
             supervisor: Some(&self.supervisor),
             ladder: Some(&self.config.ladder),
             max_attempts,
+            lease: leased.map(|(_, lease)| &**lease),
         };
         let mut attempts = 0u32;
         loop {
@@ -305,13 +553,31 @@ impl ServerShared {
             }));
             let error = match outcome {
                 Ok(Ok(report)) => {
+                    if let Some((_, lease)) = leased {
+                        if report.status == JobStatus::Cancelled {
+                            lease.release();
+                        } else {
+                            let _ = lease.complete(&completion_record(lease, &report, attempts));
+                        }
+                    }
                     self.finish_with_report(record, report, attempts);
                     return;
                 }
                 Ok(Err(e)) => e,
                 Err(payload) => format!("job panicked: {}", panic_message(payload)),
             };
+            if let Some((ledger, lease)) = leased {
+                if lease.lost() {
+                    // Fenced: the adopter owns the job now; its
+                    // completion terminalizes this record.
+                    while !self.await_remote(ledger, record) {}
+                    return;
+                }
+            }
             if record.cancel.is_cancelled() {
+                if let Some((_, lease)) = leased {
+                    lease.release();
+                }
                 // Cancelled (wire `cancel` or shutdown `now`) between
                 // attempts: cancellation, not failure, and never a retry.
                 record.finish(
@@ -330,10 +596,50 @@ impl ServerShared {
                 return;
             }
             if attempts >= max_attempts {
+                if let Some((_, lease)) = leased {
+                    // Commit the failure so peers do not re-run a
+                    // deterministically failing job.
+                    let _ = lease.complete(&CompletionRecord {
+                        job: record.id.clone(),
+                        owner: lease.owner().to_string(),
+                        epoch: lease.epoch(),
+                        status: JobStatus::Failed,
+                        error: Some(error.clone()),
+                        iterations: 0,
+                        attempts,
+                        wall_ms: 0,
+                        degraded: false,
+                        degrade_step: self.supervisor.downshifts(&record.spec.id),
+                        metrics: None,
+                    });
+                }
                 self.finish_failed(record, error, attempts);
                 return;
             }
         }
+    }
+
+    /// Terminalizes a record from a peer's ledger completion record.
+    fn finish_remote(&self, record: &Arc<JobRecord>, done: &CompletionRecord) {
+        let state = match done.status {
+            JobStatus::Finished => JobState::Done,
+            _ if done.metrics.is_some() => JobState::Salvaged,
+            JobStatus::Failed => JobState::Failed,
+            _ => JobState::Cancelled,
+        };
+        record.finish(
+            state,
+            JobOutcome {
+                metrics: done.metrics,
+                iterations: done.iterations,
+                wall_s: done.wall_ms as f64 / 1000.0,
+                attempts: done.attempts,
+                degraded: done.degraded,
+                degrade_step: done.degrade_step,
+                error: done.error.clone(),
+            },
+            false,
+        );
     }
 
     /// Terminalizes a record that produced a [`JobReport`], admitting
@@ -470,6 +776,24 @@ impl ServerShared {
     }
 }
 
+/// Builds the ledger completion record for a report this daemon
+/// produced under `lease`.
+fn completion_record(lease: &LeaseHandle, report: &JobReport, attempts: u32) -> CompletionRecord {
+    CompletionRecord {
+        job: lease.job().to_string(),
+        owner: lease.owner().to_string(),
+        epoch: lease.epoch(),
+        status: report.status,
+        error: None,
+        iterations: report.iterations,
+        attempts,
+        wall_ms: (report.wall_s * 1000.0).max(0.0) as u64,
+        degraded: report.degraded,
+        degrade_step: report.degrade_step,
+        metrics: report.metrics,
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -524,8 +848,42 @@ impl ServerHandle {
             None => EventSink::null(),
         }
         .with_observer(EventObserver::new(move |line| route_store.route_line(line)));
-        let supervisor = Arc::new(Supervisor::new(config.supervise.clone()));
-        let watchdog_enabled = config.supervise.enabled();
+        let ledger = match &config.ledger_dir {
+            Some(dir) => {
+                let owner = config
+                    .ledger_owner
+                    .clone()
+                    .unwrap_or_else(|| format!("serve-{}", std::process::id()));
+                Some(Ledger::open(dir, &owner, config.lease_ttl)?)
+            }
+            None => None,
+        };
+        let leases: Arc<Mutex<Vec<Arc<LeaseHandle>>>> = Arc::default();
+        let mut supervise = config.supervise.clone();
+        let mut supervisor = Supervisor::new(supervise.clone());
+        if ledger.is_some() {
+            if supervise.poll.is_none() {
+                // Heartbeats ride the watchdog scan loop: poll well
+                // inside the lease TTL so live leases never expire.
+                supervise.poll = Some(
+                    (config.lease_ttl / 4)
+                        .clamp(Duration::from_millis(5), Duration::from_millis(250)),
+                );
+                supervisor = Supervisor::new(supervise.clone());
+            }
+            let beat = Arc::clone(&leases);
+            supervisor = supervisor.with_ticker(WatchTicker::new(move || {
+                let mut held = beat.lock().unwrap_or_else(PoisonError::into_inner);
+                held.retain(|lease| !lease.retired() && !lease.lost());
+                for lease in held.iter() {
+                    let _ = lease.heartbeat();
+                }
+            }));
+        }
+        let supervisor = Arc::new(supervisor);
+        // In ledger mode the watchdog doubles as the heartbeat pump, so
+        // it runs even with every supervision limit disabled.
+        let watchdog_enabled = supervise.enabled() || ledger.is_some();
         let workers = config.workers.max(1);
         let shared = Arc::new(ServerShared {
             gate: Arc::new(Gate::new(config.max_conns)),
@@ -535,6 +893,8 @@ impl ServerHandle {
             sim_cache: SimCache::new(),
             events: Arc::new(sink),
             supervisor,
+            ledger,
+            leases,
             queue: Mutex::new(VecDeque::new()),
             queue_cond: Condvar::new(),
             draining: AtomicBool::new(false),

@@ -269,6 +269,22 @@ impl JobStore {
         record
     }
 
+    /// Registers a submission under a *given* id — ledger mode, where
+    /// job ids are content-derived and shared across daemons. Returns
+    /// the record and whether it is fresh; a duplicate id returns the
+    /// existing record (same parameters by construction, since the id
+    /// embeds the cache-key fingerprint), so resubmitted work converges
+    /// on one feed and one outcome.
+    pub fn register(&self, id: &str, params: SubmitParams) -> (Arc<JobRecord>, bool) {
+        let mut jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(existing) = jobs.get(id) {
+            return (Arc::clone(existing), false);
+        }
+        let record = Arc::new(JobRecord::new(id.to_string(), params));
+        jobs.insert(id.to_string(), Arc::clone(&record));
+        (record, true)
+    }
+
     /// Looks a job up by id.
     pub fn get(&self, id: &str) -> Option<Arc<JobRecord>> {
         self.jobs
@@ -345,6 +361,19 @@ mod tests {
             .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.' || c == '_'));
         assert!(store.get(&a.id).is_some());
         assert!(store.get("nope").is_none());
+    }
+
+    #[test]
+    fn register_is_idempotent_per_id() {
+        let store = JobStore::new();
+        let (a, fresh_a) = store.register("g1234-B1-fast", params());
+        let (b, fresh_b) = store.register("g1234-B1-fast", params());
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.spec.id, "g1234-B1-fast", "spec id follows the given id");
+        let (_c, fresh_c) = store.register("g9999-B1-fast", params());
+        assert!(fresh_c);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 # batches, asserting every batch drains with finite salvaged scores and
 # no unquarantined checkpoints. Seed count via SOAK_SEEDS (default 30);
 # bounded well under a minute on one core.
+#
+# `./run_experiments.sh shard` runs the ten contest clips as a
+# two-process fleet sharing one job ledger (DESIGN.md §13): both
+# processes claim from results/ledger/, and the summary shows which
+# shard ran what. SHARDS overrides the fleet size.
 set -e
 cd "$(dirname "$0")"
 
@@ -46,6 +51,12 @@ tier1() {
   cargo test -q -p mosaic-serve --test loopback
   echo "=== tier1: supervision soak"
   soak
+  echo "=== tier1: shard ledger (kill-adopt handoff + multi-shard chaos)"
+  # Two-shard crash handoff with bit-identical adopted results, plus the
+  # three-shard claim-race/expired-lease soak: no job lost, none
+  # double-completed. Also covered by the workspace test run above;
+  # repeated so a gate failure names it.
+  cargo test -q -p mosaic-runtime --test shard
   echo "=== tier1: rustdoc (warnings denied)"
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
   echo "=== tier1: single-pipeline API gate"
@@ -79,10 +90,32 @@ batch() {
   echo "batch done: results/batch_summary.txt, results/batch_report.jsonl"
 }
 
+shard() {
+  mkdir -p results
+  cargo build --release
+  local fleet="${SHARDS:-2}"
+  rm -rf results/ledger results/shard_ckpt
+  local pids=()
+  for ((i = 0; i < fleet; i++)); do
+    ./target/release/mosaic batch --bench all --mode fast --preset fast \
+      --grid 256 --pixel 4 --iterations 10 --jobs "${JOBS:-2}" \
+      --shard "$i/$fleet" --ledger results/ledger --resume results/shard_ckpt \
+      --report "results/shard_${i}_report.jsonl" \
+      > "results/shard_${i}_summary.txt" 2> "results/shard_${i}.log" &
+    pids+=($!)
+  done
+  local rc=0
+  for pid in "${pids[@]}"; do wait "$pid" || rc=1; done
+  grep -h "remote\|TOTAL" results/shard_*_summary.txt || true
+  echo "shard done ($fleet shards): results/shard_*_summary.txt, results/ledger/"
+  return $rc
+}
+
 case "${1:-}" in
   tier1) tier1; exit 0 ;;
   batch) batch; exit 0 ;;
   soak) soak; exit 0 ;;
+  shard) shard; exit 0 ;;
 esac
 
 mkdir -p results

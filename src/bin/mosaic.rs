@@ -9,11 +9,15 @@
 //! mosaic batch --bench all [--mode fast|exact] [--preset contest|fast]
 //!              [--grid 512] [--pixel 2] [--iterations 20] [--jobs 4]
 //!              [--report report.jsonl] [--resume ckpt/] [--deadline-s 600]
-//!              [--job-timeout-ms 30000] [--stall-grace-ms 5000] [--watch]
+//!              [--job-timeout-ms 30000] [--stall-grace-ms 5000]
+//!              [--adaptive-budget] [--shard 0/2 --ledger ledger/]
+//!              [--lease-ttl-ms 5000] [--watch]
 //! mosaic serve [--addr 127.0.0.1:7171] [--jobs 4] [--max-conns 64]
 //!              [--result-cache 256] [--retries 1] [--report report.jsonl]
 //!              [--resume ckpt/] [--checkpoint-every 1]
 //!              [--job-timeout-ms 30000] [--stall-grace-ms 5000]
+//!              [--ledger ledger/] [--ledger-owner serve-a]
+//!              [--lease-ttl-ms 5000]
 //! mosaic submit --bench B1 [--addr host:port] [--mode fast|exact]
 //!              [--preset fast|contest] [--grid 256] [--pixel 4]
 //!              [--iterations 20] [--watch]
@@ -39,9 +43,17 @@
 //!   are off unless given — a safe grace depends on the batch's grid
 //!   size); attempts that blow either limit are cancelled, downshifted
 //!   one degradation rung and retried, with best-so-far results
-//!   salvaged into the summary. `--watch` tees every JSONL event line
-//!   live to stdout — the same feed `mosaic serve` streams to watch
-//!   connections.
+//!   salvaged into the summary. `--adaptive-budget` derives the budget
+//!   from observed iteration times (p95-based) when `--job-timeout-ms`
+//!   is not given. `--watch` tees every JSONL event line live to
+//!   stdout — the same feed `mosaic serve` streams to watch
+//!   connections. `--shard <id>/<n> --ledger <dir>` runs the batch as
+//!   one member of an `n`-process fleet sharing the lease ledger in
+//!   `<dir>`: jobs are posted there, every shard claims work through
+//!   leases instead of static assignment, and a shard that dies has
+//!   its expired leases (and checkpoints, given a shared `--resume`
+//!   dir) adopted by the survivors. `--lease-ttl-ms` sets the
+//!   heartbeat deadline horizon.
 //! * `serve` runs the batch runtime as a long-lived TCP service (see
 //!   `mosaic-serve`): clients submit clips, watch live event feeds,
 //!   fetch results and read server stats over a newline-delimited
@@ -49,7 +61,11 @@
 //!   answered from an LRU result cache without re-optimizing. The
 //!   process blocks until `shutdown` arrives on stdin (or EOF), or a
 //!   client sends the wire `shutdown` command; `shutdown now` cancels
-//!   running jobs (they checkpoint first) instead of draining.
+//!   running jobs (they checkpoint first) instead of draining. With
+//!   `--ledger <dir>` several daemons share one queue: submissions get
+//!   content-derived job ids, are posted to the ledger, and idle
+//!   workers drain jobs peers posted (share `--resume` too so adopted
+//!   jobs resume from the crashed daemon's checkpoints).
 //! * `submit`, `watch` and `stats` are thin clients for a running
 //!   server: `submit --watch` submits one clip and streams its feed
 //!   until the job completes.
@@ -83,11 +99,14 @@ const USAGE: &str = "usage:
                [--report <report.jsonl>] [--resume <ckpt-dir>]
                [--checkpoint-every <n>] [--retries <n>]
                [--retry-backoff-ms <ms>] [--deadline-s <s>]
-               [--job-timeout-ms <ms>] [--stall-grace-ms <ms>] [--watch]
+               [--job-timeout-ms <ms>] [--stall-grace-ms <ms>]
+               [--adaptive-budget] [--shard <id>/<n> --ledger <dir>]
+               [--lease-ttl-ms <ms>] [--watch]
   mosaic serve [--addr <host:port>] [--jobs <n>] [--max-conns <n>]
                [--result-cache <n>] [--retries <n>] [--report <report.jsonl>]
                [--resume <ckpt-dir>] [--checkpoint-every <n>]
                [--job-timeout-ms <ms>] [--stall-grace-ms <ms>]
+               [--ledger <dir>] [--ledger-owner <id>] [--lease-ttl-ms <ms>]
   mosaic submit --bench <B1..B10> [--addr <host:port>] [--mode fast|exact]
                [--preset fast|contest] [--grid <px>] [--pixel <nm>]
                [--iterations <n>] [--watch]
@@ -123,6 +142,9 @@ const BATCH_FLAGS: &[&str] = &[
     "deadline-s",
     "job-timeout-ms",
     "stall-grace-ms",
+    "shard",
+    "ledger",
+    "lease-ttl-ms",
 ];
 const SERVE_FLAGS: &[&str] = &[
     "addr",
@@ -135,6 +157,9 @@ const SERVE_FLAGS: &[&str] = &[
     "checkpoint-every",
     "job-timeout-ms",
     "stall-grace-ms",
+    "ledger",
+    "ledger-owner",
+    "lease-ttl-ms",
 ];
 const SUBMIT_FLAGS: &[&str] = &[
     "addr",
@@ -201,6 +226,7 @@ fn run() -> Result<(), String> {
     let mut rest: Vec<String> = args[1..].to_vec();
     let watch_feed =
         matches!(command.as_str(), "batch" | "submit") && take_bool_flag(&mut rest, "watch");
+    let adaptive_budget = command == "batch" && take_bool_flag(&mut rest, "adaptive-budget");
     let allowed = match command.as_str() {
         "gen" => GEN_FLAGS,
         "run" => RUN_FLAGS,
@@ -217,7 +243,7 @@ fn run() -> Result<(), String> {
         "gen" => cmd_gen(&flags),
         "run" => cmd_run(&flags),
         "eval" => cmd_eval(&flags),
-        "batch" => cmd_batch(&flags, watch_feed),
+        "batch" => cmd_batch(&flags, watch_feed, adaptive_budget),
         "serve" => cmd_serve(&flags),
         "submit" => cmd_submit(&flags, watch_feed),
         "watch" => cmd_watch(&flags),
@@ -419,7 +445,56 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_batch(flags: &HashMap<String, String>, watch_feed: bool) -> Result<(), String> {
+/// Parses `--shard <id>/<n>` plus `--ledger <dir>` into a
+/// [`ShardConfig`] (owner `shard-<id>`), or `None` when neither flag is
+/// given.
+fn shard_from(flags: &HashMap<String, String>) -> Result<Option<ShardConfig>, String> {
+    let shard = flags.get("shard");
+    let ledger = flags.get("ledger");
+    let (shard, ledger) = match (shard, ledger) {
+        (None, None) => return Ok(None),
+        (Some(shard), Some(ledger)) => (shard, ledger),
+        (Some(_), None) => return Err("--shard requires --ledger <dir>".to_string()),
+        (None, Some(ledger)) => {
+            // Ledger without an explicit shard id: a singleton fleet
+            // member named after the process.
+            let mut config = ShardConfig::new(PathBuf::from(ledger), "shard-0");
+            config.owner = format!("shard-{}", std::process::id());
+            config.lease_ttl = lease_ttl_from(flags)?;
+            return Ok(Some(config));
+        }
+    };
+    let (id, fleet) = shard
+        .split_once('/')
+        .ok_or_else(|| format!("--shard expects <id>/<n> (e.g. 0/2), got '{shard}'"))?;
+    let id: usize = id
+        .parse()
+        .map_err(|_| format!("--shard: '{id}' is not a shard index"))?;
+    let fleet: usize = fleet
+        .parse()
+        .map_err(|_| format!("--shard: '{fleet}' is not a fleet size"))?;
+    if fleet == 0 || id >= fleet {
+        return Err(format!(
+            "--shard: index {id} out of range for a fleet of {fleet}"
+        ));
+    }
+    let mut config = ShardConfig::new(PathBuf::from(ledger), &format!("shard-{id}"));
+    config.lease_ttl = lease_ttl_from(flags)?;
+    Ok(Some(config))
+}
+
+/// Parses `--lease-ttl-ms` (default 5000 ms).
+fn lease_ttl_from(flags: &HashMap<String, String>) -> Result<Duration, String> {
+    Ok(Duration::from_millis(
+        count_flag(flags, "lease-ttl-ms", 5000)? as u64,
+    ))
+}
+
+fn cmd_batch(
+    flags: &HashMap<String, String>,
+    watch_feed: bool,
+    adaptive_budget: bool,
+) -> Result<(), String> {
     let bench = flags
         .get("bench")
         .ok_or("batch requires --bench (e.g. 'all' or 'B1,B3')")?;
@@ -474,8 +549,10 @@ fn cmd_batch(flags: &HashMap<String, String>, watch_feed: bool) -> Result<(), St
     let supervise = SupervisorConfig {
         job_timeout,
         stall_grace,
+        adaptive: adaptive_budget,
         ..SupervisorConfig::default()
     };
+    let shard = shard_from(flags)?;
     let batch_config = BatchConfig {
         workers: jobs,
         retries: numeric_flag(flags, "retries", 1u32)?,
@@ -485,6 +562,7 @@ fn cmd_batch(flags: &HashMap<String, String>, watch_feed: bool) -> Result<(), St
         checkpoint_every: numeric_flag(flags, "checkpoint-every", 1usize)?,
         deadline,
         supervise,
+        shard,
         // The same live JSONL tee a serve watch connection gets, on
         // stdout (the summary table prints after the batch finishes).
         observer: watch_feed.then(|| EventObserver::new(|line| println!("{line}"))),
@@ -496,6 +574,14 @@ fn cmd_batch(flags: &HashMap<String, String>, watch_feed: bool) -> Result<(), St
         jobs.max(1),
         config.opt.max_iterations
     );
+    if let Some(shard) = &batch_config.shard {
+        eprintln!(
+            "batch: sharded as {} over ledger {} (lease ttl {} ms)",
+            shard.owner,
+            shard.ledger_dir.display(),
+            shard.lease_ttl.as_millis()
+        );
+    }
     let outcome = run_batch(&specs, &batch_config).map_err(|e| format!("batch: {e}"))?;
     print!("{}", render_summary(&specs, &outcome));
     if let Some(path) = &batch_config.report {
@@ -553,8 +639,22 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             ..SupervisorConfig::default()
         },
         ladder: DegradationLadder::default(),
+        ledger_dir: flags.get("ledger").map(PathBuf::from),
+        lease_ttl: lease_ttl_from(flags)?,
+        ledger_owner: flags.get("ledger-owner").cloned(),
     };
     let max_conns = config.max_conns;
+    if let Some(dir) = &config.ledger_dir {
+        eprintln!(
+            "mosaic serve: sharing job ledger {} as {} (lease ttl {} ms)",
+            dir.display(),
+            config
+                .ledger_owner
+                .clone()
+                .unwrap_or_else(|| format!("serve-{}", std::process::id())),
+            config.lease_ttl.as_millis()
+        );
+    }
     let handle = ServerHandle::start(config).map_err(|e| format!("serve: {e}"))?;
     eprintln!(
         "mosaic serve: listening on {} ({jobs} worker(s), {max_conns} connection(s) max)",
