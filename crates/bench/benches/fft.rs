@@ -4,7 +4,7 @@
 //! once and then timed over a fixed iteration count with
 //! `std::time::Instant` — no external benchmarking dependency.
 
-use mosaic_numerics::{Complex, Fft, Fft2d, FftDirection, Grid, Workspace};
+use mosaic_numerics::{Complex, Fft, Fft2d, FftDirection, Grid, SpectralTeam, Workspace};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -75,5 +75,31 @@ fn main() {
             plan.forward_real_into(&real, &mut half, &mut ws);
             half[(0, 0)]
         });
+    }
+
+    // The banded concurrent transform (DESIGN.md §14): the calling
+    // thread takes one band, `workers` pooled threads take the rest,
+    // bit-identical to `fft_2d_with` at any team size. On a single-CPU
+    // host expect parity or a small loss (the bands serialize on one
+    // core plus pay the wave handshake); the rows exist to track the
+    // handshake overhead and to show the scaling on multi-core hosts.
+    for workers in [1usize, 3] {
+        let mut team = SpectralTeam::new(workers);
+        for n in [128usize, 256, 512] {
+            let plan = Fft2d::new(n, n);
+            let mut g = Grid::from_fn(n, n, |x, y| {
+                Complex::new((x as f64 * 0.1).sin(), (y as f64 * 0.1).cos())
+            });
+            let mut ws = Workspace::new();
+            report(
+                &format!("fft_2d_concurrent/{n}/threads_{}", workers + 1),
+                40,
+                || {
+                    plan.process_par(&mut g, FftDirection::Forward, &mut ws, &mut team);
+                    plan.process_par(&mut g, FftDirection::Inverse, &mut ws, &mut team);
+                    g[(0, 0)]
+                },
+            );
+        }
     }
 }

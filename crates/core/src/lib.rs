@@ -27,6 +27,8 @@
 //!   modes.
 //! * [`optimizer`] — Alg. 1's types: configuration, iteration records,
 //!   checkpoints, and the plain [`optimizer::optimize`] entry point.
+//! * [`parallel`] — the intra-job worker state ([`ParallelExec`])
+//!   behind the session's `threads` policy (DESIGN.md §14).
 //! * [`session`] — the [`ExecutionSession`] pipeline every entry point
 //!   resolves to, with the composable [`Instrument`] hook trait.
 //! * [`compat`] — deprecated pre-session entry points, kept one release
@@ -66,6 +68,7 @@ pub mod mask;
 pub mod mosaic;
 pub mod objective;
 pub mod optimizer;
+pub mod parallel;
 pub mod problem;
 pub mod psm;
 pub mod session;
@@ -83,6 +86,7 @@ pub use optimizer::{
 };
 #[allow(deprecated)]
 pub use optimizer::{Heartbeat, NoHeartbeat};
+pub use parallel::ParallelExec;
 pub use problem::{OpcProblem, PixelSample};
 pub use psm::{optimize_psm, PsmResult, PsmState};
 pub use session::{ExecutionSession, Instrument, NoInstrument};
@@ -102,6 +106,7 @@ pub mod prelude {
     };
     #[allow(deprecated)]
     pub use crate::optimizer::{Heartbeat, NoHeartbeat};
+    pub use crate::parallel::ParallelExec;
     pub use crate::problem::{OpcProblem, PixelSample};
     pub use crate::psm::{optimize_psm, PsmResult, PsmState};
     pub use crate::session::{ExecutionSession, Instrument, NoInstrument};

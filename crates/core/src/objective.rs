@@ -35,10 +35,14 @@
 use crate::error::OptimizerError;
 use crate::mask::MaskState;
 use crate::optimizer::OptimizationConfig;
+use crate::parallel::{CornerTask, ParallelExec};
 use crate::problem::OpcProblem;
 use mosaic_geometry::Orientation;
-use mosaic_numerics::{Complex, Convolver, FftDirection, Grid, KernelSpectrum, Workspace};
+use mosaic_numerics::{
+    Complex, Convolver, FftDirection, Grid, KernelSpectrum, SpectralTeam, Workspace,
+};
 use mosaic_optics::KernelSet;
+use std::sync::Arc;
 
 /// How the gradient folds the kernel bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -110,7 +114,7 @@ impl Default for Evaluation {
 pub struct Objective<'a> {
     problem: &'a OpcProblem,
     config: &'a OptimizationConfig,
-    combined: Vec<KernelSpectrum>,
+    combined: Vec<Arc<KernelSpectrum>>,
     epe_threshold_px: usize,
 }
 
@@ -129,7 +133,7 @@ impl<'a> Objective<'a> {
         config.validate().map_err(OptimizerError::InvalidConfig)?;
         let sim = problem.simulator();
         let combined = (0..sim.condition_count())
-            .map(|i| sim.bank(i).combined())
+            .map(|i| Arc::new(sim.bank(i).combined()))
             .collect();
         let epe_threshold_px =
             ((config.epe_threshold_nm / problem.pixel_nm()).round() as usize).max(1);
@@ -173,9 +177,83 @@ impl<'a> Objective<'a> {
         let mut dmask_dp = ws.take_real_grid(gw, gh);
         state.mask_into(&mut mask);
         state.mask_derivative_into(&mut dmask_dp);
-        self.evaluate_parameterized_into(&mask, &dmask_dp, ws, eval);
+        self.evaluate_parameterized_core(&mask, &dmask_dp, ws, eval, None);
         ws.give_real_grid(dmask_dp);
         ws.give_real_grid(mask);
+    }
+
+    /// Parallel twin of [`evaluate_into`](Self::evaluate_into): fans
+    /// independent work out over the worker state built by
+    /// [`parallel_exec`](Self::parallel_exec) (DESIGN.md §14).
+    ///
+    /// **Bit-identical** to the serial path at every thread count: every
+    /// transform a worker runs is the unchanged serial code against
+    /// task-private state, and every cross-thread reduction is replayed
+    /// by the calling thread in the serial path's exact order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's shape differs from the problem grid, or
+    /// re-raises a worker panic (fault injection / hardware faults)
+    /// after the worker pool has drained — the pool stays reusable, so
+    /// callers may retry.
+    pub fn evaluate_parallel(
+        &self,
+        state: &MaskState,
+        ws: &mut Workspace,
+        eval: &mut Evaluation,
+        par: &mut ParallelExec,
+    ) {
+        let (gw, gh) = state.dims();
+        let mut mask = ws.take_real_grid(gw, gh);
+        let mut dmask_dp = ws.take_real_grid(gw, gh);
+        state.mask_into(&mut mask);
+        state.mask_derivative_into(&mut dmask_dp);
+        self.evaluate_parameterized_core(&mask, &dmask_dp, ws, eval, Some(par));
+        ws.give_real_grid(dmask_dp);
+        ws.give_real_grid(mask);
+    }
+
+    /// Builds the reusable worker state for
+    /// [`evaluate_parallel`](Self::evaluate_parallel), or `None` when
+    /// `threads < 2` (the serial path needs no state).
+    ///
+    /// `threads − 1` workers are spawned; the calling thread is the
+    /// remaining member of the team. The decomposition is chosen once,
+    /// from the problem shape: process-corner fan-out when the objective
+    /// has corners to farm out (`F_pvb` active, combined gradient mode),
+    /// banded-FFT/kernel fan-out otherwise.
+    pub fn parallel_exec(&self, threads: usize) -> Option<ParallelExec> {
+        if threads < 2 {
+            return None;
+        }
+        let workers = threads - 1;
+        let sim = self.problem.simulator();
+        let corner_mode = sim.condition_count() > 1
+            && self.config.beta > 0.0
+            && self.config.gradient_mode == GradientMode::Combined;
+        if !corner_mode {
+            return Some(ParallelExec::team(workers));
+        }
+        let (gw, gh) = self.problem.grid_dims();
+        let pixel_area = self.problem.pixel_nm() * self.problem.pixel_nm();
+        let target = Arc::new(self.problem.target().clone());
+        let tasks = (1..sim.condition_count())
+            .map(|c| CornerTask {
+                bank: Arc::clone(&sim.shared_banks()[c]),
+                conv: sim.convolver().clone(),
+                combined: Arc::clone(&self.combined[c]),
+                resist: *sim.resist(),
+                target: Arc::clone(&target),
+                beta: self.config.beta,
+                pixel_area,
+                dose: sim.bank(c).condition().dose,
+                mask_spectrum: Grid::zeros(gw, gh),
+                r_plane: Grid::zeros(gw, gh),
+                pvb_value: 0.0,
+            })
+            .collect();
+        Some(ParallelExec::corners(workers, tasks))
     }
 
     /// Evaluates `F` and its gradient for an arbitrary mask
@@ -209,6 +287,25 @@ impl<'a> Objective<'a> {
         ws: &mut Workspace,
         eval: &mut Evaluation,
     ) {
+        self.evaluate_parameterized_core(mask, dmask_dp, ws, eval, None);
+    }
+
+    /// The single numeric path behind every evaluation entry point.
+    ///
+    /// With `par = None` this is exactly the serial evaluation. With a
+    /// [`ParallelExec`], independent work is fanned out — banded FFT
+    /// passes and per-kernel transforms through the spectral team, or
+    /// whole `F_pvb` corners through the corner pool — while every
+    /// reduction stays on this thread in serial order, keeping results
+    /// bit-identical (DESIGN.md §14).
+    fn evaluate_parameterized_core(
+        &self,
+        mask: &Grid<f64>,
+        dmask_dp: &Grid<f64>,
+        ws: &mut Workspace,
+        eval: &mut Evaluation,
+        mut par: Option<&mut ParallelExec>,
+    ) {
         let sim = self.problem.simulator();
         let conv = sim.convolver();
         let cfg = self.config;
@@ -219,7 +316,16 @@ impl<'a> Objective<'a> {
         assert_eq!(dmask_dp.dims(), mask.dims(), "derivative shape mismatch");
         let (gw, gh) = self.problem.grid_dims();
         let mut mask_spectrum = ws.take_complex_grid(gw, gh);
-        sim.mask_spectrum_into(mask, &mut mask_spectrum, ws);
+        match par.as_deref_mut().and_then(ParallelExec::team_mut) {
+            Some(team) => sim.mask_spectrum_par(mask, &mut mask_spectrum, ws, team),
+            None => sim.mask_spectrum_into(mask, &mut mask_spectrum, ws),
+        }
+        let corner_mode = par.as_deref().is_some_and(ParallelExec::corner_mode);
+        if let Some(p) = par.as_deref_mut() {
+            // Corner workers start on this iteration's spectrum while the
+            // calling thread evaluates the nominal condition below.
+            p.corners_start(&mask_spectrum);
+        }
         let mut grad_mask = ws.take_real_grid_zeroed(gw, gh);
         let mut intensity = ws.take_real_grid(gw, gh);
         let mut z = ws.take_real_grid(gw, gh);
@@ -230,7 +336,15 @@ impl<'a> Objective<'a> {
         let mut fields: Vec<Grid<Complex>> = Vec::new();
         let mut report = ObjectiveReport::default();
 
-        for c in 0..sim.condition_count() {
+        // In corner mode the workers own conditions 1.., so this thread
+        // only walks the nominal condition; the corner merge below
+        // replays the skipped accumulates in condition order.
+        let serial_conditions = if corner_mode {
+            1
+        } else {
+            sim.condition_count()
+        };
+        for c in 0..serial_conditions {
             // Which terms does this condition carry? Skip the forward
             // simulation entirely when none apply (e.g. corners when
             // β = 0 — the process-window-blind configuration).
@@ -250,7 +364,18 @@ impl<'a> Objective<'a> {
                     ws,
                 );
             } else {
-                bank.aerial_image_accumulate_into(conv, &mask_spectrum, &mut intensity, ws);
+                match par.as_deref_mut().and_then(ParallelExec::team_mut) {
+                    Some(team) => bank.aerial_image_accumulate_par(
+                        conv,
+                        &mask_spectrum,
+                        &mut intensity,
+                        ws,
+                        team,
+                    ),
+                    None => {
+                        bank.aerial_image_accumulate_into(conv, &mask_spectrum, &mut intensity, ws)
+                    }
+                }
             }
             sim.resist().develop_into(&intensity, &mut z);
             // dZ/dI at every pixel.
@@ -296,6 +421,7 @@ impl<'a> Objective<'a> {
                         2.0 * dose,
                         &mut grad_mask,
                         ws,
+                        par.as_deref_mut().and_then(ParallelExec::team_mut),
                     );
                 }
                 GradientMode::PerKernel => {
@@ -308,6 +434,21 @@ impl<'a> Objective<'a> {
                         &mut grad_mask,
                         ws,
                     );
+                }
+            }
+        }
+        if let Some(p) = par {
+            // Drain the corner workers, then replay the two cross-corner
+            // accumulates exactly as the serial loop interleaves them —
+            // pvb sum then gradient accumulate, condition by condition —
+            // on this thread. The tasks hand back *raw* planes, so every
+            // floating-point add below is the serial path's own.
+            p.corners_finish(ws);
+            for task in p.corner_tasks() {
+                report.pvb += cfg.beta * task.pvb_value * pixel_area;
+                let scale = 2.0 * task.dose;
+                for (a, &r) in grad_mask.iter_mut().zip(task.r_plane.iter()) {
+                    *a += scale * r;
                 }
             }
         }
@@ -422,6 +563,9 @@ impl<'a> Objective<'a> {
     /// The trailing correlation goes through the Hermitian half-spectrum
     /// inverse (only the real part is consumed), which is ULP-compatible
     /// with — not bit-identical to — a full complex correlation.
+    ///
+    /// With a spectral `team`, the three transforms run their banded
+    /// concurrent twins — bit-identical to the serial calls.
     #[allow(clippy::too_many_arguments)]
     fn backpropagate_combined(
         &self,
@@ -432,16 +576,32 @@ impl<'a> Objective<'a> {
         scale: f64,
         grad_mask: &mut Grid<f64>,
         ws: &mut Workspace,
+        team: Option<&mut SpectralTeam>,
     ) {
         let (gw, gh) = grad_mask.dims();
         let mut field = ws.take_complex_grid(gw, gh);
-        conv.convolve_spectrum_into(mask_spectrum, combined, &mut field, ws);
-        for (e, &gv) in field.iter_mut().zip(g.iter()) {
-            *e = e.scale(gv);
+        match team {
+            Some(team) => {
+                conv.convolve_spectrum_par(mask_spectrum, combined, &mut field, ws, team);
+                for (e, &gv) in field.iter_mut().zip(g.iter()) {
+                    *e = e.scale(gv);
+                }
+                conv.plan()
+                    .process_par(&mut field, FftDirection::Forward, ws, team);
+                conv.correlate_spectrum_re_accumulate_par(
+                    &field, combined, scale, grad_mask, ws, team,
+                );
+            }
+            None => {
+                conv.convolve_spectrum_into(mask_spectrum, combined, &mut field, ws);
+                for (e, &gv) in field.iter_mut().zip(g.iter()) {
+                    *e = e.scale(gv);
+                }
+                conv.plan()
+                    .process_with(&mut field, FftDirection::Forward, ws);
+                conv.correlate_spectrum_re_accumulate(&field, combined, scale, grad_mask, ws);
+            }
         }
-        conv.plan()
-            .process_with(&mut field, FftDirection::Forward, ws);
-        conv.correlate_spectrum_re_accumulate(&field, combined, scale, grad_mask, ws);
         ws.give_complex_grid(field);
     }
 

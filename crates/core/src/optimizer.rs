@@ -100,6 +100,14 @@ pub struct OptimizationConfig {
     /// the gradient with NaN at this absolute iteration index. `None`
     /// (the default) in all production configurations.
     pub fault_nan_gradient_at: Option<usize>,
+    /// Deterministic fault injection for the hardening tests: panic on a
+    /// parallel evaluation worker at this absolute iteration index. Only
+    /// meaningful with [`ExecutionSession::threads`] ≥ 2 (serial runs
+    /// never build a pool). `None` (the default) in all production
+    /// configurations.
+    ///
+    /// [`ExecutionSession::threads`]: crate::session::ExecutionSession::threads
+    pub fault_parallel_panic_at: Option<usize>,
 }
 
 impl Default for OptimizationConfig {
@@ -128,6 +136,7 @@ impl Default for OptimizationConfig {
             max_recoveries: 3,
             recovery_damping: 0.5,
             fault_nan_gradient_at: None,
+            fault_parallel_panic_at: None,
         }
     }
 }

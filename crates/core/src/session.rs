@@ -160,6 +160,7 @@ pub struct ExecutionSession<'a> {
     start: OptimizerStart<'a>,
     workspace: Option<&'a mut Workspace>,
     checkpoint_every: Option<usize>,
+    threads: usize,
 }
 
 impl<'a> ExecutionSession<'a> {
@@ -176,6 +177,7 @@ impl<'a> ExecutionSession<'a> {
             start: OptimizerStart::Mask(initial_mask),
             workspace: None,
             checkpoint_every: None,
+            threads: 1,
         }
     }
 
@@ -196,6 +198,7 @@ impl<'a> ExecutionSession<'a> {
             start: OptimizerStart::Checkpoint(checkpoint),
             workspace: None,
             checkpoint_every: None,
+            threads: 1,
         }
     }
 
@@ -211,6 +214,7 @@ impl<'a> ExecutionSession<'a> {
             start,
             workspace: None,
             checkpoint_every: None,
+            threads: 1,
         }
     }
 
@@ -233,6 +237,20 @@ impl<'a> ExecutionSession<'a> {
     #[must_use]
     pub fn checkpoints(mut self, every: usize) -> Self {
         self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Sets the intra-job evaluation thread budget (DESIGN.md §14).
+    ///
+    /// With `n >= 2` every objective evaluation runs through
+    /// [`ParallelExec`](crate::parallel::ParallelExec) — `n − 1` pooled
+    /// worker threads plus the calling thread — and is **bit-identical**
+    /// to the serial path at every thread count. `n <= 1` (the default)
+    /// compiles down to the exact existing serial code path with no pool
+    /// ever constructed.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
         self
     }
 
@@ -289,6 +307,7 @@ impl<'a> ExecutionSession<'a> {
             start,
             workspace,
             checkpoint_every,
+            threads,
         } = self;
         let mut owned_ws;
         let ws = match workspace {
@@ -298,7 +317,15 @@ impl<'a> ExecutionSession<'a> {
                 &mut owned_ws
             }
         };
-        run_session(problem, &config, start, ws, checkpoint_every, instrument)
+        run_session(
+            problem,
+            &config,
+            start,
+            ws,
+            checkpoint_every,
+            threads,
+            instrument,
+        )
     }
 }
 
@@ -327,10 +354,14 @@ fn run_session<I: Instrument>(
     start: OptimizerStart<'_>,
     ws: &mut Workspace,
     checkpoint_every: Option<usize>,
+    threads: usize,
     instrument: &mut I,
 ) -> Result<OptimizationResult, OptimizerError> {
     config.validate().map_err(OptimizerError::InvalidConfig)?;
     let objective = Objective::new(problem, config)?;
+    // `threads <= 1` never builds a pool: evaluations take the exact
+    // existing serial code path.
+    let mut par = objective.parallel_exec(threads);
     let (
         mut state,
         mut best_value,
@@ -404,7 +435,17 @@ fn run_session<I: Instrument>(
 
     for iteration in start_iter..config.max_iterations {
         instrument.on_iteration_start(iteration);
-        objective.evaluate_into(&state, ws, &mut eval);
+        if config.fault_parallel_panic_at == Some(iteration) {
+            // Test-only fault: the next parallel wave's worker 0 panics
+            // inside its task, exercising the pool's containment path.
+            if let Some(p) = par.as_ref() {
+                p.arm_panic();
+            }
+        }
+        match par.as_mut() {
+            Some(p) => objective.evaluate_parallel(&state, ws, &mut eval, p),
+            None => objective.evaluate_into(&state, ws, &mut eval),
+        }
         instrument.on_objective_eval();
         if config.fault_nan_gradient_at == Some(iteration) {
             // Test-only fault: poison one gradient entry so the RMS (and
@@ -529,7 +570,10 @@ fn run_session<I: Instrument>(
             for attempt in 0..config.line_search_max_halvings {
                 state.restore_from(&base_vars);
                 state.step(direction, trial);
-                objective.evaluate_into(&state, ws, &mut eval_ls);
+                match par.as_mut() {
+                    Some(p) => objective.evaluate_parallel(&state, ws, &mut eval_ls, p),
+                    None => objective.evaluate_into(&state, ws, &mut eval_ls),
+                }
                 instrument.on_objective_eval();
                 let f_trial = eval_ls.report.total;
                 if f_trial < value || attempt + 1 == config.line_search_max_halvings {

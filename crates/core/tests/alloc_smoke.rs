@@ -54,7 +54,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-fn small_problem() -> OpcProblem {
+fn small_problem(conditions: Vec<ProcessCondition>) -> OpcProblem {
     let mut layout = Layout::new(256, 256);
     layout.push(Polygon::from_rect(Rect::new(64, 48, 160, 208)));
     // 96 = 32·3: the Bluestein scratch path must be pooled too.
@@ -64,14 +64,7 @@ fn small_problem() -> OpcProblem {
         .kernel_count(4)
         .build()
         .unwrap();
-    OpcProblem::from_layout(
-        &layout,
-        &optics,
-        ResistModel::paper(),
-        ProcessCondition::nominal_only(),
-        40,
-    )
-    .unwrap()
+    OpcProblem::from_layout(&layout, &optics, ResistModel::paper(), conditions, 40).unwrap()
 }
 
 /// Arms the counter once the pool is warm and reads it back at the last
@@ -99,9 +92,12 @@ impl Instrument for ArmingInstrument {
     }
 }
 
-#[test]
-fn warm_iterations_allocate_nothing() {
-    let problem = small_problem();
+/// Runs one measured session and returns the warm-path allocation
+/// count. Worker threads (if any) allocate only during iteration 0 —
+/// pool spawn, per-thread workspaces, lane buffers — which the arming
+/// policy exempts; everything they allocate afterwards is counted, as
+/// the global allocator sees every thread.
+fn measured_run(problem: &OpcProblem, threads: usize) -> u64 {
     let cfg = OptimizationConfig {
         max_iterations: 4,
         gradient_mode: GradientMode::Combined,
@@ -112,15 +108,34 @@ fn warm_iterations_allocate_nothing() {
         last: cfg.max_iterations - 1,
         measured: None,
     };
-    let result = ExecutionSession::from_mask(&problem, cfg.clone(), problem.target())
+    let result = ExecutionSession::from_mask(problem, cfg.clone(), problem.target())
         .workspace(&mut ws)
+        .threads(threads)
         .run_instrumented(&mut armer)
         .unwrap();
     assert_eq!(result.history.len(), cfg.max_iterations);
-    let allocations = armer.measured.expect("final iteration hook fired");
-    assert_eq!(
-        allocations, 0,
-        "warm optimizer iterations performed {allocations} heap allocations; \
-         the spectral hot path must draw everything from the workspace pool"
-    );
+    armer.measured.expect("final iteration hook fired")
+}
+
+#[test]
+fn warm_iterations_allocate_nothing() {
+    // The three scenarios run sequentially inside the one test function
+    // so no concurrent test pollutes the counter: the serial baseline,
+    // the spectral-team parallel path (single condition → banded FFTs),
+    // and the corner fan-out path (process window → one worker corner).
+    let nominal = small_problem(ProcessCondition::nominal_only());
+    let windowed = small_problem(ProcessCondition::paper_window(25.0, 0.02));
+    for (name, problem, threads) in [
+        ("serial", &nominal, 1),
+        ("team threads=2", &nominal, 2),
+        ("corners threads=2", &windowed, 2),
+    ] {
+        let allocations = measured_run(problem, threads);
+        assert_eq!(
+            allocations, 0,
+            "warm optimizer iterations ({name}) performed {allocations} heap \
+             allocations; the spectral hot path must draw everything from the \
+             workspace pools"
+        );
+    }
 }

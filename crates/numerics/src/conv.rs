@@ -20,6 +20,7 @@
 use crate::complex::Complex;
 use crate::fft::{Fft2d, FftDirection};
 use crate::grid::Grid;
+use crate::pool::SpectralTeam;
 use crate::workspace::Workspace;
 
 /// A kernel held in the frequency domain, ready for repeated use.
@@ -286,6 +287,126 @@ impl Convolver {
         acc: &mut Grid<f64>,
         ws: &mut Workspace,
     ) {
+        let mut re = ws.take_real_grid(field_spectrum.width(), field_spectrum.height());
+        self.correlate_spectrum_re_into(field_spectrum, kernel, &mut re, ws);
+        for (a, &r) in acc.iter_mut().zip(re.iter()) {
+            *a += scale * r;
+        }
+        ws.give_real_grid(re);
+    }
+
+    /// Writes `Re[F⁻¹(field_spectrum · conj(kernel))]` into `re_out`,
+    /// overwriting it — the transform half of
+    /// [`Convolver::correlate_spectrum_re_accumulate`], split out so the
+    /// parallel corner path (DESIGN.md §14) can run the transform on a
+    /// worker thread while the calling thread performs the fixed-order
+    /// serial accumulate that keeps reductions deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn correlate_spectrum_re_into(
+        &self,
+        field_spectrum: &Grid<Complex>,
+        kernel: &KernelSpectrum,
+        re_out: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            field_spectrum.dims(),
+            kernel.dims(),
+            "field/kernel spectrum shape mismatch"
+        );
+        assert_eq!(
+            field_spectrum.dims(),
+            re_out.dims(),
+            "output shape mismatch"
+        );
+        let (w, h) = field_spectrum.dims();
+        let hw = self.plan.half_width();
+        let mut half = ws.take_complex_grid(hw, h);
+        for j in 0..h {
+            let jm = (h - j) % h;
+            for i in 0..hw {
+                let im = (w - i) % w;
+                let p = field_spectrum[(i, j)] * kernel.spectrum[(i, j)].conj();
+                let q = field_spectrum[(im, jm)] * kernel.spectrum[(im, jm)].conj();
+                half[(i, j)] = (p + q.conj()).scale(0.5);
+            }
+        }
+        self.plan.inverse_real_into(&mut half, re_out, ws);
+        ws.give_complex_grid(half);
+    }
+
+    /// Concurrent twin of [`Convolver::forward_real_into`]: the column
+    /// pass of the real forward transform is banded across `team`'s
+    /// workers. Bit-identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn forward_real_par(
+        &self,
+        field: &Grid<f64>,
+        out: &mut Grid<Complex>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        let mut half = ws.take_complex_grid(self.plan.half_width(), self.height());
+        self.plan.forward_real_par(field, &mut half, ws, team);
+        self.plan.expand_half_spectrum_into(&half, out);
+        ws.give_complex_grid(half);
+    }
+
+    /// Concurrent twin of [`Convolver::convolve_spectrum_into`]: the
+    /// inverse transform runs through [`Fft2d::process_par`].
+    /// Bit-identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn convolve_spectrum_par(
+        &self,
+        field_spectrum: &Grid<Complex>,
+        kernel: &KernelSpectrum,
+        out: &mut Grid<Complex>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        assert_eq!(
+            field_spectrum.dims(),
+            kernel.dims(),
+            "field/kernel spectrum shape mismatch"
+        );
+        assert_eq!(field_spectrum.dims(), out.dims(), "output shape mismatch");
+        for ((o, &a), &b) in out
+            .iter_mut()
+            .zip(field_spectrum.iter())
+            .zip(kernel.spectrum.iter())
+        {
+            *o = a * b;
+        }
+        self.plan.process_par(out, FftDirection::Inverse, ws, team);
+    }
+
+    /// Concurrent twin of
+    /// [`Convolver::correlate_spectrum_re_accumulate`]: the Hermitian
+    /// product and the accumulate stay serial on the calling thread
+    /// (fixed-order reduction), only the inverse transform's column pass
+    /// is banded. Bit-identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn correlate_spectrum_re_accumulate_par(
+        &self,
+        field_spectrum: &Grid<Complex>,
+        kernel: &KernelSpectrum,
+        scale: f64,
+        acc: &mut Grid<f64>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
         assert_eq!(
             field_spectrum.dims(),
             kernel.dims(),
@@ -305,7 +426,7 @@ impl Convolver {
             }
         }
         let mut re = ws.take_real_grid(w, h);
-        self.plan.inverse_real_into(&mut half, &mut re, ws);
+        self.plan.inverse_real_par(&mut half, &mut re, ws, team);
         for (a, &r) in acc.iter_mut().zip(re.iter()) {
             *a += scale * r;
         }

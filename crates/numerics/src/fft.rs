@@ -24,6 +24,15 @@
 //!   roughly in half by packing even/odd samples into one half-length
 //!   complex FFT.
 //!
+//! Every 2-D entry point additionally has a `*_par` twin
+//! ([`Fft2d::process_par`], [`Fft2d::forward_real_par`],
+//! [`Fft2d::inverse_real_par`]) that fans the independent 1-D row and
+//! column transforms out over a [`SpectralTeam`] worker pool
+//! (DESIGN.md §14). Each 1-D transform is the unchanged serial code, the
+//! bands are fixed by the worker count alone, and all merging is done by
+//! the calling thread — so the parallel twins are **bit-identical** to
+//! their serial counterparts at every worker count.
+//!
 //! ```
 //! use mosaic_numerics::{Complex, Fft, FftDirection};
 //!
@@ -39,6 +48,7 @@
 
 use crate::complex::Complex;
 use crate::grid::Grid;
+use crate::pool::SpectralTeam;
 use crate::workspace::Workspace;
 use std::f64::consts::PI;
 use std::sync::Arc;
@@ -353,6 +363,60 @@ fn transpose_into(src: &[Complex], dst: &mut [Complex], w: usize, h: usize) {
             x0 = x1;
         }
         y0 = y1;
+    }
+}
+
+/// Contiguous band `[start, end)` assigned to band `b` of `nb` over
+/// `len` items. Depends only on the three arguments, so the work split —
+/// and therefore every intermediate value — is a pure function of the
+/// worker count, never of scheduling.
+fn band(len: usize, nb: usize, b: usize) -> (usize, usize) {
+    (len * b / nb, len * (b + 1) / nb)
+}
+
+/// Applies `plan` to each of the `rows` consecutive `plan.len()`-sized
+/// rows of `data`, fanning contiguous bands out to `team`'s workers
+/// while the calling thread transforms band 0 itself.
+///
+/// Each 1-D transform is the unchanged serial [`Fft::process_with`] on
+/// an exact copy of its row, and the caller copies finished bands back
+/// in lane order, so the result is bit-identical to the serial loop at
+/// every worker count. Falls back to that serial loop outright when the
+/// team has no workers or there is at most one row.
+fn rows_par(
+    plan: &Fft,
+    data: &mut [Complex],
+    rows: usize,
+    direction: FftDirection,
+    ws: &mut Workspace,
+    team: &mut SpectralTeam,
+) {
+    let len = plan.len();
+    let workers = team.workers();
+    if workers == 0 || rows <= 1 {
+        for r in 0..rows {
+            plan.process_with(&mut data[r * len..(r + 1) * len], direction, ws);
+        }
+        return;
+    }
+    let bands = workers + 1;
+    for lane in 0..workers {
+        let (start, end) = band(rows, bands, lane + 1);
+        let mut buf = team.lane_rows_buf(lane);
+        buf.extend_from_slice(&data[start * len..end * len]);
+        team.submit_rows(lane, plan, direction, buf);
+    }
+    team.dispatch();
+    let (start, end) = band(rows, bands, 0);
+    for r in start..end {
+        plan.process_with(&mut data[r * len..(r + 1) * len], direction, ws);
+    }
+    team.collect();
+    for lane in 0..workers {
+        let (start, end) = band(rows, bands, lane + 1);
+        if let Some(buf) = team.rows_result(lane) {
+            data[start * len..end * len].copy_from_slice(buf);
+        }
     }
 }
 
@@ -702,6 +766,132 @@ impl Fft2d {
         let mut out = Grid::zeros(self.width(), self.height());
         self.expand_half_spectrum_into(&half, &mut out);
         out
+    }
+
+    /// Concurrent twin of [`Fft2d::process_with`]: row pass, blocked
+    /// transpose, column pass, transpose back — with both 1-D passes
+    /// banded across `team`'s workers (DESIGN.md §14).
+    ///
+    /// Bit-identical to the serial path at every worker count: each 1-D
+    /// transform is the unchanged serial code, bands are a pure function
+    /// of the worker count, and the caller alone reassembles the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid shape differs from the planned shape.
+    pub fn process_par(
+        &self,
+        grid: &mut Grid<Complex>,
+        direction: FftDirection,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        assert_eq!(
+            grid.dims(),
+            (self.width(), self.height()),
+            "FFT2D plan {}x{} does not match grid {}x{}",
+            self.width(),
+            self.height(),
+            grid.width(),
+            grid.height()
+        );
+        let (w, h) = grid.dims();
+        rows_par(&self.row, grid.as_mut_slice(), h, direction, ws, team);
+        self.column_pass_par(grid.as_mut_slice(), w, h, direction, ws, team);
+    }
+
+    /// Concurrent twin of [`Fft2d::column_pass`]: the transposed buffer's
+    /// `w` contiguous columns are banded across the team exactly like a
+    /// row pass.
+    fn column_pass_par(
+        &self,
+        data: &mut [Complex],
+        w: usize,
+        h: usize,
+        direction: FftDirection,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        if h == 1 {
+            return; // length-1 column transform is the identity
+        }
+        let mut t = ws.take_complex(w * h);
+        transpose_into(data, &mut t, w, h);
+        rows_par(&self.col, &mut t, w, direction, ws, team);
+        transpose_into(&t, data, h, w);
+        ws.give_complex(t);
+    }
+
+    /// Concurrent twin of [`Fft2d::forward_real_into`]: serial real-row
+    /// untangling, then a banded parallel column pass. Bit-identical to
+    /// the serial path at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not `w × h` or `out` is not `(w/2+1) × h`.
+    pub fn forward_real_par(
+        &self,
+        input: &Grid<f64>,
+        out: &mut Grid<Complex>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        let (w, h) = (self.width(), self.height());
+        let hw = self.half_width();
+        assert_eq!(
+            input.dims(),
+            (w, h),
+            "real input {}x{} does not match plan {w}x{h}",
+            input.width(),
+            input.height()
+        );
+        assert_eq!(
+            out.dims(),
+            (hw, h),
+            "half spectrum {}x{} does not match plan {hw}x{h}",
+            out.width(),
+            out.height()
+        );
+        for y in 0..h {
+            self.row_r2c(input.row(y), out.row_mut(y), ws);
+        }
+        self.column_pass_par(out.as_mut_slice(), hw, h, FftDirection::Forward, ws, team);
+    }
+
+    /// Concurrent twin of [`Fft2d::inverse_real_into`]: a banded parallel
+    /// column pass, then serial real-row reconstruction. Bit-identical to
+    /// the serial path at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is not `(w/2+1) × h` or `out` is not `w × h`.
+    pub fn inverse_real_par(
+        &self,
+        half: &mut Grid<Complex>,
+        out: &mut Grid<f64>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        let (w, h) = (self.width(), self.height());
+        let hw = self.half_width();
+        assert_eq!(
+            half.dims(),
+            (hw, h),
+            "half spectrum {}x{} does not match plan {hw}x{h}",
+            half.width(),
+            half.height()
+        );
+        assert_eq!(
+            out.dims(),
+            (w, h),
+            "real output {}x{} does not match plan {w}x{h}",
+            out.width(),
+            out.height()
+        );
+        self.column_pass_par(half.as_mut_slice(), hw, h, FftDirection::Inverse, ws, team);
+        for y in 0..h {
+            self.row_c2r(half.row(y), out.row_mut(y), ws);
+        }
     }
 }
 

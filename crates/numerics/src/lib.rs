@@ -14,6 +14,9 @@
 //!   cached kernel spectra ([`conv`]).
 //! * [`Workspace`] — pooled scratch buffers that make the whole spectral
 //!   pipeline allocation-free after warm-up ([`workspace`]).
+//! * [`WorkerPool`] / [`SpectralTeam`] — a reusable std-only worker team
+//!   with per-thread workspaces behind the concurrent FFT and the
+//!   intra-job parallel evaluation path ([`pool`]).
 //! * Reductions and error metrics used by optimizer stopping rules
 //!   ([`stats`]).
 //!
@@ -50,6 +53,7 @@ pub mod fft;
 pub mod grid;
 pub mod grid_ops;
 pub mod matrix;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod workspace;
@@ -60,6 +64,7 @@ pub use error::NumericsError;
 pub use fft::{Fft, Fft2d, FftDirection};
 pub use grid::Grid;
 pub use matrix::{eigen_hermitian, HermitianEigen, Matrix};
+pub use pool::{PoolTask, SpectralTask, SpectralTeam, WorkerPool};
 pub use rng::Rng64;
 pub use workspace::Workspace;
 
@@ -71,6 +76,7 @@ pub mod prelude {
     pub use crate::fft::{Fft, Fft2d, FftDirection};
     pub use crate::grid::Grid;
     pub use crate::matrix::{eigen_hermitian, HermitianEigen, Matrix};
+    pub use crate::pool::{PoolTask, SpectralTask, SpectralTeam, WorkerPool};
     pub use crate::rng::Rng64;
     pub use crate::stats;
     pub use crate::workspace::Workspace;

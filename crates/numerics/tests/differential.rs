@@ -228,6 +228,85 @@ fn half_spectrum_correlation_matches_full_complex_re() {
     }
 }
 
+/// The banded concurrent 2-D FFT is pinned to the serial plan at
+/// **0 ULP**: same grid, same plan, every bin's bit pattern identical,
+/// at every team size. Shapes cover the odd-height transpose path
+/// (8×7), the packed-even real-FFT rows (16×12), a pure radix-2 grid
+/// (8×8), and Bluestein rows *and* columns (7×5).
+#[test]
+fn concurrent_fft2d_is_bit_identical_to_serial() {
+    let mut rng = Rng64::new(0xD1F_0007);
+    let mut ws = Workspace::new();
+    for (w, h) in [(7, 5), (8, 8), (16, 12), (8, 7)] {
+        let plan = Fft2d::new(w, h);
+        let data = random_complex_grid(&mut rng, w, h);
+        for direction in [FftDirection::Forward, FftDirection::Inverse] {
+            let mut serial = data.clone();
+            plan.process_with(&mut serial, direction, &mut ws);
+            for workers in [0usize, 1, 2, 3] {
+                let mut team = SpectralTeam::new(workers);
+                let mut par = data.clone();
+                plan.process_par(&mut par, direction, &mut ws, &mut team);
+                for (i, (a, b)) in par.iter().zip(serial.iter()).enumerate() {
+                    assert_eq!(
+                        a.re.to_bits(),
+                        b.re.to_bits(),
+                        "{w}x{h} {direction:?} workers={workers} bin {i}"
+                    );
+                    assert_eq!(
+                        a.im.to_bits(),
+                        b.im.to_bits(),
+                        "{w}x{h} {direction:?} workers={workers} bin {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Property: the team size never changes a single output bit of the
+/// real-FFT round trip (`forward_real_into` / `inverse_real_into` vs
+/// their `_par` twins), across random grids on every harness shape.
+#[test]
+fn thread_count_never_changes_real_fft_bits() {
+    let mut rng = Rng64::new(0xD1F_0008);
+    let mut ws = Workspace::new();
+    for (w, h) in [(7, 5), (8, 8), (16, 12), (8, 7)] {
+        let plan = Fft2d::new(w, h);
+        let hw = w / 2 + 1;
+        for case in 0..4 {
+            let real = random_real_grid(&mut rng, w, h);
+            let mut half_serial = Grid::zeros(hw, h);
+            plan.forward_real_into(&real, &mut half_serial, &mut ws);
+            let mut round_serial = Grid::zeros(w, h);
+            let mut half_scratch = half_serial.clone();
+            plan.inverse_real_into(&mut half_scratch, &mut round_serial, &mut ws);
+            for workers in [0usize, 1, 2, 3] {
+                let mut team = SpectralTeam::new(workers);
+                let mut half_par = Grid::zeros(hw, h);
+                plan.forward_real_par(&real, &mut half_par, &mut ws, &mut team);
+                for (i, (a, b)) in half_par.iter().zip(half_serial.iter()).enumerate() {
+                    assert_eq!(
+                        (a.re.to_bits(), a.im.to_bits()),
+                        (b.re.to_bits(), b.im.to_bits()),
+                        "forward {w}x{h} case={case} workers={workers} bin {i}"
+                    );
+                }
+                let mut round_par = Grid::zeros(w, h);
+                let mut half_scratch = half_serial.clone();
+                plan.inverse_real_par(&mut half_scratch, &mut round_par, &mut ws, &mut team);
+                for (i, (a, b)) in round_par.iter().zip(round_serial.iter()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "inverse {w}x{h} case={case} workers={workers} pixel {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn pooled_convolve_is_bit_identical_to_allocating() {
     let mut rng = Rng64::new(0xD1F_0006);

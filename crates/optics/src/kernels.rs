@@ -17,7 +17,9 @@
 //! spatial truncation).
 
 use crate::config::{OpticsConfig, ProcessCondition};
-use mosaic_numerics::{Complex, Convolver, FftDirection, Grid, KernelSpectrum, Workspace};
+use mosaic_numerics::{
+    Complex, Convolver, FftDirection, Grid, KernelSpectrum, SpectralTeam, Workspace,
+};
 use std::f64::consts::PI;
 
 /// One coherent system: an intensity weight and a transfer function.
@@ -191,6 +193,86 @@ impl KernelSet {
             for (acc, e) in intensity.iter_mut().zip(field.iter()) {
                 *acc += scale * e.norm_sqr();
             }
+        }
+        ws.give_complex_grid(field);
+    }
+
+    /// Concurrent twin of
+    /// [`aerial_image_accumulate_into`](Self::aerial_image_accumulate_into):
+    /// the independent per-kernel inverse transforms `E_k = M ⊗ h_k` are
+    /// fanned out over `team`'s workers in waves of `workers + 1` (the
+    /// calling thread takes one kernel per wave), while the intensity
+    /// accumulate stays on the calling thread in serial kernel order —
+    /// the fixed-order reduction that keeps results **bit-identical** to
+    /// the serial path at every worker count (DESIGN.md §14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the bank's grid.
+    pub fn aerial_image_accumulate_par(
+        &self,
+        convolver: &Convolver,
+        mask_spectrum: &Grid<Complex>,
+        intensity: &mut Grid<f64>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        let workers = team.workers();
+        if workers == 0 {
+            self.aerial_image_accumulate_into(convolver, mask_spectrum, intensity, ws);
+            return;
+        }
+        assert_eq!(
+            mask_spectrum.dims(),
+            (self.width, self.height),
+            "mask spectrum shape mismatch"
+        );
+        assert_eq!(
+            intensity.dims(),
+            (self.width, self.height),
+            "intensity shape mismatch"
+        );
+        intensity.fill(0.0);
+        let mut field = ws.take_complex_grid(self.width, self.height);
+        let dose = self.condition.dose;
+        let mut start = 0;
+        while start < self.kernels.len() {
+            let end = (start + workers + 1).min(self.kernels.len());
+            for (lane, k) in self.kernels[start + 1..end].iter().enumerate() {
+                let mut grid = team.lane_grid(lane, self.width, self.height);
+                for ((o, &a), &b) in grid
+                    .iter_mut()
+                    .zip(mask_spectrum.iter())
+                    .zip(k.spectrum.as_grid().iter())
+                {
+                    *o = a * b;
+                }
+                team.submit_grid(lane, convolver.plan(), FftDirection::Inverse, grid);
+            }
+            team.dispatch();
+            // The calling thread transforms its own kernel while the
+            // workers run theirs; the 1-D transforms are the unchanged
+            // serial code on both sides.
+            convolver.convolve_spectrum_into(
+                mask_spectrum,
+                &self.kernels[start].spectrum,
+                &mut field,
+                ws,
+            );
+            team.collect();
+            let scale = self.kernels[start].weight * dose;
+            for (acc, e) in intensity.iter_mut().zip(field.iter()) {
+                *acc += scale * e.norm_sqr();
+            }
+            for (lane, k) in self.kernels[start + 1..end].iter().enumerate() {
+                if let Some(g) = team.grid_result(lane) {
+                    let scale = k.weight * dose;
+                    for (acc, e) in intensity.iter_mut().zip(g.iter()) {
+                        *acc += scale * e.norm_sqr();
+                    }
+                }
+            }
+            start = end;
         }
         ws.give_complex_grid(field);
     }

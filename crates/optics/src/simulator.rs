@@ -6,7 +6,7 @@ use crate::error::OpticsError;
 use crate::kernels::KernelSet;
 use crate::resist::ResistModel;
 use crate::source::SourceShape;
-use mosaic_numerics::{Complex, Convolver, Grid, Workspace};
+use mosaic_numerics::{Complex, Convolver, Grid, SpectralTeam, Workspace};
 use std::sync::Arc;
 
 /// A hashable identity for a simulator configuration: everything that
@@ -218,6 +218,49 @@ impl LithoSimulator {
         ws: &mut Workspace,
     ) {
         self.convolver.forward_real_into(mask, out, ws);
+    }
+
+    /// Concurrent twin of [`mask_spectrum_into`](Self::mask_spectrum_into):
+    /// the forward transform's column pass is banded across `team`'s
+    /// workers (DESIGN.md §14). Bit-identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the simulation grid.
+    pub fn mask_spectrum_par(
+        &self,
+        mask: &Grid<f64>,
+        out: &mut Grid<Complex>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        self.convolver.forward_real_par(mask, out, ws, team);
+    }
+
+    /// Concurrent twin of [`aerial_image_into`](Self::aerial_image_into):
+    /// fans the per-kernel transforms out over `team` with a fixed-order
+    /// serial accumulate (DESIGN.md §14). Bit-identical at every worker
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the simulation grid or the index is
+    /// out of range.
+    pub fn aerial_image_par(
+        &self,
+        mask_spectrum: &Grid<Complex>,
+        index: usize,
+        intensity: &mut Grid<f64>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        self.banks[index].aerial_image_accumulate_par(
+            &self.convolver,
+            mask_spectrum,
+            intensity,
+            ws,
+            team,
+        );
     }
 
     /// Allocation-free twin of

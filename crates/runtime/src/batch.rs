@@ -26,6 +26,12 @@ use std::time::{Duration, Instant};
 pub struct BatchConfig {
     /// Worker threads (clamped to ≥ 1).
     pub workers: usize,
+    /// Intra-job evaluation threads per worker (clamped to ≥ 1; see
+    /// `ExecutionSession::threads`). `1` runs the exact serial path;
+    /// any value yields bit-identical results. The CLI clamps
+    /// `workers × threads` to the host's cores
+    /// ([`crate::scheduler::clamp_threads`]).
+    pub threads: usize,
     /// Retries per failed job (1 = the paper over-provisions nothing;
     /// a transient failure gets one more chance).
     pub retries: u32,
@@ -64,6 +70,7 @@ impl Default for BatchConfig {
     fn default() -> Self {
         BatchConfig {
             workers: 1,
+            threads: 1,
             retries: 1,
             retry_backoff: Duration::ZERO,
             report: None,
@@ -186,6 +193,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         ladder: Some(&config.ladder),
         max_attempts: config.retries + 1,
         lease: None,
+        threads: config.threads.max(1),
     };
     let runner = |spec: &JobSpec, attempt: u32| {
         // Promote an elapsed deadline into a sticky cancel so queued

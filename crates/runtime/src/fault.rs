@@ -7,7 +7,7 @@
 //! runner; production code simply never installs one, so the default
 //! empty plan costs one `Option` check per lookup.
 //!
-//! Four fault kinds cover the runtime's failure surfaces:
+//! Five fault kinds cover the runtime's failure surfaces:
 //!
 //! * [`FaultKind::CheckpointSaveError`] — every checkpoint save on the
 //!   matching attempt fails with an injected I/O error, exercising the
@@ -22,6 +22,10 @@
 //!   matching attempt, a deterministic stand-in for a worker wedged
 //!   between cancel-token polls, exercising the heartbeat watchdog and
 //!   the degradation ladder.
+//! * [`FaultKind::ParallelPanicAtIteration`] — a pooled
+//!   parallel-evaluation worker panics inside its task at the given
+//!   absolute iteration (jobs running with `threads >= 2`), exercising
+//!   the worker pool's panic containment and reuse across the retry.
 //!
 //! Three more cover the shared job ledger's failure surfaces (see
 //! [`crate::ledger`]); these are keyed on the shard's *claim attempt*
@@ -70,6 +74,11 @@ pub enum FaultKind {
     /// A rival lease is planted at the epoch the matching claim
     /// targets, forcing the claim to lose the create-new race.
     ClaimRace,
+    /// A parallel-evaluation worker thread panics inside its pooled
+    /// task at this absolute optimizer iteration. Only fires when the
+    /// job runs with `threads >= 2`; the pool contains the panic and
+    /// stays reusable for the retry.
+    ParallelPanicAtIteration(usize),
 }
 
 impl FaultKind {
@@ -83,6 +92,7 @@ impl FaultKind {
             FaultKind::LeaseWriteError => "lease_write_error",
             FaultKind::ShardPause { .. } => "shard_pause",
             FaultKind::ClaimRace => "claim_race",
+            FaultKind::ParallelPanicAtIteration(_) => "parallel_panic",
         }
     }
 }
@@ -144,6 +154,15 @@ impl FaultPlan {
     pub fn nan_gradient_at(&self, job: &str, attempt: u32) -> Option<usize> {
         self.matching(job, attempt).find_map(|k| match k {
             FaultKind::NanGradientAtIteration(i) => Some(i),
+            _ => None,
+        })
+    }
+
+    /// The iteration at which this attempt's parallel pool should panic
+    /// on a worker, if planned.
+    pub fn parallel_panic_at(&self, job: &str, attempt: u32) -> Option<usize> {
+        self.matching(job, attempt).find_map(|k| match k {
+            FaultKind::ParallelPanicAtIteration(i) => Some(i),
             _ => None,
         })
     }
@@ -225,6 +244,10 @@ mod tests {
         assert_eq!(FaultKind::LeaseWriteError.name(), "lease_write_error");
         assert_eq!(FaultKind::ShardPause { millis: 5 }.name(), "shard_pause");
         assert_eq!(FaultKind::ClaimRace.name(), "claim_race");
+        assert_eq!(
+            FaultKind::ParallelPanicAtIteration(0).name(),
+            "parallel_panic"
+        );
     }
 
     #[test]

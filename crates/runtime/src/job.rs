@@ -225,6 +225,11 @@ pub struct JobContext<'a> {
     /// A lost lease (epoch fence) stops the run at the next iteration
     /// boundary and blocks further checkpoint writes.
     pub lease: Option<&'a LeaseHandle>,
+    /// Intra-job evaluation threads handed to the session (see
+    /// `ExecutionSession::threads`). `1` (the serial path) everywhere
+    /// except when [`crate::batch::BatchConfig::threads`] raises it;
+    /// results are bit-identical at every value.
+    pub threads: usize,
 }
 
 impl JobContext<'_> {
@@ -488,6 +493,9 @@ pub fn execute_job_in(
         .faults
         .is_some_and(|p| p.checkpoint_save_fails(&spec.id, attempt));
     let fault_stall = ctx.faults.and_then(|p| p.stall_millis(&spec.id, attempt));
+    let fault_parallel = ctx
+        .faults
+        .and_then(|p| p.parallel_panic_at(&spec.id, attempt));
     let resume = match ctx.checkpoint_dir {
         Some(dir) => {
             let (cp, quarantined) = checkpoint::load_or_quarantine(dir, &spec.id)
@@ -561,6 +569,15 @@ pub fn execute_job_in(
             detail: format!("gradient poisoned with NaN at iteration {i}"),
         });
     }
+    if let Some(i) = fault_parallel {
+        config.opt.fault_parallel_panic_at = Some(i);
+        ctx.events.emit(&Event::Fault {
+            job: spec.id.clone(),
+            attempt,
+            kind: "parallel_panic".to_string(),
+            detail: format!("parallel worker panics at iteration {i}"),
+        });
+    }
     let mosaic = Mosaic::with_simulator(&layout, config, sim)
         .map_err(|e| format!("problem assembly failed: {e}"))?;
 
@@ -620,7 +637,8 @@ pub fn execute_job_in(
             Some(cp) => mosaic.resume_session(spec.mode, cp),
             None => mosaic.session(spec.mode),
         }
-        .workspace(ws);
+        .workspace(ws)
+        .threads(ctx.threads);
         if ctx.checkpoint_dir.is_some() {
             // Matches JobContext::checkpoint_every's contract: 0 means
             // capture only at a cooperative stop. Without a checkpoint
@@ -914,6 +932,7 @@ mod tests {
             ladder: None,
             max_attempts: 1,
             lease: None,
+            threads: 1,
         }
     }
 

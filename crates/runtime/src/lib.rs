@@ -115,7 +115,7 @@ pub use fault::{FaultKind, FaultPlan};
 pub use job::{execute_job, execute_job_in, JobContext, JobMetrics, JobReport, JobSpec, JobStatus};
 pub use ledger::{Claim, CompletionRecord, LeaseHandle, Ledger};
 pub use scheduler::{
-    clamp_workers, default_workers, run_pool, CancelToken, JobExecution, RetryPolicy,
+    clamp_threads, clamp_workers, default_workers, run_pool, CancelToken, JobExecution, RetryPolicy,
 };
 pub use shard::{run_sharded_batch, ShardConfig};
 pub use supervise::{
@@ -137,7 +137,8 @@ pub mod prelude {
     pub use crate::ledger::{Claim, CompletionRecord, LeaseHandle, Ledger};
     pub use crate::salvage;
     pub use crate::scheduler::{
-        clamp_workers, default_workers, run_pool, CancelToken, JobExecution, RetryPolicy,
+        clamp_threads, clamp_workers, default_workers, run_pool, CancelToken, JobExecution,
+        RetryPolicy,
     };
     pub use crate::shard::{run_sharded_batch, ShardConfig};
     pub use crate::supervise::{

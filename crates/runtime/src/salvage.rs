@@ -102,6 +102,7 @@ pub fn from_checkpoint(
         ladder: None,
         max_attempts: 1,
         lease: None,
+        threads: 1,
     };
     match score_mask(&config, &ctx, &mask, &layout, 0.0) {
         Ok(metrics) => Some(metrics),

@@ -27,6 +27,14 @@ pub fn clamp_workers(requested: usize) -> usize {
     requested.clamp(1, default_workers())
 }
 
+/// Clamps a requested per-job thread count so `jobs × threads` never
+/// exceeds [`default_workers`] — intra-job threads multiply the job
+/// fan-out, and over-subscription is strictly slower (see
+/// [`default_workers`]). Always at least 1.
+pub fn clamp_threads(jobs: usize, requested: usize) -> usize {
+    requested.clamp(1, (default_workers() / jobs.max(1)).max(1))
+}
+
 /// How failed attempts are retried.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {

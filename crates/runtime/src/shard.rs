@@ -463,6 +463,7 @@ fn run_leased(
         ladder: Some(&config.ladder),
         max_attempts: config.retries + 1,
         lease: Some(lease),
+        threads: config.threads.max(1),
     };
     let mut attempts = 0u32;
     let terminal_error = loop {

@@ -25,8 +25,10 @@ fn temp_dir(name: &str) -> PathBuf {
 }
 
 /// A batch of four clips produces bit-identical masks and quality
-/// scores on 1 worker and on 4 workers — parallelism only changes
-/// wall-clock figures, never results.
+/// scores at every point of the jobs × threads matrix
+/// `{1, 2} × {1, 2, 4}` (plus the original 4-worker leg) —
+/// parallelism, whether across jobs or inside one job's evaluations,
+/// only changes wall-clock figures, never results.
 #[test]
 fn one_and_four_workers_agree_bit_for_bit() {
     let specs: Vec<JobSpec> = [
@@ -40,35 +42,43 @@ fn one_and_four_workers_agree_bit_for_bit() {
     .collect();
 
     let serial = run_batch(&specs, &BatchConfig::default()).unwrap();
-    let parallel = run_batch(
-        &specs,
-        &BatchConfig {
-            workers: 4,
-            ..BatchConfig::default()
-        },
-    )
-    .unwrap();
-
     assert_eq!(serial.finished, 4);
-    assert_eq!(parallel.finished, 4);
-    for (a, b) in serial.results.iter().zip(&parallel.results) {
-        let (a, b) = (a.success().unwrap(), b.success().unwrap());
-        assert_eq!(a.id, b.id);
-        assert_eq!(a.binary_mask, b.binary_mask, "mask mismatch on {}", a.id);
-        let (ma, mb) = (a.metrics.unwrap(), b.metrics.unwrap());
+
+    for (workers, threads) in [(4, 1), (1, 2), (1, 4), (2, 1), (2, 2), (2, 4)] {
+        let parallel = run_batch(
+            &specs,
+            &BatchConfig {
+                workers,
+                threads,
+                ..BatchConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(parallel.finished, 4, "jobs={workers} threads={threads}");
+        for (a, b) in serial.results.iter().zip(&parallel.results) {
+            let (a, b) = (a.success().unwrap(), b.success().unwrap());
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.binary_mask, b.binary_mask,
+                "mask mismatch on {} (jobs={workers} threads={threads})",
+                a.id
+            );
+            let (ma, mb) = (a.metrics.as_ref().unwrap(), b.metrics.as_ref().unwrap());
+            assert_eq!(
+                ma.quality_score.to_bits(),
+                mb.quality_score.to_bits(),
+                "quality score mismatch on {} (jobs={workers} threads={threads})",
+                a.id
+            );
+            assert_eq!(ma.epe_violations, mb.epe_violations);
+            assert_eq!(ma.pvband_nm2.to_bits(), mb.pvband_nm2.to_bits());
+        }
         assert_eq!(
-            ma.quality_score.to_bits(),
-            mb.quality_score.to_bits(),
-            "quality score mismatch on {}",
-            a.id
+            serial.total_quality_score.to_bits(),
+            parallel.total_quality_score.to_bits(),
+            "total mismatch at jobs={workers} threads={threads}"
         );
-        assert_eq!(ma.epe_violations, mb.epe_violations);
-        assert_eq!(ma.pvband_nm2.to_bits(), mb.pvband_nm2.to_bits());
     }
-    assert_eq!(
-        serial.total_quality_score.to_bits(),
-        parallel.total_quality_score.to_bits()
-    );
 }
 
 /// A job with invalid optics is reported failed with a typed error
@@ -139,6 +149,7 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             ladder: None,
             max_attempts: 1,
             lease: None,
+            threads: 1,
         },
     )
     .unwrap();
@@ -161,6 +172,7 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             ladder: None,
             max_attempts: 1,
             lease: None,
+            threads: 1,
         },
     )
     .unwrap();
@@ -185,6 +197,7 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             ladder: None,
             max_attempts: 1,
             lease: None,
+            threads: 1,
         },
     )
     .unwrap();

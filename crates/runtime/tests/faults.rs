@@ -143,6 +143,54 @@ fn injected_panic_is_contained_and_retried_from_checkpoint() {
     );
 }
 
+/// A worker-thread panic inside a parallel evaluation section (pooled
+/// FFT band / kernel / corner task) is contained by the pool's
+/// `catch_unwind`, surfaces through the scheduler as a failed attempt,
+/// and the retry resumes from the last checkpoint down the degradation
+/// ladder — exactly like a main-thread panic, with no wedged worker.
+#[test]
+fn parallel_worker_panic_is_contained_and_retried() {
+    let dir = temp_dir("parallel_panic");
+    let report = dir.join("report.jsonl");
+    let ckpt = dir.join("ckpt");
+    let spec = tiny_spec(BenchmarkId::B1, 4);
+    let job = spec.id.clone();
+    let config = BatchConfig {
+        threads: 2,
+        retries: 1,
+        report: Some(report.clone()),
+        checkpoint_dir: Some(ckpt),
+        checkpoint_every: 1,
+        faults: FaultPlan::new().inject(&job, 1, FaultKind::ParallelPanicAtIteration(2)),
+        ..BatchConfig::default()
+    };
+    let outcome = run_batch(std::slice::from_ref(&spec), &config).unwrap();
+
+    assert_eq!(outcome.finished, 1);
+    match &outcome.results[0] {
+        JobExecution::Success { result, attempts } => {
+            assert_eq!(result.status, JobStatus::Finished);
+            assert_eq!(*attempts, 2, "first attempt panicked, retry finished");
+        }
+        other => panic!("expected retried success, got {other:?}"),
+    }
+    let lines = report_lines(&report);
+    assert!(
+        lines.iter().any(
+            |l| l.contains("\"event\":\"fault\"") && l.contains("\"kind\":\"parallel_panic\"")
+        ),
+        "no parallel_panic fault event in report"
+    );
+    // Iterations 0 and 1 checkpointed before the worker panic at 2, so
+    // the retry's job_start announces a non-zero resume point.
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"job_start\"")
+            && l.contains("\"attempt\":2")
+            && l.contains("\"start_iteration\":2")),
+        "retry did not resume from the checkpoint"
+    );
+}
+
 /// A job whose every attempt panics fails — but the batch drains, the
 /// healthy job's results survive, and the failure comes back structured.
 #[test]

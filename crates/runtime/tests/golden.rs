@@ -27,8 +27,11 @@ fn mask_hash(mask: &mosaic_numerics::Grid<f64>) -> u64 {
     h
 }
 
-#[test]
-fn b1_fast_preset_golden_snapshot() {
+/// Runs the golden B1 job at the given intra-job thread count and pins
+/// every snapshot constant. The parallel evaluation path replays all
+/// cross-thread reductions in serial order, so `threads = 2` must hit
+/// the exact same constants — including the mask hash bit-for-bit.
+fn golden_snapshot_at(threads: usize) {
     let mut spec = JobSpec::preset(BenchmarkId::B1, MosaicMode::Fast, 256, 4.0);
     spec.config.opt.max_iterations = 10;
 
@@ -47,13 +50,15 @@ fn b1_fast_preset_golden_snapshot() {
         ladder: None,
         max_attempts: 1,
         lease: None,
+        threads,
     };
     let report = execute_job(&spec, 1, &ctx).expect("B1 fast job runs");
     let metrics = report.metrics.expect("finished job carries metrics");
     let hash = mask_hash(&report.binary_mask);
 
     println!(
-        "golden actuals: hash={hash:#018x} epe={} pvband={} shape={} quality={} best={:.17e}",
+        "golden actuals (threads={threads}): hash={hash:#018x} epe={} pvband={} shape={} \
+         quality={} best={:.17e}",
         metrics.epe_violations,
         metrics.pvband_nm2,
         metrics.shape_violations,
@@ -79,4 +84,14 @@ fn b1_fast_preset_golden_snapshot() {
         "best objective drifted beyond documented ULP bound: {:.17e}",
         report.best_objective
     );
+}
+
+#[test]
+fn b1_fast_preset_golden_snapshot() {
+    golden_snapshot_at(1);
+}
+
+#[test]
+fn b1_fast_preset_golden_snapshot_parallel() {
+    golden_snapshot_at(2);
 }

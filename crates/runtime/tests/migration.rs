@@ -68,6 +68,7 @@ fn coarsen_grid_retry_resumes_from_resampled_checkpoint() {
                 ladder: Some(&ladder),
                 max_attempts: 2,
                 lease: None,
+                threads: 1,
             },
         )
         .unwrap();
@@ -95,6 +96,7 @@ fn coarsen_grid_retry_resumes_from_resampled_checkpoint() {
             ladder: Some(&ladder),
             max_attempts: 2,
             lease: None,
+            threads: 1,
         },
     )
     .unwrap();
@@ -146,6 +148,7 @@ fn coarsen_grid_retry_resumes_from_resampled_checkpoint() {
             ladder: Some(&ladder),
             max_attempts: 1,
             lease: None,
+            threads: 1,
         },
     )
     .unwrap();

@@ -53,6 +53,7 @@ fn cancelled_run_salvage_matches_checkpoint_salvage_bit_exactly() {
             ladder: None,
             max_attempts: 1,
             lease: None,
+            threads: 1,
         },
     )
     .unwrap();

@@ -59,6 +59,7 @@ fn dead_shard_is_adopted_with_bit_identical_results() {
             ladder: None,
             max_attempts: 1,
             lease: None,
+            threads: 1,
         },
     )
     .unwrap();
@@ -88,6 +89,7 @@ fn dead_shard_is_adopted_with_bit_identical_results() {
             ladder: None,
             max_attempts: 1,
             lease: Some(&lease_a),
+            threads: 1,
         },
     )
     .unwrap();

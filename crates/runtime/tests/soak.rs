@@ -26,10 +26,11 @@ fn temp_dir(name: &str) -> PathBuf {
 }
 
 fn random_fault(rng: &mut Rng64) -> FaultKind {
-    match rng.range_usize(0, 4) {
+    match rng.range_usize(0, 5) {
         0 => FaultKind::NanGradientAtIteration(rng.range_usize(0, 3)),
         1 => FaultKind::PanicAtIteration(rng.range_usize(0, 3)),
         2 => FaultKind::CheckpointSaveError,
+        3 => FaultKind::ParallelPanicAtIteration(rng.range_usize(0, 3)),
         _ => FaultKind::Stall {
             millis: rng.range_usize(140, 220) as u64,
         },
@@ -98,6 +99,10 @@ fn seeded_chaos_batches_always_drain_with_finite_salvage() {
 
         let config = BatchConfig {
             workers: 2,
+            // Half the seeds run the intra-job parallel path, so the
+            // parallel_panic fault genuinely fires (threads = 1 never
+            // builds a pool and the arm is a no-op).
+            threads: if rng.chance(0.5) { 2 } else { 1 },
             retries: 1,
             checkpoint_dir: Some(ckpt.clone()),
             checkpoint_every: 1,

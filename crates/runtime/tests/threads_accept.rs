@@ -1,0 +1,38 @@
+//! Release-mode acceptance sweep for intra-job threads (DESIGN.md §14):
+//! the fast-preset B1-B10 batch at BENCH_runtime.json settings must land
+//! on total quality score 1277512 for threads 1, 2 and 4. Ignored by
+//! default (it re-runs the full 256 px batch three times); run with
+//! `cargo test -p mosaic-runtime --release --test threads_accept -- --ignored`.
+
+use mosaic_core::MosaicMode;
+use mosaic_geometry::benchmarks::BenchmarkId;
+use mosaic_runtime::{run_batch, BatchConfig, JobSpec};
+
+#[test]
+#[ignore = "release-mode acceptance sweep; run explicitly"]
+fn fast_preset_total_is_1277512_at_every_thread_count() {
+    let specs: Vec<JobSpec> = BenchmarkId::all()
+        .iter()
+        .map(|&c| {
+            let mut spec = JobSpec::preset(c, MosaicMode::Fast, 256, 4.0);
+            spec.config.opt.max_iterations = 10;
+            spec
+        })
+        .collect();
+    for threads in [1usize, 2, 4] {
+        let outcome = run_batch(
+            &specs,
+            &BatchConfig {
+                threads,
+                ..BatchConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.finished, 10, "threads={threads}");
+        println!(
+            "threads={threads}: total_quality_score={}",
+            outcome.total_quality_score
+        );
+        assert_eq!(outcome.total_quality_score, 1277512.0, "threads={threads}");
+    }
+}

@@ -544,6 +544,7 @@ impl ServerShared {
             ladder: Some(&self.config.ladder),
             max_attempts,
             lease: leased.map(|(_, lease)| &**lease),
+            threads: 1,
         };
         let mut attempts = 0u32;
         loop {

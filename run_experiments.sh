@@ -33,6 +33,15 @@ tier1() {
   # iterations must not touch the heap. Also covered by the workspace
   # test run above; repeated here so a gate failure names the culprit.
   cargo test -q -p mosaic-core --test alloc_smoke
+  echo "=== tier1: threads determinism (intra-job parallel evaluation)"
+  # DESIGN.md §14: the jobs x threads matrix must produce bit-identical
+  # masks, EPE counts, PV-band areas and quality scores (the --threads 2
+  # legs run real worker pools regardless of host core count), and the
+  # golden B1 snapshot must pin the exact same constants on the parallel
+  # path. Also covered by the workspace test run above; repeated so a
+  # gate failure names the culprit.
+  cargo test -q -p mosaic-runtime --test batch one_and_four_workers_agree_bit_for_bit
+  cargo test -q -p mosaic-runtime --test golden
   echo "=== tier1: clippy"
   cargo clippy --all-targets --workspace -- -D warnings
   echo "=== tier1: no-panic lint (library code)"

@@ -96,7 +96,7 @@ const USAGE: &str = "usage:
   mosaic eval  --clip <clip.glp> --mask <mask.pgm> [--grid <px>] [--pixel <nm>]
   mosaic batch --bench all|<B1,B3,..> [--mode fast|exact] [--preset contest|fast]
                [--grid <px>] [--pixel <nm>] [--iterations <n>] [--jobs <n>]
-               [--report <report.jsonl>] [--resume <ckpt-dir>]
+               [--threads <n>] [--report <report.jsonl>] [--resume <ckpt-dir>]
                [--checkpoint-every <n>] [--retries <n>]
                [--retry-backoff-ms <ms>] [--deadline-s <s>]
                [--job-timeout-ms <ms>] [--stall-grace-ms <ms>]
@@ -134,6 +134,7 @@ const BATCH_FLAGS: &[&str] = &[
     "pixel",
     "iterations",
     "jobs",
+    "threads",
     "report",
     "resume",
     "checkpoint-every",
@@ -526,6 +527,14 @@ fn cmd_batch(
             "note: --jobs {requested_jobs} exceeds this host's parallelism; clamped to {jobs}"
         );
     }
+    let requested_threads = count_flag(flags, "threads", 1)?;
+    let threads = clamp_threads(jobs, requested_threads);
+    if threads != requested_threads.max(1) {
+        eprintln!(
+            "note: --jobs {jobs} x --threads {requested_threads} exceeds this host's \
+             parallelism; threads clamped to {threads}"
+        );
+    }
     let deadline = match flags.get("deadline-s") {
         Some(_) => Some(Duration::from_secs_f64(positive_flag(
             flags,
@@ -555,6 +564,7 @@ fn cmd_batch(
     let shard = shard_from(flags)?;
     let batch_config = BatchConfig {
         workers: jobs,
+        threads,
         retries: numeric_flag(flags, "retries", 1u32)?,
         retry_backoff: Duration::from_millis(numeric_flag(flags, "retry-backoff-ms", 0u64)?),
         report: flags.get("report").map(PathBuf::from),
