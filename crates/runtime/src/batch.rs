@@ -64,6 +64,11 @@ pub struct BatchConfig {
     /// [`run_batch`] claims jobs from the ledger instead of assigning
     /// them statically, so multiple processes can drain one queue.
     pub shard: Option<ShardConfig>,
+    /// Filesystem for every durable artifact (checkpoints, ledger
+    /// records, the JSONL report). `None` uses the real filesystem;
+    /// the crash matrix and `--fault-fs` chaos runs install a seeded
+    /// [`crate::vfs::FaultVfs`].
+    pub vfs: Option<Arc<dyn crate::vfs::Vfs>>,
 }
 
 impl Default for BatchConfig {
@@ -83,6 +88,7 @@ impl Default for BatchConfig {
             supervise: SupervisorConfig::default(),
             ladder: DegradationLadder::default(),
             shard: None,
+            vfs: None,
         }
     }
 }
@@ -153,8 +159,12 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         return crate::shard::run_sharded_batch(specs, config, shard);
     }
     let started = Instant::now();
+    let vfs: Arc<dyn crate::vfs::Vfs> = config
+        .vfs
+        .clone()
+        .unwrap_or_else(|| Arc::new(crate::vfs::RealVfs));
     let mut sink = match &config.report {
-        Some(path) => EventSink::to_file(path)?,
+        Some(path) => EventSink::to_file_with(&*vfs, path)?,
         None => EventSink::null(),
     };
     if let Some(observer) = &config.observer {
@@ -194,6 +204,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         max_attempts: config.retries + 1,
         lease: None,
         threads: config.threads.max(1),
+        vfs: &*vfs,
     };
     let runner = |spec: &JobSpec, attempt: u32| {
         // Promote an elapsed deadline into a sticky cancel so queued
@@ -225,6 +236,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
         &cache,
         &events,
         started,
+        &*vfs,
     ))
 }
 
@@ -234,6 +246,7 @@ pub fn run_batch(specs: &[JobSpec], config: &BatchConfig) -> io::Result<BatchOut
 /// never-started cancellations), then the `batch_finish` /
 /// `batch_summary` terminal pair. Shared by [`run_batch`] and the
 /// ledger-sharded driver ([`crate::shard::run_sharded_batch`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn fold_outcome(
     specs: &[JobSpec],
     results: Vec<JobExecution<JobReport>>,
@@ -242,6 +255,7 @@ pub(crate) fn fold_outcome(
     cache: &SimCache,
     events: &EventSink,
     started: Instant,
+    vfs: &dyn crate::vfs::Vfs,
 ) -> BatchOutcome {
     let mut finished = 0usize;
     let mut failed = 0usize;
@@ -274,6 +288,7 @@ pub(crate) fn fold_outcome(
                 // loadable checkpoint from its most productive attempt.
                 let salvaged = config.checkpoint_dir.as_deref().and_then(|dir| {
                     salvage::from_checkpoint(
+                        vfs,
                         dir,
                         spec,
                         Some(&config.ladder),

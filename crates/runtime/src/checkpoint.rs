@@ -10,12 +10,21 @@
 //!   patterns (`f64::to_bits`), plus the scalar loop state. Resuming
 //!   from it reproduces the uninterrupted run bit for bit.
 //!
-//! Saves are atomic (write `state.txt.tmp`, then rename) so a kill mid-
-//! save leaves the previous checkpoint intact. The manifest ends with an
-//! FNV-1a checksum over everything above it; [`load`] verifies it, and
-//! [`load_or_quarantine`] turns any corrupt manifest into a fresh start
-//! by renaming it to `state.txt.corrupt` for post-mortem inspection.
+//! Saves are atomic and durable (write `state.txt.tmp`, fsync it,
+//! rename, fsync the job directory — [`crate::vfs::commit_replace`]) so
+//! a kill or power loss mid-save leaves the previous checkpoint intact:
+//! after a crash `state.txt` is old-complete, new-complete, or absent,
+//! never torn. The manifest ends with an FNV-1a checksum over everything
+//! above it; [`load`] verifies it, and [`load_or_quarantine`] turns any
+//! corrupt manifest into a fresh start by renaming it to
+//! `state.txt.corrupt` for post-mortem inspection.
+//!
+//! Every filesystem touch goes through a [`Vfs`], so the crash matrix
+//! (`tests/crashmat.rs`) can interpose a seeded
+//! [`crate::vfs::FaultVfs`]; the plain entry points ([`save`], [`load`],
+//! [`load_or_quarantine`], [`clear`]) bind the real filesystem.
 
+use crate::vfs::{commit_replace, RealVfs, Vfs};
 use mosaic_core::OptimizerCheckpoint;
 use mosaic_eval::pgm;
 use mosaic_numerics::Grid;
@@ -66,9 +75,27 @@ fn push_grid_hex(out: &mut String, label: &str, grid: &Grid<f64>) {
 /// Propagates I/O errors (directory creation, writes, the atomic
 /// rename).
 pub fn save(root: &Path, job_id: &str, checkpoint: &OptimizerCheckpoint) -> io::Result<()> {
+    save_with(&RealVfs, root, job_id, checkpoint)
+}
+
+/// [`save`] through an explicit [`Vfs`] (fault injection, op counting).
+///
+/// # Errors
+///
+/// Propagates I/O errors (directory creation, writes, fsyncs, the
+/// atomic rename).
+pub fn save_with(
+    vfs: &dyn Vfs,
+    root: &Path,
+    job_id: &str,
+    checkpoint: &OptimizerCheckpoint,
+) -> io::Result<()> {
     let dir = job_dir(root, job_id);
-    std::fs::create_dir_all(&dir)?;
-    pgm::write_file(&checkpoint.variables, dir.join("p_field.pgm"))?;
+    vfs.create_dir_all(&dir)?;
+    vfs.write(
+        &dir.join("p_field.pgm"),
+        &pgm::encode_autoscale(&checkpoint.variables),
+    )?;
 
     let (w, h) = checkpoint.variables.dims();
     let mut manifest = String::with_capacity(64 + 2 * 17 * w * h);
@@ -98,8 +125,7 @@ pub fn save(root: &Path, job_id: &str, checkpoint: &OptimizerCheckpoint) -> io::
     let _ = writeln!(manifest, "checksum {:016x}", fnv1a64(manifest.as_bytes()));
 
     let tmp = dir.join("state.txt.tmp");
-    std::fs::write(&tmp, manifest)?;
-    std::fs::rename(&tmp, dir.join("state.txt"))
+    commit_replace(vfs, &tmp, &dir.join("state.txt"), manifest.as_bytes())
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -187,8 +213,21 @@ fn verify_checksum(text: &str) -> io::Result<&str> {
 /// fields, truncated grids, checksum mismatch) and propagates other I/O
 /// errors.
 pub fn load(root: &Path, job_id: &str) -> io::Result<Option<OptimizerCheckpoint>> {
+    load_with(&RealVfs, root, job_id)
+}
+
+/// [`load`] through an explicit [`Vfs`].
+///
+/// # Errors
+///
+/// As [`load`].
+pub fn load_with(
+    vfs: &dyn Vfs,
+    root: &Path,
+    job_id: &str,
+) -> io::Result<Option<OptimizerCheckpoint>> {
     let path = job_dir(root, job_id).join("state.txt");
-    let text = match std::fs::read_to_string(&path) {
+    let text = match vfs.read_to_string(&path) {
         Ok(t) => t,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
@@ -267,12 +306,25 @@ pub fn load_or_quarantine(
     root: &Path,
     job_id: &str,
 ) -> io::Result<(Option<OptimizerCheckpoint>, Option<String>)> {
-    match load(root, job_id) {
+    load_or_quarantine_with(&RealVfs, root, job_id)
+}
+
+/// [`load_or_quarantine`] through an explicit [`Vfs`].
+///
+/// # Errors
+///
+/// As [`load_or_quarantine`].
+pub fn load_or_quarantine_with(
+    vfs: &dyn Vfs,
+    root: &Path,
+    job_id: &str,
+) -> io::Result<(Option<OptimizerCheckpoint>, Option<String>)> {
+    match load_with(vfs, root, job_id) {
         Ok(cp) => Ok((cp, None)),
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
             let dir = job_dir(root, job_id);
             let quarantined = dir.join("state.txt.corrupt");
-            std::fs::rename(dir.join("state.txt"), &quarantined)?;
+            vfs.rename(&dir.join("state.txt"), &quarantined)?;
             Ok((
                 None,
                 Some(format!(
@@ -294,9 +346,18 @@ pub fn load_or_quarantine(
 ///
 /// Propagates unexpected I/O errors from the removal.
 pub fn clear(root: &Path, job_id: &str) -> io::Result<()> {
+    clear_with(&RealVfs, root, job_id)
+}
+
+/// [`clear`] through an explicit [`Vfs`].
+///
+/// # Errors
+///
+/// As [`clear`].
+pub fn clear_with(vfs: &dyn Vfs, root: &Path, job_id: &str) -> io::Result<()> {
     let dir = job_dir(root, job_id);
     for name in ["state.txt", "state.txt.tmp", "p_field.pgm"] {
-        match std::fs::remove_file(dir.join(name)) {
+        match vfs.remove_file(&dir.join(name)) {
             Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
@@ -304,10 +365,10 @@ pub fn clear(root: &Path, job_id: &str) -> io::Result<()> {
     }
     // Drop the directory if that emptied it; a remaining quarantine file
     // (or anything else a human put there) keeps it.
-    match std::fs::remove_dir(&dir) {
+    match vfs.remove_dir(&dir) {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-        Err(_) if dir.exists() => Ok(()),
+        Err(_) if vfs.exists(&dir) => Ok(()),
         Err(e) => Err(e),
     }
 }
@@ -482,5 +543,74 @@ mod tests {
         clear(&root, "j").unwrap();
         assert!(load(&root, "j").unwrap().is_none());
         clear(&root, "j").unwrap(); // second clear is a no-op
+    }
+
+    /// Torn-write exhaustion: a `state.txt` truncated at *every* byte
+    /// boundary must load as either the complete checkpoint (only the
+    /// untruncated manifest qualifies) or a detected corruption that
+    /// quarantines — never a panic, never a silently-accepted torn
+    /// state. This is the read-side half of the durability story; the
+    /// write side ([`crate::vfs::commit_replace`]) makes torn
+    /// `state.txt` unreachable via the commit protocol, but a disk can
+    /// still hand back garbage.
+    #[test]
+    fn truncation_at_every_byte_boundary_is_detected_or_complete() {
+        let root = temp_root("torn_matrix");
+        let cp = sample_checkpoint();
+        save(&root, "j", &cp).unwrap();
+        let path = job_dir(&root, "j").join("state.txt");
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            match load(&root, "j") {
+                Ok(Some(back)) => {
+                    // Accepting a prefix is only legal if every bit of
+                    // state survived (e.g. the cut only removed the
+                    // trailing newline after the checksum line).
+                    assert!(
+                        cut >= full.len() - 1,
+                        "torn prefix of {cut}/{} bytes accepted",
+                        full.len()
+                    );
+                    assert_eq!(back.variables, cp.variables);
+                    assert_eq!(back.best_variables, cp.best_variables);
+                    assert_eq!(back.best_value.to_bits(), cp.best_value.to_bits());
+                    assert_eq!(back.prev_value.to_bits(), cp.prev_value.to_bits());
+                    assert_eq!(back.iterations_done, cp.iterations_done);
+                }
+                Ok(None) => panic!("truncation at {cut} read as missing, file exists"),
+                Err(e) => {
+                    assert_eq!(
+                        e.kind(),
+                        io::ErrorKind::InvalidData,
+                        "truncation at {cut}: wrong error kind ({e})"
+                    );
+                    // And the containment path quarantines it cleanly.
+                    let (got, note) = load_or_quarantine(&root, "j").unwrap();
+                    assert!(got.is_none());
+                    assert!(note.unwrap().contains("quarantined"));
+                    // Restore for the next boundary.
+                    std::fs::remove_file(job_dir(&root, "j").join("state.txt.corrupt")).unwrap();
+                }
+            }
+        }
+    }
+
+    /// The Vfs-routed save is byte-identical to the legacy direct-fs
+    /// save: same manifest, same PGM rendering.
+    #[test]
+    fn save_with_real_vfs_matches_save_bytes() {
+        let a = temp_root("vfs_eq_a");
+        let b = temp_root("vfs_eq_b");
+        let cp = sample_checkpoint();
+        save(&a, "j", &cp).unwrap();
+        save_with(&crate::vfs::RealVfs, &b, "j", &cp).unwrap();
+        for name in ["state.txt", "p_field.pgm"] {
+            assert_eq!(
+                std::fs::read(job_dir(&a, "j").join(name)).unwrap(),
+                std::fs::read(job_dir(&b, "j").join(name)).unwrap(),
+                "{name} differs between save and save_with(RealVfs)"
+            );
+        }
     }
 }

@@ -540,11 +540,13 @@ impl std::fmt::Debug for EventObserver {
 /// Each [`EventSink::emit`] appends one line and flushes, so a tailing
 /// reader (or a crashed batch's post-mortem) always sees whole events.
 /// An optional [`EventObserver`] is teed every rendered line for live
-/// consumers. Emission never panics: I/O errors are counted and
-/// reported at the end instead of killing workers mid-job.
-#[derive(Debug)]
+/// consumers. Emission never panics and report I/O failure is never
+/// fatal: a sink whose disk starts lying (EIO, ENOSPC) degrades to a
+/// one-time warning on stderr, keeps counting the dropped lines (see
+/// [`EventSink::write_errors`]), and the batch runs to completion with
+/// its summary totals intact.
 pub struct EventSink {
-    out: Mutex<Option<std::fs::File>>,
+    out: Mutex<Option<Box<dyn Write + Send>>>,
     observer: Option<EventObserver>,
     started: Instant,
     write_errors: Mutex<usize>,
@@ -552,8 +554,18 @@ pub struct EventSink {
     degrades: AtomicUsize,
 }
 
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("write_errors", &self.write_errors())
+            .field("faults", &self.faults)
+            .field("degrades", &self.degrades)
+            .finish_non_exhaustive()
+    }
+}
+
 impl EventSink {
-    fn with_out(out: Option<std::fs::File>) -> Self {
+    fn with_out(out: Option<Box<dyn Write + Send>>) -> Self {
         EventSink {
             out: Mutex::new(out),
             observer: None,
@@ -570,7 +582,17 @@ impl EventSink {
     ///
     /// Propagates file-creation errors.
     pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
-        Ok(EventSink::with_out(Some(std::fs::File::create(path)?)))
+        EventSink::to_file_with(&crate::vfs::RealVfs, path)
+    }
+
+    /// [`EventSink::to_file`] through an explicit [`crate::vfs::Vfs`],
+    /// so tests can hand the sink a stream that fails on demand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-creation errors.
+    pub fn to_file_with(vfs: &dyn crate::vfs::Vfs, path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(EventSink::with_out(Some(vfs.create_stream(path.as_ref())?)))
     }
 
     /// A sink that discards every event — for runs without `--report`.
@@ -609,16 +631,26 @@ impl EventSink {
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(file) = guard.as_mut() {
-                let ok = file
+                let failed = file
                     .write_all(line.as_bytes())
                     .and_then(|()| file.write_all(b"\n"))
                     .and_then(|()| file.flush())
-                    .is_ok();
-                if !ok {
-                    *self
+                    .err();
+                if let Some(e) = failed {
+                    let mut errors = self
                         .write_errors
                         .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *errors += 1;
+                    if *errors == 1 {
+                        // One-time warning: the report is degraded but
+                        // the batch keeps running — losing telemetry
+                        // must never lose compute.
+                        eprintln!(
+                            "warning: event report write failed ({e}); \
+                             further report lines may be dropped, the batch continues"
+                        );
+                    }
                 }
             }
         }

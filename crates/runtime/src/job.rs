@@ -230,6 +230,11 @@ pub struct JobContext<'a> {
     /// except when [`crate::batch::BatchConfig::threads`] raises it;
     /// results are bit-identical at every value.
     pub threads: usize,
+    /// Filesystem every durable artifact goes through: checkpoint
+    /// saves/loads/clears and salvage reads. [`crate::vfs::RealVfs`] in
+    /// production; the crash matrix swaps in a seeded
+    /// [`crate::vfs::FaultVfs`].
+    pub vfs: &'a dyn crate::vfs::Vfs,
 }
 
 impl JobContext<'_> {
@@ -393,7 +398,7 @@ impl Instrument for CheckpointWriter<'_, '_> {
         let saved = if self.fault_save {
             Err(io::Error::other("injected checkpoint save fault"))
         } else {
-            checkpoint::save(dir, &self.spec.id, checkpoint)
+            checkpoint::save_with(self.ctx.vfs, dir, &self.spec.id, checkpoint)
         };
         if let Err(e) = saved {
             self.ctx.events.emit(&Event::Fault {
@@ -498,7 +503,7 @@ pub fn execute_job_in(
         .and_then(|p| p.parallel_panic_at(&spec.id, attempt));
     let resume = match ctx.checkpoint_dir {
         Some(dir) => {
-            let (cp, quarantined) = checkpoint::load_or_quarantine(dir, &spec.id)
+            let (cp, quarantined) = checkpoint::load_or_quarantine_with(ctx.vfs, dir, &spec.id)
                 .map_err(|e| format!("checkpoint load failed: {e}"))?;
             if let Some(detail) = quarantined {
                 ctx.events.emit(&Event::Fault {
@@ -855,7 +860,8 @@ fn finish(
     let wall_s = started.elapsed().as_secs_f64();
     let metrics = score_mask(config, ctx, &binary_mask, layout, wall_s)?;
     if let Some(dir) = ctx.checkpoint_dir {
-        checkpoint::clear(dir, &spec.id).map_err(|e| format!("checkpoint cleanup failed: {e}"))?;
+        checkpoint::clear_with(ctx.vfs, dir, &spec.id)
+            .map_err(|e| format!("checkpoint cleanup failed: {e}"))?;
     }
     Ok(JobReport {
         id: spec.id.clone(),
@@ -933,6 +939,7 @@ mod tests {
             max_attempts: 1,
             lease: None,
             threads: 1,
+            vfs: &crate::vfs::RealVfs,
         }
     }
 

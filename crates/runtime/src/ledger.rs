@@ -46,6 +46,7 @@
 
 use crate::checkpoint::fnv1a64;
 use crate::job::{JobMetrics, JobStatus};
+use crate::vfs::{commit_replace, RealVfs, Vfs};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -101,17 +102,12 @@ fn verify_seal(text: &str) -> Option<&str> {
 }
 
 /// Writes `text` to `tmp`, then commits it to `target` with create-new
-/// semantics via `hard_link`. Returns `false` when a racer committed
-/// `target` first (the tmp file is cleaned up either way).
-fn commit_new(tmp: &Path, target: &Path, text: &str) -> io::Result<bool> {
-    std::fs::write(tmp, text)?;
-    let linked = std::fs::hard_link(tmp, target);
-    let _ = std::fs::remove_file(tmp);
-    match linked {
-        Ok(()) => Ok(true),
-        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(false),
-        Err(e) => Err(e),
-    }
+/// semantics via `hard_link`, fsyncing the tmp file before the link and
+/// the parent directory after it ([`crate::vfs::commit_new`]). Returns
+/// `false` when a racer committed `target` first (the tmp file is
+/// cleaned up either way).
+fn commit_new(vfs: &dyn Vfs, tmp: &Path, target: &Path, text: &str) -> io::Result<bool> {
+    crate::vfs::commit_new(vfs, tmp, target, text.as_bytes())
 }
 
 /// One parsed lease record.
@@ -154,17 +150,17 @@ fn parse_lease(text: &str) -> Option<LeaseRecord> {
 }
 
 /// Finds the highest-epoch `lease.e<N>` file in a job directory.
-fn newest_epoch(dir: &Path) -> io::Result<Option<(u64, PathBuf)>> {
-    let entries = match std::fs::read_dir(dir) {
+fn newest_epoch(vfs: &dyn Vfs, dir: &Path) -> io::Result<Option<(u64, PathBuf)>> {
+    let entries = match vfs.read_dir(dir) {
         Ok(entries) => entries,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
     let mut best: Option<(u64, PathBuf)> = None;
-    for entry in entries {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
         let Some(num) = name.strip_prefix("lease.e") else {
             continue;
         };
@@ -172,7 +168,7 @@ fn newest_epoch(dir: &Path) -> io::Result<Option<(u64, PathBuf)>> {
             continue;
         };
         if best.as_ref().is_none_or(|(b, _)| epoch > *b) {
-            best = Some((epoch, entry.path()));
+            best = Some((epoch, path));
         }
     }
     Ok(best)
@@ -349,13 +345,15 @@ enum Renewal {
 ///
 /// Cloning is cheap; every clone addresses the same ledger. All methods
 /// are crash-safe: a process killed at any point leaves either the old
-/// or the new file state, never a torn record (writes go to a tmp file
-/// and commit atomically).
+/// or the new file state, never a torn record (writes go to a tmp file,
+/// are fsynced, and commit atomically with the parent directory synced
+/// behind the commit — see [`crate::vfs`]).
 #[derive(Debug, Clone)]
 pub struct Ledger {
     root: PathBuf,
     owner: String,
     ttl: Duration,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl Ledger {
@@ -368,12 +366,28 @@ impl Ledger {
     ///
     /// Propagates the `create_dir_all` failure.
     pub fn open(root: impl Into<PathBuf>, owner: &str, ttl: Duration) -> io::Result<Ledger> {
+        Ledger::open_with(Arc::new(RealVfs), root, owner, ttl)
+    }
+
+    /// [`Ledger::open`] through an explicit [`Vfs`] — the crash matrix
+    /// opens ledgers over a seeded [`crate::vfs::FaultVfs`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        root: impl Into<PathBuf>,
+        owner: &str,
+        ttl: Duration,
+    ) -> io::Result<Ledger> {
         let root = root.into();
-        std::fs::create_dir_all(&root)?;
+        vfs.create_dir_all(&root)?;
         Ok(Ledger {
             root,
             owner: sanitize(owner),
             ttl: ttl.max(Duration::from_millis(10)),
+            vfs,
         })
     }
 
@@ -409,13 +423,18 @@ impl Ledger {
     /// Propagates I/O errors other than losing the commit race.
     pub fn post(&self, job: &str, payload: &str) -> io::Result<bool> {
         let dir = self.job_dir(job);
-        std::fs::create_dir_all(&dir)?;
+        self.vfs.create_dir_all(&dir)?;
         let target = dir.join("job.txt");
-        if target.exists() {
+        if self.vfs.exists(&target) {
             return Ok(false);
         }
         let tmp = dir.join(format!("job.txt.tmp.{}", self.owner));
-        commit_new(&tmp, &target, &format!("{}\n", payload.trim_end()))
+        commit_new(
+            &*self.vfs,
+            &tmp,
+            &target,
+            &format!("{}\n", payload.trim_end()),
+        )
     }
 
     /// Reads a job's posted payload line, if any.
@@ -424,7 +443,7 @@ impl Ledger {
     ///
     /// Propagates I/O errors other than the file not existing.
     pub fn payload(&self, job: &str) -> io::Result<Option<String>> {
-        match std::fs::read_to_string(self.job_dir(job).join("job.txt")) {
+        match self.vfs.read_to_string(&self.job_dir(job).join("job.txt")) {
             Ok(text) => Ok(Some(text.trim_end().to_string())),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e),
@@ -438,12 +457,11 @@ impl Ledger {
     /// Propagates `read_dir` failures on the ledger root.
     pub fn posted_jobs(&self) -> io::Result<Vec<String>> {
         let mut jobs = Vec::new();
-        for entry in std::fs::read_dir(&self.root)? {
-            let entry = entry?;
-            if !entry.path().join("job.txt").exists() {
+        for path in self.vfs.read_dir(&self.root)? {
+            if !self.vfs.exists(&path.join("job.txt")) {
                 continue;
             }
-            if let Some(name) = entry.file_name().to_str() {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
                 jobs.push(name.to_string());
             }
         }
@@ -459,14 +477,14 @@ impl Ledger {
     /// not an error.
     pub fn claim(&self, job: &str) -> io::Result<Claim> {
         let dir = self.job_dir(job);
-        std::fs::create_dir_all(&dir)?;
-        if dir.join("done").exists() {
+        self.vfs.create_dir_all(&dir)?;
+        if self.vfs.exists(&dir.join("done")) {
             return Ok(Claim::Completed);
         }
-        let (epoch, adopted) = match newest_epoch(&dir)? {
+        let (epoch, adopted) = match newest_epoch(&*self.vfs, &dir)? {
             None => (1, None),
             Some((e, path)) => {
-                let text = std::fs::read_to_string(&path).unwrap_or_default();
+                let text = self.vfs.read_to_string(&path).unwrap_or_default();
                 match parse_lease(&text) {
                     // Corrupt / torn record: unreadable leases fence
                     // nobody, so the next epoch is open.
@@ -489,7 +507,12 @@ impl Ledger {
         };
         let text = render_lease(job, &self.owner, epoch, unix_millis() + self.ttl_ms());
         let tmp = dir.join(format!("lease.e{epoch}.tmp.{}", self.owner));
-        if !commit_new(&tmp, &dir.join(format!("lease.e{epoch}")), &text)? {
+        if !commit_new(
+            &*self.vfs,
+            &tmp,
+            &dir.join(format!("lease.e{epoch}")),
+            &text,
+        )? {
             return Ok(Claim::Raced);
         }
         let lease = Arc::new(LeaseHandle::new(self.clone(), job, epoch));
@@ -513,9 +536,9 @@ impl Ledger {
     /// Propagates I/O errors.
     pub fn plant(&self, job: &str, owner: &str, ttl: Duration) -> io::Result<u64> {
         let dir = self.job_dir(job);
-        std::fs::create_dir_all(&dir)?;
+        self.vfs.create_dir_all(&dir)?;
         loop {
-            let epoch = match newest_epoch(&dir)? {
+            let epoch = match newest_epoch(&*self.vfs, &dir)? {
                 None => 1,
                 Some((e, _)) => e + 1,
             };
@@ -527,7 +550,12 @@ impl Ledger {
             };
             let text = render_lease(job, owner, epoch, expires);
             let tmp = dir.join(format!("lease.e{epoch}.tmp.{}", sanitize(owner)));
-            if commit_new(&tmp, &dir.join(format!("lease.e{epoch}")), &text)? {
+            if commit_new(
+                &*self.vfs,
+                &tmp,
+                &dir.join(format!("lease.e{epoch}")),
+                &text,
+            )? {
                 return Ok(epoch);
             }
         }
@@ -537,21 +565,25 @@ impl Ledger {
     /// appeared (we were fenced).
     fn renew(&self, job: &str, epoch: u64) -> io::Result<Renewal> {
         let dir = self.job_dir(job);
-        if let Some((newest, _)) = newest_epoch(&dir)? {
+        if let Some((newest, _)) = newest_epoch(&*self.vfs, &dir)? {
             if newest > epoch {
                 return Ok(Renewal::Fenced(newest));
             }
         }
         let text = render_lease(job, &self.owner, epoch, unix_millis() + self.ttl_ms());
         let tmp = dir.join(format!("lease.e{epoch}.tmp.{}", self.owner));
-        std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, dir.join(format!("lease.e{epoch}")))?;
+        commit_replace(
+            &*self.vfs,
+            &tmp,
+            &dir.join(format!("lease.e{epoch}")),
+            text.as_bytes(),
+        )?;
         Ok(Renewal::Renewed)
     }
 
     /// Checks for a lease above `epoch`; `Some(newest)` means fenced.
     fn fence_check(&self, job: &str, epoch: u64) -> io::Result<Option<u64>> {
-        Ok(newest_epoch(&self.job_dir(job))?
+        Ok(newest_epoch(&*self.vfs, &self.job_dir(job))?
             .map(|(newest, _)| newest)
             .filter(|&newest| newest > epoch))
     }
@@ -566,9 +598,12 @@ impl Ledger {
         let dir = self.job_dir(job);
         let text = render_lease(job, &self.owner, epoch, 0);
         let tmp = dir.join(format!("lease.e{epoch}.tmp.{}", self.owner));
-        std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, dir.join(format!("lease.e{epoch}")))?;
-        Ok(())
+        commit_replace(
+            &*self.vfs,
+            &tmp,
+            &dir.join(format!("lease.e{epoch}")),
+            text.as_bytes(),
+        )
     }
 
     /// Commits `record` as the job's completion under create-new
@@ -581,7 +616,7 @@ impl Ledger {
         }
         let dir = self.job_dir(job);
         let tmp = dir.join(format!("done.tmp.{}", self.owner));
-        commit_new(&tmp, &dir.join("done"), &render_done(record))
+        commit_new(&*self.vfs, &tmp, &dir.join("done"), &render_done(record))
     }
 
     /// Reads a job's completion record. `None` means not completed (or
@@ -591,7 +626,7 @@ impl Ledger {
     ///
     /// Propagates I/O errors other than the file not existing.
     pub fn completion(&self, job: &str) -> io::Result<Option<CompletionRecord>> {
-        match std::fs::read_to_string(self.job_dir(job).join("done")) {
+        match self.vfs.read_to_string(&self.job_dir(job).join("done")) {
             Ok(text) => Ok(parse_done(&text)),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e),
@@ -888,6 +923,7 @@ mod tests {
         let text = render_lease("j1", "shard-a", 1, unix_millis() + 5_000);
         assert!(
             !commit_new(
+                &RealVfs,
                 &dir.join("lease.e1.tmp.shard-a"),
                 &dir.join("lease.e1"),
                 &text

@@ -43,6 +43,13 @@
 //!   attempts score their best-so-far mask in-process, and jobs that
 //!   failed every attempt are scored from their last checkpoint, so the
 //!   batch quality total reflects everything that was actually produced.
+//! * [`vfs`] — the storage fault layer: every durable artifact
+//!   (checkpoints, leases, completion records, event reports) goes
+//!   through the [`Vfs`] trait. [`RealVfs`] adds the missing durability
+//!   protocol (fsync tmp file + parent directory around each
+//!   rename/hard-link commit); the seeded [`FaultVfs`] injects torn
+//!   writes, EIO, ENOSPC and crash-at-op-`k` halting for the
+//!   crash-consistency matrix.
 //! * [`ledger`] — a std-only, filesystem-backed job ledger: each job is
 //!   a claim file with an FNV-1a-checksummed lease record (owner,
 //!   epoch, heartbeat deadline) committed with create-new semantics, so
@@ -106,6 +113,7 @@ pub mod salvage;
 pub mod scheduler;
 pub mod shard;
 pub mod supervise;
+pub mod vfs;
 
 pub use batch::{render_summary, run_batch, BatchConfig, BatchOutcome, JobFailure};
 pub use cache::SimCache;
@@ -121,6 +129,7 @@ pub use shard::{run_sharded_batch, ShardConfig};
 pub use supervise::{
     AttemptGuard, IterationStats, JobSlot, Supervisor, SupervisorConfig, WatchTicker,
 };
+pub use vfs::{FaultVfs, RealVfs, Vfs};
 
 /// The types almost every user of this crate needs.
 pub mod prelude {
@@ -144,4 +153,5 @@ pub mod prelude {
     pub use crate::supervise::{
         AttemptGuard, IterationStats, JobSlot, Supervisor, SupervisorConfig, WatchTicker,
     };
+    pub use crate::vfs::{FaultVfs, RealVfs, Vfs};
 }

@@ -21,18 +21,22 @@ use crate::degrade::DegradationLadder;
 use crate::events::{Event, EventSink};
 use crate::job::{score_mask, JobContext, JobMetrics, JobSpec};
 use crate::scheduler::CancelToken;
+use crate::vfs::Vfs;
 use mosaic_core::MaskState;
 use std::path::Path;
 
 /// Attempts to salvage a score from `spec`'s last checkpoint under
 /// `root`. `downshifts` is the job's final downshift count (from the
 /// supervisor), used to find the ladder rung whose grid matches the
-/// checkpoint — the last attempt may have run degraded.
+/// checkpoint — the last attempt may have run degraded. The checkpoint
+/// is read through `vfs`, so storage chaos reaches this path too.
 ///
 /// Returns `None` when there is nothing to salvage (no checkpoint, a
 /// quarantined corrupt one, or an unscorable mask); emits `fault`
 /// events for the latter two.
+#[allow(clippy::too_many_arguments)]
 pub fn from_checkpoint(
+    vfs: &dyn Vfs,
     root: &Path,
     spec: &JobSpec,
     ladder: Option<&DegradationLadder>,
@@ -41,7 +45,7 @@ pub fn from_checkpoint(
     events: &EventSink,
     attempts: u32,
 ) -> Option<JobMetrics> {
-    let (cp, quarantined) = match checkpoint::load_or_quarantine(root, &spec.id) {
+    let (cp, quarantined) = match checkpoint::load_or_quarantine_with(vfs, root, &spec.id) {
         Ok(loaded) => loaded,
         Err(e) => {
             events.emit(&Event::Fault {
@@ -103,6 +107,7 @@ pub fn from_checkpoint(
         max_attempts: 1,
         lease: None,
         threads: 1,
+        vfs,
     };
     match score_mask(&config, &ctx, &mask, &layout, 0.0) {
         Ok(metrics) => Some(metrics),

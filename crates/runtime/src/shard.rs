@@ -159,8 +159,12 @@ pub fn run_sharded_batch(
     shard: &ShardConfig,
 ) -> io::Result<BatchOutcome> {
     let started = Instant::now();
+    let vfs: Arc<dyn crate::vfs::Vfs> = config
+        .vfs
+        .clone()
+        .unwrap_or_else(|| Arc::new(crate::vfs::RealVfs));
     let mut sink = match &config.report {
-        Some(path) => EventSink::to_file(path)?,
+        Some(path) => EventSink::to_file_with(&*vfs, path)?,
         None => EventSink::null(),
     };
     if let Some(observer) = &config.observer {
@@ -169,13 +173,34 @@ pub fn run_sharded_batch(
     let events = Arc::new(sink);
     let cache = SimCache::new();
     let deadline = config.deadline.map(|d| started + d);
-    let ledger = Ledger::open(&shard.ledger_dir, &shard.owner, shard.lease_ttl)?;
+    let ledger = Ledger::open_with(
+        Arc::clone(&vfs),
+        &shard.ledger_dir,
+        &shard.owner,
+        shard.lease_ttl,
+    )?;
     events.emit(&Event::BatchStart {
         jobs: specs.len(),
         workers: config.workers.max(1),
     });
     for spec in specs {
-        ledger.post(&spec.id, &spec_payload(spec))?;
+        // Posting is create-new and therefore safely retryable: a few
+        // transient storage errors (--fault-fs chaos, a flaky mount)
+        // must not kill the whole shard at startup, while a persistent
+        // failure still surfaces — a job that cannot be posted cannot
+        // be silently dropped.
+        let mut attempts = 0;
+        loop {
+            match ledger.post(&spec.id, &spec_payload(spec)) {
+                Ok(_) => break,
+                Err(e) => {
+                    attempts += 1;
+                    if attempts >= 3 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
     }
 
     // Live leases, renewed from the watchdog thread: the ticker fires
@@ -234,6 +259,7 @@ pub fn run_sharded_batch(
                     &events,
                     deadline,
                     sweep_pause,
+                    &*vfs,
                 );
             });
         }
@@ -262,6 +288,7 @@ pub fn run_sharded_batch(
         &cache,
         &events,
         started,
+        &*vfs,
     ))
 }
 
@@ -279,6 +306,7 @@ fn sweep(
     events: &EventSink,
     deadline: Option<Instant>,
     sweep_pause: Duration,
+    vfs: &dyn crate::vfs::Vfs,
 ) {
     loop {
         if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -307,7 +335,7 @@ fn sweep(
                 continue;
             }
             if visit(
-                spec, slot, config, ledger, leases, supervisor, cache, events, deadline,
+                spec, slot, config, ledger, leases, supervisor, cache, events, deadline, vfs,
             ) {
                 progressed = true;
             }
@@ -337,6 +365,7 @@ fn visit(
     cache: &SimCache,
     events: &EventSink,
     deadline: Option<Instant>,
+    vfs: &dyn crate::vfs::Vfs,
 ) -> bool {
     let claim_no = slot.claim_attempts.fetch_add(1, Ordering::SeqCst) + 1;
     // Ledger fault injection, keyed on this shard's claim attempt.
@@ -403,11 +432,10 @@ fn visit(
         ttl_ms: ledger.ttl().as_millis() as u64,
     });
     if let Some(prev_owner) = adopted_from {
-        let has_checkpoint = config.checkpoint_dir.as_deref().is_some_and(|dir| {
-            checkpoint::job_dir(dir, &spec.id)
-                .join("state.txt")
-                .exists()
-        });
+        let has_checkpoint = config
+            .checkpoint_dir
+            .as_deref()
+            .is_some_and(|dir| vfs.exists(&checkpoint::job_dir(dir, &spec.id).join("state.txt")));
         events.emit(&Event::JobAdopted {
             job: spec.id.clone(),
             owner: lease.owner().to_string(),
@@ -430,7 +458,7 @@ fn visit(
         held.push(Arc::clone(&lease));
     }
     let execution = run_leased(
-        spec, &lease, config, ledger, supervisor, cache, events, deadline,
+        spec, &lease, config, ledger, supervisor, cache, events, deadline, vfs,
     );
     slot.resolve(execution);
     true
@@ -450,6 +478,7 @@ fn run_leased(
     cache: &SimCache,
     events: &EventSink,
     deadline: Option<Instant>,
+    vfs: &dyn crate::vfs::Vfs,
 ) -> JobExecution<JobReport> {
     let ctx = JobContext {
         cache,
@@ -464,6 +493,7 @@ fn run_leased(
         max_attempts: config.retries + 1,
         lease: Some(lease),
         threads: config.threads.max(1),
+        vfs,
     };
     let mut attempts = 0u32;
     let terminal_error = loop {

@@ -1,0 +1,723 @@
+//! Virtual filesystem layer: durability discipline plus seeded fault injection.
+//!
+//! Every durable artifact the runtime produces — checkpoint manifests
+//! ([`crate::checkpoint`]), ledger leases and completion records
+//! ([`crate::ledger`]), JSONL event reports ([`crate::events`]) — reaches
+//! disk through the [`Vfs`] trait instead of calling `std::fs` directly.
+//! That buys two things:
+//!
+//! 1. **A single place for the durability protocol.** The commit helpers
+//!    [`commit_replace`] and [`commit_new`] implement the full
+//!    write-tmp → fsync(tmp) → rename/hard_link → fsync(parent dir)
+//!    sequence, so a power loss at *any* instant leaves the commit target
+//!    either absent, old-complete, or new-complete — never torn. (Before
+//!    this layer the runtime renamed un-synced tmp files, which is exactly
+//!    the window where journaling filesystems may expose a zero-length or
+//!    prefix file after a crash.)
+//! 2. **Deterministic storage chaos.** [`FaultVfs`] wraps the real
+//!    filesystem and injects torn/prefix writes, intermittent EIO,
+//!    persistent ENOSPC, and crash-at-op-`k` halting — all derived from a
+//!    seed exactly like [`crate::fault::FaultPlan`] derives its job
+//!    faults, so a red crash-matrix run names a reproducible `(seed, k)`.
+//!
+//! # Crash model
+//!
+//! [`FaultVfs`] counts *mutating* operations (`write`, `rename`,
+//! `hard_link`, `create_dir_all`, `remove_file`, `remove_dir`,
+//! `sync_file`, `sync_dir`) with a 1-based index. With `crash_at_op(k)`:
+//!
+//! * ops `1..k` behave normally;
+//! * op `k` is **partially applied** — a `write` persists only a seeded
+//!   prefix of its bytes (modelling a torn page write), a metadata op
+//!   (`rename`/`hard_link`/`remove_*`) lands or not by a seeded coin
+//!   (modelling an un-synced directory update that may or may not have
+//!   reached the journal) — and then returns an error;
+//! * every operation after op `k`, including reads, fails: the process
+//!   is "dead" as far as storage goes. If a kill switch was attached
+//!   with [`FaultVfs::kill_switch`], its [`CancelToken`] is cancelled the
+//!   moment the crash fires so in-process drivers (the shard sweep loop,
+//!   the batch scheduler) wind down instead of retrying a dead disk
+//!   forever — emulating process death inside one test process.
+//!
+//! Read operations never consume op indices, so a run's op count is a
+//! function of its durable writes alone.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::scheduler::CancelToken;
+
+/// The filesystem surface the runtime's durable artifacts go through.
+///
+/// Implementations must be shareable across the batch's worker threads
+/// (`Send + Sync`); [`RealVfs`] is the zero-cost passthrough and
+/// [`FaultVfs`] the chaos wrapper. All paths are plain `std::path`
+/// paths — the trait adds no namespace of its own.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Write `bytes` to `path`, creating or truncating it.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Read the full contents of `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Read `path` as UTF-8 text.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Atomically replace `to` with `from` (POSIX rename semantics).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Create-new commit: link `link` to `original`'s inode, failing
+    /// with [`io::ErrorKind::AlreadyExists`] if `link` exists.
+    fn hard_link(&self, original: &Path, link: &Path) -> io::Result<()>;
+    /// Create `path` and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Remove the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Remove the (empty) directory at `path`.
+    fn remove_dir(&self, path: &Path) -> io::Result<()>;
+    /// List the entries of the directory at `path`.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Whether `path` exists. A crashed [`FaultVfs`] reports `false`.
+    fn exists(&self, path: &Path) -> bool;
+    /// `fsync` the file at `path` (contents + metadata).
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// `fsync` the directory at `path`, making directory entries
+    /// (renames, links, unlinks) durable.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Open a buffered append-style byte stream at `path` (created or
+    /// truncated), used for JSONL event reports. Stream writes are not
+    /// part of the durable-commit protocol and do not consume fault op
+    /// indices; [`FaultVfs`] fails them via its stream/ENOSPC/crash
+    /// flags instead.
+    fn create_stream(&self, path: &Path) -> io::Result<Box<dyn Write + Send>>;
+}
+
+/// The parent directory to fsync after committing into `target`'s dir.
+fn parent_of(target: &Path) -> &Path {
+    target
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(Path::new("."))
+}
+
+/// Durable atomic **replace**: write-tmp → fsync(tmp) → `rename` over
+/// `target` → fsync(parent). Used where the caller is the sole legal
+/// writer (checkpoint saves, lease renew/release by the fenced owner):
+/// after a crash at any point, `target` is the old contents or the new
+/// contents, never a torn mix.
+pub fn commit_replace(vfs: &dyn Vfs, tmp: &Path, target: &Path, bytes: &[u8]) -> io::Result<()> {
+    vfs.write(tmp, bytes)?;
+    vfs.sync_file(tmp)?;
+    vfs.rename(tmp, target)?;
+    vfs.sync_dir(parent_of(target))
+}
+
+/// Durable atomic **create-new**: write-tmp → fsync(tmp) → `hard_link`
+/// to `target` → fsync(parent), then best-effort tmp removal. Used for
+/// exactly-once commits (lease claims, `done` records, job posts) where
+/// losing the race must be observable: returns `Ok(false)` if `target`
+/// already existed, `Ok(true)` if this call created it.
+pub fn commit_new(vfs: &dyn Vfs, tmp: &Path, target: &Path, bytes: &[u8]) -> io::Result<bool> {
+    vfs.write(tmp, bytes)?;
+    vfs.sync_file(tmp)?;
+    let linked = vfs.hard_link(tmp, target);
+    let _ = vfs.remove_file(tmp);
+    match linked {
+        Ok(()) => {
+            vfs.sync_dir(parent_of(target))?;
+            Ok(true)
+        }
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// The real filesystem: every method delegates straight to `std::fs`.
+///
+/// A borrow of the unit value (`&RealVfs`) const-promotes to a
+/// `&'static RealVfs`, so call sites can pass `&RealVfs` wherever a
+/// `&dyn Vfs` is expected without naming a static.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn hard_link(&self, original: &Path, link: &Path) -> io::Result<()> {
+        fs::hard_link(original, link)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn remove_dir(&self, path: &Path) -> io::Result<()> {
+        fs::remove_dir(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(path)? {
+            entries.push(entry?.path());
+        }
+        Ok(entries)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it makes renames /
+        // links / unlinks inside it durable on POSIX filesystems.
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn create_stream(&self, path: &Path) -> io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(fs::File::create(path)?))
+    }
+}
+
+/// FNV-1a over `(seed, op index)`: the single source of every seeded
+/// fault decision, mirroring the checkpoint/ledger checksum primitive.
+fn mix(seed: u64, op: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.rotate_left(17);
+    for b in op.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (h >> 33)
+}
+
+/// Salt separating the intermittent-EIO decision stream from the
+/// torn-write / metadata-coin stream so the two modes compose.
+const EIO_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn crash_error() -> io::Error {
+    io::Error::other("injected crash: filesystem unavailable")
+}
+
+fn enospc_error(op: u64) -> io::Error {
+    io::Error::other(format!("injected ENOSPC at op {op}: no space left"))
+}
+
+/// Shared mutable half of [`FaultVfs`], so clones (and the streams it
+/// hands out) observe one op counter and one crashed flag.
+#[derive(Debug, Default)]
+struct FaultShared {
+    ops: AtomicU64,
+    crashed: AtomicBool,
+    kill: Mutex<Option<CancelToken>>,
+}
+
+impl FaultShared {
+    fn fire_crash(&self) {
+        if !self.crashed.swap(true, Ordering::SeqCst) {
+            let kill = self
+                .kill
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(token) = kill {
+                token.cancel();
+            }
+        }
+    }
+}
+
+/// What the fault gate decided for one mutating operation.
+enum Gate {
+    /// Execute the operation normally.
+    Proceed { op: u64 },
+    /// The crash fires on this very op: apply it partially (seeded by
+    /// `h`), then fail.
+    CrashNow { h: u64 },
+}
+
+/// A deterministic, seeded chaos filesystem.
+///
+/// Wraps [`RealVfs`] and injects failures decided purely by
+/// `(seed, op index)` — re-running the same seed over the same operation
+/// sequence reproduces the same torn lengths, the same coins and the
+/// same errors. Configure with the builder methods, then hand it to
+/// [`crate::batch::BatchConfig::vfs`] (or use it directly in tests):
+///
+/// ```
+/// use mosaic_runtime::vfs::{FaultVfs, Vfs};
+/// let vfs = FaultVfs::new(7).crash_at_op(3);
+/// let dir = std::env::temp_dir().join("fault_vfs_doc");
+/// vfs.create_dir_all(&dir).expect("op 1 precedes the crash");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultVfs {
+    seed: u64,
+    crash_at: Option<u64>,
+    enospc_at: Option<u64>,
+    eio_every: Option<u64>,
+    fail_streams: bool,
+    shared: Arc<FaultShared>,
+}
+
+impl FaultVfs {
+    /// A fault filesystem with no faults armed: behaves like
+    /// [`RealVfs`] but counts mutating ops (see [`FaultVfs::op_count`]),
+    /// which is how the crash matrix measures a run's op budget `N`.
+    pub fn new(seed: u64) -> Self {
+        FaultVfs {
+            seed,
+            crash_at: None,
+            enospc_at: None,
+            eio_every: None,
+            fail_streams: false,
+            shared: Arc::new(FaultShared::default()),
+        }
+    }
+
+    /// Crash at mutating op `k` (1-based): op `k` is partially applied,
+    /// everything after fails. `k = 0` never fires.
+    pub fn crash_at_op(mut self, k: u64) -> Self {
+        self.crash_at = (k > 0).then_some(k);
+        self
+    }
+
+    /// From mutating op `k` (1-based) onward, data writes (`write` and
+    /// stream writes) fail with an injected ENOSPC; metadata ops still
+    /// succeed — modelling a disk that filled up mid-run.
+    pub fn enospc_at_op(mut self, k: u64) -> Self {
+        self.enospc_at = (k > 0).then_some(k);
+        self
+    }
+
+    /// Fail roughly one in `n` mutating ops with an injected EIO
+    /// (seeded, so the failing op indices are reproducible). The
+    /// operation is *not* applied. `n = 0` disables.
+    pub fn eio_every(mut self, n: u64) -> Self {
+        self.eio_every = (n > 0).then_some(n);
+        self
+    }
+
+    /// Fail every byte written to streams opened via
+    /// [`Vfs::create_stream`] (the JSONL event report path) while
+    /// leaving the durable commit paths healthy.
+    pub fn fail_streams(mut self) -> Self {
+        self.fail_streams = true;
+        self
+    }
+
+    /// Attach a kill switch: the token is cancelled the moment the
+    /// crash fires, so the driver under test stops scheduling work on a
+    /// dead filesystem (process-death emulation inside one process).
+    pub fn kill_switch(self, token: CancelToken) -> Self {
+        *self
+            .shared
+            .kill
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(token);
+        self
+    }
+
+    /// Mutating operations observed so far (the crash matrix runs once
+    /// with no faults armed to learn its op budget `N`).
+    pub fn op_count(&self) -> u64 {
+        self.shared.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether the armed crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.shared.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Gate one mutating operation: assign its op index and decide
+    /// normal / EIO / crash-now / dead.
+    fn gate(&self) -> io::Result<Gate> {
+        if self.shared.crashed.load(Ordering::SeqCst) {
+            return Err(crash_error());
+        }
+        let op = self.shared.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(k) = self.crash_at {
+            if op >= k {
+                self.shared.fire_crash();
+                return if op == k {
+                    Ok(Gate::CrashNow {
+                        h: mix(self.seed, op),
+                    })
+                } else {
+                    Err(crash_error())
+                };
+            }
+        }
+        if let Some(n) = self.eio_every {
+            if mix(self.seed ^ EIO_SALT, op).is_multiple_of(n) {
+                return Err(io::Error::other(format!("injected EIO at op {op}")));
+            }
+        }
+        Ok(Gate::Proceed { op })
+    }
+
+    /// Guard a read-side operation: reads are free until the crash.
+    fn read_gate(&self) -> io::Result<()> {
+        if self.shared.crashed.load(Ordering::SeqCst) {
+            Err(crash_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Run a metadata-style op through the gate; on crash-now the op
+    /// lands or not by the seeded coin before the error surfaces.
+    fn metadata_op(&self, apply: impl FnOnce() -> io::Result<()>) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed { .. } => apply(),
+            Gate::CrashNow { h } => {
+                if h & 1 == 0 {
+                    let _ = apply();
+                }
+                Err(crash_error())
+            }
+        }
+    }
+
+    fn enospc_engaged(&self, op: u64) -> bool {
+        self.enospc_at.is_some_and(|k| op >= k)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed { op } => {
+                if self.enospc_engaged(op) {
+                    // A full disk typically leaves a truncated file
+                    // behind: persist a seeded prefix, then fail.
+                    let keep = (mix(self.seed, op) % (bytes.len() as u64 + 1)) as usize;
+                    let _ = fs::write(path, &bytes[..keep]);
+                    return Err(enospc_error(op));
+                }
+                fs::write(path, bytes)
+            }
+            Gate::CrashNow { h } => {
+                let keep = (h % (bytes.len() as u64 + 1)) as usize;
+                let _ = fs::write(path, &bytes[..keep]);
+                Err(crash_error())
+            }
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.read_gate()?;
+        fs::read(path)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        self.read_gate()?;
+        fs::read_to_string(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.metadata_op(|| fs::rename(from, to))
+    }
+
+    fn hard_link(&self, original: &Path, link: &Path) -> io::Result<()> {
+        self.metadata_op(|| fs::hard_link(original, link))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.metadata_op(|| fs::create_dir_all(path))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.metadata_op(|| fs::remove_file(path))
+    }
+
+    fn remove_dir(&self, path: &Path) -> io::Result<()> {
+        self.metadata_op(|| fs::remove_dir(path))
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.read_gate()?;
+        RealVfs.read_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        !self.shared.crashed.load(Ordering::SeqCst) && path.exists()
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        self.metadata_op(|| RealVfs.sync_file(path))
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.metadata_op(|| RealVfs.sync_dir(path))
+    }
+
+    fn create_stream(&self, path: &Path) -> io::Result<Box<dyn Write + Send>> {
+        self.read_gate()?;
+        let inner = if self.fail_streams {
+            None // the stream exists but every byte written to it fails
+        } else {
+            Some(fs::File::create(path)?)
+        };
+        Ok(Box::new(FaultStream {
+            inner,
+            enospc_at: self.enospc_at,
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+}
+
+/// Stream handed out by [`FaultVfs::create_stream`]: fails writes when
+/// stream failure is armed, the disk-full point has passed, or the
+/// crash has fired.
+struct FaultStream {
+    inner: Option<fs::File>,
+    enospc_at: Option<u64>,
+    shared: Arc<FaultShared>,
+}
+
+impl Write for FaultStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.shared.crashed.load(Ordering::SeqCst) {
+            return Err(crash_error());
+        }
+        let op = self.shared.ops.load(Ordering::SeqCst);
+        if self.enospc_at.is_some_and(|k| op >= k) {
+            return Err(enospc_error(op));
+        }
+        match &mut self.inner {
+            Some(file) => file.write(buf),
+            None => Err(io::Error::other("injected EIO: event stream failed")),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match &mut self.inner {
+            Some(file) => file.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mosaic_vfs_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Run a fixed op script and record each op's outcome plus the
+    /// final bytes of every file it touched.
+    fn run_script(dir: &Path, vfs: &FaultVfs) -> (Vec<String>, Vec<Option<Vec<u8>>>) {
+        let a = dir.join("a.txt");
+        let b = dir.join("b.txt");
+        let c = dir.join("c.txt");
+        let ops: Vec<io::Result<()>> = vec![
+            vfs.write(&a, b"first contents of a"),
+            vfs.sync_file(&a),
+            vfs.rename(&a, &b),
+            vfs.sync_dir(dir),
+            vfs.write(&a, b"second file, longer contents this time"),
+            vfs.hard_link(&a, &c),
+            vfs.remove_file(&a),
+            vfs.write(&b, b"replacement for b"),
+        ];
+        let outcomes = ops
+            .into_iter()
+            .map(|r| match r {
+                Ok(()) => "ok".to_string(),
+                Err(e) => format!("err: {e}"),
+            })
+            .collect();
+        let files = [a, b, c].iter().map(|p| fs::read(p).ok()).collect();
+        (outcomes, files)
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_outcomes_and_bytes() {
+        for k in 1..=8 {
+            let d1 = temp_root(&format!("det1_{k}"));
+            let d2 = temp_root(&format!("det2_{k}"));
+            let r1 = run_script(&d1, &FaultVfs::new(42).crash_at_op(k));
+            let r2 = run_script(&d2, &FaultVfs::new(42).crash_at_op(k));
+            assert_eq!(r1, r2, "seed 42 crash_at {k} must be reproducible");
+            let _ = fs::remove_dir_all(&d1);
+            let _ = fs::remove_dir_all(&d2);
+        }
+    }
+
+    #[test]
+    fn crash_halts_every_later_op_and_read() {
+        let dir = temp_root("halt");
+        let vfs = FaultVfs::new(3).crash_at_op(2);
+        let f = dir.join("f.txt");
+        vfs.write(&f, b"survives").unwrap(); // op 1
+        assert!(vfs.sync_file(&f).is_err()); // op 2: crash fires
+        assert!(vfs.crashed());
+        assert!(vfs.write(&f, b"after").is_err());
+        assert!(vfs.read(&f).is_err());
+        assert!(vfs.read_to_string(&f).is_err());
+        assert!(vfs.read_dir(&dir).is_err());
+        assert!(!vfs.exists(&f));
+        // The pre-crash write really landed on the real filesystem.
+        assert_eq!(fs::read(&f).unwrap(), b"survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_persists_a_bounded_prefix() {
+        let payload = b"0123456789abcdef0123456789abcdef";
+        let mut lengths = Vec::new();
+        for seed in 0..32u64 {
+            let dir = temp_root(&format!("torn_{seed}"));
+            let vfs = FaultVfs::new(seed).crash_at_op(1);
+            let f = dir.join("torn.txt");
+            assert!(vfs.write(&f, payload).is_err());
+            let on_disk = fs::read(&f).unwrap_or_default();
+            assert!(on_disk.len() <= payload.len());
+            assert_eq!(&payload[..on_disk.len()], &on_disk[..]);
+            lengths.push(on_disk.len());
+            let _ = fs::remove_dir_all(&dir);
+        }
+        // The prefix length actually varies with the seed (torn, not
+        // all-or-nothing) and some seed genuinely tears mid-payload.
+        lengths.sort_unstable();
+        lengths.dedup();
+        assert!(lengths.len() > 4, "expected varied torn lengths");
+    }
+
+    #[test]
+    fn intermittent_eio_is_seed_stable_and_nonfatal() {
+        let failing_ops = |seed: u64| -> Vec<usize> {
+            let dir = temp_root(&format!("eio_{seed}"));
+            let vfs = FaultVfs::new(seed).eio_every(3);
+            let mut failed = Vec::new();
+            for i in 0..30 {
+                let f = dir.join(format!("f{i}.txt"));
+                if vfs.write(&f, b"x").is_err() {
+                    failed.push(i);
+                }
+            }
+            let _ = fs::remove_dir_all(&dir);
+            failed
+        };
+        let first = failing_ops(9);
+        assert_eq!(first, failing_ops(9), "EIO schedule must be seed-stable");
+        assert!(!first.is_empty(), "one-in-3 over 30 ops must fire");
+        assert!(first.len() < 30, "EIO must be intermittent, not total");
+    }
+
+    #[test]
+    fn enospc_fails_data_writes_but_not_metadata() {
+        let dir = temp_root("enospc");
+        let vfs = FaultVfs::new(1).enospc_at_op(2);
+        let f = dir.join("f.txt");
+        vfs.write(&f, b"fits").unwrap(); // op 1: before the disk fills
+        let err = vfs.write(&f, b"does not fit").unwrap_err(); // op 2
+        assert!(err.to_string().contains("ENOSPC"), "got: {err}");
+        // Metadata ops still work on a full disk.
+        vfs.rename(&f, &dir.join("g.txt")).unwrap();
+        vfs.remove_file(&dir.join("g.txt")).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_switch_cancels_token_when_crash_fires() {
+        let dir = temp_root("kill");
+        let token = CancelToken::new();
+        let vfs = FaultVfs::new(5).crash_at_op(1).kill_switch(token.clone());
+        assert!(!token.is_cancelled());
+        assert!(vfs.write(&dir.join("f"), b"x").is_err());
+        assert!(token.is_cancelled(), "crash must trip the kill switch");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn op_count_tracks_mutating_ops_only() {
+        let dir = temp_root("opcount");
+        let vfs = FaultVfs::new(0);
+        let f = dir.join("f.txt");
+        vfs.write(&f, b"x").unwrap();
+        vfs.sync_file(&f).unwrap();
+        let _ = vfs.read(&f).unwrap();
+        let _ = vfs.read_to_string(&f).unwrap();
+        let _ = vfs.read_dir(&dir).unwrap();
+        assert!(vfs.exists(&f));
+        assert_eq!(vfs.op_count(), 2, "reads must not consume op indices");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn commit_new_reports_lost_race_as_false() {
+        let dir = temp_root("commit_new");
+        let target = dir.join("done");
+        let won = commit_new(&RealVfs, &dir.join("done.tmp.a"), &target, b"winner").unwrap();
+        assert!(won);
+        let lost = commit_new(&RealVfs, &dir.join("done.tmp.b"), &target, b"loser").unwrap();
+        assert!(!lost, "second create-new commit must lose");
+        assert_eq!(fs::read(&target).unwrap(), b"winner");
+        assert!(!dir.join("done.tmp.a").exists());
+        assert!(!dir.join("done.tmp.b").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn commit_replace_under_crash_leaves_target_old_or_new_never_torn() {
+        let old = b"OLD manifest contents".to_vec();
+        let new = b"NEW manifest, different length entirely".to_vec();
+        // The protocol is 4 mutating ops; crash at each one in turn.
+        for k in 1..=4u64 {
+            for seed in 0..8u64 {
+                let dir = temp_root(&format!("cr_{k}_{seed}"));
+                let target = dir.join("state.txt");
+                fs::write(&target, &old).unwrap();
+                let vfs = FaultVfs::new(seed).crash_at_op(k);
+                let res = commit_replace(&vfs, &dir.join("state.txt.tmp"), &target, &new);
+                assert!(res.is_err(), "crash at op {k} must surface");
+                let on_disk = fs::read(&target).unwrap();
+                assert!(
+                    on_disk == old || on_disk == new,
+                    "crash at op {k} seed {seed}: target torn ({} bytes)",
+                    on_disk.len()
+                );
+                let _ = fs::remove_dir_all(&dir);
+            }
+        }
+    }
+
+    #[test]
+    fn fail_streams_breaks_the_stream_but_not_durable_commits() {
+        let dir = temp_root("streams");
+        let vfs = FaultVfs::new(2).fail_streams();
+        let mut stream = vfs.create_stream(&dir.join("report.jsonl")).unwrap();
+        assert!(stream.write_all(b"{}\n").is_err());
+        // Durable commits remain healthy.
+        commit_replace(&vfs, &dir.join("s.tmp"), &dir.join("s"), b"fine").unwrap();
+        assert_eq!(fs::read(dir.join("s")).unwrap(), b"fine");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -150,6 +150,7 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             max_attempts: 1,
             lease: None,
             threads: 1,
+            vfs: &mosaic_runtime::vfs::RealVfs,
         },
     )
     .unwrap();
@@ -173,6 +174,7 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             max_attempts: 1,
             lease: None,
             threads: 1,
+            vfs: &mosaic_runtime::vfs::RealVfs,
         },
     )
     .unwrap();
@@ -198,6 +200,7 @@ fn checkpoint_kill_resume_reaches_the_same_final_mask() {
             max_attempts: 1,
             lease: None,
             threads: 1,
+            vfs: &mosaic_runtime::vfs::RealVfs,
         },
     )
     .unwrap();

@@ -51,6 +51,7 @@ fn golden_snapshot_at(threads: usize) {
         max_attempts: 1,
         lease: None,
         threads,
+        vfs: &mosaic_runtime::vfs::RealVfs,
     };
     let report = execute_job(&spec, 1, &ctx).expect("B1 fast job runs");
     let metrics = report.metrics.expect("finished job carries metrics");

@@ -69,6 +69,7 @@ fn coarsen_grid_retry_resumes_from_resampled_checkpoint() {
                 max_attempts: 2,
                 lease: None,
                 threads: 1,
+                vfs: &mosaic_runtime::vfs::RealVfs,
             },
         )
         .unwrap();
@@ -97,6 +98,7 @@ fn coarsen_grid_retry_resumes_from_resampled_checkpoint() {
             max_attempts: 2,
             lease: None,
             threads: 1,
+            vfs: &mosaic_runtime::vfs::RealVfs,
         },
     )
     .unwrap();
@@ -149,6 +151,7 @@ fn coarsen_grid_retry_resumes_from_resampled_checkpoint() {
             max_attempts: 1,
             lease: None,
             threads: 1,
+            vfs: &mosaic_runtime::vfs::RealVfs,
         },
     )
     .unwrap();

@@ -54,6 +54,7 @@ fn cancelled_run_salvage_matches_checkpoint_salvage_bit_exactly() {
             max_attempts: 1,
             lease: None,
             threads: 1,
+            vfs: &mosaic_runtime::vfs::RealVfs,
         },
     )
     .unwrap();
@@ -65,8 +66,17 @@ fn cancelled_run_salvage_matches_checkpoint_salvage_bit_exactly() {
 
     // Load the checkpoint the cancelled run left behind and score it
     // through the salvage path: same mask, same evaluator, same bits.
-    let from_ckpt = salvage::from_checkpoint(&ckpt, &spec, None, 0, &cache, &events, 1)
-        .expect("checkpoint salvage finds the cancelled run's state");
+    let from_ckpt = salvage::from_checkpoint(
+        &mosaic_runtime::vfs::RealVfs,
+        &ckpt,
+        &spec,
+        None,
+        0,
+        &cache,
+        &events,
+        1,
+    )
+    .expect("checkpoint salvage finds the cancelled run's state");
     assert_eq!(
         from_ckpt.quality_score.to_bits(),
         in_process.quality_score.to_bits(),

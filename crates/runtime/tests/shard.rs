@@ -60,6 +60,7 @@ fn dead_shard_is_adopted_with_bit_identical_results() {
             max_attempts: 1,
             lease: None,
             threads: 1,
+            vfs: &mosaic_runtime::vfs::RealVfs,
         },
     )
     .unwrap();
@@ -90,6 +91,7 @@ fn dead_shard_is_adopted_with_bit_identical_results() {
             max_attempts: 1,
             lease: Some(&lease_a),
             threads: 1,
+            vfs: &mosaic_runtime::vfs::RealVfs,
         },
     )
     .unwrap();

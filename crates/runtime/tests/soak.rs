@@ -1,8 +1,9 @@
 //! Randomized chaos soak: many seeded batches under random fault
-//! injection and tight supervision, asserting the invariants that must
-//! hold no matter what is thrown at the runtime — every batch drains,
-//! every reported metric is finite, and every checkpoint left on disk
-//! either loads cleanly or sits in quarantine.
+//! injection, storage chaos (seeded intermittent EIO and dead report
+//! streams through [`FaultVfs`]) and tight supervision, asserting the
+//! invariants that must hold no matter what is thrown at the runtime —
+//! every batch drains, every reported metric is finite, and every
+//! checkpoint left on disk either loads cleanly or sits in quarantine.
 //!
 //! The fault plans are drawn from the in-repo PRNG, so a failing seed
 //! reproduces exactly; `SOAK_SEEDS` overrides the seed count (default
@@ -12,10 +13,11 @@ use mosaic_core::MosaicMode;
 use mosaic_geometry::benchmarks::BenchmarkId;
 use mosaic_numerics::rng::Rng64;
 use mosaic_runtime::{
-    checkpoint, run_batch, BatchConfig, FaultKind, FaultPlan, JobExecution, JobSpec,
-    SupervisorConfig,
+    checkpoint, run_batch, BatchConfig, FaultKind, FaultPlan, FaultVfs, JobExecution, JobSpec,
+    SupervisorConfig, Vfs,
 };
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn temp_dir(name: &str) -> PathBuf {
@@ -97,6 +99,27 @@ fn seeded_chaos_batches_always_drain_with_finite_salvage() {
             }
         }
 
+        // Storage chaos rides along on half the seeds: intermittent
+        // EIO on roughly one in 5..12 durable ops (checkpoint commits
+        // included), sometimes with a dead report stream on top. Every
+        // injected failure must stay contained — a checkpoint save
+        // error is a fault event, a report write error degrades the
+        // sink, and the drain/finite/loadable invariants below hold
+        // unchanged.
+        let vfs: Option<Arc<dyn Vfs>> = rng.chance(0.5).then(|| {
+            let fault = FaultVfs::new(seed ^ 0xd15c_fa11);
+            let fault = if rng.chance(0.3) {
+                fault.fail_streams()
+            } else {
+                fault
+            };
+            Arc::new(fault.eio_every(rng.range_usize(5, 12) as u64)) as Arc<dyn Vfs>
+        });
+        let report = vfs
+            .is_some()
+            .then(|| dir.join("report.jsonl"))
+            .filter(|_| rng.chance(0.5));
+
         let config = BatchConfig {
             workers: 2,
             // Half the seeds run the intra-job parallel path, so the
@@ -106,6 +129,8 @@ fn seeded_chaos_batches_always_drain_with_finite_salvage() {
             retries: 1,
             checkpoint_dir: Some(ckpt.clone()),
             checkpoint_every: 1,
+            report,
+            vfs,
             faults,
             supervise: SupervisorConfig {
                 job_timeout: rng.chance(0.3).then(|| Duration::from_millis(120)),

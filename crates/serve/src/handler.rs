@@ -13,11 +13,27 @@ use mosaic_runtime::jsonl::{push_json_f64, push_json_string};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Read-timeout granularity: how often an idle connection re-checks
 /// the stopping flag, and how long a watch poll blocks per round.
 const POLL: Duration = Duration::from_millis(200);
+
+/// One `next_line` outcome. The two abuse variants (`TooLong`,
+/// `TimedOut`) each earn the client exactly one protocol-error line
+/// before the connection closes and its permit frees.
+enum ReadLine {
+    /// A complete request line (newline stripped).
+    Line(String),
+    /// Clean EOF, abrupt reset, or server shutdown — close silently.
+    Closed,
+    /// The line outgrew the configured bound before its newline.
+    TooLong,
+    /// A partial line sat incomplete past the read deadline
+    /// (slow-loris); idle connections with an empty buffer never
+    /// trip this.
+    TimedOut,
+}
 
 /// Incremental line splitter over a read-timeout socket. A timeout is
 /// not an error here — it is the poll point where the caller's stop
@@ -26,18 +42,27 @@ const POLL: Duration = Duration::from_millis(200);
 struct LineReader {
     stream: TcpStream,
     buf: Vec<u8>,
+    /// Line-length bound; exceeding it without a newline is fatal.
+    max_line_bytes: usize,
+    /// Partial-line deadline; `partial_since` tracks when the current
+    /// incomplete line started accumulating.
+    deadline: Duration,
+    partial_since: Option<Instant>,
 }
 
 impl LineReader {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, max_line_bytes: usize, deadline: Duration) -> Self {
         LineReader {
             stream,
             buf: Vec::new(),
+            max_line_bytes: max_line_bytes.max(1024),
+            deadline,
+            partial_since: None,
         }
     }
 
-    /// Next full line (without the newline), or `None` on EOF / stop.
-    fn next_line(&mut self, stop: &dyn Fn() -> bool) -> Option<String> {
+    /// Next full line (without the newline), or the close reason.
+    fn next_line(&mut self, stop: &dyn Fn() -> bool) -> ReadLine {
         loop {
             if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
                 let rest = self.buf.split_off(pos + 1);
@@ -46,19 +71,36 @@ impl LineReader {
                 if line.last() == Some(&b'\r') {
                     line.pop();
                 }
-                return Some(String::from_utf8_lossy(&line).into_owned());
+                // Pipelined bytes already buffered count as a new
+                // partial line starting now; an empty buffer clears
+                // the deadline (the connection is idle, not slow).
+                self.partial_since = (!self.buf.is_empty()).then(Instant::now);
+                return ReadLine::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > self.max_line_bytes {
+                return ReadLine::TooLong;
+            }
+            if let Some(since) = self.partial_since {
+                if since.elapsed() >= self.deadline {
+                    return ReadLine::TimedOut;
+                }
             }
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
-                Ok(0) => return None,
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(0) => return ReadLine::Closed,
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    if self.partial_since.is_none() {
+                        self.partial_since = Some(Instant::now());
+                    }
+                }
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                     if stop() {
-                        return None;
+                        return ReadLine::Closed;
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return None,
+                Err(_) => return ReadLine::Closed,
             }
         }
     }
@@ -69,14 +111,41 @@ fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
     stream.write_all(b"\n")
 }
 
-/// Serves one client until it disconnects or the server stops.
+/// Serves one client until it disconnects, abuses the protocol
+/// (oversize or stalled request line — one error line, then close, so
+/// the connection permit frees), or the server stops.
 pub(crate) fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
     let _ = stream.set_read_timeout(Some(POLL));
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
-    let mut reader = LineReader::new(stream);
-    while let Some(line) = reader.next_line(&|| shared.stopping()) {
+    let mut reader = LineReader::new(
+        stream,
+        shared.config.max_line_bytes,
+        shared.config.read_deadline,
+    );
+    loop {
+        let line = match reader.next_line(&|| shared.stopping()) {
+            ReadLine::Line(line) => line,
+            ReadLine::Closed => return,
+            ReadLine::TooLong => {
+                let _ = write_line(
+                    &mut writer,
+                    &error_line(&format!(
+                        "request line exceeds {} bytes; closing connection",
+                        reader.max_line_bytes
+                    )),
+                );
+                return;
+            }
+            ReadLine::TimedOut => {
+                let _ = write_line(
+                    &mut writer,
+                    &error_line("request line incomplete past read deadline; closing connection"),
+                );
+                return;
+            }
+        };
         let line = line.trim();
         if line.is_empty() {
             continue;

@@ -83,6 +83,17 @@ pub struct ServeConfig {
     pub lease_ttl: Duration,
     /// Ledger owner id; `None` derives `serve-<pid>`.
     pub ledger_owner: Option<String>,
+    /// Maximum request-line length in bytes (clamped to ≥ 1024). A
+    /// client that exceeds it gets one protocol-error line and is
+    /// disconnected — an unbounded line would otherwise grow the
+    /// handler's buffer without limit.
+    pub max_line_bytes: usize,
+    /// How long a *partial* request line may sit incomplete before the
+    /// connection is shed (one protocol-error line, then close). This
+    /// is the slow-loris defence: a client trickling bytes can hold a
+    /// connection permit for at most this long, while idle clients
+    /// between complete requests are unaffected.
+    pub read_deadline: Duration,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +112,8 @@ impl Default for ServeConfig {
             ledger_dir: None,
             lease_ttl: Duration::from_secs(5),
             ledger_owner: None,
+            max_line_bytes: 64 * 1024,
+            read_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -545,6 +558,7 @@ impl ServerShared {
             max_attempts,
             lease: leased.map(|(_, lease)| &**lease),
             threads: 1,
+            vfs: &mosaic_runtime::vfs::RealVfs,
         };
         let mut attempts = 0u32;
         loop {
@@ -680,6 +694,7 @@ impl ServerShared {
         let downshifts = self.supervisor.downshifts(&record.spec.id);
         let salvaged = self.config.checkpoint_dir.as_deref().and_then(|dir| {
             salvage::from_checkpoint(
+                &mosaic_runtime::vfs::RealVfs,
                 dir,
                 &record.spec,
                 Some(&self.config.ladder),

@@ -379,3 +379,129 @@ fn shutdown_now_cancels_running_jobs_via_their_tokens() {
         );
     }
 }
+
+/// A server with hardened read limits: tiny line bound (the 1 KiB
+/// clamp floor) and a short partial-line deadline so abuse tests run
+/// in milliseconds.
+fn hardened_server(max_conns: usize, deadline: Duration) -> ServerHandle {
+    ServerHandle::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        max_conns,
+        max_line_bytes: 1024,
+        read_deadline: deadline,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral loopback port")
+}
+
+/// Slow-loris: a client trickles a request line and never finishes it.
+/// With one connection permit, it would pin the whole server forever —
+/// the read deadline must shed it (one error line, then close) so the
+/// next client gets served.
+#[test]
+fn slow_loris_client_is_shed_and_its_permit_frees() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = hardened_server(1, Duration::from_millis(300));
+    let addr = server.addr();
+
+    let mut loris = std::net::TcpStream::connect(addr).expect("loris connects");
+    loris.write_all(b"pi").expect("partial request accepted");
+    // Never sends the rest. The honest client queues on the gate and
+    // must still be answered once the loris is shed.
+    let honest = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect after shed");
+        c.request("ping").expect("served once the loris is shed")
+    });
+
+    // The loris gets exactly one protocol-error line, then EOF.
+    let mut reply = String::new();
+    let mut reader = BufReader::new(loris.try_clone().expect("clone"));
+    reader.read_line(&mut reply).expect("error line arrives");
+    assert!(
+        reply.contains("\"ok\":false") && reply.contains("read deadline"),
+        "loris reply: {reply}"
+    );
+    let mut rest = String::new();
+    reader.read_line(&mut rest).expect("socket closed");
+    assert!(rest.is_empty(), "connection closed after the error: {rest}");
+
+    let pong = honest.join().expect("honest client thread");
+    assert!(pong.contains("pong"), "honest client reply: {pong}");
+    server.stop(true);
+}
+
+/// An unbounded request line cannot grow the handler buffer without
+/// limit: past `max_line_bytes` the client gets one error line and the
+/// connection closes.
+#[test]
+fn oversize_request_line_is_rejected_and_closed() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = hardened_server(4, Duration::from_secs(5));
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    // 8 KiB with no newline, far past the 1 KiB floor.
+    stream
+        .write_all(&vec![b'x'; 8 * 1024])
+        .expect("bytes accepted");
+
+    let mut reply = String::new();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    reader.read_line(&mut reply).expect("error line arrives");
+    assert!(
+        reply.contains("\"ok\":false") && reply.contains("exceeds"),
+        "oversize reply: {reply}"
+    );
+    // Closing with unread client bytes in the receive buffer may
+    // surface as RST rather than a clean FIN — either way, no second
+    // response line ever arrives.
+    let mut rest = String::new();
+    match reader.read_line(&mut rest) {
+        Ok(_) => assert!(rest.is_empty(), "closed after the error: {rest}"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset),
+    }
+    server.stop(true);
+}
+
+/// Fragmented writes are legitimate TCP behaviour, not abuse: a
+/// request trickled byte-by-byte (inside the deadline) still parses
+/// and is answered normally.
+#[test]
+fn byte_at_a_time_request_still_parses() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = hardened_server(4, Duration::from_secs(10));
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    for byte in b"ping\n" {
+        stream.write_all(&[*byte]).expect("byte accepted");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .expect("reply arrives");
+    assert!(reply.contains("pong"), "fragmented ping reply: {reply}");
+    server.stop(true);
+}
+
+/// An abrupt mid-line disconnect (reset, not a clean shutdown) must
+/// free the connection permit immediately — the next client on a
+/// one-permit server is served without waiting out any deadline.
+#[test]
+fn abrupt_reset_mid_line_frees_the_permit() {
+    use std::io::Write;
+
+    let server = hardened_server(1, Duration::from_secs(30));
+    let addr = server.addr();
+    {
+        let mut doomed = std::net::TcpStream::connect(addr).expect("connect");
+        doomed.write_all(b"fetch job=").expect("partial request");
+        // Dropped here: the OS sends FIN/RST with half a line buffered.
+    }
+    let mut c = Client::connect(addr).expect("connect after reset");
+    let pong = c.request("ping").expect("served after reset");
+    assert!(pong.contains("pong"), "reply: {pong}");
+    server.stop(true);
+}

@@ -20,6 +20,13 @@
 # two-process fleet sharing one job ledger (DESIGN.md §13): both
 # processes claim from results/ledger/, and the summary shows which
 # shard ran what. SHARDS overrides the fleet size.
+#
+# `./run_experiments.sh crashmat` runs the exhaustive crash-point
+# matrix (DESIGN.md §15): a sharded checkpointing batch is killed at
+# every filesystem operation in turn via the seeded fault VFS, then
+# recovered on the real filesystem — no job lost, none
+# double-completed, no torn state accepted, recovered quality
+# bit-identical. Tier 1 runs the sampled slice of the same matrix.
 set -e
 cd "$(dirname "$0")"
 
@@ -66,6 +73,12 @@ tier1() {
   # double-completed. Also covered by the workspace test run above;
   # repeated so a gate failure names it.
   cargo test -q -p mosaic-runtime --test shard
+  echo "=== tier1: crash matrix (sampled slice)"
+  # Durable-storage fault layer (DESIGN.md §15): crash-at-op-k sampled
+  # across the whole op range of a sharded checkpointing batch, plus
+  # the dead-report-stream degradation test. Also covered by the
+  # workspace test run above; repeated so a gate failure names it.
+  cargo test -q -p mosaic-runtime --test crashmat
   echo "=== tier1: rustdoc (warnings denied)"
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
   echo "=== tier1: single-pipeline API gate"
@@ -120,11 +133,20 @@ shard() {
   return $rc
 }
 
+crashmat() {
+  # The full matrix: every crash position k in 1..=N for a two-job
+  # sharded batch (the regular suite runs the sampled slice).
+  cargo test -q -p mosaic-runtime --test crashmat
+  cargo test -q -p mosaic-runtime --test crashmat -- --ignored
+  echo "crashmat OK (full matrix)"
+}
+
 case "${1:-}" in
   tier1) tier1; exit 0 ;;
   batch) batch; exit 0 ;;
   soak) soak; exit 0 ;;
   shard) shard; exit 0 ;;
+  crashmat) crashmat; exit 0 ;;
 esac
 
 mkdir -p results

@@ -11,7 +11,7 @@
 //!              [--report report.jsonl] [--resume ckpt/] [--deadline-s 600]
 //!              [--job-timeout-ms 30000] [--stall-grace-ms 5000]
 //!              [--adaptive-budget] [--shard 0/2 --ledger ledger/]
-//!              [--lease-ttl-ms 5000] [--watch]
+//!              [--lease-ttl-ms 5000] [--fault-fs 42] [--watch]
 //! mosaic serve [--addr 127.0.0.1:7171] [--jobs 4] [--max-conns 64]
 //!              [--result-cache 256] [--retries 1] [--report report.jsonl]
 //!              [--resume ckpt/] [--checkpoint-every 1]
@@ -101,7 +101,7 @@ const USAGE: &str = "usage:
                [--retry-backoff-ms <ms>] [--deadline-s <s>]
                [--job-timeout-ms <ms>] [--stall-grace-ms <ms>]
                [--adaptive-budget] [--shard <id>/<n> --ledger <dir>]
-               [--lease-ttl-ms <ms>] [--watch]
+               [--lease-ttl-ms <ms>] [--fault-fs <seed>] [--watch]
   mosaic serve [--addr <host:port>] [--jobs <n>] [--max-conns <n>]
                [--result-cache <n>] [--retries <n>] [--report <report.jsonl>]
                [--resume <ckpt-dir>] [--checkpoint-every <n>]
@@ -146,6 +146,7 @@ const BATCH_FLAGS: &[&str] = &[
     "shard",
     "ledger",
     "lease-ttl-ms",
+    "fault-fs",
 ];
 const SERVE_FLAGS: &[&str] = &[
     "addr",
@@ -562,6 +563,20 @@ fn cmd_batch(
         ..SupervisorConfig::default()
     };
     let shard = shard_from(flags)?;
+    // `--fault-fs <seed>` runs the batch through a seeded fault
+    // filesystem that injects intermittent I/O errors on roughly one
+    // in thirteen durable operations — a chaos mode for exercising the
+    // retry / salvage / ledger-handoff machinery from the CLI.
+    let vfs: Option<std::sync::Arc<dyn mosaic_runtime::Vfs>> = match flags.get("fault-fs") {
+        Some(_) => {
+            let seed = numeric_flag(flags, "fault-fs", 0u64)?;
+            eprintln!("batch: fault-fs chaos enabled (seed {seed}, ~1/13 ops fail)");
+            Some(std::sync::Arc::new(
+                mosaic_runtime::FaultVfs::new(seed).eio_every(13),
+            ))
+        }
+        None => None,
+    };
     let batch_config = BatchConfig {
         workers: jobs,
         threads,
@@ -573,6 +588,7 @@ fn cmd_batch(
         deadline,
         supervise,
         shard,
+        vfs,
         // The same live JSONL tee a serve watch connection gets, on
         // stdout (the summary table prints after the batch finishes).
         observer: watch_feed.then(|| EventObserver::new(|line| println!("{line}"))),
@@ -652,6 +668,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         ledger_dir: flags.get("ledger").map(PathBuf::from),
         lease_ttl: lease_ttl_from(flags)?,
         ledger_owner: flags.get("ledger-owner").cloned(),
+        ..ServeConfig::default()
     };
     let max_conns = config.max_conns;
     if let Some(dir) = &config.ledger_dir {
