@@ -3,8 +3,27 @@
 //! Std-only harness (`cargo bench --bench fft`): each case is warmed up
 //! once and then timed over a fixed iteration count with
 //! `std::time::Instant` — no external benchmarking dependency.
+//!
+//! Rows come in explicit families so a cold number is never mistaken
+//! for a hot-loop number:
+//!
+//! * `fft_2d_cold/*` — clone + transform per iteration: measures the
+//!   transform *plus* a full-grid allocation and copy. Kept as the
+//!   worst-case row; never representative of the optimizer loop.
+//! * `fft_2d_warm/*` — in-place forward+inverse pair drawing scratch
+//!   from a warm [`Workspace`] pool: the interleaved (AoS) hot-loop
+//!   number.
+//! * `fft_2d_split_warm/*` — the same pooled pair on split re/im
+//!   planes ([`SplitSpectrum`], DESIGN.md §16): the layout the core
+//!   objective actually runs.
+//! * `fft_2d_real_fwd/*` / `fft_2d_real_fwd_split/*` — the Hermitian
+//!   real-input half-spectrum forward, interleaved vs split.
+//! * `fft_2d_concurrent/*` / `fft_2d_split_concurrent/*` — the banded
+//!   team transforms, bit-identical to their serial twins.
 
-use mosaic_numerics::{Complex, Fft, Fft2d, FftDirection, Grid, SpectralTeam, Workspace};
+use mosaic_numerics::{
+    Complex, Fft, Fft2d, FftDirection, Grid, SpectralTeam, SplitSpectrum, Workspace,
+};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -41,32 +60,41 @@ fn main() {
         buf
     });
 
+    // Cold rows: clone-per-iteration, so each number includes a
+    // full-grid allocation and copy on top of the transform.
     for n in [128usize, 256, 512] {
         let plan = Fft2d::new(n, n);
         let grid = Grid::from_fn(n, n, |x, y| {
             Complex::new((x as f64 * 0.1).sin(), (y as f64 * 0.1).cos())
         });
-        report(&format!("fft_2d/{n}"), 20, || {
+        report(&format!("fft_2d_cold/{n}"), 20, || {
             let mut g = grid.clone();
             plan.process(&mut g, FftDirection::Forward);
             g
         });
     }
 
-    // The hot-loop variants (DESIGN.md §9): in-place transform drawing
-    // scratch from a warm workspace (no clone, no allocation), and the
-    // Hermitian real-input half-spectrum forward.
+    // Warm rows (DESIGN.md §9): in-place transform drawing scratch from
+    // a warm workspace (no clone, no allocation), the Hermitian
+    // real-input half-spectrum forward, and their split-plane twins.
     for n in [128usize, 256, 512] {
         let plan = Fft2d::new(n, n);
         let mut g = Grid::from_fn(n, n, |x, y| {
             Complex::new((x as f64 * 0.1).sin(), (y as f64 * 0.1).cos())
         });
         let mut ws = Workspace::new();
-        report(&format!("fft_2d_with/{n}"), 40, || {
+        report(&format!("fft_2d_warm/{n}"), 40, || {
             // Forward+inverse pair, so the buffer magnitudes stay put.
             plan.process_with(&mut g, FftDirection::Forward, &mut ws);
             plan.process_with(&mut g, FftDirection::Inverse, &mut ws);
             g[(0, 0)]
+        });
+
+        let mut spec = SplitSpectrum::from_grid(&g);
+        report(&format!("fft_2d_split_warm/{n}"), 40, || {
+            plan.process_split(&mut spec, FftDirection::Forward, &mut ws);
+            plan.process_split(&mut spec, FftDirection::Inverse, &mut ws);
+            spec.at(0)
         });
 
         let real = Grid::from_fn(n, n, |x, y| ((x * 3 + y) % 7) as f64 * 0.1);
@@ -75,14 +103,21 @@ fn main() {
             plan.forward_real_into(&real, &mut half, &mut ws);
             half[(0, 0)]
         });
+
+        let mut half_split = SplitSpectrum::zeros(plan.half_width(), n);
+        report(&format!("fft_2d_real_fwd_split/{n}"), 40, || {
+            plan.forward_real_split_into(&real, &mut half_split, &mut ws);
+            half_split.at(0)
+        });
     }
 
-    // The banded concurrent transform (DESIGN.md §14): the calling
+    // The banded concurrent transforms (DESIGN.md §14): the calling
     // thread takes one band, `workers` pooled threads take the rest,
-    // bit-identical to `fft_2d_with` at any team size. On a single-CPU
-    // host expect parity or a small loss (the bands serialize on one
-    // core plus pay the wave handshake); the rows exist to track the
-    // handshake overhead and to show the scaling on multi-core hosts.
+    // bit-identical to the warm serial rows at any team size. On a
+    // single-CPU host expect parity or a small loss (the bands
+    // serialize on one core plus pay the wave handshake); the rows
+    // exist to track the handshake overhead and to show the scaling on
+    // multi-core hosts.
     for workers in [1usize, 3] {
         let mut team = SpectralTeam::new(workers);
         for n in [128usize, 256, 512] {
@@ -98,6 +133,17 @@ fn main() {
                     plan.process_par(&mut g, FftDirection::Forward, &mut ws, &mut team);
                     plan.process_par(&mut g, FftDirection::Inverse, &mut ws, &mut team);
                     g[(0, 0)]
+                },
+            );
+
+            let mut spec = SplitSpectrum::from_grid(&g);
+            report(
+                &format!("fft_2d_split_concurrent/{n}/threads_{}", workers + 1),
+                40,
+                || {
+                    plan.process_split_par(&mut spec, FftDirection::Forward, &mut ws, &mut team);
+                    plan.process_split_par(&mut spec, FftDirection::Inverse, &mut ws, &mut team);
+                    spec.at(0)
                 },
             );
         }

@@ -39,7 +39,7 @@ use crate::parallel::{CornerTask, ParallelExec};
 use crate::problem::OpcProblem;
 use mosaic_geometry::Orientation;
 use mosaic_numerics::{
-    Complex, Convolver, FftDirection, Grid, KernelSpectrum, SpectralTeam, Workspace,
+    Convolver, FftDirection, Grid, KernelSpectrum, SpectralTeam, SplitSpectrum, Workspace,
 };
 use mosaic_optics::KernelSet;
 use std::sync::Arc;
@@ -248,7 +248,7 @@ impl<'a> Objective<'a> {
                 beta: self.config.beta,
                 pixel_area,
                 dose: sim.bank(c).condition().dose,
-                mask_spectrum: Grid::zeros(gw, gh),
+                mask_spectrum: SplitSpectrum::zeros(gw, gh),
                 r_plane: Grid::zeros(gw, gh),
                 pvb_value: 0.0,
             })
@@ -315,10 +315,13 @@ impl<'a> Objective<'a> {
         assert_eq!(mask.dims(), self.problem.grid_dims(), "mask shape mismatch");
         assert_eq!(dmask_dp.dims(), mask.dims(), "derivative shape mismatch");
         let (gw, gh) = self.problem.grid_dims();
-        let mut mask_spectrum = ws.take_complex_grid(gw, gh);
+        // The spectral pipeline runs in split-plane (SoA) layout from the
+        // mask spectrum onward (DESIGN.md §16); bits match the former
+        // interleaved path exactly.
+        let mut mask_spectrum = ws.take_split(gw, gh);
         match par.as_deref_mut().and_then(ParallelExec::team_mut) {
-            Some(team) => sim.mask_spectrum_par(mask, &mut mask_spectrum, ws, team),
-            None => sim.mask_spectrum_into(mask, &mut mask_spectrum, ws),
+            Some(team) => sim.mask_spectrum_split_par(mask, &mut mask_spectrum, ws, team),
+            None => sim.mask_spectrum_split(mask, &mut mask_spectrum, ws),
         }
         let corner_mode = par.as_deref().is_some_and(ParallelExec::corner_mode);
         if let Some(p) = par.as_deref_mut() {
@@ -331,9 +334,10 @@ impl<'a> Objective<'a> {
         let mut z = ws.take_real_grid(gw, gh);
         let mut dz = ws.take_real_grid(gw, gh);
         let mut g = ws.take_real_grid(gw, gh);
-        // Per-kernel field handles (PerKernel mode only); the grids come
-        // from the workspace and are returned after the condition loop.
-        let mut fields: Vec<Grid<Complex>> = Vec::new();
+        // Per-kernel field handles (PerKernel mode only); the plane
+        // buffers come from the workspace and are returned after the
+        // condition loop.
+        let mut fields: Vec<SplitSpectrum> = Vec::new();
         let mut report = ObjectiveReport::default();
 
         // In corner mode the workers own conditions 1.., so this thread
@@ -356,7 +360,7 @@ impl<'a> Objective<'a> {
             let bank = sim.bank(c);
             let per_kernel = cfg.gradient_mode == GradientMode::PerKernel;
             if per_kernel {
-                bank.aerial_image_with_fields_into(
+                bank.aerial_image_with_fields_split(
                     conv,
                     &mask_spectrum,
                     &mut intensity,
@@ -365,7 +369,7 @@ impl<'a> Objective<'a> {
                 );
             } else {
                 match par.as_deref_mut().and_then(ParallelExec::team_mut) {
-                    Some(team) => bank.aerial_image_accumulate_par(
+                    Some(team) => bank.aerial_image_accumulate_split_par(
                         conv,
                         &mask_spectrum,
                         &mut intensity,
@@ -373,15 +377,13 @@ impl<'a> Objective<'a> {
                         team,
                     ),
                     None => {
-                        bank.aerial_image_accumulate_into(conv, &mask_spectrum, &mut intensity, ws)
+                        bank.aerial_image_accumulate_split(conv, &mask_spectrum, &mut intensity, ws)
                     }
                 }
             }
-            sim.resist().develop_into(&intensity, &mut z);
-            // dZ/dI at every pixel.
-            for (d, &i) in dz.iter_mut().zip(intensity.iter()) {
-                *d = sim.resist().sigmoid_derivative(i);
-            }
+            // Z and dZ/dI in one fused pass (one exponential per pixel).
+            sim.resist()
+                .develop_with_derivative_into(&intensity, &mut z, &mut dz);
 
             // Accumulate ∂F/∂I for every term active at this condition.
             g.fill(0.0);
@@ -469,14 +471,14 @@ impl<'a> Objective<'a> {
         eval.report = report;
 
         for f in fields.drain(..) {
-            ws.give_complex_grid(f);
+            ws.give_split(f);
         }
         ws.give_real_grid(g);
         ws.give_real_grid(dz);
         ws.give_real_grid(z);
         ws.give_real_grid(intensity);
         ws.give_real_grid(grad_mask);
-        ws.give_complex_grid(mask_spectrum);
+        ws.give_split(mask_spectrum);
     }
 
     /// `F_id = Σ |Z − Z_t|^γ · px²`; accumulates `α·∂F_id/∂Z·dZ/dI` into
@@ -570,7 +572,7 @@ impl<'a> Objective<'a> {
     fn backpropagate_combined(
         &self,
         conv: &Convolver,
-        mask_spectrum: &Grid<Complex>,
+        mask_spectrum: &SplitSpectrum,
         combined: &KernelSpectrum,
         g: &Grid<f64>,
         scale: f64,
@@ -579,30 +581,26 @@ impl<'a> Objective<'a> {
         team: Option<&mut SpectralTeam>,
     ) {
         let (gw, gh) = grad_mask.dims();
-        let mut field = ws.take_complex_grid(gw, gh);
+        let mut field = ws.take_split(gw, gh);
         match team {
             Some(team) => {
-                conv.convolve_spectrum_par(mask_spectrum, combined, &mut field, ws, team);
-                for (e, &gv) in field.iter_mut().zip(g.iter()) {
-                    *e = e.scale(gv);
-                }
+                conv.convolve_spectrum_split_par(mask_spectrum, combined, &mut field, ws, team);
+                scale_split_by_real(&mut field, g);
                 conv.plan()
-                    .process_par(&mut field, FftDirection::Forward, ws, team);
-                conv.correlate_spectrum_re_accumulate_par(
+                    .process_split_par(&mut field, FftDirection::Forward, ws, team);
+                conv.correlate_spectrum_re_accumulate_split_par(
                     &field, combined, scale, grad_mask, ws, team,
                 );
             }
             None => {
-                conv.convolve_spectrum_into(mask_spectrum, combined, &mut field, ws);
-                for (e, &gv) in field.iter_mut().zip(g.iter()) {
-                    *e = e.scale(gv);
-                }
+                conv.convolve_spectrum_split_into(mask_spectrum, combined, &mut field, ws);
+                scale_split_by_real(&mut field, g);
                 conv.plan()
-                    .process_with(&mut field, FftDirection::Forward, ws);
-                conv.correlate_spectrum_re_accumulate(&field, combined, scale, grad_mask, ws);
+                    .process_split(&mut field, FftDirection::Forward, ws);
+                conv.correlate_spectrum_re_accumulate_split(&field, combined, scale, grad_mask, ws);
             }
         }
-        ws.give_complex_grid(field);
+        ws.give_split(field);
     }
 
     /// `∂F/∂M += scale · Σ_k w_k Re[(G ⊙ E_k) ★ h_k]` with the exact
@@ -612,21 +610,26 @@ impl<'a> Objective<'a> {
         &self,
         conv: &Convolver,
         bank: &KernelSet,
-        fields: &[Grid<Complex>],
+        fields: &[SplitSpectrum],
         g: &Grid<f64>,
         scale: f64,
         grad_mask: &mut Grid<f64>,
         ws: &mut Workspace,
     ) {
         let (gw, gh) = grad_mask.dims();
-        let mut weighted = ws.take_complex_grid(gw, gh);
+        let mut weighted = ws.take_split(gw, gh);
         for (kernel, field) in bank.kernels().iter().zip(fields) {
-            for ((wv, &e), &gv) in weighted.iter_mut().zip(field.iter()).zip(g.iter()) {
-                *wv = e.scale(gv);
+            let (wr, wi) = weighted.planes_mut();
+            let (er, ei) = field.planes();
+            for ((o, &e), &gv) in wr.iter_mut().zip(er.iter()).zip(g.iter()) {
+                *o = e * gv;
+            }
+            for ((o, &e), &gv) in wi.iter_mut().zip(ei.iter()).zip(g.iter()) {
+                *o = e * gv;
             }
             conv.plan()
-                .process_with(&mut weighted, FftDirection::Forward, ws);
-            conv.correlate_spectrum_re_accumulate(
+                .process_split(&mut weighted, FftDirection::Forward, ws);
+            conv.correlate_spectrum_re_accumulate_split(
                 &weighted,
                 &kernel.spectrum,
                 scale * kernel.weight,
@@ -634,7 +637,18 @@ impl<'a> Objective<'a> {
                 ws,
             );
         }
-        ws.give_complex_grid(weighted);
+        ws.give_split(weighted);
+    }
+}
+
+/// Scales both planes of `field` pixel-wise by the real grid `g` —
+/// the split-plane twin of `e.scale(gv)` on an interleaved field
+/// (bit-identical: each component multiplies by the same scalar).
+fn scale_split_by_real(field: &mut SplitSpectrum, g: &Grid<f64>) {
+    let (fr, fi) = field.planes_mut();
+    for ((r, i), &gv) in fr.iter_mut().zip(fi.iter_mut()).zip(g.iter()) {
+        *r *= gv;
+        *i *= gv;
     }
 }
 

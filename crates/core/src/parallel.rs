@@ -25,8 +25,8 @@
 //! each wave.
 
 use mosaic_numerics::{
-    Complex, Convolver, FftDirection, Grid, KernelSpectrum, PoolTask, SpectralTeam, WorkerPool,
-    Workspace,
+    Convolver, FftDirection, Grid, KernelSpectrum, PoolTask, SpectralTeam, SplitSpectrum,
+    WorkerPool, Workspace,
 };
 use mosaic_optics::{KernelSet, ResistModel};
 use std::sync::Arc;
@@ -48,8 +48,9 @@ pub(crate) struct CornerTask {
     /// The corner's dose; the caller scales the raw gradient plane by
     /// `2·dose` during the serial merge, matching the serial path.
     pub(crate) dose: f64,
-    /// Caller-refreshed copy of the iteration's mask spectrum.
-    pub(crate) mask_spectrum: Grid<Complex>,
+    /// Caller-refreshed copy of the iteration's mask spectrum, in
+    /// split-plane layout (DESIGN.md §16).
+    pub(crate) mask_spectrum: SplitSpectrum,
     /// Output: the raw `Re[(G ⊙ (M ⊗ H)) ★ H]` plane, **unscaled**.
     pub(crate) r_plane: Grid<f64>,
     /// Output: the corner's unweighted `Σ (Z_c − Z_t)²`.
@@ -67,12 +68,14 @@ impl PoolTask for CornerTask {
         let mut z = ws.take_real_grid(gw, gh);
         let mut dz = ws.take_real_grid(gw, gh);
         let mut g = ws.take_real_grid(gw, gh);
-        self.bank
-            .aerial_image_accumulate_into(&self.conv, &self.mask_spectrum, &mut intensity, ws);
-        self.resist.develop_into(&intensity, &mut z);
-        for (d, &i) in dz.iter_mut().zip(intensity.iter()) {
-            *d = self.resist.sigmoid_derivative(i);
-        }
+        self.bank.aerial_image_accumulate_split(
+            &self.conv,
+            &self.mask_spectrum,
+            &mut intensity,
+            ws,
+        );
+        self.resist
+            .develop_with_derivative_into(&intensity, &mut z, &mut dz);
         g.fill(0.0);
         let mut value = 0.0;
         for ((gv, (zv, tv)), dv) in g
@@ -85,18 +88,22 @@ impl PoolTask for CornerTask {
             *gv += self.beta * self.pixel_area * 2.0 * diff * dv;
         }
         self.pvb_value = value;
-        let mut field = ws.take_complex_grid(gw, gh);
+        let mut field = ws.take_split(gw, gh);
         self.conv
-            .convolve_spectrum_into(&self.mask_spectrum, &self.combined, &mut field, ws);
-        for (e, &gv) in field.iter_mut().zip(g.iter()) {
-            *e = e.scale(gv);
+            .convolve_spectrum_split_into(&self.mask_spectrum, &self.combined, &mut field, ws);
+        {
+            let (fr, fi) = field.planes_mut();
+            for ((r, i), &gv) in fr.iter_mut().zip(fi.iter_mut()).zip(g.iter()) {
+                *r *= gv;
+                *i *= gv;
+            }
         }
         self.conv
             .plan()
-            .process_with(&mut field, FftDirection::Forward, ws);
+            .process_split(&mut field, FftDirection::Forward, ws);
         self.conv
-            .correlate_spectrum_re_into(&field, &self.combined, &mut self.r_plane, ws);
-        ws.give_complex_grid(field);
+            .correlate_spectrum_re_split_into(&field, &self.combined, &mut self.r_plane, ws);
+        ws.give_split(field);
         ws.give_real_grid(g);
         ws.give_real_grid(dz);
         ws.give_real_grid(z);
@@ -193,7 +200,7 @@ impl ParallelExec {
     /// and dispatches the first chunk of worker corners, so they overlap
     /// with the caller's serial nominal-condition work. No-op outside
     /// corner mode.
-    pub(crate) fn corners_start(&mut self, mask_spectrum: &Grid<Complex>) {
+    pub(crate) fn corners_start(&mut self, mask_spectrum: &SplitSpectrum) {
         let ExecMode::Corners { pool, tasks, lanes } = &mut self.mode else {
             return;
         };

@@ -221,7 +221,10 @@ impl<'a> ExecutionSession<'a> {
     /// Draws every per-iteration intermediate from `ws` instead of a
     /// private pool, so a warmed workspace makes the main loop
     /// allocation-free (and worker threads can share one pool across
-    /// jobs).
+    /// jobs). Since the split-plane rethread (DESIGN.md §16) the hot
+    /// loop's spectral intermediates are re/im plane pairs drawn via
+    /// `take_split`; [`Workspace::warm_spectral`] pre-sizes those
+    /// free-lists alongside the interleaved and real pools.
     #[must_use]
     pub fn workspace(mut self, ws: &'a mut Workspace) -> Self {
         self.workspace = Some(ws);

@@ -21,16 +21,19 @@ use crate::complex::Complex;
 use crate::fft::{Fft2d, FftDirection};
 use crate::grid::Grid;
 use crate::pool::SpectralTeam;
+use crate::split::SplitSpectrum;
 use crate::workspace::Workspace;
 
 /// A kernel held in the frequency domain, ready for repeated use.
 ///
-/// Produced by [`Convolver::kernel_spectrum`] or
-/// [`Convolver::kernel_spectrum_centered`]; consumed by the convolution and
-/// correlation calls.
+/// Stored as split re/im planes ([`SplitSpectrum`], DESIGN.md §16) so
+/// the per-iteration Hadamard products and Hermitian folds walk
+/// unit-stride `f64` slices. Produced by [`Convolver::kernel_spectrum`]
+/// or [`Convolver::kernel_spectrum_centered`]; consumed by the
+/// convolution and correlation calls.
 #[derive(Debug, Clone)]
 pub struct KernelSpectrum {
-    spectrum: Grid<Complex>,
+    spectrum: SplitSpectrum,
 }
 
 impl KernelSpectrum {
@@ -42,17 +45,26 @@ impl KernelSpectrum {
     /// lithography models construct their kernel spectra this way without
     /// ever materializing a spatial kernel.
     pub fn from_grid(spectrum: Grid<Complex>) -> Self {
+        KernelSpectrum {
+            spectrum: SplitSpectrum::from_grid(&spectrum),
+        }
+    }
+
+    /// Wraps frequency-domain samples already in split-plane layout.
+    pub fn from_split(spectrum: SplitSpectrum) -> Self {
         KernelSpectrum { spectrum }
     }
 
-    /// The raw frequency-domain samples.
-    pub fn as_grid(&self) -> &Grid<Complex> {
+    /// The frequency-domain samples as split re/im planes — the native
+    /// storage; borrowing it is free.
+    pub fn split(&self) -> &SplitSpectrum {
         &self.spectrum
     }
 
-    /// Consumes the spectrum, returning the frequency-domain samples.
-    pub fn into_grid(self) -> Grid<Complex> {
-        self.spectrum
+    /// The frequency-domain samples re-interleaved into a freshly
+    /// allocated grid (bit-exact copy; cold paths and tests only).
+    pub fn to_grid(&self) -> Grid<Complex> {
+        self.spectrum.to_grid()
     }
 
     /// Spectrum shape `(width, height)`.
@@ -64,23 +76,23 @@ impl KernelSpectrum {
     ///
     /// Linearity of the Fourier transform makes this equivalent to
     /// combining the kernels in the spatial domain — this is exactly the
-    /// pre-combination trick of Eq. (21) (`H = Σ_k w_k h_k`).
+    /// pre-combination trick of Eq. (21) (`H = Σ_k w_k h_k`). The
+    /// plane-wise walk performs the same per-component arithmetic as the
+    /// interleaved `*a += b.scale(weight)`, so results are bit-identical
+    /// to the former layout.
     ///
     /// # Panics
     ///
     /// Panics if the shapes differ.
     pub fn accumulate(&mut self, other: &KernelSpectrum, weight: f64) {
-        assert_eq!(self.dims(), other.dims(), "kernel spectrum shape mismatch");
-        for (a, b) in self.spectrum.iter_mut().zip(other.spectrum.iter()) {
-            *a += b.scale(weight);
-        }
+        self.spectrum.accumulate(&other.spectrum, weight);
     }
 
     /// An all-zero spectrum of the given shape, for use as an
     /// [`accumulate`](KernelSpectrum::accumulate) seed.
     pub fn zeros(width: usize, height: usize) -> Self {
         KernelSpectrum {
-            spectrum: Grid::zeros(width, height),
+            spectrum: SplitSpectrum::zeros(width, height),
         }
     }
 }
@@ -139,7 +151,7 @@ impl Convolver {
     pub fn kernel_spectrum(&self, kernel: &Grid<Complex>) -> KernelSpectrum {
         let mut g = kernel.clone();
         self.plan.process(&mut g, FftDirection::Forward);
-        KernelSpectrum { spectrum: g }
+        KernelSpectrum::from_grid(g)
     }
 
     /// Transforms a kernel whose origin sits at the grid center
@@ -178,7 +190,16 @@ impl Convolver {
         field_spectrum: &Grid<Complex>,
         kernel: &KernelSpectrum,
     ) -> Grid<Complex> {
-        let mut prod = field_spectrum.hadamard(&kernel.spectrum);
+        assert_eq!(
+            field_spectrum.dims(),
+            kernel.dims(),
+            "field/kernel spectrum shape mismatch"
+        );
+        let (kr, ki) = kernel.spectrum.planes();
+        let mut prod = field_spectrum.clone();
+        for ((o, &br), &bi) in prod.iter_mut().zip(kr.iter()).zip(ki.iter()) {
+            *o *= Complex::new(br, bi);
+        }
         self.plan.process(&mut prod, FftDirection::Inverse);
         prod
     }
@@ -193,7 +214,16 @@ impl Convolver {
         field_spectrum: &Grid<Complex>,
         kernel: &KernelSpectrum,
     ) -> Grid<Complex> {
-        let mut prod = field_spectrum.zip_map(&kernel.spectrum, |&a, &b| a * b.conj());
+        assert_eq!(
+            field_spectrum.dims(),
+            kernel.dims(),
+            "field/kernel spectrum shape mismatch"
+        );
+        let (kr, ki) = kernel.spectrum.planes();
+        let mut prod = field_spectrum.clone();
+        for ((o, &br), &bi) in prod.iter_mut().zip(kr.iter()).zip(ki.iter()) {
+            *o *= Complex::new(br, bi).conj();
+        }
         self.plan.process(&mut prod, FftDirection::Inverse);
         prod
     }
@@ -256,12 +286,14 @@ impl Convolver {
             "field/kernel spectrum shape mismatch"
         );
         assert_eq!(field_spectrum.dims(), out.dims(), "output shape mismatch");
-        for ((o, &a), &b) in out
+        let (kr, ki) = kernel.spectrum.planes();
+        for (((o, &a), &br), &bi) in out
             .iter_mut()
             .zip(field_spectrum.iter())
-            .zip(kernel.spectrum.iter())
+            .zip(kr.iter())
+            .zip(ki.iter())
         {
-            *o = a * b;
+            *o = a * Complex::new(br, bi);
         }
         self.plan.process_with(out, FftDirection::Inverse, ws);
     }
@@ -329,8 +361,8 @@ impl Convolver {
             let jm = (h - j) % h;
             for i in 0..hw {
                 let im = (w - i) % w;
-                let p = field_spectrum[(i, j)] * kernel.spectrum[(i, j)].conj();
-                let q = field_spectrum[(im, jm)] * kernel.spectrum[(im, jm)].conj();
+                let p = field_spectrum[(i, j)] * kernel.spectrum.at(j * w + i).conj();
+                let q = field_spectrum[(im, jm)] * kernel.spectrum.at(jm * w + im).conj();
                 half[(i, j)] = (p + q.conj()).scale(0.5);
             }
         }
@@ -379,12 +411,14 @@ impl Convolver {
             "field/kernel spectrum shape mismatch"
         );
         assert_eq!(field_spectrum.dims(), out.dims(), "output shape mismatch");
-        for ((o, &a), &b) in out
+        let (kr, ki) = kernel.spectrum.planes();
+        for (((o, &a), &br), &bi) in out
             .iter_mut()
             .zip(field_spectrum.iter())
-            .zip(kernel.spectrum.iter())
+            .zip(kr.iter())
+            .zip(ki.iter())
         {
-            *o = a * b;
+            *o = a * Complex::new(br, bi);
         }
         self.plan.process_par(out, FftDirection::Inverse, ws, team);
     }
@@ -420,8 +454,8 @@ impl Convolver {
             let jm = (h - j) % h;
             for i in 0..hw {
                 let im = (w - i) % w;
-                let p = field_spectrum[(i, j)] * kernel.spectrum[(i, j)].conj();
-                let q = field_spectrum[(im, jm)] * kernel.spectrum[(im, jm)].conj();
+                let p = field_spectrum[(i, j)] * kernel.spectrum.at(j * w + i).conj();
+                let q = field_spectrum[(im, jm)] * kernel.spectrum.at(jm * w + im).conj();
                 half[(i, j)] = (p + q.conj()).scale(0.5);
             }
         }
@@ -432,6 +466,229 @@ impl Convolver {
         }
         ws.give_real_grid(re);
         ws.give_complex_grid(half);
+    }
+
+    /// Split-plane twin of [`Convolver::forward_real_into`]: the mask
+    /// spectrum lands directly in structure-of-arrays layout, ready for
+    /// the per-kernel Hadamard products. Bit-identical to the
+    /// interleaved path (DESIGN.md §16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn forward_real_split_into(
+        &self,
+        field: &Grid<f64>,
+        out: &mut SplitSpectrum,
+        ws: &mut Workspace,
+    ) {
+        let mut half = ws.take_split(self.plan.half_width(), self.height());
+        self.plan.forward_real_split_into(field, &mut half, ws);
+        self.plan.expand_half_split_into(&half, out);
+        ws.give_split(half);
+    }
+
+    /// Concurrent twin of [`Convolver::forward_real_split_into`]: the
+    /// column pass of the real forward transform is banded across
+    /// `team`'s workers. Bit-identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn forward_real_split_par(
+        &self,
+        field: &Grid<f64>,
+        out: &mut SplitSpectrum,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        let mut half = ws.take_split(self.plan.half_width(), self.height());
+        self.plan.forward_real_split_par(field, &mut half, ws, team);
+        self.plan.expand_half_split_into(&half, out);
+        ws.give_split(half);
+    }
+
+    /// Split-plane twin of [`Convolver::convolve_spectrum_into`]: the
+    /// Hadamard product walks four unit-stride `f64` planes and the
+    /// inverse transform runs in split layout. Bit-identical to the
+    /// interleaved path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn convolve_spectrum_split_into(
+        &self,
+        field_spectrum: &SplitSpectrum,
+        kernel: &KernelSpectrum,
+        out: &mut SplitSpectrum,
+        ws: &mut Workspace,
+    ) {
+        self.hadamard_split(field_spectrum, kernel, out);
+        self.plan.process_split(out, FftDirection::Inverse, ws);
+    }
+
+    /// Concurrent twin of [`Convolver::convolve_spectrum_split_into`]:
+    /// the inverse transform runs through [`Fft2d::process_split_par`].
+    /// Bit-identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn convolve_spectrum_split_par(
+        &self,
+        field_spectrum: &SplitSpectrum,
+        kernel: &KernelSpectrum,
+        out: &mut SplitSpectrum,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        self.hadamard_split(field_spectrum, kernel, out);
+        self.plan
+            .process_split_par(out, FftDirection::Inverse, ws, team);
+    }
+
+    /// Split-plane twin of [`Convolver::correlate_spectrum_re_into`].
+    /// The expanded `f·conj(k)` and Hermitian-fold formulas perform the
+    /// same float operations as the interleaved path (negation commutes
+    /// with multiplication bitwise, and `a − (−b) = a + b` bitwise), so
+    /// output bits are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn correlate_spectrum_re_split_into(
+        &self,
+        field_spectrum: &SplitSpectrum,
+        kernel: &KernelSpectrum,
+        re_out: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            field_spectrum.dims(),
+            re_out.dims(),
+            "output shape mismatch"
+        );
+        let (_, h) = field_spectrum.dims();
+        let mut half = ws.take_split(self.plan.half_width(), h);
+        self.fold_hermitian_split(field_spectrum, kernel, &mut half);
+        self.plan.inverse_real_split_into(&mut half, re_out, ws);
+        ws.give_split(half);
+    }
+
+    /// Split-plane twin of
+    /// [`Convolver::correlate_spectrum_re_accumulate`]. Bit-identical
+    /// to it (see [`Convolver::correlate_spectrum_re_split_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn correlate_spectrum_re_accumulate_split(
+        &self,
+        field_spectrum: &SplitSpectrum,
+        kernel: &KernelSpectrum,
+        scale: f64,
+        acc: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) {
+        let (w, h) = field_spectrum.dims();
+        let mut re = ws.take_real_grid(w, h);
+        self.correlate_spectrum_re_split_into(field_spectrum, kernel, &mut re, ws);
+        for (a, &r) in acc.iter_mut().zip(re.iter()) {
+            *a += scale * r;
+        }
+        ws.give_real_grid(re);
+    }
+
+    /// Concurrent twin of
+    /// [`Convolver::correlate_spectrum_re_accumulate_split`]: the fold
+    /// and the accumulate stay serial on the calling thread
+    /// (fixed-order reduction), only the inverse transform's column
+    /// pass is banded. Bit-identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the plan.
+    pub fn correlate_spectrum_re_accumulate_split_par(
+        &self,
+        field_spectrum: &SplitSpectrum,
+        kernel: &KernelSpectrum,
+        scale: f64,
+        acc: &mut Grid<f64>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        assert_eq!(field_spectrum.dims(), acc.dims(), "output shape mismatch");
+        let (w, h) = field_spectrum.dims();
+        let mut half = ws.take_split(self.plan.half_width(), h);
+        self.fold_hermitian_split(field_spectrum, kernel, &mut half);
+        let mut re = ws.take_real_grid(w, h);
+        self.plan
+            .inverse_real_split_par(&mut half, &mut re, ws, team);
+        for (a, &r) in acc.iter_mut().zip(re.iter()) {
+            *a += scale * r;
+        }
+        ws.give_real_grid(re);
+        ws.give_split(half);
+    }
+
+    /// `out = field_spectrum · kernel`, plane-wise. The expanded complex
+    /// product (`re = ar·br − ai·bi`, `im = ar·bi + ai·br`) is exactly
+    /// the interleaved `Complex::mul`, so bits match the AoS Hadamard.
+    fn hadamard_split(
+        &self,
+        field_spectrum: &SplitSpectrum,
+        kernel: &KernelSpectrum,
+        out: &mut SplitSpectrum,
+    ) {
+        assert_eq!(
+            field_spectrum.dims(),
+            kernel.dims(),
+            "field/kernel spectrum shape mismatch"
+        );
+        assert_eq!(field_spectrum.dims(), out.dims(), "output shape mismatch");
+        let (ar, ai) = field_spectrum.planes();
+        let (br, bi) = kernel.spectrum.planes();
+        let (or_, oi) = out.planes_mut();
+        for idx in 0..ar.len() {
+            or_[idx] = ar[idx] * br[idx] - ai[idx] * bi[idx];
+            oi[idx] = ar[idx] * bi[idx] + ai[idx] * br[idx];
+        }
+    }
+
+    /// Writes the Hermitian part of `field_spectrum · conj(kernel)` into
+    /// the `w/2 + 1`-column `half` spectrum — the split-plane fold
+    /// behind both correlation entry points.
+    fn fold_hermitian_split(
+        &self,
+        field_spectrum: &SplitSpectrum,
+        kernel: &KernelSpectrum,
+        half: &mut SplitSpectrum,
+    ) {
+        assert_eq!(
+            field_spectrum.dims(),
+            kernel.dims(),
+            "field/kernel spectrum shape mismatch"
+        );
+        let (w, h) = field_spectrum.dims();
+        let hw = self.plan.half_width();
+        assert_eq!(half.dims(), (hw, h), "half spectrum shape mismatch");
+        let (fr, fi) = field_spectrum.planes();
+        let (kr, ki) = kernel.spectrum.planes();
+        let (hr, hi) = half.planes_mut();
+        for j in 0..h {
+            let jm = (h - j) % h;
+            for i in 0..hw {
+                let im = (w - i) % w;
+                let a = j * w + i;
+                let b = jm * w + im;
+                let p_re = fr[a] * kr[a] + fi[a] * ki[a];
+                let p_im = fi[a] * kr[a] - fr[a] * ki[a];
+                let q_re = fr[b] * kr[b] + fi[b] * ki[b];
+                let q_im = fi[b] * kr[b] - fr[b] * ki[b];
+                hr[j * hw + i] = (p_re + q_re) * 0.5;
+                hi[j * hw + i] = (p_im - q_im) * 0.5;
+            }
+        }
     }
 }
 
@@ -550,7 +807,7 @@ mod tests {
         combined.accumulate(&conv.kernel_spectrum(&h2), 0.3);
         let spatial = h1.zip_map(&h2, |&a, &b| a.scale(0.7) + b.scale(0.3));
         let expect = conv.kernel_spectrum(&spatial);
-        assert_grid_close(combined.as_grid(), expect.as_grid(), 1e-9);
+        assert_grid_close(&combined.to_grid(), &expect.to_grid(), 1e-9);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 use crate::complex::Complex;
 use crate::grid::Grid;
 use crate::pool::SpectralTeam;
+use crate::split::SplitSpectrum;
 use crate::workspace::Workspace;
 use std::f64::consts::PI;
 use std::sync::Arc;
@@ -86,6 +87,19 @@ enum Algo {
         twiddles_inv: Arc<[Complex]>,
         /// Bit-reversal permutation.
         rev: Arc<[u32]>,
+        /// Stage-packed real parts of the twiddles used by the split
+        /// (structure-of-arrays) butterfly path: for each stage of size
+        /// `s` (4, 8, …, n) the `s/2` factors `twiddles[k·(n/s)]` are
+        /// laid out contiguously, `n − 2` entries total, so the split
+        /// butterfly walks unit-stride instead of `step_by(step)`.
+        /// Values are copied from `twiddles`, so results stay
+        /// bit-identical to the interleaved path.
+        stage_re: Arc<[f64]>,
+        /// Stage-packed imaginary parts (forward direction).
+        stage_im: Arc<[f64]>,
+        /// Stage-packed imaginary parts for the inverse direction — the
+        /// exact sign flip of `stage_im` (real parts are shared).
+        stage_im_inv: Arc<[f64]>,
     },
     Bluestein {
         /// chirp[n] = e^{-iπ n² / len} (forward direction).
@@ -94,6 +108,14 @@ enum Algo {
         filter_spectrum: Arc<[Complex]>,
         /// Power-of-two inner FFT of the padded length.
         inner: Arc<Fft>,
+        /// Plane copies of `chirp` for the split path (same bits).
+        chirp_re: Arc<[f64]>,
+        /// Imaginary plane of `chirp`.
+        chirp_im: Arc<[f64]>,
+        /// Plane copies of `filter_spectrum` for the split path.
+        filt_re: Arc<[f64]>,
+        /// Imaginary plane of `filter_spectrum`.
+        filt_im: Arc<[f64]>,
     },
 }
 
@@ -147,10 +169,29 @@ impl Fft {
         let rev: Vec<u32> = (0..len as u32)
             .map(|i| i.reverse_bits() >> (32 - bits))
             .collect();
+        // Stage-packed split tables: copy (never recompute) the factors
+        // each stage's butterflies read, in read order, so the split
+        // path stays bit-identical while dropping the strided access.
+        let mut stage_re = Vec::with_capacity(len.saturating_sub(2));
+        let mut stage_im = Vec::with_capacity(len.saturating_sub(2));
+        let mut size = 4;
+        while size <= len {
+            let step = len / size;
+            for k in 0..size / 2 {
+                let w = twiddles[k * step];
+                stage_re.push(w.re);
+                stage_im.push(w.im);
+            }
+            size <<= 1;
+        }
+        let stage_im_inv: Vec<f64> = stage_im.iter().map(|&v| -v).collect();
         Algo::Radix2 {
             twiddles: twiddles.into(),
             twiddles_inv: twiddles_inv.into(),
             rev: rev.into(),
+            stage_re: stage_re.into(),
+            stage_im: stage_im.into(),
+            stage_im_inv: stage_im_inv.into(),
         }
     }
 
@@ -176,10 +217,18 @@ impl Fft {
             filter[pad - n] = c;
         }
         inner.process(&mut filter, FftDirection::Forward);
+        let chirp_re: Vec<f64> = chirp.iter().map(|c| c.re).collect();
+        let chirp_im: Vec<f64> = chirp.iter().map(|c| c.im).collect();
+        let filt_re: Vec<f64> = filter.iter().map(|c| c.re).collect();
+        let filt_im: Vec<f64> = filter.iter().map(|c| c.im).collect();
         Algo::Bluestein {
             chirp: chirp.into(),
             filter_spectrum: filter.into(),
             inner: Arc::new(inner),
+            chirp_re: chirp_re.into(),
+            chirp_im: chirp_im.into(),
+            filt_re: filt_re.into(),
+            filt_im: filt_im.into(),
         }
     }
 
@@ -218,6 +267,7 @@ impl Fft {
                 twiddles,
                 twiddles_inv,
                 rev,
+                ..
             } => {
                 let table = match direction {
                     FftDirection::Forward => twiddles,
@@ -235,8 +285,80 @@ impl Fft {
                 chirp,
                 filter_spectrum,
                 inner,
+                ..
             } => {
                 self.bluestein(data, chirp, filter_spectrum, inner, direction, ws);
+            }
+        }
+    }
+
+    /// Split-plane twin of [`Fft::process_with`]: runs the transform in
+    /// place over separate re/im planes, drawing scratch from `ws`.
+    ///
+    /// **Bit-identical** to the interleaved path: every butterfly,
+    /// chirp multiply and scaling performs the same scalar operations
+    /// in the same order on the same values; only the memory layout
+    /// differs (see DESIGN.md §16 for the derivation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either plane's length differs from the planned length.
+    pub fn process_split(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        direction: FftDirection,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            re.len(),
+            self.len,
+            "FFT plan length {} does not match re plane length {}",
+            self.len,
+            re.len()
+        );
+        assert_eq!(
+            im.len(),
+            self.len,
+            "FFT plan length {} does not match im plane length {}",
+            self.len,
+            im.len()
+        );
+        match &self.algo {
+            Algo::Identity => {}
+            Algo::Radix2 {
+                rev,
+                stage_re,
+                stage_im,
+                stage_im_inv,
+                ..
+            } => {
+                let tw_im = match direction {
+                    FftDirection::Forward => stage_im,
+                    FftDirection::Inverse => stage_im_inv,
+                };
+                Self::radix2_split_in_place(re, im, stage_re, tw_im, rev);
+                if direction == FftDirection::Inverse {
+                    let scale = 1.0 / self.len as f64;
+                    for v in re.iter_mut() {
+                        *v *= scale;
+                    }
+                    for v in im.iter_mut() {
+                        *v *= scale;
+                    }
+                }
+            }
+            Algo::Bluestein {
+                inner,
+                chirp_re,
+                chirp_im,
+                filt_re,
+                filt_im,
+                ..
+            } => {
+                self.bluestein_split(
+                    re, im, chirp_re, chirp_im, filt_re, filt_im, inner, direction, ws,
+                );
             }
         }
     }
@@ -283,6 +405,146 @@ impl Fft {
             }
             size <<= 1;
         }
+    }
+
+    /// Split-plane radix-2 kernel: same permutation, same stage order,
+    /// same butterfly arithmetic as [`Fft::radix2_in_place`], reading
+    /// the stage-packed twiddle planes with unit stride.
+    fn radix2_split_in_place(
+        re: &mut [f64],
+        im: &mut [f64],
+        stage_re: &[f64],
+        stage_im: &[f64],
+        rev: &[u32],
+    ) {
+        let n = re.len();
+        for (i, &r) in rev.iter().enumerate() {
+            let j = r as usize;
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        // First stage (size 2): twiddle is exactly (1, 0) — bare
+        // add/sub per plane, identical to the interleaved butterfly.
+        for pair in re.chunks_exact_mut(2) {
+            let even = pair[0];
+            let odd = pair[1];
+            pair[0] = even + odd;
+            pair[1] = even - odd;
+        }
+        for pair in im.chunks_exact_mut(2) {
+            let even = pair[0];
+            let odd = pair[1];
+            pair[0] = even + odd;
+            pair[1] = even - odd;
+        }
+        // Remaining stages: each stage's twiddles sit contiguously in
+        // the packed tables at a cursor that advances by size/2.
+        let mut size = 4;
+        let mut off = 0;
+        while size <= n {
+            let half = size / 2;
+            let tw_re = &stage_re[off..off + half];
+            let tw_im = &stage_im[off..off + half];
+            for (rblock, iblock) in re.chunks_exact_mut(size).zip(im.chunks_exact_mut(size)) {
+                let (lo_re, hi_re) = rblock.split_at_mut(half);
+                let (lo_im, hi_im) = iblock.split_at_mut(half);
+                split_butterflies(lo_re, lo_im, hi_re, hi_im, tw_re, tw_im);
+            }
+            off += half;
+            size <<= 1;
+        }
+    }
+
+    /// Split-plane Bluestein: the same chirp/filter/chirp sandwich as
+    /// [`Fft::bluestein`] with every complex multiply expanded to the
+    /// component form the interleaved operators compute, so each output
+    /// bit matches the AoS path.
+    #[allow(clippy::too_many_arguments)]
+    fn bluestein_split(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        chirp_re: &[f64],
+        chirp_im: &[f64],
+        filt_re: &[f64],
+        filt_im: &[f64],
+        inner: &Fft,
+        direction: FftDirection,
+        ws: &mut Workspace,
+    ) {
+        let n = self.len;
+        let pad = inner.len();
+        let mut ar = ws.take_real_zeroed(pad);
+        let mut ai = ws.take_real_zeroed(pad);
+        // a[i] = data[i] * chirp_of(i). For the inverse direction the
+        // chirp is conjugated: d·conj(c) expands to
+        // (dr·cr + di·ci, di·cr − dr·ci), the exact bit pattern the
+        // interleaved `d * c.conj()` produces (negation then
+        // multiply/subtract commute bitwise under IEEE-754).
+        match direction {
+            FftDirection::Forward => {
+                for i in 0..n {
+                    let (dr, di) = (re[i], im[i]);
+                    let (cr, ci) = (chirp_re[i], chirp_im[i]);
+                    ar[i] = dr * cr - di * ci;
+                    ai[i] = dr * ci + di * cr;
+                }
+            }
+            FftDirection::Inverse => {
+                for i in 0..n {
+                    let (dr, di) = (re[i], im[i]);
+                    let (cr, ci) = (chirp_re[i], chirp_im[i]);
+                    ar[i] = dr * cr + di * ci;
+                    ai[i] = di * cr - dr * ci;
+                }
+            }
+        }
+        inner.process_split(&mut ar, &mut ai, FftDirection::Forward, ws);
+        match direction {
+            FftDirection::Forward => {
+                for i in 0..pad {
+                    let (xr, xi) = (ar[i], ai[i]);
+                    let (fr, fi) = (filt_re[i], filt_im[i]);
+                    ar[i] = xr * fr - xi * fi;
+                    ai[i] = xr * fi + xi * fr;
+                }
+            }
+            FftDirection::Inverse => {
+                for i in 0..pad {
+                    let (xr, xi) = (ar[i], ai[i]);
+                    let (fr, fi) = (filt_re[i], filt_im[i]);
+                    ar[i] = xr * fr + xi * fi;
+                    ai[i] = xi * fr - xr * fi;
+                }
+            }
+        }
+        inner.process_split(&mut ar, &mut ai, FftDirection::Inverse, ws);
+        let scale = match direction {
+            FftDirection::Forward => 1.0,
+            FftDirection::Inverse => 1.0 / n as f64,
+        };
+        match direction {
+            FftDirection::Forward => {
+                for i in 0..n {
+                    let (xr, xi) = (ar[i], ai[i]);
+                    let (cr, ci) = (chirp_re[i], chirp_im[i]);
+                    re[i] = (xr * cr - xi * ci) * scale;
+                    im[i] = (xr * ci + xi * cr) * scale;
+                }
+            }
+            FftDirection::Inverse => {
+                for i in 0..n {
+                    let (xr, xi) = (ar[i], ai[i]);
+                    let (cr, ci) = (chirp_re[i], chirp_im[i]);
+                    re[i] = (xr * cr + xi * ci) * scale;
+                    im[i] = (xi * cr - xr * ci) * scale;
+                }
+            }
+        }
+        ws.give_real(ar);
+        ws.give_real(ai);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -334,15 +596,122 @@ impl Fft {
     }
 }
 
+/// One stage's worth of split-plane butterflies:
+/// `lo ← lo + hi·w`, `hi ← lo − hi·w` with the complex multiply
+/// expanded component-wise — the same scalar operations, in the same
+/// order, as the interleaved `Complex` butterfly, so the result is
+/// bit-identical.
+///
+/// This scalar form is the default; with `--cfg mosaic_simd` the
+/// 4-wide explicit-lane variant below replaces it (same arithmetic per
+/// element, no cross-lane reassociation, so still bit-identical).
+#[cfg(not(mosaic_simd))]
+#[inline]
+fn split_butterflies(
+    lo_re: &mut [f64],
+    lo_im: &mut [f64],
+    hi_re: &mut [f64],
+    hi_im: &mut [f64],
+    tw_re: &[f64],
+    tw_im: &[f64],
+) {
+    // Reslice every operand to the common length so the indexed loop
+    // below carries no bounds checks and the backend is free to
+    // vectorize the six independent unit-stride streams.
+    let half = lo_re.len();
+    let lo_im = &mut lo_im[..half];
+    let hi_re = &mut hi_re[..half];
+    let hi_im = &mut hi_im[..half];
+    let tw_re = &tw_re[..half];
+    let tw_im = &tw_im[..half];
+    for k in 0..half {
+        let er = lo_re[k];
+        let ei = lo_im[k];
+        let or_ = hi_re[k];
+        let oi = hi_im[k];
+        let wr = tw_re[k];
+        let wi = tw_im[k];
+        let pr = or_ * wr - oi * wi;
+        let pi = or_ * wi + oi * wr;
+        lo_re[k] = er + pr;
+        lo_im[k] = ei + pi;
+        hi_re[k] = er - pr;
+        hi_im[k] = ei - pi;
+    }
+}
+
+/// Explicit 4-wide-lane butterfly (`--cfg mosaic_simd`): the body of
+/// the scalar loop unrolled over `[f64; 4]` lane arrays, which the
+/// backend lowers to vector instructions. Every lane performs exactly
+/// the scalar path's per-element operations (multiplies, one
+/// subtraction, one addition — no horizontal reductions, no FMA
+/// contraction), so the output is bit-identical to the scalar form;
+/// the differential and determinism suites run against both builds.
+#[cfg(mosaic_simd)]
+#[inline]
+fn split_butterflies(
+    lo_re: &mut [f64],
+    lo_im: &mut [f64],
+    hi_re: &mut [f64],
+    hi_im: &mut [f64],
+    tw_re: &[f64],
+    tw_im: &[f64],
+) {
+    const LANES: usize = 4;
+    let half = lo_re.len();
+    let head = half / LANES * LANES;
+    let mut lr_it = lo_re[..head].chunks_exact_mut(LANES);
+    let mut li_it = lo_im[..head].chunks_exact_mut(LANES);
+    let mut hr_it = hi_re[..head].chunks_exact_mut(LANES);
+    let mut hi_it = hi_im[..head].chunks_exact_mut(LANES);
+    let mut wr_it = tw_re[..head].chunks_exact(LANES);
+    let mut wi_it = tw_im[..head].chunks_exact(LANES);
+    // Fixed-size lane windows: the backend sees every chunk as exactly
+    // LANES wide, so the lane loops below lower to vector ops with no
+    // bounds checks.
+    for ((((lr, li), hr), hi), (wr, wi)) in (&mut lr_it)
+        .zip(&mut li_it)
+        .zip(&mut hr_it)
+        .zip(&mut hi_it)
+        .zip((&mut wr_it).zip(&mut wi_it))
+    {
+        let mut pr = [0.0f64; LANES];
+        let mut pi = [0.0f64; LANES];
+        for l in 0..LANES {
+            pr[l] = hr[l] * wr[l] - hi[l] * wi[l];
+            pi[l] = hr[l] * wi[l] + hi[l] * wr[l];
+        }
+        for l in 0..LANES {
+            let er = lr[l];
+            let ei = li[l];
+            lr[l] = er + pr[l];
+            li[l] = ei + pi[l];
+            hr[l] = er - pr[l];
+            hi[l] = ei - pi[l];
+        }
+    }
+    for k in head..half {
+        let er = lo_re[k];
+        let ei = lo_im[k];
+        let pr = hi_re[k] * tw_re[k] - hi_im[k] * tw_im[k];
+        let pi = hi_re[k] * tw_im[k] + hi_im[k] * tw_re[k];
+        lo_re[k] = er + pr;
+        lo_im[k] = ei + pi;
+        hi_re[k] = er - pr;
+        hi_im[k] = ei - pi;
+    }
+}
+
 /// Tile edge for the blocked transposes below: 32×32 complex values are
 /// 16 KiB, comfortably inside L1 for both the source rows and the
-/// destination columns.
+/// destination columns (f64 planes use half that).
 const TRANSPOSE_TILE: usize = 32;
 
 /// Blocked out-of-place transpose: `dst[x*h + y] = src[y*w + x]` for a
 /// row-major `w × h` source. Calling it again with `w`/`h` swapped
-/// inverts it.
-fn transpose_into(src: &[Complex], dst: &mut [Complex], w: usize, h: usize) {
+/// inverts it. Generic over the element so the interleaved path
+/// (`Complex`) and the split planes (`f64`) share one kernel.
+fn transpose_into<T: Copy>(src: &[T], dst: &mut [T], w: usize, h: usize) {
     debug_assert_eq!(src.len(), w * h);
     debug_assert_eq!(dst.len(), w * h);
     let mut y0 = 0;
@@ -416,6 +785,60 @@ fn rows_par(
         let (start, end) = band(rows, bands, lane + 1);
         if let Some(buf) = team.rows_result(lane) {
             data[start * len..end * len].copy_from_slice(buf);
+        }
+    }
+}
+
+/// Split-plane twin of [`rows_par`]: bands the `rows` row-pairs of the
+/// re/im planes across the team. Same banding function, same serial
+/// per-row transform ([`Fft::process_split`]), caller-only merging —
+/// bit-identical to the serial split loop at every worker count.
+fn rows_split_par(
+    plan: &Fft,
+    re: &mut [f64],
+    im: &mut [f64],
+    rows: usize,
+    direction: FftDirection,
+    ws: &mut Workspace,
+    team: &mut SpectralTeam,
+) {
+    let len = plan.len();
+    let workers = team.workers();
+    if workers == 0 || rows <= 1 {
+        for r in 0..rows {
+            plan.process_split(
+                &mut re[r * len..(r + 1) * len],
+                &mut im[r * len..(r + 1) * len],
+                direction,
+                ws,
+            );
+        }
+        return;
+    }
+    let bands = workers + 1;
+    for lane in 0..workers {
+        let (start, end) = band(rows, bands, lane + 1);
+        let (mut br, mut bi) = team.lane_split_rows_bufs(lane);
+        br.extend_from_slice(&re[start * len..end * len]);
+        bi.extend_from_slice(&im[start * len..end * len]);
+        team.submit_split_rows(lane, plan, direction, br, bi);
+    }
+    team.dispatch();
+    let (start, end) = band(rows, bands, 0);
+    for r in start..end {
+        plan.process_split(
+            &mut re[r * len..(r + 1) * len],
+            &mut im[r * len..(r + 1) * len],
+            direction,
+            ws,
+        );
+    }
+    team.collect();
+    for lane in 0..workers {
+        let (start, end) = band(rows, bands, lane + 1);
+        if let Some((br, bi)) = team.split_rows_result(lane) {
+            re[start * len..end * len].copy_from_slice(br);
+            im[start * len..end * len].copy_from_slice(bi);
         }
     }
 }
@@ -893,6 +1316,460 @@ impl Fft2d {
             self.row_c2r(half.row(y), out.row_mut(y), ws);
         }
     }
+
+    /// Split-plane twin of [`Fft2d::process_with`]: transforms a
+    /// [`SplitSpectrum`] in place — rows first, then the blocked
+    /// transpose column pass, all over separate f64 planes.
+    /// Bit-identical to the interleaved path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum shape differs from the planned shape.
+    pub fn process_split(
+        &self,
+        spec: &mut SplitSpectrum,
+        direction: FftDirection,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            spec.dims(),
+            (self.width(), self.height()),
+            "FFT2D plan {}x{} does not match split spectrum {}x{}",
+            self.width(),
+            self.height(),
+            spec.width(),
+            spec.height()
+        );
+        let (w, h) = spec.dims();
+        let (re, im) = spec.planes_mut();
+        for y in 0..h {
+            self.row.process_split(
+                &mut re[y * w..(y + 1) * w],
+                &mut im[y * w..(y + 1) * w],
+                direction,
+                ws,
+            );
+        }
+        self.column_pass_split(re, im, w, h, direction, ws);
+    }
+
+    /// Concurrent twin of [`Fft2d::process_split`]: both 1-D passes are
+    /// banded across `team` exactly like [`Fft2d::process_par`].
+    /// Bit-identical to the serial split path at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum shape differs from the planned shape.
+    pub fn process_split_par(
+        &self,
+        spec: &mut SplitSpectrum,
+        direction: FftDirection,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        assert_eq!(
+            spec.dims(),
+            (self.width(), self.height()),
+            "FFT2D plan {}x{} does not match split spectrum {}x{}",
+            self.width(),
+            self.height(),
+            spec.width(),
+            spec.height()
+        );
+        let (w, h) = spec.dims();
+        let (re, im) = spec.planes_mut();
+        rows_split_par(&self.row, re, im, h, direction, ws, team);
+        self.column_pass_split_par(re, im, w, h, direction, ws, team);
+    }
+
+    /// Split-plane column pass: transposes both planes with the blocked
+    /// kernel, runs contiguous column transforms, transposes back.
+    fn column_pass_split(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        w: usize,
+        h: usize,
+        direction: FftDirection,
+        ws: &mut Workspace,
+    ) {
+        if h == 1 {
+            return; // length-1 column transform is the identity
+        }
+        let mut tr = ws.take_real(w * h);
+        let mut ti = ws.take_real(w * h);
+        transpose_into(re, &mut tr, w, h);
+        transpose_into(im, &mut ti, w, h);
+        for x in 0..w {
+            self.col.process_split(
+                &mut tr[x * h..(x + 1) * h],
+                &mut ti[x * h..(x + 1) * h],
+                direction,
+                ws,
+            );
+        }
+        transpose_into(&tr, re, h, w);
+        transpose_into(&ti, im, h, w);
+        ws.give_real(tr);
+        ws.give_real(ti);
+    }
+
+    /// Concurrent split-plane column pass: the transposed planes'
+    /// `w` contiguous columns are banded across the team.
+    #[allow(clippy::too_many_arguments)]
+    fn column_pass_split_par(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        w: usize,
+        h: usize,
+        direction: FftDirection,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        if h == 1 {
+            return; // length-1 column transform is the identity
+        }
+        let mut tr = ws.take_real(w * h);
+        let mut ti = ws.take_real(w * h);
+        transpose_into(re, &mut tr, w, h);
+        transpose_into(im, &mut ti, w, h);
+        rows_split_par(&self.col, &mut tr, &mut ti, w, direction, ws, team);
+        transpose_into(&tr, re, h, w);
+        transpose_into(&ti, im, h, w);
+        ws.give_real(tr);
+        ws.give_real(ti);
+    }
+
+    /// Split-plane twin of [`Fft2d::row_r2c`]: one real row into the
+    /// re/im planes of its `w/2 + 1` half spectrum. Same packing,
+    /// untangling and twiddle arithmetic, expanded component-wise
+    /// (DESIGN.md §16 derives the bit-identity).
+    fn row_r2c_split(
+        &self,
+        input: &[f64],
+        out_re: &mut [f64],
+        out_im: &mut [f64],
+        ws: &mut Workspace,
+    ) {
+        let w = self.width();
+        let hw = self.half_width();
+        debug_assert_eq!(input.len(), w);
+        debug_assert_eq!(out_re.len(), hw);
+        debug_assert_eq!(out_im.len(), hw);
+        match &self.half {
+            RealRowPlan::Trivial => {
+                out_re[0] = input[0];
+                out_im[0] = 0.0;
+            }
+            RealRowPlan::Even { half_fft, tw } => {
+                let m = w / 2;
+                let mut zr = ws.take_real(m);
+                let mut zi = ws.take_real(m);
+                for ((r, i), pair) in zr.iter_mut().zip(zi.iter_mut()).zip(input.chunks_exact(2)) {
+                    *r = pair[0];
+                    *i = pair[1];
+                }
+                half_fft.process_split(&mut zr, &mut zi, FftDirection::Forward, ws);
+                // Untangle, component-wise. With zmk = conj(z[m-k]) the
+                // interleaved path computes ze = (zk + zmk)/2,
+                // d = zk − zmk, zo = (d.im/2, −d.re/2),
+                // X[k] = ze + tw[k]·zo; expanding conj through the
+                // add/sub gives the exact same bit patterns below.
+                for k in 0..hw {
+                    let (zr1, zi1) = (zr[k % m], zi[k % m]);
+                    let (zr2, zi2) = (zr[(m - k) % m], zi[(m - k) % m]);
+                    let ze_re = (zr1 + zr2) * 0.5;
+                    let ze_im = (zi1 - zi2) * 0.5;
+                    let d_re = zr1 - zr2;
+                    let d_im = zi1 + zi2;
+                    let zo_re = d_im * 0.5;
+                    let zo_im = -d_re * 0.5;
+                    let (twr, twi) = (tw[k].re, tw[k].im);
+                    out_re[k] = ze_re + (twr * zo_re - twi * zo_im);
+                    out_im[k] = ze_im + (twr * zo_im + twi * zo_re);
+                }
+                ws.give_real(zr);
+                ws.give_real(zi);
+            }
+            RealRowPlan::Odd => {
+                let mut fr = ws.take_real(w);
+                let mut fi = ws.take_real_zeroed(w);
+                fr.copy_from_slice(input);
+                self.row
+                    .process_split(&mut fr, &mut fi, FftDirection::Forward, ws);
+                out_re.copy_from_slice(&fr[..hw]);
+                out_im.copy_from_slice(&fi[..hw]);
+                ws.give_real(fr);
+                ws.give_real(fi);
+            }
+        }
+    }
+
+    /// Split-plane twin of [`Fft2d::row_c2r`]: reconstructs one real
+    /// row from the re/im planes of its half spectrum.
+    fn row_c2r_split(&self, spec_re: &[f64], spec_im: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        let w = self.width();
+        let hw = self.half_width();
+        debug_assert_eq!(spec_re.len(), hw);
+        debug_assert_eq!(spec_im.len(), hw);
+        debug_assert_eq!(out.len(), w);
+        match &self.half {
+            RealRowPlan::Trivial => out[0] = spec_re[0],
+            RealRowPlan::Even { half_fft, tw } => {
+                let m = w / 2;
+                let mut zr = ws.take_real(m);
+                let mut zi = ws.take_real(m);
+                // Re-tangle, component-wise: ze = (X[k] + conj(X[m−k]))/2,
+                // t·Zo = (X[k] − conj(X[m−k]))/2, Zo = conj(tw[k])·tZo,
+                // Z = (ze.re − zo.im, ze.im + zo.re) — expanded exactly
+                // as the interleaved operators compute it.
+                for k in 0..m {
+                    let (xr1, xi1) = (spec_re[k], spec_im[k]);
+                    let (xr2, xi2) = (spec_re[m - k], spec_im[m - k]);
+                    let ze_re = (xr1 + xr2) * 0.5;
+                    let ze_im = (xi1 - xi2) * 0.5;
+                    let tzo_re = (xr1 - xr2) * 0.5;
+                    let tzo_im = (xi1 + xi2) * 0.5;
+                    let (twr, twi) = (tw[k].re, tw[k].im);
+                    let zo_re = twr * tzo_re + twi * tzo_im;
+                    let zo_im = twr * tzo_im - twi * tzo_re;
+                    zr[k] = ze_re - zo_im;
+                    zi[k] = ze_im + zo_re;
+                }
+                half_fft.process_split(&mut zr, &mut zi, FftDirection::Inverse, ws);
+                for (pair, (&r, &i)) in out.chunks_exact_mut(2).zip(zr.iter().zip(zi.iter())) {
+                    pair[0] = r;
+                    pair[1] = i;
+                }
+                ws.give_real(zr);
+                ws.give_real(zi);
+            }
+            RealRowPlan::Odd => {
+                let mut fr = ws.take_real(w);
+                let mut fi = ws.take_real(w);
+                fr[..hw].copy_from_slice(spec_re);
+                fi[..hw].copy_from_slice(spec_im);
+                for i in hw..w {
+                    fr[i] = spec_re[w - i];
+                    fi[i] = -spec_im[w - i];
+                }
+                self.row
+                    .process_split(&mut fr, &mut fi, FftDirection::Inverse, ws);
+                out.copy_from_slice(&fr);
+                ws.give_real(fr);
+                ws.give_real(fi);
+            }
+        }
+    }
+
+    /// Split-plane twin of [`Fft2d::forward_real_into`]: real grid in,
+    /// `(w/2+1) × h` Hermitian half spectrum out as re/im planes.
+    /// Bit-identical to the interleaved path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not `w × h` or `out` is not `(w/2+1) × h`.
+    pub fn forward_real_split_into(
+        &self,
+        input: &Grid<f64>,
+        out: &mut SplitSpectrum,
+        ws: &mut Workspace,
+    ) {
+        let (w, h) = (self.width(), self.height());
+        let hw = self.half_width();
+        assert_eq!(
+            input.dims(),
+            (w, h),
+            "real input {}x{} does not match plan {w}x{h}",
+            input.width(),
+            input.height()
+        );
+        assert_eq!(
+            out.dims(),
+            (hw, h),
+            "half spectrum {}x{} does not match plan {hw}x{h}",
+            out.width(),
+            out.height()
+        );
+        let (ore, oim) = out.planes_mut();
+        for y in 0..h {
+            self.row_r2c_split(
+                input.row(y),
+                &mut ore[y * hw..(y + 1) * hw],
+                &mut oim[y * hw..(y + 1) * hw],
+                ws,
+            );
+        }
+        self.column_pass_split(ore, oim, hw, h, FftDirection::Forward, ws);
+    }
+
+    /// Split-plane twin of [`Fft2d::inverse_real_into`]: consumes the
+    /// half spectrum's planes as column-pass scratch and reconstructs
+    /// the real grid. Bit-identical to the interleaved path, including
+    /// the Hermitian-part identity the gradient correlation relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is not `(w/2+1) × h` or `out` is not `w × h`.
+    pub fn inverse_real_split_into(
+        &self,
+        half: &mut SplitSpectrum,
+        out: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) {
+        let (w, h) = (self.width(), self.height());
+        let hw = self.half_width();
+        assert_eq!(
+            half.dims(),
+            (hw, h),
+            "half spectrum {}x{} does not match plan {hw}x{h}",
+            half.width(),
+            half.height()
+        );
+        assert_eq!(
+            out.dims(),
+            (w, h),
+            "real output {}x{} does not match plan {w}x{h}",
+            out.width(),
+            out.height()
+        );
+        let (hre, him) = half.planes_mut();
+        self.column_pass_split(hre, him, hw, h, FftDirection::Inverse, ws);
+        for y in 0..h {
+            self.row_c2r_split(
+                &hre[y * hw..(y + 1) * hw],
+                &him[y * hw..(y + 1) * hw],
+                out.row_mut(y),
+                ws,
+            );
+        }
+    }
+
+    /// Split-plane twin of [`Fft2d::expand_half_spectrum_into`]:
+    /// `S(i,j) = conj(S(w−i, (h−j) mod h))` over planes (conjugation is
+    /// a sign flip of the imaginary plane, so this is a pure copy on
+    /// the real plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is not `(w/2+1) × h` or `out` is not `w × h`.
+    pub fn expand_half_split_into(&self, half: &SplitSpectrum, out: &mut SplitSpectrum) {
+        let (w, h) = (self.width(), self.height());
+        let hw = self.half_width();
+        assert_eq!(
+            half.dims(),
+            (hw, h),
+            "half spectrum {}x{} does not match plan {hw}x{h}",
+            half.width(),
+            half.height()
+        );
+        assert_eq!(
+            out.dims(),
+            (w, h),
+            "full spectrum {}x{} does not match plan {w}x{h}",
+            out.width(),
+            out.height()
+        );
+        let (hre, him) = half.planes();
+        let (ore, oim) = out.planes_mut();
+        for j in 0..h {
+            ore[j * w..j * w + hw].copy_from_slice(&hre[j * hw..(j + 1) * hw]);
+            oim[j * w..j * w + hw].copy_from_slice(&him[j * hw..(j + 1) * hw]);
+        }
+        for j in 0..h {
+            let jm = (h - j) % h;
+            for i in hw..w {
+                let src = jm * hw + (w - i);
+                ore[j * w + i] = hre[src];
+                oim[j * w + i] = -him[src];
+            }
+        }
+    }
+
+    /// Concurrent twin of [`Fft2d::forward_real_split_into`]: serial
+    /// real-row untangling, banded parallel column pass. Bit-identical
+    /// to the serial split path at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not `w × h` or `out` is not `(w/2+1) × h`.
+    pub fn forward_real_split_par(
+        &self,
+        input: &Grid<f64>,
+        out: &mut SplitSpectrum,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        let (w, h) = (self.width(), self.height());
+        let hw = self.half_width();
+        assert_eq!(
+            input.dims(),
+            (w, h),
+            "real input {}x{} does not match plan {w}x{h}",
+            input.width(),
+            input.height()
+        );
+        assert_eq!(
+            out.dims(),
+            (hw, h),
+            "half spectrum {}x{} does not match plan {hw}x{h}",
+            out.width(),
+            out.height()
+        );
+        let (ore, oim) = out.planes_mut();
+        for y in 0..h {
+            self.row_r2c_split(
+                input.row(y),
+                &mut ore[y * hw..(y + 1) * hw],
+                &mut oim[y * hw..(y + 1) * hw],
+                ws,
+            );
+        }
+        self.column_pass_split_par(ore, oim, hw, h, FftDirection::Forward, ws, team);
+    }
+
+    /// Concurrent twin of [`Fft2d::inverse_real_split_into`]: banded
+    /// parallel column pass, serial real-row reconstruction.
+    /// Bit-identical to the serial split path at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is not `(w/2+1) × h` or `out` is not `w × h`.
+    pub fn inverse_real_split_par(
+        &self,
+        half: &mut SplitSpectrum,
+        out: &mut Grid<f64>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        let (w, h) = (self.width(), self.height());
+        let hw = self.half_width();
+        assert_eq!(
+            half.dims(),
+            (hw, h),
+            "half spectrum {}x{} does not match plan {hw}x{h}",
+            half.width(),
+            half.height()
+        );
+        assert_eq!(
+            out.dims(),
+            (w, h),
+            "real output {}x{} does not match plan {w}x{h}",
+            out.width(),
+            out.height()
+        );
+        let (hre, him) = half.planes_mut();
+        self.column_pass_split_par(hre, him, hw, h, FftDirection::Inverse, ws, team);
+        for y in 0..h {
+            self.row_c2r_split(
+                &hre[y * hw..(y + 1) * hw],
+                &him[y * hw..(y + 1) * hw],
+                out.row_mut(y),
+                ws,
+            );
+        }
+    }
 }
 
 /// Naive O(N²) DFT used as a reference in tests.
@@ -1181,6 +2058,119 @@ mod tests {
         plan.process(&mut full, FftDirection::Inverse);
         for (a, b) in re.iter().zip(full.iter()) {
             assert!((a - b.re).abs() < 1e-12, "{a} vs {}", b.re);
+        }
+    }
+
+    fn assert_bits_eq(a: &Grid<Complex>, b: &SplitSpectrum, ctx: &str) {
+        assert_eq!(a.dims(), b.dims(), "{ctx}");
+        for (idx, v) in a.iter().enumerate() {
+            assert_eq!(v.re.to_bits(), b.re()[idx].to_bits(), "{ctx} re at {idx}");
+            assert_eq!(v.im.to_bits(), b.im()[idx].to_bits(), "{ctx} im at {idx}");
+        }
+    }
+
+    #[test]
+    fn split_1d_is_bit_identical_to_interleaved() {
+        // Radix-2 and Bluestein lengths, both directions: the split
+        // path must reproduce every output bit of the AoS path.
+        for n in [1usize, 2, 4, 8, 16, 64, 256, 5, 7, 12, 100] {
+            let input = ramp(n);
+            let fft = Fft::new(n);
+            let mut ws = Workspace::new();
+            for direction in [FftDirection::Forward, FftDirection::Inverse] {
+                let mut aos = input.clone();
+                fft.process_with(&mut aos, direction, &mut ws);
+                let mut re: Vec<f64> = input.iter().map(|c| c.re).collect();
+                let mut im: Vec<f64> = input.iter().map(|c| c.im).collect();
+                fft.process_split(&mut re, &mut im, direction, &mut ws);
+                for (k, v) in aos.iter().enumerate() {
+                    assert_eq!(
+                        v.re.to_bits(),
+                        re[k].to_bits(),
+                        "n={n} {direction:?} re {k}"
+                    );
+                    assert_eq!(
+                        v.im.to_bits(),
+                        im[k].to_bits(),
+                        "n={n} {direction:?} im {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_2d_is_bit_identical_to_interleaved() {
+        for (w, h) in [(8, 8), (16, 12), (7, 5), (12, 24), (1, 4), (9, 1)] {
+            let plan = Fft2d::new(w, h);
+            let input = Grid::from_fn(w, h, |x, y| {
+                Complex::new((x as f64 * 1.3).sin(), (y as f64 * 0.7).cos())
+            });
+            let mut ws = Workspace::new();
+            for direction in [FftDirection::Forward, FftDirection::Inverse] {
+                let mut aos = input.clone();
+                plan.process_with(&mut aos, direction, &mut ws);
+                let mut soa = SplitSpectrum::from_grid(&input);
+                plan.process_split(&mut soa, direction, &mut ws);
+                assert_bits_eq(&aos, &soa, &format!("{w}x{h} {direction:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn split_real_fft_is_bit_identical_to_interleaved() {
+        for (w, h) in [(8, 8), (16, 12), (7, 5), (1, 4), (2, 2), (9, 3)] {
+            let plan = Fft2d::new(w, h);
+            let input = Grid::from_fn(w, h, |x, y| {
+                ((x as f64 * 0.9).sin() + (y as f64 * 1.7).cos()) * 0.5
+            });
+            let mut ws = Workspace::new();
+            let hw = plan.half_width();
+            let mut half_aos = ws.take_complex_grid(hw, h);
+            plan.forward_real_into(&input, &mut half_aos, &mut ws);
+            let mut half_soa = SplitSpectrum::zeros(hw, h);
+            plan.forward_real_split_into(&input, &mut half_soa, &mut ws);
+            assert_bits_eq(&half_aos, &half_soa, &format!("r2c {w}x{h}"));
+
+            // Expansion to the full spectrum must also agree bit-for-bit.
+            let mut full_aos = Grid::zeros(w, h);
+            plan.expand_half_spectrum_into(&half_aos, &mut full_aos);
+            let mut full_soa = SplitSpectrum::zeros(w, h);
+            plan.expand_half_split_into(&half_soa, &mut full_soa);
+            assert_bits_eq(&full_aos, &full_soa, &format!("expand {w}x{h}"));
+
+            // And the c2r inverse must reproduce the AoS inverse bits.
+            let mut back_aos = Grid::zeros(w, h);
+            plan.inverse_real_into(&mut half_aos, &mut back_aos, &mut ws);
+            let mut back_soa = Grid::zeros(w, h);
+            plan.inverse_real_split_into(&mut half_soa, &mut back_soa, &mut ws);
+            for (a, b) in back_aos.iter().zip(back_soa.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "c2r {w}x{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_par_is_bit_identical_to_split_serial() {
+        for (w, h) in [(8, 8), (16, 12), (7, 5), (8, 7)] {
+            let plan = Fft2d::new(w, h);
+            let input = Grid::from_fn(w, h, |x, y| {
+                Complex::new((x as f64 - 2.0) * 0.4, (y as f64 * 1.9).sin())
+            });
+            let mut ws = Workspace::new();
+            let mut serial = SplitSpectrum::from_grid(&input);
+            plan.process_split(&mut serial, FftDirection::Forward, &mut ws);
+            for workers in [0usize, 1, 2, 3] {
+                let mut team = SpectralTeam::new(workers);
+                let mut par = SplitSpectrum::from_grid(&input);
+                plan.process_split_par(&mut par, FftDirection::Forward, &mut ws, &mut team);
+                for (a, b) in serial.re().iter().zip(par.re().iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{w}x{h} workers={workers} re");
+                }
+                for (a, b) in serial.im().iter().zip(par.im().iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{w}x{h} workers={workers} im");
+                }
+            }
         }
     }
 }

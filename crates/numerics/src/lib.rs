@@ -12,6 +12,8 @@
 //!   fallback for arbitrary lengths ([`fft`]).
 //! * [`Convolver`] — frequency-domain circular convolution/correlation with
 //!   cached kernel spectra ([`conv`]).
+//! * [`SplitSpectrum`] — split re/im planes (structure of arrays) used by
+//!   every spectral hot loop so inner walks autovectorize ([`split`]).
 //! * [`Workspace`] — pooled scratch buffers that make the whole spectral
 //!   pipeline allocation-free after warm-up ([`workspace`]).
 //! * [`WorkerPool`] / [`SpectralTeam`] — a reusable std-only worker team
@@ -55,6 +57,7 @@ pub mod grid_ops;
 pub mod matrix;
 pub mod pool;
 pub mod rng;
+pub mod split;
 pub mod stats;
 pub mod workspace;
 
@@ -66,6 +69,7 @@ pub use grid::Grid;
 pub use matrix::{eigen_hermitian, HermitianEigen, Matrix};
 pub use pool::{PoolTask, SpectralTask, SpectralTeam, WorkerPool};
 pub use rng::Rng64;
+pub use split::SplitSpectrum;
 pub use workspace::Workspace;
 
 /// The types almost every user of this crate needs.
@@ -78,6 +82,7 @@ pub mod prelude {
     pub use crate::matrix::{eigen_hermitian, HermitianEigen, Matrix};
     pub use crate::pool::{PoolTask, SpectralTask, SpectralTeam, WorkerPool};
     pub use crate::rng::Rng64;
+    pub use crate::split::SplitSpectrum;
     pub use crate::stats;
     pub use crate::workspace::Workspace;
 }

@@ -26,6 +26,7 @@
 use crate::complex::Complex;
 use crate::fft::{Fft, Fft2d, FftDirection};
 use crate::grid::Grid;
+use crate::split::SplitSpectrum;
 use crate::workspace::Workspace;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -311,6 +312,28 @@ pub enum SpectralTask {
         /// The grid to transform in place.
         grid: Grid<Complex>,
     },
+    /// Apply `plan` to each consecutive `plan.len()`-sized row of the
+    /// split re/im planes (the structure-of-arrays hot path,
+    /// DESIGN.md §16).
+    SplitRows {
+        /// The 1-D plan shared with the caller.
+        plan: Fft,
+        /// Transform direction.
+        direction: FftDirection,
+        /// The band's real plane, rows packed back to back.
+        re: Vec<f64>,
+        /// The band's imaginary plane, same packing.
+        im: Vec<f64>,
+    },
+    /// Run a full serial split-plane 2-D transform on the worker.
+    SplitGrid2d {
+        /// The 2-D plan shared with the caller.
+        plan: Fft2d,
+        /// Transform direction.
+        direction: FftDirection,
+        /// The split spectrum to transform in place.
+        spec: SplitSpectrum,
+    },
 }
 
 impl PoolTask for SpectralTask {
@@ -331,6 +354,22 @@ impl PoolTask for SpectralTask {
                 direction,
                 grid,
             } => plan.process_with(grid, *direction, ws),
+            SpectralTask::SplitRows {
+                plan,
+                direction,
+                re,
+                im,
+            } => {
+                let len = plan.len();
+                for (r, i) in re.chunks_exact_mut(len).zip(im.chunks_exact_mut(len)) {
+                    plan.process_split(r, i, *direction, ws);
+                }
+            }
+            SpectralTask::SplitGrid2d {
+                plan,
+                direction,
+                spec,
+            } => plan.process_split(spec, *direction, ws),
         }
     }
 }
@@ -432,6 +471,77 @@ impl SpectralTeam {
         }
     }
 
+    /// Recycles lane `lane`'s previous task storage into a
+    /// `width × height` split spectrum with unspecified contents,
+    /// allocating only if the lane never held a split task of
+    /// sufficient capacity.
+    pub fn lane_split_grid(&mut self, lane: usize, width: usize, height: usize) -> SplitSpectrum {
+        let (re, im) = self.recycle_split(lane);
+        SplitSpectrum::from_parts(width, height, re, im)
+    }
+
+    /// Posts a serial split-plane 2-D transform of `spec` as lane
+    /// `lane`'s task for the next [`dispatch`](Self::dispatch).
+    pub fn submit_split_grid(
+        &mut self,
+        lane: usize,
+        plan: &Fft2d,
+        direction: FftDirection,
+        spec: SplitSpectrum,
+    ) {
+        self.lanes[lane] = Some(SpectralTask::SplitGrid2d {
+            plan: plan.clone(),
+            direction,
+            spec,
+        });
+    }
+
+    /// The split spectrum computed by lane `lane`'s last collected
+    /// [`SpectralTask::SplitGrid2d`] task, if that is what the lane
+    /// holds.
+    pub fn split_grid_result(&self, lane: usize) -> Option<&SplitSpectrum> {
+        match self.lanes.get(lane)? {
+            Some(SpectralTask::SplitGrid2d { spec, .. }) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// Recycles lane `lane`'s previous task storage as a pair of bare
+    /// plane buffers (emptied, capacity preserved).
+    pub(crate) fn lane_split_rows_bufs(&mut self, lane: usize) -> (Vec<f64>, Vec<f64>) {
+        let (mut re, mut im) = self.recycle_split(lane);
+        re.clear();
+        im.clear();
+        (re, im)
+    }
+
+    /// Posts a banded split-plane 1-D row pass as lane `lane`'s task.
+    pub(crate) fn submit_split_rows(
+        &mut self,
+        lane: usize,
+        plan: &Fft,
+        direction: FftDirection,
+        re: Vec<f64>,
+        im: Vec<f64>,
+    ) {
+        self.lanes[lane] = Some(SpectralTask::SplitRows {
+            plan: plan.clone(),
+            direction,
+            re,
+            im,
+        });
+    }
+
+    /// The row band transformed by lane `lane`'s last collected
+    /// [`SpectralTask::SplitRows`] task, if that is what the lane
+    /// holds.
+    pub(crate) fn split_rows_result(&self, lane: usize) -> Option<(&[f64], &[f64])> {
+        match self.lanes.get(lane)? {
+            Some(SpectralTask::SplitRows { re, im, .. }) => Some((re, im)),
+            _ => None,
+        }
+    }
+
     /// Dispatches every posted lane task to the workers.
     pub fn dispatch(&mut self) {
         self.pool.dispatch(&mut self.lanes);
@@ -448,7 +558,15 @@ impl SpectralTeam {
         match self.lanes[lane].take() {
             Some(SpectralTask::Rows { buf, .. }) => buf,
             Some(SpectralTask::Grid2d { grid, .. }) => grid.into_vec(),
-            None => Vec::new(),
+            Some(_) | None => Vec::new(),
+        }
+    }
+
+    fn recycle_split(&mut self, lane: usize) -> (Vec<f64>, Vec<f64>) {
+        match self.lanes[lane].take() {
+            Some(SpectralTask::SplitRows { re, im, .. }) => (re, im),
+            Some(SpectralTask::SplitGrid2d { spec, .. }) => spec.into_parts(),
+            Some(_) | None => (Vec::new(), Vec::new()),
         }
     }
 }
@@ -579,5 +697,26 @@ mod tests {
         // The next wave's lane grid reuses the same allocation.
         let grid = team.lane_grid(0, 8, 8);
         assert_eq!(grid.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn spectral_team_split_lane_buffers_are_recycled() {
+        let mut team = SpectralTeam::new(1);
+        if team.workers() == 0 {
+            return; // spawn-restricted environment
+        }
+        let plan = Fft2d::new(8, 8);
+        let spec = team.lane_split_grid(0, 8, 8);
+        team.submit_split_grid(0, &plan, FftDirection::Forward, spec);
+        team.dispatch();
+        team.collect();
+        let result = team.split_grid_result(0).unwrap();
+        let re_ptr = result.re().as_ptr();
+        let im_ptr = result.im().as_ptr();
+        // The next wave's split lane spectrum reuses both plane
+        // allocations.
+        let spec = team.lane_split_grid(0, 8, 8);
+        assert_eq!(spec.re().as_ptr(), re_ptr);
+        assert_eq!(spec.im().as_ptr(), im_ptr);
     }
 }

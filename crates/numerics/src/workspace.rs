@@ -31,6 +31,7 @@
 
 use crate::complex::Complex;
 use crate::grid::Grid;
+use crate::split::SplitSpectrum;
 
 /// A free-list of reusable `Complex` and `f64` buffers.
 ///
@@ -139,6 +140,29 @@ impl Workspace {
         self.give_real(grid.into_vec());
     }
 
+    /// Takes a `width × height` split-plane spectrum (two `f64` plane
+    /// buffers drawn from the real pool) with unspecified contents.
+    pub fn take_split(&mut self, width: usize, height: usize) -> SplitSpectrum {
+        let re = self.take_real(width * height);
+        let im = self.take_real(width * height);
+        SplitSpectrum::from_parts(width, height, re, im)
+    }
+
+    /// Takes a `width × height` split-plane spectrum with both planes
+    /// zeroed.
+    pub fn take_split_zeroed(&mut self, width: usize, height: usize) -> SplitSpectrum {
+        let mut s = self.take_split(width, height);
+        s.fill_zero();
+        s
+    }
+
+    /// Returns a split spectrum's plane buffers to the real pool.
+    pub fn give_split(&mut self, spectrum: SplitSpectrum) {
+        let (re, im) = spectrum.into_parts();
+        self.give_real(re);
+        self.give_real(im);
+    }
+
     /// Preallocates the buffers a `width × height` spectral pipeline
     /// (forward real FFT, per-kernel convolve/accumulate, adjoint
     /// correlation) needs, so even the very first iteration after this
@@ -155,7 +179,16 @@ impl Workspace {
         for buf in taken {
             self.give_complex(buf);
         }
-        let real_sizes = [full; 8];
+        // The split-plane hot path (DESIGN.md §16) draws *pairs* of f64
+        // planes for every spectrum it touches: the mask spectrum, the
+        // per-kernel field, the transpose scratch of the column pass,
+        // the half-spectrum of the Hermitian gradient fold, and the
+        // Bluestein pad / real-row pack scratch for non-power-of-two
+        // shapes. Warm enough real buffers for all of them plus the
+        // pre-existing real-grid intermediates.
+        let mut real_sizes = vec![full; 16];
+        real_sizes.extend([half; 4]);
+        real_sizes.extend([width.max(height); 4]);
         let taken: Vec<_> = real_sizes.iter().map(|&len| self.take_real(len)).collect();
         for buf in taken {
             self.give_real(buf);
@@ -260,6 +293,36 @@ mod tests {
         let g2 = ws.take_complex_grid(12, 7);
         assert_eq!(g2.dims(), (12, 7));
         assert_eq!(ws.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn split_take_give_recycles_plane_buffers() {
+        let mut ws = Workspace::new();
+        let s = ws.take_split(12, 9);
+        assert_eq!(s.dims(), (12, 9));
+        let re_ptr = s.re().as_ptr();
+        ws.give_split(s);
+        assert_eq!(ws.pooled_buffers(), 2, "two f64 planes parked");
+        let again = ws.take_split(12, 9);
+        assert!(
+            again.re().as_ptr() == re_ptr || again.im().as_ptr() == re_ptr,
+            "same-size split take must reuse a pooled plane"
+        );
+        assert_eq!(ws.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn warm_spectral_covers_split_plane_takes() {
+        let mut ws = Workspace::new();
+        ws.warm_spectral(32, 24);
+        let before = ws.pooled_buffers();
+        let a = ws.take_split(32, 24);
+        let b = ws.take_split(32, 24);
+        let c = ws.take_split(32 / 2 + 1, 24);
+        ws.give_split(a);
+        ws.give_split(b);
+        ws.give_split(c);
+        assert_eq!(ws.pooled_buffers(), before);
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! * the planned 1-D FFT vs the O(N²) [`dft_reference`];
 //! * the Hermitian real-FFT path vs the full complex transform;
 //! * the half-spectrum gradient correlation vs the real part of the
-//!   full complex correlation.
+//!   full complex correlation;
+//! * the split-plane (structure-of-arrays) engine vs the interleaved
+//!   path: layout round trips and gradient correlations pinned at
+//!   0 ULP, the full convolution pipeline under the chained budget,
+//!   each across worker counts {1, 2, 4} (DESIGN.md §16).
 //!
 //! Tolerances are explicit ULP budgets: an error bound of
 //! `scale · ε · ULPS`, where `scale` is the magnitude of the data
@@ -214,7 +218,7 @@ fn half_spectrum_correlation_matches_full_complex_re() {
                 &mut acc,
                 &mut ws,
             );
-            let scale = sum_scale(max_mag(&field_spectrum) * max_mag(kspec.as_grid()), w * h);
+            let scale = sum_scale(max_mag(&field_spectrum) * max_mag(&kspec.to_grid()), w * h);
             for (i, (a, b)) in acc.iter().zip(expected.iter()).enumerate() {
                 assert_ulp_close(
                     *a,
@@ -302,6 +306,156 @@ fn thread_count_never_changes_real_fft_bits() {
                         "inverse {w}x{h} case={case} workers={workers} pixel {i}"
                     );
                 }
+            }
+        }
+    }
+}
+
+/// SoA↔AoS layout conversion is a pure copy: a round trip through
+/// `SplitSpectrum::from_grid` / `to_grid` preserves every bit on every
+/// harness shape.
+#[test]
+fn split_layout_round_trip_is_bit_exact() {
+    let mut rng = Rng64::new(0xD1F_0009);
+    for (w, h) in SHAPES {
+        let grid = random_complex_grid(&mut rng, w, h);
+        let back = SplitSpectrum::from_grid(&grid).to_grid();
+        for (i, (a, b)) in grid.iter().zip(back.iter()).enumerate() {
+            assert_eq!(
+                (a.re.to_bits(), a.im.to_bits()),
+                (b.re.to_bits(), b.im.to_bits()),
+                "{w}x{h} bin {i}"
+            );
+        }
+    }
+}
+
+/// The split-plane convolution pipeline (split forward FFT, plane-wise
+/// Hadamard, split inverse FFT) stays inside the chained-transform ULP
+/// budget against the O(N⁴) direct sum, at every worker count.
+#[test]
+fn split_convolution_matches_direct_sum_across_teams() {
+    let mut rng = Rng64::new(0xD1F_000A);
+    let mut ws = Workspace::new();
+    for (w, h) in SHAPES {
+        let field = random_complex_grid(&mut rng, w, h);
+        let kernel = random_complex_grid(&mut rng, w, h);
+        let conv = Convolver::new(w, h);
+        let kspec = conv.kernel_spectrum(&kernel);
+        let slow = convolve_reference(&field, &kernel);
+        let scale = sum_scale(max_mag(&field) * max_mag(&kernel), w * h);
+        for workers in [1usize, 2, 4] {
+            let mut team = SpectralTeam::new(workers);
+            let mut spectrum = SplitSpectrum::from_grid(&field);
+            conv.plan()
+                .process_split_par(&mut spectrum, FftDirection::Forward, &mut ws, &mut team);
+            let mut out = SplitSpectrum::zeros(w, h);
+            conv.convolve_spectrum_split_par(&spectrum, &kspec, &mut out, &mut ws, &mut team);
+            let fast = out.to_grid();
+            for (i, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+                assert_complex_ulp_close(
+                    *a,
+                    *b,
+                    scale,
+                    ULPS_CONV,
+                    &format!("split-conv {w}x{h} workers={workers} pixel {i}"),
+                );
+            }
+        }
+    }
+}
+
+/// The split-plane Hermitian gradient correlation is pinned to the
+/// interleaved path at **0 ULP**: serial and banded split variants
+/// reproduce `correlate_spectrum_re_accumulate`'s bits exactly on every
+/// harness shape, at every worker count.
+#[test]
+fn split_correlation_accumulate_is_bit_identical_to_interleaved() {
+    let mut rng = Rng64::new(0xD1F_000B);
+    let mut ws = Workspace::new();
+    for (w, h) in SHAPES {
+        let field = random_complex_grid(&mut rng, w, h);
+        let kernel = random_complex_grid(&mut rng, w, h);
+        let conv = Convolver::new(w, h);
+        let kspec = conv.kernel_spectrum(&kernel);
+        let field_spectrum = conv.forward(&field);
+        let seed = Grid::from_fn(w, h, |x, y| (x + 2 * y) as f64 * 0.01);
+        let scale_factor: f64 = 0.75;
+        let mut acc_aos = seed.clone();
+        conv.correlate_spectrum_re_accumulate(
+            &field_spectrum,
+            &kspec,
+            scale_factor,
+            &mut acc_aos,
+            &mut ws,
+        );
+        let split_spectrum = SplitSpectrum::from_grid(&field_spectrum);
+        let mut acc_split = seed.clone();
+        conv.correlate_spectrum_re_accumulate_split(
+            &split_spectrum,
+            &kspec,
+            scale_factor,
+            &mut acc_split,
+            &mut ws,
+        );
+        for (i, (a, b)) in acc_split.iter().zip(acc_aos.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "serial {w}x{h} pixel {i}");
+        }
+        for workers in [1usize, 2, 4] {
+            let mut team = SpectralTeam::new(workers);
+            let mut acc_par = seed.clone();
+            conv.correlate_spectrum_re_accumulate_split_par(
+                &split_spectrum,
+                &kspec,
+                scale_factor,
+                &mut acc_par,
+                &mut ws,
+                &mut team,
+            );
+            for (i, (a, b)) in acc_par.iter().zip(acc_aos.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{w}x{h} workers={workers} pixel {i}"
+                );
+            }
+        }
+    }
+}
+
+/// The split real-FFT entry points (`forward_real_split_into` and its
+/// banded twin) reproduce the interleaved full-spectrum bits exactly on
+/// every harness shape, at every worker count.
+#[test]
+fn split_real_fft_is_bit_identical_across_teams() {
+    let mut rng = Rng64::new(0xD1F_000C);
+    let mut ws = Workspace::new();
+    for (w, h) in SHAPES {
+        let real = random_real_grid(&mut rng, w, h);
+        let conv = Convolver::new(w, h);
+        let mut aos = Grid::zeros(w, h);
+        conv.forward_real_into(&real, &mut aos, &mut ws);
+        let mut split = SplitSpectrum::zeros(w, h);
+        conv.forward_real_split_into(&real, &mut split, &mut ws);
+        let serial = split.to_grid();
+        for (i, (a, b)) in serial.iter().zip(aos.iter()).enumerate() {
+            assert_eq!(
+                (a.re.to_bits(), a.im.to_bits()),
+                (b.re.to_bits(), b.im.to_bits()),
+                "serial {w}x{h} bin {i}"
+            );
+        }
+        for workers in [1usize, 2, 4] {
+            let mut team = SpectralTeam::new(workers);
+            let mut split_par = SplitSpectrum::zeros(w, h);
+            conv.forward_real_split_par(&real, &mut split_par, &mut ws, &mut team);
+            let par = split_par.to_grid();
+            for (i, (a, b)) in par.iter().zip(aos.iter()).enumerate() {
+                assert_eq!(
+                    (a.re.to_bits(), a.im.to_bits()),
+                    (b.re.to_bits(), b.im.to_bits()),
+                    "{w}x{h} workers={workers} bin {i}"
+                );
             }
         }
     }

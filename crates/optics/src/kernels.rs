@@ -18,7 +18,7 @@
 
 use crate::config::{OpticsConfig, ProcessCondition};
 use mosaic_numerics::{
-    Complex, Convolver, FftDirection, Grid, KernelSpectrum, SpectralTeam, Workspace,
+    Complex, Convolver, FftDirection, Grid, KernelSpectrum, SpectralTeam, SplitSpectrum, Workspace,
 };
 use std::f64::consts::PI;
 
@@ -240,12 +240,14 @@ impl KernelSet {
             let end = (start + workers + 1).min(self.kernels.len());
             for (lane, k) in self.kernels[start + 1..end].iter().enumerate() {
                 let mut grid = team.lane_grid(lane, self.width, self.height);
-                for ((o, &a), &b) in grid
+                let (br, bi) = k.spectrum.split().planes();
+                for (((o, &a), &kr), &ki) in grid
                     .iter_mut()
                     .zip(mask_spectrum.iter())
-                    .zip(k.spectrum.as_grid().iter())
+                    .zip(br.iter())
+                    .zip(bi.iter())
                 {
-                    *o = a * b;
+                    *o = a * Complex::new(kr, ki);
                 }
                 team.submit_grid(lane, convolver.plan(), FftDirection::Inverse, grid);
             }
@@ -275,6 +277,161 @@ impl KernelSet {
             start = end;
         }
         ws.give_complex_grid(field);
+    }
+
+    /// Split-plane twin of
+    /// [`aerial_image_accumulate_into`](Self::aerial_image_accumulate_into):
+    /// consumes a mask spectrum in structure-of-arrays layout and walks
+    /// unit-stride `f64` planes through the Hadamard, inverse-FFT and
+    /// |E|² accumulate passes. Bit-identical to the interleaved path
+    /// (DESIGN.md §16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the bank's grid.
+    pub fn aerial_image_accumulate_split(
+        &self,
+        convolver: &Convolver,
+        mask_spectrum: &SplitSpectrum,
+        intensity: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            mask_spectrum.dims(),
+            (self.width, self.height),
+            "mask spectrum shape mismatch"
+        );
+        assert_eq!(
+            intensity.dims(),
+            (self.width, self.height),
+            "intensity shape mismatch"
+        );
+        intensity.fill(0.0);
+        let mut field = ws.take_split(self.width, self.height);
+        for k in &self.kernels {
+            convolver.convolve_spectrum_split_into(mask_spectrum, &k.spectrum, &mut field, ws);
+            accumulate_intensity_split(intensity, &field, k.weight * self.condition.dose);
+        }
+        ws.give_split(field);
+    }
+
+    /// Concurrent twin of
+    /// [`aerial_image_accumulate_split`](Self::aerial_image_accumulate_split):
+    /// same wave structure as
+    /// [`aerial_image_accumulate_par`](Self::aerial_image_accumulate_par)
+    /// — per-kernel inverse transforms fan out over `team`'s workers,
+    /// the |E|² accumulate stays on the calling thread in serial kernel
+    /// order. Bit-identical to the serial split path at every worker
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the bank's grid.
+    pub fn aerial_image_accumulate_split_par(
+        &self,
+        convolver: &Convolver,
+        mask_spectrum: &SplitSpectrum,
+        intensity: &mut Grid<f64>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        let workers = team.workers();
+        if workers == 0 {
+            self.aerial_image_accumulate_split(convolver, mask_spectrum, intensity, ws);
+            return;
+        }
+        assert_eq!(
+            mask_spectrum.dims(),
+            (self.width, self.height),
+            "mask spectrum shape mismatch"
+        );
+        assert_eq!(
+            intensity.dims(),
+            (self.width, self.height),
+            "intensity shape mismatch"
+        );
+        intensity.fill(0.0);
+        let mut field = ws.take_split(self.width, self.height);
+        let dose = self.condition.dose;
+        let (ar, ai) = mask_spectrum.planes();
+        let mut start = 0;
+        while start < self.kernels.len() {
+            let end = (start + workers + 1).min(self.kernels.len());
+            for (lane, k) in self.kernels[start + 1..end].iter().enumerate() {
+                let mut spec = team.lane_split_grid(lane, self.width, self.height);
+                let (br, bi) = k.spectrum.split().planes();
+                let (or_, oi) = spec.planes_mut();
+                for idx in 0..or_.len() {
+                    or_[idx] = ar[idx] * br[idx] - ai[idx] * bi[idx];
+                    oi[idx] = ar[idx] * bi[idx] + ai[idx] * br[idx];
+                }
+                team.submit_split_grid(lane, convolver.plan(), FftDirection::Inverse, spec);
+            }
+            team.dispatch();
+            // The calling thread transforms its own kernel while the
+            // workers run theirs; the split transforms are the unchanged
+            // serial code on both sides.
+            convolver.convolve_spectrum_split_into(
+                mask_spectrum,
+                &self.kernels[start].spectrum,
+                &mut field,
+                ws,
+            );
+            team.collect();
+            accumulate_intensity_split(intensity, &field, self.kernels[start].weight * dose);
+            for (lane, k) in self.kernels[start + 1..end].iter().enumerate() {
+                if let Some(spec) = team.split_grid_result(lane) {
+                    accumulate_intensity_split(intensity, spec, k.weight * dose);
+                }
+            }
+            start = end;
+        }
+        ws.give_split(field);
+    }
+
+    /// Split-plane twin of
+    /// [`aerial_image_with_fields_into`](Self::aerial_image_with_fields_into):
+    /// overwrites `intensity` and refills `fields` with every coherent
+    /// field `E_k = M ⊗ h_k` in structure-of-arrays layout, reusing
+    /// spectra already in `fields` when their shape matches (and drawing
+    /// any missing ones from `ws`). Bit-identical to the interleaved
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the bank's grid.
+    pub fn aerial_image_with_fields_split(
+        &self,
+        convolver: &Convolver,
+        mask_spectrum: &SplitSpectrum,
+        intensity: &mut Grid<f64>,
+        fields: &mut Vec<SplitSpectrum>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            mask_spectrum.dims(),
+            (self.width, self.height),
+            "mask spectrum shape mismatch"
+        );
+        assert_eq!(
+            intensity.dims(),
+            (self.width, self.height),
+            "intensity shape mismatch"
+        );
+        fields.retain(|f| f.dims() == (self.width, self.height));
+        while fields.len() < self.kernels.len() {
+            fields.push(ws.take_split(self.width, self.height));
+        }
+        while fields.len() > self.kernels.len() {
+            if let Some(extra) = fields.pop() {
+                ws.give_split(extra);
+            }
+        }
+        intensity.fill(0.0);
+        for (k, field) in self.kernels.iter().zip(fields.iter_mut()) {
+            convolver.convolve_spectrum_split_into(mask_spectrum, &k.spectrum, field, ws);
+            accumulate_intensity_split(intensity, field, k.weight * self.condition.dose);
+        }
     }
 
     /// Workspace-pooled variant of
@@ -357,11 +514,21 @@ impl KernelSet {
     /// Panics if `index` is out of range.
     pub fn spatial_kernel(&self, index: usize) -> Grid<Complex> {
         let k = &self.kernels[index];
-        let mut g = k.spectrum.as_grid().clone();
+        let mut g = k.spectrum.to_grid();
         let plan = mosaic_numerics::Fft2d::new(self.width, self.height);
         plan.process(&mut g, FftDirection::Inverse);
         // Move the origin to the grid center for viewing.
         g.shift_origin(self.width / 2, self.height / 2)
+    }
+}
+
+/// `intensity += scale · (re² + im²)`, plane-wise — the same
+/// per-component arithmetic as the interleaved `scale * e.norm_sqr()`
+/// accumulate, so bits match the AoS path.
+fn accumulate_intensity_split(intensity: &mut Grid<f64>, field: &SplitSpectrum, scale: f64) {
+    let (fr, fi) = field.planes();
+    for ((acc, &r), &i) in intensity.iter_mut().zip(fr.iter()).zip(fi.iter()) {
+        *acc += scale * (r * r + i * i);
     }
 }
 
@@ -505,11 +672,11 @@ mod tests {
         let combined = set.combined();
         let mut manual = Grid::<Complex>::zeros(64, 64);
         for k in set.kernels() {
-            for (m, s) in manual.iter_mut().zip(k.spectrum.as_grid().iter()) {
+            for (m, s) in manual.iter_mut().zip(k.spectrum.to_grid().iter()) {
                 *m += s.scale(k.weight);
             }
         }
-        for (a, b) in combined.as_grid().iter().zip(manual.iter()) {
+        for (a, b) in combined.to_grid().iter().zip(manual.iter()) {
             assert!((*a - *b).norm() < 1e-12);
         }
     }
@@ -546,5 +713,53 @@ mod tests {
             .map(|(k, f)| k.weight * 1.02 * f[(32, 32)].norm_sqr())
             .sum();
         assert!((intensity[(32, 32)] - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_aerial_image_is_bit_identical_to_interleaved() {
+        let config = small_config();
+        let set = KernelSet::build(&config, ProcessCondition::new(10.0, 1.02)).unwrap();
+        let conv = Convolver::new(64, 64);
+        let mask = Grid::from_fn(
+            64,
+            64,
+            |x, y| if (x / 8 + y / 8) % 2 == 0 { 1.0 } else { 0.0 },
+        );
+        let mut ws = Workspace::new();
+        let mut aos_spec = Grid::zeros(64, 64);
+        conv.forward_real_into(&mask, &mut aos_spec, &mut ws);
+        let mut aos = Grid::zeros(64, 64);
+        set.aerial_image_accumulate_into(&conv, &aos_spec, &mut aos, &mut ws);
+
+        let mut split_spec = SplitSpectrum::zeros(64, 64);
+        conv.forward_real_split_into(&mask, &mut split_spec, &mut ws);
+        let mut serial = Grid::zeros(64, 64);
+        set.aerial_image_accumulate_split(&conv, &split_spec, &mut serial, &mut ws);
+        for (i, (a, b)) in serial.iter().zip(aos.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "serial split pixel {i}");
+        }
+
+        for workers in [1usize, 2] {
+            let mut team = SpectralTeam::new(workers);
+            let mut par = Grid::zeros(64, 64);
+            set.aerial_image_accumulate_split_par(&conv, &split_spec, &mut par, &mut ws, &mut team);
+            for (i, (a, b)) in par.iter().zip(aos.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={workers} pixel {i}");
+            }
+        }
+
+        let mut fields = Vec::new();
+        let mut with_fields = Grid::zeros(64, 64);
+        set.aerial_image_with_fields_split(
+            &conv,
+            &split_spec,
+            &mut with_fields,
+            &mut fields,
+            &mut ws,
+        );
+        assert_eq!(fields.len(), set.kernels().len());
+        for (i, (a, b)) in with_fields.iter().zip(aos.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "with-fields pixel {i}");
+        }
     }
 }

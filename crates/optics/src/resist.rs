@@ -89,9 +89,82 @@ impl ResistModel {
         }
     }
 
+    /// Fused twin of [`develop_into`](Self::develop_into) that also
+    /// writes the sigmoid derivative: one exponential per pixel serves
+    /// both `Z = sig(I)` and `dZ/dI = θ_Z · sig · (1 − sig)` — the pair
+    /// every gradient evaluation needs (§3). Bit-identical to calling
+    /// [`sigmoid`](Self::sigmoid) and
+    /// [`sigmoid_derivative`](Self::sigmoid_derivative) separately,
+    /// because the derivative recomputes the same sigmoid value from
+    /// the same intensity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn develop_with_derivative_into(
+        &self,
+        intensity: &Grid<f64>,
+        z: &mut Grid<f64>,
+        dz: &mut Grid<f64>,
+    ) {
+        assert_eq!(intensity.dims(), z.dims(), "develop shape mismatch");
+        assert_eq!(intensity.dims(), dz.dims(), "develop shape mismatch");
+        develop_lanes(
+            self,
+            intensity.as_slice(),
+            z.as_mut_slice(),
+            dz.as_mut_slice(),
+        );
+    }
+
     /// Applies the hard step of Eq. (3): the binary printed image.
     pub fn print(&self, intensity: &Grid<f64>) -> Grid<f64> {
         intensity.threshold(self.threshold)
+    }
+}
+
+/// Scalar inner loop of
+/// [`develop_with_derivative_into`](ResistModel::develop_with_derivative_into).
+#[cfg(not(mosaic_simd))]
+fn develop_lanes(model: &ResistModel, intensity: &[f64], z: &mut [f64], dz: &mut [f64]) {
+    for ((o, d), &i) in z.iter_mut().zip(dz.iter_mut()).zip(intensity.iter()) {
+        let s = model.sigmoid(i);
+        *o = s;
+        *d = model.steepness * s * (1.0 - s);
+    }
+}
+
+/// Explicit 4-wide-lane inner loop of
+/// [`develop_with_derivative_into`](ResistModel::develop_with_derivative_into)
+/// (`--cfg mosaic_simd`). Purely elementwise — each lane performs the
+/// same float operations as the scalar loop, so results stay
+/// bit-identical; the lane grouping only exposes the independent
+/// multiplies to the vectorizer around the scalar `exp` calls.
+#[cfg(mosaic_simd)]
+fn develop_lanes(model: &ResistModel, intensity: &[f64], z: &mut [f64], dz: &mut [f64]) {
+    const LANES: usize = 4;
+    let head = intensity.len() / LANES * LANES;
+    let (ihead, itail) = intensity.split_at(head);
+    let (zhead, ztail) = z.split_at_mut(head);
+    let (dhead, dtail) = dz.split_at_mut(head);
+    for ((ic, zc), dc) in ihead
+        .chunks_exact(LANES)
+        .zip(zhead.chunks_exact_mut(LANES))
+        .zip(dhead.chunks_exact_mut(LANES))
+    {
+        let mut s = [0.0f64; LANES];
+        for l in 0..LANES {
+            s[l] = model.sigmoid(ic[l]);
+        }
+        for l in 0..LANES {
+            zc[l] = s[l];
+            dc[l] = model.steepness * s[l] * (1.0 - s[l]);
+        }
+    }
+    for ((o, d), &i) in ztail.iter_mut().zip(dtail.iter_mut()).zip(itail.iter()) {
+        let s = model.sigmoid(i);
+        *o = s;
+        *d = model.steepness * s * (1.0 - s);
     }
 }
 
@@ -148,6 +221,29 @@ mod tests {
         // Hard print agrees with rounding the sigmoid image.
         for (zi, pi) in z.iter().zip(p.iter()) {
             assert_eq!((*zi > 0.5) as i32 as f64, *pi);
+        }
+    }
+
+    #[test]
+    fn fused_develop_matches_separate_calls_bitwise() {
+        let r = ResistModel::paper();
+        let intensity = Grid::from_fn(13, 5, |x, y| {
+            (x as f64 * 0.07 + y as f64 * 0.11).sin() * 0.6 + 0.5
+        });
+        let mut z = Grid::zeros(13, 5);
+        let mut dz = Grid::zeros(13, 5);
+        r.develop_with_derivative_into(&intensity, &mut z, &mut dz);
+        for (idx, &i) in intensity.iter().enumerate() {
+            assert_eq!(
+                z.as_slice()[idx].to_bits(),
+                r.sigmoid(i).to_bits(),
+                "z pixel {idx}"
+            );
+            assert_eq!(
+                dz.as_slice()[idx].to_bits(),
+                r.sigmoid_derivative(i).to_bits(),
+                "dz pixel {idx}"
+            );
         }
     }
 

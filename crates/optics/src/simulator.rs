@@ -6,7 +6,7 @@ use crate::error::OpticsError;
 use crate::kernels::KernelSet;
 use crate::resist::ResistModel;
 use crate::source::SourceShape;
-use mosaic_numerics::{Complex, Convolver, Grid, SpectralTeam, Workspace};
+use mosaic_numerics::{Complex, Convolver, Grid, SpectralTeam, SplitSpectrum, Workspace};
 use std::sync::Arc;
 
 /// A hashable identity for a simulator configuration: everything that
@@ -235,6 +235,87 @@ impl LithoSimulator {
         team: &mut SpectralTeam,
     ) {
         self.convolver.forward_real_par(mask, out, ws, team);
+    }
+
+    /// Split-plane twin of [`mask_spectrum_into`](Self::mask_spectrum_into):
+    /// the mask spectrum lands directly in structure-of-arrays layout —
+    /// the optimizer hot loop's entry into the split spectral engine
+    /// (DESIGN.md §16). Bit-identical to the interleaved path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the simulation grid.
+    pub fn mask_spectrum_split(
+        &self,
+        mask: &Grid<f64>,
+        out: &mut SplitSpectrum,
+        ws: &mut Workspace,
+    ) {
+        self.convolver.forward_real_split_into(mask, out, ws);
+    }
+
+    /// Concurrent twin of [`mask_spectrum_split`](Self::mask_spectrum_split):
+    /// the forward transform's column pass is banded across `team`'s
+    /// workers. Bit-identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the simulation grid.
+    pub fn mask_spectrum_split_par(
+        &self,
+        mask: &Grid<f64>,
+        out: &mut SplitSpectrum,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        self.convolver.forward_real_split_par(mask, out, ws, team);
+    }
+
+    /// Split-plane twin of [`aerial_image_into`](Self::aerial_image_into).
+    /// Bit-identical to the interleaved path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the simulation grid or the index is
+    /// out of range.
+    pub fn aerial_image_split(
+        &self,
+        mask_spectrum: &SplitSpectrum,
+        index: usize,
+        intensity: &mut Grid<f64>,
+        ws: &mut Workspace,
+    ) {
+        self.banks[index].aerial_image_accumulate_split(
+            &self.convolver,
+            mask_spectrum,
+            intensity,
+            ws,
+        );
+    }
+
+    /// Concurrent twin of [`aerial_image_split`](Self::aerial_image_split):
+    /// fans the per-kernel transforms out over `team` with a fixed-order
+    /// serial accumulate. Bit-identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the simulation grid or the index is
+    /// out of range.
+    pub fn aerial_image_split_par(
+        &self,
+        mask_spectrum: &SplitSpectrum,
+        index: usize,
+        intensity: &mut Grid<f64>,
+        ws: &mut Workspace,
+        team: &mut SpectralTeam,
+    ) {
+        self.banks[index].aerial_image_accumulate_split_par(
+            &self.convolver,
+            mask_spectrum,
+            intensity,
+            ws,
+            team,
+        );
     }
 
     /// Concurrent twin of [`aerial_image_into`](Self::aerial_image_into):

@@ -49,6 +49,20 @@ tier1() {
   # gate failure names the culprit.
   cargo test -q -p mosaic-runtime --test batch one_and_four_workers_agree_bit_for_bit
   cargo test -q -p mosaic-runtime --test golden
+  echo "=== tier1: split-plane SIMD leg (--cfg mosaic_simd)"
+  # DESIGN.md §16: the explicit 4-wide-lane butterfly/threshold build
+  # must pass the differential, bit-identity, zero-allocation and
+  # golden-snapshot gates and stay lint-clean (the same -D warnings and
+  # no-panic walls as the default build). Scalar-SoA is the production
+  # default; this leg keeps the opt-in lane path bit-identical.
+  RUSTFLAGS="--cfg mosaic_simd" cargo test -q \
+    -p mosaic-numerics -p mosaic-optics -p mosaic-core
+  RUSTFLAGS="--cfg mosaic_simd" cargo test -q -p mosaic-runtime --test golden
+  RUSTFLAGS="--cfg mosaic_simd" cargo clippy --all-targets \
+    -p mosaic-numerics -p mosaic-optics -p mosaic-core -- -D warnings
+  RUSTFLAGS="--cfg mosaic_simd" cargo clippy --lib --no-deps \
+    -p mosaic-numerics -p mosaic-optics \
+    -- -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
   echo "=== tier1: clippy"
   cargo clippy --all-targets --workspace -- -D warnings
   echo "=== tier1: no-panic lint (library code)"
